@@ -1,0 +1,84 @@
+// Ablation: ETL thread scaling. The collection agents and the ingest
+// pipeline are the parallel phases (hosts partitioned into fixed chunks,
+// merged deterministically - DESIGN.md §7); workload generation and
+// scheduling are inherently serial. This bench times the two parallel phases
+// across thread counts and verifies the deterministic-merge contract.
+#include <chrono>
+#include <thread>
+#include <cstdio>
+
+#include "bench_common.h"
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+}  // namespace
+
+int main() {
+  using namespace supremm;
+  bench::print_experiment_header(
+      "Ablation (ETL parallelism)",
+      "host-chunked parallel collection + ingest: scaling with threads, "
+      "bit-identical results at every thread count");
+
+  // Serial prologue shared by every configuration.
+  const auto spec = facility::scaled(facility::ranger(), 0.02);
+  const auto catalogue = facility::standard_catalogue();
+  const auto population = facility::UserPopulation::generate(spec, catalogue, bench::kSeed);
+  facility::WorkloadConfig wl;
+  wl.span = 14 * common::kDay;
+  wl.seed = bench::kSeed;
+  auto requests = facility::generate_workload(spec, catalogue, population, wl);
+  auto execs = facility::Scheduler::run(spec, std::move(requests), {});
+  const auto acct = accounting::from_executions(spec, population, execs);
+  const auto lrt = lariat::from_executions(spec, catalogue, population, execs);
+  const auto science = etl::project_science_map(population);
+
+  std::printf("host has %u hardware threads; speedups are bounded accordingly\n",
+              std::thread::hardware_concurrency());
+  double collect_baseline = 0, ingest_baseline = 0;
+  double reference_idle = -1.0;
+  std::printf("%-8s %-14s %-14s %-12s %-12s %-10s\n", "threads", "collect (s)",
+              "ingest (s)", "collect x", "ingest x", "identical");
+  for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+    // Fresh engine per configuration (advancing counters is stateful).
+    facility::FacilityEngine engine(spec, execs, {}, 0, wl.span, bench::kSeed);
+
+    auto t0 = std::chrono::steady_clock::now();
+    const auto outputs = taccstats::run_all_agents(engine, taccstats::AgentConfig{}, threads);
+    const double collect_s = seconds_since(t0);
+
+    std::vector<taccstats::RawFile> files;
+    for (const auto& o : outputs) files.insert(files.end(), o.files.begin(), o.files.end());
+
+    etl::IngestConfig cfg;
+    cfg.span = wl.span;
+    cfg.cluster = spec.name;
+    cfg.threads = threads;
+    cfg.hosts_per_chunk = 4;
+    const etl::IngestPipeline pipeline(cfg);
+    t0 = std::chrono::steady_clock::now();
+    const auto result = pipeline.run(files, acct, lrt, catalogue, science);
+    const double ingest_s = seconds_since(t0);
+
+    if (collect_baseline == 0) {
+      collect_baseline = collect_s;
+      ingest_baseline = ingest_s;
+    }
+    double idle = 0;
+    for (const auto& j : result.jobs) idle += j.cpu_idle;
+    bool identical = true;
+    if (reference_idle < 0) {
+      reference_idle = idle;
+    } else {
+      identical = idle == reference_idle;
+    }
+    std::printf("%-8zu %-14.2f %-14.2f %-12.2f %-12.2f %-10s\n", threads, collect_s,
+                ingest_s, collect_baseline / collect_s, ingest_baseline / ingest_s,
+                identical ? "yes" : "NO (BUG)");
+  }
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Ablation: what does the sampling interval buy? The paper fixed 10 minutes
+// as the TACC_Stats cadence (0.1% overhead, 0.5 MB/node/day). This bench
+// sweeps the interval and reports the cost (data volume, samples) against
+// the fidelity (error of measured job cpu_idle vs the simulator's ground
+// truth, and the persistence fit quality), plus the SAR-style counterfactual
+// of losing the job tag entirely.
+#include <cmath>
+#include <cstdio>
+
+#include "bench_common.h"
+#include "common/strings.h"
+#include "compress/lzss.h"
+
+int main() {
+  using namespace supremm;
+  bench::print_experiment_header(
+      "Ablation (sampling interval)",
+      "10-minute cadence chosen in §3; finer sampling costs linearly more "
+      "data for diminishing fidelity gains");
+
+  std::printf("%-10s %-12s %-10s %-14s %-12s %-10s\n", "interval", "MB/node/day",
+              "samples", "idle MAE", "jobs<thresh", "fit R^2");
+  for (const int minutes : {2, 5, 10, 30}) {
+    pipeline::PipelineConfig cfg;
+    cfg.spec = facility::scaled(facility::ranger(), 0.01);
+    cfg.span = 14 * common::kDay;
+    cfg.seed = bench::kSeed;
+    cfg.agent.interval = minutes * common::kMinute;
+    const auto run = pipeline::run_pipeline(cfg);
+
+    const double mb_day = static_cast<double>(run.result.stats.bytes) / 1e6 /
+                          static_cast<double>(run.spec.node_count) /
+                          (static_cast<double>(run.span) / common::kDay);
+
+    // Fidelity: mean absolute error of measured job idle vs ground truth.
+    double mae = 0;
+    std::size_t n = 0;
+    for (const auto& j : run.result.jobs) {
+      for (const auto& e : run.engine->executions()) {
+        if (e.req.id != j.id) continue;
+        mae += std::fabs(j.cpu_idle - e.req.behavior.idle_frac);
+        ++n;
+        break;
+      }
+    }
+    mae = n > 0 ? mae / static_cast<double>(n) : 0.0;
+
+    // Persistence fit (offsets must be multiples of the bucket).
+    std::vector<double> offsets;
+    for (const double o : {1.0, 3.0, 10.0, 50.0, 100.0}) {
+      if (std::fmod(o * minutes, static_cast<double>(minutes)) == 0.0) {
+        offsets.push_back(o * minutes);
+      }
+    }
+    const auto rep =
+        xdmod::persistence_analysis(run.result.series, {"mem_used"}, offsets);
+
+    std::printf("%-10s %-12.2f %-10llu %-14.3f %-12llu %-10.3f\n",
+                common::strprintf("%d min", minutes).c_str(), mb_day,
+                static_cast<unsigned long long>(run.result.stats.samples), mae,
+                static_cast<unsigned long long>(run.result.stats.jobs_excluded),
+                rep.fit_r2[0]);
+
+    if (minutes == 10) {
+      // §4.1's archive claim at the paper's cadence: "60 GB (uncompressed)
+      // or 20 GB (compressed) for the entire cluster per month" - a ~3x
+      // ratio. Measure our LZSS codec on a sample of node-day files.
+      std::string archive;
+      for (std::size_t i = 0; i < run.files.size() && archive.size() < 8u << 20; ++i) {
+        archive += run.files[i].content;
+      }
+      const double ratio = compress::compression_ratio(archive);
+      std::printf("           [compression] LZSS ratio %.2f on %.1f MB of raw archive "
+                  "(paper: ~0.33 with gzip)\n",
+                  ratio, static_cast<double>(archive.size()) / 1e6);
+    }
+  }
+
+  std::printf("\nSAR counterfactual: without the job tag (plain sysstat), job- and\n"
+              "user-level metrics are unobtainable - only the facility series\n"
+              "survives. Every Figure 2-5 analysis requires the tag TACC_Stats adds.\n");
+  return 0;
+}

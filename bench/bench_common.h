@@ -1,0 +1,61 @@
+// Shared setup for the per-figure/table benches: one standard scaled-down
+// run per cluster, cached per process, plus output helpers.
+//
+// Scaling note (DESIGN.md §2): the paper measured the full Ranger (3936
+// nodes, 20 months) and Lonestar4 (1088 nodes, 15 months). The benches
+// default to 2% / 3% of the nodes over 30-60 simulated days, which preserves
+// every *shape* the paper reports (normalized profiles, efficiency lines,
+// persistence ratios, distribution forms) at laptop cost. Absolute facility
+// totals (TF, node counts) scale with the node count and are reported
+// alongside the scaled peak for comparison.
+#pragma once
+
+#include <cstdio>
+
+#include "supremm/supremm.h"
+
+namespace supremm::bench {
+
+inline constexpr std::uint64_t kSeed = 2013;  // the paper's year
+
+inline pipeline::PipelineResult make_run(const facility::ClusterSpec& preset, double scale,
+                                         int days, bool maintenance) {
+  pipeline::PipelineConfig cfg;
+  cfg.spec = facility::scaled(preset, scale);
+  cfg.start = 0;
+  cfg.span = days * common::kDay;
+  cfg.seed = kSeed;
+  cfg.with_maintenance = maintenance;
+  return pipeline::run_pipeline(cfg);
+}
+
+/// Ranger at 2% (79 nodes) for 30 days with maintenance windows.
+inline const pipeline::PipelineResult& ranger_run() {
+  static const pipeline::PipelineResult run =
+      make_run(facility::ranger(), 0.02, 30, /*maintenance=*/true);
+  return run;
+}
+
+/// Lonestar4 at 3% (33 nodes) for 30 days with maintenance windows.
+inline const pipeline::PipelineResult& lonestar4_run() {
+  static const pipeline::PipelineResult run =
+      make_run(facility::lonestar4(), 0.03, 30, /*maintenance=*/true);
+  return run;
+}
+
+inline void print_experiment_header(const char* id, const char* paper_claim) {
+  std::printf("==============================================================\n");
+  std::printf("Experiment %s\n", id);
+  std::printf("Paper: %s\n", paper_claim);
+  std::printf("==============================================================\n");
+}
+
+inline void print_run_info(const pipeline::PipelineResult& run) {
+  std::printf("[setup] %s: %zu nodes x %zu cores, %.0f GB/node, %.1f TF scaled peak, "
+              "%d days, %zu jobs ingested\n",
+              run.spec.name.c_str(), run.spec.node_count, run.spec.node.cores(),
+              run.spec.node.mem_gb, run.spec.peak_tflops(),
+              static_cast<int>(run.span / common::kDay), run.result.jobs.size());
+}
+
+}  // namespace supremm::bench

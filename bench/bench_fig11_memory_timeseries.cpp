@@ -1,0 +1,64 @@
+// Figure 11: memory used per node over time. Paper: Ranger (32 GB/node)
+// averages < 10 GB with peaks < 16 GB (under half capacity); Lonestar4
+// (24 GB/node) runs much closer to capacity, ~15 GB average peaking to ~20.
+#include <iostream>
+
+#include "bench_common.h"
+
+namespace {
+
+void analyze(const supremm::pipeline::PipelineResult& run, double paper_avg,
+             double paper_peak) {
+  using namespace supremm;
+  bench::print_run_info(run);
+  auto rep = xdmod::rebucket(run.result.series, "mem_used", 6 * common::kHour,
+                             xdmod::SeriesAgg::kMean);
+  rep.unit = "GB/node";
+  rep.name = run.spec.name + " memory used per node";
+  xdmod::render_series(rep, 40).render(std::cout);
+  // Mean over buckets with data (ignore shutdown zeros).
+  double sum = 0;
+  std::size_t n = 0;
+  double peak = 0;
+  for (const double v : rep.v) {
+    if (v <= 0) continue;
+    sum += v;
+    ++n;
+    peak = std::max(peak, v);
+  }
+  const double mean = n > 0 ? sum / static_cast<double>(n) : 0.0;
+  std::printf("[measured] %s: mean %.1f GB, peak %.1f GB of %.0f GB capacity "
+              "(paper: ~%.0f GB avg, ~%.0f GB peak)\n\n",
+              run.spec.name.c_str(), mean, peak, run.spec.node.mem_gb, paper_avg,
+              paper_peak);
+}
+
+}  // namespace
+
+int main() {
+  using namespace supremm;
+  bench::print_experiment_header(
+      "Figure 11 (memory used per node over time)",
+      "Ranger: <10 GB avg, <16 GB peak of 32; Lonestar4: ~15 GB avg peaking "
+      "~20 of 24 (much closer to capacity)");
+  analyze(bench::ranger_run(), 9.0, 16.0);
+  analyze(bench::lonestar4_run(), 15.0, 20.0);
+
+  // Cross-cluster shape: Lonestar4's memory pressure is relatively higher.
+  const auto frac = [](const supremm::pipeline::PipelineResult& run) {
+    double sum = 0;
+    std::size_t n = 0;
+    for (const double v : run.result.series.mem_gb_per_node) {
+      if (v > 0) {
+        sum += v;
+        ++n;
+      }
+    }
+    return sum / static_cast<double>(n) / run.spec.node.mem_gb;
+  };
+  const double fr = frac(bench::ranger_run());
+  const double fl = frac(bench::lonestar4_run());
+  std::printf("[check] capacity fraction: Lonestar4 %.0f%% > Ranger %.0f%% : %s\n",
+              fl * 100, fr * 100, fl > fr ? "HOLDS" : "VIOLATED");
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Figure 12: kernel density of memory used per node across jobs, for the
+// time-average (black) and the per-job maximum (red), on both clusters.
+// Paper: Ranger stays under 50% of its 32 GB even at the job maxima;
+// Lonestar4 averages ~50% and its maxima approach full capacity.
+#include <iostream>
+
+#include "bench_common.h"
+
+namespace {
+
+void analyze(const supremm::pipeline::PipelineResult& run) {
+  using namespace supremm;
+  bench::print_run_info(run);
+  const auto avg = xdmod::memory_distribution(run.result.jobs, /*use_max=*/false);
+  const auto mx = xdmod::memory_distribution(run.result.jobs, /*use_max=*/true);
+  xdmod::render_distribution(avg, 24).render(std::cout);
+  std::cout << '\n';
+  xdmod::render_distribution(mx, 24).render(std::cout);
+  std::printf("[measured] %s: mem_used mode %.1f GB, mem_used_max mode %.1f GB, capacity "
+              "%.0f GB\n\n",
+              run.spec.name.c_str(), avg.density.mode(), mx.density.mode(),
+              run.spec.node.mem_gb);
+}
+
+}  // namespace
+
+int main() {
+  using namespace supremm;
+  bench::print_experiment_header(
+      "Figure 12 (memory-per-node distributions, avg vs job max)",
+      "Ranger < 50% of capacity even at job maxima; Lonestar4 ~50% on "
+      "average with maxima approaching capacity");
+  analyze(bench::ranger_run());
+  analyze(bench::lonestar4_run());
+
+  const auto wmean = [](const supremm::pipeline::PipelineResult& run, bool use_max) {
+    supremm::stats::WeightedAccumulator acc;
+    for (const auto& j : run.result.jobs) {
+      acc.add(use_max ? j.mem_used_max_gb : j.mem_used_gb, j.node_hours);
+    }
+    return acc.mean();
+  };
+  const auto& r = bench::ranger_run();
+  const auto& l = bench::lonestar4_run();
+  const double r_max_frac = wmean(r, true) / r.spec.node.mem_gb;
+  const double l_max_frac = wmean(l, true) / l.spec.node.mem_gb;
+  const double l_avg_frac = wmean(l, false) / l.spec.node.mem_gb;
+  std::printf("[check] Ranger job-max usage below 55%% of capacity: %s (%.0f%%)\n",
+              r_max_frac < 0.55 ? "HOLDS" : "VIOLATED", r_max_frac * 100);
+  std::printf("[check] Lonestar4 average usage near/above 45%% of capacity: %s (%.0f%%)\n",
+              l_avg_frac > 0.45 ? "HOLDS" : "VIOLATED", l_avg_frac * 100);
+  std::printf("[check] Lonestar4 maxima closer to capacity than Ranger: %s (%.0f%% vs "
+              "%.0f%%)\n",
+              l_max_frac > r_max_frac ? "HOLDS" : "VIOLATED", l_max_frac * 100,
+              r_max_frac * 100);
+  return 0;
+}

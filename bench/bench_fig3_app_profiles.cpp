@@ -1,0 +1,60 @@
+// Figure 3: normalized profiles for the three most used molecular dynamics
+// codes - NAMD, AMBER, GROMACS - on Ranger (R-) and Lonestar4 (L-).
+//
+// Paper shapes: NAMD and GROMACS run more efficiently (lower cpu_idle) than
+// AMBER on both clusters; NAMD's pattern is very similar across clusters
+// while GROMACS and AMBER differ between the two.
+#include <cmath>
+#include <iostream>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace supremm;
+  bench::print_experiment_header(
+      "Figure 3 (MD application profiles, Ranger vs Lonestar4)",
+      "NAMD & GROMACS more CPU-efficient than AMBER on both clusters; NAMD "
+      "similar across clusters, GROMACS/AMBER cluster-dependent");
+  const auto& ranger = bench::ranger_run();
+  const auto& ls4 = bench::lonestar4_run();
+  bench::print_run_info(ranger);
+  bench::print_run_info(ls4);
+
+  const xdmod::ProfileAnalyzer ar(ranger.result.jobs);
+  const xdmod::ProfileAnalyzer al(ls4.result.jobs);
+
+  std::vector<xdmod::UsageProfile> profiles;
+  for (const char* app : {"NAMD", "AMBER", "GROMACS"}) {
+    auto pr = ar.profile(xdmod::GroupBy::kApp, app);
+    pr.entity = std::string("R-") + app;
+    profiles.push_back(std::move(pr));
+    auto pl = al.profile(xdmod::GroupBy::kApp, app);
+    pl.entity = std::string("L-") + app;
+    profiles.push_back(std::move(pl));
+  }
+  xdmod::render_profile_comparison(profiles, ar.metrics()).render(std::cout);
+
+  auto norm_idle = [&](const char* entity) {
+    for (const auto& p : profiles) {
+      if (p.entity == entity) return p.entry("cpu_idle").normalized;
+    }
+    return 0.0;
+  };
+  std::printf("\n[check] cpu_idle: R-AMBER %.2f > R-NAMD %.2f and > R-GROMACS %.2f : %s\n",
+              norm_idle("R-AMBER"), norm_idle("R-NAMD"), norm_idle("R-GROMACS"),
+              (norm_idle("R-AMBER") > norm_idle("R-NAMD") &&
+               norm_idle("R-AMBER") > norm_idle("R-GROMACS"))
+                  ? "HOLDS"
+                  : "VIOLATED");
+  std::printf("[check] cpu_idle: L-AMBER %.2f > L-NAMD %.2f and > L-GROMACS %.2f : %s\n",
+              norm_idle("L-AMBER"), norm_idle("L-NAMD"), norm_idle("L-GROMACS"),
+              (norm_idle("L-AMBER") > norm_idle("L-NAMD") &&
+               norm_idle("L-AMBER") > norm_idle("L-GROMACS"))
+                  ? "HOLDS"
+                  : "VIOLATED");
+  const double namd_gap = std::fabs(norm_idle("R-NAMD") - norm_idle("L-NAMD"));
+  const double gromacs_gap = std::fabs(norm_idle("R-GROMACS") - norm_idle("L-GROMACS"));
+  std::printf("[check] NAMD cross-cluster idle gap %.2f < GROMACS gap %.2f : %s\n",
+              namd_gap, gromacs_gap, namd_gap < gromacs_gap ? "HOLDS" : "VIOLATED");
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Figure 4: node-hours consumed vs wasted (CPU-idle) node-hours per user on
+// both clusters. Paper: average efficiency ~90% on Ranger and ~85% on
+// Lonestar4 (the red lines); many heavy users sit well below the line, and
+// one circled user per cluster spent 87% / 89% of their node-hours idle.
+#include <iostream>
+
+#include "bench_common.h"
+
+namespace {
+
+void analyze(const supremm::pipeline::PipelineResult& run, double paper_efficiency) {
+  using namespace supremm;
+  bench::print_run_info(run);
+  const auto users = xdmod::user_efficiency(run.result.jobs);
+  const double eff = xdmod::facility_efficiency(run.result.jobs);
+  xdmod::render_efficiency(users, eff, 20).render(std::cout);
+  std::printf("[measured] facility efficiency %.1f%% (paper: ~%.0f%%)\n", eff * 100.0,
+              paper_efficiency * 100.0);
+
+  const auto bad = xdmod::inefficient_heavy_users(run.result.jobs, 50.0, 0.5);
+  if (!bad.empty()) {
+    std::printf("[circled] worst heavy user: %s, %.0f node-hours, %.0f%% idle "
+                "(paper: 87%%/89%% idle)\n\n",
+                bad.front().user.c_str(), bad.front().node_hours,
+                bad.front().idle_fraction() * 100.0);
+  } else {
+    std::printf("[circled] no heavy user below 50%% efficiency in this run\n\n");
+  }
+}
+
+}  // namespace
+
+int main() {
+  using namespace supremm;
+  bench::print_experiment_header(
+      "Figure 4 (node-hours vs wasted node-hours)",
+      "avg efficiency ~90% Ranger / ~85% Lonestar4; heavy users with 50%+ "
+      "idle exist; one extreme user per cluster at 87-89% idle");
+  analyze(bench::ranger_run(), 0.90);
+  analyze(bench::lonestar4_run(), 0.85);
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Figure 5: the usage profiles of the users circled in Figure 4. Paper: the
+// Ranger user's cpu_idle is ~8x the average user; the Lonestar4 user's ~5x;
+// every other metric is normal-to-light ("no obvious other resource usage to
+// explain the high idle fraction").
+#include <iostream>
+
+#include "bench_common.h"
+
+namespace {
+
+void analyze(const supremm::pipeline::PipelineResult& run, double paper_idle_mult) {
+  using namespace supremm;
+  bench::print_run_info(run);
+  const auto bad = xdmod::inefficient_heavy_users(run.result.jobs, 50.0, 0.5);
+  if (bad.empty()) {
+    std::printf("no heavy user below the 50%% efficiency bar in this run\n");
+    return;
+  }
+  const xdmod::ProfileAnalyzer analyzer(run.result.jobs);
+  const auto p = analyzer.profile(xdmod::GroupBy::kUser, bad.front().user);
+  xdmod::render_profile(p).render(std::cout);
+  const double idle_mult = p.entry("cpu_idle").normalized;
+  std::printf("[measured] cpu_idle at %.1fx the average user (paper: ~%.0fx)\n",
+              idle_mult, paper_idle_mult);
+  bool others_normal = true;
+  for (const auto& e : p.entries) {
+    if (e.metric != "cpu_idle" && e.normalized > 2.0) others_normal = false;
+  }
+  std::printf("[check] all non-idle metrics <= 2x average: %s (paper: normal-to-light)\n\n",
+              others_normal ? "HOLDS" : "VIOLATED");
+}
+
+}  // namespace
+
+int main() {
+  using namespace supremm;
+  bench::print_experiment_header(
+      "Figure 5 (profiles of the circled users)",
+      "cpu_idle ~8x (Ranger) / ~5x (Lonestar4) the average user; all other "
+      "metrics normal or light");
+  analyze(bench::ranger_run(), 8.0);
+  analyze(bench::lonestar4_run(), 5.0);
+  return 0;
+}

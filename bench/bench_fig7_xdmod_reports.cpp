@@ -1,0 +1,71 @@
+// Figure 7: three sample XDMoD reports built from TACC_Stats data on Ranger:
+//   (a) average memory per core, broken up by parent science,
+//   (b) CPU hours split into user / idle / system,
+//   (c) Lustre filesystem traffic for the scratch, share and work mounts.
+#include <iostream>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace supremm;
+  bench::print_experiment_header(
+      "Figure 7 (XDMoD system reports, Ranger)",
+      "(a) memory/core by parent science; (b) CPU hours user/idle/system; "
+      "(c) Lustre traffic with scratch >> work");
+  const auto& run = bench::ranger_run();
+  bench::print_run_info(run);
+
+  // (a) Memory per core by parent science, weekly buckets.
+  const auto science = xdmod::science_memory_report(run.result.jobs, run.spec.node.cores(),
+                                                    0, run.span, common::kWeek);
+  common::AsciiTable ta("Figure 7a: average memory per core (GB) by parent science, weekly");
+  {
+    std::vector<std::string> head = {"week"};
+    for (const auto& s : science.sciences) head.push_back(s);
+    ta.header(std::move(head));
+    for (std::size_t b = 0; b < science.t.size(); ++b) {
+      auto row = ta.add_row();
+      row.cell(static_cast<std::int64_t>(b));
+      for (std::size_t s = 0; s < science.sciences.size(); ++s) {
+        row.cell(science.mem_gb_per_core[s][b], "%.2f");
+      }
+    }
+  }
+  ta.render(std::cout);
+  std::cout << '\n';
+
+  // (b) CPU hours user/idle/system, daily.
+  const auto cpu = xdmod::cpu_hours_report(run.result.series, common::kDay);
+  common::AsciiTable tb("Figure 7b: CPU core-hours per day (user / idle / system)");
+  tb.header({"day", "user", "idle", "system"});
+  for (std::size_t i = 0; i < cpu.t.size(); ++i) {
+    tb.add_row()
+        .cell(static_cast<std::int64_t>(i))
+        .cell(cpu.user_core_h[i], "%.0f")
+        .cell(cpu.idle_core_h[i], "%.0f")
+        .cell(cpu.system_core_h[i], "%.0f");
+  }
+  tb.render(std::cout);
+  std::cout << '\n';
+
+  // (c) Lustre filesystem traffic, daily.
+  const auto lfs = xdmod::lustre_report(run.result.series, common::kDay);
+  common::AsciiTable tc("Figure 7c: Lustre traffic (MB/s facility aggregate) per day");
+  tc.header({"day", "scratch", "work", "share"});
+  double scratch_total = 0, work_total = 0;
+  for (std::size_t i = 0; i < lfs.t.size(); ++i) {
+    tc.add_row()
+        .cell(static_cast<std::int64_t>(i))
+        .cell(lfs.scratch_mb_s[i], "%.1f")
+        .cell(lfs.work_mb_s[i], "%.2f")
+        .cell(lfs.share_mb_s[i], "%.2f");
+    scratch_total += lfs.scratch_mb_s[i];
+    work_total += lfs.work_mb_s[i];
+  }
+  tc.render(std::cout);
+  std::printf("\n[check] scratch traffic >> work traffic (purge/quota policy): %s "
+              "(%.0fx)\n",
+              scratch_total > 5 * work_total ? "HOLDS" : "VIOLATED",
+              work_total > 0 ? scratch_total / work_total : 0.0);
+  return 0;
+}

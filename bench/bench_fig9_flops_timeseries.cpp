@@ -1,0 +1,35 @@
+// Figure 9: SSE FLOPS produced by Ranger over the analysis period. Paper:
+// benchmarked peak 579 TF; actual long-term output < 20 TF on average with
+// peaks < 50 TF - "only a small fraction of the benchmarked peak" - and
+// irregular over time.
+#include <iostream>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace supremm;
+  bench::print_experiment_header(
+      "Figure 9 (Ranger SSE FLOPS over time)",
+      "average < 20 TF and peaks < 50 TF against a 579 TF peak (<4% / <9% of "
+      "peak); output irregular over time");
+  const auto& run = bench::ranger_run();
+  bench::print_run_info(run);
+
+  auto rep = xdmod::rebucket(run.result.series, "cpu_flops", 6 * common::kHour,
+                             xdmod::SeriesAgg::kMean);
+  rep.unit = "TF";
+  rep.name = "Ranger SSE FLOPS";
+  xdmod::render_series(rep, 60).render(std::cout);
+
+  const double peak_tf = run.spec.peak_tflops();
+  const double mean = rep.mean_value();
+  const double mx = rep.max_value();
+  std::printf("\n[measured] mean %.2f TF (%.1f%% of %.1f TF scaled peak); max %.2f TF "
+              "(%.1f%% of peak)\n",
+              mean, 100.0 * mean / peak_tf, peak_tf, mx, 100.0 * mx / peak_tf);
+  std::printf("[paper]    mean < 20/579 = 3.5%% of peak; peaks < 50/579 = 8.6%%\n");
+  std::printf("[check] mean below 6%% of peak: %s; max below 15%% of peak: %s\n",
+              mean < 0.06 * peak_tf ? "HOLDS" : "VIOLATED",
+              mx < 0.15 * peak_tf ? "HOLDS" : "VIOLATED");
+  return 0;
+}

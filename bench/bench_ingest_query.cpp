@@ -1,0 +1,91 @@
+// §1.2 claim: "the sheer volume of the data that must be addressed... at the
+// granularity of jobs sampled frequently". Microbenchmarks of the ingest
+// path: raw-format parsing throughput, the full ETL pipeline, and warehouse
+// group-by queries over the job table.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+
+namespace {
+
+using namespace supremm;
+
+const pipeline::PipelineResult& micro_run() {
+  static const pipeline::PipelineResult run =
+      bench::make_run(facility::ranger(), 0.005, 4, /*maintenance=*/false);
+  return run;
+}
+
+void BM_ParseRawFile(benchmark::State& state) {
+  const auto& run = micro_run();
+  const std::string& content = run.files.front().content;
+  std::uint64_t bytes = 0;
+  for (auto _ : state) {
+    auto parsed = taccstats::parse_raw(content);
+    benchmark::DoNotOptimize(parsed);
+    bytes += content.size();
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_ParseRawFile);
+
+void BM_IngestPipeline(benchmark::State& state) {
+  const auto& run = micro_run();
+  const auto science = etl::project_science_map(*run.population);
+  etl::IngestConfig cfg;
+  cfg.start = run.start;
+  cfg.span = run.span;
+  cfg.cluster = run.spec.name;
+  cfg.threads = static_cast<std::size_t>(state.range(0));
+  const etl::IngestPipeline ingest(cfg);
+  std::uint64_t bytes = 0;
+  for (auto _ : state) {
+    auto result = ingest.run(run.files, run.acct, run.lariat_records, run.catalogue, science);
+    benchmark::DoNotOptimize(result);
+    bytes += result.stats.bytes;
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(bytes));
+  state.counters["jobs"] = static_cast<double>(run.result.jobs.size());
+}
+BENCHMARK(BM_IngestPipeline)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
+
+void BM_WarehouseGroupBy(benchmark::State& state) {
+  const auto& run = micro_run();
+  const auto table = etl::to_table(run.result.jobs);
+  for (auto _ : state) {
+    auto g = warehouse::Query(table)
+                 .group_by({"user"})
+                 .aggregate({{"cpu_idle", warehouse::AggKind::kWeightedMean, "node_hours",
+                              "idle"},
+                             {"node_hours", warehouse::AggKind::kSum, "", ""},
+                             {"", warehouse::AggKind::kCount, "", "n"}})
+                 .run();
+    benchmark::DoNotOptimize(g);
+  }
+  state.counters["rows"] = static_cast<double>(table.rows());
+}
+BENCHMARK(BM_WarehouseGroupBy);
+
+void BM_ProfileAnalyzer(benchmark::State& state) {
+  const auto& run = micro_run();
+  for (auto _ : state) {
+    xdmod::ProfileAnalyzer an(run.result.jobs);
+    auto tops = an.top_profiles(xdmod::GroupBy::kUser, 5);
+    benchmark::DoNotOptimize(tops);
+  }
+}
+BENCHMARK(BM_ProfileAnalyzer);
+
+void BM_PersistenceAnalysis(benchmark::State& state) {
+  const auto& run = micro_run();
+  for (auto _ : state) {
+    auto rep = xdmod::persistence_analysis(run.result.series, {"mem_used", "cpu_idle"},
+                                           {10, 30, 100});
+    benchmark::DoNotOptimize(rep);
+  }
+}
+BENCHMARK(BM_PersistenceAnalysis);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,75 @@
+// Quickstart: simulate a small Ranger-like cluster for two weeks, run the
+// TACC_Stats collection, ingest everything, and print a user usage profile
+// report - the full paper workflow in one file.
+#include <cstdio>
+#include <iostream>
+
+#include "supremm/supremm.h"
+
+int main() {
+  using namespace supremm;
+  constexpr std::uint64_t kSeed = 42;
+  const common::TimePoint start = 0;
+  const common::Duration span = 14 * common::kDay;
+
+  // 1. Describe the facility: Ranger scaled to 2% (about 79 nodes).
+  const facility::ClusterSpec spec = facility::scaled(facility::ranger(), 0.02);
+  const auto catalogue = facility::standard_catalogue();
+  const auto population = facility::UserPopulation::generate(spec, catalogue, kSeed);
+  std::printf("cluster %s: %zu nodes x %zu cores, %.0f GB/node, %.1f TF peak\n",
+              spec.name.c_str(), spec.node_count, spec.node.cores(), spec.node.mem_gb,
+              spec.peak_tflops());
+
+  // 2. Generate and schedule a workload.
+  facility::WorkloadConfig wl;
+  wl.start = start;
+  wl.span = span;
+  wl.seed = kSeed;
+  auto requests = facility::generate_workload(spec, catalogue, population, wl);
+  const auto maintenance = facility::standard_maintenance(start, span, kSeed);
+  auto execs = facility::Scheduler::run(spec, std::move(requests), maintenance);
+  std::printf("scheduled %zu jobs (%zu maintenance windows)\n", execs.size(),
+              maintenance.size());
+
+  // 3. Run the facility and collect TACC_Stats raw data on every node.
+  facility::FacilityEngine engine(spec, std::move(execs), maintenance, start, start + span,
+                                  kSeed);
+  const auto outputs = taccstats::run_all_agents(engine, taccstats::AgentConfig{});
+  std::uint64_t bytes = 0;
+  std::vector<taccstats::RawFile> files;
+  for (const auto& o : outputs) {
+    bytes += o.bytes;
+    files.insert(files.end(), o.files.begin(), o.files.end());
+  }
+  std::printf("collected %zu raw files, %.1f MB total (%.2f MB/node/day)\n", files.size(),
+              static_cast<double>(bytes) / 1e6,
+              static_cast<double>(bytes) / 1e6 / static_cast<double>(spec.node_count) /
+                  common::to_hours(span) * 24.0);
+
+  // 4. Side-channel logs: accounting + Lariat.
+  const auto acct = accounting::from_executions(spec, population, engine.executions());
+  const auto lrt =
+      lariat::from_executions(spec, catalogue, population, engine.executions());
+
+  // 5. Ingest into job summaries + facility series.
+  etl::IngestConfig cfg;
+  cfg.start = start;
+  cfg.span = span;
+  cfg.cluster = spec.name;
+  const etl::IngestPipeline pipeline(cfg);
+  const auto result =
+      pipeline.run(files, acct, lrt, catalogue, etl::project_science_map(population));
+  std::printf("ingested %zu jobs (%llu samples, %llu excluded short jobs)\n",
+              result.jobs.size(), static_cast<unsigned long long>(result.stats.samples),
+              static_cast<unsigned long long>(result.stats.jobs_excluded));
+
+  // 6. Analyze: facility efficiency and the top-3 user profiles.
+  std::printf("facility efficiency: %.0f%% (fraction of node-hours not idle)\n\n",
+              xdmod::facility_efficiency(result.jobs) * 100.0);
+  const xdmod::ProfileAnalyzer analyzer(result.jobs);
+  for (const auto& p : analyzer.top_profiles(xdmod::GroupBy::kUser, 3)) {
+    xdmod::render_profile(p).render(std::cout);
+    std::cout << '\n';
+  }
+  return 0;
+}

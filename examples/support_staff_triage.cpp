@@ -1,0 +1,105 @@
+// Support-staff triage: the paper's §4.3.3 workflow. Find jobs and users
+// with anomalous or inefficient resource use, then pull the rationalized
+// syslog records for the suspect jobs - the "proactive role" the paper
+// describes, where staff contact users with poorly performing applications
+// before they file tickets.
+#include <cstdio>
+#include <iostream>
+
+#include "supremm/supremm.h"
+
+int main() {
+  using namespace supremm;
+
+  pipeline::PipelineConfig cfg;
+  cfg.spec = facility::scaled(facility::ranger(), 0.015);
+  cfg.span = 21 * common::kDay;
+  cfg.seed = 99;
+  const auto run = pipeline::run_pipeline(cfg);
+  std::printf("ingested %zu jobs on %s\n\n", run.result.jobs.size(), run.spec.name.c_str());
+
+  // 1. Heavy users below the efficiency line (Figure 4's circled users).
+  const double facility_eff = xdmod::facility_efficiency(run.result.jobs);
+  std::printf("facility efficiency: %.0f%%\n", facility_eff * 100);
+  const auto suspects = xdmod::inefficient_heavy_users(run.result.jobs, 50.0, facility_eff);
+  std::printf("heavy users below the facility line: %zu\n\n", suspects.size());
+  const xdmod::ProfileAnalyzer analyzer(run.result.jobs);
+  for (std::size_t i = 0; i < suspects.size() && i < 3; ++i) {
+    const auto& u = suspects[i];
+    std::printf(">> %s: %.0f node-hours, %.0f%% idle - contact candidate\n",
+                u.user.c_str(), u.node_hours, u.idle_fraction() * 100);
+    xdmod::render_profile(analyzer.profile(xdmod::GroupBy::kUser, u.user))
+        .render(std::cout);
+    std::cout << '\n';
+  }
+
+  // 2. Jobs with anomalous metric values vs their application's norm.
+  const auto anomalies = xdmod::anomalous_jobs(run.result.jobs, 4.0);
+  xdmod::render_anomalies(anomalies, 12).render(std::cout);
+  std::cout << '\n';
+
+  // 3. Correlate with the rationalized logs: which anomalous jobs also left
+  // error-class messages (OOM kills, soft lockups, Lustre errors)?
+  const auto raw_log = loglib::generate_syslog(run.spec, run.catalogue,
+                                               run.engine->executions(), cfg.seed);
+  const loglib::JobResolver resolver(run.spec, run.engine->executions());
+  std::printf("scanning %zu raw syslog lines...\n", raw_log.size());
+  common::AsciiTable t("Error-class log records on anomalous jobs");
+  t.header({"time", "job", "code", "host"});
+  std::size_t shown = 0;
+  for (const auto& line : raw_log) {
+    const auto rec = loglib::rationalize(line, resolver);
+    if (rec.severity < loglib::Severity::kError || rec.job_id == 0) continue;
+    for (const auto& a : anomalies) {
+      if (a.job_id == rec.job_id) {
+        t.add_row()
+            .cell(common::format_time(rec.time))
+            .cell(static_cast<std::int64_t>(rec.job_id))
+            .cell(rec.code)
+            .cell(rec.host);
+        ++shown;
+        break;
+      }
+    }
+    if (shown >= 20) break;
+  }
+  t.render(std::cout);
+
+  // 4. Failure profiles per application (which codes terminate abnormally).
+  std::cout << '\n';
+  xdmod::render_failures(xdmod::failure_profiles(run.result.jobs)).render(std::cout);
+
+  // 5. Drill into the single worst anomaly: the job-level trace shows *when*
+  // within the job the anomalous behavior occurred (the user report
+  // "resource use profile by job").
+  if (!anomalies.empty()) {
+    const auto job_id = anomalies.front().job_id;
+    const auto trace = etl::extract_job_trace(run.files, job_id);
+    std::printf("\ntrace of job %lld (%zu intervals):\n",
+                static_cast<long long>(job_id), trace.size());
+    common::AsciiTable tt("Per-interval resource rates");
+    tt.header({"t", "idle", "GF/s/node", "mem GB", "scratch MB/s", "ib MB/s"});
+    for (std::size_t i = 0; i < trace.size(); i += std::max<std::size_t>(1, trace.size() / 12)) {
+      const auto& p = trace[i];
+      tt.add_row()
+          .cell(common::format_time(p.t))
+          .cell(p.cpu_idle, "%.2f")
+          .cell(p.flops_gf_node, "%.2f")
+          .cell(p.mem_gb_node, "%.1f")
+          .cell(p.scratch_write_mb_s, "%.2f")
+          .cell(p.ib_tx_mb_s, "%.1f");
+    }
+    tt.render(std::cout);
+  }
+
+  // 6. A custom report through the XDMoD realm facade: failure rate and
+  // wasted node-hours per application, worst first.
+  std::cout << '\n';
+  const xdmod::JobsRealm realm(run.result.jobs);
+  xdmod::JobsRealm::ReportSpec spec;
+  spec.dimension = "application";
+  spec.statistics = {"job_count", "failure_rate", "wasted_node_hours", "avg_cpu_idle"};
+  spec.sort_by = "wasted_node_hours";
+  realm.render(spec).render(std::cout);
+  return 0;
+}

@@ -1,0 +1,101 @@
+#include "accounting/accounting.h"
+
+#include "common/error.h"
+#include "common/strings.h"
+
+namespace supremm::accounting {
+
+std::string serialize(const AccountingRecord& r) {
+  return common::strprintf(
+      "%s:%s:%s:%s:%s:%lld:%s:%d:%lld:%lld:%lld:%d:%d:%lld:%zu:%zu", r.queue.c_str(),
+      r.hostname.c_str(), r.group.c_str(), r.owner.c_str(), r.jobname.c_str(),
+      static_cast<long long>(r.job_id), r.account.c_str(), r.priority,
+      static_cast<long long>(r.submit), static_cast<long long>(r.start),
+      static_cast<long long>(r.end), r.failed, r.exit_status,
+      static_cast<long long>(r.wallclock()), r.slots, r.nodes);
+}
+
+AccountingRecord parse(std::string_view line) {
+  const auto f = common::split(line, ':');
+  if (f.size() != 16) {
+    throw common::ParseError(common::strprintf("accounting record has %zu fields, want 16",
+                                               f.size()));
+  }
+  AccountingRecord r;
+  r.queue = std::string(f[0]);
+  r.hostname = std::string(f[1]);
+  r.group = std::string(f[2]);
+  r.owner = std::string(f[3]);
+  r.jobname = std::string(f[4]);
+  r.job_id = common::parse_i64(f[5]);
+  r.account = std::string(f[6]);
+  r.priority = static_cast<int>(common::parse_i64(f[7]));
+  r.submit = common::parse_i64(f[8]);
+  r.start = common::parse_i64(f[9]);
+  r.end = common::parse_i64(f[10]);
+  r.failed = static_cast<int>(common::parse_i64(f[11]));
+  r.exit_status = static_cast<int>(common::parse_i64(f[12]));
+  // f[13] is the redundant ru_wallclock; validated against start/end.
+  const auto wall = common::parse_i64(f[13]);
+  if (wall != r.end - r.start) throw common::ParseError("accounting wallclock mismatch");
+  r.slots = static_cast<std::size_t>(common::parse_i64(f[14]));
+  r.nodes = static_cast<std::size_t>(common::parse_i64(f[15]));
+  return r;
+}
+
+std::string serialize_log(const std::vector<AccountingRecord>& recs) {
+  std::string out;
+  for (const auto& r : recs) {
+    out += serialize(r);
+    out += '\n';
+  }
+  return out;
+}
+
+std::vector<AccountingRecord> parse_log(std::string_view log) {
+  std::vector<AccountingRecord> out;
+  std::size_t pos = 0;
+  while (pos < log.size()) {
+    std::size_t eol = log.find('\n', pos);
+    if (eol == std::string_view::npos) eol = log.size();
+    const std::string_view line = log.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (!common::trim(line).empty()) out.push_back(parse(line));
+  }
+  return out;
+}
+
+std::vector<AccountingRecord> from_executions(
+    const facility::ClusterSpec& spec, const facility::UserPopulation& population,
+    const std::vector<facility::JobExecution>& execs) {
+  std::vector<AccountingRecord> out;
+  out.reserve(execs.size());
+  for (const auto& e : execs) {
+    const facility::User& u = population.user(e.req.user);
+    AccountingRecord r;
+    r.hostname = e.node_ids.empty() ? "" : facility::node_hostname(spec, e.node_ids[0]);
+    r.owner = u.name;
+    r.jobname = common::strprintf("job%lld", static_cast<long long>(e.req.id));
+    r.job_id = e.req.id;
+    r.account = u.project;
+    r.submit = e.req.submit;
+    r.start = e.start;
+    r.end = e.end;
+    switch (e.exit) {
+      case facility::ExitKind::kOk:
+        break;
+      case facility::ExitKind::kFailed:
+        r.exit_status = 1;
+        break;
+      case facility::ExitKind::kKilledMaintenance:
+        r.failed = 100;  // SGE convention: killed by the system
+        break;
+    }
+    r.slots = e.node_ids.size() * spec.node.cores();
+    r.nodes = e.node_ids.size();
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+}  // namespace supremm::accounting

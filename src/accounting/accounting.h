@@ -1,0 +1,59 @@
+// Batch accounting records (SGE-style, as Ranger/Lonestar4 produced).
+//
+// Serialized one record per line, colon-separated:
+//   qname:hostname:group:owner:jobname:job_number:account:priority:
+//   submission_time:start_time:end_time:failed:exit_status:ru_wallclock:slots:nodes
+// The ETL joins these with raw TACC_Stats data by job id (the paper's
+// "accounting, scheduler and event logs are integrated with system
+// performance data").
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/time.h"
+#include "facility/jobs.h"
+#include "facility/users.h"
+
+namespace supremm::accounting {
+
+struct AccountingRecord {
+  std::string queue = "normal";
+  std::string hostname;  // first node of the job
+  std::string group = "G-users";
+  std::string owner;
+  std::string jobname;
+  facility::JobId job_id = 0;
+  std::string account;  // project / charge number
+  int priority = 0;
+  common::TimePoint submit = 0;
+  common::TimePoint start = 0;
+  common::TimePoint end = 0;
+  int failed = 0;       // non-zero when the batch system killed the job
+  int exit_status = 0;  // application exit status
+  std::size_t slots = 0;  // cores
+  std::size_t nodes = 0;
+
+  [[nodiscard]] common::Duration wallclock() const noexcept { return end - start; }
+};
+
+/// One line, no trailing newline.
+[[nodiscard]] std::string serialize(const AccountingRecord& r);
+
+/// Parse one line; throws ParseError.
+[[nodiscard]] AccountingRecord parse(std::string_view line);
+
+/// Serialize many records into a log (one line each).
+[[nodiscard]] std::string serialize_log(const std::vector<AccountingRecord>& recs);
+
+/// Parse a whole log.
+[[nodiscard]] std::vector<AccountingRecord> parse_log(std::string_view log);
+
+/// Build the accounting log for a set of scheduled executions.
+[[nodiscard]] std::vector<AccountingRecord> from_executions(
+    const facility::ClusterSpec& spec, const facility::UserPopulation& population,
+    const std::vector<facility::JobExecution>& execs);
+
+}  // namespace supremm::accounting

@@ -1,0 +1,111 @@
+#include "common/ascii_table.h"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+#include "common/error.h"
+#include "common/strings.h"
+
+namespace supremm::common {
+
+void AsciiTable::header(std::vector<std::string> cells) { header_ = std::move(cells); }
+
+void AsciiTable::row(std::vector<std::string> cells) {
+  if (!header_.empty() && cells.size() != header_.size()) {
+    throw InvalidArgument("AsciiTable row width mismatch");
+  }
+  rows_.push_back(std::move(cells));
+}
+
+AsciiTable::RowBuilder& AsciiTable::RowBuilder::cell(std::string v) {
+  cells_.push_back(std::move(v));
+  return *this;
+}
+
+AsciiTable::RowBuilder& AsciiTable::RowBuilder::cell(double v, const char* fmt) {
+  cells_.push_back(strprintf(fmt, v));  // NOLINT(cppcoreguidelines-pro-type-vararg)
+  return *this;
+}
+
+AsciiTable::RowBuilder& AsciiTable::RowBuilder::cell(std::int64_t v) {
+  cells_.push_back(strprintf("%lld", static_cast<long long>(v)));
+  return *this;
+}
+
+AsciiTable::RowBuilder::~RowBuilder() { table_.row(std::move(cells_)); }
+
+namespace {
+bool looks_numeric(const std::string& s) {
+  if (s.empty()) return false;
+  for (const char c : s) {
+    if (!std::isdigit(static_cast<unsigned char>(c)) && c != '.' && c != '-' && c != '+' &&
+        c != 'e' && c != 'E' && c != '%') {
+      return false;
+    }
+  }
+  return true;
+}
+}  // namespace
+
+void AsciiTable::render(std::ostream& out) const {
+  const std::size_t ncols = header_.empty() ? (rows_.empty() ? 0 : rows_.front().size())
+                                            : header_.size();
+  if (ncols == 0) return;
+
+  std::vector<std::size_t> width(ncols, 0);
+  for (std::size_t c = 0; c < ncols && c < header_.size(); ++c) {
+    width[c] = header_[c].size();
+  }
+  for (const auto& r : rows_) {
+    for (std::size_t c = 0; c < ncols && c < r.size(); ++c) {
+      width[c] = std::max(width[c], r[c].size());
+    }
+  }
+
+  auto rule = [&] {
+    out << '+';
+    for (std::size_t c = 0; c < ncols; ++c) {
+      out << std::string(width[c] + 2, '-') << '+';
+    }
+    out << '\n';
+  };
+  auto emit_row = [&](const std::vector<std::string>& r) {
+    out << '|';
+    for (std::size_t c = 0; c < ncols; ++c) {
+      const std::string& cell = c < r.size() ? r[c] : std::string();
+      const std::size_t pad = width[c] - cell.size();
+      if (looks_numeric(cell)) {
+        out << ' ' << std::string(pad, ' ') << cell << ' ';
+      } else {
+        out << ' ' << cell << std::string(pad, ' ') << ' ';
+      }
+      out << '|';
+    }
+    out << '\n';
+  };
+
+  if (!title_.empty()) out << title_ << '\n';
+  rule();
+  if (!header_.empty()) {
+    emit_row(header_);
+    rule();
+  }
+  for (const auto& r : rows_) emit_row(r);
+  rule();
+}
+
+std::string AsciiTable::to_string() const {
+  std::ostringstream os;
+  render(os);
+  return os.str();
+}
+
+std::string ascii_bar(double value, double max_value, std::size_t max_width) {
+  if (max_value <= 0.0 || value <= 0.0 || max_width == 0) return {};
+  const double frac = std::min(1.0, value / max_value);
+  const auto n = static_cast<std::size_t>(frac * static_cast<double>(max_width) + 0.5);
+  return std::string(n, '#');
+}
+
+}  // namespace supremm::common

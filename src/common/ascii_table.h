@@ -1,0 +1,57 @@
+// Plain-text table renderer for stakeholder reports (the terminal stand-in
+// for XDMoD's charting UI).
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace supremm::common {
+
+/// Column-aligned ASCII table with optional title and right-aligned numeric
+/// columns.
+class AsciiTable {
+ public:
+  explicit AsciiTable(std::string title = {}) : title_(std::move(title)) {}
+
+  /// Set the header row; also fixes the column count.
+  void header(std::vector<std::string> cells);
+
+  /// Append a data row; must match the header width if one was set.
+  void row(std::vector<std::string> cells);
+
+  /// Convenience: mixed row built from strings and doubles.
+  class RowBuilder {
+   public:
+    explicit RowBuilder(AsciiTable& t) : table_(t) {}
+    RowBuilder& cell(std::string v);
+    RowBuilder& cell(double v, const char* fmt = "%.3f");
+    RowBuilder& cell(std::int64_t v);
+    ~RowBuilder();
+    RowBuilder(const RowBuilder&) = delete;
+    RowBuilder& operator=(const RowBuilder&) = delete;
+
+   private:
+    AsciiTable& table_;
+    std::vector<std::string> cells_;
+  };
+  [[nodiscard]] RowBuilder add_row() { return RowBuilder(*this); }
+
+  /// Render with box-drawing rules to the stream.
+  void render(std::ostream& out) const;
+
+  [[nodiscard]] std::string to_string() const;
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Render a horizontal bar of width proportional to `value / max_value`
+/// capped to `max_width` characters; used for terminal "charts".
+[[nodiscard]] std::string ascii_bar(double value, double max_value, std::size_t max_width);
+
+}  // namespace supremm::common

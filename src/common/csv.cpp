@@ -1,0 +1,52 @@
+#include "common/csv.h"
+
+#include "common/strings.h"
+
+namespace supremm::common {
+
+std::string csv_quote(std::string_view v) {
+  const bool needs = v.find_first_of(",\"\n\r") != std::string_view::npos;
+  if (!needs) return std::string(v);
+  std::string out;
+  out.reserve(v.size() + 2);
+  out += '"';
+  for (const char c : v) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void CsvWriter::row(const std::vector<std::string>& fields) {
+  for (const auto& f : fields) emit(f);
+  end_row();
+}
+
+CsvWriter& CsvWriter::field(std::string_view v) {
+  emit(v);
+  return *this;
+}
+
+CsvWriter& CsvWriter::field(double v) {
+  emit(strprintf("%.6g", v));
+  return *this;
+}
+
+CsvWriter& CsvWriter::field(std::int64_t v) {
+  emit(strprintf("%lld", static_cast<long long>(v)));
+  return *this;
+}
+
+void CsvWriter::end_row() {
+  out_ << '\n';
+  at_row_start_ = true;
+}
+
+void CsvWriter::emit(std::string_view v) {
+  if (!at_row_start_) out_ << ',';
+  out_ << csv_quote(v);
+  at_row_start_ = false;
+}
+
+}  // namespace supremm::common

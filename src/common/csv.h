@@ -1,0 +1,35 @@
+// CSV emission for report renderers and bench outputs.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace supremm::common {
+
+/// Streams rows of comma separated values with RFC-4180-style quoting.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& out) : out_(out) {}
+
+  /// Write a full row; fields containing comma/quote/newline are quoted.
+  void row(const std::vector<std::string>& fields);
+
+  /// Incremental interface.
+  CsvWriter& field(std::string_view v);
+  CsvWriter& field(double v);
+  CsvWriter& field(std::int64_t v);
+  void end_row();
+
+ private:
+  void emit(std::string_view v);
+  std::ostream& out_;
+  bool at_row_start_ = true;
+};
+
+/// Quote a single CSV field if needed.
+[[nodiscard]] std::string csv_quote(std::string_view v);
+
+}  // namespace supremm::common

@@ -1,0 +1,43 @@
+// Error types shared across the SUPReMM library.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace supremm::common {
+
+/// Base class for all errors raised by the SUPReMM library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Raised when a serialized artifact (tacc_stats raw file, accounting log,
+/// lariat record, syslog line) cannot be parsed.
+class ParseError : public Error {
+ public:
+  explicit ParseError(const std::string& what) : Error("parse error: " + what) {}
+};
+
+/// Raised when a query or computation is asked for data that does not exist
+/// (unknown metric, empty table, missing column).
+class NotFoundError : public Error {
+ public:
+  explicit NotFoundError(const std::string& what) : Error("not found: " + what) {}
+};
+
+/// Raised on API misuse (invalid argument combinations, out-of-range
+/// configuration values).
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error("invalid argument: " + what) {}
+};
+
+}  // namespace supremm::common
+
+namespace supremm {
+using common::Error;
+using common::InvalidArgument;
+using common::NotFoundError;
+using common::ParseError;
+}  // namespace supremm

@@ -1,0 +1,88 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace supremm::common {
+
+std::uint64_t hash_string(std::string_view s) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+RngStream::RngStream(std::uint64_t seed, std::uint64_t stream_id)
+    : engine_(splitmix64(splitmix64(seed) ^ splitmix64(stream_id ^ 0xa5a5a5a5a5a5a5a5ULL))) {}
+
+RngStream::RngStream(std::uint64_t seed, std::string_view purpose, std::uint64_t index)
+    : RngStream(seed, splitmix64(hash_string(purpose)) ^ index) {}
+
+double RngStream::uniform() {
+  return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+}
+
+double RngStream::uniform(double lo, double hi) {
+  return std::uniform_real_distribution<double>(lo, hi)(engine_);
+}
+
+std::int64_t RngStream::uniform_int(std::int64_t lo, std::int64_t hi) {
+  return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+}
+
+double RngStream::normal() { return std::normal_distribution<double>(0.0, 1.0)(engine_); }
+
+double RngStream::normal(double mean, double sd) {
+  return std::normal_distribution<double>(mean, sd)(engine_);
+}
+
+double RngStream::lognormal(double mu, double sigma) {
+  return std::lognormal_distribution<double>(mu, sigma)(engine_);
+}
+
+double RngStream::exponential(double mean) {
+  if (mean <= 0.0) throw InvalidArgument("exponential mean must be positive");
+  return std::exponential_distribution<double>(1.0 / mean)(engine_);
+}
+
+std::int64_t RngStream::poisson(double mean) {
+  if (mean < 0.0) throw InvalidArgument("poisson mean must be non-negative");
+  if (mean == 0.0) return 0;
+  return std::poisson_distribution<std::int64_t>(mean)(engine_);
+}
+
+bool RngStream::chance(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return std::bernoulli_distribution(p)(engine_);
+}
+
+double RngStream::pareto(double xm, double alpha) {
+  if (xm <= 0.0 || alpha <= 0.0) throw InvalidArgument("pareto parameters must be positive");
+  const double u = 1.0 - uniform();  // in (0, 1]
+  return xm / std::pow(u, 1.0 / alpha);
+}
+
+std::size_t RngStream::weighted_index(const std::vector<double>& weights) {
+  if (weights.empty()) throw InvalidArgument("weighted_index on empty weights");
+  double total = 0.0;
+  for (const double w : weights) total += w;
+  if (total <= 0.0) throw InvalidArgument("weighted_index weights sum to zero");
+  double r = uniform() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    r -= weights[i];
+    if (r <= 0.0) return i;
+  }
+  return weights.size() - 1;
+}
+
+std::vector<double> zipf_weights(std::size_t n, double s) {
+  std::vector<double> w(n);
+  for (std::size_t i = 0; i < n; ++i) w[i] = 1.0 / std::pow(static_cast<double>(i + 1), s);
+  return w;
+}
+
+}  // namespace supremm::common

@@ -1,0 +1,74 @@
+// Deterministic random number streams.
+//
+// Every stochastic component of the simulator draws from an RngStream
+// identified by a (seed, stream id) pair. Stream seeding is counter based
+// (SplitMix64 over the pair hash), so results are reproducible and
+// independent of thread count: parallel workers derive their streams from
+// stable ids (node index, job id) rather than from a shared generator.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <string_view>
+#include <vector>
+
+namespace supremm::common {
+
+/// SplitMix64 step; used for seed derivation and cheap stateless hashing.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Stable 64-bit hash of a string (FNV-1a), for deriving streams from names.
+[[nodiscard]] std::uint64_t hash_string(std::string_view s) noexcept;
+
+/// A deterministic random stream with the distributions the facility model
+/// needs. Cheap to construct; construct one per (entity, purpose).
+class RngStream {
+ public:
+  /// Derive a stream from a master seed and a stream id.
+  RngStream(std::uint64_t seed, std::uint64_t stream_id);
+
+  /// Derive a stream from a master seed and a named purpose + index.
+  RngStream(std::uint64_t seed, std::string_view purpose, std::uint64_t index);
+
+  /// Uniform in [0, 1).
+  [[nodiscard]] double uniform();
+  /// Uniform in [lo, hi).
+  [[nodiscard]] double uniform(double lo, double hi);
+  /// Uniform integer in [lo, hi] inclusive.
+  [[nodiscard]] std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+  /// Standard normal.
+  [[nodiscard]] double normal();
+  /// Normal with given mean and standard deviation.
+  [[nodiscard]] double normal(double mean, double sd);
+  /// Lognormal parameterized by the mean/sd of the *underlying* normal.
+  [[nodiscard]] double lognormal(double mu, double sigma);
+  /// Exponential with given mean (not rate).
+  [[nodiscard]] double exponential(double mean);
+  /// Poisson with given mean.
+  [[nodiscard]] std::int64_t poisson(double mean);
+  /// Bernoulli.
+  [[nodiscard]] bool chance(double p);
+  /// Pareto with scale xm > 0 and shape alpha > 0.
+  [[nodiscard]] double pareto(double xm, double alpha);
+  /// Pick an index in [0, weights.size()) with probability proportional to
+  /// weights[i]. Weights need not be normalized.
+  [[nodiscard]] std::size_t weighted_index(const std::vector<double>& weights);
+
+  /// Direct access to the engine for std distributions not wrapped here.
+  [[nodiscard]] std::mt19937_64& engine() noexcept { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+/// Zipf-like weights: w[i] = 1 / (i+1)^s, i = 0..n-1. Used for the heavy
+/// tailed user activity distribution (paper: ~2000 users, a handful dominate
+/// node-hours).
+[[nodiscard]] std::vector<double> zipf_weights(std::size_t n, double s);
+
+}  // namespace supremm::common

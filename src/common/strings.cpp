@@ -1,0 +1,110 @@
+#include "common/strings.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/error.h"
+
+namespace supremm::common {
+
+std::vector<std::string_view> split(std::string_view s, char sep) {
+  std::vector<std::string_view> out;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = s.find(sep, start);
+    if (pos == std::string_view::npos) {
+      out.push_back(s.substr(start));
+      return out;
+    }
+    out.push_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+std::vector<std::string_view> split_ws(std::string_view s) {
+  std::vector<std::string_view> out;
+  std::size_t i = 0;
+  while (i < s.size()) {
+    while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+    std::size_t j = i;
+    while (j < s.size() && !std::isspace(static_cast<unsigned char>(s[j]))) ++j;
+    if (j > i) out.push_back(s.substr(i, j - i));
+    i = j;
+  }
+  return out;
+}
+
+std::string_view trim(std::string_view s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+std::string join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i != 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+namespace {
+// strtoll/strtod need a NUL terminated buffer; string_views into larger
+// lines are not. Copy into a small stack buffer.
+template <typename F>
+auto parse_with(std::string_view s, F f, const char* what) {
+  char buf[64];
+  const std::string_view t = trim(s);
+  if (t.empty() || t.size() >= sizeof(buf)) throw ParseError(std::string(what) + ": '" + std::string(s) + "'");
+  t.copy(buf, t.size());
+  buf[t.size()] = '\0';
+  char* end = nullptr;
+  errno = 0;
+  auto v = f(buf, &end);
+  if (errno != 0 || end != buf + t.size()) {
+    throw ParseError(std::string(what) + ": '" + std::string(s) + "'");
+  }
+  return v;
+}
+}  // namespace
+
+std::int64_t parse_i64(std::string_view s) {
+  return parse_with(s, [](const char* b, char** e) { return std::strtoll(b, e, 10); }, "int64");
+}
+
+std::uint64_t parse_u64(std::string_view s) {
+  return parse_with(s, [](const char* b, char** e) { return std::strtoull(b, e, 10); }, "uint64");
+}
+
+double parse_f64(std::string_view s) {
+  return parse_with(s, [](const char* b, char** e) { return std::strtod(b, e); }, "float64");
+}
+
+std::string strprintf(const char* fmt, ...) {
+  va_list ap;
+  va_start(ap, fmt);
+  va_list ap2;
+  va_copy(ap2, ap);
+  const int n = std::vsnprintf(nullptr, 0, fmt, ap);
+  va_end(ap);
+  std::string out;
+  if (n > 0) {
+    out.resize(static_cast<std::size_t>(n) + 1);
+    std::vsnprintf(out.data(), out.size(), fmt, ap2);
+    out.resize(static_cast<std::size_t>(n));
+  }
+  va_end(ap2);
+  return out;
+}
+
+}  // namespace supremm::common

@@ -1,0 +1,33 @@
+// Small string utilities used by the log/record parsers and writers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace supremm::common {
+
+/// Split on a single character; empty fields are preserved.
+[[nodiscard]] std::vector<std::string_view> split(std::string_view s, char sep);
+
+/// Split on runs of whitespace; empty fields are dropped.
+[[nodiscard]] std::vector<std::string_view> split_ws(std::string_view s);
+
+/// Strip leading/trailing whitespace.
+[[nodiscard]] std::string_view trim(std::string_view s);
+
+[[nodiscard]] bool starts_with(std::string_view s, std::string_view prefix);
+
+/// Join with a separator.
+[[nodiscard]] std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Parse helpers; throw ParseError on malformed input.
+[[nodiscard]] std::int64_t parse_i64(std::string_view s);
+[[nodiscard]] std::uint64_t parse_u64(std::string_view s);
+[[nodiscard]] double parse_f64(std::string_view s);
+
+/// printf-style formatting into a std::string.
+[[nodiscard]] std::string strprintf(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace supremm::common

@@ -1,0 +1,65 @@
+// Work-sharing thread pool and deterministic parallel_for.
+//
+// The ETL pipeline and the facility simulator parallelize across nodes and
+// jobs. Determinism rule (see DESIGN.md §7): parallel work items derive any
+// randomness from stable ids, never from shared mutable generators, so the
+// result of a parallel_for is identical for any thread count.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace supremm::common {
+
+/// Fixed-size pool of worker threads executing submitted tasks FIFO.
+class ThreadPool {
+ public:
+  /// `threads == 0` selects hardware_concurrency (at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Enqueue a task; the future resolves when it has run.
+  template <typename F>
+  [[nodiscard]] std::future<void> submit(F&& f) {
+    auto task = std::make_shared<std::packaged_task<void()>>(std::forward<F>(f));
+    std::future<void> fut = task->get_future();
+    {
+      std::lock_guard lock(mu_);
+      queue_.emplace([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return fut;
+  }
+
+  /// Run fn(i) for i in [begin, end) across the pool in contiguous chunks and
+  /// wait for completion. Exceptions from any chunk are rethrown (first one).
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& fn);
+
+  /// Chunked variant: fn(chunk_begin, chunk_end) — lets callers hoist
+  /// per-chunk setup (thread-local accumulators, RNG streams).
+  void parallel_for_chunks(std::size_t begin, std::size_t end,
+                           const std::function<void(std::size_t, std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace supremm::common

@@ -1,0 +1,42 @@
+#include "common/time.h"
+
+#include <cstdio>
+
+#include "common/error.h"
+
+namespace supremm::common {
+
+std::string format_time(TimePoint t) {
+  const std::int64_t day = day_of(t);
+  const Duration sod = second_of_day(t);
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%lld+%02lld:%02lld:%02lld",
+                static_cast<long long>(day), static_cast<long long>(sod / kHour),
+                static_cast<long long>((sod % kHour) / kMinute),
+                static_cast<long long>(sod % kMinute));
+  return buf;
+}
+
+std::string format_duration(Duration d) {
+  const bool neg = d < 0;
+  if (neg) d = -d;
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%s%02lld:%02lld:%02lld", neg ? "-" : "",
+                static_cast<long long>(d / kHour),
+                static_cast<long long>((d % kHour) / kMinute),
+                static_cast<long long>(d % kMinute));
+  return buf;
+}
+
+TimeAxis::TimeAxis(TimePoint start, Duration step, std::size_t count)
+    : start_(start), step_(step), count_(count) {
+  if (step <= 0) throw InvalidArgument("TimeAxis step must be positive");
+}
+
+std::size_t TimeAxis::index_at(TimePoint t) const noexcept {
+  if (count_ == 0 || t < start_) return npos;
+  const auto i = static_cast<std::size_t>((t - start_) / step_);
+  return i >= count_ ? count_ - 1 : i;
+}
+
+}  // namespace supremm::common

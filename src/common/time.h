@@ -1,0 +1,79 @@
+// Simulation time model.
+//
+// The facility simulator and every downstream consumer (collector, ETL,
+// analytics) share a single notion of time: integral seconds since the
+// simulation epoch. The paper's data spans June 2011 - January 2013 sampled
+// every 10 minutes; we keep second resolution so that job start/end events,
+// collector samples and log messages interleave exactly.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace supremm::common {
+
+/// Seconds since the simulation epoch.
+using TimePoint = std::int64_t;
+
+/// A span of time in seconds.
+using Duration = std::int64_t;
+
+inline constexpr Duration kSecond = 1;
+inline constexpr Duration kMinute = 60;
+inline constexpr Duration kHour = 3600;
+inline constexpr Duration kDay = 86400;
+inline constexpr Duration kWeek = 7 * kDay;
+
+/// Convert a duration to fractional hours.
+[[nodiscard]] constexpr double to_hours(Duration d) noexcept {
+  return static_cast<double>(d) / static_cast<double>(kHour);
+}
+
+/// Convert a duration to fractional minutes.
+[[nodiscard]] constexpr double to_minutes(Duration d) noexcept {
+  return static_cast<double>(d) / static_cast<double>(kMinute);
+}
+
+/// Day index (0-based) of a time point.
+[[nodiscard]] constexpr std::int64_t day_of(TimePoint t) noexcept { return t / kDay; }
+
+/// Seconds past midnight of a time point.
+[[nodiscard]] constexpr Duration second_of_day(TimePoint t) noexcept { return t % kDay; }
+
+/// Day of week, 0 = Monday ... 6 = Sunday (epoch is defined to be a Monday).
+[[nodiscard]] constexpr int weekday_of(TimePoint t) noexcept {
+  return static_cast<int>((t / kDay) % 7);
+}
+
+/// Render a time point as "D+HH:MM:SS" (day index plus time of day). The
+/// simulator has no calendar; day indices are unambiguous and sortable.
+[[nodiscard]] std::string format_time(TimePoint t);
+
+/// Render a duration as "HH:MM:SS" (hours may exceed 24).
+[[nodiscard]] std::string format_duration(Duration d);
+
+/// A regular sampling axis: points t0, t0+dt, t0+2dt, ...
+class TimeAxis {
+ public:
+  TimeAxis(TimePoint start, Duration step, std::size_t count);
+
+  [[nodiscard]] TimePoint start() const noexcept { return start_; }
+  [[nodiscard]] Duration step() const noexcept { return step_; }
+  [[nodiscard]] std::size_t size() const noexcept { return count_; }
+  [[nodiscard]] TimePoint at(std::size_t i) const noexcept {
+    return start_ + static_cast<Duration>(i) * step_;
+  }
+  [[nodiscard]] TimePoint end() const noexcept { return at(count_ == 0 ? 0 : count_ - 1); }
+
+  /// Index of the last axis point <= t, or npos when t precedes the axis.
+  [[nodiscard]] std::size_t index_at(TimePoint t) const noexcept;
+
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+ private:
+  TimePoint start_;
+  Duration step_;
+  std::size_t count_;
+};
+
+}  // namespace supremm::common

@@ -1,0 +1,162 @@
+#include "compress/lzss.h"
+
+#include <array>
+#include <cstring>
+#include <vector>
+
+#include "common/error.h"
+
+namespace supremm::compress {
+
+namespace {
+
+constexpr std::size_t kWindow = 4096;       // distance range 1..4096
+constexpr std::size_t kMinMatch = 3;
+constexpr std::size_t kMaxMatch = kMinMatch + 15;  // 4-bit length field
+constexpr char kMagic[4] = {'L', 'Z', 'S', '1'};
+
+constexpr std::uint32_t hash3(const unsigned char* p) noexcept {
+  return (static_cast<std::uint32_t>(p[0]) * 2654435761u ^
+          static_cast<std::uint32_t>(p[1]) * 40503u ^ static_cast<std::uint32_t>(p[2])) &
+         0x3fff;  // 16k buckets
+}
+
+void put_u32(std::string& out, std::uint32_t v) {
+  out.push_back(static_cast<char>(v & 0xff));
+  out.push_back(static_cast<char>((v >> 8) & 0xff));
+  out.push_back(static_cast<char>((v >> 16) & 0xff));
+  out.push_back(static_cast<char>((v >> 24) & 0xff));
+}
+
+std::uint32_t get_u32(std::string_view s, std::size_t pos) {
+  return static_cast<std::uint8_t>(s[pos]) |
+         (static_cast<std::uint32_t>(static_cast<std::uint8_t>(s[pos + 1])) << 8) |
+         (static_cast<std::uint32_t>(static_cast<std::uint8_t>(s[pos + 2])) << 16) |
+         (static_cast<std::uint32_t>(static_cast<std::uint8_t>(s[pos + 3])) << 24);
+}
+
+}  // namespace
+
+std::string compress(std::string_view input) {
+  std::string out;
+  out.reserve(input.size() / 2 + 16);
+  out.append(kMagic, sizeof(kMagic));
+  put_u32(out, static_cast<std::uint32_t>(input.size()));
+  if (input.empty()) return out;
+
+  const auto* data = reinterpret_cast<const unsigned char*>(input.data());
+  const std::size_t n = input.size();
+
+  // Hash-chain matcher: head[h] = most recent position with hash h,
+  // chain[i % kWindow] = previous position with the same hash.
+  std::vector<std::int64_t> head(16384, -1);
+  std::vector<std::int64_t> chain(kWindow, -1);
+
+  std::size_t flag_pos = 0;
+  int flag_bit = 8;  // force a new flag byte at the first token
+  auto begin_token = [&](bool is_match) {
+    if (flag_bit == 8) {
+      flag_pos = out.size();
+      out.push_back('\0');
+      flag_bit = 0;
+    }
+    if (is_match) out[flag_pos] = static_cast<char>(out[flag_pos] | (1 << flag_bit));
+    ++flag_bit;
+  };
+  auto insert_pos = [&](std::size_t i) {
+    if (i + kMinMatch > n) return;
+    const std::uint32_t h = hash3(data + i);
+    chain[i % kWindow] = head[h];
+    head[h] = static_cast<std::int64_t>(i);
+  };
+
+  std::size_t i = 0;
+  while (i < n) {
+    std::size_t best_len = 0;
+    std::size_t best_dist = 0;
+    if (i + kMinMatch <= n) {
+      std::int64_t cand = head[hash3(data + i)];
+      int probes = 32;
+      while (cand >= 0 && probes-- > 0) {
+        const auto c = static_cast<std::size_t>(cand);
+        if (i - c > kWindow) break;
+        const std::size_t limit = std::min(kMaxMatch, n - i);
+        std::size_t len = 0;
+        while (len < limit && data[c + len] == data[i + len]) ++len;
+        if (len > best_len) {
+          best_len = len;
+          best_dist = i - c;
+          if (len == kMaxMatch) break;
+        }
+        const std::int64_t next = chain[c % kWindow];
+        // The chain slot may have been overwritten by a newer position.
+        if (next >= cand) break;
+        cand = next;
+      }
+    }
+
+    if (best_len >= kMinMatch) {
+      begin_token(true);
+      const auto dist = static_cast<std::uint16_t>(best_dist - 1);       // 0..4095
+      const auto len = static_cast<std::uint16_t>(best_len - kMinMatch); // 0..15
+      const std::uint16_t word = static_cast<std::uint16_t>(dist << 4) | len;
+      out.push_back(static_cast<char>(word & 0xff));
+      out.push_back(static_cast<char>(word >> 8));
+      for (std::size_t k = 0; k < best_len; ++k) insert_pos(i + k);
+      i += best_len;
+    } else {
+      begin_token(false);
+      out.push_back(static_cast<char>(data[i]));
+      insert_pos(i);
+      ++i;
+    }
+  }
+  return out;
+}
+
+std::string decompress(std::string_view compressed) {
+  if (compressed.size() < 8 || std::memcmp(compressed.data(), kMagic, 4) != 0) {
+    throw common::ParseError("lzss: bad magic");
+  }
+  const std::uint32_t usize = get_u32(compressed, 4);
+  std::string out;
+  out.reserve(usize);
+
+  std::size_t pos = 8;
+  std::uint8_t flags = 0;
+  int flag_bit = 8;
+  while (out.size() < usize) {
+    if (flag_bit == 8) {
+      if (pos >= compressed.size()) throw common::ParseError("lzss: truncated flags");
+      flags = static_cast<std::uint8_t>(compressed[pos++]);
+      flag_bit = 0;
+    }
+    const bool is_match = (flags >> flag_bit) & 1;
+    ++flag_bit;
+    if (is_match) {
+      if (pos + 2 > compressed.size()) throw common::ParseError("lzss: truncated match");
+      const std::uint16_t word =
+          static_cast<std::uint8_t>(compressed[pos]) |
+          (static_cast<std::uint16_t>(static_cast<std::uint8_t>(compressed[pos + 1])) << 8);
+      pos += 2;
+      const std::size_t dist = static_cast<std::size_t>(word >> 4) + 1;
+      const std::size_t len = static_cast<std::size_t>(word & 0xf) + kMinMatch;
+      if (dist > out.size()) throw common::ParseError("lzss: distance beyond output");
+      for (std::size_t k = 0; k < len; ++k) {
+        out.push_back(out[out.size() - dist]);  // may self-overlap
+      }
+    } else {
+      if (pos >= compressed.size()) throw common::ParseError("lzss: truncated literal");
+      out.push_back(compressed[pos++]);
+    }
+  }
+  if (out.size() != usize) throw common::ParseError("lzss: size mismatch");
+  return out;
+}
+
+double compression_ratio(std::string_view input) {
+  if (input.empty()) return 1.0;
+  return static_cast<double>(compress(input).size()) / static_cast<double>(input.size());
+}
+
+}  // namespace supremm::compress

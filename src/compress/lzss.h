@@ -1,0 +1,33 @@
+// LZSS compression for raw TACC_Stats archives.
+//
+// Paper §4.1: "TACC_Stats generates a raw data file of 0.5 MB per node per
+// day and collectively 60 GB (uncompressed) or 20 GB (compressed) for the
+// entire cluster per month" - a ~3x ratio from gzip on the text format. This
+// module provides a self-contained LZ77/LZSS codec (hash-chained matcher,
+// byte-aligned token stream) so archived node-days can be stored compressed
+// and the volume claim can be measured without external dependencies.
+//
+// Format: blocks of tokens preceded by a flag byte (8 tokens per flag, LSB
+// first; bit set = match). Literal = 1 raw byte. Match = 2 bytes:
+// 12-bit distance-1 | 4-bit length-kMinMatch, window 4 KiB, lengths 3..18.
+// The stream starts with "LZS1" + uncompressed size (u32 LE).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace supremm::compress {
+
+/// Compress `input`; output is always decodable by decompress(). Worst case
+/// grows the input by 1/8 + 9 bytes.
+[[nodiscard]] std::string compress(std::string_view input);
+
+/// Decompress a stream produced by compress(); throws ParseError on
+/// malformed input.
+[[nodiscard]] std::string decompress(std::string_view compressed);
+
+/// compressed_size / uncompressed_size for the given input.
+[[nodiscard]] double compression_ratio(std::string_view input);
+
+}  // namespace supremm::compress

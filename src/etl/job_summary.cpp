@@ -1,0 +1,86 @@
+#include "etl/job_summary.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/error.h"
+
+namespace supremm::etl {
+
+const std::vector<std::string>& key_metric_names() {
+  static const std::vector<std::string> kNames = {
+      "cpu_idle",        "cpu_flops",     "mem_used",  "mem_used_max",
+      "io_scratch_write", "io_work_write", "net_ib_tx", "net_lnet_tx"};
+  return kNames;
+}
+
+const std::vector<std::string>& all_metric_names() {
+  static const std::vector<std::string> kNames = [] {
+    std::vector<std::string> v = key_metric_names();
+    v.insert(v.end(), {"cpu_user", "cpu_system", "io_scratch_read", "net_ib_rx",
+                       "net_lnet_rx", "swap", "load"});
+    return v;
+  }();
+  return kNames;
+}
+
+double metric_value(const JobSummary& job, std::string_view name) {
+  if (name == "cpu_idle") return job.cpu_idle;
+  if (name == "cpu_flops") {
+    return job.flops_valid ? job.cpu_flops_gf_node
+                           : std::numeric_limits<double>::quiet_NaN();
+  }
+  if (name == "mem_used") return job.mem_used_gb;
+  if (name == "mem_used_max") return job.mem_used_max_gb;
+  if (name == "io_scratch_write") return job.io_scratch_write_mb_s;
+  if (name == "io_work_write") return job.io_work_write_mb_s;
+  if (name == "net_ib_tx") return job.net_ib_tx_mb_s;
+  if (name == "net_lnet_tx") return job.net_lnet_tx_mb_s;
+  if (name == "cpu_user") return job.cpu_user;
+  if (name == "cpu_system") return job.cpu_system;
+  if (name == "io_scratch_read") return job.io_scratch_read_mb_s;
+  if (name == "net_ib_rx") return job.net_ib_rx_mb_s;
+  if (name == "net_lnet_rx") return job.net_lnet_rx_mb_s;
+  if (name == "swap") return job.swap_mb_s;
+  if (name == "load") return job.load_mean;
+  throw common::NotFoundError("job metric '" + std::string(name) + "'");
+}
+
+warehouse::Table to_table(std::span<const JobSummary> jobs) {
+  using warehouse::ColType;
+  std::vector<std::pair<std::string, ColType>> schema = {
+      {"job_id", ColType::kInt64},   {"user", ColType::kString},
+      {"app", ColType::kString},     {"science", ColType::kString},
+      {"project", ColType::kString}, {"cluster", ColType::kString},
+      {"submit", ColType::kInt64},   {"start", ColType::kInt64},
+      {"end", ColType::kInt64},      {"nodes", ColType::kInt64},
+      {"cores", ColType::kInt64},    {"node_hours", ColType::kDouble},
+      {"exit_status", ColType::kInt64}, {"failed", ColType::kInt64},
+  };
+  for (const auto& m : all_metric_names()) schema.emplace_back(m, ColType::kDouble);
+  warehouse::Table t("jobs", std::move(schema));
+  for (const auto& j : jobs) {
+    auto row = t.append();
+    row.set("job_id", static_cast<std::int64_t>(j.id))
+        .set("user", j.user)
+        .set("app", j.app)
+        .set("science", j.science)
+        .set("project", j.project)
+        .set("cluster", j.cluster)
+        .set("submit", static_cast<std::int64_t>(j.submit))
+        .set("start", static_cast<std::int64_t>(j.start))
+        .set("end", static_cast<std::int64_t>(j.end))
+        .set("nodes", static_cast<std::int64_t>(j.nodes))
+        .set("cores", static_cast<std::int64_t>(j.cores))
+        .set("node_hours", j.node_hours)
+        .set("exit_status", static_cast<std::int64_t>(j.exit_status))
+        .set("failed", static_cast<std::int64_t>(j.failed));
+    for (const auto& m : all_metric_names()) {
+      const double v = metric_value(j, m);
+      row.set(m, std::isnan(v) ? 0.0 : v);
+    }
+  }
+  return t;
+}
+
+}  // namespace supremm::etl

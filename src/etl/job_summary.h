@@ -1,0 +1,71 @@
+// Per-job resource-use summaries - the rows of the paper's job-level data
+// warehouse, node-hour weighted as in §4.1.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/time.h"
+#include "facility/jobs.h"
+#include "warehouse/table.h"
+
+namespace supremm::etl {
+
+struct JobSummary {
+  facility::JobId id = 0;
+  std::string user;
+  std::string app;      // catalogue name resolved via Lariat ("" if unknown)
+  std::string science;  // parent science from the project registry
+  std::string project;
+  std::string cluster;
+
+  common::TimePoint submit = 0;
+  common::TimePoint start = 0;
+  common::TimePoint end = 0;
+  std::size_t nodes = 0;
+  std::size_t cores = 0;
+  double node_hours = 0.0;
+  int exit_status = 0;
+  int failed = 0;  // batch-system kill code (maintenance drain etc.)
+  std::size_t samples = 0;
+
+  // The eight key metrics (§4.2) ...
+  double cpu_idle = 0.0;             // fraction of core time
+  double cpu_flops_gf_node = 0.0;    // GF/s per node
+  bool flops_valid = false;          // false when user-programmed counters
+  double mem_used_gb = 0.0;          // per node, time-weighted mean
+  double mem_used_max_gb = 0.0;      // peak over nodes and samples
+  double io_scratch_write_mb_s = 0.0;  // per node
+  double io_work_write_mb_s = 0.0;
+  double net_ib_tx_mb_s = 0.0;
+  double net_lnet_tx_mb_s = 0.0;
+
+  // ... plus correlated companions (used by the §4.2 correlation analysis).
+  double cpu_user = 0.0;
+  double cpu_system = 0.0;
+  double io_scratch_read_mb_s = 0.0;
+  double net_ib_rx_mb_s = 0.0;
+  double net_lnet_rx_mb_s = 0.0;
+  double swap_mb_s = 0.0;
+  double load_mean = 0.0;
+
+  [[nodiscard]] common::Duration runtime() const noexcept { return end - start; }
+};
+
+/// The 8 metrics the paper's profiles use, in radar-chart order.
+[[nodiscard]] const std::vector<std::string>& key_metric_names();
+
+/// All job metrics addressable by name (the key 8 + companions).
+[[nodiscard]] const std::vector<std::string>& all_metric_names();
+
+/// Value of a named metric; throws NotFoundError for unknown names. For
+/// "cpu_flops" of a job with flops_valid == false, returns NaN (callers use
+/// NaN-aware aggregation).
+[[nodiscard]] double metric_value(const JobSummary& job, std::string_view name);
+
+/// Load summaries into a columnar warehouse table named "jobs".
+[[nodiscard]] warehouse::Table to_table(std::span<const JobSummary> jobs);
+
+}  // namespace supremm::etl

@@ -1,0 +1,155 @@
+#include "etl/pair.h"
+
+#include <algorithm>
+
+#include "procsim/perf.h"
+
+namespace supremm::etl {
+
+using taccstats::DeviceRow;
+using taccstats::Sample;
+using taccstats::TypeRecord;
+
+namespace {
+
+const TypeRecord* find_type(const Sample& s, std::string_view type) { return s.find(type); }
+
+/// Sum delta of field `f` over all device rows present in both samples
+/// (matched by position; devices are stable per node). Returns false when
+/// any counter went backwards.
+bool sum_delta(const TypeRecord* a, const TypeRecord* b, std::size_t f, double& out) {
+  if (a == nullptr || b == nullptr) return false;
+  if (a->rows.size() != b->rows.size()) return false;
+  double total = 0.0;
+  for (std::size_t i = 0; i < a->rows.size(); ++i) {
+    const std::uint64_t va = a->rows[i].values.at(f);
+    const std::uint64_t vb = b->rows[i].values.at(f);
+    if (vb < va) return false;
+    total += static_cast<double>(vb - va);
+  }
+  out = total;
+  return true;
+}
+
+/// Device-specific delta of field `f` for the row named `dev`.
+bool dev_delta(const TypeRecord* a, const TypeRecord* b, std::string_view dev, std::size_t f,
+               double& out) {
+  if (a == nullptr || b == nullptr) return false;
+  const auto find_row = [&](const TypeRecord* r) -> const DeviceRow* {
+    for (const auto& row : r->rows) {
+      if (row.device == dev) return &row;
+    }
+    return nullptr;
+  };
+  const auto* ra = find_row(a);
+  const auto* rb = find_row(b);
+  if (ra == nullptr || rb == nullptr) return false;
+  const std::uint64_t va = ra->values.at(f);
+  const std::uint64_t vb = rb->values.at(f);
+  if (vb < va) return false;
+  out = static_cast<double>(vb - va);
+  return true;
+}
+
+}  // namespace
+
+bool extract_pair(const Sample& a, const Sample& b, const std::string& perf_type,
+                  PairData& out) {
+  if (b.time <= a.time) return false;
+  out = PairData{};
+  out.dt = static_cast<double>(b.time - a.time);
+
+  // CPU: schema order user nice system idle iowait irq softirq.
+  const auto* ca = find_type(a, "cpu");
+  const auto* cb = find_type(b, "cpu");
+  double nice = 0, iowait = 0, irq = 0, softirq = 0;
+  if (!sum_delta(ca, cb, 0, out.user_cs) || !sum_delta(ca, cb, 1, nice) ||
+      !sum_delta(ca, cb, 2, out.sys_cs) || !sum_delta(ca, cb, 3, out.idle_cs) ||
+      !sum_delta(ca, cb, 4, iowait) || !sum_delta(ca, cb, 5, irq) ||
+      !sum_delta(ca, cb, 6, softirq)) {
+    return false;
+  }
+  out.user_cs += nice;
+  out.sys_cs += iowait + irq + softirq;
+  out.total_cs = out.user_cs + out.sys_cs + out.idle_cs;
+
+  // Performance counters: CTL0..3 then CTR0..3; a slot counts toward flops
+  // only when both samples agree it was programmed for SSE_FLOPS.
+  const auto* pa = perf_type.empty() ? nullptr : find_type(a, perf_type);
+  const auto* pb = perf_type.empty() ? nullptr : find_type(b, perf_type);
+  if (pa != nullptr && pb != nullptr && pa->rows.size() == pb->rows.size()) {
+    constexpr std::size_t kSlots = procsim::kPerfCountersPerCore;
+    const auto flops_ctl = static_cast<std::uint64_t>(procsim::PerfEvent::kFlops);
+    bool all_cores_valid = !pa->rows.empty();
+    double total = 0.0;
+    for (std::size_t c = 0; c < pa->rows.size(); ++c) {
+      const auto& ra = pa->rows[c].values;
+      const auto& rb = pb->rows[c].values;
+      bool core_valid = false;
+      for (std::size_t s = 0; s < kSlots; ++s) {
+        if (ra.at(s) == flops_ctl && rb.at(s) == flops_ctl &&
+            rb.at(kSlots + s) >= ra.at(kSlots + s)) {
+          total += static_cast<double>(rb.at(kSlots + s) - ra.at(kSlots + s));
+          core_valid = true;
+          break;
+        }
+      }
+      all_cores_valid = all_cores_valid && core_valid;
+    }
+    out.flops_valid = all_cores_valid;
+    out.flops = all_cores_valid ? total : 0.0;
+  }
+
+  // Memory gauges at b (MemUsed is field 1), summed over sockets; KB -> GB.
+  if (const auto* mb = find_type(b, "mem"); mb != nullptr) {
+    double used_kb = 0;
+    for (const auto& row : mb->rows) used_kb += static_cast<double>(row.values.at(1));
+    out.mem_gb = used_kb / (1024.0 * 1024.0);
+  }
+  if (const auto* ma = find_type(a, "mem"); ma != nullptr) {
+    double used_kb = 0;
+    for (const auto& row : ma->rows) used_kb += static_cast<double>(row.values.at(1));
+    out.mem_max_gb = std::max(out.mem_gb, used_kb / (1024.0 * 1024.0));
+  } else {
+    out.mem_max_gb = out.mem_gb;
+  }
+
+  // Lustre llite: read_bytes=0 write_bytes=1.
+  const auto* la = find_type(a, "llite");
+  const auto* lb = find_type(b, "llite");
+  (void)dev_delta(la, lb, "scratch", 1, out.scratch_wr);
+  (void)dev_delta(la, lb, "scratch", 0, out.scratch_rd);
+  (void)dev_delta(la, lb, "work", 1, out.work_wr);
+  double share_rd = 0, share_wr = 0;
+  if (dev_delta(la, lb, "share", 0, share_rd) && dev_delta(la, lb, "share", 1, share_wr)) {
+    out.share_bytes = share_rd + share_wr;
+  }
+
+  // InfiniBand: rx_bytes=0 rx_packets=1 tx_bytes=2 tx_packets=3.
+  const auto* ia = find_type(a, "ib");
+  const auto* ib = find_type(b, "ib");
+  (void)sum_delta(ia, ib, 2, out.ib_tx);
+  (void)sum_delta(ia, ib, 0, out.ib_rx);
+
+  // LNET: rx_bytes=0 tx_bytes=1.
+  const auto* na = find_type(a, "lnet");
+  const auto* nb = find_type(b, "lnet");
+  (void)sum_delta(na, nb, 1, out.lnet_tx);
+  (void)sum_delta(na, nb, 0, out.lnet_rx);
+
+  // Swap activity: vm pswpin=2 pswpout=3, pages -> bytes.
+  const auto* va = find_type(a, "vm");
+  const auto* vb = find_type(b, "vm");
+  double swpin = 0, swpout = 0;
+  if (sum_delta(va, vb, 2, swpin) && sum_delta(va, vb, 3, swpout)) {
+    out.swap_bytes = (swpin + swpout) * 4096.0;
+  }
+
+  // Load gauge at b (ps load_1 = field 2, scaled by 100).
+  if (const auto* pload = find_type(b, "ps"); pload != nullptr) {
+    out.load = static_cast<double>(pload->rows.at(0).values.at(2)) / 100.0;
+  }
+  return true;
+}
+
+}  // namespace supremm::etl

@@ -1,0 +1,31 @@
+// Rate extraction from consecutive sample pairs - shared by the ingest
+// pipeline and the per-job trace extractor.
+#pragma once
+
+#include <string>
+
+#include "taccstats/record.h"
+
+namespace supremm::etl {
+
+/// Rates/gauges extracted from one consecutive sample pair of one node.
+struct PairData {
+  double dt = 0;
+  double user_cs = 0, sys_cs = 0, idle_cs = 0, total_cs = 0;
+  double flops = 0;
+  bool flops_valid = false;
+  double mem_gb = 0, mem_max_gb = 0;
+  double scratch_wr = 0, scratch_rd = 0, work_wr = 0, share_bytes = 0;
+  double ib_tx = 0, ib_rx = 0, lnet_tx = 0, lnet_rx = 0;
+  double swap_bytes = 0;
+  double load = 0;
+};
+
+/// Extract deltas/gauges from samples a -> b of the same node. `perf_type`
+/// is the arch perf schema name ("amd64_pmc"/"intel_wtm"; empty = no perf).
+/// Returns false when b does not follow a or the CPU counters went
+/// backwards (reboot).
+[[nodiscard]] bool extract_pair(const taccstats::Sample& a, const taccstats::Sample& b,
+                                const std::string& perf_type, PairData& out);
+
+}  // namespace supremm::etl

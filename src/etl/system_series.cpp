@@ -1,0 +1,29 @@
+#include "etl/system_series.h"
+
+#include "common/error.h"
+
+namespace supremm::etl {
+
+const std::vector<double>& SystemSeries::series(std::string_view metric) const {
+  if (metric == "cpu_flops") return flops_tf;
+  if (metric == "mem_used") return mem_gb_per_node;
+  if (metric == "io_scratch_write") return scratch_write_mb_s;
+  if (metric == "io_scratch_read") return scratch_read_mb_s;
+  if (metric == "io_work_write") return work_write_mb_s;
+  if (metric == "net_ib_tx") return ib_tx_mb_s;
+  if (metric == "net_lnet_tx") return lnet_tx_mb_s;
+  if (metric == "cpu_idle") return cpu_idle_frac;
+  if (metric == "active_nodes") return active_nodes;
+  throw common::NotFoundError("system series '" + std::string(metric) + "'");
+}
+
+bool SystemSeries::has_series(std::string_view metric) const noexcept {
+  for (const char* m : {"cpu_flops", "mem_used", "io_scratch_write", "io_scratch_read",
+                        "io_work_write", "net_ib_tx", "net_lnet_tx", "cpu_idle",
+                        "active_nodes"}) {
+    if (metric == m) return true;
+  }
+  return false;
+}
+
+}  // namespace supremm::etl

@@ -1,0 +1,48 @@
+// Facility-level time series built during ingest by aggregating node samples
+// into regular buckets. Feeds Figures 7-12 and the Table 1 / Figure 6
+// persistence analysis.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/time.h"
+
+namespace supremm::etl {
+
+struct SystemSeries {
+  common::TimePoint start = 0;
+  common::Duration bucket = 10 * common::kMinute;
+  std::size_t buckets = 0;
+
+  // All vectors have `buckets` entries.
+  std::vector<double> active_nodes;       // mean nodes running a job
+  std::vector<double> up_nodes;           // mean nodes reporting samples
+  std::vector<double> flops_tf;           // facility SSE TFLOP/s
+  std::vector<double> mem_gb_per_node;    // mean mem_used per up node (GB)
+  std::vector<double> cpu_user_core_h;    // core-hours in user state
+  std::vector<double> cpu_idle_core_h;
+  std::vector<double> cpu_system_core_h;
+  std::vector<double> scratch_write_mb_s; // facility aggregate
+  std::vector<double> scratch_read_mb_s;
+  std::vector<double> work_write_mb_s;
+  std::vector<double> share_mb_s;         // share fs total traffic
+  std::vector<double> ib_tx_mb_s;
+  std::vector<double> lnet_tx_mb_s;
+  std::vector<double> cpu_idle_frac;      // idle core share per bucket
+
+  [[nodiscard]] common::TimePoint time_at(std::size_t i) const noexcept {
+    return start + static_cast<common::Duration>(i) * bucket;
+  }
+
+  /// Facility series for a named key metric (the 5 used by Table 1 plus the
+  /// rest of the key 8 where a facility-level reading makes sense). Throws
+  /// NotFoundError for unknown names.
+  [[nodiscard]] const std::vector<double>& series(std::string_view metric) const;
+
+  /// Whether a facility-level series exists for `metric` (e.g. mem_used_max
+  /// is a job-level notion with no facility series).
+  [[nodiscard]] bool has_series(std::string_view metric) const noexcept;
+};
+
+}  // namespace supremm::etl

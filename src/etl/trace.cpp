@@ -1,0 +1,98 @@
+#include "etl/trace.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/error.h"
+#include "etl/pair.h"
+#include "taccstats/reader.h"
+
+namespace supremm::etl {
+
+std::vector<TracePoint> extract_job_trace(const std::vector<taccstats::RawFile>& files,
+                                          facility::JobId id, common::Duration interval) {
+  if (interval <= 0) throw common::InvalidArgument("trace interval must be positive");
+
+  // Group files per host in day order (samples of one node are consecutive
+  // within a host stream).
+  std::map<std::string, std::vector<const taccstats::RawFile*>> by_host;
+  for (const auto& f : files) by_host[f.hostname].push_back(&f);
+
+  struct Accum {
+    double dt = 0;
+    double user_cs = 0, idle_cs = 0, total_cs = 0;
+    double flops = 0, flops_s = 0;
+    double mem_w = 0;
+    double scratch_wr = 0, work_wr = 0, ib_tx = 0, lnet_tx = 0;
+    std::map<std::string, bool> hosts;
+  };
+  std::map<common::TimePoint, Accum> buckets;
+
+  for (auto& [host, fs] : by_host) {
+    std::sort(fs.begin(), fs.end(), [](const taccstats::RawFile* a,
+                                       const taccstats::RawFile* b) { return a->day < b->day; });
+    std::string perf_type;
+    bool have_prev = false;
+    taccstats::Sample prev;
+    bool host_touches_job = false;
+    for (const auto* file : fs) {
+      // Cheap reject: skip hosts whose text never mentions the job id...
+      // parsing is still needed host-by-host for pairs, so just parse.
+      const auto parsed = taccstats::parse_raw(file->content);
+      if (perf_type.empty()) {
+        for (const auto& s : parsed.schemas.all()) {
+          if (s.type == "amd64_pmc" || s.type == "intel_wtm") perf_type = s.type;
+        }
+      }
+      for (const auto& sample : parsed.samples) {
+        if (have_prev && prev.job_id == id && sample.job_id == id) {
+          PairData pd;
+          if (extract_pair(prev, sample, perf_type, pd)) {
+            host_touches_job = true;
+            const common::TimePoint key = (prev.time / interval) * interval;
+            Accum& a = buckets[key];
+            a.dt += pd.dt;
+            a.user_cs += pd.user_cs;
+            a.idle_cs += pd.idle_cs;
+            a.total_cs += pd.total_cs;
+            if (pd.flops_valid) {
+              a.flops += pd.flops;
+              a.flops_s += pd.dt;
+            }
+            a.mem_w += pd.mem_gb * pd.dt;
+            a.scratch_wr += pd.scratch_wr;
+            a.work_wr += pd.work_wr;
+            a.ib_tx += pd.ib_tx;
+            a.lnet_tx += pd.lnet_tx;
+            a.hosts[host] = true;
+          }
+        }
+        prev = sample;
+        have_prev = true;
+      }
+    }
+    (void)host_touches_job;
+  }
+
+  std::vector<TracePoint> out;
+  out.reserve(buckets.size());
+  for (const auto& [t, a] : buckets) {
+    TracePoint p;
+    p.t = t;
+    p.dt = a.dt;
+    p.nodes = a.hosts.size();
+    p.cpu_idle = a.total_cs > 0 ? a.idle_cs / a.total_cs : 0.0;
+    p.cpu_user = a.total_cs > 0 ? a.user_cs / a.total_cs : 0.0;
+    p.flops_valid = a.flops_s > 0;
+    p.flops_gf_node = p.flops_valid ? a.flops / 1.0e9 / a.flops_s : 0.0;
+    p.mem_gb_node = a.dt > 0 ? a.mem_w / a.dt : 0.0;
+    p.scratch_write_mb_s = a.dt > 0 ? a.scratch_wr / 1.0e6 / a.dt : 0.0;
+    p.work_write_mb_s = a.dt > 0 ? a.work_wr / 1.0e6 / a.dt : 0.0;
+    p.ib_tx_mb_s = a.dt > 0 ? a.ib_tx / 1.0e6 / a.dt : 0.0;
+    p.lnet_tx_mb_s = a.dt > 0 ? a.lnet_tx / 1.0e6 / a.dt : 0.0;
+    out.push_back(p);
+  }
+  return out;
+}
+
+}  // namespace supremm::etl

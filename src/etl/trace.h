@@ -1,0 +1,37 @@
+// Per-job time traces - the data behind the paper's §4.3.1 "resource use
+// profile by job" user report: the job's resource rates over its lifetime,
+// aggregated over its nodes per sampling interval.
+#pragma once
+
+#include <vector>
+
+#include "common/time.h"
+#include "facility/jobs.h"
+#include "taccstats/writer.h"
+
+namespace supremm::etl {
+
+/// One interval of a job's life, aggregated over all reporting nodes.
+struct TracePoint {
+  common::TimePoint t = 0;          // interval start (aligned to the cadence)
+  double dt = 0;                    // node-seconds observed in the interval
+  std::size_t nodes = 0;            // nodes contributing
+  double cpu_idle = 0;              // fraction
+  double cpu_user = 0;
+  double flops_gf_node = 0;         // GF/s per node (0 when counters invalid)
+  bool flops_valid = false;
+  double mem_gb_node = 0;           // GB per node (gauge mean)
+  double scratch_write_mb_s = 0;    // per node
+  double work_write_mb_s = 0;
+  double ib_tx_mb_s = 0;
+  double lnet_tx_mb_s = 0;
+};
+
+/// Extract the trace of job `id` from raw files (all hosts), bucketing
+/// sample pairs by `interval`. Sorted by time; empty when the job left no
+/// samples.
+[[nodiscard]] std::vector<TracePoint> extract_job_trace(
+    const std::vector<taccstats::RawFile>& files, facility::JobId id,
+    common::Duration interval = 10 * common::kMinute);
+
+}  // namespace supremm::etl

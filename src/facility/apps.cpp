@@ -1,0 +1,292 @@
+#include "facility/apps.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace supremm::facility {
+
+std::string_view science_name(Science s) noexcept {
+  switch (s) {
+    case Science::kMolecularBiosciences:
+      return "Molecular Biosciences";
+    case Science::kPhysics:
+      return "Physics";
+    case Science::kChemistry:
+      return "Chemistry";
+    case Science::kAstronomicalSciences:
+      return "Astronomical Sciences";
+    case Science::kMaterialsResearch:
+      return "Materials Research";
+    case Science::kAtmosphericSciences:
+      return "Atmospheric Sciences";
+    case Science::kEngineering:
+      return "Engineering";
+    case Science::kComputerScience:
+      return "Computer Science";
+  }
+  return "Unknown";
+}
+
+Science science_from_name(std::string_view name) {
+  for (std::size_t i = 0; i < kScienceCount; ++i) {
+    const auto s = static_cast<Science>(i);
+    if (science_name(s) == name) return s;
+  }
+  throw common::NotFoundError("science '" + std::string(name) + "'");
+}
+
+double Level::draw(common::RngStream& rng) const {
+  if (mean <= 0.0) return 0.0;
+  if (rel_sd <= 0.0) return mean;
+  // Lognormal matched to (mean, rel_sd).
+  const double sigma2 = std::log1p(rel_sd * rel_sd);
+  const double mu = std::log(mean) - 0.5 * sigma2;
+  return rng.lognormal(mu, std::sqrt(sigma2));
+}
+
+const ClusterAdjust* AppSignature::adjust_for(const std::string& cluster) const noexcept {
+  for (const auto& a : adjusts) {
+    if (a.cluster == cluster) return &a;
+  }
+  return nullptr;
+}
+
+JobBehavior realize(const AppSignature& sig, const std::string& cluster,
+                    double node_mem_capacity_gb, common::RngStream& rng) {
+  const ClusterAdjust* adj = sig.adjust_for(cluster);
+  const double fm = adj != nullptr ? adj->flops_mult : 1.0;
+  const double im = adj != nullptr ? adj->idle_mult : 1.0;
+  const double mm = adj != nullptr ? adj->mem_mult : 1.0;
+  const double om = adj != nullptr ? adj->io_mult : 1.0;
+  const double nm = adj != nullptr ? adj->net_mult : 1.0;
+
+  JobBehavior b;
+  b.idle_frac = std::clamp(sig.idle_frac.draw(rng) * im, 0.0, 0.98);
+  b.sys_frac = std::clamp(sig.sys_frac, 0.0, 1.0 - b.idle_frac);
+  b.flops_frac = sig.flops_frac.draw(rng) * fm;
+  // A core that is idle is not retiring FLOPS: cap the flop fraction by the
+  // busy fraction (real codes rarely exceed ~40% of SSE peak even when busy).
+  b.flops_frac = std::min(b.flops_frac, (1.0 - b.idle_frac) * 0.40);
+  b.mem_gb = std::min(sig.mem_per_node_gb.draw(rng) * mm, node_mem_capacity_gb * 0.98);
+  b.ib_tx_mb_s = sig.ib_tx_mb_s.draw(rng) * nm;
+  b.scratch_write_mb_s = sig.scratch_write_mb_s.draw(rng) * om;
+  b.work_write_mb_s = sig.work_write_mb_s.draw(rng) * om;
+  b.scratch_read_mb_s = sig.scratch_read_mb_s.draw(rng) * om;
+  b.checkpoint_period_min = sig.checkpoint_period_min;
+  b.checkpoint_gb = sig.checkpoint_gb * om;
+  b.flops_jitter = sig.flops_jitter;
+  b.mem_jitter = sig.mem_jitter;
+  b.idle_jitter = sig.idle_jitter;
+  b.net_jitter = sig.net_jitter;
+  b.io_jitter = sig.io_jitter;
+  return b;
+}
+
+namespace {
+
+AppSignature make(std::string name, Science sci, double pop) {
+  AppSignature s;
+  s.name = std::move(name);
+  s.science = sci;
+  s.popularity = pop;
+  return s;
+}
+
+}  // namespace
+
+std::vector<AppSignature> standard_catalogue() {
+  std::vector<AppSignature> cat;
+
+  {
+    // NAMD: efficient, network-bound MD; similar profile on both clusters
+    // (paper Figure 3: "The NAMD usage pattern on Ranger and Lonestar4 is
+    // very similar").
+    AppSignature a = make("NAMD", Science::kMolecularBiosciences, 3.0);
+    a.flops_frac = {0.055, 0.30};
+    a.idle_frac = {0.05, 0.40};
+    a.mem_per_node_gb = {4.0, 0.35};
+    a.ib_tx_mb_s = {60.0, 0.40};
+    a.scratch_write_mb_s = {2.0, 0.60};
+    a.work_write_mb_s = {0.2, 0.80};
+    a.scratch_read_mb_s = {1.0, 0.50};
+    a.nodes = {16.0, 1.0};
+    a.max_nodes = 256;
+    cat.push_back(a);
+  }
+  {
+    // AMBER: the paper singles it out as less CPU-efficient than NAMD and
+    // GROMACS on both clusters, with cluster-dependent flops/idle.
+    AppSignature a = make("AMBER", Science::kMolecularBiosciences, 2.0);
+    a.flops_frac = {0.020, 0.40};
+    a.idle_frac = {0.22, 0.35};
+    a.mem_per_node_gb = {3.0, 0.40};
+    a.ib_tx_mb_s = {30.0, 0.45};
+    a.scratch_write_mb_s = {1.5, 0.70};
+    a.work_write_mb_s = {0.3, 0.80};
+    a.scratch_read_mb_s = {0.8, 0.60};
+    a.nodes = {8.0, 0.9};
+    a.max_nodes = 128;
+    a.adjusts = {{"ranger", 0.8, 1.10, 1.0, 1.0, 1.0},
+                 {"lonestar4", 1.35, 0.80, 1.1, 1.2, 0.9}};
+    cat.push_back(a);
+  }
+  {
+    // GROMACS: efficient; usage differs across the two clusters (Figure 3).
+    AppSignature a = make("GROMACS", Science::kMolecularBiosciences, 1.8);
+    a.flops_frac = {0.070, 0.30};
+    a.idle_frac = {0.06, 0.40};
+    a.mem_per_node_gb = {2.5, 0.35};
+    a.ib_tx_mb_s = {25.0, 0.40};
+    a.scratch_write_mb_s = {1.2, 0.60};
+    a.work_write_mb_s = {0.2, 0.80};
+    a.scratch_read_mb_s = {0.6, 0.50};
+    a.nodes = {8.0, 1.0};
+    a.max_nodes = 128;
+    a.adjusts = {{"lonestar4", 1.25, 1.6, 0.8, 1.6, 0.55}};
+    cat.push_back(a);
+  }
+  {
+    // WRF: weather model; IO heavy with periodic history writes.
+    AppSignature a = make("WRF", Science::kAtmosphericSciences, 1.5);
+    a.flops_frac = {0.030, 0.35};
+    a.idle_frac = {0.10, 0.40};
+    a.mem_per_node_gb = {12.0, 0.30};
+    a.ib_tx_mb_s = {45.0, 0.40};
+    a.scratch_write_mb_s = {12.0, 0.60};
+    a.work_write_mb_s = {0.5, 0.80};
+    a.scratch_read_mb_s = {4.0, 0.50};
+    a.checkpoint_period_min = 60.0;
+    a.checkpoint_gb = 2.0;
+    a.nodes = {32.0, 0.8};
+    a.max_nodes = 512;
+    cat.push_back(a);
+  }
+  {
+    AppSignature a = make("LAMMPS", Science::kMaterialsResearch, 1.4);
+    a.flops_frac = {0.045, 0.30};
+    a.idle_frac = {0.07, 0.40};
+    a.mem_per_node_gb = {3.0, 0.40};
+    a.ib_tx_mb_s = {35.0, 0.40};
+    a.scratch_write_mb_s = {1.5, 0.60};
+    a.work_write_mb_s = {0.2, 0.80};
+    a.scratch_read_mb_s = {0.7, 0.50};
+    a.nodes = {16.0, 0.9};
+    a.max_nodes = 256;
+    cat.push_back(a);
+  }
+  {
+    AppSignature a = make("QESPRESSO", Science::kMaterialsResearch, 1.2);
+    a.flops_frac = {0.050, 0.35};
+    a.idle_frac = {0.10, 0.40};
+    a.mem_per_node_gb = {16.0, 0.25};
+    a.ib_tx_mb_s = {50.0, 0.40};
+    a.scratch_write_mb_s = {3.0, 0.60};
+    a.work_write_mb_s = {0.4, 0.80};
+    a.scratch_read_mb_s = {1.5, 0.50};
+    a.nodes = {16.0, 0.8};
+    a.max_nodes = 128;
+    cat.push_back(a);
+  }
+  {
+    // Quantum chemistry: small node counts, memory and work-fs heavy.
+    AppSignature a = make("QCHEM", Science::kChemistry, 1.0);
+    a.flops_frac = {0.035, 0.40};
+    a.idle_frac = {0.18, 0.40};
+    a.mem_per_node_gb = {18.0, 0.25};
+    a.ib_tx_mb_s = {5.0, 0.60};
+    a.scratch_write_mb_s = {4.0, 0.70};
+    a.work_write_mb_s = {1.5, 0.70};
+    a.scratch_read_mb_s = {2.0, 0.60};
+    a.nodes = {2.0, 0.7};
+    a.max_nodes = 8;
+    cat.push_back(a);
+  }
+  {
+    // Numerical relativity / lattice codes: checkpoint heavy.
+    AppSignature a = make("CACTUS", Science::kPhysics, 0.9);
+    a.flops_frac = {0.050, 0.30};
+    a.idle_frac = {0.08, 0.40};
+    a.mem_per_node_gb = {14.0, 0.25};
+    a.ib_tx_mb_s = {55.0, 0.40};
+    a.scratch_write_mb_s = {8.0, 0.60};
+    a.work_write_mb_s = {0.3, 0.80};
+    a.scratch_read_mb_s = {2.0, 0.50};
+    a.checkpoint_period_min = 120.0;
+    a.checkpoint_gb = 8.0;
+    a.nodes = {64.0, 0.7};
+    a.max_nodes = 1024;
+    cat.push_back(a);
+  }
+  {
+    // Cosmology: memory and scratch-write heavy, large jobs.
+    AppSignature a = make("COSMOS", Science::kAstronomicalSciences, 0.8);
+    a.flops_frac = {0.040, 0.35};
+    a.idle_frac = {0.10, 0.40};
+    a.mem_per_node_gb = {20.0, 0.20};
+    a.ib_tx_mb_s = {70.0, 0.40};
+    a.scratch_write_mb_s = {20.0, 0.60};
+    a.work_write_mb_s = {0.5, 0.80};
+    a.scratch_read_mb_s = {6.0, 0.50};
+    a.nodes = {64.0, 0.8};
+    a.max_nodes = 1024;
+    cat.push_back(a);
+  }
+  {
+    AppSignature a = make("OPENFOAM", Science::kEngineering, 1.3);
+    a.flops_frac = {0.030, 0.35};
+    a.idle_frac = {0.10, 0.40};
+    a.mem_per_node_gb = {8.0, 0.35};
+    a.ib_tx_mb_s = {40.0, 0.40};
+    a.scratch_write_mb_s = {3.0, 0.60};
+    a.work_write_mb_s = {0.4, 0.80};
+    a.scratch_read_mb_s = {1.5, 0.50};
+    a.nodes = {16.0, 0.9};
+    a.max_nodes = 256;
+    cat.push_back(a);
+  }
+  {
+    // IO-dominated analysis pipeline: the "user 3" pattern (very high idle,
+    // high Lustre traffic - "jobs dominated by IO").
+    AppSignature a = make("DATAMINER", Science::kComputerScience, 0.55);
+    a.flops_frac = {0.005, 0.50};
+    a.idle_frac = {0.50, 0.25};
+    a.mem_per_node_gb = {6.0, 0.40};
+    a.ib_tx_mb_s = {10.0, 0.60};
+    a.scratch_write_mb_s = {30.0, 0.70};
+    a.work_write_mb_s = {2.0, 0.80};
+    a.scratch_read_mb_s = {40.0, 0.60};
+    a.nodes = {4.0, 0.8};
+    a.max_nodes = 32;
+    a.failure_prob = 0.05;
+    cat.push_back(a);
+  }
+  {
+    // Under-subscribed / badly bound jobs: whole nodes allocated, almost all
+    // cores idle. Models the circled users of Figures 4/5 (87-89% idle with
+    // otherwise normal resource use).
+    AppSignature a = make("UNDERSUB", Science::kEngineering, 0.30);
+    a.flops_frac = {0.004, 0.50};
+    a.idle_frac = {0.88, 0.05};
+    a.mem_per_node_gb = {2.5, 0.40};
+    a.ib_tx_mb_s = {2.0, 0.60};
+    a.scratch_write_mb_s = {0.5, 0.80};
+    a.work_write_mb_s = {0.1, 0.80};
+    a.scratch_read_mb_s = {0.3, 0.60};
+    a.nodes = {8.0, 0.9};
+    a.max_nodes = 64;
+    a.failure_prob = 0.04;
+    cat.push_back(a);
+  }
+  return cat;
+}
+
+std::size_t app_index(const std::vector<AppSignature>& cat, std::string_view name) {
+  for (std::size_t i = 0; i < cat.size(); ++i) {
+    if (cat[i].name == name) return i;
+  }
+  throw common::NotFoundError("application '" + std::string(name) + "'");
+}
+
+}  // namespace supremm::facility

@@ -1,0 +1,128 @@
+// Application catalogue: resource-use signatures for the community codes the
+// paper analyzes (NAMD, AMBER, GROMACS, ...) plus representative synthetic
+// classes (IO-dominated pipelines, under-subscribed node use).
+//
+// Each signature describes the *distribution* of a job's per-node resource
+// rates; a concrete job draws one realization (JobBehavior) at submit time
+// and modulates it within the job with metric-specific burstiness. The
+// burstiness ordering io_scratch_write > net_ib_tx > cpu_idle > mem_used ~
+// cpu_flops is the mechanism behind Table 1's persistence ordering
+// (DESIGN.md §6).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace supremm::facility {
+
+/// NSF-style parent science areas (Figure 7a groups memory use by these).
+enum class Science : std::uint8_t {
+  kMolecularBiosciences,
+  kPhysics,
+  kChemistry,
+  kAstronomicalSciences,
+  kMaterialsResearch,
+  kAtmosphericSciences,
+  kEngineering,
+  kComputerScience,
+};
+inline constexpr std::size_t kScienceCount = 8;
+
+[[nodiscard]] std::string_view science_name(Science s) noexcept;
+[[nodiscard]] Science science_from_name(std::string_view name);
+
+/// A lognormal-ish positive random quantity: mean and relative sd.
+struct Level {
+  double mean = 0.0;
+  double rel_sd = 0.0;  // sd as a fraction of the mean
+
+  /// Draw a realization (>= 0); degenerate when rel_sd == 0.
+  [[nodiscard]] double draw(common::RngStream& rng) const;
+};
+
+/// Per-cluster adjustment of a signature. The paper's Figure 3 shows GROMACS
+/// and AMBER behaving differently on Ranger vs Lonestar4 while NAMD is
+/// similar; these multipliers express that.
+struct ClusterAdjust {
+  std::string cluster;        // matches ClusterSpec::name
+  double flops_mult = 1.0;
+  double idle_mult = 1.0;
+  double mem_mult = 1.0;
+  double io_mult = 1.0;
+  double net_mult = 1.0;
+};
+
+/// Resource-use signature of one application.
+struct AppSignature {
+  std::string name;
+  Science science = Science::kComputerScience;
+  double popularity = 1.0;  // relative submission weight across the population
+
+  Level flops_frac;        // fraction of per-core peak SSE FLOP/s
+  Level idle_frac;         // fraction of core time idle (cpu_idle)
+  double sys_frac = 0.02;  // fraction of core time in system
+  Level mem_per_node_gb;   // paper's mem_used (includes buffers/cache)
+  Level ib_tx_mb_s;        // per node InfiniBand transmit
+  Level scratch_write_mb_s;
+  Level work_write_mb_s;
+  Level scratch_read_mb_s;
+
+  // Within-job temporal modulation (sd of multiplicative lognormal noise per
+  // modulation block). Larger = burstier = less persistent.
+  double flops_jitter = 0.05;
+  double mem_jitter = 0.03;
+  double idle_jitter = 0.20;
+  double net_jitter = 0.35;
+  double io_jitter = 0.80;
+
+  // Periodic checkpoint pulse added to scratch writes.
+  double checkpoint_period_min = 0.0;  // 0 = none
+  double checkpoint_gb = 0.0;          // per node per pulse
+
+  // Typical job geometry.
+  Level nodes;            // node count (rounded, >= 1)
+  double max_nodes = 256; // cap
+  double failure_prob = 0.02;  // abnormal termination probability
+
+  std::vector<ClusterAdjust> adjusts;
+
+  [[nodiscard]] const ClusterAdjust* adjust_for(const std::string& cluster) const noexcept;
+};
+
+/// The resource rates a single job realizes on each of its nodes.
+struct JobBehavior {
+  double flops_frac = 0.0;
+  double idle_frac = 0.0;
+  double sys_frac = 0.0;
+  double mem_gb = 0.0;
+  double ib_tx_mb_s = 0.0;
+  double scratch_write_mb_s = 0.0;
+  double work_write_mb_s = 0.0;
+  double scratch_read_mb_s = 0.0;
+  double checkpoint_period_min = 0.0;
+  double checkpoint_gb = 0.0;
+  // Jitters copied from the signature so the engine can modulate.
+  double flops_jitter = 0.0;
+  double mem_jitter = 0.0;
+  double idle_jitter = 0.0;
+  double net_jitter = 0.0;
+  double io_jitter = 0.0;
+};
+
+/// Draw one job's realized behavior on `cluster` (applies ClusterAdjust,
+/// clamps idle to [0, 0.98] and memory to the node capacity).
+[[nodiscard]] JobBehavior realize(const AppSignature& sig, const std::string& cluster,
+                                  double node_mem_capacity_gb, common::RngStream& rng);
+
+/// The standard catalogue used by all benches and examples. Contains the
+/// paper's three MD codes plus nine other representative applications across
+/// the eight science areas.
+[[nodiscard]] std::vector<AppSignature> standard_catalogue();
+
+/// Index of the application named `name`; throws NotFoundError.
+[[nodiscard]] std::size_t app_index(const std::vector<AppSignature>& cat, std::string_view name);
+
+}  // namespace supremm::facility

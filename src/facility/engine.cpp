@@ -1,0 +1,379 @@
+#include "facility/engine.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "facility/noise.h"
+
+namespace supremm::facility {
+
+namespace {
+
+constexpr double kOsBaselineMemGb = 1.6;
+constexpr double kMemRampSeconds = 1800.0;  // memory footprint ramp-in
+constexpr double kBytesPerMb = 1.0e6;
+
+/// Accumulate rate*dt into a u64 counter.
+void acc(std::uint64_t& counter, double rate_per_s, double dt) noexcept {
+  if (rate_per_s <= 0.0 || dt <= 0.0) return;
+  counter += static_cast<std::uint64_t>(rate_per_s * dt);
+}
+
+}  // namespace
+
+FacilityEngine::FacilityEngine(ClusterSpec spec, std::vector<JobExecution> executions,
+                               std::vector<MaintenanceWindow> maintenance,
+                               common::TimePoint start, common::TimePoint horizon,
+                               std::uint64_t seed)
+    : spec_(std::move(spec)),
+      executions_(std::move(executions)),
+      maintenance_(std::move(maintenance)),
+      start_(start),
+      horizon_(horizon),
+      seed_(seed) {
+  if (horizon_ <= start_) throw common::InvalidArgument("engine horizon <= start");
+
+  const auto mem_kb = static_cast<std::uint64_t>(spec_.node.mem_gb * 1024.0 * 1024.0);
+  nodes_.reserve(spec_.node_count);
+  for (std::size_t i = 0; i < spec_.node_count; ++i) {
+    auto nc = std::make_unique<procsim::NodeCounters>(node_hostname(spec_, i),
+                                                      spec_.node.arch, spec_.node.sockets,
+                                                      spec_.node.cores_per_socket, mem_kb);
+    nc->net_devs.push_back({.name = "eth0"});
+    nc->block_devs.push_back({.name = "sda"});
+    for (const auto& fs : spec_.lustre_filesystems) {
+      nc->lustre_mounts.push_back({.name = fs.name});
+    }
+    nc->tmpfs_mounts.push_back({.name = "/dev/shm"});
+    nc->tmpfs_mounts.push_back({.name = "/tmp"});
+    nc->has_nfs = spec_.has_nfs;
+    nc->set_mem_used_kb(static_cast<std::uint64_t>(kOsBaselineMemGb * 1024.0 * 1024.0));
+    nodes_.push_back(std::move(nc));
+  }
+
+  // Per-node job segments.
+  std::vector<std::vector<Segment>> jobs(spec_.node_count);
+  for (std::size_t e = 0; e < executions_.size(); ++e) {
+    const auto& ex = executions_[e];
+    for (const std::uint32_t n : ex.node_ids) {
+      if (n >= spec_.node_count) throw common::InvalidArgument("execution node out of range");
+      jobs[n].push_back({ex.start, ex.end, Segment::Kind::kJob, e});
+    }
+  }
+
+  timelines_.resize(spec_.node_count);
+  cursors_.assign(spec_.node_count, start_);
+  for (std::size_t n = 0; n < spec_.node_count; ++n) {
+    auto& segs = jobs[n];
+    std::sort(segs.begin(), segs.end(),
+              [](const Segment& a, const Segment& b) { return a.start < b.start; });
+    // Merge jobs + down windows + idle gaps into a contiguous timeline.
+    std::vector<Segment> merged;
+    std::size_t ji = 0;
+    std::size_t wi = 0;
+    common::TimePoint t = start_;
+    while (t < horizon_) {
+      // Next boundary of interest.
+      const Segment* job = ji < segs.size() ? &segs[ji] : nullptr;
+      const MaintenanceWindow* win = wi < maintenance_.size() ? &maintenance_[wi] : nullptr;
+      // Skip stale entries.
+      if (job != nullptr && job->end <= t) {
+        ++ji;
+        continue;
+      }
+      if (win != nullptr && win->end() <= t) {
+        ++wi;
+        continue;
+      }
+      if (win != nullptr && win->start <= t) {
+        // Down now (jobs were killed at window start by the scheduler).
+        const common::TimePoint e = std::min(horizon_, win->end());
+        merged.push_back({t, e, Segment::Kind::kDown, 0});
+        t = e;
+        continue;
+      }
+      if (job != nullptr && job->start <= t) {
+        common::TimePoint e = std::min(horizon_, job->end);
+        if (win != nullptr) e = std::min(e, win->start);
+        merged.push_back({t, e, Segment::Kind::kJob, job->exec_index});
+        t = e;
+        continue;
+      }
+      // Idle until the next job or window.
+      common::TimePoint e = horizon_;
+      if (job != nullptr) e = std::min(e, job->start);
+      if (win != nullptr) e = std::min(e, win->start);
+      merged.push_back({t, e, Segment::Kind::kIdle, 0});
+      t = e;
+    }
+    timelines_[n] = std::move(merged);
+  }
+}
+
+const std::vector<Segment>& FacilityEngine::timeline(std::size_t node) const {
+  return timelines_.at(node);
+}
+
+procsim::NodeCounters& FacilityEngine::counters(std::size_t node) { return *nodes_.at(node); }
+
+const procsim::NodeCounters& FacilityEngine::counters(std::size_t node) const {
+  return *nodes_.at(node);
+}
+
+common::TimePoint FacilityEngine::cursor(std::size_t node) const { return cursors_.at(node); }
+
+const JobExecution* FacilityEngine::running_at(std::size_t node, common::TimePoint t) const {
+  for (const auto& seg : timelines_.at(node)) {
+    if (seg.start <= t && t < seg.end) {
+      return seg.kind == Segment::Kind::kJob ? &executions_[seg.exec_index] : nullptr;
+    }
+    if (seg.start > t) break;
+  }
+  return nullptr;
+}
+
+bool FacilityEngine::node_up(std::size_t node, common::TimePoint t) const {
+  for (const auto& seg : timelines_.at(node)) {
+    if (seg.start <= t && t < seg.end) return seg.kind != Segment::Kind::kDown;
+    if (seg.start > t) break;
+  }
+  return true;
+}
+
+void FacilityEngine::advance_node(std::size_t node, common::TimePoint t) {
+  common::TimePoint& cur = cursors_.at(node);
+  t = std::min(t, horizon_);
+  if (t <= cur) return;
+  for (const auto& seg : timelines_[node]) {
+    if (seg.end <= cur) continue;
+    if (seg.start >= t) break;
+    const common::TimePoint t0 = std::max(seg.start, cur);
+    const common::TimePoint t1 = std::min(seg.end, t);
+    if (t1 > t0) integrate_segment(node, seg, t0, t1);
+  }
+  cur = t;
+}
+
+void FacilityEngine::integrate_segment(std::size_t node, const Segment& seg,
+                                       common::TimePoint t0, common::TimePoint t1) {
+  switch (seg.kind) {
+    case Segment::Kind::kDown:
+      return;  // counters frozen; the host is off
+    case Segment::Kind::kIdle: {
+      // Integrate block-wise so gauges settle to idle values.
+      integrate_idle_block(node, t0, t1);
+      return;
+    }
+    case Segment::Kind::kJob: {
+      const JobExecution& exec = executions_[seg.exec_index];
+      // Split at modulation block boundaries for within-job burstiness.
+      common::TimePoint t = t0;
+      while (t < t1) {
+        const common::TimePoint block_end =
+            (block_of(t, kModulationBlock) + 1) * kModulationBlock;
+        const common::TimePoint e = std::min(t1, block_end);
+        integrate_job_block(node, exec, t, e);
+        t = e;
+      }
+      return;
+    }
+  }
+}
+
+void FacilityEngine::integrate_idle_block(std::size_t node, common::TimePoint t0,
+                                          common::TimePoint t1) {
+  procsim::NodeCounters& nc = *nodes_[node];
+  const double dt = static_cast<double>(t1 - t0);
+
+  for (auto& core : nc.cpu) {
+    acc(core.idle, 99.6, dt);  // centiseconds: ~100/s idle
+    acc(core.system, 0.3, dt);
+    acc(core.irq, 0.1, dt);
+  }
+  nc.set_mem_used_kb(static_cast<std::uint64_t>(kOsBaselineMemGb * 1024.0 * 1024.0));
+  auto& eth = nc.net("eth0");
+  acc(eth.rx_bytes, 12.0e3, dt);  // management chatter
+  acc(eth.tx_bytes, 8.0e3, dt);
+  acc(eth.rx_packets, 15.0, dt);
+  acc(eth.tx_packets, 10.0, dt);
+  acc(nc.irq.timer, 250.0 * static_cast<double>(nc.cores()), dt);
+  acc(nc.irq.hw_total, 255.0 * static_cast<double>(nc.cores()), dt);
+  acc(nc.irq.sw_total, 60.0 * static_cast<double>(nc.cores()), dt);
+  acc(nc.ps.ctxt, 900.0, dt);
+  nc.ps.load_1 = 2;  // ~0.02
+  nc.ps.load_5 = 2;
+  nc.ps.load_15 = 2;
+  nc.ps.nr_running = 0;
+  nc.ps.nr_threads = 180;
+  nc.sysv_shm.segments = 0;
+  nc.sysv_shm.bytes = 0;
+  for (auto& m : nc.tmpfs_mounts) m.bytes_used = 32ULL << 20;
+  nc.vfs.dentry_use = 30000;
+  nc.vfs.file_use = 1200;
+  nc.vfs.inode_use = 25000;
+  acc(nc.vm.pgfault, 120.0, dt);
+  auto& sda = nc.block_devs.front();
+  acc(sda.wr_ios, 0.5, dt);
+  acc(sda.wr_sectors, 24.0, dt);  // syslog etc.
+  acc(sda.io_ticks, 1.0, dt);
+}
+
+void FacilityEngine::integrate_job_block(std::size_t node, const JobExecution& exec,
+                                         common::TimePoint t0, common::TimePoint t1) {
+  procsim::NodeCounters& nc = *nodes_[node];
+  const double dt = static_cast<double>(t1 - t0);
+  const JobBehavior& b = exec.req.behavior;
+  const auto job = static_cast<std::uint64_t>(exec.req.id);
+  const std::int64_t block = block_of(t0, kModulationBlock);
+
+  const double mod_flops = lognormal_mod(b.flops_jitter, seed_, job, MetricTag::kFlops, block);
+  const double mod_idle = lognormal_mod(b.idle_jitter, seed_, job, MetricTag::kIdle, block);
+  const double mod_mem = lognormal_mod(b.mem_jitter, seed_, job, MetricTag::kMem, block);
+  const double mod_net = lognormal_mod(b.net_jitter, seed_, job, MetricTag::kNet, block);
+  const double mod_io = lognormal_mod(b.io_jitter, seed_, job, MetricTag::kIo, block);
+
+  const double idle_frac = std::clamp(b.idle_frac * mod_idle, 0.0, 0.98);
+  const double sys_frac = std::min(b.sys_frac, 1.0 - idle_frac);
+  const double busy_frac = std::max(0.0, 1.0 - idle_frac - sys_frac);
+
+  // --- CPU scheduler accounting (centiseconds/second = 100 * fraction).
+  for (auto& core : nc.cpu) {
+    acc(core.user, busy_frac * 100.0, dt);
+    acc(core.system, sys_frac * 85.0, dt);
+    acc(core.iowait, sys_frac * 12.0, dt);
+    acc(core.irq, sys_frac * 3.0, dt);
+    acc(core.idle, idle_frac * 100.0, dt);
+  }
+
+  // --- Hardware performance counters (per core).
+  const double flops_per_core_s =
+      b.flops_frac * mod_flops * spec_.node.peak_gflops_per_core * 1.0e9;
+  const auto flops_count = static_cast<std::uint64_t>(flops_per_core_s * dt);
+  for (auto& pc : nc.perf) {
+    pc.deliver(procsim::PerfEvent::kFlops, flops_count);
+    pc.deliver(procsim::PerfEvent::kMemAccesses,
+               static_cast<std::uint64_t>(flops_per_core_s * 1.7 * dt));
+    pc.deliver(procsim::PerfEvent::kDcacheFills,
+               static_cast<std::uint64_t>(flops_per_core_s * 0.05 * dt));
+    pc.deliver(procsim::PerfEvent::kNumaTraffic,
+               static_cast<std::uint64_t>(flops_per_core_s * 0.12 * dt));
+    pc.deliver(procsim::PerfEvent::kL1DHits,
+               static_cast<std::uint64_t>(flops_per_core_s * 2.4 * dt));
+  }
+
+  // --- Memory gauge (ramp in over the first half hour, then modulate).
+  const double ramp =
+      std::min(1.0, static_cast<double>(t1 - exec.start) / kMemRampSeconds);
+  const double mem_gb = kOsBaselineMemGb + b.mem_gb * ramp * mod_mem;
+  nc.set_mem_used_kb(static_cast<std::uint64_t>(mem_gb * 1024.0 * 1024.0));
+
+  // --- NUMA counters follow memory traffic.
+  for (auto& nn : nc.numa) {
+    acc(nn.numa_hit, busy_frac * 50000.0, dt);
+    acc(nn.local_node, busy_frac * 48000.0, dt);
+    acc(nn.numa_miss, busy_frac * 2500.0, dt);
+    acc(nn.other_node, busy_frac * 2500.0, dt);
+    acc(nn.numa_foreign, busy_frac * 600.0, dt);
+  }
+
+  // --- Interconnect (InfiniBand). rx tracks tx (the paper notes they are
+  // strongly positively correlated).
+  const double ib_tx = b.ib_tx_mb_s * mod_net * kBytesPerMb;
+  acc(nc.ib.tx_bytes, ib_tx, dt);
+  acc(nc.ib.rx_bytes, ib_tx * 0.97, dt);
+  acc(nc.ib.tx_packets, ib_tx / 2048.0, dt);
+  acc(nc.ib.rx_packets, ib_tx * 0.97 / 2048.0, dt);
+
+  // --- Lustre filesystems + checkpoint pulses on scratch.
+  double scratch_write = b.scratch_write_mb_s * mod_io * kBytesPerMb * dt;
+  if (b.checkpoint_period_min > 0.0 && b.checkpoint_gb > 0.0) {
+    const auto period = static_cast<common::Duration>(b.checkpoint_period_min * 60.0);
+    // Pulses at job-relative times k*period, k >= 1.
+    const std::int64_t k0 = (t0 - exec.start) / period;  // pulses strictly before t0
+    const std::int64_t k1 = (t1 - exec.start) / period;  // pulses at/before t1
+    const std::int64_t pulses = std::max<std::int64_t>(0, k1 - k0);
+    scratch_write += static_cast<double>(pulses) * b.checkpoint_gb * 1.0e9;
+  }
+  const double scratch_read = b.scratch_read_mb_s * mod_io * kBytesPerMb * dt;
+  const double work_write = b.work_write_mb_s * mod_io * kBytesPerMb * dt;
+  auto& scratch = nc.lustre("scratch");
+  scratch.write_bytes += static_cast<std::uint64_t>(scratch_write);
+  scratch.read_bytes += static_cast<std::uint64_t>(scratch_read);
+  acc(scratch.open, 0.4, dt);
+  acc(scratch.close, 0.4, dt);
+  acc(scratch.getattr, 2.0, dt);
+  auto& work = nc.lustre("work");
+  work.write_bytes += static_cast<std::uint64_t>(work_write);
+  acc(work.read_bytes, 0.05 * kBytesPerMb, dt);
+  acc(work.open, 0.1, dt);
+  acc(work.close, 0.1, dt);
+  acc(work.getattr, 0.5, dt);
+  double share_traffic = 0.0;
+  for (auto& m : nc.lustre_mounts) {
+    if (m.name == "share") {
+      share_traffic = 0.05 * kBytesPerMb;
+      acc(m.write_bytes, share_traffic * 0.4, dt);
+      acc(m.read_bytes, share_traffic * 0.6, dt);
+      acc(m.getattr, 0.3, dt);
+    }
+  }
+
+  // --- LNET carries all Lustre client traffic.
+  nc.lnet.tx_bytes += static_cast<std::uint64_t>(
+      (scratch_write + work_write) * 1.02 + share_traffic * 0.4 * dt);
+  nc.lnet.rx_bytes += static_cast<std::uint64_t>(
+      (scratch_read + 0.05 * kBytesPerMb * dt) * 1.02 + share_traffic * 0.6 * dt);
+  nc.lnet.tx_msgs += static_cast<std::uint64_t>((scratch_write + work_write) / 1.0e6);
+  nc.lnet.rx_msgs += static_cast<std::uint64_t>(scratch_read / 1.0e6);
+
+  // --- Ethernet: light control traffic (plus NFS home dirs on Lonestar4).
+  auto& eth = nc.net("eth0");
+  const double nfs = spec_.has_nfs ? 0.1 * kBytesPerMb : 0.0;
+  acc(eth.rx_bytes, 20.0e3 + nfs * 0.5, dt);
+  acc(eth.tx_bytes, 15.0e3 + nfs * 0.5, dt);
+  acc(eth.rx_packets, 25.0 + nfs / 4000.0, dt);
+  acc(eth.tx_packets, 20.0 + nfs / 4000.0, dt);
+  if (spec_.has_nfs) {
+    acc(nc.nfs.rpc_calls, 4.0, dt);
+    acc(nc.nfs.read_bytes, nfs * 0.5, dt);
+    acc(nc.nfs.write_bytes, nfs * 0.5, dt);
+    acc(nc.nfs.getattr, 2.0, dt);
+  }
+
+  // --- VM / process / IRQ / caches.
+  const double cores = static_cast<double>(nc.cores());
+  acc(nc.vm.pgfault, busy_frac * cores * 1500.0, dt);
+  acc(nc.vm.pgmajfault, 0.05, dt);
+  nc.vm.pgpgin += static_cast<std::uint64_t>(scratch_read / 4096.0);
+  nc.vm.pgpgout += static_cast<std::uint64_t>((scratch_write + work_write) / 4096.0);
+  acc(nc.ps.ctxt, busy_frac * cores * 2500.0 + 900.0, dt);
+  acc(nc.ps.processes, 0.2, dt);
+  const auto load = static_cast<std::uint64_t>(busy_frac * cores * 100.0);
+  nc.ps.load_1 = load;
+  nc.ps.load_5 = load;
+  nc.ps.load_15 = load;
+  nc.ps.nr_running = static_cast<std::uint64_t>(std::ceil(busy_frac * cores));
+  nc.ps.nr_threads = 180 + nc.cores() + 4;
+  nc.sysv_shm.segments = 2;
+  nc.sysv_shm.bytes = 64ULL << 20;
+  for (auto& m : nc.tmpfs_mounts) {
+    m.bytes_used = (32ULL << 20) + static_cast<std::uint64_t>(mem_gb * 0.02 * 1024.0 *
+                                                              1024.0 * 1024.0);
+  }
+  nc.vfs.dentry_use = 30000 + static_cast<std::uint64_t>(busy_frac * 20000.0);
+  nc.vfs.file_use = 1200 + static_cast<std::uint64_t>(busy_frac * 800.0);
+  nc.vfs.inode_use = 25000 + static_cast<std::uint64_t>(busy_frac * 15000.0);
+  acc(nc.irq.timer, 250.0 * cores, dt);
+  acc(nc.irq.net_rx, ib_tx / 2048.0, dt);
+  acc(nc.irq.hw_total, 255.0 * cores + ib_tx / 2048.0, dt);
+  acc(nc.irq.sw_total, 120.0 * cores, dt);
+  auto& sda = nc.block_devs.front();
+  acc(sda.wr_ios, 1.0, dt);
+  acc(sda.wr_sectors, 48.0, dt);
+  acc(sda.rd_ios, 0.2, dt);
+  acc(sda.rd_sectors, 16.0, dt);
+  acc(sda.io_ticks, 2.0, dt);
+}
+
+}  // namespace supremm::facility

@@ -1,0 +1,95 @@
+// The facility engine: turns scheduled job executions into procfs counter
+// evolution on every node.
+//
+// Counters are advanced lazily: the collection driver asks a node to advance
+// to a sample instant and the engine integrates the piecewise-constant (per
+// modulation block) resource rates of whatever ran on that node since the
+// last advance. Distinct nodes share no mutable state, so nodes may be
+// advanced concurrently from a thread pool.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/time.h"
+#include "facility/apps.h"
+#include "facility/hardware.h"
+#include "facility/jobs.h"
+#include "facility/scheduler.h"
+#include "procsim/counters.h"
+
+namespace supremm::facility {
+
+/// One span of a node's life.
+struct Segment {
+  enum class Kind : std::uint8_t { kIdle, kJob, kDown };
+  common::TimePoint start = 0;
+  common::TimePoint end = 0;
+  Kind kind = Kind::kIdle;
+  std::size_t exec_index = 0;  // valid when kind == kJob
+};
+
+class FacilityEngine {
+ public:
+  /// `executions` and `maintenance` must be disjoint per node / globally (as
+  /// produced by Scheduler::run and standard_maintenance). `horizon` bounds
+  /// the timelines. OS memory baseline and background activity are built in.
+  FacilityEngine(ClusterSpec spec, std::vector<JobExecution> executions,
+                 std::vector<MaintenanceWindow> maintenance, common::TimePoint start,
+                 common::TimePoint horizon, std::uint64_t seed);
+
+  [[nodiscard]] const ClusterSpec& spec() const noexcept { return spec_; }
+  [[nodiscard]] std::size_t node_count() const noexcept { return nodes_.size(); }
+  [[nodiscard]] const std::vector<JobExecution>& executions() const noexcept {
+    return executions_;
+  }
+  [[nodiscard]] const std::vector<MaintenanceWindow>& maintenance() const noexcept {
+    return maintenance_;
+  }
+  [[nodiscard]] common::TimePoint start_time() const noexcept { return start_; }
+  [[nodiscard]] common::TimePoint horizon() const noexcept { return horizon_; }
+
+  /// Per-node segment timeline (idle / job / down), contiguous over
+  /// [start, horizon).
+  [[nodiscard]] const std::vector<Segment>& timeline(std::size_t node) const;
+
+  /// Counter state; advance first, then read.
+  [[nodiscard]] procsim::NodeCounters& counters(std::size_t node);
+  [[nodiscard]] const procsim::NodeCounters& counters(std::size_t node) const;
+
+  /// Integrate node counters over [cursor, t); cursor moves to t. Calls with
+  /// t <= cursor are no-ops. Thread-safe across *different* nodes only.
+  void advance_node(std::size_t node, common::TimePoint t);
+
+  [[nodiscard]] common::TimePoint cursor(std::size_t node) const;
+
+  /// Execution running on the node at t, or nullptr (idle or down).
+  [[nodiscard]] const JobExecution* running_at(std::size_t node, common::TimePoint t) const;
+
+  /// False while the node is inside a maintenance window.
+  [[nodiscard]] bool node_up(std::size_t node, common::TimePoint t) const;
+
+  /// Modulation block length for within-job noise (10 min, matching the
+  /// collector cadence the paper used).
+  static constexpr common::Duration kModulationBlock = 10 * common::kMinute;
+
+ private:
+  void integrate_segment(std::size_t node, const Segment& seg, common::TimePoint t0,
+                         common::TimePoint t1);
+  void integrate_job_block(std::size_t node, const JobExecution& exec, common::TimePoint t0,
+                           common::TimePoint t1);
+  void integrate_idle_block(std::size_t node, common::TimePoint t0, common::TimePoint t1);
+
+  ClusterSpec spec_;
+  std::vector<JobExecution> executions_;
+  std::vector<MaintenanceWindow> maintenance_;
+  common::TimePoint start_ = 0;
+  common::TimePoint horizon_ = 0;
+  std::uint64_t seed_ = 0;
+  std::vector<std::unique_ptr<procsim::NodeCounters>> nodes_;
+  std::vector<std::vector<Segment>> timelines_;
+  std::vector<common::TimePoint> cursors_;
+};
+
+}  // namespace supremm::facility

@@ -1,0 +1,80 @@
+#include "facility/hardware.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "common/strings.h"
+
+namespace supremm::facility {
+
+ClusterSpec ranger() {
+  ClusterSpec s;
+  s.name = "ranger";
+  s.node_count = 3936;
+  s.node.arch = procsim::Arch::kAmd10h;
+  s.node.sockets = 4;
+  s.node.cores_per_socket = 4;
+  s.node.mem_gb = 32.0;
+  s.node.clock_ghz = 2.3;
+  // 579 TF benchmarked peak / 62,976 cores = 9.19 GF/core (SSE, 4 flops/cycle).
+  s.node.peak_gflops_per_core = 9.19;
+  s.lustre_filesystems = {
+      {"scratch", /*purged=*/true, /*quota_gb=*/400.0 * 1024.0},
+      {"work", /*purged=*/false, /*quota_gb=*/200.0},
+      {"share", /*purged=*/false, /*quota_gb=*/1024.0},
+  };
+  s.has_nfs = false;
+  s.user_count = 2000;
+  s.mean_job_minutes = 549.0;
+  s.target_idle_fraction = 0.10;
+  // Offered load slightly above capacity: the paper notes 'the over-request
+  // of most if not all HPC resources'; achieved utilization is then bounded
+  // by scheduling fragmentation, as on the real machine.
+  s.utilization_target = 1.05;
+  return s;
+}
+
+ClusterSpec lonestar4() {
+  ClusterSpec s;
+  s.name = "lonestar4";
+  s.node_count = 1088;
+  s.node.arch = procsim::Arch::kIntelWestmere;
+  s.node.sockets = 2;
+  s.node.cores_per_socket = 6;
+  s.node.mem_gb = 24.0;
+  s.node.clock_ghz = 3.33;
+  // Westmere: 4 SSE flops/cycle at 3.33 GHz = 13.3 GF/core.
+  s.node.peak_gflops_per_core = 13.3;
+  s.lustre_filesystems = {
+      {"scratch", /*purged=*/true, /*quota_gb=*/250.0 * 1024.0},
+      {"work", /*purged=*/false, /*quota_gb=*/200.0},
+  };
+  s.has_nfs = true;
+  s.user_count = 1400;
+  s.mean_job_minutes = 446.0;
+  s.target_idle_fraction = 0.15;
+  s.utilization_target = 1.05;
+  s.mem_usage_mult = 2.1;
+  s.idle_usage_mult = 1.55;
+  return s;
+}
+
+ClusterSpec scaled(ClusterSpec spec, double node_scale) {
+  if (node_scale <= 0.0 || node_scale > 1.0) {
+    throw common::InvalidArgument("node_scale must be in (0, 1]");
+  }
+  const auto nodes = static_cast<std::size_t>(
+      std::max(1.0, std::round(static_cast<double>(spec.node_count) * node_scale)));
+  const auto users = static_cast<std::size_t>(
+      std::max(8.0, std::round(static_cast<double>(spec.user_count) * node_scale)));
+  spec.node_count = nodes;
+  spec.user_count = users;
+  return spec;
+}
+
+std::string node_hostname(const ClusterSpec& spec, std::size_t i) {
+  return common::strprintf("%s-c%04zu", spec.name.c_str(), i);
+}
+
+}  // namespace supremm::facility

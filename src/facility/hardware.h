@@ -1,0 +1,88 @@
+// Cluster hardware descriptions, with presets for the paper's two systems.
+//
+// Paper §4.1: "Ranger ... 3936 compute nodes, each of which has four 2.3GHz
+// AMD Opteron quad-core processors (16 cores in total) and 32 GB of memory.
+// The filesystem is Lustre and the interconnect is InfiniBand. Lonestar4 is
+// also a Linux cluster with 1088 Dell PowerEdge M610 compute nodes. Each
+// compute node has two Intel Xeon 5680 series 3.33GHz hexa-core processors
+// and 24 GB of memory. Lonestar4 has two filesystems: Lustre and NFS."
+// (Figure 8's caption says 1888 nodes for Lonestar4; we follow the hardware
+// section's 1088 and note the discrepancy in EXPERIMENTS.md.)
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/time.h"
+#include "procsim/perf.h"
+
+namespace supremm::facility {
+
+/// One compute node model.
+struct NodeType {
+  procsim::Arch arch = procsim::Arch::kAmd10h;
+  std::size_t sockets = 0;
+  std::size_t cores_per_socket = 0;
+  double mem_gb = 0.0;
+  double clock_ghz = 0.0;
+  /// Peak SSE GFLOP/s per core (used for Figure 9/10 normalization).
+  double peak_gflops_per_core = 0.0;
+
+  [[nodiscard]] std::size_t cores() const noexcept { return sockets * cores_per_socket; }
+  [[nodiscard]] double peak_gflops_per_node() const noexcept {
+    return peak_gflops_per_core * static_cast<double>(cores());
+  }
+};
+
+/// A shared (Lustre) filesystem: §4.2 distinguishes "scratch" (purged, large
+/// quota) from "work" (non-purged, 200 GB quota).
+struct FilesystemSpec {
+  std::string name;
+  bool purged = false;
+  double quota_gb = 0.0;
+};
+
+/// Whole cluster description plus the calibration knobs the workload model
+/// needs (documented in DESIGN.md §6).
+struct ClusterSpec {
+  std::string name;
+  std::size_t node_count = 0;
+  NodeType node;
+  std::vector<FilesystemSpec> lustre_filesystems;  // scratch/work(/share)
+  bool has_nfs = false;
+
+  // Workload calibration.
+  std::size_t user_count = 0;
+  double mean_job_minutes = 0.0;        // node-hour weighted target (549 / 446)
+  double target_idle_fraction = 0.0;    // facility average cpu_idle (0.10 / 0.15)
+  double utilization_target = 0.0;      // fraction of nodes busy in steady state
+  /// Cluster-wide scaling of realized job memory (paper: Lonestar4 runs much
+  /// closer to its per-node capacity than Ranger does).
+  double mem_usage_mult = 1.0;
+  /// Cluster-wide scaling of realized job idle fraction (paper: Lonestar4's
+  /// average efficiency is ~85% vs Ranger's ~90%).
+  double idle_usage_mult = 1.0;
+
+  [[nodiscard]] double peak_tflops() const noexcept {
+    return node.peak_gflops_per_node() * static_cast<double>(node_count) / 1000.0;
+  }
+};
+
+/// TACC Ranger (decommissioned Feb 2013): 3936 nodes, 62,976 cores, 579 TF
+/// benchmarked peak -> 9.19 GF/core.
+[[nodiscard]] ClusterSpec ranger();
+
+/// TACC Lonestar4: 1088 nodes, 13,056 cores, Westmere 3.33 GHz.
+[[nodiscard]] ClusterSpec lonestar4();
+
+/// Shrink a preset for laptop-scale runs: node count scaled by `node_scale`
+/// (>0, <=1) and user count scaled proportionally (min 8). Workload
+/// calibration targets are preserved, so all paper *shapes* survive scaling.
+[[nodiscard]] ClusterSpec scaled(ClusterSpec spec, double node_scale);
+
+/// Hostname of node `i`, e.g. "c301-101.ranger" style flattened to
+/// "<cluster>-c0042".
+[[nodiscard]] std::string node_hostname(const ClusterSpec& spec, std::size_t i);
+
+}  // namespace supremm::facility

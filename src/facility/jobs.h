@@ -1,0 +1,52 @@
+// Job request/execution records shared between the workload generator, the
+// scheduler and the engine.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/time.h"
+#include "facility/apps.h"
+
+namespace supremm::facility {
+
+using JobId = std::int64_t;
+
+/// A job as submitted: who, what, how big, how long it would run if not
+/// killed. `behavior` is the realization of the application signature this
+/// job will exhibit on every one of its nodes.
+struct JobRequest {
+  JobId id = 0;
+  std::size_t user = 0;  // index into UserPopulation
+  std::size_t app = 0;   // index into the catalogue
+  std::size_t nodes = 1;
+  common::TimePoint submit = 0;
+  common::Duration duration = 0;  // natural runtime (seconds)
+  JobBehavior behavior;
+  bool will_fail = false;  // abnormal termination at natural end
+};
+
+/// Exit conditions the accounting log distinguishes.
+enum class ExitKind : std::uint8_t {
+  kOk = 0,
+  kFailed,            // application error / exception at end of run
+  kKilledMaintenance, // node drain killed it
+};
+
+/// A job as it actually ran.
+struct JobExecution {
+  JobRequest req;
+  common::TimePoint start = 0;
+  common::TimePoint end = 0;  // actual end (may be truncated)
+  std::vector<std::uint32_t> node_ids;
+  ExitKind exit = ExitKind::kOk;
+
+  [[nodiscard]] common::Duration runtime() const noexcept { return end - start; }
+  [[nodiscard]] double node_hours() const noexcept {
+    return static_cast<double>(node_ids.size()) * common::to_hours(runtime());
+  }
+  [[nodiscard]] common::Duration wait() const noexcept { return start - req.submit; }
+};
+
+}  // namespace supremm::facility

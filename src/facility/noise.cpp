@@ -1,0 +1,29 @@
+#include "facility/noise.h"
+
+#include <cmath>
+
+namespace supremm::facility {
+
+double gaussian_hash(std::uint64_t seed, std::uint64_t job, std::uint32_t tag,
+                     std::int64_t block) noexcept {
+  using common::splitmix64;
+  std::uint64_t h = splitmix64(seed);
+  h = splitmix64(h ^ splitmix64(job));
+  h = splitmix64(h ^ (static_cast<std::uint64_t>(tag) << 32));
+  h = splitmix64(h ^ static_cast<std::uint64_t>(block));
+  const std::uint64_t h2 = splitmix64(h ^ 0x6a09e667f3bcc909ULL);
+  // Box-Muller from two hashed uniforms in (0, 1].
+  const double u1 =
+      (static_cast<double>(h >> 11) + 1.0) / 9007199254740993.0;  // 2^53 + 1
+  const double u2 = static_cast<double>(h2 >> 11) / 9007199254740992.0;
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+}
+
+double lognormal_mod(double sigma, std::uint64_t seed, std::uint64_t job, MetricTag tag,
+                     std::int64_t block) noexcept {
+  if (sigma <= 0.0) return 1.0;
+  const double z = gaussian_hash(seed, job, static_cast<std::uint32_t>(tag), block);
+  return std::exp(sigma * z - 0.5 * sigma * sigma);
+}
+
+}  // namespace supremm::facility

@@ -1,0 +1,42 @@
+// Stateless deterministic noise for within-job metric modulation.
+//
+// The engine integrates counters lazily over arbitrary [t0, t1) windows, so
+// the modulation of a metric must be a pure function of (job, metric, time
+// block) - never of sampling order or thread schedule. We hash the triple
+// through SplitMix64 and apply Box-Muller.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "common/time.h"
+
+namespace supremm::facility {
+
+/// Tags naming the modulated quantities (stable across releases; part of
+/// the determinism contract).
+enum class MetricTag : std::uint32_t {
+  kFlops = 1,
+  kIdle = 2,
+  kMem = 3,
+  kNet = 4,
+  kIo = 5,
+};
+
+/// Standard normal deviate determined by the triple.
+[[nodiscard]] double gaussian_hash(std::uint64_t seed, std::uint64_t job,
+                                   std::uint32_t tag, std::int64_t block) noexcept;
+
+/// Mean-one lognormal modulation factor exp(sigma*z - sigma^2/2), where z is
+/// gaussian_hash of the triple. sigma == 0 returns exactly 1.
+[[nodiscard]] double lognormal_mod(double sigma, std::uint64_t seed, std::uint64_t job,
+                                   MetricTag tag, std::int64_t block) noexcept;
+
+/// The modulation block index containing time t (blocks are `block_len`
+/// seconds, aligned to the epoch).
+[[nodiscard]] constexpr std::int64_t block_of(common::TimePoint t,
+                                              common::Duration block_len) noexcept {
+  return t / block_len;
+}
+
+}  // namespace supremm::facility

@@ -1,0 +1,221 @@
+#include "facility/scheduler.h"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+#include <queue>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace supremm::facility {
+
+std::vector<MaintenanceWindow> standard_maintenance(common::TimePoint start,
+                                                    common::Duration span,
+                                                    std::uint64_t seed) {
+  std::vector<MaintenanceWindow> out;
+  // Scheduled: every ~35 days, 10 hours, starting on day 20.
+  for (common::TimePoint t = start + 20 * common::kDay; t < start + span;
+       t += 35 * common::kDay) {
+    out.push_back({t, 10 * common::kHour, /*scheduled=*/true});
+  }
+  // Unscheduled: Poisson, mean one per 90 days.
+  common::RngStream rng(seed, "maintenance", 0);
+  common::TimePoint t = start;
+  while (true) {
+    t += static_cast<common::Duration>(rng.exponential(90.0 * common::kDay));
+    if (t >= start + span) break;
+    const auto len = static_cast<common::Duration>(rng.uniform(3.0, 16.0) * common::kHour);
+    out.push_back({t, len, /*scheduled=*/false});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const MaintenanceWindow& a, const MaintenanceWindow& b) {
+              return a.start < b.start;
+            });
+  // Merge overlaps so the engine/timeline logic can assume disjoint windows.
+  std::vector<MaintenanceWindow> merged;
+  for (const auto& w : out) {
+    if (!merged.empty() && w.start <= merged.back().end()) {
+      merged.back().length =
+          std::max(merged.back().end(), w.end()) - merged.back().start;
+      merged.back().scheduled = merged.back().scheduled && w.scheduled;
+    } else {
+      merged.push_back(w);
+    }
+  }
+  return merged;
+}
+
+namespace {
+
+struct Running {
+  std::size_t exec_index;
+  common::TimePoint end;
+};
+struct EndLater {
+  bool operator()(const Running& a, const Running& b) const { return a.end > b.end; }
+};
+
+}  // namespace
+
+std::vector<JobExecution> Scheduler::run(const ClusterSpec& spec,
+                                         std::vector<JobRequest> requests,
+                                         const std::vector<MaintenanceWindow>& maintenance,
+                                         Config config) {
+  if (spec.node_count == 0) throw common::InvalidArgument("cluster has no nodes");
+  std::sort(requests.begin(), requests.end(),
+            [](const JobRequest& a, const JobRequest& b) { return a.submit < b.submit; });
+
+  std::vector<JobExecution> execs;
+  execs.reserve(requests.size());
+
+  // Free nodes kept as a stack of ids.
+  std::vector<std::uint32_t> free_nodes;
+  free_nodes.reserve(spec.node_count);
+  for (std::size_t i = spec.node_count; i > 0; --i) {
+    free_nodes.push_back(static_cast<std::uint32_t>(i - 1));
+  }
+
+  std::priority_queue<Running, std::vector<Running>, EndLater> running;
+  std::deque<JobRequest> queue;
+  std::size_t next_req = 0;
+  std::size_t next_win = 0;
+  bool down = false;
+  common::TimePoint down_until = 0;
+
+  constexpr common::TimePoint kInf = std::numeric_limits<common::TimePoint>::max();
+
+  auto actual_end = [](const JobRequest& r, common::TimePoint start_at) {
+    common::Duration d = r.duration;
+    if (r.will_fail) {
+      // Failed jobs die partway through; fraction is deterministic per job.
+      common::RngStream rng(0x5eedf00dULL, "fail", static_cast<std::uint64_t>(r.id));
+      d = std::max<common::Duration>(60, static_cast<common::Duration>(
+                                             rng.uniform(0.1, 1.0) *
+                                             static_cast<double>(r.duration)));
+    }
+    return start_at + d;
+  };
+
+  auto start_job = [&](const JobRequest& r, common::TimePoint now) {
+    JobExecution e;
+    e.req = r;
+    e.start = now;
+    e.end = actual_end(r, now);
+    e.exit = r.will_fail ? ExitKind::kFailed : ExitKind::kOk;
+    e.node_ids.reserve(r.nodes);
+    for (std::size_t k = 0; k < r.nodes; ++k) {
+      e.node_ids.push_back(free_nodes.back());
+      free_nodes.pop_back();
+    }
+    execs.push_back(std::move(e));
+    running.push({execs.size() - 1, execs.back().end});
+  };
+
+  auto try_schedule = [&](common::TimePoint now) {
+    if (down) return;
+    // Start head jobs FIFO while they fit.
+    while (!queue.empty() && queue.front().nodes <= free_nodes.size()) {
+      start_job(queue.front(), now);
+      queue.pop_front();
+    }
+    if (queue.empty()) return;
+
+    // EASY backfill: find when the head job will be able to start (shadow
+    // time) and how many nodes will be spare then.
+    const std::size_t head_need = queue.front().nodes;
+    std::size_t avail = free_nodes.size();
+    common::TimePoint shadow = kInf;
+    std::size_t spare = 0;
+    {
+      // Walk completions in end order (copy of the heap).
+      auto heap_copy = running;
+      while (!heap_copy.empty() && avail < head_need) {
+        const Running r = heap_copy.top();
+        heap_copy.pop();
+        avail += execs[r.exec_index].node_ids.size();
+        shadow = r.end;
+      }
+      if (avail >= head_need) spare = avail - head_need;
+      if (shadow == kInf) return;  // head can never start: shouldn't happen
+    }
+
+    std::size_t scanned = 0;
+    for (auto it = queue.begin() + 1; it != queue.end() && scanned < config.backfill_depth;) {
+      ++scanned;
+      const bool fits_now = it->nodes <= free_nodes.size();
+      const bool ends_before_shadow = now + it->duration <= shadow;
+      const bool within_spare = it->nodes <= spare;
+      if (fits_now && (ends_before_shadow || within_spare)) {
+        if (within_spare && !ends_before_shadow) spare -= it->nodes;
+        start_job(*it, now);
+        it = queue.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  };
+
+  auto kill_running = [&](common::TimePoint now) {
+    while (!running.empty()) {
+      const Running r = running.top();
+      running.pop();
+      JobExecution& e = execs[r.exec_index];
+      if (e.end > now) {
+        e.end = std::max(e.start + 1, now);
+        e.exit = ExitKind::kKilledMaintenance;
+      }
+      for (const std::uint32_t n : e.node_ids) free_nodes.push_back(n);
+    }
+  };
+
+  while (true) {
+    common::TimePoint next = kInf;
+    if (next_req < requests.size()) next = std::min(next, requests[next_req].submit);
+    if (!running.empty()) next = std::min(next, running.top().end);
+    if (next_win < maintenance.size()) next = std::min(next, maintenance[next_win].start);
+    if (down) next = std::min(next, down_until);
+    if (next == kInf) break;
+
+    const common::TimePoint now = next;
+
+    // 1. Completions free their nodes.
+    while (!running.empty() && running.top().end <= now) {
+      const Running r = running.top();
+      running.pop();
+      for (const std::uint32_t n : execs[r.exec_index].node_ids) free_nodes.push_back(n);
+    }
+    // 2. Maintenance transitions.
+    if (down && now >= down_until) down = false;
+    while (next_win < maintenance.size() && maintenance[next_win].start <= now) {
+      const auto& w = maintenance[next_win];
+      kill_running(now);
+      down = true;
+      down_until = std::max(down ? down_until : 0, w.end());
+      ++next_win;
+    }
+    // 3. Submissions.
+    while (next_req < requests.size() && requests[next_req].submit <= now) {
+      queue.push_back(requests[next_req]);
+      ++next_req;
+    }
+    // 4. Schedule.
+    try_schedule(now);
+  }
+
+  std::sort(execs.begin(), execs.end(),
+            [](const JobExecution& a, const JobExecution& b) {
+              return a.start != b.start ? a.start < b.start : a.req.id < b.req.id;
+            });
+  return execs;
+}
+
+std::size_t busy_nodes_at(const std::vector<JobExecution>& execs, common::TimePoint t) {
+  std::size_t n = 0;
+  for (const auto& e : execs) {
+    if (e.start <= t && t < e.end) n += e.node_ids.size();
+  }
+  return n;
+}
+
+}  // namespace supremm::facility

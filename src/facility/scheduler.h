@@ -1,0 +1,54 @@
+// Batch scheduler: FIFO with EASY backfill, plus facility maintenance
+// windows (Figure 8's planned/unplanned shutdowns, during which the active
+// node count drops to zero and running jobs are killed).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/time.h"
+#include "facility/hardware.h"
+#include "facility/jobs.h"
+
+namespace supremm::facility {
+
+/// A full-facility outage: all nodes down for [start, start+length).
+struct MaintenanceWindow {
+  common::TimePoint start = 0;
+  common::Duration length = 0;
+  bool scheduled = true;
+
+  [[nodiscard]] common::TimePoint end() const noexcept { return start + length; }
+};
+
+/// Scheduled monthly windows (~10 h) plus Poisson unscheduled outages
+/// (mean one per 90 days, 3-16 h), deterministic in `seed`. Sorted,
+/// non-overlapping.
+[[nodiscard]] std::vector<MaintenanceWindow> standard_maintenance(common::TimePoint start,
+                                                                  common::Duration span,
+                                                                  std::uint64_t seed);
+
+struct SchedulerConfig {
+  /// How many queued jobs past the head are considered for backfill.
+  std::size_t backfill_depth = 64;
+};
+
+class Scheduler {
+ public:
+  using Config = SchedulerConfig;
+
+  /// Run the requests (any order; sorted internally by submit time) through
+  /// the cluster and return completed executions sorted by start time.
+  /// Jobs flagged `will_fail` terminate early at a random fraction of their
+  /// natural runtime with ExitKind::kFailed. Jobs running when a maintenance
+  /// window opens are killed (ExitKind::kKilledMaintenance).
+  [[nodiscard]] static std::vector<JobExecution> run(
+      const ClusterSpec& spec, std::vector<JobRequest> requests,
+      const std::vector<MaintenanceWindow>& maintenance, Config config = Config{});
+};
+
+/// Count of nodes busy (running a job) at time t; Figure 8's "active nodes".
+[[nodiscard]] std::size_t busy_nodes_at(const std::vector<JobExecution>& execs,
+                                        common::TimePoint t);
+
+}  // namespace supremm::facility

@@ -1,0 +1,39 @@
+// Workload generation: a stream of job submissions whose aggregate demand
+// tracks the cluster's utilization target.
+//
+// Self-calibrating arrival process: after emitting a job consuming W
+// node-seconds, the inter-arrival gap is drawn exponentially with mean
+// W / (target node-seconds per second), modulated by a diurnal/weekly
+// submission pattern. This keeps the offered load at the target regardless
+// of the job size/duration distributions, so scaled-down clusters reproduce
+// the same utilization shapes as the full-size presets.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/time.h"
+#include "facility/jobs.h"
+#include "facility/users.h"
+
+namespace supremm::facility {
+
+struct WorkloadConfig {
+  common::TimePoint start = 0;
+  common::Duration span = 30 * common::kDay;
+  std::uint64_t seed = 42;
+  /// Multiplies the cluster's utilization target (1.0 = preset calibration).
+  double load_factor = 1.0;
+};
+
+/// Diurnal x weekly submission intensity in (0, ~1.6]; peaks on weekday
+/// afternoons, troughs on weekend nights.
+[[nodiscard]] double submission_intensity(common::TimePoint t) noexcept;
+
+/// Generate submissions over [start, start+span), sorted by submit time.
+/// Deterministic in (seed, spec, catalogue, population).
+[[nodiscard]] std::vector<JobRequest> generate_workload(
+    const ClusterSpec& spec, const std::vector<AppSignature>& catalogue,
+    const UserPopulation& population, const WorkloadConfig& config);
+
+}  // namespace supremm::facility

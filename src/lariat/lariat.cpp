@@ -1,0 +1,161 @@
+#include "lariat/lariat.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "common/error.h"
+#include "common/strings.h"
+
+namespace supremm::lariat {
+
+std::string serialize(const LariatRecord& r) {
+  std::string libs = common::join(r.libs, ",");
+  return common::strprintf(
+      "jobid=%lld user=%s exe=%s nodes=%zu cores=%zu libs=%s workdir=%s start=%lld",
+      static_cast<long long>(r.job_id), r.user.c_str(), r.exe.c_str(), r.nodes, r.cores,
+      libs.c_str(), r.workdir.c_str(), static_cast<long long>(r.start));
+}
+
+LariatRecord parse(std::string_view line) {
+  LariatRecord r;
+  bool saw_jobid = false;
+  for (const auto& tok : common::split_ws(line)) {
+    const auto eq = tok.find('=');
+    if (eq == std::string_view::npos) throw common::ParseError("lariat token without '='");
+    const std::string_view key = tok.substr(0, eq);
+    const std::string_view val = tok.substr(eq + 1);
+    if (key == "jobid") {
+      r.job_id = common::parse_i64(val);
+      saw_jobid = true;
+    } else if (key == "user") {
+      r.user = std::string(val);
+    } else if (key == "exe") {
+      r.exe = std::string(val);
+    } else if (key == "nodes") {
+      r.nodes = static_cast<std::size_t>(common::parse_i64(val));
+    } else if (key == "cores") {
+      r.cores = static_cast<std::size_t>(common::parse_i64(val));
+    } else if (key == "libs") {
+      for (const auto& l : common::split(val, ',')) {
+        if (!l.empty()) r.libs.emplace_back(l);
+      }
+    } else if (key == "workdir") {
+      r.workdir = std::string(val);
+    } else if (key == "start") {
+      r.start = common::parse_i64(val);
+    } else {
+      throw common::ParseError("unknown lariat key '" + std::string(key) + "'");
+    }
+  }
+  if (!saw_jobid) throw common::ParseError("lariat record without jobid");
+  return r;
+}
+
+std::string serialize_log(const std::vector<LariatRecord>& recs) {
+  std::string out;
+  for (const auto& r : recs) {
+    out += serialize(r);
+    out += '\n';
+  }
+  return out;
+}
+
+std::vector<LariatRecord> parse_log(std::string_view log) {
+  std::vector<LariatRecord> out;
+  std::size_t pos = 0;
+  while (pos < log.size()) {
+    std::size_t eol = log.find('\n', pos);
+    if (eol == std::string_view::npos) eol = log.size();
+    const std::string_view line = log.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (!common::trim(line).empty()) out.push_back(parse(line));
+  }
+  return out;
+}
+
+std::string exe_for_app(std::string_view app_name) {
+  if (app_name == "NAMD") return "namd2";
+  if (app_name == "AMBER") return "pmemd.MPI";
+  if (app_name == "GROMACS") return "mdrun_mpi";
+  if (app_name == "WRF") return "wrf.exe";
+  if (app_name == "LAMMPS") return "lmp_mpi";
+  if (app_name == "QESPRESSO") return "pw.x";
+  if (app_name == "QCHEM") return "qchem.exe";
+  if (app_name == "CACTUS") return "cactus_sim";
+  if (app_name == "COSMOS") return "cosmos_nbody";
+  if (app_name == "OPENFOAM") return "simpleFoam";
+  if (app_name == "DATAMINER") return "mine.py";
+  if (app_name == "UNDERSUB") return "a.out";
+  std::string exe(app_name);
+  std::transform(exe.begin(), exe.end(), exe.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return exe;
+}
+
+std::string app_for_exe(const std::vector<facility::AppSignature>& catalogue,
+                        std::string_view exe) {
+  for (const auto& app : catalogue) {
+    if (exe_for_app(app.name) == exe) return app.name;
+  }
+  return {};
+}
+
+std::vector<std::string> libs_for_app(std::string_view app_name) {
+  std::vector<std::string> libs = {"libmpi.so.1", "libc.so.6", "libm.so.6"};
+  if (app_name == "NAMD" || app_name == "GROMACS" || app_name == "LAMMPS") {
+    libs.push_back("libfftw3.so.3");
+  }
+  if (app_name == "QESPRESSO" || app_name == "QCHEM" || app_name == "AMBER") {
+    libs.push_back("libmkl_core.so");
+    libs.push_back("liblapack.so.3");
+  }
+  if (app_name == "WRF" || app_name == "COSMOS" || app_name == "CACTUS") {
+    libs.push_back("libhdf5.so.7");
+    libs.push_back("libnetcdf.so.7");
+  }
+  if (app_name == "DATAMINER") {
+    libs.push_back("libpython2.7.so");
+    libs.push_back("libhdf5.so.7");
+  }
+  return libs;
+}
+
+std::vector<LariatRecord> from_executions(
+    const facility::ClusterSpec& spec, const std::vector<facility::AppSignature>& catalogue,
+    const facility::UserPopulation& population,
+    const std::vector<facility::JobExecution>& execs) {
+  std::vector<LariatRecord> out;
+  out.reserve(execs.size());
+  for (const auto& e : execs) {
+    const auto& app = catalogue.at(e.req.app);
+    const auto& user = population.user(e.req.user);
+    LariatRecord r;
+    r.job_id = e.req.id;
+    r.user = user.name;
+    r.exe = exe_for_app(app.name);
+    r.nodes = e.node_ids.size();
+    r.cores = e.node_ids.size() * spec.node.cores();
+    r.libs = libs_for_app(app.name);
+    r.workdir = "/scratch/" + user.name + "/run";
+    r.start = e.start;
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+LariatIndex::LariatIndex(const std::vector<LariatRecord>& recs) {
+  sorted_.reserve(recs.size());
+  for (const auto& r : recs) sorted_.push_back(&r);
+  std::sort(sorted_.begin(), sorted_.end(),
+            [](const LariatRecord* a, const LariatRecord* b) { return a->job_id < b->job_id; });
+}
+
+const LariatRecord* LariatIndex::find(facility::JobId id) const noexcept {
+  const auto it = std::lower_bound(
+      sorted_.begin(), sorted_.end(), id,
+      [](const LariatRecord* r, facility::JobId v) { return r->job_id < v; });
+  if (it != sorted_.end() && (*it)->job_id == id) return *it;
+  return nullptr;
+}
+
+}  // namespace supremm::lariat

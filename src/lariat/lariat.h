@@ -1,0 +1,64 @@
+// Lariat: per-job launch summaries.
+//
+// Paper §1.3: "Another tool called Lariat generates unified summary data on
+// the execution of a job such as which libraries are called." Records are
+// serialized one per line as key=value pairs (libs comma separated):
+//   jobid=17 user=user0003 exe=namd2 nodes=16 cores=256
+//     libs=libmpi.so,libfftw3.so workdir=/scratch/user0003/run start=360000
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/time.h"
+#include "facility/apps.h"
+#include "facility/jobs.h"
+#include "facility/users.h"
+
+namespace supremm::lariat {
+
+struct LariatRecord {
+  facility::JobId job_id = 0;
+  std::string user;
+  std::string exe;  // binary name, e.g. "namd2"
+  std::size_t nodes = 0;
+  std::size_t cores = 0;
+  std::vector<std::string> libs;
+  std::string workdir;
+  common::TimePoint start = 0;
+};
+
+[[nodiscard]] std::string serialize(const LariatRecord& r);
+[[nodiscard]] LariatRecord parse(std::string_view line);
+[[nodiscard]] std::string serialize_log(const std::vector<LariatRecord>& recs);
+[[nodiscard]] std::vector<LariatRecord> parse_log(std::string_view log);
+
+/// Binary name for an application (e.g. NAMD -> "namd2").
+[[nodiscard]] std::string exe_for_app(std::string_view app_name);
+
+/// Application (catalogue) name for a binary, or "" when unknown.
+[[nodiscard]] std::string app_for_exe(const std::vector<facility::AppSignature>& catalogue,
+                                      std::string_view exe);
+
+/// Typical linked libraries for an application.
+[[nodiscard]] std::vector<std::string> libs_for_app(std::string_view app_name);
+
+/// Build lariat records for scheduled executions.
+[[nodiscard]] std::vector<LariatRecord> from_executions(
+    const facility::ClusterSpec& spec, const std::vector<facility::AppSignature>& catalogue,
+    const facility::UserPopulation& population,
+    const std::vector<facility::JobExecution>& execs);
+
+/// Fast job-id lookup over a record set.
+class LariatIndex {
+ public:
+  explicit LariatIndex(const std::vector<LariatRecord>& recs);
+  [[nodiscard]] const LariatRecord* find(facility::JobId id) const noexcept;
+
+ private:
+  std::vector<const LariatRecord*> sorted_;
+};
+
+}  // namespace supremm::lariat

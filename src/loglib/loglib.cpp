@@ -1,0 +1,212 @@
+#include "loglib/loglib.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "common/strings.h"
+#include "lariat/lariat.h"
+
+namespace supremm::loglib {
+
+std::string_view severity_name(Severity s) noexcept {
+  switch (s) {
+    case Severity::kInfo:
+      return "INFO";
+    case Severity::kWarning:
+      return "WARN";
+    case Severity::kError:
+      return "ERROR";
+    case Severity::kCritical:
+      return "CRIT";
+  }
+  return "INFO";
+}
+
+Severity severity_from_name(std::string_view name) {
+  if (name == "INFO") return Severity::kInfo;
+  if (name == "WARN") return Severity::kWarning;
+  if (name == "ERROR") return Severity::kError;
+  if (name == "CRIT") return Severity::kCritical;
+  throw common::ParseError("unknown severity '" + std::string(name) + "'");
+}
+
+std::string serialize(const RationalizedRecord& r) {
+  return common::strprintf("%lld %s job=%lld fac=%s sev=%s code=%s %s",
+                           static_cast<long long>(r.time), r.host.c_str(),
+                           static_cast<long long>(r.job_id), r.facility.c_str(),
+                           std::string(severity_name(r.severity)).c_str(), r.code.c_str(),
+                           r.message.c_str());
+}
+
+RationalizedRecord parse(std::string_view line) {
+  const auto parts = common::split_ws(line);
+  if (parts.size() < 6) throw common::ParseError("short rationalized record");
+  RationalizedRecord r;
+  r.time = common::parse_i64(parts[0]);
+  r.host = std::string(parts[1]);
+  auto expect = [](std::string_view tok, std::string_view key) -> std::string_view {
+    if (!common::starts_with(tok, key)) {
+      throw common::ParseError("expected '" + std::string(key) + "' in rationalized record");
+    }
+    return tok.substr(key.size());
+  };
+  r.job_id = common::parse_i64(expect(parts[2], "job="));
+  r.facility = std::string(expect(parts[3], "fac="));
+  r.severity = severity_from_name(expect(parts[4], "sev="));
+  r.code = std::string(expect(parts[5], "code="));
+  // Message: remainder of the line after the code token.
+  const std::size_t code_pos = line.find(parts[5]);
+  const std::size_t msg_pos = code_pos + parts[5].size();
+  if (msg_pos < line.size()) r.message = std::string(common::trim(line.substr(msg_pos)));
+  return r;
+}
+
+JobResolver::JobResolver(const facility::ClusterSpec& spec,
+                         const std::vector<facility::JobExecution>& execs) {
+  for (const auto& e : execs) {
+    for (const std::uint32_t n : e.node_ids) {
+      by_host_[facility::node_hostname(spec, n)].push_back({e.start, e.end, e.req.id});
+    }
+  }
+  for (auto& [host, spans] : by_host_) {
+    std::sort(spans.begin(), spans.end(),
+              [](const Span& a, const Span& b) { return a.start < b.start; });
+  }
+}
+
+facility::JobId JobResolver::job_at(const std::string& host,
+                                    common::TimePoint t) const noexcept {
+  const auto it = by_host_.find(host);
+  if (it == by_host_.end()) return 0;
+  const auto& spans = it->second;
+  auto sp = std::upper_bound(spans.begin(), spans.end(), t,
+                             [](common::TimePoint v, const Span& s) { return v < s.start; });
+  if (sp == spans.begin()) return 0;
+  --sp;
+  // A job's end instant still attributes to the job (exit messages land at
+  // exactly `end`).
+  return (t >= sp->start && t <= sp->end) ? sp->job : 0;
+}
+
+RationalizedRecord rationalize(const RawLogLine& line, const JobResolver& resolver) {
+  RationalizedRecord r;
+  r.time = line.time;
+  r.host = line.host;
+  r.job_id = resolver.job_at(line.host, line.time);
+  r.message = line.text;
+
+  const std::string& t = line.text;
+  auto contains = [&t](std::string_view pat) { return t.find(pat) != std::string::npos; };
+
+  if (contains("Out of memory: Kill process")) {
+    r.facility = "kern";
+    r.severity = Severity::kCritical;
+    r.code = "OOM_KILL";
+  } else if (contains("soft lockup")) {
+    r.facility = "kern";
+    r.severity = Severity::kError;
+    r.code = "SOFT_LOCKUP";
+  } else if (contains("LustreError")) {
+    r.facility = "lustre";
+    r.severity = Severity::kError;
+    r.code = "LUSTRE_ERR";
+  } else if (contains("[Hardware Error]") || common::starts_with(t, "mce:")) {
+    r.facility = "mce";
+    r.severity = Severity::kWarning;
+    r.code = "MCE";
+  } else if (contains("starting job")) {
+    r.facility = "sched";
+    r.severity = Severity::kInfo;
+    r.code = "JOB_START";
+  } else if (contains("exited with status")) {
+    r.facility = "sched";
+    r.severity = Severity::kInfo;
+    r.code = "JOB_EXIT";
+  } else {
+    r.facility = "other";
+    r.severity = Severity::kInfo;
+    r.code = "UNKNOWN";
+  }
+  return r;
+}
+
+std::vector<RawLogLine> generate_syslog(const facility::ClusterSpec& spec,
+                                        const std::vector<facility::AppSignature>& catalogue,
+                                        const std::vector<facility::JobExecution>& execs,
+                                        std::uint64_t seed) {
+  std::vector<RawLogLine> out;
+  common::TimePoint t_min = 0;
+  common::TimePoint t_max = 0;
+
+  for (const auto& e : execs) {
+    if (e.node_ids.empty()) continue;
+    const std::string host0 = facility::node_hostname(spec, e.node_ids[0]);
+    const std::string exe = lariat::exe_for_app(catalogue.at(e.req.app).name);
+    common::RngStream rng(seed, "syslog", static_cast<std::uint64_t>(e.req.id));
+
+    out.push_back({e.start, host0,
+                   common::strprintf("sge_execd[%lld]: starting job %lld",
+                                     2000 + static_cast<long long>(e.req.id % 3000),
+                                     static_cast<long long>(e.req.id))});
+    const int status = e.exit == facility::ExitKind::kOk ? 0 : 1;
+    out.push_back({e.end, host0,
+                   common::strprintf("sge_execd[%lld]: job %lld exited with status %d",
+                                     2000 + static_cast<long long>(e.req.id % 3000),
+                                     static_cast<long long>(e.req.id), status)});
+
+    // OOM kill shortly before the end of failed jobs running near capacity.
+    if (e.exit == facility::ExitKind::kFailed &&
+        e.req.behavior.mem_gb > spec.node.mem_gb * 0.85) {
+      const auto host = facility::node_hostname(
+          spec, e.node_ids[static_cast<std::size_t>(rng.uniform_int(
+                    0, static_cast<std::int64_t>(e.node_ids.size()) - 1))]);
+      out.push_back({std::max(e.start, e.end - 30), host,
+                     common::strprintf(
+                         "kernel: Out of memory: Kill process %lld (%s) score %lld or "
+                         "sacrifice child",
+                         static_cast<long long>(rng.uniform_int(2000, 30000)), exe.c_str(),
+                         static_cast<long long>(rng.uniform_int(700, 999)))});
+    }
+    // Soft lockups for pathologically idle jobs (the paper: anomalous
+    // patterns "may sometimes induce system hangups though soft lockups").
+    if (e.req.behavior.idle_frac > 0.8 && rng.chance(0.08)) {
+      out.push_back(
+          {e.start + e.runtime() / 2, host0,
+           common::strprintf("kernel: BUG: soft lockup - CPU#%lld stuck for %llds! "
+                             "[%s:%lld]",
+                             static_cast<long long>(rng.uniform_int(0, 15)),
+                             static_cast<long long>(rng.uniform_int(22, 120)), exe.c_str(),
+                             static_cast<long long>(rng.uniform_int(2000, 30000)))});
+    }
+    t_min = std::min(t_min == 0 ? e.start : t_min, e.start);
+    t_max = std::max(t_max, e.end);
+  }
+
+  // Background Lustre errors and MCEs across the facility.
+  common::RngStream bg(seed, "syslog-bg", 0);
+  for (common::TimePoint t = t_min; t < t_max;) {
+    t += static_cast<common::Duration>(bg.exponential(6.0 * common::kHour));
+    if (t >= t_max) break;
+    const auto node = static_cast<std::size_t>(
+        bg.uniform_int(0, static_cast<std::int64_t>(spec.node_count) - 1));
+    const std::string host = facility::node_hostname(spec, node);
+    if (bg.chance(0.75)) {
+      out.push_back({t, host,
+                     common::strprintf(
+                         "LustreError: 11-0: scratch-OST%04lld-osc: ost_write operation "
+                         "failed with -%lld",
+                         static_cast<long long>(bg.uniform_int(0, 63)),
+                         static_cast<long long>(bg.uniform_int(5, 122)))});
+    } else {
+      out.push_back({t, host, "mce: [Hardware Error]: Machine check events logged"});
+    }
+  }
+
+  std::sort(out.begin(), out.end(), [](const RawLogLine& a, const RawLogLine& b) {
+    return a.time != b.time ? a.time < b.time : a.host < b.host;
+  });
+  return out;
+}
+
+}  // namespace supremm::loglib

@@ -1,0 +1,50 @@
+#include "pipeline/pipeline.h"
+
+namespace supremm::pipeline {
+
+PipelineResult run_pipeline(const PipelineConfig& config) {
+  PipelineResult run;
+  run.start = config.start;
+  run.span = config.span;
+  run.spec = config.spec;
+  run.catalogue = facility::standard_catalogue();
+  run.population = std::make_unique<facility::UserPopulation>(
+      facility::UserPopulation::generate(run.spec, run.catalogue, config.seed));
+
+  facility::WorkloadConfig wl;
+  wl.start = run.start;
+  wl.span = run.span;
+  wl.seed = config.seed;
+  wl.load_factor = config.load_factor;
+  auto requests = facility::generate_workload(run.spec, run.catalogue, *run.population, wl);
+  if (config.with_maintenance) {
+    run.maintenance = facility::standard_maintenance(run.start, run.span, config.seed);
+  }
+  auto execs = facility::Scheduler::run(run.spec, std::move(requests), run.maintenance);
+  run.engine = std::make_unique<facility::FacilityEngine>(run.spec, std::move(execs),
+                                                          run.maintenance, run.start,
+                                                          run.start + run.span, config.seed);
+
+  const auto outputs = taccstats::run_all_agents(*run.engine, config.agent, config.threads);
+  for (const auto& o : outputs) {
+    run.files.insert(run.files.end(), o.files.begin(), o.files.end());
+  }
+  run.acct = accounting::from_executions(run.spec, *run.population,
+                                         run.engine->executions());
+  run.lariat_records = lariat::from_executions(run.spec, run.catalogue, *run.population,
+                                               run.engine->executions());
+
+  etl::IngestConfig cfg;
+  cfg.start = run.start;
+  cfg.span = run.span;
+  cfg.cluster = run.spec.name;
+  cfg.threads = config.threads;
+  cfg.bucket = config.agent.interval;
+  cfg.min_job_seconds = config.agent.interval;
+  const etl::IngestPipeline ingest(cfg);
+  run.result = ingest.run(run.files, run.acct, run.lariat_records, run.catalogue,
+                          etl::project_science_map(*run.population));
+  return run;
+}
+
+}  // namespace supremm::pipeline

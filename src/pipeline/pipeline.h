@@ -1,0 +1,52 @@
+// One-call driver for the full paper workflow (Figure 1): describe a
+// facility, generate and schedule a workload, run TACC_Stats collection on
+// every node, emit the side-channel logs, and ingest everything into job
+// summaries + facility series. Tests, benches and examples all build on
+// this; fine-grained control remains available through the per-module APIs.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "accounting/accounting.h"
+#include "etl/ingest.h"
+#include "facility/engine.h"
+#include "facility/hardware.h"
+#include "facility/scheduler.h"
+#include "facility/users.h"
+#include "facility/workload.h"
+#include "lariat/lariat.h"
+#include "taccstats/agent.h"
+
+namespace supremm::pipeline {
+
+struct PipelineConfig {
+  facility::ClusterSpec spec;           // e.g. facility::scaled(facility::ranger(), 0.02)
+  common::TimePoint start = 0;
+  common::Duration span = 30 * common::kDay;
+  std::uint64_t seed = 2013;
+  bool with_maintenance = false;
+  double load_factor = 1.0;
+  taccstats::AgentConfig agent;          // collection cadence etc.
+  std::size_t threads = 0;               // 0 = hardware concurrency
+};
+
+struct PipelineResult {
+  facility::ClusterSpec spec;
+  std::vector<facility::AppSignature> catalogue;
+  std::unique_ptr<facility::UserPopulation> population;
+  std::vector<facility::MaintenanceWindow> maintenance;
+  std::unique_ptr<facility::FacilityEngine> engine;
+  std::vector<taccstats::RawFile> files;
+  std::vector<accounting::AccountingRecord> acct;
+  std::vector<lariat::LariatRecord> lariat_records;
+  etl::IngestResult result;
+  common::TimePoint start = 0;
+  common::Duration span = 0;
+};
+
+/// Run simulate -> collect -> ingest. Deterministic in the config.
+[[nodiscard]] PipelineResult run_pipeline(const PipelineConfig& config);
+
+}  // namespace supremm::pipeline

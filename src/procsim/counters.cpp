@@ -1,0 +1,75 @@
+#include "procsim/counters.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace supremm::procsim {
+
+NodeCounters::NodeCounters(std::string hostname, Arch arch, std::size_t sockets,
+                           std::size_t cores_per_socket, std::uint64_t mem_total_kb)
+    : hostname_(std::move(hostname)), arch_(arch) {
+  if (sockets == 0 || cores_per_socket == 0) {
+    throw common::InvalidArgument("node needs >= 1 socket and core");
+  }
+  cpu.resize(sockets * cores_per_socket);
+  perf.assign(sockets * cores_per_socket, PerfCore(arch));
+  mem.resize(sockets);
+  numa.resize(sockets);
+  const std::uint64_t per_socket = mem_total_kb / sockets;
+  for (auto& m : mem) {
+    m.mem_total = per_socket;
+    m.mem_free = per_socket;
+  }
+}
+
+std::uint64_t NodeCounters::mem_total_kb() const noexcept {
+  std::uint64_t t = 0;
+  for (const auto& m : mem) t += m.mem_total;
+  return t;
+}
+
+void NodeCounters::set_mem_used_kb(std::uint64_t node_used_kb, double cached_fraction) {
+  const std::uint64_t total = mem_total_kb();
+  node_used_kb = std::min(node_used_kb, total);
+  const std::size_t n = mem.size();
+  std::uint64_t remaining = node_used_kb;
+  for (std::size_t s = 0; s < n; ++s) {
+    auto& m = mem[s];
+    const std::uint64_t share =
+        s + 1 == n ? remaining : std::min<std::uint64_t>(remaining, node_used_kb / n);
+    remaining -= share;
+    const std::uint64_t used = std::min(share, m.mem_total);
+    m.mem_used = used;
+    m.mem_free = m.mem_total - used;
+    m.cached = static_cast<std::uint64_t>(static_cast<double>(used) * cached_fraction);
+    m.buffers = m.cached / 8;
+    m.anon_pages = used > m.cached + m.buffers ? used - m.cached - m.buffers : 0;
+    m.slab = used / 50;
+  }
+}
+
+namespace {
+template <typename V>
+auto& find_named(V& devs, const std::string& name, const char* what) {
+  for (auto& d : devs) {
+    if (d.name == name) return d;
+  }
+  throw common::NotFoundError(std::string(what) + " '" + name + "'");
+}
+}  // namespace
+
+NetDev& NodeCounters::net(const std::string& name) {
+  return find_named(net_devs, name, "net device");
+}
+const NetDev& NodeCounters::net(const std::string& name) const {
+  return find_named(net_devs, name, "net device");
+}
+LustreMount& NodeCounters::lustre(const std::string& name) {
+  return find_named(lustre_mounts, name, "lustre mount");
+}
+const LustreMount& NodeCounters::lustre(const std::string& name) const {
+  return find_named(lustre_mounts, name, "lustre mount");
+}
+
+}  // namespace supremm::procsim

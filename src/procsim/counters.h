@@ -1,0 +1,211 @@
+// Emulated procfs/sysfs counter state for one compute node.
+//
+// This is the boundary between the facility simulator (which *writes*
+// counters as jobs execute) and the TACC_Stats collector (which *reads* them
+// exactly as the real tool reads /proc, /sys and MSRs). Event counters are
+// monotonic; gauges reflect instantaneous state. The subsystem inventory
+// mirrors the paper's §2 list: performance counters (per core), block device
+// statistics (per device), scheduler accounting (per CPU), InfiniBand usage,
+// Lustre filesystem usage (per mount), Lustre network (LNET) usage, memory
+// usage (per socket), network device usage (per device), NUMA statistics
+// (per socket), process statistics, SysV shared memory, ram-backed
+// filesystem usage (per mount), dentry/file/inode cache usage and virtual
+// memory statistics.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "procsim/perf.h"
+
+namespace supremm::procsim {
+
+/// Per-core scheduler accounting, /proc/stat style, in centiseconds.
+struct CoreCpu {
+  std::uint64_t user = 0;
+  std::uint64_t nice = 0;
+  std::uint64_t system = 0;
+  std::uint64_t idle = 0;
+  std::uint64_t iowait = 0;
+  std::uint64_t irq = 0;
+  std::uint64_t softirq = 0;
+};
+
+/// Per-socket memory, /sys/devices/system/node style, in kilobytes. Gauges.
+struct SocketMem {
+  std::uint64_t mem_total = 0;
+  std::uint64_t mem_used = 0;  // includes buffers + cached, like the paper's mem_used
+  std::uint64_t mem_free = 0;
+  std::uint64_t cached = 0;
+  std::uint64_t buffers = 0;
+  std::uint64_t anon_pages = 0;
+  std::uint64_t slab = 0;
+};
+
+/// /proc/vmstat counters (pages).
+struct VmStats {
+  std::uint64_t pgpgin = 0;
+  std::uint64_t pgpgout = 0;
+  std::uint64_t pswpin = 0;
+  std::uint64_t pswpout = 0;
+  std::uint64_t pgfault = 0;
+  std::uint64_t pgmajfault = 0;
+};
+
+/// /proc/net/dev counters for one interface.
+struct NetDev {
+  std::string name;  // "eth0", "ib0"
+  std::uint64_t rx_bytes = 0;
+  std::uint64_t rx_packets = 0;
+  std::uint64_t rx_errors = 0;
+  std::uint64_t tx_bytes = 0;
+  std::uint64_t tx_packets = 0;
+  std::uint64_t tx_errors = 0;
+};
+
+/// /proc/diskstats counters for one block device (sectors are 512 B).
+struct BlockDev {
+  std::string name;  // "sda"
+  std::uint64_t rd_ios = 0;
+  std::uint64_t rd_sectors = 0;
+  std::uint64_t wr_ios = 0;
+  std::uint64_t wr_sectors = 0;
+  std::uint64_t io_ticks = 0;  // ms the device was busy
+};
+
+/// InfiniBand port counters (sysfs ib counters; bytes, not 4-byte words).
+struct IbPort {
+  std::uint64_t rx_bytes = 0;
+  std::uint64_t rx_packets = 0;
+  std::uint64_t tx_bytes = 0;
+  std::uint64_t tx_packets = 0;
+};
+
+/// Lustre client per-mount counters (llite stats).
+struct LustreMount {
+  std::string name;  // "scratch", "work", "share"
+  std::uint64_t read_bytes = 0;
+  std::uint64_t write_bytes = 0;
+  std::uint64_t open = 0;
+  std::uint64_t close = 0;
+  std::uint64_t getattr = 0;
+};
+
+/// NFS client counters (nfsstat-style; Lonestar4 mounts home over NFS).
+struct NfsStats {
+  std::uint64_t rpc_calls = 0;
+  std::uint64_t read_bytes = 0;
+  std::uint64_t write_bytes = 0;
+  std::uint64_t getattr = 0;
+};
+
+/// Lustre networking (LNET) counters.
+struct LnetStats {
+  std::uint64_t rx_bytes = 0;
+  std::uint64_t tx_bytes = 0;
+  std::uint64_t rx_msgs = 0;
+  std::uint64_t tx_msgs = 0;
+};
+
+/// Per-socket NUMA allocation counters (/sys/devices/system/node/nodeN/numastat).
+struct NumaNode {
+  std::uint64_t numa_hit = 0;
+  std::uint64_t numa_miss = 0;
+  std::uint64_t numa_foreign = 0;
+  std::uint64_t local_node = 0;
+  std::uint64_t other_node = 0;
+};
+
+/// Aggregated hardware + software IRQ delivery counts.
+struct IrqStats {
+  std::uint64_t hw_total = 0;
+  std::uint64_t timer = 0;
+  std::uint64_t net_rx = 0;
+  std::uint64_t sw_total = 0;
+};
+
+/// Process / load statistics ("ps" type in TACC_Stats).
+struct PsStats {
+  std::uint64_t ctxt = 0;            // context switches (counter)
+  std::uint64_t processes = 0;       // forks (counter)
+  std::uint64_t load_1 = 0;          // load average * 100 (gauge)
+  std::uint64_t load_5 = 0;
+  std::uint64_t load_15 = 0;
+  std::uint64_t nr_running = 0;      // gauge
+  std::uint64_t nr_threads = 0;      // gauge
+};
+
+/// SysV shared memory usage (gauges).
+struct SysvShm {
+  std::uint64_t segments = 0;
+  std::uint64_t bytes = 0;
+};
+
+/// Ram-backed filesystem usage per mount (gauge, bytes).
+struct TmpfsMount {
+  std::string name;  // "/dev/shm", "/tmp"
+  std::uint64_t bytes_used = 0;
+};
+
+/// Dentry / open-file / inode cache usage (gauges).
+struct VfsCache {
+  std::uint64_t dentry_use = 0;
+  std::uint64_t file_use = 0;
+  std::uint64_t inode_use = 0;
+};
+
+/// All counter state of one node. The facility engine mutates it through the
+/// public members; collectors take a const reference. Nodes are advanced in
+/// parallel only across *distinct* NodeCounters instances (no shared state).
+class NodeCounters {
+ public:
+  /// `mem_total_kb` is the whole-node capacity, split evenly across sockets.
+  NodeCounters(std::string hostname, Arch arch, std::size_t sockets,
+               std::size_t cores_per_socket, std::uint64_t mem_total_kb);
+
+  [[nodiscard]] const std::string& hostname() const noexcept { return hostname_; }
+  [[nodiscard]] Arch arch() const noexcept { return arch_; }
+  [[nodiscard]] std::size_t sockets() const noexcept { return mem.size(); }
+  [[nodiscard]] std::size_t cores() const noexcept { return cpu.size(); }
+  [[nodiscard]] std::size_t cores_per_socket() const noexcept {
+    return cpu.size() / mem.size();
+  }
+  [[nodiscard]] std::uint64_t mem_total_kb() const noexcept;
+
+  /// Set per-socket used memory from a whole-node figure; buffers/cache are
+  /// apportioned with the given fraction of "used".
+  void set_mem_used_kb(std::uint64_t node_used_kb, double cached_fraction = 0.3);
+
+  /// Find a device by name; throws NotFoundError when absent.
+  [[nodiscard]] NetDev& net(const std::string& name);
+  [[nodiscard]] const NetDev& net(const std::string& name) const;
+  [[nodiscard]] LustreMount& lustre(const std::string& name);
+  [[nodiscard]] const LustreMount& lustre(const std::string& name) const;
+
+  // Counter blocks (public by design: this is a register file, not an
+  // abstraction; the engine and collectors are the only writers/readers).
+  std::vector<CoreCpu> cpu;            // per core
+  std::vector<PerfCore> perf;          // per core
+  std::vector<SocketMem> mem;          // per socket
+  std::vector<NumaNode> numa;          // per socket
+  VmStats vm;
+  std::vector<NetDev> net_devs;
+  std::vector<BlockDev> block_devs;
+  IbPort ib;
+  std::vector<LustreMount> lustre_mounts;
+  LnetStats lnet;
+  NfsStats nfs;
+  bool has_nfs = false;  // whether the node mounts NFS (schema emitted only then)
+  IrqStats irq;
+  PsStats ps;
+  SysvShm sysv_shm;
+  std::vector<TmpfsMount> tmpfs_mounts;
+  VfsCache vfs;
+
+ private:
+  std::string hostname_;
+  Arch arch_;
+};
+
+}  // namespace supremm::procsim

@@ -1,0 +1,93 @@
+#include "procsim/perf.h"
+
+#include "common/error.h"
+
+namespace supremm::procsim {
+
+std::string_view arch_name(Arch a) noexcept {
+  switch (a) {
+    case Arch::kAmd10h:
+      return "amd64_fam10h";
+    case Arch::kIntelWestmere:
+      return "intel_wtm";
+  }
+  return "unknown";
+}
+
+std::string_view perf_event_name(PerfEvent e) noexcept {
+  switch (e) {
+    case PerfEvent::kNone:
+      return "NONE";
+    case PerfEvent::kFlops:
+      return "SSE_FLOPS";
+    case PerfEvent::kMemAccesses:
+      return "MEM_ACCESSES";
+    case PerfEvent::kDcacheFills:
+      return "DCACHE_SYS_FILLS";
+    case PerfEvent::kNumaTraffic:
+      return "NUMA_TRAFFIC";
+    case PerfEvent::kL1DHits:
+      return "L1D_HITS";
+    case PerfEvent::kUserCustom:
+      return "USER_CUSTOM";
+  }
+  return "unknown";
+}
+
+bool arch_supports(Arch arch, PerfEvent event) noexcept {
+  switch (event) {
+    case PerfEvent::kNone:
+    case PerfEvent::kFlops:
+    case PerfEvent::kNumaTraffic:
+    case PerfEvent::kUserCustom:
+      return true;
+    case PerfEvent::kMemAccesses:
+    case PerfEvent::kDcacheFills:
+      return arch == Arch::kAmd10h;
+    case PerfEvent::kL1DHits:
+      return arch == Arch::kIntelWestmere;
+  }
+  return false;
+}
+
+std::vector<PerfEvent> tacc_stats_event_set(Arch arch) {
+  switch (arch) {
+    case Arch::kAmd10h:
+      return {PerfEvent::kFlops, PerfEvent::kMemAccesses, PerfEvent::kDcacheFills,
+              PerfEvent::kNumaTraffic};
+    case Arch::kIntelWestmere:
+      return {PerfEvent::kFlops, PerfEvent::kNumaTraffic, PerfEvent::kL1DHits};
+  }
+  return {};
+}
+
+void PerfCore::program(std::size_t slot, PerfEvent event) {
+  if (slot >= kPerfCountersPerCore) throw common::InvalidArgument("perf slot out of range");
+  if (!arch_supports(arch_, event)) {
+    throw common::InvalidArgument(std::string("perf event ") +
+                                  std::string(perf_event_name(event)) + " unsupported on " +
+                                  std::string(arch_name(arch_)));
+  }
+  regs_[slot].control = event;
+  regs_[slot].value = 0;
+}
+
+std::uint64_t PerfCore::read(std::size_t slot) const {
+  if (slot >= kPerfCountersPerCore) throw common::InvalidArgument("perf slot out of range");
+  return regs_[slot].value;
+}
+
+std::size_t PerfCore::slot_of(PerfEvent event) const noexcept {
+  for (std::size_t i = 0; i < regs_.size(); ++i) {
+    if (regs_[i].control == event) return i;
+  }
+  return npos;
+}
+
+void PerfCore::deliver(PerfEvent event, std::uint64_t count) noexcept {
+  for (auto& r : regs_) {
+    if (r.control == event) r.value += count;
+  }
+}
+
+}  // namespace supremm::procsim

@@ -1,0 +1,90 @@
+// CPU hardware performance counter emulation.
+//
+// Paper §3: "Before beginning each job, TACC_Stats reprograms the
+// performance counters it uses. On AMD Opteron, the events are FLOPS, memory
+// accesses, data cache fills and SMP/NUMA traffic. On Intel
+// Nehalem/Westmere, the events are FLOPS, SMP/NUMA traffic, and L1 data
+// cache hits. At the periodic invocations, TACC_Stats only reads values from
+// performance registers without reprogramming them to avoid overriding
+// measurements initiated by users."
+//
+// We model a per-core register file of programmable counters: each register
+// has a control (event select) and a monotonically increasing value. The
+// facility engine feeds event occurrences; a register accumulates only the
+// event it is currently programmed for. Writing the control register clears
+// the value, exactly like MSR-based PMUs.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace supremm::procsim {
+
+/// Microarchitecture families the paper's clusters used.
+enum class Arch : std::uint8_t {
+  kAmd10h,         // Ranger: AMD Opteron (Barcelona, family 10h)
+  kIntelWestmere,  // Lonestar4: Intel Xeon 5680 (Westmere-EP)
+};
+
+[[nodiscard]] std::string_view arch_name(Arch a) noexcept;
+
+/// Countable events. Which events exist depends on the architecture.
+enum class PerfEvent : std::uint8_t {
+  kNone = 0,
+  kFlops,         // retired floating point (SSE) operations
+  kMemAccesses,   // memory accesses (AMD)
+  kDcacheFills,   // data cache fills (AMD)
+  kNumaTraffic,   // SMP/NUMA traffic (both)
+  kL1DHits,       // L1 data cache hits (Intel)
+  kUserCustom,    // stands in for a user-programmed event we must not clobber
+};
+
+[[nodiscard]] std::string_view perf_event_name(PerfEvent e) noexcept;
+
+/// Whether `arch` can count `event`.
+[[nodiscard]] bool arch_supports(Arch arch, PerfEvent event) noexcept;
+
+/// The event set TACC_Stats programs at job begin on `arch` (paper §3).
+[[nodiscard]] std::vector<PerfEvent> tacc_stats_event_set(Arch arch);
+
+inline constexpr std::size_t kPerfCountersPerCore = 4;
+
+/// One programmable counter: control (event select) + 48-bit-style value.
+struct PerfRegister {
+  PerfEvent control = PerfEvent::kNone;
+  std::uint64_t value = 0;
+};
+
+/// Per-core register file.
+class PerfCore {
+ public:
+  explicit PerfCore(Arch arch) : arch_(arch) {}
+
+  [[nodiscard]] Arch arch() const noexcept { return arch_; }
+  [[nodiscard]] const std::array<PerfRegister, kPerfCountersPerCore>& registers() const noexcept {
+    return regs_;
+  }
+
+  /// Program register `slot` to count `event`; clears its value. Throws on
+  /// unsupported events or bad slots.
+  void program(std::size_t slot, PerfEvent event);
+
+  /// Read a register value (periodic collection path; never reprograms).
+  [[nodiscard]] std::uint64_t read(std::size_t slot) const;
+
+  /// Register currently counting `event`, or npos.
+  [[nodiscard]] std::size_t slot_of(PerfEvent event) const noexcept;
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+  /// Deliver `count` occurrences of `event`; only a register programmed for
+  /// that event accumulates.
+  void deliver(PerfEvent event, std::uint64_t count) noexcept;
+
+ private:
+  Arch arch_;
+  std::array<PerfRegister, kPerfCountersPerCore> regs_{};
+};
+
+}  // namespace supremm::procsim

@@ -1,0 +1,86 @@
+#include "stats/correlation.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "stats/descriptive.h"
+
+namespace supremm::stats {
+
+CorrelationMatrix::CorrelationMatrix(std::vector<std::string> names,
+                                     const std::vector<std::vector<double>>& series)
+    : names_(std::move(names)) {
+  const std::size_t k = names_.size();
+  if (series.size() != k) throw common::InvalidArgument("correlation names/series mismatch");
+  for (const auto& s : series) {
+    if (s.size() != series.front().size()) {
+      throw common::InvalidArgument("correlation series length mismatch");
+    }
+  }
+  m_.assign(k * k, 0.0);
+  for (std::size_t i = 0; i < k; ++i) {
+    m_[i * k + i] = 1.0;
+    for (std::size_t j = i + 1; j < k; ++j) {
+      const double r = pearson(series[i], series[j]);
+      m_[i * k + j] = r;
+      m_[j * k + i] = r;
+    }
+  }
+}
+
+double CorrelationMatrix::at(std::size_t i, std::size_t j) const {
+  if (i >= size() || j >= size()) throw common::InvalidArgument("correlation index out of range");
+  return m_[i * size() + j];
+}
+
+double CorrelationMatrix::at(const std::string& a, const std::string& b) const {
+  return at(index_of(a), index_of(b));
+}
+
+std::size_t CorrelationMatrix::index_of(const std::string& name) const {
+  const auto it = std::find(names_.begin(), names_.end(), name);
+  if (it == names_.end()) throw common::NotFoundError("correlation metric '" + name + "'");
+  return static_cast<std::size_t>(it - names_.begin());
+}
+
+std::vector<CorrelationMatrix::Pair> CorrelationMatrix::correlated_pairs(
+    double threshold) const {
+  std::vector<Pair> out;
+  for (std::size_t i = 0; i < size(); ++i) {
+    for (std::size_t j = i + 1; j < size(); ++j) {
+      const double r = at(i, j);
+      if (std::fabs(r) >= threshold) out.push_back({names_[i], names_[j], r});
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Pair& a, const Pair& b) { return std::fabs(a.r) > std::fabs(b.r); });
+  return out;
+}
+
+std::vector<std::size_t> select_independent(const CorrelationMatrix& corr,
+                                            std::span<const double> priority,
+                                            double threshold) {
+  if (priority.size() != corr.size()) {
+    throw common::InvalidArgument("select_independent priority size mismatch");
+  }
+  std::vector<std::size_t> order(corr.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) { return priority[a] > priority[b]; });
+
+  std::vector<std::size_t> kept;
+  for (const std::size_t cand : order) {
+    bool independent = true;
+    for (const std::size_t k : kept) {
+      if (std::fabs(corr.at(cand, k)) >= threshold) {
+        independent = false;
+        break;
+      }
+    }
+    if (independent) kept.push_back(cand);
+  }
+  return kept;
+}
+
+}  // namespace supremm::stats

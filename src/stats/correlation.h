@@ -1,0 +1,53 @@
+// Correlation matrices and greedy independent-metric selection.
+//
+// Paper §4.2: "We have chosen these eight based on a correlation analysis
+// over all of the measured metrics... we have selected the smallest
+// independent set of metrics that describe the execution behavior of the job
+// mix". CorrelationMatrix computes all pairwise Pearson correlations;
+// select_independent implements the greedy reduction the paper describes:
+// repeatedly keep the most informative metric and drop every metric
+// correlated (|r| >= threshold) with it.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace supremm::stats {
+
+/// Symmetric matrix of pairwise Pearson correlations between named series.
+class CorrelationMatrix {
+ public:
+  /// All series must be equally sized with >= 2 observations.
+  CorrelationMatrix(std::vector<std::string> names,
+                    const std::vector<std::vector<double>>& series);
+
+  [[nodiscard]] std::size_t size() const noexcept { return names_.size(); }
+  [[nodiscard]] const std::vector<std::string>& names() const noexcept { return names_; }
+  [[nodiscard]] double at(std::size_t i, std::size_t j) const;
+  [[nodiscard]] double at(const std::string& a, const std::string& b) const;
+
+  /// Pairs with |r| >= threshold, strongest first (excluding self pairs).
+  struct Pair {
+    std::string a;
+    std::string b;
+    double r = 0.0;
+  };
+  [[nodiscard]] std::vector<Pair> correlated_pairs(double threshold) const;
+
+ private:
+  [[nodiscard]] std::size_t index_of(const std::string& name) const;
+  std::vector<std::string> names_;
+  std::vector<double> m_;  // row-major size x size
+};
+
+/// Greedy independent set: process metrics in order of `priority` (higher
+/// first; e.g. coefficient of variation or domain preference) and keep a
+/// metric only if its |r| with every already kept metric is < threshold.
+/// Returns indices of kept metrics in priority order.
+[[nodiscard]] std::vector<std::size_t> select_independent(const CorrelationMatrix& corr,
+                                                          std::span<const double> priority,
+                                                          double threshold);
+
+}  // namespace supremm::stats

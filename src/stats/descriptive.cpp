@@ -1,0 +1,150 @@
+#include "stats/descriptive.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace supremm::stats {
+
+double Summary::stddev() const { return std::sqrt(variance); }
+
+double Summary::sample_variance() const {
+  if (n < 2) return 0.0;
+  return variance * static_cast<double>(n) / static_cast<double>(n - 1);
+}
+
+double Summary::sample_stddev() const { return std::sqrt(sample_variance()); }
+
+double Summary::cv() const {
+  if (mean == 0.0) return 0.0;
+  return stddev() / std::fabs(mean);
+}
+
+void Accumulator::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void Accumulator::merge(const Accumulator& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double n = na + nb;
+  mean_ += delta * nb / n;
+  m2_ += other.m2_ + delta * delta * na * nb / n;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+Summary Accumulator::summary() const noexcept {
+  Summary s;
+  s.n = n_;
+  s.mean = mean_;
+  s.variance = n_ > 0 ? m2_ / static_cast<double>(n_) : 0.0;
+  s.min = min_;
+  s.max = max_;
+  return s;
+}
+
+void WeightedAccumulator::add(double x, double w) noexcept {
+  if (w <= 0.0) return;
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  wsum_ += w;
+  const double delta = x - mean_;
+  mean_ += delta * w / wsum_;
+  m2_ += w * delta * (x - mean_);
+}
+
+void WeightedAccumulator::merge(const WeightedAccumulator& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double wa = wsum_;
+  const double wb = other.wsum_;
+  const double delta = other.mean_ - mean_;
+  const double w = wa + wb;
+  mean_ += delta * wb / w;
+  m2_ += other.m2_ + delta * delta * wa * wb / w;
+  wsum_ = w;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double WeightedAccumulator::mean() const noexcept { return n_ > 0 ? mean_ : 0.0; }
+
+double WeightedAccumulator::variance() const noexcept {
+  return wsum_ > 0.0 ? m2_ / wsum_ : 0.0;
+}
+
+double WeightedAccumulator::stddev() const noexcept { return std::sqrt(variance()); }
+
+Summary summarize(std::span<const double> xs) noexcept {
+  Accumulator acc;
+  for (const double x : xs) acc.add(x);
+  return acc.summary();
+}
+
+double quantile(std::span<const double> xs, double q) {
+  if (xs.empty()) throw common::InvalidArgument("quantile of empty sample");
+  if (q < 0.0 || q > 1.0) throw common::InvalidArgument("quantile q outside [0,1]");
+  std::vector<double> s(xs.begin(), xs.end());
+  std::sort(s.begin(), s.end());
+  if (s.size() == 1) return s[0];
+  const double pos = q * static_cast<double>(s.size() - 1);
+  const auto i = static_cast<std::size_t>(pos);
+  if (i + 1 >= s.size()) return s.back();
+  const double frac = pos - static_cast<double>(i);
+  return s[i] * (1.0 - frac) + s[i + 1] * frac;
+}
+
+double pearson(std::span<const double> x, std::span<const double> y) {
+  if (x.size() != y.size()) throw common::InvalidArgument("pearson size mismatch");
+  if (x.size() < 2) throw common::InvalidArgument("pearson needs >= 2 points");
+  const std::size_t n = x.size();
+  double mx = 0.0;
+  double my = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    mx += x[i];
+    my += y[i];
+  }
+  mx /= static_cast<double>(n);
+  my /= static_cast<double>(n);
+  double sxy = 0.0;
+  double sxx = 0.0;
+  double syy = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dx = x[i] - mx;
+    const double dy = y[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx == 0.0 || syy == 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+}  // namespace supremm::stats

@@ -1,0 +1,79 @@
+// Descriptive statistics: running accumulators, weighted moments, quantiles.
+//
+// The paper's job-level metrics are "calculated by the job weighted by
+// node*hour" (§4.1); WeightedAccumulator implements exactly that weighting.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace supremm::stats {
+
+/// Moments and range of a sample.
+struct Summary {
+  std::size_t n = 0;
+  double mean = 0.0;
+  double variance = 0.0;  // population variance (/n); see sample_variance
+  double min = 0.0;
+  double max = 0.0;
+
+  [[nodiscard]] double stddev() const;
+  /// Unbiased (/ (n-1)) variance; 0 when n < 2.
+  [[nodiscard]] double sample_variance() const;
+  [[nodiscard]] double sample_stddev() const;
+  /// Coefficient of variation: stddev / |mean| (0 when mean == 0).
+  [[nodiscard]] double cv() const;
+};
+
+/// Numerically stable (Welford) running accumulator.
+class Accumulator {
+ public:
+  void add(double x) noexcept;
+  void merge(const Accumulator& other) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] Summary summary() const noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Weighted running accumulator (weights >= 0); weighted mean/variance and
+/// the weighted max.
+class WeightedAccumulator {
+ public:
+  void add(double x, double w) noexcept;
+  void merge(const WeightedAccumulator& other) noexcept;
+
+  [[nodiscard]] double total_weight() const noexcept { return wsum_; }
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept;
+  [[nodiscard]] double variance() const noexcept;  // weight-frequency variance
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double wsum_ = 0.0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;  // sum w * (x - mean)^2, updated incrementally
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// One-pass summary of a span.
+[[nodiscard]] Summary summarize(std::span<const double> xs) noexcept;
+
+/// Linear-interpolated quantile (q in [0,1]) of an unsorted sample.
+[[nodiscard]] double quantile(std::span<const double> xs, double q);
+
+/// Pearson product-moment correlation of two equally sized spans.
+[[nodiscard]] double pearson(std::span<const double> x, std::span<const double> y);
+
+}  // namespace supremm::stats

@@ -1,0 +1,66 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace supremm::stats {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins) : lo_(lo), hi_(hi) {
+  if (bins == 0) throw common::InvalidArgument("histogram needs >= 1 bin");
+  if (!(hi > lo)) throw common::InvalidArgument("histogram needs hi > lo");
+  counts_.assign(bins, 0.0);
+  width_ = (hi - lo) / static_cast<double>(bins);
+}
+
+void Histogram::add(double x, double weight) noexcept {
+  if (x < lo_) {
+    underflow_ += weight;
+    return;
+  }
+  if (x >= hi_) {
+    overflow_ += weight;
+    return;
+  }
+  auto i = static_cast<std::size_t>((x - lo_) / width_);
+  if (i >= counts_.size()) i = counts_.size() - 1;  // guard fp edge at hi
+  counts_[i] += weight;
+}
+
+double Histogram::bin_lo(std::size_t i) const noexcept {
+  return lo_ + width_ * static_cast<double>(i);
+}
+
+double Histogram::bin_hi(std::size_t i) const noexcept {
+  return lo_ + width_ * static_cast<double>(i + 1);
+}
+
+double Histogram::total() const noexcept {
+  double t = underflow_ + overflow_;
+  for (const double c : counts_) t += c;
+  return t;
+}
+
+std::vector<double> Histogram::density() const {
+  double in_range = 0.0;
+  for (const double c : counts_) in_range += c;
+  std::vector<double> d(counts_.size(), 0.0);
+  if (in_range <= 0.0) return d;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    d[i] = counts_[i] / (in_range * width_);
+  }
+  return d;
+}
+
+Histogram make_histogram(std::span<const double> xs, std::size_t bins) {
+  if (xs.empty()) throw common::InvalidArgument("make_histogram of empty sample");
+  const auto [mn, mx] = std::minmax_element(xs.begin(), xs.end());
+  double lo = *mn;
+  double hi = *mx;
+  if (hi <= lo) hi = lo + 1.0;
+  Histogram h(lo, hi + (hi - lo) * 1e-9, bins);
+  for (const double x : xs) h.add(x);
+  return h;
+}
+
+}  // namespace supremm::stats

@@ -1,0 +1,43 @@
+// Fixed-width histogram, used by reports that want binned views and as a
+// cross-check against the KDE (which the paper prefers to avoid binning
+// choices).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace supremm::stats {
+
+class Histogram {
+ public:
+  /// Bins of equal width over [lo, hi); values outside are counted in
+  /// underflow/overflow.
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x, double weight = 1.0) noexcept;
+
+  [[nodiscard]] std::size_t bins() const noexcept { return counts_.size(); }
+  [[nodiscard]] double bin_lo(std::size_t i) const noexcept;
+  [[nodiscard]] double bin_hi(std::size_t i) const noexcept;
+  [[nodiscard]] double count(std::size_t i) const noexcept { return counts_[i]; }
+  [[nodiscard]] double underflow() const noexcept { return underflow_; }
+  [[nodiscard]] double overflow() const noexcept { return overflow_; }
+  [[nodiscard]] double total() const noexcept;
+
+  /// Normalized so the in-range mass integrates to 1 (density per unit x).
+  [[nodiscard]] std::vector<double> density() const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<double> counts_;
+  double underflow_ = 0.0;
+  double overflow_ = 0.0;
+};
+
+/// Build a histogram spanning the data range.
+[[nodiscard]] Histogram make_histogram(std::span<const double> xs, std::size_t bins);
+
+}  // namespace supremm::stats

@@ -1,0 +1,124 @@
+#include "stats/kde.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "stats/descriptive.h"
+
+namespace supremm::stats {
+
+double Density::mode() const {
+  if (y.empty()) return 0.0;
+  const auto it = std::max_element(y.begin(), y.end());
+  return x[static_cast<std::size_t>(it - y.begin())];
+}
+
+double Density::integral() const {
+  double s = 0.0;
+  for (std::size_t i = 1; i < x.size(); ++i) {
+    s += 0.5 * (y[i] + y[i - 1]) * (x[i] - x[i - 1]);
+  }
+  return s;
+}
+
+double Density::at(double xq) const {
+  if (x.empty() || xq < x.front() || xq > x.back()) return 0.0;
+  const auto it = std::lower_bound(x.begin(), x.end(), xq);
+  const auto i = static_cast<std::size_t>(it - x.begin());
+  if (i == 0) return y.front();
+  const double x0 = x[i - 1];
+  const double x1 = x[i];
+  const double frac = x1 > x0 ? (xq - x0) / (x1 - x0) : 0.0;
+  return y[i - 1] * (1.0 - frac) + y[i] * frac;
+}
+
+double select_bandwidth(std::span<const double> xs, Bandwidth rule) {
+  if (xs.size() < 2) throw common::InvalidArgument("bandwidth needs >= 2 points");
+  const Summary s = summarize(xs);
+  const double sd = s.sample_stddev();
+  const double n_pow = std::pow(static_cast<double>(xs.size()), -0.2);
+  double bw = 0.0;
+  switch (rule) {
+    case Bandwidth::kScott:
+      bw = 1.06 * sd * n_pow;
+      break;
+    case Bandwidth::kNrd0: {
+      const double iqr = quantile(xs, 0.75) - quantile(xs, 0.25);
+      double spread = sd;
+      if (iqr > 0.0) spread = std::min(sd, iqr / 1.34);
+      if (spread == 0.0) spread = sd;
+      bw = 0.9 * spread * n_pow;
+      break;
+    }
+  }
+  if (bw <= 0.0) {
+    // Degenerate sample (all identical); fall back to a small positive
+    // bandwidth relative to the magnitude so the density is a narrow bump.
+    bw = std::max(1e-9, std::fabs(s.mean) * 1e-3 + 1e-9);
+  }
+  return bw;
+}
+
+namespace {
+
+Density kde_impl(std::span<const double> xs, const double* ws, std::size_t grid_points,
+                 Bandwidth rule, double cut) {
+  if (xs.empty()) throw common::InvalidArgument("kde of empty sample");
+  if (grid_points < 2) throw common::InvalidArgument("kde grid needs >= 2 points");
+
+  const double bw = select_bandwidth(xs, rule);
+  const auto [min_it, max_it] = std::minmax_element(xs.begin(), xs.end());
+  const double lo = *min_it - cut * bw;
+  const double hi = *max_it + cut * bw;
+  const double step = (hi - lo) / static_cast<double>(grid_points - 1);
+
+  Density d;
+  d.bandwidth = bw;
+  d.x.resize(grid_points);
+  d.y.assign(grid_points, 0.0);
+  for (std::size_t i = 0; i < grid_points; ++i) {
+    d.x[i] = lo + step * static_cast<double>(i);
+  }
+
+  double wtotal = 0.0;
+  if (ws != nullptr) {
+    for (std::size_t i = 0; i < xs.size(); ++i) wtotal += ws[i];
+    if (wtotal <= 0.0) throw common::InvalidArgument("kde weights sum to zero");
+  } else {
+    wtotal = static_cast<double>(xs.size());
+  }
+
+  const double norm = 1.0 / (wtotal * bw * std::sqrt(2.0 * M_PI));
+  // Direct evaluation; kernels beyond 6 bandwidths contribute < 1e-8 and
+  // are skipped to keep large-sample KDE fast.
+  const double reach = 6.0 * bw;
+  for (std::size_t j = 0; j < xs.size(); ++j) {
+    const double xj = xs[j];
+    const double wj = ws != nullptr ? ws[j] : 1.0;
+    if (wj <= 0.0) continue;
+    const auto i0 =
+        static_cast<std::size_t>(std::max(0.0, std::floor((xj - reach - lo) / step)));
+    const auto i1 = std::min(
+        grid_points, static_cast<std::size_t>(std::max(0.0, std::ceil((xj + reach - lo) / step))) + 1);
+    for (std::size_t i = i0; i < i1; ++i) {
+      const double u = (d.x[i] - xj) / bw;
+      d.y[i] += wj * norm * std::exp(-0.5 * u * u);
+    }
+  }
+  return d;
+}
+
+}  // namespace
+
+Density kde(std::span<const double> xs, std::size_t grid_points, Bandwidth rule, double cut) {
+  return kde_impl(xs, nullptr, grid_points, rule, cut);
+}
+
+Density kde_weighted(std::span<const double> xs, std::span<const double> ws,
+                     std::size_t grid_points, Bandwidth rule, double cut) {
+  if (xs.size() != ws.size()) throw common::InvalidArgument("kde_weighted size mismatch");
+  return kde_impl(xs, ws.data(), grid_points, rule, cut);
+}
+
+}  // namespace supremm::stats

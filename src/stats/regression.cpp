@@ -1,0 +1,79 @@
+#include "stats/regression.h"
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.h"
+#include "stats/special.h"
+
+namespace supremm::stats {
+
+LinearFit linear_fit(std::span<const double> x, std::span<const double> y) {
+  if (x.size() != y.size()) throw common::InvalidArgument("linear_fit size mismatch");
+  const std::size_t n = x.size();
+  if (n < 2) throw common::InvalidArgument("linear_fit needs >= 2 points");
+
+  double mx = 0.0;
+  double my = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    mx += x[i];
+    my += y[i];
+  }
+  mx /= static_cast<double>(n);
+  my /= static_cast<double>(n);
+
+  double sxx = 0.0;
+  double sxy = 0.0;
+  double syy = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dx = x[i] - mx;
+    const double dy = y[i] - my;
+    sxx += dx * dx;
+    sxy += dx * dy;
+    syy += dy * dy;
+  }
+  if (sxx == 0.0) throw common::InvalidArgument("linear_fit: x has zero variance");
+
+  LinearFit fit;
+  fit.n = n;
+  fit.slope = sxy / sxx;
+  fit.intercept = my - fit.slope * mx;
+
+  double ss_res = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double r = y[i] - fit.predict(x[i]);
+    ss_res += r * r;
+  }
+  fit.r2 = syy > 0.0 ? 1.0 - ss_res / syy : 1.0;
+
+  if (n > 2) {
+    const double df = static_cast<double>(n - 2);
+    const double s2 = ss_res / df;
+    fit.residual_stddev = std::sqrt(s2);
+    fit.slope_stderr = std::sqrt(s2 / sxx);
+    fit.intercept_stderr =
+        std::sqrt(s2 * (1.0 / static_cast<double>(n) + mx * mx / sxx));
+    if (fit.slope_stderr > 0.0) {
+      fit.slope_p = student_t_two_sided_p(fit.slope / fit.slope_stderr, df);
+    } else {
+      fit.slope_p = 0.0;
+    }
+    if (fit.intercept_stderr > 0.0) {
+      fit.intercept_p = student_t_two_sided_p(fit.intercept / fit.intercept_stderr, df);
+    } else {
+      fit.intercept_p = fit.intercept == 0.0 ? 1.0 : 0.0;
+    }
+  }
+  return fit;
+}
+
+LinearFit log10_fit(std::span<const double> x, std::span<const double> y) {
+  std::vector<double> lx(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    if (x[i] <= 0.0) throw common::InvalidArgument("log10_fit requires positive x");
+    lx[i] = std::log10(x[i]);
+  }
+  return linear_fit(lx, y);
+}
+
+}  // namespace supremm::stats

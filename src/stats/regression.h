@@ -1,0 +1,34 @@
+// Ordinary least squares with significance tests.
+//
+// Figure 6 of the paper fits the normalized persistence ratio against
+// log10(offset) and reports intercept/slope with p-values and R^2 (e.g.
+// Ranger: intercept -0.17 p=0.016, slope 0.36 p=5e-12, R^2=0.87). LinearFit
+// reproduces all of those quantities.
+#pragma once
+
+#include <span>
+
+namespace supremm::stats {
+
+/// Result of a simple (one regressor) OLS fit y = intercept + slope * x.
+struct LinearFit {
+  std::size_t n = 0;
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r2 = 0.0;
+  double slope_stderr = 0.0;
+  double intercept_stderr = 0.0;
+  double slope_p = 1.0;      // two-sided p-value of slope != 0
+  double intercept_p = 1.0;  // two-sided p-value of intercept != 0
+  double residual_stddev = 0.0;
+
+  [[nodiscard]] double predict(double x) const { return intercept + slope * x; }
+};
+
+/// OLS fit of y on x. Requires n >= 3 for p-values (df = n - 2).
+[[nodiscard]] LinearFit linear_fit(std::span<const double> x, std::span<const double> y);
+
+/// Fit y on log10(x); x values must be positive.
+[[nodiscard]] LinearFit log10_fit(std::span<const double> x, std::span<const double> y);
+
+}  // namespace supremm::stats

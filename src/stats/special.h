@@ -1,0 +1,18 @@
+// Special functions needed for significance testing: the regularized
+// incomplete beta function and the Student-t distribution CDF. Implemented
+// from scratch (Lentz continued fraction) so the library has no external
+// numeric dependencies.
+#pragma once
+
+namespace supremm::stats {
+
+/// Regularized incomplete beta function I_x(a, b), a,b > 0, x in [0,1].
+[[nodiscard]] double incomplete_beta(double a, double b, double x);
+
+/// CDF of Student's t distribution with `df` degrees of freedom.
+[[nodiscard]] double student_t_cdf(double t, double df);
+
+/// Two-sided p-value for a t statistic with `df` degrees of freedom.
+[[nodiscard]] double student_t_two_sided_p(double t, double df);
+
+}  // namespace supremm::stats

@@ -1,0 +1,58 @@
+#include "stats/structure.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/error.h"
+#include "stats/descriptive.h"
+
+namespace supremm::stats {
+
+double offset_sd_ratio(std::span<const double> xs, std::size_t lag) {
+  if (lag == 0) throw common::InvalidArgument("offset_sd_ratio lag must be > 0");
+  if (xs.size() <= lag + 1) return std::numeric_limits<double>::quiet_NaN();
+
+  const Summary base = summarize(xs);
+  const double base_sd = base.sample_stddev();
+  if (base_sd == 0.0) return std::numeric_limits<double>::quiet_NaN();
+
+  Accumulator diff;
+  for (std::size_t i = 0; i + lag < xs.size(); ++i) {
+    diff.add(xs[i + lag] - xs[i]);
+  }
+  const double diff_sd = diff.summary().sample_stddev();
+  return diff_sd / (std::sqrt(2.0) * base_sd);
+}
+
+std::vector<double> offset_sd_ratios(std::span<const double> xs,
+                                     std::span<const std::size_t> lags) {
+  std::vector<double> out;
+  out.reserve(lags.size());
+  for (const std::size_t lag : lags) out.push_back(offset_sd_ratio(xs, lag));
+  return out;
+}
+
+double PersistenceFit::horizon_minutes() const {
+  if (fit.slope <= 0.0) return std::numeric_limits<double>::infinity();
+  return std::pow(10.0, (1.0 - fit.intercept) / fit.slope);
+}
+
+PersistenceFit fit_persistence(std::span<const double> offsets_minutes,
+                               std::span<const double> ratios) {
+  if (offsets_minutes.size() != ratios.size()) {
+    throw common::InvalidArgument("fit_persistence size mismatch");
+  }
+  PersistenceFit out;
+  for (std::size_t i = 0; i < ratios.size(); ++i) {
+    if (std::isnan(ratios[i])) continue;
+    out.offsets.push_back(offsets_minutes[i]);
+    out.ratios.push_back(ratios[i]);
+  }
+  if (out.offsets.size() < 3) {
+    throw common::InvalidArgument("fit_persistence needs >= 3 finite points");
+  }
+  out.fit = log10_fit(out.offsets, out.ratios);
+  return out;
+}
+
+}  // namespace supremm::stats

@@ -1,0 +1,51 @@
+// Persistence (structure-function) analysis.
+//
+// Paper §4.3.4 / Table 1 / Figure 6: "introduce an offset... take the
+// difference between the offset values and the original values and look at
+// the standard deviation of this difference... If there is no tendency to
+// persist, the standard deviation should be approximately equal to the
+// original standard deviation of the metric."
+//
+// We follow the paper's convention exactly: for a series x sampled on a
+// regular axis and a lag of k samples,
+//
+//   ratio(k) = sd( x[i+k] - x[i] ) / ( sqrt(2) * sd(x) )
+//
+// The sqrt(2) places the no-persistence limit at 1.0 (sd of the difference
+// of two independent equally distributed values is sqrt(2)*sd), matching the
+// table's saturation at ~1.0 for long offsets; for a perfectly persistent
+// series ratio = 0. ratio(k) = sqrt(1 - autocorrelation(k)).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "stats/regression.h"
+
+namespace supremm::stats {
+
+/// ratio(k) as defined above for a single lag of k samples. Requires the
+/// series to have more than k points and non-zero variance.
+[[nodiscard]] double offset_sd_ratio(std::span<const double> xs, std::size_t lag);
+
+/// ratio for each lag in `lags`. Lags that exceed the series length yield
+/// NaN (the paper's Table 1 leaves such cells blank).
+[[nodiscard]] std::vector<double> offset_sd_ratios(std::span<const double> xs,
+                                                   std::span<const std::size_t> lags);
+
+/// Result of the logarithmic persistence model ratio = a + b*log10(offset).
+struct PersistenceFit {
+  LinearFit fit;                 // over (log10(offset_minutes), ratio)
+  std::vector<double> offsets;   // offsets (minutes) actually used
+  std::vector<double> ratios;    // matching ratios (NaN rows dropped)
+
+  /// Offset (minutes) at which the model predicts ratio == 1 (persistence
+  /// exhausted); the paper relates this to the average job length.
+  [[nodiscard]] double horizon_minutes() const;
+};
+
+/// Fit the log10 model over (offset, ratio) pairs, dropping NaN ratios.
+[[nodiscard]] PersistenceFit fit_persistence(std::span<const double> offsets_minutes,
+                                             std::span<const double> ratios);
+
+}  // namespace supremm::stats

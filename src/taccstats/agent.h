@@ -1,0 +1,70 @@
+// The per-node TACC_Stats agent.
+//
+// Drives collection on one node across simulated time: a sample at every
+// job begin (after reprogramming the performance counters), every `interval`
+// during execution (reads only - never reprograms, to avoid clobbering
+// counters a user may have programmed), at job end, and at daily rotation
+// boundaries. Produces one RawFile per node-day plus byte/overhead
+// accounting used by the §3 claims bench (0.1% overhead, ~0.5 MB/node/day).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "facility/engine.h"
+#include "taccstats/collectors.h"
+#include "taccstats/writer.h"
+
+namespace supremm::taccstats {
+
+struct AgentConfig {
+  common::Duration interval = 10 * common::kMinute;
+  bool rotate_daily = true;
+  /// Probability (deterministic per job id) that a job's user reprograms a
+  /// counter mid-run; periodic samples then carry the user's CTL value and
+  /// the ETL must discard the affected event for that job.
+  double user_counter_prob = 0.02;
+  /// sysstat/SAR baseline mode (paper §1.2/§3): sample periodically with NO
+  /// job tagging, NO begin/end marks and NO hardware performance counters.
+  /// Downstream, only system-level series survive - no job, user or
+  /// application analysis is possible. Used by the ablation benches.
+  bool sar_mode = false;
+};
+
+struct NodeOutput {
+  std::vector<RawFile> files;
+  std::uint64_t bytes = 0;
+  std::size_t samples = 0;
+};
+
+/// Whether job `id` is one whose user programs their own counters (pure
+/// function so tests and ETL fixtures can predict it).
+[[nodiscard]] bool user_programs_counters(facility::JobId id, double prob) noexcept;
+
+class NodeAgent {
+ public:
+  NodeAgent(facility::FacilityEngine& engine, std::size_t node, AgentConfig config);
+
+  /// Run collection across the engine's [start, horizon) for this node.
+  [[nodiscard]] NodeOutput run();
+
+ private:
+  void take_sample(common::TimePoint t, std::int64_t job_id, SampleMark mark,
+                   NodeOutput& out);
+  void ensure_file(common::TimePoint t, NodeOutput& out);
+
+  facility::FacilityEngine& engine_;
+  std::size_t node_;
+  AgentConfig config_;
+  SchemaRegistry registry_;
+  std::vector<std::unique_ptr<Collector>> collectors_;
+  RawWriter writer_;
+  std::int64_t current_day_ = -1;
+};
+
+/// Run agents for every node (parallel across nodes; deterministic).
+[[nodiscard]] std::vector<NodeOutput> run_all_agents(facility::FacilityEngine& engine,
+                                                     const AgentConfig& config,
+                                                     std::size_t threads = 0);
+
+}  // namespace supremm::taccstats

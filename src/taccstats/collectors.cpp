@@ -1,0 +1,246 @@
+#include "taccstats/collectors.h"
+
+#include "common/strings.h"
+
+namespace supremm::taccstats {
+
+namespace {
+
+using procsim::NodeCounters;
+
+std::string core_dev(std::size_t i) { return common::strprintf("%zu", i); }
+
+class CpuCollector final : public Collector {
+ public:
+  [[nodiscard]] std::string type() const override { return "cpu"; }
+  [[nodiscard]] TypeRecord collect(const NodeCounters& nc) const override {
+    TypeRecord r{type(), {}};
+    r.rows.reserve(nc.cpu.size());
+    for (std::size_t i = 0; i < nc.cpu.size(); ++i) {
+      const auto& c = nc.cpu[i];
+      r.rows.push_back(
+          {core_dev(i), {c.user, c.nice, c.system, c.idle, c.iowait, c.irq, c.softirq}});
+    }
+    return r;
+  }
+};
+
+class PerfCollector final : public Collector {
+ public:
+  explicit PerfCollector(procsim::Arch arch)
+      : type_(SchemaRegistry::perf_type_name(arch)) {}
+  [[nodiscard]] std::string type() const override { return type_; }
+  [[nodiscard]] TypeRecord collect(const NodeCounters& nc) const override {
+    TypeRecord r{type_, {}};
+    r.rows.reserve(nc.perf.size());
+    for (std::size_t i = 0; i < nc.perf.size(); ++i) {
+      DeviceRow row{core_dev(i), {}};
+      const auto& regs = nc.perf[i].registers();
+      row.values.reserve(2 * regs.size());
+      // CTL registers first (the programmed event ids), then CTR values:
+      // the periodic path *reads only*, mirroring the real tool.
+      for (const auto& reg : regs) {
+        row.values.push_back(static_cast<std::uint64_t>(reg.control));
+      }
+      for (const auto& reg : regs) row.values.push_back(reg.value);
+      r.rows.push_back(std::move(row));
+    }
+    return r;
+  }
+
+ private:
+  std::string type_;
+};
+
+class MemCollector final : public Collector {
+ public:
+  [[nodiscard]] std::string type() const override { return "mem"; }
+  [[nodiscard]] TypeRecord collect(const NodeCounters& nc) const override {
+    TypeRecord r{type(), {}};
+    for (std::size_t s = 0; s < nc.mem.size(); ++s) {
+      const auto& m = nc.mem[s];
+      r.rows.push_back({core_dev(s),
+                        {m.mem_total, m.mem_used, m.mem_free, m.cached, m.buffers,
+                         m.anon_pages, m.slab}});
+    }
+    return r;
+  }
+};
+
+class VmCollector final : public Collector {
+ public:
+  [[nodiscard]] std::string type() const override { return "vm"; }
+  [[nodiscard]] TypeRecord collect(const NodeCounters& nc) const override {
+    const auto& v = nc.vm;
+    return {type(),
+            {{"-", {v.pgpgin, v.pgpgout, v.pswpin, v.pswpout, v.pgfault, v.pgmajfault}}}};
+  }
+};
+
+class NetCollector final : public Collector {
+ public:
+  [[nodiscard]] std::string type() const override { return "net"; }
+  [[nodiscard]] TypeRecord collect(const NodeCounters& nc) const override {
+    TypeRecord r{type(), {}};
+    for (const auto& d : nc.net_devs) {
+      r.rows.push_back({d.name,
+                        {d.rx_bytes, d.rx_packets, d.rx_errors, d.tx_bytes, d.tx_packets,
+                         d.tx_errors}});
+    }
+    return r;
+  }
+};
+
+class BlockCollector final : public Collector {
+ public:
+  [[nodiscard]] std::string type() const override { return "block"; }
+  [[nodiscard]] TypeRecord collect(const NodeCounters& nc) const override {
+    TypeRecord r{type(), {}};
+    for (const auto& d : nc.block_devs) {
+      r.rows.push_back(
+          {d.name, {d.rd_ios, d.rd_sectors, d.wr_ios, d.wr_sectors, d.io_ticks}});
+    }
+    return r;
+  }
+};
+
+class IbCollector final : public Collector {
+ public:
+  [[nodiscard]] std::string type() const override { return "ib"; }
+  [[nodiscard]] TypeRecord collect(const NodeCounters& nc) const override {
+    const auto& p = nc.ib;
+    return {type(), {{"mlx4_0.1", {p.rx_bytes, p.rx_packets, p.tx_bytes, p.tx_packets}}}};
+  }
+};
+
+class LliteCollector final : public Collector {
+ public:
+  [[nodiscard]] std::string type() const override { return "llite"; }
+  [[nodiscard]] TypeRecord collect(const NodeCounters& nc) const override {
+    TypeRecord r{type(), {}};
+    for (const auto& m : nc.lustre_mounts) {
+      r.rows.push_back(
+          {m.name, {m.read_bytes, m.write_bytes, m.open, m.close, m.getattr}});
+    }
+    return r;
+  }
+};
+
+class LnetCollector final : public Collector {
+ public:
+  [[nodiscard]] std::string type() const override { return "lnet"; }
+  [[nodiscard]] TypeRecord collect(const NodeCounters& nc) const override {
+    const auto& l = nc.lnet;
+    return {type(), {{"-", {l.rx_bytes, l.tx_bytes, l.rx_msgs, l.tx_msgs}}}};
+  }
+};
+
+class NfsCollector final : public Collector {
+ public:
+  [[nodiscard]] std::string type() const override { return "nfs"; }
+  [[nodiscard]] TypeRecord collect(const NodeCounters& nc) const override {
+    TypeRecord r{type(), {}};
+    // Nodes without an NFS mount report the type with no rows (the real
+    // tool's types are present but empty when a subsystem is absent).
+    if (nc.has_nfs) {
+      r.rows.push_back(
+          {"-", {nc.nfs.rpc_calls, nc.nfs.read_bytes, nc.nfs.write_bytes, nc.nfs.getattr}});
+    }
+    return r;
+  }
+};
+
+class NumaCollector final : public Collector {
+ public:
+  [[nodiscard]] std::string type() const override { return "numa"; }
+  [[nodiscard]] TypeRecord collect(const NodeCounters& nc) const override {
+    TypeRecord r{type(), {}};
+    for (std::size_t s = 0; s < nc.numa.size(); ++s) {
+      const auto& n = nc.numa[s];
+      r.rows.push_back(
+          {core_dev(s),
+           {n.numa_hit, n.numa_miss, n.numa_foreign, n.local_node, n.other_node}});
+    }
+    return r;
+  }
+};
+
+class IrqCollector final : public Collector {
+ public:
+  [[nodiscard]] std::string type() const override { return "irq"; }
+  [[nodiscard]] TypeRecord collect(const NodeCounters& nc) const override {
+    const auto& q = nc.irq;
+    return {type(), {{"-", {q.hw_total, q.timer, q.net_rx, q.sw_total}}}};
+  }
+};
+
+class PsCollector final : public Collector {
+ public:
+  [[nodiscard]] std::string type() const override { return "ps"; }
+  [[nodiscard]] TypeRecord collect(const NodeCounters& nc) const override {
+    const auto& p = nc.ps;
+    return {type(),
+            {{"-",
+              {p.ctxt, p.processes, p.load_1, p.load_5, p.load_15, p.nr_running,
+               p.nr_threads}}}};
+  }
+};
+
+class SysvShmCollector final : public Collector {
+ public:
+  [[nodiscard]] std::string type() const override { return "sysv_shm"; }
+  [[nodiscard]] TypeRecord collect(const NodeCounters& nc) const override {
+    return {type(), {{"-", {nc.sysv_shm.segments, nc.sysv_shm.bytes}}}};
+  }
+};
+
+class TmpfsCollector final : public Collector {
+ public:
+  [[nodiscard]] std::string type() const override { return "tmpfs"; }
+  [[nodiscard]] TypeRecord collect(const NodeCounters& nc) const override {
+    TypeRecord r{type(), {}};
+    for (const auto& m : nc.tmpfs_mounts) r.rows.push_back({m.name, {m.bytes_used}});
+    return r;
+  }
+};
+
+class VfsCollector final : public Collector {
+ public:
+  [[nodiscard]] std::string type() const override { return "vfs"; }
+  [[nodiscard]] TypeRecord collect(const NodeCounters& nc) const override {
+    return {type(), {{"-", {nc.vfs.dentry_use, nc.vfs.file_use, nc.vfs.inode_use}}}};
+  }
+};
+
+}  // namespace
+
+std::vector<std::unique_ptr<Collector>> standard_collectors(procsim::Arch arch) {
+  std::vector<std::unique_ptr<Collector>> out;
+  out.push_back(std::make_unique<CpuCollector>());
+  out.push_back(std::make_unique<PerfCollector>(arch));
+  out.push_back(std::make_unique<MemCollector>());
+  out.push_back(std::make_unique<VmCollector>());
+  out.push_back(std::make_unique<NetCollector>());
+  out.push_back(std::make_unique<BlockCollector>());
+  out.push_back(std::make_unique<IbCollector>());
+  out.push_back(std::make_unique<LliteCollector>());
+  out.push_back(std::make_unique<LnetCollector>());
+  out.push_back(std::make_unique<NfsCollector>());
+  out.push_back(std::make_unique<NumaCollector>());
+  out.push_back(std::make_unique<IrqCollector>());
+  out.push_back(std::make_unique<PsCollector>());
+  out.push_back(std::make_unique<SysvShmCollector>());
+  out.push_back(std::make_unique<TmpfsCollector>());
+  out.push_back(std::make_unique<VfsCollector>());
+  return out;
+}
+
+std::vector<TypeRecord> collect_all(const std::vector<std::unique_ptr<Collector>>& collectors,
+                                    const procsim::NodeCounters& nc) {
+  std::vector<TypeRecord> out;
+  out.reserve(collectors.size());
+  for (const auto& c : collectors) out.push_back(c->collect(nc));
+  return out;
+}
+
+}  // namespace supremm::taccstats

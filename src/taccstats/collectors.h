@@ -1,0 +1,35 @@
+// Per-subsystem collectors: read procsim counter state into TypeRecords.
+//
+// Each collector mirrors one "type" of the real tool (st_cpu, st_mem, ...).
+// Collectors are stateless; the full set for a node is assembled by
+// collect_all(). Swapping procsim::NodeCounters for a real /proc reader is
+// the only change needed to run against real hardware.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "procsim/counters.h"
+#include "taccstats/record.h"
+#include "taccstats/schema.h"
+
+namespace supremm::taccstats {
+
+/// Interface of one subsystem collector.
+class Collector {
+ public:
+  virtual ~Collector() = default;
+  [[nodiscard]] virtual std::string type() const = 0;
+  [[nodiscard]] virtual TypeRecord collect(const procsim::NodeCounters& nc) const = 0;
+};
+
+/// The standard collector set for `arch`, in schema order.
+[[nodiscard]] std::vector<std::unique_ptr<Collector>> standard_collectors(procsim::Arch arch);
+
+/// Collect every type from a node. `registry` must match `arch`.
+[[nodiscard]] std::vector<TypeRecord> collect_all(
+    const std::vector<std::unique_ptr<Collector>>& collectors,
+    const procsim::NodeCounters& nc);
+
+}  // namespace supremm::taccstats

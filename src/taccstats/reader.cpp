@@ -1,0 +1,124 @@
+#include "taccstats/reader.h"
+
+#include <cctype>
+
+#include "common/error.h"
+#include "common/strings.h"
+
+namespace supremm::taccstats {
+
+using common::split_ws;
+using common::starts_with;
+
+SampleMark parse_mark(std::string_view name) {
+  if (name == "periodic") return SampleMark::kPeriodic;
+  if (name == "begin") return SampleMark::kJobBegin;
+  if (name == "end") return SampleMark::kJobEnd;
+  if (name == "rotate") return SampleMark::kRotate;
+  throw common::ParseError("unknown sample mark '" + std::string(name) + "'");
+}
+
+ParsedFile parse_raw(std::string_view content) {
+  ParsedFile out;
+  std::vector<Schema> schemas;
+  bool saw_magic = false;
+
+  std::size_t pos = 0;
+  std::size_t line_no = 0;
+  Sample* current = nullptr;
+
+  while (pos < content.size()) {
+    std::size_t eol = content.find('\n', pos);
+    if (eol == std::string_view::npos) eol = content.size();
+    const std::string_view line = content.substr(pos, eol - pos);
+    pos = eol + 1;
+    ++line_no;
+    if (line.empty()) continue;
+
+    const char c0 = line[0];
+    if (c0 == '$') {
+      const auto parts = split_ws(line.substr(1));
+      if (parts.empty()) throw common::ParseError("bad metadata line");
+      if (parts[0] == "tacc_stats" && parts.size() >= 2) {
+        out.version = std::string(parts[1]);
+        saw_magic = true;
+      } else if (parts[0] == "hostname" && parts.size() >= 2) {
+        out.hostname = std::string(parts[1]);
+      }
+      continue;
+    }
+    if (c0 == '!') {
+      schemas.push_back(Schema::parse(line));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c0)) != 0) {
+      // Sample header: <time> <jobid> <mark>
+      const auto parts = split_ws(line);
+      if (parts.size() != 3) {
+        throw common::ParseError(common::strprintf("bad sample header at line %zu", line_no));
+      }
+      out.samples.emplace_back();
+      current = &out.samples.back();
+      current->time = common::parse_i64(parts[0]);
+      current->job_id = common::parse_i64(parts[1]);
+      current->mark = parse_mark(parts[2]);
+      // Commit schemas on first sample.
+      if (out.schemas.all().empty() && !schemas.empty()) {
+        out.schemas = SchemaRegistry(schemas);
+      }
+      continue;
+    }
+    // Type row: <type> <device> <values...>
+    if (current == nullptr) {
+      throw common::ParseError(common::strprintf("data row before sample header, line %zu",
+                                                 line_no));
+    }
+    const auto parts = split_ws(line);
+    if (parts.size() < 2) {
+      throw common::ParseError(common::strprintf("short data row at line %zu", line_no));
+    }
+    const std::string_view type = parts[0];
+    // Validate against schema when known.
+    const Schema* schema = nullptr;
+    for (const auto& s : schemas) {
+      if (s.type == type) {
+        schema = &s;
+        break;
+      }
+    }
+    if (schema == nullptr) {
+      throw common::ParseError("row of undeclared type '" + std::string(type) + "'");
+    }
+    if (parts.size() - 2 != schema->fields.size()) {
+      throw common::ParseError(common::strprintf(
+          "row of type %s has %zu values, schema has %zu (line %zu)",
+          std::string(type).c_str(), parts.size() - 2, schema->fields.size(), line_no));
+    }
+    TypeRecord* rec = nullptr;
+    for (auto& r : current->records) {
+      if (r.type == type) {
+        rec = &r;
+        break;
+      }
+    }
+    if (rec == nullptr) {
+      current->records.push_back({std::string(type), {}});
+      rec = &current->records.back();
+    }
+    DeviceRow row;
+    row.device = std::string(parts[1]);
+    row.values.reserve(parts.size() - 2);
+    for (std::size_t i = 2; i < parts.size(); ++i) {
+      row.values.push_back(common::parse_u64(parts[i]));
+    }
+    rec->rows.push_back(std::move(row));
+  }
+
+  if (!saw_magic) throw common::ParseError("missing $tacc_stats magic");
+  if (out.schemas.all().empty() && !schemas.empty()) {
+    out.schemas = SchemaRegistry(schemas);
+  }
+  return out;
+}
+
+}  // namespace supremm::taccstats

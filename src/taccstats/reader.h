@@ -1,0 +1,29 @@
+// Parser for the raw text format produced by RawWriter (the ingest side of
+// the tool chain; the ETL pipeline consumes ParsedFile).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "taccstats/record.h"
+#include "taccstats/schema.h"
+
+namespace supremm::taccstats {
+
+struct ParsedFile {
+  std::string version;
+  std::string hostname;
+  SchemaRegistry schemas{std::vector<Schema>{}};
+  std::vector<Sample> samples;
+};
+
+/// Parse a whole raw file. Throws ParseError on malformed input. Rows whose
+/// value count does not match their schema are rejected (self-describing
+/// format contract).
+[[nodiscard]] ParsedFile parse_raw(std::string_view content);
+
+/// Parse a mark name back to the enum.
+[[nodiscard]] SampleMark parse_mark(std::string_view name);
+
+}  // namespace supremm::taccstats

@@ -1,0 +1,51 @@
+// In-memory form of collected samples.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/time.h"
+
+namespace supremm::taccstats {
+
+/// One device row of one type: e.g. cpu core 3's seven counters.
+struct DeviceRow {
+  std::string device;  // "0".."15", "eth0", "scratch", "-" for node-wide
+  std::vector<std::uint64_t> values;
+};
+
+/// All rows of one type at one instant.
+struct TypeRecord {
+  std::string type;
+  std::vector<DeviceRow> rows;
+};
+
+/// Why a sample was taken. The paper: "TACC_Stats executes at the beginning
+/// of a job, periodically during the job (currently every ten minutes) and
+/// at the end of the job."
+enum class SampleMark : std::uint8_t {
+  kPeriodic = 0,
+  kJobBegin,
+  kJobEnd,
+  kRotate,  // daily file rotation sample
+};
+
+[[nodiscard]] std::string_view mark_name(SampleMark m) noexcept;
+
+/// A full sample of one node at one instant, tagged with the running job.
+struct Sample {
+  common::TimePoint time = 0;
+  std::int64_t job_id = 0;  // 0 = no job running
+  SampleMark mark = SampleMark::kPeriodic;
+  std::vector<TypeRecord> records;
+
+  [[nodiscard]] const TypeRecord* find(std::string_view type) const noexcept {
+    for (const auto& r : records) {
+      if (r.type == type) return &r;
+    }
+    return nullptr;
+  }
+};
+
+}  // namespace supremm::taccstats

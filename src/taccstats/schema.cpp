@@ -1,0 +1,157 @@
+#include "taccstats/schema.h"
+
+#include "common/error.h"
+#include "common/strings.h"
+
+namespace supremm::taccstats {
+
+using common::split;
+using common::split_ws;
+
+std::size_t Schema::field_index(std::string_view name) const {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (fields[i].name == name) return i;
+  }
+  throw common::NotFoundError("field '" + std::string(name) + "' in schema " + type);
+}
+
+std::string Schema::serialize() const {
+  std::string out = "!" + type;
+  for (const auto& f : fields) {
+    out += ' ';
+    out += f.name;
+    out += ';';
+    out += f.kind == FieldKind::kEvent ? 'E' : 'G';
+    if (!f.unit.empty()) {
+      out += ",U=";
+      out += f.unit;
+    }
+  }
+  return out;
+}
+
+Schema Schema::parse(std::string_view line) {
+  if (line.empty() || line[0] != '!') throw common::ParseError("schema line must start with '!'");
+  const auto parts = split_ws(line.substr(1));
+  if (parts.empty()) throw common::ParseError("empty schema line");
+  Schema s;
+  s.type = std::string(parts[0]);
+  for (std::size_t i = 1; i < parts.size(); ++i) {
+    const auto semi = split(parts[i], ';');
+    if (semi.size() != 2) throw common::ParseError("bad schema field: " + std::string(parts[i]));
+    FieldDef f;
+    f.name = std::string(semi[0]);
+    const auto attrs = split(semi[1], ',');
+    if (attrs.empty()) throw common::ParseError("bad schema attrs: " + std::string(parts[i]));
+    if (attrs[0] == "E") {
+      f.kind = FieldKind::kEvent;
+    } else if (attrs[0] == "G") {
+      f.kind = FieldKind::kGauge;
+    } else {
+      throw common::ParseError("unknown field kind: " + std::string(attrs[0]));
+    }
+    for (std::size_t a = 1; a < attrs.size(); ++a) {
+      if (common::starts_with(attrs[a], "U=")) f.unit = std::string(attrs[a].substr(2));
+    }
+    s.fields.push_back(std::move(f));
+  }
+  return s;
+}
+
+std::string SchemaRegistry::perf_type_name(procsim::Arch arch) {
+  switch (arch) {
+    case procsim::Arch::kAmd10h:
+      return "amd64_pmc";
+    case procsim::Arch::kIntelWestmere:
+      return "intel_wtm";
+  }
+  return "pmc";
+}
+
+namespace {
+
+Schema events(std::string type, std::vector<std::string> names, std::string unit = {}) {
+  Schema s;
+  s.type = std::move(type);
+  for (auto& n : names) s.fields.push_back({std::move(n), FieldKind::kEvent, unit});
+  return s;
+}
+
+Schema gauges(std::string type, std::vector<std::string> names, std::string unit = {}) {
+  Schema s;
+  s.type = std::move(type);
+  for (auto& n : names) s.fields.push_back({std::move(n), FieldKind::kGauge, unit});
+  return s;
+}
+
+}  // namespace
+
+SchemaRegistry::SchemaRegistry(procsim::Arch arch) {
+  schemas_.push_back(events("cpu", {"user", "nice", "system", "idle", "iowait", "irq",
+                                    "softirq"},
+                            "cs"));
+  {
+    Schema perf;
+    perf.type = perf_type_name(arch);
+    for (std::size_t i = 0; i < procsim::kPerfCountersPerCore; ++i) {
+      perf.fields.push_back({common::strprintf("CTL%zu", i), FieldKind::kGauge, ""});
+    }
+    for (std::size_t i = 0; i < procsim::kPerfCountersPerCore; ++i) {
+      perf.fields.push_back({common::strprintf("CTR%zu", i), FieldKind::kEvent, ""});
+    }
+    schemas_.push_back(std::move(perf));
+  }
+  schemas_.push_back(gauges("mem", {"MemTotal", "MemUsed", "MemFree", "Cached", "Buffers",
+                                    "AnonPages", "Slab"},
+                            "KB"));
+  schemas_.push_back(events("vm", {"pgpgin", "pgpgout", "pswpin", "pswpout", "pgfault",
+                                   "pgmajfault"}));
+  schemas_.push_back(events("net", {"rx_bytes", "rx_packets", "rx_errs", "tx_bytes",
+                                    "tx_packets", "tx_errs"},
+                            "B"));
+  schemas_.push_back(events(
+      "block", {"rd_ios", "rd_sectors", "wr_ios", "wr_sectors", "io_ticks"}));
+  schemas_.push_back(
+      events("ib", {"rx_bytes", "rx_packets", "tx_bytes", "tx_packets"}, "B"));
+  schemas_.push_back(
+      events("llite", {"read_bytes", "write_bytes", "open", "close", "getattr"}, "B"));
+  schemas_.push_back(events("lnet", {"rx_bytes", "tx_bytes", "rx_msgs", "tx_msgs"}, "B"));
+  schemas_.push_back(
+      events("nfs", {"rpc_calls", "read_bytes", "write_bytes", "getattr"}, "B"));
+  schemas_.push_back(events(
+      "numa", {"numa_hit", "numa_miss", "numa_foreign", "local_node", "other_node"}));
+  schemas_.push_back(events("irq", {"hw_total", "timer", "net_rx", "sw_total"}));
+  {
+    Schema ps;
+    ps.type = "ps";
+    ps.fields = {{"ctxt", FieldKind::kEvent, ""},
+                 {"processes", FieldKind::kEvent, ""},
+                 {"load_1", FieldKind::kGauge, "c"},
+                 {"load_5", FieldKind::kGauge, "c"},
+                 {"load_15", FieldKind::kGauge, "c"},
+                 {"nr_running", FieldKind::kGauge, ""},
+                 {"nr_threads", FieldKind::kGauge, ""}};
+    schemas_.push_back(std::move(ps));
+  }
+  schemas_.push_back(gauges("sysv_shm", {"segments", "bytes"}, "B"));
+  schemas_.push_back(gauges("tmpfs", {"bytes_used"}, "B"));
+  schemas_.push_back(gauges("vfs", {"dentry_use", "file_use", "inode_use"}));
+}
+
+SchemaRegistry::SchemaRegistry(std::vector<Schema> schemas) : schemas_(std::move(schemas)) {}
+
+const Schema& SchemaRegistry::get(std::string_view type) const {
+  for (const auto& s : schemas_) {
+    if (s.type == type) return s;
+  }
+  throw common::NotFoundError("schema '" + std::string(type) + "'");
+}
+
+bool SchemaRegistry::has(std::string_view type) const noexcept {
+  for (const auto& s : schemas_) {
+    if (s.type == type) return true;
+  }
+  return false;
+}
+
+}  // namespace supremm::taccstats

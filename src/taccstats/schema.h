@@ -1,0 +1,65 @@
+// Self-describing schemas for the TACC_Stats raw format.
+//
+// Paper §3: the tool "outputs in a unified, consistent, and self-describing
+// plain-text format". Every record type carries a schema naming its fields
+// and flagging each as an event counter (monotonic; consumers take deltas)
+// or a gauge, with an optional unit. Schemas are serialized in the file
+// header as "!<type> <field>;<flags>[,U=<unit>] ...".
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "procsim/perf.h"
+
+namespace supremm::taccstats {
+
+/// How a field behaves over time.
+enum class FieldKind : std::uint8_t {
+  kEvent,  // monotonically increasing counter; rate = delta / dt
+  kGauge,  // instantaneous value
+};
+
+struct FieldDef {
+  std::string name;
+  FieldKind kind = FieldKind::kEvent;
+  std::string unit;  // "", "KB", "B", "cs" (centiseconds), ...
+};
+
+struct Schema {
+  std::string type;  // "cpu", "mem", "llite", "amd64_pmc", ...
+  std::vector<FieldDef> fields;
+
+  /// Index of `name`; throws NotFoundError.
+  [[nodiscard]] std::size_t field_index(std::string_view name) const;
+
+  /// Header form: "!cpu user;E,U=cs nice;E,U=cs ...".
+  [[nodiscard]] std::string serialize() const;
+
+  /// Parse the header form (line starting with '!').
+  [[nodiscard]] static Schema parse(std::string_view line);
+};
+
+/// The full set of schemas a node of architecture `arch` reports. The perf
+/// type name is arch-specific ("amd64_pmc" / "intel_wtm"), mirroring the
+/// real tool's per-arch types.
+class SchemaRegistry {
+ public:
+  explicit SchemaRegistry(procsim::Arch arch);
+
+  /// Build from parsed schemas (reader side).
+  explicit SchemaRegistry(std::vector<Schema> schemas);
+
+  [[nodiscard]] const std::vector<Schema>& all() const noexcept { return schemas_; }
+  [[nodiscard]] const Schema& get(std::string_view type) const;
+  [[nodiscard]] bool has(std::string_view type) const noexcept;
+
+  /// The arch-specific perf type name.
+  [[nodiscard]] static std::string perf_type_name(procsim::Arch arch);
+
+ private:
+  std::vector<Schema> schemas_;
+};
+
+}  // namespace supremm::taccstats

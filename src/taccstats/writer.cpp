@@ -1,0 +1,78 @@
+#include "taccstats/writer.h"
+
+#include <charconv>
+
+#include "common/strings.h"
+
+namespace supremm::taccstats {
+
+std::string_view mark_name(SampleMark m) noexcept {
+  switch (m) {
+    case SampleMark::kPeriodic:
+      return "periodic";
+    case SampleMark::kJobBegin:
+      return "begin";
+    case SampleMark::kJobEnd:
+      return "end";
+    case SampleMark::kRotate:
+      return "rotate";
+  }
+  return "unknown";
+}
+
+RawWriter::RawWriter(std::string hostname, const SchemaRegistry& registry)
+    : hostname_(std::move(hostname)) {
+  header_ = "$tacc_stats 2.0\n";
+  header_ += "$hostname " + hostname_ + "\n";
+  for (const auto& s : registry.all()) {
+    header_ += s.serialize();
+    header_ += '\n';
+  }
+}
+
+namespace {
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[24];
+  const auto [p, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  (void)ec;
+  out.append(buf, p);
+}
+
+void append_i64(std::string& out, std::int64_t v) {
+  char buf[24];
+  const auto [p, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  (void)ec;
+  out.append(buf, p);
+}
+
+}  // namespace
+
+void RawWriter::append_sample(const Sample& sample, std::string& out) const {
+  append_i64(out, sample.time);
+  out += ' ';
+  append_i64(out, sample.job_id);
+  out += ' ';
+  out += mark_name(sample.mark);
+  out += '\n';
+  for (const auto& rec : sample.records) {
+    for (const auto& row : rec.rows) {
+      out += rec.type;
+      out += ' ';
+      out += row.device;
+      for (const std::uint64_t v : row.values) {
+        out += ' ';
+        append_u64(out, v);
+      }
+      out += '\n';
+    }
+  }
+}
+
+std::size_t RawWriter::sample_size(const Sample& sample) const {
+  std::string tmp;
+  append_sample(sample, tmp);
+  return tmp.size();
+}
+
+}  // namespace supremm::taccstats

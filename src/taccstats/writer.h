@@ -1,0 +1,49 @@
+// Serialization of samples into the unified self-describing raw text format.
+//
+// File layout:
+//   $tacc_stats 2.0            protocol tag + version
+//   $hostname <host>
+//   $arch <arch>
+//   !<type> <field;flags>...   one schema line per type
+//   <time> <jobid> <mark>      sample header (mark: periodic|begin|end|rotate)
+//   <type> <device> <v>...     one row per device of each type
+//   ...
+// Sample headers start with a digit; schema lines with '!'; metadata with
+// '$'; type rows with a letter - the format needs no escaping and can be
+// parsed line by line.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "taccstats/record.h"
+#include "taccstats/schema.h"
+
+namespace supremm::taccstats {
+
+/// One raw output file (a node-day, like the real tool's rotation unit).
+struct RawFile {
+  std::string hostname;
+  std::int64_t day = 0;
+  std::string content;
+};
+
+class RawWriter {
+ public:
+  RawWriter(std::string hostname, const SchemaRegistry& registry);
+
+  /// The file header ($-lines plus schema lines).
+  [[nodiscard]] const std::string& header() const noexcept { return header_; }
+
+  /// Append the serialized sample to `out`.
+  void append_sample(const Sample& sample, std::string& out) const;
+
+  /// Serialized size the sample would take (for overhead accounting).
+  [[nodiscard]] std::size_t sample_size(const Sample& sample) const;
+
+ private:
+  std::string hostname_;
+  std::string header_;
+};
+
+}  // namespace supremm::taccstats

@@ -1,0 +1,201 @@
+#include "warehouse/query.h"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_map>
+
+#include "common/error.h"
+
+namespace supremm::warehouse {
+
+RowPredicate eq(std::string column, std::string value) {
+  return [column = std::move(column), value = std::move(value)](const Table& t,
+                                                                std::size_t r) {
+    return t.col(column).as_string(r) == value;
+  };
+}
+
+RowPredicate ge(std::string column, double value) {
+  return [column = std::move(column), value](const Table& t, std::size_t r) {
+    return t.col(column).as_double(r) >= value;
+  };
+}
+
+RowPredicate le(std::string column, double value) {
+  return [column = std::move(column), value](const Table& t, std::size_t r) {
+    return t.col(column).as_double(r) <= value;
+  };
+}
+
+RowPredicate between(std::string column, double lo, double hi) {
+  return [column = std::move(column), lo, hi](const Table& t, std::size_t r) {
+    const double v = t.col(column).as_double(r);
+    return v >= lo && v <= hi;
+  };
+}
+
+RowPredicate all_of(std::vector<RowPredicate> preds) {
+  return [preds = std::move(preds)](const Table& t, std::size_t r) {
+    for (const auto& p : preds) {
+      if (!p(t, r)) return false;
+    }
+    return true;
+  };
+}
+
+Query& Query::where(RowPredicate pred) {
+  pred_ = std::move(pred);
+  return *this;
+}
+
+Query& Query::group_by(std::vector<std::string> keys) {
+  keys_ = std::move(keys);
+  return *this;
+}
+
+Query& Query::aggregate(std::vector<AggSpec> aggs) {
+  aggs_ = std::move(aggs);
+  return *this;
+}
+
+namespace {
+
+std::string default_name(const AggSpec& a) {
+  switch (a.kind) {
+    case AggKind::kSum:
+      return a.column + "_sum";
+    case AggKind::kMean:
+      return a.column + "_mean";
+    case AggKind::kWeightedMean:
+      return a.column + "_wmean";
+    case AggKind::kMax:
+      return a.column + "_max";
+    case AggKind::kMin:
+      return a.column + "_min";
+    case AggKind::kCount:
+      return "count";
+  }
+  return a.column;
+}
+
+struct AggState {
+  double sum = 0.0;
+  double wsum = 0.0;
+  double wvsum = 0.0;
+  double mn = std::numeric_limits<double>::infinity();
+  double mx = -std::numeric_limits<double>::infinity();
+  std::int64_t n = 0;
+};
+
+}  // namespace
+
+Table Query::run() const {
+  if (aggs_.empty()) throw common::InvalidArgument("query without aggregations");
+
+  // Output schema: keys (typed like the source) then one double per agg
+  // (count as int64).
+  std::vector<std::pair<std::string, ColType>> schema;
+  for (const auto& k : keys_) schema.emplace_back(k, table_.col(k).type());
+  for (const auto& a : aggs_) {
+    schema.emplace_back(a.as.empty() ? default_name(a) : a.as,
+                        a.kind == AggKind::kCount ? ColType::kInt64 : ColType::kDouble);
+  }
+  Table out(table_.name() + "_agg", std::move(schema));
+
+  // Group rows by key tuple (encoded as a string; codes are small).
+  std::unordered_map<std::string, std::size_t> groups;
+  std::vector<std::string> group_keys;           // encoded
+  std::vector<std::size_t> group_example_row;    // a representative row
+  std::vector<std::vector<AggState>> states;
+
+  const std::size_t nrows = table_.rows();
+  for (std::size_t r = 0; r < nrows; ++r) {
+    if (pred_ && !(*pred_)(table_, r)) continue;
+    std::string key;
+    for (const auto& k : keys_) {
+      const Column& c = table_.col(k);
+      switch (c.type()) {
+        case ColType::kString:
+          key += std::to_string(c.code(r));
+          break;
+        case ColType::kInt64:
+          key += std::to_string(c.as_int64(r));
+          break;
+        case ColType::kDouble:
+          key += std::to_string(c.as_double(r));
+          break;
+      }
+      key += '\x1f';
+    }
+    auto [it, inserted] = groups.emplace(key, group_keys.size());
+    if (inserted) {
+      group_keys.push_back(key);
+      group_example_row.push_back(r);
+      states.emplace_back(aggs_.size());
+    }
+    auto& st = states[it->second];
+    for (std::size_t a = 0; a < aggs_.size(); ++a) {
+      const AggSpec& spec = aggs_[a];
+      AggState& s = st[a];
+      ++s.n;
+      if (spec.kind == AggKind::kCount) continue;
+      const double v = table_.col(spec.column).as_double(r);
+      s.sum += v;
+      s.mn = std::min(s.mn, v);
+      s.mx = std::max(s.mx, v);
+      if (spec.kind == AggKind::kWeightedMean) {
+        const double w = table_.col(spec.weight).as_double(r);
+        s.wsum += w;
+        s.wvsum += w * v;
+      }
+    }
+  }
+
+  // Emit group rows in first-seen order (deterministic).
+  for (std::size_t g = 0; g < group_keys.size(); ++g) {
+    auto row = out.append();
+    const std::size_t src = group_example_row[g];
+    for (const auto& k : keys_) {
+      const Column& c = table_.col(k);
+      switch (c.type()) {
+        case ColType::kString:
+          row.set(k, c.as_string(src));
+          break;
+        case ColType::kInt64:
+          row.set(k, c.as_int64(src));
+          break;
+        case ColType::kDouble:
+          row.set(k, c.as_double(src));
+          break;
+      }
+    }
+    for (std::size_t a = 0; a < aggs_.size(); ++a) {
+      const AggSpec& spec = aggs_[a];
+      const AggState& s = states[g][a];
+      const std::string name = spec.as.empty() ? default_name(spec) : spec.as;
+      switch (spec.kind) {
+        case AggKind::kSum:
+          row.set(name, s.sum);
+          break;
+        case AggKind::kMean:
+          row.set(name, s.n > 0 ? s.sum / static_cast<double>(s.n) : 0.0);
+          break;
+        case AggKind::kWeightedMean:
+          row.set(name, s.wsum > 0.0 ? s.wvsum / s.wsum : 0.0);
+          break;
+        case AggKind::kMax:
+          row.set(name, s.n > 0 ? s.mx : 0.0);
+          break;
+        case AggKind::kMin:
+          row.set(name, s.n > 0 ? s.mn : 0.0);
+          break;
+        case AggKind::kCount:
+          row.set(name, s.n);
+          break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace supremm::warehouse

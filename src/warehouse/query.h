@@ -1,0 +1,64 @@
+// Query layer: filters, group-by aggregation, time bucketing.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "warehouse/table.h"
+
+namespace supremm::warehouse {
+
+/// Aggregation kinds. Weighted kinds read the weight column per row.
+enum class AggKind : std::uint8_t {
+  kSum,
+  kMean,
+  kWeightedMean,
+  kMax,
+  kMin,
+  kCount,
+};
+
+struct AggSpec {
+  std::string column;             // source column (ignored for kCount)
+  AggKind kind = AggKind::kSum;
+  std::string weight;             // weight column for kWeightedMean
+  std::string as;                 // output column name; default derived
+};
+
+/// Row predicate; build with the helpers below or any lambda.
+using RowPredicate = std::function<bool(const Table&, std::size_t)>;
+
+[[nodiscard]] RowPredicate eq(std::string column, std::string value);
+[[nodiscard]] RowPredicate ge(std::string column, double value);
+[[nodiscard]] RowPredicate le(std::string column, double value);
+[[nodiscard]] RowPredicate between(std::string column, double lo, double hi);
+[[nodiscard]] RowPredicate all_of(std::vector<RowPredicate> preds);
+
+/// A composed query: optional filter, group keys, aggregations. Returns a
+/// new table with one row per group, key columns first.
+class Query {
+ public:
+  explicit Query(const Table& table) : table_(table) {}
+
+  Query& where(RowPredicate pred);
+  Query& group_by(std::vector<std::string> keys);
+  Query& aggregate(std::vector<AggSpec> aggs);
+
+  [[nodiscard]] Table run() const;
+
+ private:
+  const Table& table_;
+  std::optional<RowPredicate> pred_;
+  std::vector<std::string> keys_;
+  std::vector<AggSpec> aggs_;
+};
+
+/// Floor t to a bucket boundary (for time-series grouping).
+[[nodiscard]] constexpr std::int64_t time_bucket(std::int64_t t, std::int64_t width) noexcept {
+  return (t / width) * width;
+}
+
+}  // namespace supremm::warehouse

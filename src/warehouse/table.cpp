@@ -1,0 +1,147 @@
+#include "warehouse/table.h"
+
+#include "common/error.h"
+
+namespace supremm::warehouse {
+
+Column::Column(std::string name, ColType type) : name_(std::move(name)), type_(type) {}
+
+std::size_t Column::size() const noexcept {
+  switch (type_) {
+    case ColType::kDouble:
+      return f64_.size();
+    case ColType::kInt64:
+      return i64_.size();
+    case ColType::kString:
+      return codes_.size();
+  }
+  return 0;
+}
+
+void Column::push_double(double v) {
+  if (type_ != ColType::kDouble) throw common::InvalidArgument("column " + name_ + " not double");
+  f64_.push_back(v);
+}
+
+void Column::push_int64(std::int64_t v) {
+  if (type_ != ColType::kInt64) throw common::InvalidArgument("column " + name_ + " not int64");
+  i64_.push_back(v);
+}
+
+void Column::push_string(std::string_view v) {
+  if (type_ != ColType::kString) throw common::InvalidArgument("column " + name_ + " not string");
+  const auto it = dict_index_.find(std::string(v));
+  std::int32_t code = 0;
+  if (it == dict_index_.end()) {
+    code = static_cast<std::int32_t>(dict_.size());
+    dict_.emplace_back(v);
+    dict_index_.emplace(std::string(v), code);
+  } else {
+    code = it->second;
+  }
+  codes_.push_back(code);
+}
+
+double Column::as_double(std::size_t row) const {
+  if (type_ == ColType::kDouble) return f64_.at(row);
+  if (type_ == ColType::kInt64) return static_cast<double>(i64_.at(row));
+  throw common::InvalidArgument("column " + name_ + " is not numeric");
+}
+
+std::int64_t Column::as_int64(std::size_t row) const {
+  if (type_ != ColType::kInt64) throw common::InvalidArgument("column " + name_ + " not int64");
+  return i64_.at(row);
+}
+
+std::string_view Column::as_string(std::size_t row) const {
+  if (type_ != ColType::kString) throw common::InvalidArgument("column " + name_ + " not string");
+  return dict_.at(static_cast<std::size_t>(codes_.at(row)));
+}
+
+std::span<const double> Column::doubles() const {
+  if (type_ != ColType::kDouble) throw common::InvalidArgument("column " + name_ + " not double");
+  return f64_;
+}
+
+std::span<const std::int64_t> Column::int64s() const {
+  if (type_ != ColType::kInt64) throw common::InvalidArgument("column " + name_ + " not int64");
+  return i64_;
+}
+
+std::int32_t Column::code(std::size_t row) const {
+  if (type_ != ColType::kString) throw common::InvalidArgument("column " + name_ + " not string");
+  return codes_.at(row);
+}
+
+std::string_view Column::decode(std::int32_t code) const {
+  return dict_.at(static_cast<std::size_t>(code));
+}
+
+Table::Table(std::string name, std::vector<std::pair<std::string, ColType>> schema)
+    : name_(std::move(name)) {
+  if (schema.empty()) throw common::InvalidArgument("table needs >= 1 column");
+  columns_.reserve(schema.size());
+  for (auto& [n, t] : schema) columns_.emplace_back(std::move(n), t);
+}
+
+const Column& Table::col(std::string_view name) const {
+  for (const auto& c : columns_) {
+    if (c.name() == name) return c;
+  }
+  throw common::NotFoundError("column '" + std::string(name) + "' in table " + name_);
+}
+
+Column& Table::col(std::string_view name) {
+  return const_cast<Column&>(static_cast<const Table*>(this)->col(name));
+}
+
+bool Table::has_col(std::string_view name) const noexcept {
+  for (const auto& c : columns_) {
+    if (c.name() == name) return true;
+  }
+  return false;
+}
+
+Table::RowBuilder::RowBuilder(Table& t) : table_(t), filled_(t.columns_.size(), false) {}
+
+namespace {
+std::size_t col_index(Table& t, std::string_view name) {
+  const auto& cols = t.columns();
+  for (std::size_t i = 0; i < cols.size(); ++i) {
+    if (cols[i].name() == name) return i;
+  }
+  throw common::NotFoundError("column '" + std::string(name) + "'");
+}
+}  // namespace
+
+Table::RowBuilder& Table::RowBuilder::set(std::string_view col, double v) {
+  const std::size_t i = col_index(table_, col);
+  table_.columns_[i].push_double(v);
+  filled_[i] = true;
+  return *this;
+}
+
+Table::RowBuilder& Table::RowBuilder::set(std::string_view col, std::int64_t v) {
+  const std::size_t i = col_index(table_, col);
+  table_.columns_[i].push_int64(v);
+  filled_[i] = true;
+  return *this;
+}
+
+Table::RowBuilder& Table::RowBuilder::set(std::string_view col, std::string_view v) {
+  const std::size_t i = col_index(table_, col);
+  table_.columns_[i].push_string(v);
+  filled_[i] = true;
+  return *this;
+}
+
+Table::RowBuilder::~RowBuilder() noexcept(false) {
+  for (std::size_t i = 0; i < filled_.size(); ++i) {
+    if (!filled_[i]) {
+      throw common::InvalidArgument("row missing column '" + table_.columns_[i].name() + "'");
+    }
+  }
+  ++table_.rows_;
+}
+
+}  // namespace supremm::warehouse

@@ -1,0 +1,100 @@
+// In-memory columnar data warehouse.
+//
+// Stands in for the paper's IBM Netezza / MySQL warehouse: typed columns,
+// predicate filtering, and grouped aggregation - the query shapes every
+// XDMoD report in §4 reduces to. String columns are dictionary encoded.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <variant>
+#include <vector>
+
+namespace supremm::warehouse {
+
+enum class ColType : std::uint8_t { kDouble, kInt64, kString };
+
+/// One typed column. Strings are stored as codes into a per-column dictionary.
+class Column {
+ public:
+  Column(std::string name, ColType type);
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] ColType type() const noexcept { return type_; }
+  [[nodiscard]] std::size_t size() const noexcept;
+
+  void push_double(double v);
+  void push_int64(std::int64_t v);
+  void push_string(std::string_view v);
+
+  [[nodiscard]] double as_double(std::size_t row) const;
+  [[nodiscard]] std::int64_t as_int64(std::size_t row) const;
+  [[nodiscard]] std::string_view as_string(std::size_t row) const;
+
+  [[nodiscard]] std::span<const double> doubles() const;
+  [[nodiscard]] std::span<const std::int64_t> int64s() const;
+  /// Dictionary code of row (string columns only).
+  [[nodiscard]] std::int32_t code(std::size_t row) const;
+  [[nodiscard]] std::string_view decode(std::int32_t code) const;
+
+ private:
+  std::string name_;
+  ColType type_;
+  std::vector<double> f64_;
+  std::vector<std::int64_t> i64_;
+  std::vector<std::int32_t> codes_;
+  std::vector<std::string> dict_;
+  std::unordered_map<std::string, std::int32_t> dict_index_;
+};
+
+/// A named collection of equally sized columns.
+class Table {
+ public:
+  Table(std::string name, std::vector<std::pair<std::string, ColType>> schema);
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return columns_.size(); }
+
+  [[nodiscard]] const Column& col(std::string_view name) const;
+  [[nodiscard]] Column& col(std::string_view name);
+  [[nodiscard]] bool has_col(std::string_view name) const noexcept;
+  [[nodiscard]] const std::vector<Column>& columns() const noexcept { return columns_; }
+
+  /// Append one row; values must be pushed for every column via the builder.
+  class RowBuilder {
+   public:
+    RowBuilder& set(std::string_view col, double v);
+    RowBuilder& set(std::string_view col, std::int64_t v);
+    RowBuilder& set(std::string_view col, std::string_view v);
+    ~RowBuilder() noexcept(false);
+    RowBuilder(const RowBuilder&) = delete;
+    RowBuilder& operator=(const RowBuilder&) = delete;
+
+   private:
+    friend class Table;
+    explicit RowBuilder(Table& t);
+    Table& table_;
+    std::vector<bool> filled_;
+  };
+  [[nodiscard]] RowBuilder append() { return RowBuilder(*this); }
+
+  /// Rows passing `pred(row_index)`.
+  template <typename Pred>
+  [[nodiscard]] std::vector<std::size_t> select(Pred pred) const {
+    std::vector<std::size_t> out;
+    for (std::size_t r = 0; r < rows_; ++r) {
+      if (pred(r)) out.push_back(r);
+    }
+    return out;
+  }
+
+ private:
+  std::string name_;
+  std::vector<Column> columns_;
+  std::size_t rows_ = 0;
+};
+
+}  // namespace supremm::warehouse

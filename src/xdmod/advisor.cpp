@@ -1,0 +1,63 @@
+#include "xdmod/advisor.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace supremm::xdmod {
+
+std::map<std::string, double> current_usage_norm(const etl::SystemSeries& series,
+                                                 std::size_t bucket_index,
+                                                 const std::vector<std::string>& metrics) {
+  if (bucket_index >= series.buckets) {
+    throw common::InvalidArgument("bucket index out of range");
+  }
+  std::map<std::string, double> out;
+  for (const auto& m : metrics) {
+    if (!series.has_series(m)) continue;  // e.g. mem_used_max is job-level only
+    const auto& s = series.series(m);
+    double peak = 0.0;
+    for (const double v : s) peak = std::max(peak, v);
+    out[m] = peak > 0.0 ? std::clamp(s[bucket_index] / peak, 0.0, 1.0) : 0.0;
+  }
+  return out;
+}
+
+QueueCandidate predict_candidate(const ProfileAnalyzer& analyzer, facility::JobId id,
+                                 const std::string& user, const std::string& app) {
+  QueueCandidate c;
+  c.id = id;
+  c.user = user;
+  c.app = app;
+  UsageProfile p = !app.empty() ? analyzer.profile(GroupBy::kApp, app)
+                                : analyzer.profile(GroupBy::kUser, user);
+  if (p.jobs == 0 && !app.empty()) p = analyzer.profile(GroupBy::kUser, user);
+  for (const auto& e : p.entries) c.predicted_norm[e.metric] = e.normalized;
+  return c;
+}
+
+std::vector<RankedCandidate> rank_candidates(const std::map<std::string, double>& current_norm,
+                                             std::span<const QueueCandidate> candidates) {
+  std::vector<RankedCandidate> out;
+  out.reserve(candidates.size());
+  for (const auto& c : candidates) {
+    double score = 0.0;
+    for (const auto& [metric, headroom_base] : current_norm) {
+      const auto it = c.predicted_norm.find(metric);
+      if (it == c.predicted_norm.end()) continue;
+      // cpu_idle is waste, not demand: a candidate's idle never helps.
+      if (metric == "cpu_idle") {
+        score -= it->second;
+        continue;
+      }
+      score += it->second * (1.0 - headroom_base);
+    }
+    out.push_back({c, score});
+  }
+  std::sort(out.begin(), out.end(), [](const RankedCandidate& a, const RankedCandidate& b) {
+    return a.score != b.score ? a.score > b.score : a.candidate.id < b.candidate.id;
+  });
+  return out;
+}
+
+}  // namespace supremm::xdmod

@@ -1,0 +1,53 @@
+// Complement-aware queue advisor (the paper's §4.3.4 future direction:
+// "jobs could be selected from the queue to complement the present resource
+// usage e.g. add high I/O jobs when I/O is relatively free").
+//
+// Candidate jobs are scored by how well their predicted profile fills the
+// currently under-used dimensions: score = sum over metrics of
+// predicted_norm[m] * (1 - current_norm[m]); metrics the facility is already
+// saturating contribute nothing, idle dimensions contribute fully.
+#pragma once
+
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "etl/job_summary.h"
+#include "etl/system_series.h"
+#include "xdmod/profiles.h"
+
+namespace supremm::xdmod {
+
+/// A queued job with its predicted (normalized) usage profile.
+struct QueueCandidate {
+  facility::JobId id = 0;
+  std::string user;
+  std::string app;
+  std::map<std::string, double> predicted_norm;  // metric -> normalized level
+};
+
+/// Current facility usage normalized to [0, 1] per metric (1 = the busiest
+/// level observed over the series).
+[[nodiscard]] std::map<std::string, double> current_usage_norm(
+    const etl::SystemSeries& series, std::size_t bucket_index,
+    const std::vector<std::string>& metrics);
+
+/// Predict a candidate profile for (user, app) from history: the app profile
+/// when the app is known, else the user profile, normalized by facility
+/// means (ProfileAnalyzer semantics).
+[[nodiscard]] QueueCandidate predict_candidate(const ProfileAnalyzer& analyzer,
+                                               facility::JobId id, const std::string& user,
+                                               const std::string& app);
+
+struct RankedCandidate {
+  QueueCandidate candidate;
+  double score = 0.0;
+};
+
+/// Rank candidates by complementarity against the current usage, best first.
+[[nodiscard]] std::vector<RankedCandidate> rank_candidates(
+    const std::map<std::string, double>& current_norm,
+    std::span<const QueueCandidate> candidates);
+
+}  // namespace supremm::xdmod

@@ -1,0 +1,59 @@
+#include "xdmod/distributions.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace supremm::xdmod {
+
+DistributionReport flops_distribution(const etl::SystemSeries& series,
+                                      std::size_t grid_points) {
+  DistributionReport r;
+  r.name = "cpu_flops";
+  r.unit = "TF";
+  const auto& xs = series.flops_tf;
+  if (xs.empty()) throw common::InvalidArgument("empty flops series");
+  r.density = stats::kde(xs, grid_points);
+  r.summary = stats::summarize(xs);
+  return r;
+}
+
+DistributionReport memory_distribution(std::span<const etl::JobSummary> jobs, bool use_max,
+                                       std::size_t grid_points) {
+  DistributionReport r;
+  r.name = use_max ? "mem_used_max" : "mem_used";
+  r.unit = "GB";
+  std::vector<double> xs;
+  std::vector<double> ws;
+  for (const auto& j : jobs) {
+    xs.push_back(use_max ? j.mem_used_max_gb : j.mem_used_gb);
+    ws.push_back(j.node_hours);
+  }
+  if (xs.empty()) throw common::InvalidArgument("no jobs for memory distribution");
+  r.density = stats::kde_weighted(xs, ws, grid_points);
+  stats::Accumulator acc;
+  for (const double x : xs) acc.add(x);
+  r.summary = acc.summary();
+  return r;
+}
+
+DistributionReport job_metric_distribution(std::span<const etl::JobSummary> jobs,
+                                           const std::string& metric,
+                                           std::size_t grid_points) {
+  DistributionReport r;
+  r.name = metric;
+  std::vector<double> xs;
+  std::vector<double> ws;
+  for (const auto& j : jobs) {
+    const double v = etl::metric_value(j, metric);
+    if (std::isnan(v)) continue;
+    xs.push_back(v);
+    ws.push_back(j.node_hours);
+  }
+  if (xs.empty()) throw common::InvalidArgument("no finite values for metric " + metric);
+  r.density = stats::kde_weighted(xs, ws, grid_points);
+  r.summary = stats::summarize(xs);
+  return r;
+}
+
+}  // namespace supremm::xdmod

@@ -1,0 +1,37 @@
+// Kernel-density distribution reports (Figures 10 and 12).
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "etl/job_summary.h"
+#include "etl/system_series.h"
+#include "stats/descriptive.h"
+#include "stats/kde.h"
+
+namespace supremm::xdmod {
+
+struct DistributionReport {
+  std::string name;
+  std::string unit;
+  stats::Density density;
+  stats::Summary summary;
+};
+
+/// Figure 10: distribution of facility FLOPS over time buckets. Shutdown
+/// buckets contribute the small mode at zero the paper notes.
+[[nodiscard]] DistributionReport flops_distribution(const etl::SystemSeries& series,
+                                                    std::size_t grid_points = 256);
+
+/// Figure 12: distribution of per-node memory used across jobs, node-hour
+/// weighted; `use_max` selects the mem_used_max (red) curve.
+[[nodiscard]] DistributionReport memory_distribution(std::span<const etl::JobSummary> jobs,
+                                                     bool use_max,
+                                                     std::size_t grid_points = 256);
+
+/// Generic weighted distribution of any job metric.
+[[nodiscard]] DistributionReport job_metric_distribution(
+    std::span<const etl::JobSummary> jobs, const std::string& metric,
+    std::size_t grid_points = 256);
+
+}  // namespace supremm::xdmod

@@ -1,0 +1,113 @@
+#include "xdmod/efficiency.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "stats/descriptive.h"
+
+namespace supremm::xdmod {
+
+std::vector<UserEfficiency> user_efficiency(std::span<const etl::JobSummary> jobs) {
+  std::map<std::string, UserEfficiency> by_user;
+  for (const auto& j : jobs) {
+    UserEfficiency& u = by_user[j.user];
+    u.user = j.user;
+    u.node_hours += j.node_hours;
+    u.wasted_node_hours += j.node_hours * j.cpu_idle;
+    ++u.jobs;
+  }
+  std::vector<UserEfficiency> out;
+  out.reserve(by_user.size());
+  for (auto& [name, u] : by_user) out.push_back(std::move(u));
+  std::sort(out.begin(), out.end(), [](const UserEfficiency& a, const UserEfficiency& b) {
+    return a.node_hours != b.node_hours ? a.node_hours > b.node_hours : a.user < b.user;
+  });
+  return out;
+}
+
+double facility_efficiency(std::span<const etl::JobSummary> jobs) {
+  double total = 0.0;
+  double wasted = 0.0;
+  for (const auto& j : jobs) {
+    total += j.node_hours;
+    wasted += j.node_hours * j.cpu_idle;
+  }
+  return total > 0.0 ? 1.0 - wasted / total : 0.0;
+}
+
+std::vector<UserEfficiency> inefficient_heavy_users(std::span<const etl::JobSummary> jobs,
+                                                    double min_node_hours,
+                                                    double max_efficiency) {
+  std::vector<UserEfficiency> out;
+  for (auto& u : user_efficiency(jobs)) {
+    if (u.node_hours >= min_node_hours && u.efficiency() < max_efficiency) {
+      out.push_back(std::move(u));
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const UserEfficiency& a, const UserEfficiency& b) {
+    return a.efficiency() < b.efficiency();
+  });
+  return out;
+}
+
+std::vector<JobAnomaly> anomalous_jobs(std::span<const etl::JobSummary> jobs,
+                                       double z_threshold) {
+  // Per (app, metric) weighted mean and deviation.
+  struct Key {
+    std::string app;
+    std::string metric;
+    bool operator<(const Key& o) const {
+      return app != o.app ? app < o.app : metric < o.metric;
+    }
+  };
+  std::map<Key, stats::WeightedAccumulator> accs;
+  for (const auto& j : jobs) {
+    if (j.app.empty()) continue;
+    for (const auto& m : etl::key_metric_names()) {
+      const double v = etl::metric_value(j, m);
+      if (!std::isnan(v)) accs[{j.app, m}].add(v, j.node_hours);
+    }
+  }
+  std::vector<JobAnomaly> out;
+  for (const auto& j : jobs) {
+    if (j.app.empty()) continue;
+    for (const auto& m : etl::key_metric_names()) {
+      const double v = etl::metric_value(j, m);
+      if (std::isnan(v)) continue;
+      const auto& acc = accs.at({j.app, m});
+      const double sd = acc.stddev();
+      if (sd <= 0.0 || acc.count() < 8) continue;
+      const double z = (v - acc.mean()) / sd;
+      if (std::fabs(z) >= z_threshold) {
+        out.push_back({j.id, j.user, j.app, m, v, acc.mean(), z});
+      }
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const JobAnomaly& a, const JobAnomaly& b) {
+    return std::fabs(a.zscore) > std::fabs(b.zscore);
+  });
+  return out;
+}
+
+std::vector<FailureProfile> failure_profiles(std::span<const etl::JobSummary> jobs) {
+  std::map<std::string, FailureProfile> by_app;
+  for (const auto& j : jobs) {
+    const std::string app = j.app.empty() ? "(unknown)" : j.app;
+    FailureProfile& f = by_app[app];
+    f.app = app;
+    ++f.jobs;
+    f.node_hours += j.node_hours;
+    if (j.exit_status != 0) ++f.failed;
+    if (j.failed != 0) ++f.system_killed;
+  }
+  std::vector<FailureProfile> out;
+  out.reserve(by_app.size());
+  for (auto& [name, f] : by_app) out.push_back(std::move(f));
+  std::sort(out.begin(), out.end(), [](const FailureProfile& a, const FailureProfile& b) {
+    return a.failure_rate() > b.failure_rate();
+  });
+  return out;
+}
+
+}  // namespace supremm::xdmod

@@ -1,0 +1,76 @@
+// Wasted node-hours and efficiency analysis (Figure 4) plus anomalous-job
+// detection for the user/support-staff reports.
+//
+// Paper §4.3.3: "'wasted' node-hours, that is, those spent with an idle CPU,
+// vs total node-hours consumed... we define efficiency to be the percentage
+// of time not spent in CPU idle."
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "etl/job_summary.h"
+
+namespace supremm::xdmod {
+
+struct UserEfficiency {
+  std::string user;
+  double node_hours = 0.0;
+  double wasted_node_hours = 0.0;  // node_hours * cpu_idle
+  std::size_t jobs = 0;
+
+  [[nodiscard]] double efficiency() const noexcept {
+    return node_hours > 0.0 ? 1.0 - wasted_node_hours / node_hours : 0.0;
+  }
+  [[nodiscard]] double idle_fraction() const noexcept { return 1.0 - efficiency(); }
+};
+
+/// Per-user totals, descending by node-hours.
+[[nodiscard]] std::vector<UserEfficiency> user_efficiency(
+    std::span<const etl::JobSummary> jobs);
+
+/// Facility-wide node-hour weighted efficiency (the paper's 90% / 85% lines).
+[[nodiscard]] double facility_efficiency(std::span<const etl::JobSummary> jobs);
+
+/// Heavy users below an efficiency bar (the circled users of Figure 4):
+/// consumed at least `min_node_hours` with efficiency < `max_efficiency`,
+/// worst first.
+[[nodiscard]] std::vector<UserEfficiency> inefficient_heavy_users(
+    std::span<const etl::JobSummary> jobs, double min_node_hours, double max_efficiency);
+
+/// A job whose metric deviates strongly from its application's typical use.
+struct JobAnomaly {
+  facility::JobId job_id = 0;
+  std::string user;
+  std::string app;
+  std::string metric;
+  double value = 0.0;
+  double app_mean = 0.0;
+  double zscore = 0.0;
+};
+
+/// Jobs whose key metrics sit more than `z_threshold` weighted standard
+/// deviations from their application's mean (user report: "jobs with
+/// anomalous or inefficient resource use patterns"). Strongest first.
+[[nodiscard]] std::vector<JobAnomaly> anomalous_jobs(std::span<const etl::JobSummary> jobs,
+                                                     double z_threshold);
+
+/// Job completion failure profile: share of jobs / node-hours ending in each
+/// exit condition, per application.
+struct FailureProfile {
+  std::string app;
+  std::size_t jobs = 0;
+  std::size_t failed = 0;        // non-zero exit status
+  std::size_t system_killed = 0; // batch kill (maintenance drain)
+  double node_hours = 0.0;
+
+  [[nodiscard]] double failure_rate() const noexcept {
+    return jobs > 0 ? static_cast<double>(failed) / static_cast<double>(jobs) : 0.0;
+  }
+};
+
+[[nodiscard]] std::vector<FailureProfile> failure_profiles(
+    std::span<const etl::JobSummary> jobs);
+
+}  // namespace supremm::xdmod

@@ -1,0 +1,124 @@
+#include "xdmod/export.h"
+
+#include <cmath>
+
+#include "common/csv.h"
+
+namespace supremm::xdmod {
+
+using common::CsvWriter;
+
+void csv_profile(const UsageProfile& p, std::ostream& out) {
+  CsvWriter w(out);
+  w.row({"metric", "raw", "normalized"});
+  for (const auto& e : p.entries) {
+    w.field(e.metric).field(e.raw).field(e.normalized);
+    w.end_row();
+  }
+}
+
+void csv_profile_comparison(std::span<const UsageProfile> profiles,
+                            const std::vector<std::string>& metrics, std::ostream& out) {
+  CsvWriter w(out);
+  w.field("metric");
+  for (const auto& p : profiles) w.field(p.entity);
+  w.end_row();
+  for (const auto& m : metrics) {
+    w.field(m);
+    for (const auto& p : profiles) w.field(p.entry(m).normalized);
+    w.end_row();
+  }
+}
+
+void csv_efficiency(std::span<const UserEfficiency> users, std::ostream& out) {
+  CsvWriter w(out);
+  w.row({"user", "node_hours", "wasted_node_hours", "efficiency", "jobs"});
+  for (const auto& u : users) {
+    w.field(u.user)
+        .field(u.node_hours)
+        .field(u.wasted_node_hours)
+        .field(u.efficiency())
+        .field(static_cast<std::int64_t>(u.jobs));
+    w.end_row();
+  }
+}
+
+void csv_persistence(const PersistenceReport& r, std::ostream& out) {
+  CsvWriter w(out);
+  w.field("offset_minutes");
+  for (const auto& m : r.metrics) w.field(m);
+  w.end_row();
+  for (std::size_t o = 0; o < r.offsets_minutes.size(); ++o) {
+    w.field(r.offsets_minutes[o]);
+    for (std::size_t m = 0; m < r.metrics.size(); ++m) {
+      const double v = r.ratios[m][o];
+      if (std::isnan(v)) {
+        w.field("");
+      } else {
+        w.field(v);
+      }
+    }
+    w.end_row();
+  }
+  w.field("fit_r2");
+  for (const double r2 : r.fit_r2) {
+    if (std::isnan(r2)) {
+      w.field("");
+    } else {
+      w.field(r2);
+    }
+  }
+  w.end_row();
+}
+
+void csv_series(const SeriesReport& s, std::ostream& out) {
+  CsvWriter w(out);
+  w.row({"t_seconds", s.name.empty() ? "value" : s.name});
+  for (std::size_t i = 0; i < s.t.size(); ++i) {
+    w.field(static_cast<std::int64_t>(s.t[i])).field(s.v[i]);
+    w.end_row();
+  }
+}
+
+void csv_distribution(const DistributionReport& d, std::ostream& out) {
+  CsvWriter w(out);
+  w.row({d.name, "density"});
+  for (std::size_t i = 0; i < d.density.x.size(); ++i) {
+    w.field(d.density.x[i]).field(d.density.y[i]);
+    w.end_row();
+  }
+}
+
+void csv_jobs(std::span<const etl::JobSummary> jobs, std::ostream& out) {
+  CsvWriter w(out);
+  std::vector<std::string> head = {"job_id", "user",  "app",   "science", "project",
+                                   "cluster", "start", "end",   "nodes",   "cores",
+                                   "node_hours", "exit_status"};
+  for (const auto& m : etl::all_metric_names()) head.push_back(m);
+  w.row(head);
+  for (const auto& j : jobs) {
+    w.field(static_cast<std::int64_t>(j.id))
+        .field(j.user)
+        .field(j.app)
+        .field(j.science)
+        .field(j.project)
+        .field(j.cluster)
+        .field(static_cast<std::int64_t>(j.start))
+        .field(static_cast<std::int64_t>(j.end))
+        .field(static_cast<std::int64_t>(j.nodes))
+        .field(static_cast<std::int64_t>(j.cores))
+        .field(j.node_hours)
+        .field(static_cast<std::int64_t>(j.exit_status));
+    for (const auto& m : etl::all_metric_names()) {
+      const double v = etl::metric_value(j, m);
+      if (std::isnan(v)) {
+        w.field("");
+      } else {
+        w.field(v);
+      }
+    }
+    w.end_row();
+  }
+}
+
+}  // namespace supremm::xdmod

@@ -1,0 +1,40 @@
+// CSV export of analysis results - the "custom report" output path XDMoD
+// offers alongside its charts. Every renderable structure has a CSV twin so
+// downstream spreadsheets/notebooks can consume the data.
+#pragma once
+
+#include <ostream>
+#include <span>
+
+#include "etl/job_summary.h"
+#include "xdmod/distributions.h"
+#include "xdmod/efficiency.h"
+#include "xdmod/persistence.h"
+#include "xdmod/profiles.h"
+#include "xdmod/timeseries.h"
+
+namespace supremm::xdmod {
+
+/// metric,raw,normalized rows for one profile.
+void csv_profile(const UsageProfile& p, std::ostream& out);
+
+/// metric,entityA,entityB,... matrix of normalized values.
+void csv_profile_comparison(std::span<const UsageProfile> profiles,
+                            const std::vector<std::string>& metrics, std::ostream& out);
+
+/// user,node_hours,wasted_node_hours,efficiency rows.
+void csv_efficiency(std::span<const UserEfficiency> users, std::ostream& out);
+
+/// offset_minutes,<metric...> ratio matrix plus a fit_r2 row.
+void csv_persistence(const PersistenceReport& r, std::ostream& out);
+
+/// t,value rows.
+void csv_series(const SeriesReport& s, std::ostream& out);
+
+/// x,density rows.
+void csv_distribution(const DistributionReport& d, std::ostream& out);
+
+/// The full job table, one row per job, all metrics.
+void csv_jobs(std::span<const etl::JobSummary> jobs, std::ostream& out);
+
+}  // namespace supremm::xdmod

@@ -1,0 +1,95 @@
+#include "xdmod/faults.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "common/error.h"
+#include "stats/descriptive.h"
+
+namespace supremm::xdmod {
+
+std::vector<CodeLift> failure_lift(std::span<const etl::JobSummary> jobs,
+                                   std::span<const loglib::RationalizedRecord> records) {
+  std::map<facility::JobId, bool> failed_by_id;
+  for (const auto& j : jobs) failed_by_id[j.id] = j.exit_status != 0 || j.failed != 0;
+  if (failed_by_id.empty()) return {};
+
+  std::size_t baseline_failed = 0;
+  for (const auto& [id, f] : failed_by_id) baseline_failed += f ? 1 : 0;
+  const double baseline =
+      static_cast<double>(baseline_failed) / static_cast<double>(failed_by_id.size());
+
+  // Distinct jobs per code.
+  std::map<std::string, std::set<facility::JobId>> jobs_by_code;
+  for (const auto& r : records) {
+    if (r.job_id == 0) continue;
+    if (r.code == "JOB_START" || r.code == "JOB_EXIT") continue;
+    if (failed_by_id.count(r.job_id) == 0) continue;  // job filtered at ingest
+    jobs_by_code[r.code].insert(r.job_id);
+  }
+
+  std::vector<CodeLift> out;
+  for (const auto& [code, ids] : jobs_by_code) {
+    CodeLift c;
+    c.code = code;
+    c.jobs_with_code = ids.size();
+    for (const auto id : ids) c.failed_with_code += failed_by_id.at(id) ? 1 : 0;
+    c.failure_rate =
+        static_cast<double>(c.failed_with_code) / static_cast<double>(c.jobs_with_code);
+    c.baseline_rate = baseline;
+    c.lift = baseline > 0.0 ? c.failure_rate / baseline : 0.0;
+    out.push_back(std::move(c));
+  }
+  std::sort(out.begin(), out.end(), [](const CodeLift& a, const CodeLift& b) {
+    return a.lift != b.lift ? a.lift > b.lift : a.code < b.code;
+  });
+  return out;
+}
+
+std::vector<MetricTailRisk> metric_tail_risk(std::span<const etl::JobSummary> jobs,
+                                             double tail_fraction) {
+  if (tail_fraction <= 0.0 || tail_fraction >= 1.0) {
+    throw common::InvalidArgument("tail_fraction must be in (0,1)");
+  }
+  if (jobs.empty()) return {};
+  std::size_t baseline_failed = 0;
+  for (const auto& j : jobs) baseline_failed += (j.exit_status != 0 || j.failed != 0) ? 1 : 0;
+  const double baseline =
+      static_cast<double>(baseline_failed) / static_cast<double>(jobs.size());
+
+  std::vector<MetricTailRisk> out;
+  for (const auto& metric : etl::key_metric_names()) {
+    std::vector<double> values;
+    values.reserve(jobs.size());
+    for (const auto& j : jobs) {
+      const double v = etl::metric_value(j, metric);
+      if (!std::isnan(v)) values.push_back(v);
+    }
+    if (values.size() < 20) continue;
+    const double threshold = stats::quantile(values, 1.0 - tail_fraction);
+
+    MetricTailRisk r;
+    r.metric = metric;
+    r.threshold = threshold;
+    std::size_t failed = 0;
+    for (const auto& j : jobs) {
+      const double v = etl::metric_value(j, metric);
+      if (std::isnan(v) || v < threshold) continue;
+      ++r.tail_jobs;
+      failed += (j.exit_status != 0 || j.failed != 0) ? 1 : 0;
+    }
+    if (r.tail_jobs == 0) continue;
+    r.failure_rate = static_cast<double>(failed) / static_cast<double>(r.tail_jobs);
+    r.baseline_rate = baseline;
+    r.lift = baseline > 0.0 ? r.failure_rate / baseline : 0.0;
+    out.push_back(std::move(r));
+  }
+  std::sort(out.begin(), out.end(), [](const MetricTailRisk& a, const MetricTailRisk& b) {
+    return a.lift > b.lift;
+  });
+  return out;
+}
+
+}  // namespace supremm::xdmod

@@ -1,0 +1,56 @@
+// Fault/failure diagnostics: linking resource-usage anomalies and log
+// events with job failures.
+//
+// The paper points to the companion ANCOR tool [26] ("combines TACC_Stats
+// data with rationalized logs to generate analyses and reports which
+// diagnose the possible causes of system faults and failures") without
+// detailing it; this module implements the core statistic such a linkage
+// needs: for every rationalized log code, the failure rate of jobs that
+// emitted it versus the baseline failure rate - the *lift* of the code as a
+// failure predictor - plus the co-occurrence of failures with anomalous
+// metric values.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "etl/job_summary.h"
+#include "loglib/loglib.h"
+
+namespace supremm::xdmod {
+
+/// How strongly a log code predicts job failure.
+struct CodeLift {
+  std::string code;
+  std::size_t jobs_with_code = 0;    // distinct ingested jobs emitting it
+  std::size_t failed_with_code = 0;  // of those, how many failed
+  double failure_rate = 0.0;         // failed_with_code / jobs_with_code
+  double baseline_rate = 0.0;        // failure rate over all jobs
+  /// failure_rate / baseline_rate; > 1 means the code predicts failure.
+  double lift = 0.0;
+};
+
+/// Compute per-code failure lift from job summaries and rationalized log
+/// records. Codes seen on no ingested job are omitted; informational
+/// scheduler codes (JOB_START/JOB_EXIT) are excluded since every job emits
+/// them. Sorted by lift, highest first.
+[[nodiscard]] std::vector<CodeLift> failure_lift(
+    std::span<const etl::JobSummary> jobs,
+    std::span<const loglib::RationalizedRecord> records);
+
+/// Metric-anomaly <-> failure linkage: among jobs in the top `tail_fraction`
+/// of a metric (node-hour weighted), the failure rate vs baseline.
+struct MetricTailRisk {
+  std::string metric;
+  double threshold = 0.0;      // metric value at the tail boundary
+  std::size_t tail_jobs = 0;
+  double failure_rate = 0.0;
+  double baseline_rate = 0.0;
+  double lift = 0.0;
+};
+
+[[nodiscard]] std::vector<MetricTailRisk> metric_tail_risk(
+    std::span<const etl::JobSummary> jobs, double tail_fraction = 0.05);
+
+}  // namespace supremm::xdmod

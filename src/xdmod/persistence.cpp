@@ -1,0 +1,81 @@
+#include "xdmod/persistence.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace supremm::xdmod {
+
+const std::vector<std::string>& table1_metrics() {
+  static const std::vector<std::string> kMetrics = {
+      "cpu_flops", "mem_used", "io_scratch_write", "net_ib_tx", "cpu_idle"};
+  return kMetrics;
+}
+
+const std::vector<double>& table1_offsets_minutes() {
+  static const std::vector<double> kOffsets = {10, 30, 100, 500, 1000};
+  return kOffsets;
+}
+
+PersistenceReport persistence_analysis(const etl::SystemSeries& series,
+                                       const std::vector<std::string>& metrics,
+                                       const std::vector<double>& offsets_minutes) {
+  if (series.buckets == 0) throw common::InvalidArgument("empty system series");
+
+  // Keep only buckets where the facility reported data.
+  std::vector<std::size_t> keep;
+  keep.reserve(series.buckets);
+  for (std::size_t i = 0; i < series.buckets; ++i) {
+    if (series.up_nodes[i] > 0.0) keep.push_back(i);
+  }
+
+  PersistenceReport out;
+  out.metrics = metrics;
+  out.offsets_minutes = offsets_minutes;
+
+  const double bucket_minutes = common::to_minutes(series.bucket);
+  std::vector<std::size_t> lags;
+  for (const double off : offsets_minutes) {
+    lags.push_back(static_cast<std::size_t>(std::lround(off / bucket_minutes)));
+  }
+
+  std::vector<double> all_offsets;
+  std::vector<double> all_ratios;
+  for (const auto& m : metrics) {
+    const std::vector<double>& full = series.series(m);
+    std::vector<double> xs;
+    xs.reserve(keep.size());
+    for (const std::size_t i : keep) xs.push_back(full[i]);
+
+    std::vector<double> row;
+    std::vector<double> fit_offsets;
+    std::vector<double> fit_ratios;
+    for (std::size_t o = 0; o < lags.size(); ++o) {
+      double r = std::numeric_limits<double>::quiet_NaN();
+      if (lags[o] > 0 && xs.size() > lags[o] + 1) {
+        r = stats::offset_sd_ratio(xs, lags[o]);
+      }
+      row.push_back(r);
+      if (!std::isnan(r)) {
+        fit_offsets.push_back(offsets_minutes[o]);
+        fit_ratios.push_back(r);
+        all_offsets.push_back(offsets_minutes[o]);
+        all_ratios.push_back(r);
+      }
+    }
+    out.ratios.push_back(std::move(row));
+    if (fit_offsets.size() >= 3) {
+      out.fit_r2.push_back(stats::fit_persistence(fit_offsets, fit_ratios).fit.r2);
+    } else {
+      out.fit_r2.push_back(std::numeric_limits<double>::quiet_NaN());
+    }
+  }
+  out.combined = stats::fit_persistence(all_offsets, all_ratios);
+  return out;
+}
+
+PersistenceReport persistence_analysis(const etl::SystemSeries& series) {
+  return persistence_analysis(series, table1_metrics(), table1_offsets_minutes());
+}
+
+}  // namespace supremm::xdmod

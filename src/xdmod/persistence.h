@@ -1,0 +1,38 @@
+// Persistence analysis over facility time series (Table 1 and Figure 6).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "etl/system_series.h"
+#include "stats/structure.h"
+
+namespace supremm::xdmod {
+
+/// The 5 metrics and offsets the paper's Table 1 reports.
+[[nodiscard]] const std::vector<std::string>& table1_metrics();
+[[nodiscard]] const std::vector<double>& table1_offsets_minutes();
+
+struct PersistenceReport {
+  std::vector<std::string> metrics;
+  std::vector<double> offsets_minutes;
+  /// ratios[m][o] = offset-sd ratio of metric m at offset o (NaN when the
+  /// series is too short, rendered blank like the paper's table).
+  std::vector<std::vector<double>> ratios;
+  /// Per-metric log10 fit R^2 (Table 1's last row).
+  std::vector<double> fit_r2;
+  /// Combined fit over all metrics' (offset, ratio) points (Figure 6).
+  stats::PersistenceFit combined;
+};
+
+/// Compute the persistence report from a facility series. Buckets where the
+/// facility was entirely down (up_nodes == 0) are excluded so shutdown gaps
+/// do not masquerade as variance.
+[[nodiscard]] PersistenceReport persistence_analysis(
+    const etl::SystemSeries& series, const std::vector<std::string>& metrics,
+    const std::vector<double>& offsets_minutes);
+
+/// Convenience: Table 1 metrics and offsets.
+[[nodiscard]] PersistenceReport persistence_analysis(const etl::SystemSeries& series);
+
+}  // namespace supremm::xdmod

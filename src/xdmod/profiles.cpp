@@ -1,0 +1,105 @@
+#include "xdmod/profiles.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "stats/descriptive.h"
+
+namespace supremm::xdmod {
+
+std::string_view group_name(GroupBy g) noexcept {
+  switch (g) {
+    case GroupBy::kUser:
+      return "user";
+    case GroupBy::kApp:
+      return "application";
+    case GroupBy::kScience:
+      return "science";
+    case GroupBy::kProject:
+      return "project";
+  }
+  return "unknown";
+}
+
+const std::string& entity_of(const etl::JobSummary& job, GroupBy g) noexcept {
+  switch (g) {
+    case GroupBy::kUser:
+      return job.user;
+    case GroupBy::kApp:
+      return job.app;
+    case GroupBy::kScience:
+      return job.science;
+    case GroupBy::kProject:
+      return job.project;
+  }
+  return job.user;
+}
+
+const ProfileEntry& UsageProfile::entry(std::string_view metric) const {
+  for (const auto& e : entries) {
+    if (e.metric == metric) return e;
+  }
+  throw common::NotFoundError("profile entry '" + std::string(metric) + "'");
+}
+
+ProfileAnalyzer::ProfileAnalyzer(std::span<const etl::JobSummary> jobs,
+                                 std::vector<std::string> metrics)
+    : jobs_(jobs), metrics_(std::move(metrics)) {
+  if (metrics_.empty()) metrics_ = etl::key_metric_names();
+  for (const auto& m : metrics_) {
+    stats::WeightedAccumulator acc;
+    for (const auto& j : jobs_) {
+      const double v = etl::metric_value(j, m);
+      if (!std::isnan(v)) acc.add(v, j.node_hours);
+    }
+    facility_means_[m] = acc.mean();
+  }
+}
+
+UsageProfile ProfileAnalyzer::profile(GroupBy g, const std::string& entity) const {
+  UsageProfile p;
+  p.entity = entity;
+  std::map<std::string, stats::WeightedAccumulator> accs;
+  for (const auto& j : jobs_) {
+    if (entity_of(j, g) != entity) continue;
+    ++p.jobs;
+    p.node_hours += j.node_hours;
+    for (const auto& m : metrics_) {
+      const double v = etl::metric_value(j, m);
+      if (!std::isnan(v)) accs[m].add(v, j.node_hours);
+    }
+  }
+  for (const auto& m : metrics_) {
+    ProfileEntry e;
+    e.metric = m;
+    e.raw = accs[m].mean();
+    const double denom = facility_means_.at(m);
+    e.normalized = denom > 0.0 ? e.raw / denom : 0.0;
+    p.entries.push_back(std::move(e));
+  }
+  return p;
+}
+
+std::vector<std::string> ProfileAnalyzer::top_entities(GroupBy g, std::size_t n) const {
+  std::map<std::string, double> hours;
+  for (const auto& j : jobs_) {
+    const std::string& e = entity_of(j, g);
+    if (!e.empty()) hours[e] += j.node_hours;
+  }
+  std::vector<std::pair<std::string, double>> sorted(hours.begin(), hours.end());
+  std::sort(sorted.begin(), sorted.end(), [](const auto& a, const auto& b) {
+    return a.second != b.second ? a.second > b.second : a.first < b.first;
+  });
+  std::vector<std::string> out;
+  for (std::size_t i = 0; i < sorted.size() && i < n; ++i) out.push_back(sorted[i].first);
+  return out;
+}
+
+std::vector<UsageProfile> ProfileAnalyzer::top_profiles(GroupBy g, std::size_t n) const {
+  std::vector<UsageProfile> out;
+  for (const auto& e : top_entities(g, n)) out.push_back(profile(g, e));
+  return out;
+}
+
+}  // namespace supremm::xdmod

@@ -1,0 +1,72 @@
+// Normalized usage profiles (Figures 2, 3, 5).
+//
+// Paper §4.3.1: "The profiles have been normalized by dividing by the
+// average values for the particular metric calculated over all users.
+// Therefore, a typical user would have a value of one for each of the 8
+// metrics and this would appear as a perfect octagon... Values above one
+// indicate heavy usage: below one, light usage." All means are node-hour
+// weighted (§4.1); flops values of jobs with user-programmed counters are
+// NaN and excluded from both numerator and denominator.
+#pragma once
+
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "etl/job_summary.h"
+
+namespace supremm::xdmod {
+
+enum class GroupBy { kUser, kApp, kScience, kProject };
+
+[[nodiscard]] std::string_view group_name(GroupBy g) noexcept;
+
+/// The grouping key of a job under `g`.
+[[nodiscard]] const std::string& entity_of(const etl::JobSummary& job, GroupBy g) noexcept;
+
+struct ProfileEntry {
+  std::string metric;
+  double raw = 0.0;         // node-hour weighted mean for the entity
+  double normalized = 0.0;  // raw / facility-wide weighted mean
+};
+
+struct UsageProfile {
+  std::string entity;
+  double node_hours = 0.0;
+  std::size_t jobs = 0;
+  std::vector<ProfileEntry> entries;  // in key_metric order
+
+  [[nodiscard]] const ProfileEntry& entry(std::string_view metric) const;
+};
+
+class ProfileAnalyzer {
+ public:
+  /// Uses the 8 key metrics by default; pass any subset of
+  /// etl::all_metric_names() to customize.
+  explicit ProfileAnalyzer(std::span<const etl::JobSummary> jobs,
+                           std::vector<std::string> metrics = {});
+
+  /// Facility-wide node-hour weighted mean of each metric.
+  [[nodiscard]] const std::map<std::string, double>& facility_means() const noexcept {
+    return facility_means_;
+  }
+
+  /// Profile of one entity (e.g. one user or application).
+  [[nodiscard]] UsageProfile profile(GroupBy g, const std::string& entity) const;
+
+  /// Entities with the most node-hours, descending.
+  [[nodiscard]] std::vector<std::string> top_entities(GroupBy g, std::size_t n) const;
+
+  /// Profiles of the top-n entities (the paper's "5 heavy users of Ranger").
+  [[nodiscard]] std::vector<UsageProfile> top_profiles(GroupBy g, std::size_t n) const;
+
+  [[nodiscard]] const std::vector<std::string>& metrics() const noexcept { return metrics_; }
+
+ private:
+  std::span<const etl::JobSummary> jobs_;
+  std::vector<std::string> metrics_;
+  std::map<std::string, double> facility_means_;
+};
+
+}  // namespace supremm::xdmod

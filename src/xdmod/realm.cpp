@@ -1,0 +1,195 @@
+#include "xdmod/realm.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "common/strings.h"
+
+namespace supremm::xdmod {
+
+namespace {
+
+using warehouse::AggKind;
+using warehouse::AggSpec;
+using warehouse::ColType;
+using warehouse::Table;
+
+/// Realm dimension name -> backing column.
+std::string dimension_column(std::string_view dim) {
+  if (dim == "user") return "user";
+  if (dim == "application") return "app";
+  if (dim == "science") return "science";
+  if (dim == "project") return "project";
+  if (dim == "cluster") return "cluster";
+  if (dim == "none") return "all";
+  throw common::NotFoundError("realm dimension '" + std::string(dim) + "'");
+}
+
+/// Statistic name -> aggregation over the realm table.
+AggSpec statistic_agg(const std::string& stat) {
+  if (stat == "job_count") return {"", AggKind::kCount, "", stat};
+  if (stat == "total_node_hours") return {"node_hours", AggKind::kSum, "", stat};
+  if (stat == "wasted_node_hours") return {"wasted_node_hours", AggKind::kSum, "", stat};
+  if (stat == "failure_rate") return {"failed01", AggKind::kMean, "", stat};
+  if (stat == "avg_job_size_nodes") return {"nodes", AggKind::kMean, "", stat};
+  if (stat == "avg_wait_hours") return {"wait_hours", AggKind::kMean, "", stat};
+  if (common::starts_with(stat, "avg_")) {
+    const std::string metric = stat.substr(4);
+    const auto& names = etl::all_metric_names();
+    if (std::find(names.begin(), names.end(), metric) != names.end()) {
+      return {metric, AggKind::kWeightedMean, "node_hours", stat};
+    }
+  }
+  if (common::starts_with(stat, "max_")) {
+    const std::string metric = stat.substr(4);
+    const auto& names = etl::all_metric_names();
+    if (std::find(names.begin(), names.end(), metric) != names.end()) {
+      return {metric, AggKind::kMax, "", stat};
+    }
+  }
+  throw common::NotFoundError("realm statistic '" + std::string(stat) + "'");
+}
+
+}  // namespace
+
+JobsRealm::JobsRealm(std::span<const etl::JobSummary> jobs)
+    : table_("jobs_realm", [] {
+        std::vector<std::pair<std::string, ColType>> schema = {
+            {"all", ColType::kString},     {"user", ColType::kString},
+            {"app", ColType::kString},     {"science", ColType::kString},
+            {"project", ColType::kString}, {"cluster", ColType::kString},
+            {"nodes", ColType::kInt64},    {"node_hours", ColType::kDouble},
+            {"wasted_node_hours", ColType::kDouble},
+            {"failed01", ColType::kDouble}, {"wait_hours", ColType::kDouble},
+        };
+        for (const auto& m : etl::all_metric_names()) schema.emplace_back(m, ColType::kDouble);
+        return schema;
+      }()) {
+  for (const auto& j : jobs) {
+    auto row = table_.append();
+    row.set("all", "all")
+        .set("user", j.user)
+        .set("app", j.app.empty() ? "(unknown)" : j.app)
+        .set("science", j.science.empty() ? "(unknown)" : j.science)
+        .set("project", j.project)
+        .set("cluster", j.cluster)
+        .set("nodes", static_cast<std::int64_t>(j.nodes))
+        .set("node_hours", j.node_hours)
+        .set("wasted_node_hours", j.node_hours * j.cpu_idle)
+        .set("failed01", (j.exit_status != 0 || j.failed != 0) ? 1.0 : 0.0)
+        .set("wait_hours", common::to_hours(j.start - j.submit));
+    for (const auto& m : etl::all_metric_names()) {
+      const double v = etl::metric_value(j, m);
+      row.set(m, std::isnan(v) ? 0.0 : v);
+    }
+  }
+}
+
+std::vector<std::string> JobsRealm::dimensions() {
+  return {"none", "user", "application", "science", "project", "cluster"};
+}
+
+std::vector<std::string> JobsRealm::statistics() {
+  std::vector<std::string> out = {"job_count",       "total_node_hours",
+                                  "wasted_node_hours", "failure_rate",
+                                  "avg_job_size_nodes", "avg_wait_hours"};
+  for (const auto& m : etl::all_metric_names()) {
+    out.push_back("avg_" + m);
+    out.push_back("max_" + m);
+  }
+  return out;
+}
+
+bool JobsRealm::has_dimension(std::string_view name) {
+  const auto dims = dimensions();
+  return std::find(dims.begin(), dims.end(), name) != dims.end();
+}
+
+bool JobsRealm::has_statistic(std::string_view name) {
+  try {
+    (void)statistic_agg(std::string(name));
+    return true;
+  } catch (const common::NotFoundError&) {
+    return false;
+  }
+}
+
+Table JobsRealm::report(const ReportSpec& spec) const {
+  if (spec.statistics.empty()) {
+    throw common::InvalidArgument("realm report needs >= 1 statistic");
+  }
+  const std::string key = dimension_column(spec.dimension);
+  std::vector<AggSpec> aggs;
+  aggs.reserve(spec.statistics.size());
+  for (const auto& s : spec.statistics) aggs.push_back(statistic_agg(s));
+
+  warehouse::Query q(table_);
+  if (!spec.filter_dimension.empty()) {
+    q.where(warehouse::eq(dimension_column(spec.filter_dimension), spec.filter_value));
+  }
+  Table grouped = q.group_by({key}).aggregate(std::move(aggs)).run();
+
+  // Optional sort + limit: rebuild in order (the warehouse emits group order).
+  std::vector<std::size_t> order(grouped.rows());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  if (!spec.sort_by.empty()) {
+    const auto& col = grouped.col(spec.sort_by);
+    std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return col.as_double(a) > col.as_double(b);
+    });
+  }
+  if (spec.limit > 0 && order.size() > spec.limit) order.resize(spec.limit);
+  if (spec.sort_by.empty() && spec.limit == 0) return grouped;
+
+  std::vector<std::pair<std::string, ColType>> schema;
+  for (const auto& c : grouped.columns()) schema.emplace_back(c.name(), c.type());
+  Table out(grouped.name(), std::move(schema));
+  for (const std::size_t r : order) {
+    auto row = out.append();
+    for (const auto& c : grouped.columns()) {
+      switch (c.type()) {
+        case ColType::kString:
+          row.set(c.name(), c.as_string(r));
+          break;
+        case ColType::kInt64:
+          row.set(c.name(), c.as_int64(r));
+          break;
+        case ColType::kDouble:
+          row.set(c.name(), c.as_double(r));
+          break;
+      }
+    }
+  }
+  return out;
+}
+
+common::AsciiTable JobsRealm::render(const ReportSpec& spec) const {
+  const Table t = report(spec);
+  common::AsciiTable out(common::strprintf("Custom report: %s by %s",
+                                           common::join(spec.statistics, ", ").c_str(),
+                                           spec.dimension.c_str()));
+  std::vector<std::string> head;
+  head.reserve(t.cols());
+  for (const auto& c : t.columns()) head.push_back(c.name());
+  out.header(std::move(head));
+  for (std::size_t r = 0; r < t.rows(); ++r) {
+    auto row = out.add_row();
+    for (const auto& c : t.columns()) {
+      switch (c.type()) {
+        case ColType::kString:
+          row.cell(std::string(c.as_string(r)));
+          break;
+        case ColType::kInt64:
+          row.cell(c.as_int64(r));
+          break;
+        case ColType::kDouble:
+          row.cell(c.as_double(r), "%.4g");
+          break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace supremm::xdmod

@@ -1,0 +1,63 @@
+// The XDMoD query model: a *realm* exposes named dimensions and statistics
+// that stakeholders combine into custom reports (§4.3: "a powerful and
+// flexible analysis interface that has many analyses reports preprogrammed
+// and also the option for stakeholders to define custom reports").
+//
+// JobsRealm binds the ingested job summaries to:
+//   dimensions: user, application, science, project, cluster, none
+//   statistics: job_count, total_node_hours, wasted_node_hours,
+//               failure_rate, avg_job_size_nodes, avg_wait_hours,
+//               avg_<metric> (node-hour weighted) and max_<metric> for every
+//               job metric, e.g. avg_cpu_idle, max_mem_used.
+// Reports are produced as warehouse tables and can be rendered or exported.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/ascii_table.h"
+#include "etl/job_summary.h"
+#include "warehouse/query.h"
+
+namespace supremm::xdmod {
+
+class JobsRealm {
+ public:
+  explicit JobsRealm(std::span<const etl::JobSummary> jobs);
+
+  /// Dimension names usable as group-by keys ("none" = whole-facility row).
+  [[nodiscard]] static std::vector<std::string> dimensions();
+
+  /// All statistic names this realm can compute.
+  [[nodiscard]] static std::vector<std::string> statistics();
+
+  [[nodiscard]] static bool has_dimension(std::string_view name);
+  [[nodiscard]] static bool has_statistic(std::string_view name);
+
+  struct ReportSpec {
+    std::string dimension = "none";
+    std::vector<std::string> statistics;
+    /// Optional filter: keep only rows whose `filter_dimension` equals
+    /// `filter_value` (e.g. dimension "application", value "NAMD").
+    std::string filter_dimension;
+    std::string filter_value;
+    /// Sort descending by this statistic (must be in `statistics`); empty =
+    /// group order.
+    std::string sort_by;
+    std::size_t limit = 0;  // 0 = all rows
+  };
+
+  /// Run a custom report. Throws NotFoundError for unknown dimension or
+  /// statistic names.
+  [[nodiscard]] warehouse::Table report(const ReportSpec& spec) const;
+
+  /// Render a report as a terminal table.
+  [[nodiscard]] common::AsciiTable render(const ReportSpec& spec) const;
+
+ private:
+  warehouse::Table table_;
+};
+
+}  // namespace supremm::xdmod

@@ -1,0 +1,265 @@
+#include "xdmod/reports.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/strings.h"
+#include "xdmod/realm.h"
+
+namespace supremm::xdmod {
+
+using common::AsciiTable;
+using common::strprintf;
+
+std::string_view stakeholder_name(Stakeholder s) noexcept {
+  switch (s) {
+    case Stakeholder::kUser:
+      return "User";
+    case Stakeholder::kApplicationDeveloper:
+      return "Application Developer";
+    case Stakeholder::kSupportStaff:
+      return "Support Staff";
+    case Stakeholder::kSystemsAdministrator:
+      return "Systems Administrator";
+    case Stakeholder::kResourceManager:
+      return "Resource Manager";
+    case Stakeholder::kFundingAgency:
+      return "Funding Agency";
+  }
+  return "Unknown";
+}
+
+std::vector<std::string> report_names(Stakeholder s) {
+  switch (s) {
+    case Stakeholder::kUser:
+      return {"Resource use profile", "Comparative resource use",
+              "Anomalous resource use patterns", "Job completion failure profile"};
+    case Stakeholder::kApplicationDeveloper:
+      return {"Application resource use profiles", "Cross-system comparison",
+              "Anomalous executions", "Abnormal termination profile"};
+    case Stakeholder::kSupportStaff:
+      return {"Inefficient heavy users", "Anomalous jobs", "Major application profiles"};
+    case Stakeholder::kSystemsAdministrator:
+      return {"Usage persistence (forecasting)", "Active nodes", "Failure diagnostics"};
+    case Stakeholder::kResourceManager:
+      return {"System FLOPS", "Memory usage", "CPU hours", "Lustre filesystem traffic",
+              "Workload characterization"};
+    case Stakeholder::kFundingAgency:
+      return {"Resource use by science area", "System efficiency", "Usage distributions"};
+  }
+  return {};
+}
+
+AsciiTable render_profile(const UsageProfile& p) {
+  AsciiTable t(strprintf("Usage profile: %s (%.0f node-hours, %zu jobs)", p.entity.c_str(),
+                         p.node_hours, p.jobs));
+  t.header({"metric", "raw", "normalized", ""});
+  for (const auto& e : p.entries) {
+    t.add_row()
+        .cell(e.metric)
+        .cell(e.raw, "%.4g")
+        .cell(e.normalized, "%.2f")
+        .cell(common::ascii_bar(e.normalized, 4.0, 24));
+  }
+  return t;
+}
+
+AsciiTable render_profile_comparison(std::span<const UsageProfile> profiles,
+                                     const std::vector<std::string>& metrics) {
+  AsciiTable t("Normalized usage profiles (1.00 = facility average)");
+  std::vector<std::string> head = {"metric"};
+  for (const auto& p : profiles) head.push_back(p.entity);
+  t.header(std::move(head));
+  for (const auto& m : metrics) {
+    auto row = t.add_row();
+    row.cell(m);
+    for (const auto& p : profiles) row.cell(p.entry(m).normalized, "%.2f");
+  }
+  return t;
+}
+
+AsciiTable render_efficiency(std::span<const UserEfficiency> users, double facility_eff,
+                             std::size_t top_n) {
+  AsciiTable t(strprintf("Node-hours vs wasted node-hours (facility efficiency %.0f%%)",
+                         facility_eff * 100.0));
+  t.header({"user", "node_hours", "wasted", "efficiency", "flag"});
+  for (std::size_t i = 0; i < users.size() && i < top_n; ++i) {
+    const auto& u = users[i];
+    t.add_row()
+        .cell(u.user)
+        .cell(u.node_hours, "%.0f")
+        .cell(u.wasted_node_hours, "%.0f")
+        .cell(strprintf("%.0f%%", u.efficiency() * 100.0))
+        .cell(u.efficiency() < facility_eff ? "BELOW-LINE" : "");
+  }
+  return t;
+}
+
+AsciiTable render_persistence(const PersistenceReport& r) {
+  AsciiTable t("Persistence: offset sd / original sd (Table 1)");
+  std::vector<std::string> head = {"Offset(min)"};
+  for (const auto& m : r.metrics) head.push_back(m);
+  t.header(std::move(head));
+  for (std::size_t o = 0; o < r.offsets_minutes.size(); ++o) {
+    auto row = t.add_row();
+    row.cell(strprintf("%.0f", r.offsets_minutes[o]));
+    for (std::size_t m = 0; m < r.metrics.size(); ++m) {
+      const double v = r.ratios[m][o];
+      row.cell(std::isnan(v) ? std::string() : strprintf("%.3f", v));
+    }
+  }
+  auto fit = t.add_row();
+  fit.cell("Fit R^2");
+  for (std::size_t m = 0; m < r.metrics.size(); ++m) {
+    fit.cell(std::isnan(r.fit_r2[m]) ? std::string() : strprintf("%.3f", r.fit_r2[m]));
+  }
+  return t;
+}
+
+AsciiTable render_distribution(const DistributionReport& d, std::size_t rows) {
+  AsciiTable t(strprintf("Distribution of %s (%s); mean %.3g, max %.3g, bw %.3g",
+                         d.name.c_str(), d.unit.c_str(), d.summary.mean, d.summary.max,
+                         d.density.bandwidth));
+  t.header({d.unit.empty() ? "x" : d.unit, "density", ""});
+  double peak = 0.0;
+  for (const double y : d.density.y) peak = std::max(peak, y);
+  const std::size_t n = d.density.x.size();
+  const std::size_t step = std::max<std::size_t>(1, n / std::max<std::size_t>(1, rows));
+  for (std::size_t i = 0; i < n; i += step) {
+    t.add_row()
+        .cell(d.density.x[i], "%.3g")
+        .cell(d.density.y[i], "%.4g")
+        .cell(common::ascii_bar(d.density.y[i], peak, 40));
+  }
+  return t;
+}
+
+AsciiTable render_series(const SeriesReport& s, std::size_t max_rows) {
+  AsciiTable t(strprintf("%s over time (mean %.3g, max %.3g)", s.name.c_str(),
+                         s.mean_value(), s.max_value()));
+  t.header({"t", s.unit.empty() ? "value" : s.unit, ""});
+  const double peak = s.max_value();
+  const std::size_t n = s.t.size();
+  const std::size_t step = std::max<std::size_t>(1, n / std::max<std::size_t>(1, max_rows));
+  for (std::size_t i = 0; i < n; i += step) {
+    t.add_row()
+        .cell(common::format_time(s.t[i]))
+        .cell(s.v[i], "%.3g")
+        .cell(common::ascii_bar(s.v[i], peak, 40));
+  }
+  return t;
+}
+
+AsciiTable render_anomalies(std::span<const JobAnomaly> anomalies, std::size_t top_n) {
+  AsciiTable t("Jobs with anomalous resource use (|z| vs application mean)");
+  t.header({"job", "user", "app", "metric", "value", "app_mean", "z"});
+  for (std::size_t i = 0; i < anomalies.size() && i < top_n; ++i) {
+    const auto& a = anomalies[i];
+    t.add_row()
+        .cell(static_cast<std::int64_t>(a.job_id))
+        .cell(a.user)
+        .cell(a.app)
+        .cell(a.metric)
+        .cell(a.value, "%.3g")
+        .cell(a.app_mean, "%.3g")
+        .cell(a.zscore, "%+.1f");
+  }
+  return t;
+}
+
+AsciiTable render_failures(std::span<const FailureProfile> profiles) {
+  AsciiTable t("Job completion failure profiles by application");
+  t.header({"app", "jobs", "failed", "system_killed", "failure_rate", "node_hours"});
+  for (const auto& f : profiles) {
+    t.add_row()
+        .cell(f.app)
+        .cell(static_cast<std::int64_t>(f.jobs))
+        .cell(static_cast<std::int64_t>(f.failed))
+        .cell(static_cast<std::int64_t>(f.system_killed))
+        .cell(strprintf("%.1f%%", f.failure_rate() * 100.0))
+        .cell(f.node_hours, "%.0f");
+  }
+  return t;
+}
+
+std::size_t write_reports(const DataContext& ctx, Stakeholder s, std::ostream& out) {
+  std::size_t count = 0;
+  auto emit = [&](const AsciiTable& t) {
+    t.render(out);
+    out << '\n';
+    ++count;
+  };
+  out << "=== " << stakeholder_name(s) << " reports: " << ctx.cluster << " ===\n\n";
+
+  const ProfileAnalyzer analyzer(ctx.jobs);
+  switch (s) {
+    case Stakeholder::kUser: {
+      const auto profiles = analyzer.top_profiles(GroupBy::kUser, 5);
+      for (const auto& p : profiles) emit(render_profile(p));
+      emit(render_profile_comparison(profiles, analyzer.metrics()));
+      emit(render_anomalies(anomalous_jobs(ctx.jobs, 4.0), 20));
+      emit(render_failures(failure_profiles(ctx.jobs)));
+      break;
+    }
+    case Stakeholder::kApplicationDeveloper: {
+      const auto profiles = analyzer.top_profiles(GroupBy::kApp, 6);
+      emit(render_profile_comparison(profiles, analyzer.metrics()));
+      for (const auto& p : profiles) emit(render_profile(p));
+      emit(render_failures(failure_profiles(ctx.jobs)));
+      break;
+    }
+    case Stakeholder::kSupportStaff: {
+      const auto users = user_efficiency(ctx.jobs);
+      const double fe = facility_efficiency(ctx.jobs);
+      emit(render_efficiency(users, fe, 30));
+      const auto bad = inefficient_heavy_users(ctx.jobs, 100.0, 0.5);
+      for (std::size_t i = 0; i < bad.size() && i < 2; ++i) {
+        emit(render_profile(analyzer.profile(GroupBy::kUser, bad[i].user)));
+      }
+      emit(render_anomalies(anomalous_jobs(ctx.jobs, 4.0), 20));
+      break;
+    }
+    case Stakeholder::kSystemsAdministrator: {
+      if (ctx.series != nullptr) {
+        emit(render_persistence(persistence_analysis(*ctx.series)));
+        auto active = rebucket(*ctx.series, "active_nodes", common::kDay, SeriesAgg::kMean);
+        active.unit = "nodes";
+        emit(render_series(active));
+      }
+      emit(render_failures(failure_profiles(ctx.jobs)));
+      break;
+    }
+    case Stakeholder::kResourceManager: {
+      if (ctx.series != nullptr) {
+        auto flops = rebucket(*ctx.series, "cpu_flops", common::kDay, SeriesAgg::kMean);
+        flops.unit = "TF";
+        emit(render_series(flops));
+        auto mem = rebucket(*ctx.series, "mem_used", common::kDay, SeriesAgg::kMean);
+        mem.unit = "GB/node";
+        emit(render_series(mem));
+      }
+      emit(render_profile_comparison(analyzer.top_profiles(GroupBy::kApp, 6),
+                                     analyzer.metrics()));
+      // Workload characterization through the custom-report facade.
+      const JobsRealm realm(ctx.jobs);
+      JobsRealm::ReportSpec spec;
+      spec.dimension = "science";
+      spec.statistics = {"job_count", "total_node_hours", "avg_job_size_nodes",
+                         "avg_mem_used", "avg_cpu_idle"};
+      spec.sort_by = "total_node_hours";
+      emit(realm.render(spec));
+      break;
+    }
+    case Stakeholder::kFundingAgency: {
+      emit(render_profile_comparison(analyzer.top_profiles(GroupBy::kScience, 8),
+                                     analyzer.metrics()));
+      const auto users = user_efficiency(ctx.jobs);
+      emit(render_efficiency(users, facility_efficiency(ctx.jobs), 15));
+      if (ctx.series != nullptr) emit(render_distribution(flops_distribution(*ctx.series)));
+      break;
+    }
+  }
+  return count;
+}
+
+}  // namespace supremm::xdmod

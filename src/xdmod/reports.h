@@ -1,0 +1,85 @@
+// Stakeholder report catalogue and renderers - the terminal stand-in for the
+// XDMoD web interface. §4.3 defines six stakeholder classes, each with a set
+// of preprogrammed reports; ReportBook builds them all from one DataContext.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/ascii_table.h"
+#include "etl/job_summary.h"
+#include "etl/system_series.h"
+#include "xdmod/distributions.h"
+#include "xdmod/efficiency.h"
+#include "xdmod/persistence.h"
+#include "xdmod/profiles.h"
+#include "xdmod/timeseries.h"
+
+namespace supremm::xdmod {
+
+enum class Stakeholder : std::uint8_t {
+  kUser,
+  kApplicationDeveloper,
+  kSupportStaff,
+  kSystemsAdministrator,
+  kResourceManager,
+  kFundingAgency,
+};
+inline constexpr std::size_t kStakeholderCount = 6;
+
+[[nodiscard]] std::string_view stakeholder_name(Stakeholder s) noexcept;
+
+/// The preprogrammed report names for a stakeholder class (paper §4.3).
+[[nodiscard]] std::vector<std::string> report_names(Stakeholder s);
+
+// --- Renderers -------------------------------------------------------------
+
+/// Radar-chart data as a table: metric, raw, normalized, bar.
+[[nodiscard]] common::AsciiTable render_profile(const UsageProfile& p);
+
+/// Several profiles side by side (Figure 3's app comparison).
+[[nodiscard]] common::AsciiTable render_profile_comparison(
+    std::span<const UsageProfile> profiles, const std::vector<std::string>& metrics);
+
+/// Figure 4 as a table: top users, node-hours, wasted, efficiency, flag for
+/// users under the efficiency line.
+[[nodiscard]] common::AsciiTable render_efficiency(std::span<const UserEfficiency> users,
+                                                   double facility_eff, std::size_t top_n);
+
+/// Table 1.
+[[nodiscard]] common::AsciiTable render_persistence(const PersistenceReport& r);
+
+/// A KDE as a terminal-density plot (x, density, bar).
+[[nodiscard]] common::AsciiTable render_distribution(const DistributionReport& d,
+                                                     std::size_t rows = 24);
+
+/// A time series as a table with bars.
+[[nodiscard]] common::AsciiTable render_series(const SeriesReport& s, std::size_t max_rows = 40);
+
+/// Anomalous jobs list.
+[[nodiscard]] common::AsciiTable render_anomalies(std::span<const JobAnomaly> anomalies,
+                                                  std::size_t top_n);
+
+/// Failure profiles per application.
+[[nodiscard]] common::AsciiTable render_failures(std::span<const FailureProfile> profiles);
+
+// --- The book --------------------------------------------------------------
+
+/// Everything the report builders need.
+struct DataContext {
+  std::string cluster;
+  std::span<const etl::JobSummary> jobs;
+  const etl::SystemSeries* series = nullptr;
+  std::size_t cores_per_node = 16;
+  double node_mem_gb = 32.0;
+  double peak_tflops = 0.0;
+};
+
+/// Build the full report set for one stakeholder, writing each rendered
+/// report to `out`. Returns the number of reports emitted.
+std::size_t write_reports(const DataContext& ctx, Stakeholder s, std::ostream& out);
+
+}  // namespace supremm::xdmod

@@ -1,0 +1,51 @@
+#include "xdmod/selector.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "stats/descriptive.h"
+
+namespace supremm::xdmod {
+
+SelectionResult select_key_metrics(std::span<const etl::JobSummary> jobs, double threshold,
+                                   std::vector<std::string> metrics) {
+  if (metrics.empty()) metrics = etl::all_metric_names();
+
+  // Build observation matrix, dropping jobs with NaN values.
+  std::vector<std::vector<double>> series(metrics.size());
+  for (const auto& j : jobs) {
+    std::vector<double> row;
+    row.reserve(metrics.size());
+    bool ok = true;
+    for (const auto& m : metrics) {
+      const double v = etl::metric_value(j, m);
+      if (std::isnan(v)) {
+        ok = false;
+        break;
+      }
+      row.push_back(v);
+    }
+    if (!ok) continue;
+    for (std::size_t i = 0; i < metrics.size(); ++i) series[i].push_back(row[i]);
+  }
+  if (series.front().size() < 8) {
+    throw common::InvalidArgument("too few complete jobs for correlation analysis");
+  }
+
+  SelectionResult out{metrics,
+                      stats::CorrelationMatrix(metrics, series),
+                      {},
+                      {}};
+  out.correlated_pairs = out.correlation.correlated_pairs(threshold);
+
+  std::vector<double> priority;
+  priority.reserve(metrics.size());
+  for (const auto& s : series) priority.push_back(stats::summarize(s).cv());
+  for (const std::size_t i :
+       stats::select_independent(out.correlation, priority, threshold)) {
+    out.selected.push_back(metrics[i]);
+  }
+  return out;
+}
+
+}  // namespace supremm::xdmod

@@ -1,0 +1,33 @@
+// Correlation-based key-metric selection (§4.2).
+//
+// Reproduces the analysis that justified the paper's 8 key metrics: compute
+// pairwise correlations of all job metrics over the job mix (node-hour
+// weighted observations), report highly correlated/anti-correlated pairs
+// (cpu_user vs cpu_idle, net_ib_rx vs net_ib_tx, ...) and greedily select a
+// smallest independent set.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "etl/job_summary.h"
+#include "stats/correlation.h"
+
+namespace supremm::xdmod {
+
+struct SelectionResult {
+  std::vector<std::string> metrics;             // analyzed metrics, in order
+  stats::CorrelationMatrix correlation;
+  std::vector<stats::CorrelationMatrix::Pair> correlated_pairs;  // |r| >= threshold
+  std::vector<std::string> selected;            // the independent set
+};
+
+/// Analyze `metrics` (default: etl::all_metric_names()) over the jobs. Jobs
+/// with any NaN metric (invalid flops) are dropped from the observation set.
+/// Metrics are prioritized for selection by coefficient of variation.
+[[nodiscard]] SelectionResult select_key_metrics(std::span<const etl::JobSummary> jobs,
+                                                 double threshold = 0.8,
+                                                 std::vector<std::string> metrics = {});
+
+}  // namespace supremm::xdmod

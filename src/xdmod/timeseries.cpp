@@ -1,0 +1,178 @@
+#include "xdmod/timeseries.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/error.h"
+
+namespace supremm::xdmod {
+
+double SeriesReport::max_value() const {
+  double m = 0.0;
+  for (const double x : v) m = std::max(m, x);
+  return m;
+}
+
+double SeriesReport::mean_value() const {
+  if (v.empty()) return 0.0;
+  double s = 0.0;
+  for (const double x : v) s += x;
+  return s / static_cast<double>(v.size());
+}
+
+namespace {
+
+struct Bucketizer {
+  common::TimePoint start;
+  common::Duration width;
+  std::size_t n;
+
+  Bucketizer(const etl::SystemSeries& s, common::Duration w)
+      : start(s.start), width(w) {
+    if (w <= 0 || w % s.bucket != 0) {
+      throw common::InvalidArgument("display width must be a positive multiple of the bucket");
+    }
+    const common::Duration total = static_cast<common::Duration>(s.buckets) * s.bucket;
+    n = static_cast<std::size_t>((total + w - 1) / w);
+  }
+};
+
+}  // namespace
+
+SeriesReport rebucket(const etl::SystemSeries& series, const std::string& metric,
+                      common::Duration width, SeriesAgg agg) {
+  const Bucketizer bz(series, width);
+  const auto& src = series.series(metric);
+  SeriesReport out;
+  out.name = metric;
+  out.t.resize(bz.n);
+  out.v.assign(bz.n, 0.0);
+  std::vector<std::size_t> counts(bz.n, 0);
+  for (std::size_t i = 0; i < bz.n; ++i) {
+    out.t[i] = bz.start + static_cast<common::Duration>(i) * width;
+  }
+  const auto per = static_cast<std::size_t>(width / series.bucket);
+  for (std::size_t i = 0; i < series.buckets; ++i) {
+    const std::size_t d = i / per;
+    switch (agg) {
+      case SeriesAgg::kMean:
+      case SeriesAgg::kSum:
+        out.v[d] += src[i];
+        break;
+      case SeriesAgg::kMax:
+        out.v[d] = std::max(out.v[d], src[i]);
+        break;
+    }
+    ++counts[d];
+  }
+  if (agg == SeriesAgg::kMean) {
+    for (std::size_t d = 0; d < bz.n; ++d) {
+      if (counts[d] > 0) out.v[d] /= static_cast<double>(counts[d]);
+    }
+  }
+  return out;
+}
+
+CpuHoursReport cpu_hours_report(const etl::SystemSeries& series, common::Duration width) {
+  const Bucketizer bz(series, width);
+  CpuHoursReport out;
+  out.t.resize(bz.n);
+  out.user_core_h.assign(bz.n, 0.0);
+  out.idle_core_h.assign(bz.n, 0.0);
+  out.system_core_h.assign(bz.n, 0.0);
+  for (std::size_t i = 0; i < bz.n; ++i) {
+    out.t[i] = bz.start + static_cast<common::Duration>(i) * width;
+  }
+  const auto per = static_cast<std::size_t>(width / series.bucket);
+  for (std::size_t i = 0; i < series.buckets; ++i) {
+    const std::size_t d = i / per;
+    out.user_core_h[d] += series.cpu_user_core_h[i];
+    out.idle_core_h[d] += series.cpu_idle_core_h[i];
+    out.system_core_h[d] += series.cpu_system_core_h[i];
+  }
+  return out;
+}
+
+LustreReport lustre_report(const etl::SystemSeries& series, common::Duration width) {
+  const Bucketizer bz(series, width);
+  LustreReport out;
+  out.t.resize(bz.n);
+  out.scratch_mb_s.assign(bz.n, 0.0);
+  out.work_mb_s.assign(bz.n, 0.0);
+  out.share_mb_s.assign(bz.n, 0.0);
+  std::vector<std::size_t> counts(bz.n, 0);
+  for (std::size_t i = 0; i < bz.n; ++i) {
+    out.t[i] = bz.start + static_cast<common::Duration>(i) * width;
+  }
+  const auto per = static_cast<std::size_t>(width / series.bucket);
+  for (std::size_t i = 0; i < series.buckets; ++i) {
+    const std::size_t d = i / per;
+    out.scratch_mb_s[d] += series.scratch_write_mb_s[i] + series.scratch_read_mb_s[i];
+    out.work_mb_s[d] += series.work_write_mb_s[i];
+    out.share_mb_s[d] += series.share_mb_s[i];
+    ++counts[d];
+  }
+  for (std::size_t d = 0; d < bz.n; ++d) {
+    if (counts[d] == 0) continue;
+    const auto c = static_cast<double>(counts[d]);
+    out.scratch_mb_s[d] /= c;
+    out.work_mb_s[d] /= c;
+    out.share_mb_s[d] /= c;
+  }
+  return out;
+}
+
+ScienceMemoryReport science_memory_report(std::span<const etl::JobSummary> jobs,
+                                          std::size_t cores_per_node,
+                                          common::TimePoint start, common::Duration span,
+                                          common::Duration width) {
+  if (width <= 0 || span <= 0) throw common::InvalidArgument("bad science report window");
+  const auto n = static_cast<std::size_t>((span + width - 1) / width);
+
+  std::map<std::string, std::size_t> science_index;
+  for (const auto& j : jobs) {
+    if (!j.science.empty()) science_index.emplace(j.science, 0);
+  }
+  ScienceMemoryReport out;
+  for (auto& [name, idx] : science_index) {
+    idx = out.sciences.size();
+    out.sciences.push_back(name);
+  }
+  out.t.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.t[i] = start + static_cast<common::Duration>(i) * width;
+  }
+  std::vector<std::vector<double>> wsum(out.sciences.size(), std::vector<double>(n, 0.0));
+  std::vector<std::vector<double>> w(out.sciences.size(), std::vector<double>(n, 0.0));
+
+  const double cores = static_cast<double>(cores_per_node);
+  for (const auto& j : jobs) {
+    if (j.science.empty()) continue;
+    const std::size_t s = science_index.at(j.science);
+    const double mem_per_core = j.mem_used_gb / cores;
+    // Overlap with each display bucket.
+    const common::TimePoint jb = std::max(j.start, start);
+    const common::TimePoint je = std::min(j.end, start + span);
+    if (je <= jb) continue;
+    std::size_t b0 = static_cast<std::size_t>((jb - start) / width);
+    const std::size_t b1 = static_cast<std::size_t>((je - 1 - start) / width);
+    for (std::size_t b = b0; b <= b1 && b < n; ++b) {
+      const common::TimePoint bs = start + static_cast<common::Duration>(b) * width;
+      const common::TimePoint be = bs + width;
+      const double overlap = static_cast<double>(std::min(je, be) - std::max(jb, bs));
+      if (overlap <= 0) continue;
+      const double weight = overlap * static_cast<double>(j.nodes);
+      wsum[s][b] += mem_per_core * weight;
+      w[s][b] += weight;
+    }
+  }
+  out.mem_gb_per_core.assign(out.sciences.size(), std::vector<double>(n, 0.0));
+  for (std::size_t s = 0; s < out.sciences.size(); ++s) {
+    for (std::size_t b = 0; b < n; ++b) {
+      if (w[s][b] > 0) out.mem_gb_per_core[s][b] = wsum[s][b] / w[s][b];
+    }
+  }
+  return out;
+}
+
+}  // namespace supremm::xdmod

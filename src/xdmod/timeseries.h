@@ -1,0 +1,66 @@
+// Time-series reports (Figures 7, 8, 9, 11): re-bucketing of the 10-minute
+// facility series for display, plus the by-science memory report.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/time.h"
+#include "etl/job_summary.h"
+#include "etl/system_series.h"
+
+namespace supremm::xdmod {
+
+enum class SeriesAgg { kMean, kMax, kSum };
+
+struct SeriesReport {
+  std::string name;
+  std::string unit;
+  std::vector<common::TimePoint> t;  // bucket start times
+  std::vector<double> v;
+
+  [[nodiscard]] double max_value() const;
+  [[nodiscard]] double mean_value() const;
+};
+
+/// Re-bucket a named facility series (e.g. "cpu_flops", "active_nodes") into
+/// coarser display buckets.
+[[nodiscard]] SeriesReport rebucket(const etl::SystemSeries& series,
+                                    const std::string& metric, common::Duration width,
+                                    SeriesAgg agg);
+
+/// Figure 7b: CPU core-hours split user/idle/system per display bucket.
+struct CpuHoursReport {
+  std::vector<common::TimePoint> t;
+  std::vector<double> user_core_h;
+  std::vector<double> idle_core_h;
+  std::vector<double> system_core_h;
+};
+[[nodiscard]] CpuHoursReport cpu_hours_report(const etl::SystemSeries& series,
+                                              common::Duration width);
+
+/// Figure 7c: Lustre traffic per filesystem per display bucket (MB/s).
+struct LustreReport {
+  std::vector<common::TimePoint> t;
+  std::vector<double> scratch_mb_s;
+  std::vector<double> work_mb_s;
+  std::vector<double> share_mb_s;
+};
+[[nodiscard]] LustreReport lustre_report(const etl::SystemSeries& series,
+                                         common::Duration width);
+
+/// Figure 7a: average memory per core by parent science per display bucket.
+/// Computed from job summaries: each job contributes its mem/core to every
+/// bucket it overlaps, weighted by overlap node-hours.
+struct ScienceMemoryReport {
+  std::vector<std::string> sciences;
+  std::vector<common::TimePoint> t;
+  /// mem_gb_per_core[s][b] for science s, bucket b (0 when no jobs).
+  std::vector<std::vector<double>> mem_gb_per_core;
+};
+[[nodiscard]] ScienceMemoryReport science_memory_report(
+    std::span<const etl::JobSummary> jobs, std::size_t cores_per_node,
+    common::TimePoint start, common::Duration span, common::Duration width);
+
+}  // namespace supremm::xdmod

@@ -1,0 +1,79 @@
+// Shared test fixture: a small simulated facility run through the full
+// pipeline (simulate -> collect -> side channels -> ingest), computed once
+// per binary and reused by the ETL / XDMoD / integration tests.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "supremm/supremm.h"
+
+namespace supremm::testing {
+
+struct SimRun {
+  facility::ClusterSpec spec;
+  std::vector<facility::AppSignature> catalogue;
+  std::unique_ptr<facility::UserPopulation> population;
+  std::vector<facility::MaintenanceWindow> maintenance;
+  std::unique_ptr<facility::FacilityEngine> engine;
+  std::vector<taccstats::RawFile> files;
+  std::vector<accounting::AccountingRecord> acct;
+  std::vector<lariat::LariatRecord> lariat_records;
+  etl::IngestResult result;
+  common::TimePoint start = 0;
+  common::Duration span = 0;
+};
+
+/// Build a full run for a preset scaled to `node_scale` over `days` days.
+/// Deterministic in seed.
+inline SimRun make_sim_run(const facility::ClusterSpec& preset, double node_scale, int days,
+                           std::uint64_t seed, bool with_maintenance = false,
+                           std::size_t threads = 0) {
+  SimRun run;
+  run.start = 0;
+  run.span = days * common::kDay;
+  run.spec = facility::scaled(preset, node_scale);
+  run.catalogue = facility::standard_catalogue();
+  run.population = std::make_unique<facility::UserPopulation>(
+      facility::UserPopulation::generate(run.spec, run.catalogue, seed));
+
+  facility::WorkloadConfig wl;
+  wl.start = run.start;
+  wl.span = run.span;
+  wl.seed = seed;
+  auto requests = facility::generate_workload(run.spec, run.catalogue, *run.population, wl);
+  if (with_maintenance) {
+    run.maintenance = facility::standard_maintenance(run.start, run.span, seed);
+  }
+  auto execs = facility::Scheduler::run(run.spec, std::move(requests), run.maintenance);
+  run.engine = std::make_unique<facility::FacilityEngine>(
+      run.spec, std::move(execs), run.maintenance, run.start, run.start + run.span, seed);
+
+  const auto outputs = taccstats::run_all_agents(*run.engine, taccstats::AgentConfig{},
+                                                 threads);
+  for (const auto& o : outputs) {
+    run.files.insert(run.files.end(), o.files.begin(), o.files.end());
+  }
+  run.acct = accounting::from_executions(run.spec, *run.population,
+                                         run.engine->executions());
+  run.lariat_records = lariat::from_executions(run.spec, run.catalogue, *run.population,
+                                               run.engine->executions());
+
+  etl::IngestConfig cfg;
+  cfg.start = run.start;
+  cfg.span = run.span;
+  cfg.cluster = run.spec.name;
+  cfg.threads = threads;
+  const etl::IngestPipeline pipeline(cfg);
+  run.result = pipeline.run(run.files, run.acct, run.lariat_records, run.catalogue,
+                            etl::project_science_map(*run.population));
+  return run;
+}
+
+/// Process-wide cached small Ranger run (8 days, ~40 nodes).
+inline const SimRun& small_ranger_run() {
+  static const SimRun run = make_sim_run(facility::ranger(), 0.01, 8, 12345);
+  return run;
+}
+
+}  // namespace supremm::testing

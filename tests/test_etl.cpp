@@ -1,0 +1,256 @@
+// Tests for the ingest pipeline: job summaries, the system series, metric
+// plumbing and the warehouse loader - over a full (small) simulated run.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "sim_fixture.h"
+
+namespace fa = supremm::facility;
+namespace etl = supremm::etl;
+namespace sc = supremm::common;
+using supremm::testing::small_ranger_run;
+
+// --- metric catalogue -------------------------------------------------------
+
+TEST(JobMetrics, KeyMetricNamesMatchPaper) {
+  const auto& names = etl::key_metric_names();
+  ASSERT_EQ(names.size(), 8u);  // §4.2: eight key metrics
+  for (const char* m : {"cpu_idle", "cpu_flops", "mem_used", "mem_used_max",
+                        "io_scratch_write", "io_work_write", "net_ib_tx", "net_lnet_tx"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), m), names.end()) << m;
+  }
+}
+
+TEST(JobMetrics, MetricValueDispatch) {
+  etl::JobSummary j;
+  j.cpu_idle = 0.25;
+  j.mem_used_gb = 7.5;
+  j.flops_valid = true;
+  j.cpu_flops_gf_node = 3.0;
+  EXPECT_DOUBLE_EQ(etl::metric_value(j, "cpu_idle"), 0.25);
+  EXPECT_DOUBLE_EQ(etl::metric_value(j, "mem_used"), 7.5);
+  EXPECT_DOUBLE_EQ(etl::metric_value(j, "cpu_flops"), 3.0);
+  EXPECT_THROW((void)etl::metric_value(j, "bogus"), supremm::NotFoundError);
+}
+
+TEST(JobMetrics, InvalidFlopsIsNaN) {
+  etl::JobSummary j;
+  j.flops_valid = false;
+  j.cpu_flops_gf_node = 99.0;
+  EXPECT_TRUE(std::isnan(etl::metric_value(j, "cpu_flops")));
+}
+
+// --- full pipeline over the shared fixture ------------------------------
+
+TEST(Ingest, JobsMatchedToAccounting) {
+  const auto& run = small_ranger_run();
+  ASSERT_GT(run.result.jobs.size(), 20u);
+  std::set<fa::JobId> acct_ids;
+  for (const auto& a : run.acct) acct_ids.insert(a.job_id);
+  for (const auto& j : run.result.jobs) {
+    EXPECT_TRUE(acct_ids.count(j.id)) << j.id;
+    EXPECT_FALSE(j.user.empty());
+    EXPECT_EQ(j.cluster, "ranger");
+    EXPECT_GT(j.node_hours, 0.0);
+    EXPECT_GE(j.samples, 1u);
+  }
+}
+
+TEST(Ingest, ShortJobsExcluded) {
+  const auto& run = small_ranger_run();
+  for (const auto& j : run.result.jobs) {
+    EXPECT_GE(j.runtime(), 10 * sc::kMinute);  // paper's §4.1 filter
+  }
+}
+
+TEST(Ingest, MetricRangesPlausible) {
+  const auto& run = small_ranger_run();
+  for (const auto& j : run.result.jobs) {
+    EXPECT_GE(j.cpu_idle, 0.0);
+    EXPECT_LE(j.cpu_idle, 1.0);
+    EXPECT_GE(j.cpu_user, 0.0);
+    EXPECT_LE(j.cpu_user + j.cpu_idle + j.cpu_system, 1.02);
+    EXPECT_GE(j.mem_used_gb, 1.0);   // at least the OS baseline
+    EXPECT_LE(j.mem_used_max_gb, 32.1);
+    EXPECT_GE(j.mem_used_max_gb, j.mem_used_gb * 0.8);
+    if (j.flops_valid) {
+      EXPECT_GE(j.cpu_flops_gf_node, 0.0);
+      EXPECT_LE(j.cpu_flops_gf_node, run.spec.node.peak_gflops_per_node());
+    }
+    EXPECT_GE(j.io_scratch_write_mb_s, 0.0);
+    EXPECT_GE(j.net_ib_tx_mb_s, 0.0);
+  }
+}
+
+TEST(Ingest, JobMetricsReflectBehavior) {
+  // Each job's measured idle should track the behavior the simulator drew.
+  const auto& run = small_ranger_run();
+  std::size_t checked = 0;
+  for (const auto& j : run.result.jobs) {
+    for (const auto& e : run.engine->executions()) {
+      if (e.req.id != j.id) continue;
+      if (e.runtime() < 2 * sc::kHour) break;  // enough samples to converge
+      EXPECT_NEAR(j.cpu_idle, e.req.behavior.idle_frac, 0.12)
+          << "job " << j.id;
+      EXPECT_NEAR(j.mem_used_gb, 1.6 + e.req.behavior.mem_gb,
+                  e.req.behavior.mem_gb * 0.35 + 1.0)
+          << "job " << j.id;
+      ++checked;
+      break;
+    }
+  }
+  EXPECT_GT(checked, 5u);
+}
+
+TEST(Ingest, LnetTracksLustreTraffic) {
+  // LNET carries Lustre client traffic: lnet_tx ~ scratch+work writes.
+  const auto& run = small_ranger_run();
+  for (const auto& j : run.result.jobs) {
+    const double lustre_wr = j.io_scratch_write_mb_s + j.io_work_write_mb_s;
+    if (lustre_wr < 0.5) continue;
+    EXPECT_NEAR(j.net_lnet_tx_mb_s / lustre_wr, 1.02, 0.15) << "job " << j.id;
+  }
+}
+
+TEST(Ingest, AppResolvedThroughLariat) {
+  const auto& run = small_ranger_run();
+  std::size_t with_app = 0;
+  for (const auto& j : run.result.jobs) {
+    if (!j.app.empty()) ++with_app;
+  }
+  EXPECT_EQ(with_app, run.result.jobs.size());  // every job launched via Lariat
+}
+
+TEST(Ingest, ScienceResolvedThroughProjectRegistry) {
+  const auto& run = small_ranger_run();
+  for (const auto& j : run.result.jobs) {
+    EXPECT_FALSE(j.science.empty()) << j.id;
+    EXPECT_NO_THROW((void)fa::science_from_name(j.science));
+  }
+}
+
+TEST(Ingest, StatsAccounting) {
+  const auto& run = small_ranger_run();
+  const auto& st = run.result.stats;
+  EXPECT_GT(st.bytes, 1000000u);
+  EXPECT_EQ(st.files, run.files.size());
+  EXPECT_GT(st.samples, 1000u);
+  EXPECT_GT(st.pairs, st.samples / 2);
+  EXPECT_GE(st.jobs_seen, run.result.jobs.size());
+}
+
+TEST(Ingest, SystemSeriesShapes) {
+  const auto& run = small_ranger_run();
+  const auto& ss = run.result.series;
+  EXPECT_EQ(ss.bucket, 10 * sc::kMinute);
+  EXPECT_EQ(ss.buckets, static_cast<std::size_t>(run.span / ss.bucket));
+  EXPECT_EQ(ss.flops_tf.size(), ss.buckets);
+  EXPECT_EQ(ss.active_nodes.size(), ss.buckets);
+
+  double max_active = 0, max_up = 0;
+  for (std::size_t i = 0; i < ss.buckets; ++i) {
+    max_active = std::max(max_active, ss.active_nodes[i]);
+    max_up = std::max(max_up, ss.up_nodes[i]);
+    EXPECT_LE(ss.active_nodes[i], ss.up_nodes[i] + 1e-9);
+    EXPECT_GE(ss.cpu_idle_frac[i], 0.0);
+    EXPECT_LE(ss.cpu_idle_frac[i], 1.0);
+  }
+  EXPECT_LE(max_up, static_cast<double>(run.spec.node_count) + 1e-9);
+  EXPECT_GT(max_active, 0.5 * static_cast<double>(run.spec.node_count));
+}
+
+TEST(Ingest, FacilityFlopsFarBelowPeak) {
+  // Figure 9's headline: actual FLOPS are a few percent of the peak.
+  const auto& run = small_ranger_run();
+  const auto& f = run.result.series.flops_tf;
+  double mean = 0, peak = 0;
+  for (const double v : f) {
+    mean += v;
+    peak = std::max(peak, v);
+  }
+  mean /= static_cast<double>(f.size());
+  EXPECT_GT(mean, 0.0);
+  EXPECT_LT(mean, 0.10 * run.spec.peak_tflops());
+  EXPECT_LT(peak, 0.30 * run.spec.peak_tflops());
+}
+
+TEST(Ingest, SeriesAccessorNames) {
+  const auto& run = small_ranger_run();
+  for (const char* m : {"cpu_flops", "mem_used", "io_scratch_write", "net_ib_tx",
+                        "cpu_idle", "active_nodes"}) {
+    EXPECT_EQ(run.result.series.series(m).size(), run.result.series.buckets) << m;
+  }
+  EXPECT_THROW((void)run.result.series.series("bogus"), supremm::NotFoundError);
+}
+
+TEST(Ingest, DeterministicAcrossThreadCounts) {
+  // DESIGN.md §7: results are bit-identical for any thread count.
+  const auto run1 = supremm::testing::make_sim_run(fa::ranger(), 0.004, 3, 5, false, 1);
+  const auto run4 = supremm::testing::make_sim_run(fa::ranger(), 0.004, 3, 5, false, 4);
+  ASSERT_EQ(run1.result.jobs.size(), run4.result.jobs.size());
+  for (std::size_t i = 0; i < run1.result.jobs.size(); ++i) {
+    const auto& a = run1.result.jobs[i];
+    const auto& b = run4.result.jobs[i];
+    EXPECT_EQ(a.id, b.id);
+    EXPECT_EQ(a.cpu_idle, b.cpu_idle);
+    EXPECT_EQ(a.cpu_flops_gf_node, b.cpu_flops_gf_node);
+    EXPECT_EQ(a.mem_used_gb, b.mem_used_gb);
+    EXPECT_EQ(a.io_scratch_write_mb_s, b.io_scratch_write_mb_s);
+  }
+  for (std::size_t i = 0; i < run1.result.series.buckets; ++i) {
+    EXPECT_EQ(run1.result.series.flops_tf[i], run4.result.series.flops_tf[i]);
+    EXPECT_EQ(run1.result.series.active_nodes[i], run4.result.series.active_nodes[i]);
+  }
+}
+
+TEST(Ingest, RejectsBadConfig) {
+  etl::IngestConfig cfg;
+  cfg.span = 0;
+  EXPECT_THROW(etl::IngestPipeline{cfg}, supremm::InvalidArgument);
+  cfg.span = 100;
+  cfg.bucket = 0;
+  EXPECT_THROW(etl::IngestPipeline{cfg}, supremm::InvalidArgument);
+}
+
+TEST(Ingest, ProjectScienceMap) {
+  const auto& run = small_ranger_run();
+  const auto map = etl::project_science_map(*run.population);
+  EXPECT_EQ(map.size(), run.population->size());  // unique projects
+  for (const auto& u : run.population->users()) {
+    EXPECT_EQ(map.at(u.project), std::string(fa::science_name(u.science)));
+  }
+}
+
+// --- warehouse loader -----------------------------------------------------
+
+TEST(ToTable, SchemaAndContent) {
+  const auto& run = small_ranger_run();
+  const auto t = etl::to_table(run.result.jobs);
+  EXPECT_EQ(t.rows(), run.result.jobs.size());
+  for (const char* col : {"job_id", "user", "app", "science", "node_hours", "cpu_idle",
+                          "cpu_flops", "mem_used", "net_ib_tx"}) {
+    EXPECT_TRUE(t.has_col(col)) << col;
+  }
+  // Spot check a row.
+  const auto& j = run.result.jobs.front();
+  EXPECT_EQ(t.col("job_id").as_int64(0), j.id);
+  EXPECT_EQ(t.col("user").as_string(0), j.user);
+  EXPECT_DOUBLE_EQ(t.col("cpu_idle").as_double(0), j.cpu_idle);
+}
+
+TEST(ToTable, SupportsWarehouseQueries) {
+  const auto& run = small_ranger_run();
+  const auto t = etl::to_table(run.result.jobs);
+  const auto g = supremm::warehouse::Query(t)
+                     .group_by({"science"})
+                     .aggregate({{"mem_used", supremm::warehouse::AggKind::kWeightedMean,
+                                  "node_hours", "mem"},
+                                 {"", supremm::warehouse::AggKind::kCount, "", "n"}})
+                     .run();
+  EXPECT_GE(g.rows(), 3u);
+  for (std::size_t r = 0; r < g.rows(); ++r) {
+    EXPECT_GT(g.col("mem").as_double(r), 0.0);
+  }
+}

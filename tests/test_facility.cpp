@@ -1,0 +1,638 @@
+// Unit tests for the facility simulator: hardware presets, the application
+// catalogue, the user population, workload generation, the EASY-backfill
+// scheduler, deterministic noise and the counter-integration engine.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/error.h"
+#include "facility/apps.h"
+#include "facility/engine.h"
+#include "facility/hardware.h"
+#include "facility/noise.h"
+#include "facility/scheduler.h"
+#include "facility/users.h"
+#include "facility/workload.h"
+
+namespace fa = supremm::facility;
+namespace sc = supremm::common;
+
+// --- hardware ----------------------------------------------------------
+
+TEST(Hardware, RangerPresetMatchesPaper) {
+  const auto r = fa::ranger();
+  EXPECT_EQ(r.name, "ranger");
+  EXPECT_EQ(r.node_count, 3936u);            // §4.1
+  EXPECT_EQ(r.node.cores(), 16u);            // four quad-core Opterons
+  EXPECT_DOUBLE_EQ(r.node.mem_gb, 32.0);
+  EXPECT_EQ(r.node.arch, supremm::procsim::Arch::kAmd10h);
+  EXPECT_NEAR(r.peak_tflops(), 579.0, 1.0);  // benchmarked peak
+  EXPECT_NEAR(r.mean_job_minutes, 549.0, 1e-9);
+}
+
+TEST(Hardware, Lonestar4PresetMatchesPaper) {
+  const auto l = fa::lonestar4();
+  EXPECT_EQ(l.node_count, 1088u);
+  EXPECT_EQ(l.node.cores(), 12u);  // two hexa-core Xeon 5680
+  EXPECT_DOUBLE_EQ(l.node.mem_gb, 24.0);
+  EXPECT_DOUBLE_EQ(l.node.clock_ghz, 3.33);
+  EXPECT_EQ(l.node.arch, supremm::procsim::Arch::kIntelWestmere);
+  EXPECT_TRUE(l.has_nfs);
+  EXPECT_NEAR(l.mean_job_minutes, 446.0, 1e-9);
+  EXPECT_GT(l.target_idle_fraction, fa::ranger().target_idle_fraction);
+}
+
+TEST(Hardware, FilesystemsIncludeScratchAndWork) {
+  for (const auto& spec : {fa::ranger(), fa::lonestar4()}) {
+    std::set<std::string> names;
+    for (const auto& fs : spec.lustre_filesystems) names.insert(fs.name);
+    EXPECT_TRUE(names.count("scratch")) << spec.name;
+    EXPECT_TRUE(names.count("work")) << spec.name;
+  }
+  // §4.2: work is non-purged with a 200 GB quota; scratch purged, huge.
+  for (const auto& fs : fa::ranger().lustre_filesystems) {
+    if (fs.name == "work") {
+      EXPECT_FALSE(fs.purged);
+      EXPECT_DOUBLE_EQ(fs.quota_gb, 200.0);
+    }
+    if (fs.name == "scratch") {
+      EXPECT_TRUE(fs.purged);
+      EXPECT_GT(fs.quota_gb, 10000.0);
+    }
+  }
+}
+
+TEST(Hardware, ScaledPreservesCalibration) {
+  const auto s = fa::scaled(fa::ranger(), 0.1);
+  EXPECT_NEAR(static_cast<double>(s.node_count), 394.0, 1.0);
+  EXPECT_EQ(s.user_count, 200u);
+  EXPECT_DOUBLE_EQ(s.mean_job_minutes, 549.0);
+  EXPECT_DOUBLE_EQ(s.node.mem_gb, 32.0);
+  EXPECT_THROW((void)fa::scaled(fa::ranger(), 0.0), supremm::InvalidArgument);
+  EXPECT_THROW((void)fa::scaled(fa::ranger(), 1.5), supremm::InvalidArgument);
+}
+
+TEST(Hardware, Hostnames) {
+  const auto s = fa::scaled(fa::ranger(), 0.01);
+  EXPECT_EQ(fa::node_hostname(s, 0), "ranger-c0000");
+  EXPECT_EQ(fa::node_hostname(s, 12), "ranger-c0012");
+}
+
+// --- apps --------------------------------------------------------------
+
+TEST(Apps, CatalogueContainsPaperCodes) {
+  const auto cat = fa::standard_catalogue();
+  EXPECT_GE(cat.size(), 10u);
+  for (const char* name : {"NAMD", "AMBER", "GROMACS"}) {
+    EXPECT_NO_THROW((void)fa::app_index(cat, name)) << name;
+  }
+  EXPECT_THROW((void)fa::app_index(cat, "DOOM"), supremm::NotFoundError);
+}
+
+TEST(Apps, ScienceNamesRoundTrip) {
+  for (std::size_t i = 0; i < fa::kScienceCount; ++i) {
+    const auto s = static_cast<fa::Science>(i);
+    EXPECT_EQ(fa::science_from_name(fa::science_name(s)), s);
+  }
+  EXPECT_THROW((void)fa::science_from_name("Astrology"), supremm::NotFoundError);
+}
+
+TEST(Apps, AmberLessEfficientThanNamdAndGromacs) {
+  // Paper Figure 3 conclusion; must hold at the signature level.
+  const auto cat = fa::standard_catalogue();
+  const auto& namd = cat[fa::app_index(cat, "NAMD")];
+  const auto& amber = cat[fa::app_index(cat, "AMBER")];
+  const auto& gromacs = cat[fa::app_index(cat, "GROMACS")];
+  EXPECT_GT(amber.idle_frac.mean, namd.idle_frac.mean * 2);
+  EXPECT_GT(amber.idle_frac.mean, gromacs.idle_frac.mean * 2);
+}
+
+TEST(Apps, NamdSimilarAcrossClustersAmberAndGromacsDiffer) {
+  const auto cat = fa::standard_catalogue();
+  EXPECT_EQ(cat[fa::app_index(cat, "NAMD")].adjust_for("lonestar4"), nullptr);
+  EXPECT_NE(cat[fa::app_index(cat, "AMBER")].adjust_for("lonestar4"), nullptr);
+  EXPECT_NE(cat[fa::app_index(cat, "GROMACS")].adjust_for("lonestar4"), nullptr);
+}
+
+TEST(Apps, LevelDrawMatchesMoments) {
+  const fa::Level lvl{10.0, 0.5};
+  sc::RngStream rng(1, 1);
+  double sum = 0, sum2 = 0;
+  constexpr int n = 40000;
+  for (int i = 0; i < n; ++i) {
+    const double x = lvl.draw(rng);
+    EXPECT_GT(x, 0.0);
+    sum += x;
+    sum2 += x * x;
+  }
+  const double mean = sum / n;
+  EXPECT_NEAR(mean, 10.0, 0.15);
+  EXPECT_NEAR(std::sqrt(sum2 / n - mean * mean) / mean, 0.5, 0.03);
+}
+
+TEST(Apps, LevelDegenerateCases) {
+  sc::RngStream rng(1, 2);
+  EXPECT_DOUBLE_EQ((fa::Level{0.0, 0.5}.draw(rng)), 0.0);
+  EXPECT_DOUBLE_EQ((fa::Level{7.0, 0.0}.draw(rng)), 7.0);
+}
+
+TEST(Apps, RealizeClampsIdleAndMemory) {
+  const auto cat = fa::standard_catalogue();
+  const auto& undersub = cat[fa::app_index(cat, "UNDERSUB")];
+  for (int i = 0; i < 200; ++i) {
+    sc::RngStream rng(2, static_cast<std::uint64_t>(i));
+    const auto b = fa::realize(undersub, "ranger", 32.0, rng);
+    EXPECT_LE(b.idle_frac, 0.98);
+    EXPECT_GE(b.idle_frac, 0.0);
+    EXPECT_LE(b.mem_gb, 32.0 * 0.98 + 1e-9);
+    // An idle core can't be retiring peak FLOPS.
+    EXPECT_LE(b.flops_frac, (1.0 - b.idle_frac) * 0.40 + 1e-12);
+  }
+}
+
+TEST(Apps, RealizeAppliesClusterAdjust) {
+  const auto cat = fa::standard_catalogue();
+  const auto& amber = cat[fa::app_index(cat, "AMBER")];
+  double ranger_idle = 0, ls4_idle = 0;
+  constexpr int n = 3000;
+  for (int i = 0; i < n; ++i) {
+    sc::RngStream r1(3, static_cast<std::uint64_t>(i));
+    sc::RngStream r2(3, static_cast<std::uint64_t>(i));
+    ranger_idle += fa::realize(amber, "ranger", 32.0, r1).idle_frac;
+    ls4_idle += fa::realize(amber, "lonestar4", 24.0, r2).idle_frac;
+  }
+  // AMBER's Lonestar4 adjust lowers idle (idle_mult 0.80 vs 1.10).
+  EXPECT_LT(ls4_idle, ranger_idle);
+}
+
+// --- users -------------------------------------------------------------
+
+TEST(Users, GeneratePopulation) {
+  const auto spec = fa::scaled(fa::ranger(), 0.02);
+  const auto cat = fa::standard_catalogue();
+  const auto pop = fa::UserPopulation::generate(spec, cat, 7);
+  EXPECT_EQ(pop.size(), spec.user_count);
+  EXPECT_EQ(pop.activity_weights().size(), pop.size());
+  for (const auto& u : pop.users()) {
+    EXPECT_FALSE(u.name.empty());
+    EXPECT_FALSE(u.app_ids.empty());
+    EXPECT_EQ(u.app_ids.size(), u.app_weights.size());
+    for (const auto a : u.app_ids) EXPECT_LT(a, cat.size());
+  }
+}
+
+TEST(Users, Deterministic) {
+  const auto spec = fa::scaled(fa::ranger(), 0.02);
+  const auto cat = fa::standard_catalogue();
+  const auto a = fa::UserPopulation::generate(spec, cat, 7);
+  const auto b = fa::UserPopulation::generate(spec, cat, 7);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.user(i).name, b.user(i).name);
+    EXPECT_EQ(a.user(i).science, b.user(i).science);
+    EXPECT_EQ(a.user(i).app_ids, b.user(i).app_ids);
+  }
+}
+
+TEST(Users, ActivityIsHeavyTailed) {
+  const auto spec = fa::scaled(fa::ranger(), 0.05);
+  const auto pop = fa::UserPopulation::generate(spec, fa::standard_catalogue(), 7);
+  const auto& w = pop.activity_weights();
+  double top5 = 0, total = 0;
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    total += w[i];
+    if (i < 5) top5 += w[i];
+  }
+  EXPECT_GT(top5 / total, 0.2);  // a handful of users dominate
+}
+
+TEST(Users, OutlierRunsUndersubscribed) {
+  const auto spec = fa::scaled(fa::ranger(), 0.02);
+  const auto cat = fa::standard_catalogue();
+  const auto pop = fa::UserPopulation::generate(spec, cat, 7);
+  const auto& o = pop.user(pop.outlier_user());
+  ASSERT_EQ(o.app_ids.size(), 1u);
+  EXPECT_EQ(cat[o.app_ids[0]].name, "UNDERSUB");
+  EXPECT_LT(pop.outlier_user(), 10u);  // a heavy user
+}
+
+TEST(Users, IndexOf) {
+  const auto spec = fa::scaled(fa::ranger(), 0.01);
+  const auto pop = fa::UserPopulation::generate(spec, fa::standard_catalogue(), 7);
+  EXPECT_EQ(pop.index_of(pop.user(3).name), 3u);
+  EXPECT_THROW((void)pop.index_of("nobody"), supremm::NotFoundError);
+}
+
+// --- workload ----------------------------------------------------------
+
+class WorkloadFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    spec_ = fa::scaled(fa::ranger(), 0.02);
+    cat_ = fa::standard_catalogue();
+    pop_ = std::make_unique<fa::UserPopulation>(
+        fa::UserPopulation::generate(spec_, cat_, 99));
+    fa::WorkloadConfig cfg;
+    cfg.start = 0;
+    cfg.span = 10 * sc::kDay;
+    cfg.seed = 99;
+    reqs_ = fa::generate_workload(spec_, cat_, *pop_, cfg);
+  }
+  fa::ClusterSpec spec_;
+  std::vector<fa::AppSignature> cat_;
+  std::unique_ptr<fa::UserPopulation> pop_;
+  std::vector<fa::JobRequest> reqs_;
+};
+
+TEST_F(WorkloadFixture, SubmissionsSortedAndInRange) {
+  ASSERT_FALSE(reqs_.empty());
+  for (std::size_t i = 1; i < reqs_.size(); ++i) {
+    EXPECT_GE(reqs_[i].submit, reqs_[i - 1].submit);
+  }
+  EXPECT_GE(reqs_.front().submit, 0);
+  EXPECT_LT(reqs_.back().submit, 10 * sc::kDay);
+}
+
+TEST_F(WorkloadFixture, JobIdsUniqueAndPositive) {
+  std::set<fa::JobId> ids;
+  for (const auto& r : reqs_) {
+    EXPECT_GT(r.id, 0);
+    EXPECT_TRUE(ids.insert(r.id).second);
+  }
+}
+
+TEST_F(WorkloadFixture, GeometryWithinBounds) {
+  for (const auto& r : reqs_) {
+    EXPECT_GE(r.nodes, 1u);
+    EXPECT_LE(r.nodes, spec_.node_count);
+    EXPECT_GE(r.duration, 2 * sc::kMinute);
+    EXPECT_LT(r.user, pop_->size());
+    EXPECT_LT(r.app, cat_.size());
+  }
+}
+
+TEST_F(WorkloadFixture, OfferedLoadTracksUtilizationTarget) {
+  double node_seconds = 0;
+  for (const auto& r : reqs_) {
+    node_seconds += static_cast<double>(r.nodes) * static_cast<double>(r.duration);
+  }
+  const double offered =
+      node_seconds / (10.0 * sc::kDay) / static_cast<double>(spec_.node_count);
+  EXPECT_NEAR(offered, spec_.utilization_target, 0.2);
+}
+
+TEST_F(WorkloadFixture, WeightedDurationNearCalibration) {
+  // Node-hour weighted mean job length should approach 549 min (±35%).
+  double wsum = 0, w = 0;
+  for (const auto& r : reqs_) {
+    const double weight = static_cast<double>(r.nodes) * static_cast<double>(r.duration);
+    wsum += weight * sc::to_minutes(r.duration);
+    w += weight;
+  }
+  EXPECT_NEAR(wsum / w, 549.0, 190.0);
+}
+
+TEST_F(WorkloadFixture, Deterministic) {
+  fa::WorkloadConfig cfg;
+  cfg.start = 0;
+  cfg.span = 10 * sc::kDay;
+  cfg.seed = 99;
+  const auto again = fa::generate_workload(spec_, cat_, *pop_, cfg);
+  ASSERT_EQ(again.size(), reqs_.size());
+  for (std::size_t i = 0; i < reqs_.size(); ++i) {
+    EXPECT_EQ(again[i].id, reqs_[i].id);
+    EXPECT_EQ(again[i].submit, reqs_[i].submit);
+    EXPECT_EQ(again[i].nodes, reqs_[i].nodes);
+    EXPECT_DOUBLE_EQ(again[i].behavior.idle_frac, reqs_[i].behavior.idle_frac);
+  }
+}
+
+TEST(Workload, IntensityModulation) {
+  // Weekday afternoon busier than weekend night.
+  const sc::TimePoint weekday_afternoon = 1 * sc::kDay + 15 * sc::kHour;
+  const sc::TimePoint weekend_night = 5 * sc::kDay + 4 * sc::kHour;
+  EXPECT_GT(fa::submission_intensity(weekday_afternoon),
+            2.0 * fa::submission_intensity(weekend_night));
+}
+
+TEST(Workload, RejectsBadConfig) {
+  const auto spec = fa::scaled(fa::ranger(), 0.01);
+  const auto cat = fa::standard_catalogue();
+  const auto pop = fa::UserPopulation::generate(spec, cat, 1);
+  fa::WorkloadConfig cfg;
+  cfg.span = 0;
+  EXPECT_THROW((void)fa::generate_workload(spec, cat, pop, cfg), supremm::InvalidArgument);
+}
+
+// --- scheduler ---------------------------------------------------------
+
+namespace {
+fa::JobRequest mkreq(fa::JobId id, std::size_t nodes, sc::Duration dur, sc::TimePoint sub) {
+  fa::JobRequest r;
+  r.id = id;
+  r.nodes = nodes;
+  r.duration = dur;
+  r.submit = sub;
+  return r;
+}
+}  // namespace
+
+TEST(Scheduler, ImmediateStartWhenFree) {
+  auto spec = fa::scaled(fa::ranger(), 0.01);  // 39 nodes
+  const auto execs = fa::Scheduler::run(spec, {mkreq(1, 10, 3600, 100)}, {});
+  ASSERT_EQ(execs.size(), 1u);
+  EXPECT_EQ(execs[0].start, 100);
+  EXPECT_EQ(execs[0].end, 3700);
+  EXPECT_EQ(execs[0].node_ids.size(), 10u);
+  EXPECT_EQ(execs[0].exit, fa::ExitKind::kOk);
+}
+
+TEST(Scheduler, QueuesWhenFull) {
+  auto spec = fa::scaled(fa::ranger(), 0.01);  // 39 nodes
+  const auto execs = fa::Scheduler::run(
+      spec, {mkreq(1, 39, 3600, 0), mkreq(2, 20, 600, 10)}, {});
+  ASSERT_EQ(execs.size(), 2u);
+  const auto& j2 = execs[0].req.id == 2 ? execs[0] : execs[1];
+  EXPECT_EQ(j2.start, 3600);  // waits for job 1
+}
+
+TEST(Scheduler, BackfillShortJobJumpsQueue) {
+  auto spec = fa::scaled(fa::ranger(), 0.01);  // 39 nodes
+  // Job 1 occupies 30 nodes for 1h. Job 2 (head) needs all 39 -> waits.
+  // Job 3 needs 5 nodes for 10 min: fits now and ends before job 2's shadow.
+  const auto execs = fa::Scheduler::run(
+      spec, {mkreq(1, 30, 3600, 0), mkreq(2, 39, 3600, 10), mkreq(3, 5, 600, 20)}, {});
+  ASSERT_EQ(execs.size(), 3u);
+  for (const auto& e : execs) {
+    if (e.req.id == 3) {
+      EXPECT_EQ(e.start, 20);  // backfilled immediately
+    }
+    if (e.req.id == 2) {
+      EXPECT_EQ(e.start, 3600);  // not delayed by backfill
+    }
+  }
+}
+
+TEST(Scheduler, BackfillDoesNotDelayHead) {
+  auto spec = fa::scaled(fa::ranger(), 0.01);  // 39 nodes
+  // Job 3 would fit now but runs past the head's shadow time and would steal
+  // its nodes: must NOT start before the head.
+  const auto execs = fa::Scheduler::run(
+      spec, {mkreq(1, 30, 3600, 0), mkreq(2, 39, 3600, 10), mkreq(3, 20, 7200, 20)}, {});
+  for (const auto& e : execs) {
+    if (e.req.id == 2) {
+      EXPECT_EQ(e.start, 3600);
+    }
+    if (e.req.id == 3) {
+      EXPECT_GE(e.start, 3600);
+    }
+  }
+}
+
+TEST(Scheduler, NodesNeverOversubscribed) {
+  auto spec = fa::scaled(fa::ranger(), 0.01);
+  std::vector<fa::JobRequest> reqs;
+  for (int i = 0; i < 200; ++i) {
+    reqs.push_back(mkreq(i + 1, 1 + (i * 7) % 20, 600 + (i * 97) % 7200, i * 60));
+  }
+  const auto execs = fa::Scheduler::run(spec, reqs, {});
+  ASSERT_EQ(execs.size(), reqs.size());
+  // Check occupancy at every start instant.
+  for (const auto& probe : execs) {
+    std::size_t busy = fa::busy_nodes_at(execs, probe.start);
+    EXPECT_LE(busy, spec.node_count);
+  }
+  // And node ids never overlap concurrently.
+  for (const auto& a : execs) {
+    for (const auto& b : execs) {
+      if (a.req.id >= b.req.id) continue;
+      if (a.start < b.end && b.start < a.end) {
+        for (const auto n : a.node_ids) {
+          EXPECT_EQ(std::count(b.node_ids.begin(), b.node_ids.end(), n), 0)
+              << "jobs " << a.req.id << "/" << b.req.id << " share node " << n;
+        }
+      }
+    }
+  }
+}
+
+TEST(Scheduler, FailedJobEndsEarly) {
+  auto spec = fa::scaled(fa::ranger(), 0.01);
+  auto r = mkreq(1, 2, 10000, 0);
+  r.will_fail = true;
+  const auto execs = fa::Scheduler::run(spec, {r}, {});
+  ASSERT_EQ(execs.size(), 1u);
+  EXPECT_EQ(execs[0].exit, fa::ExitKind::kFailed);
+  EXPECT_LE(execs[0].runtime(), 10000);
+  EXPECT_GE(execs[0].runtime(), 60);
+}
+
+TEST(Scheduler, MaintenanceKillsRunningJobs) {
+  auto spec = fa::scaled(fa::ranger(), 0.01);
+  const std::vector<fa::MaintenanceWindow> wins = {{5000, 3600, true}};
+  const auto execs =
+      fa::Scheduler::run(spec, {mkreq(1, 4, 100000, 0), mkreq(2, 4, 600, 6000)}, wins);
+  ASSERT_EQ(execs.size(), 2u);
+  for (const auto& e : execs) {
+    if (e.req.id == 1) {
+      EXPECT_EQ(e.exit, fa::ExitKind::kKilledMaintenance);
+      EXPECT_EQ(e.end, 5000);
+    }
+    if (e.req.id == 2) {
+      EXPECT_GE(e.start, 8600);  // submitted during the window, runs after
+      EXPECT_EQ(e.exit, fa::ExitKind::kOk);
+    }
+  }
+}
+
+TEST(Scheduler, StandardMaintenanceSortedDisjoint) {
+  const auto wins = fa::standard_maintenance(0, 400 * sc::kDay, 5);
+  EXPECT_GE(wins.size(), 10u);  // ~11 scheduled + a few unscheduled
+  for (std::size_t i = 1; i < wins.size(); ++i) {
+    EXPECT_GE(wins[i].start, wins[i - 1].end());
+  }
+  std::size_t scheduled = 0;
+  for (const auto& w : wins) scheduled += w.scheduled ? 1 : 0;
+  EXPECT_GE(scheduled, 10u);
+}
+
+TEST(Scheduler, NodeHoursAccounting) {
+  auto spec = fa::scaled(fa::ranger(), 0.01);
+  const auto execs = fa::Scheduler::run(spec, {mkreq(1, 4, 2 * sc::kHour, 0)}, {});
+  ASSERT_EQ(execs.size(), 1u);
+  EXPECT_DOUBLE_EQ(execs[0].node_hours(), 8.0);
+  EXPECT_EQ(execs[0].wait(), 0);
+}
+
+// --- noise -------------------------------------------------------------
+
+TEST(Noise, DeterministicAndUnitMean) {
+  const double a = fa::gaussian_hash(1, 2, 3, 4);
+  EXPECT_DOUBLE_EQ(a, fa::gaussian_hash(1, 2, 3, 4));
+  EXPECT_NE(a, fa::gaussian_hash(1, 2, 3, 5));
+
+  double sum = 0;
+  constexpr int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    sum += fa::lognormal_mod(0.5, 9, 77, fa::MetricTag::kIo, i);
+  }
+  EXPECT_NEAR(sum / n, 1.0, 0.01);  // mean-one modulation
+}
+
+TEST(Noise, SigmaZeroIsIdentity) {
+  EXPECT_DOUBLE_EQ(fa::lognormal_mod(0.0, 1, 2, fa::MetricTag::kMem, 3), 1.0);
+}
+
+TEST(Noise, BlockOf) {
+  EXPECT_EQ(fa::block_of(0, 600), 0);
+  EXPECT_EQ(fa::block_of(599, 600), 0);
+  EXPECT_EQ(fa::block_of(600, 600), 1);
+}
+
+// --- engine ------------------------------------------------------------
+
+class EngineFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    spec_ = fa::scaled(fa::ranger(), 0.005);  // ~20 nodes
+    std::vector<fa::JobRequest> reqs = {mkreq(1, 2, 2 * sc::kHour, 600)};
+    auto cat = fa::standard_catalogue();
+    sc::RngStream rng(5, 5);
+    reqs[0].behavior = fa::realize(cat[fa::app_index(cat, "NAMD")], "ranger", 32.0, rng);
+    auto execs = fa::Scheduler::run(spec_, reqs, {});
+    engine_ = std::make_unique<fa::FacilityEngine>(spec_, std::move(execs),
+                                                   std::vector<fa::MaintenanceWindow>{}, 0,
+                                                   sc::kDay, 5);
+  }
+  fa::ClusterSpec spec_;
+  std::unique_ptr<fa::FacilityEngine> engine_;
+};
+
+TEST_F(EngineFixture, TimelineContiguous) {
+  for (std::size_t n = 0; n < engine_->node_count(); ++n) {
+    const auto& tl = engine_->timeline(n);
+    ASSERT_FALSE(tl.empty());
+    EXPECT_EQ(tl.front().start, 0);
+    EXPECT_EQ(tl.back().end, sc::kDay);
+    for (std::size_t i = 1; i < tl.size(); ++i) {
+      EXPECT_EQ(tl[i].start, tl[i - 1].end);
+    }
+  }
+}
+
+TEST_F(EngineFixture, RunningAtMatchesTimeline) {
+  const auto& exec = engine_->executions().at(0);
+  const std::size_t node = exec.node_ids[0];
+  EXPECT_EQ(engine_->running_at(node, exec.start), &engine_->executions()[0]);
+  EXPECT_EQ(engine_->running_at(node, exec.end - 1), &engine_->executions()[0]);
+  EXPECT_EQ(engine_->running_at(node, exec.end + 10), nullptr);
+  EXPECT_EQ(engine_->running_at(node, 0), nullptr);
+}
+
+TEST_F(EngineFixture, IdleNodeAccumulatesIdleCs) {
+  // Node not in the job's allocation.
+  std::size_t idle_node = 0;
+  const auto& used = engine_->executions()[0].node_ids;
+  while (std::count(used.begin(), used.end(), idle_node) > 0) ++idle_node;
+  engine_->advance_node(idle_node, sc::kHour);
+  const auto& nc = engine_->counters(idle_node);
+  for (const auto& c : nc.cpu) {
+    EXPECT_NEAR(static_cast<double>(c.idle), 99.6 * 3600, 500.0);
+    EXPECT_EQ(c.user, 0u);
+  }
+}
+
+TEST_F(EngineFixture, BusyNodeSplitsCpuTime) {
+  const auto& exec = engine_->executions()[0];
+  const std::size_t node = exec.node_ids[0];
+  engine_->advance_node(node, exec.end);
+  const auto& nc = engine_->counters(node);
+  const auto& c = nc.cpu[0];
+  const double total = static_cast<double>(c.user + c.system + c.idle + c.iowait + c.irq);
+  // Over the day: 600 s idle prefix + 7200 s job + remainder idle.
+  EXPECT_GT(c.user, 0u);
+  const double job_s = static_cast<double>(exec.runtime());
+  const double busy_frac = static_cast<double>(c.user) / 100.0 / job_s;
+  EXPECT_NEAR(busy_frac, 1.0 - exec.req.behavior.idle_frac, 0.15);
+  EXPECT_GT(total, 0.0);
+}
+
+TEST_F(EngineFixture, FlopsDeliveredWhenProgrammed) {
+  const auto& exec = engine_->executions()[0];
+  const std::size_t node = exec.node_ids[0];
+  auto& nc = engine_->counters(node);
+  engine_->advance_node(node, exec.start);
+  for (auto& pc : nc.perf) pc.program(0, supremm::procsim::PerfEvent::kFlops);
+  engine_->advance_node(node, exec.start + sc::kHour);
+  const double flops = static_cast<double>(nc.perf[0].read(0));
+  const double expected =
+      exec.req.behavior.flops_frac * spec_.node.peak_gflops_per_core * 1e9 * 3600.0;
+  EXPECT_NEAR(flops / expected, 1.0, 0.25);  // within jitter
+}
+
+TEST_F(EngineFixture, MemoryGaugeTracksBehavior) {
+  const auto& exec = engine_->executions()[0];
+  const std::size_t node = exec.node_ids[0];
+  engine_->advance_node(node, exec.start + sc::kHour);  // past ramp-in
+  const auto& nc = engine_->counters(node);
+  double used_gb = 0;
+  for (const auto& m : nc.mem) used_gb += static_cast<double>(m.mem_used);
+  used_gb /= 1024.0 * 1024.0;
+  EXPECT_NEAR(used_gb, 1.6 + exec.req.behavior.mem_gb, exec.req.behavior.mem_gb * 0.3 + 0.5);
+}
+
+TEST_F(EngineFixture, AdvanceIsMonotonicAndIdempotent) {
+  engine_->advance_node(0, 1000);
+  const auto snapshot = engine_->counters(0).cpu[0].idle;
+  engine_->advance_node(0, 500);  // no-op
+  EXPECT_EQ(engine_->counters(0).cpu[0].idle, snapshot);
+  EXPECT_EQ(engine_->cursor(0), 1000);
+}
+
+TEST_F(EngineFixture, LustreCountersGrowDuringJob) {
+  const auto& exec = engine_->executions()[0];
+  const std::size_t node = exec.node_ids[0];
+  engine_->advance_node(node, exec.end);
+  const auto& nc = engine_->counters(node);
+  EXPECT_GT(nc.lustre("scratch").write_bytes, 0u);
+  EXPECT_GT(nc.ib.tx_bytes, 0u);
+  EXPECT_GT(nc.lnet.tx_bytes, 0u);
+  // rx correlates with tx.
+  EXPECT_NEAR(static_cast<double>(nc.ib.rx_bytes) / static_cast<double>(nc.ib.tx_bytes),
+              0.97, 0.01);
+}
+
+TEST(Engine, DownSegmentsFreezeCounters) {
+  auto spec = fa::scaled(fa::ranger(), 0.005);
+  const std::vector<fa::MaintenanceWindow> wins = {{1000, 2000, true}};
+  fa::FacilityEngine engine(spec, {}, wins, 0, 5000, 1);
+  EXPECT_TRUE(engine.node_up(0, 500));
+  EXPECT_FALSE(engine.node_up(0, 1500));
+  EXPECT_TRUE(engine.node_up(0, 3500));
+  engine.advance_node(0, 5000);
+  const auto& c = engine.counters(0).cpu[0];
+  // Only the 3000 up-seconds accumulate.
+  EXPECT_NEAR(static_cast<double>(c.idle), 99.6 * 3000, 500.0);
+}
+
+TEST(Engine, CheckpointPulsesAddScratchWrites) {
+  auto spec = fa::scaled(fa::ranger(), 0.005);
+  fa::JobRequest r = mkreq(1, 1, 4 * sc::kHour, 0);
+  r.behavior.idle_frac = 0.1;
+  r.behavior.mem_gb = 2.0;
+  r.behavior.checkpoint_period_min = 60.0;
+  r.behavior.checkpoint_gb = 1.0;
+  auto execs = fa::Scheduler::run(spec, {r}, {});
+  fa::FacilityEngine engine(spec, std::move(execs), {}, 0, 5 * sc::kHour, 1);
+  const std::size_t node = engine.executions()[0].node_ids[0];
+  engine.advance_node(node, 4 * sc::kHour);
+  // 4 pulses of 1 GB each (at 1h, 2h, 3h, 4h).
+  EXPECT_NEAR(static_cast<double>(engine.counters(node).lustre("scratch").write_bytes),
+              4.0e9, 0.5e9);
+}
+
+TEST(Engine, RejectsBadHorizon) {
+  auto spec = fa::scaled(fa::ranger(), 0.005);
+  EXPECT_THROW(fa::FacilityEngine(spec, {}, {}, 100, 100, 1), supremm::InvalidArgument);
+}

@@ -1,0 +1,197 @@
+// Tests for the fault-correlation (ANCOR-lite) module and the CSV export
+// path, plus the one-call pipeline driver.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim_fixture.h"
+
+namespace fa = supremm::facility;
+namespace etl = supremm::etl;
+namespace xd = supremm::xdmod;
+namespace lg = supremm::loglib;
+namespace sc = supremm::common;
+using supremm::testing::small_ranger_run;
+
+namespace {
+
+std::vector<lg::RationalizedRecord> rationalized_log(
+    const supremm::testing::SimRun& run) {
+  const auto raw = lg::generate_syslog(run.spec, run.catalogue, run.engine->executions(),
+                                       999);
+  const lg::JobResolver resolver(run.spec, run.engine->executions());
+  std::vector<lg::RationalizedRecord> out;
+  out.reserve(raw.size());
+  for (const auto& l : raw) out.push_back(lg::rationalize(l, resolver));
+  return out;
+}
+
+std::size_t count_lines(const std::string& s) {
+  std::size_t n = 0;
+  for (const char c : s) n += c == '\n' ? 1 : 0;
+  return n;
+}
+
+}  // namespace
+
+// --- faults -----------------------------------------------------------------
+
+TEST(Faults, FailureLiftBasics) {
+  const auto& run = small_ranger_run();
+  const auto records = rationalized_log(run);
+  const auto lifts = xd::failure_lift(run.result.jobs, records);
+  for (const auto& c : lifts) {
+    EXPECT_NE(c.code, "JOB_START");
+    EXPECT_NE(c.code, "JOB_EXIT");
+    EXPECT_GT(c.jobs_with_code, 0u);
+    EXPECT_GE(c.failure_rate, 0.0);
+    EXPECT_LE(c.failure_rate, 1.0);
+    EXPECT_GT(c.baseline_rate, 0.0);
+  }
+  // Sorted by lift descending.
+  for (std::size_t i = 1; i < lifts.size(); ++i) {
+    EXPECT_GE(lifts[i - 1].lift, lifts[i].lift);
+  }
+}
+
+TEST(Faults, OomCodePredictsFailure) {
+  // OOM kills are generated only for failed memory-heavy jobs, so their
+  // lift must be maximal.
+  const auto& run = small_ranger_run();
+  const auto records = rationalized_log(run);
+  const auto lifts = xd::failure_lift(run.result.jobs, records);
+  for (const auto& c : lifts) {
+    if (c.code == "OOM_KILL") {
+      EXPECT_DOUBLE_EQ(c.failure_rate, 1.0);
+      EXPECT_GT(c.lift, 1.0);
+    }
+  }
+}
+
+TEST(Faults, HandcraftedLift) {
+  // Two jobs; one fails and carries the only LUSTRE_ERR -> lift = 2x.
+  std::vector<etl::JobSummary> jobs(2);
+  jobs[0].id = 1;
+  jobs[0].exit_status = 1;
+  jobs[1].id = 2;
+  std::vector<lg::RationalizedRecord> recs(1);
+  recs[0].job_id = 1;
+  recs[0].code = "LUSTRE_ERR";
+  const auto lifts = xd::failure_lift(jobs, recs);
+  ASSERT_EQ(lifts.size(), 1u);
+  EXPECT_DOUBLE_EQ(lifts[0].failure_rate, 1.0);
+  EXPECT_DOUBLE_EQ(lifts[0].baseline_rate, 0.5);
+  EXPECT_DOUBLE_EQ(lifts[0].lift, 2.0);
+}
+
+TEST(Faults, MetricTailRisk) {
+  const auto& run = small_ranger_run();
+  const auto risks = xd::metric_tail_risk(run.result.jobs, 0.10);
+  EXPECT_FALSE(risks.empty());
+  for (const auto& r : risks) {
+    EXPECT_GT(r.tail_jobs, 0u);
+    EXPECT_GE(r.failure_rate, 0.0);
+    EXPECT_LE(r.failure_rate, 1.0);
+  }
+  EXPECT_THROW((void)xd::metric_tail_risk(run.result.jobs, 0.0), supremm::InvalidArgument);
+  EXPECT_THROW((void)xd::metric_tail_risk(run.result.jobs, 1.0), supremm::InvalidArgument);
+}
+
+// --- csv export ---------------------------------------------------------
+
+TEST(CsvExport, ProfileShape) {
+  const auto& run = small_ranger_run();
+  const xd::ProfileAnalyzer an(run.result.jobs);
+  const auto p = an.top_profiles(xd::GroupBy::kUser, 1).at(0);
+  std::ostringstream os;
+  xd::csv_profile(p, os);
+  EXPECT_EQ(count_lines(os.str()), 9u);  // header + 8 metrics
+  EXPECT_NE(os.str().find("metric,raw,normalized"), std::string::npos);
+  EXPECT_NE(os.str().find("cpu_idle,"), std::string::npos);
+}
+
+TEST(CsvExport, ComparisonShape) {
+  const auto& run = small_ranger_run();
+  const xd::ProfileAnalyzer an(run.result.jobs);
+  const auto profiles = an.top_profiles(xd::GroupBy::kUser, 3);
+  std::ostringstream os;
+  xd::csv_profile_comparison(profiles, an.metrics(), os);
+  EXPECT_EQ(count_lines(os.str()), 9u);
+  // Header contains all three entity names.
+  const std::string head = os.str().substr(0, os.str().find('\n'));
+  for (const auto& p : profiles) {
+    EXPECT_NE(head.find(p.entity), std::string::npos);
+  }
+}
+
+TEST(CsvExport, Efficiency) {
+  const auto& run = small_ranger_run();
+  const auto users = xd::user_efficiency(run.result.jobs);
+  std::ostringstream os;
+  xd::csv_efficiency(users, os);
+  EXPECT_EQ(count_lines(os.str()), users.size() + 1);
+}
+
+TEST(CsvExport, PersistenceHasFitRow) {
+  const auto& run = small_ranger_run();
+  const auto rep = xd::persistence_analysis(run.result.series);
+  std::ostringstream os;
+  xd::csv_persistence(rep, os);
+  EXPECT_EQ(count_lines(os.str()), 7u);  // header + 5 offsets + fit row
+  EXPECT_NE(os.str().find("fit_r2"), std::string::npos);
+}
+
+TEST(CsvExport, SeriesAndDistribution) {
+  const auto& run = small_ranger_run();
+  const auto s = xd::rebucket(run.result.series, "cpu_flops", sc::kDay,
+                              xd::SeriesAgg::kMean);
+  std::ostringstream os1;
+  xd::csv_series(s, os1);
+  EXPECT_EQ(count_lines(os1.str()), s.t.size() + 1);
+
+  const auto d = xd::flops_distribution(run.result.series, 64);
+  std::ostringstream os2;
+  xd::csv_distribution(d, os2);
+  EXPECT_EQ(count_lines(os2.str()), 65u);
+}
+
+TEST(CsvExport, JobsTableParsesBack) {
+  const auto& run = small_ranger_run();
+  std::ostringstream os;
+  xd::csv_jobs(run.result.jobs, os);
+  EXPECT_EQ(count_lines(os.str()), run.result.jobs.size() + 1);
+  // Every row has the same comma count as the header (no stray commas:
+  // fields with commas would be quoted, none expected here).
+  const std::string all = os.str();
+  std::size_t header_commas = 0;
+  const std::string head = all.substr(0, all.find('\n'));
+  for (const char c : head) header_commas += c == ',' ? 1 : 0;
+  EXPECT_GT(header_commas, 15u);
+}
+
+// --- pipeline driver ------------------------------------------------------
+
+TEST(Pipeline, OneCallDriverMatchesManualAssembly) {
+  supremm::pipeline::PipelineConfig cfg;
+  cfg.spec = fa::scaled(fa::ranger(), 0.004);
+  cfg.span = 3 * sc::kDay;
+  cfg.seed = 12345;
+  const auto a = supremm::pipeline::run_pipeline(cfg);
+  const auto b = supremm::testing::make_sim_run(fa::ranger(), 0.004, 3, 12345);
+  ASSERT_EQ(a.result.jobs.size(), b.result.jobs.size());
+  for (std::size_t i = 0; i < a.result.jobs.size(); ++i) {
+    EXPECT_EQ(a.result.jobs[i].id, b.result.jobs[i].id);
+    EXPECT_EQ(a.result.jobs[i].cpu_idle, b.result.jobs[i].cpu_idle);
+  }
+}
+
+TEST(Pipeline, AgentIntervalPropagates) {
+  supremm::pipeline::PipelineConfig cfg;
+  cfg.spec = fa::scaled(fa::ranger(), 0.004);
+  cfg.span = 2 * sc::kDay;
+  cfg.seed = 5;
+  cfg.agent.interval = 30 * sc::kMinute;
+  const auto run = supremm::pipeline::run_pipeline(cfg);
+  EXPECT_EQ(run.result.series.bucket, 30 * sc::kMinute);
+  EXPECT_EQ(run.result.series.buckets, static_cast<std::size_t>(2 * 24 * 2));
+}

@@ -1,0 +1,192 @@
+// Integration tests: whole-pipeline invariants across the simulate ->
+// collect -> ingest -> analyze chain, including conservation laws the
+// individual modules cannot check alone.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "sim_fixture.h"
+
+namespace fa = supremm::facility;
+namespace etl = supremm::etl;
+namespace xd = supremm::xdmod;
+namespace sc = supremm::common;
+using supremm::testing::make_sim_run;
+using supremm::testing::small_ranger_run;
+
+TEST(Integration, EndToEndReproducible) {
+  const auto a = make_sim_run(fa::ranger(), 0.004, 3, 99);
+  const auto b = make_sim_run(fa::ranger(), 0.004, 3, 99);
+  ASSERT_EQ(a.result.jobs.size(), b.result.jobs.size());
+  for (std::size_t i = 0; i < a.result.jobs.size(); ++i) {
+    EXPECT_EQ(a.result.jobs[i].id, b.result.jobs[i].id);
+    EXPECT_EQ(a.result.jobs[i].cpu_idle, b.result.jobs[i].cpu_idle);
+    EXPECT_EQ(a.result.jobs[i].mem_used_max_gb, b.result.jobs[i].mem_used_max_gb);
+  }
+  EXPECT_EQ(a.result.stats.bytes, b.result.stats.bytes);
+}
+
+TEST(Integration, DifferentSeedsDiffer) {
+  const auto a = make_sim_run(fa::ranger(), 0.004, 3, 1);
+  const auto b = make_sim_run(fa::ranger(), 0.004, 3, 2);
+  EXPECT_NE(a.result.stats.bytes, b.result.stats.bytes);
+}
+
+TEST(Integration, NodeHoursConservation) {
+  // Node-hours in summaries == node-hours of the matched executions.
+  const auto& run = small_ranger_run();
+  std::set<fa::JobId> ingested;
+  for (const auto& j : run.result.jobs) ingested.insert(j.id);
+  double exec_nh = 0;
+  for (const auto& e : run.engine->executions()) {
+    if (ingested.count(e.req.id)) exec_nh += e.node_hours();
+  }
+  double sum_nh = 0;
+  for (const auto& j : run.result.jobs) sum_nh += j.node_hours;
+  EXPECT_NEAR(sum_nh, exec_nh, exec_nh * 1e-9);
+}
+
+TEST(Integration, CpuCoreHoursConservation) {
+  // Facility core-hours in the system series equal up-node core capacity.
+  const auto& run = small_ranger_run();
+  const auto& ss = run.result.series;
+  const double cores = static_cast<double>(run.spec.node.cores());
+  for (std::size_t i = 0; i < ss.buckets; ++i) {
+    if (ss.up_nodes[i] <= 0) continue;
+    const double total = ss.cpu_user_core_h[i] + ss.cpu_idle_core_h[i] +
+                         ss.cpu_system_core_h[i];
+    const double capacity = ss.up_nodes[i] * cores * sc::to_hours(ss.bucket);
+    EXPECT_NEAR(total / capacity, 1.0, 0.05) << "bucket " << i;
+  }
+}
+
+TEST(Integration, ActiveNodesMatchScheduler) {
+  // The measured active-node series must track the scheduler's ground truth.
+  const auto& run = small_ranger_run();
+  const auto& ss = run.result.series;
+  for (std::size_t i = 2; i + 2 < ss.buckets; i += 16) {
+    // Bucket value is a time average; average the scheduler truth over the
+    // same window for a fair comparison.
+    double truth = 0.0;
+    constexpr int kProbes = 5;
+    for (int p = 0; p < kProbes; ++p) {
+      const auto t = ss.time_at(i) + (2 * p + 1) * ss.bucket / (2 * kProbes);
+      truth += static_cast<double>(fa::busy_nodes_at(run.engine->executions(), t));
+    }
+    truth /= kProbes;
+    EXPECT_NEAR(ss.active_nodes[i], truth, std::max(2.0, truth * 0.15))
+        << "bucket " << i;
+  }
+}
+
+TEST(Integration, RawDataVolumeMatchesPaperRate) {
+  // Paper §4.1: ~0.5 MB/node/day uncompressed on Ranger.
+  const auto& run = small_ranger_run();
+  const double mb_per_node_day = static_cast<double>(run.result.stats.bytes) / 1e6 /
+                                 static_cast<double>(run.spec.node_count) /
+                                 (static_cast<double>(run.span) / sc::kDay);
+  EXPECT_GT(mb_per_node_day, 0.2);
+  EXPECT_LT(mb_per_node_day, 1.0);
+}
+
+TEST(Integration, MaintenanceVisibleEndToEnd) {
+  // With an outage in the window, active nodes drop to zero (Figure 8) and
+  // killed jobs appear in the accounting.
+  const auto run = make_sim_run(fa::ranger(), 0.006, 30, 4242, /*with_maintenance=*/true);
+  ASSERT_FALSE(run.maintenance.empty());
+  const auto& win = run.maintenance.front();
+  const auto& ss = run.result.series;
+  // A bucket fully inside the outage.
+  const auto bi = static_cast<std::size_t>((win.start + ss.bucket) / ss.bucket);
+  if (bi + 1 < ss.buckets && win.length > 2 * ss.bucket) {
+    EXPECT_DOUBLE_EQ(ss.active_nodes[bi + 1], 0.0);
+    EXPECT_DOUBLE_EQ(ss.up_nodes[bi + 1], 0.0);
+  }
+  std::size_t killed = 0;
+  for (const auto& a : run.acct) killed += a.failed != 0 ? 1 : 0;
+  EXPECT_GT(killed, 0u);
+}
+
+TEST(Integration, SyslogConsistentWithAccounting) {
+  const auto& run = small_ranger_run();
+  const auto lines = supremm::loglib::generate_syslog(run.spec, run.catalogue,
+                                                      run.engine->executions(), 7);
+  const supremm::loglib::JobResolver resolver(run.spec, run.engine->executions());
+  std::size_t starts = 0;
+  for (const auto& l : lines) {
+    const auto r = supremm::loglib::rationalize(l, resolver);
+    if (r.code == "JOB_START") {
+      ++starts;
+      EXPECT_NE(r.job_id, 0) << l.text;
+    }
+  }
+  EXPECT_EQ(starts, run.engine->executions().size());
+}
+
+TEST(Integration, UserCustomCountersExcludedFromFlops) {
+  // Jobs whose users programmed their own counters must come out
+  // flops_valid == false and be skipped by NaN-aware aggregation.
+  const auto& run = small_ranger_run();
+  std::size_t invalid = 0;
+  for (const auto& j : run.result.jobs) {
+    const bool expected = supremm::taccstats::user_programs_counters(j.id, 0.02);
+    if (j.runtime() > 30 * sc::kMinute) {  // needs >1 periodic sample to flip
+      EXPECT_EQ(!j.flops_valid, expected) << "job " << j.id;
+    }
+    invalid += j.flops_valid ? 0 : 1;
+  }
+  // ~2% of jobs.
+  EXPECT_LT(invalid, run.result.jobs.size() / 4);
+}
+
+TEST(Integration, WarehouseRoundTripMatchesAnalyzer) {
+  // The warehouse query path and the direct ProfileAnalyzer path agree on
+  // the facility weighted mean.
+  const auto& run = small_ranger_run();
+  const auto t = etl::to_table(run.result.jobs);
+  const auto g = supremm::warehouse::Query(t)
+                     .group_by({})
+                     .aggregate({{"cpu_idle", supremm::warehouse::AggKind::kWeightedMean,
+                                  "node_hours", "idle"}})
+                     .run();
+  const xd::ProfileAnalyzer an(run.result.jobs);
+  EXPECT_NEAR(g.col("idle").as_double(0), an.facility_means().at("cpu_idle"), 1e-9);
+}
+
+TEST(Integration, Lonestar4PipelineWorks) {
+  // The second cluster: Intel perf schema, NFS, different calibration.
+  const auto run = make_sim_run(fa::lonestar4(), 0.01, 4, 31);
+  ASSERT_GT(run.result.jobs.size(), 10u);
+  for (const auto& j : run.result.jobs) {
+    EXPECT_EQ(j.cluster, "lonestar4");
+    EXPECT_LE(j.mem_used_max_gb, 24.1);
+  }
+  // Lonestar4 runs hotter on memory than Ranger (paper Figs 11/12).
+  const xd::ProfileAnalyzer an(run.result.jobs);
+  EXPECT_GT(an.facility_means().at("mem_used"), 8.0);
+}
+
+TEST(Integration, PaperHeadlineShapesHold) {
+  const auto& run = small_ranger_run();
+  // 1. Facility efficiency ~90% (wide band: 1%-scale sampling spread).
+  const double eff = xd::facility_efficiency(run.result.jobs);
+  EXPECT_GT(eff, 0.70);
+  // 2. FLOPS a small fraction of peak.
+  double peak_tf = 0;
+  for (const double v : run.result.series.flops_tf) peak_tf = std::max(peak_tf, v);
+  EXPECT_LT(peak_tf, 0.25 * run.spec.peak_tflops());
+  // 3. Memory below half capacity on Ranger.
+  const xd::ProfileAnalyzer an(run.result.jobs);
+  EXPECT_LT(an.facility_means().at("mem_used"), run.spec.node.mem_gb * 0.5);
+  // 4. Persistence: 10-min ratio small, ~1000-min ratio near 1.
+  const auto rep = xd::persistence_analysis(run.result.series);
+  for (std::size_t m = 0; m < rep.metrics.size(); ++m) {
+    if (!std::isnan(rep.ratios[m][0])) {
+      EXPECT_LT(rep.ratios[m][0], 0.75);
+    }
+    if (!std::isnan(rep.ratios[m].back())) {
+      EXPECT_GT(rep.ratios[m].back(), 0.5);
+    }
+  }
+}

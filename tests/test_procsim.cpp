@@ -1,0 +1,160 @@
+// Unit tests for the emulated procfs layer: node counters and performance
+// counter semantics.
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "procsim/counters.h"
+#include "procsim/perf.h"
+
+namespace ps = supremm::procsim;
+
+// --- perf --------------------------------------------------------------------
+
+TEST(Perf, ArchNames) {
+  EXPECT_EQ(ps::arch_name(ps::Arch::kAmd10h), "amd64_fam10h");
+  EXPECT_EQ(ps::arch_name(ps::Arch::kIntelWestmere), "intel_wtm");
+}
+
+TEST(Perf, ArchEventSupport) {
+  EXPECT_TRUE(ps::arch_supports(ps::Arch::kAmd10h, ps::PerfEvent::kFlops));
+  EXPECT_TRUE(ps::arch_supports(ps::Arch::kAmd10h, ps::PerfEvent::kMemAccesses));
+  EXPECT_TRUE(ps::arch_supports(ps::Arch::kAmd10h, ps::PerfEvent::kDcacheFills));
+  EXPECT_FALSE(ps::arch_supports(ps::Arch::kAmd10h, ps::PerfEvent::kL1DHits));
+  EXPECT_TRUE(ps::arch_supports(ps::Arch::kIntelWestmere, ps::PerfEvent::kL1DHits));
+  EXPECT_FALSE(ps::arch_supports(ps::Arch::kIntelWestmere, ps::PerfEvent::kMemAccesses));
+}
+
+TEST(Perf, TaccStatsEventSetsMatchPaper) {
+  // Paper §3: AMD counts FLOPS, memory accesses, data cache fills, NUMA
+  // traffic; Intel Westmere counts FLOPS, NUMA traffic, L1D hits.
+  const auto amd = ps::tacc_stats_event_set(ps::Arch::kAmd10h);
+  ASSERT_EQ(amd.size(), 4u);
+  EXPECT_EQ(amd[0], ps::PerfEvent::kFlops);
+  EXPECT_EQ(amd[1], ps::PerfEvent::kMemAccesses);
+  EXPECT_EQ(amd[2], ps::PerfEvent::kDcacheFills);
+  EXPECT_EQ(amd[3], ps::PerfEvent::kNumaTraffic);
+
+  const auto intel = ps::tacc_stats_event_set(ps::Arch::kIntelWestmere);
+  ASSERT_EQ(intel.size(), 3u);
+  EXPECT_EQ(intel[0], ps::PerfEvent::kFlops);
+  EXPECT_EQ(intel[1], ps::PerfEvent::kNumaTraffic);
+  EXPECT_EQ(intel[2], ps::PerfEvent::kL1DHits);
+}
+
+TEST(Perf, ProgramClearsValue) {
+  ps::PerfCore core(ps::Arch::kAmd10h);
+  core.program(0, ps::PerfEvent::kFlops);
+  core.deliver(ps::PerfEvent::kFlops, 1000);
+  EXPECT_EQ(core.read(0), 1000u);
+  core.program(0, ps::PerfEvent::kFlops);  // reprogram = clear (like MSR write)
+  EXPECT_EQ(core.read(0), 0u);
+}
+
+TEST(Perf, DeliverOnlyToMatchingSlot) {
+  ps::PerfCore core(ps::Arch::kAmd10h);
+  core.program(0, ps::PerfEvent::kFlops);
+  core.program(1, ps::PerfEvent::kMemAccesses);
+  core.deliver(ps::PerfEvent::kFlops, 10);
+  core.deliver(ps::PerfEvent::kMemAccesses, 20);
+  core.deliver(ps::PerfEvent::kNumaTraffic, 30);  // nobody programmed: dropped
+  EXPECT_EQ(core.read(0), 10u);
+  EXPECT_EQ(core.read(1), 20u);
+  EXPECT_EQ(core.read(2), 0u);
+}
+
+TEST(Perf, SlotOf) {
+  ps::PerfCore core(ps::Arch::kIntelWestmere);
+  core.program(2, ps::PerfEvent::kL1DHits);
+  EXPECT_EQ(core.slot_of(ps::PerfEvent::kL1DHits), 2u);
+  EXPECT_EQ(core.slot_of(ps::PerfEvent::kFlops), ps::PerfCore::npos);
+}
+
+TEST(Perf, UserCustomEventSurvivesReads) {
+  // The periodic path reads without reprogramming; a user event must keep
+  // accumulating.
+  ps::PerfCore core(ps::Arch::kAmd10h);
+  core.program(0, ps::PerfEvent::kUserCustom);
+  core.deliver(ps::PerfEvent::kUserCustom, 5);
+  EXPECT_EQ(core.read(0), 5u);
+  core.deliver(ps::PerfEvent::kUserCustom, 5);
+  EXPECT_EQ(core.read(0), 10u);
+}
+
+TEST(Perf, Rejections) {
+  ps::PerfCore core(ps::Arch::kIntelWestmere);
+  EXPECT_THROW(core.program(4, ps::PerfEvent::kFlops), supremm::InvalidArgument);
+  EXPECT_THROW(core.program(0, ps::PerfEvent::kMemAccesses), supremm::InvalidArgument);
+  EXPECT_THROW((void)core.read(99), supremm::InvalidArgument);
+}
+
+// --- node counters ------------------------------------------------------
+
+TEST(NodeCounters, Geometry) {
+  ps::NodeCounters nc("host1", ps::Arch::kAmd10h, 4, 4, 32ULL * 1024 * 1024);
+  EXPECT_EQ(nc.hostname(), "host1");
+  EXPECT_EQ(nc.sockets(), 4u);
+  EXPECT_EQ(nc.cores(), 16u);
+  EXPECT_EQ(nc.cores_per_socket(), 4u);
+  EXPECT_EQ(nc.mem_total_kb(), 32ULL * 1024 * 1024);
+  EXPECT_EQ(nc.perf.size(), 16u);
+  EXPECT_EQ(nc.numa.size(), 4u);
+}
+
+TEST(NodeCounters, RejectsZeroGeometry) {
+  EXPECT_THROW(ps::NodeCounters("h", ps::Arch::kAmd10h, 0, 4, 1024),
+               supremm::InvalidArgument);
+  EXPECT_THROW(ps::NodeCounters("h", ps::Arch::kAmd10h, 2, 0, 1024),
+               supremm::InvalidArgument);
+}
+
+TEST(NodeCounters, MemoryStartsFree) {
+  ps::NodeCounters nc("h", ps::Arch::kIntelWestmere, 2, 6, 24ULL * 1024 * 1024);
+  for (const auto& m : nc.mem) {
+    EXPECT_EQ(m.mem_total, 12ULL * 1024 * 1024);
+    EXPECT_EQ(m.mem_free, m.mem_total);
+    EXPECT_EQ(m.mem_used, 0u);
+  }
+}
+
+TEST(NodeCounters, SetMemUsedSplitsAcrossSockets) {
+  ps::NodeCounters nc("h", ps::Arch::kAmd10h, 2, 8, 32ULL * 1024 * 1024);
+  nc.set_mem_used_kb(10ULL * 1024 * 1024);
+  std::uint64_t used = 0;
+  for (const auto& m : nc.mem) {
+    used += m.mem_used;
+    EXPECT_EQ(m.mem_used + m.mem_free, m.mem_total);
+  }
+  EXPECT_EQ(used, 10ULL * 1024 * 1024);
+}
+
+TEST(NodeCounters, SetMemUsedClampsToCapacity) {
+  ps::NodeCounters nc("h", ps::Arch::kAmd10h, 1, 4, 1024 * 1024);
+  nc.set_mem_used_kb(99ULL * 1024 * 1024);
+  EXPECT_EQ(nc.mem[0].mem_used, 1024u * 1024u);
+  EXPECT_EQ(nc.mem[0].mem_free, 0u);
+}
+
+TEST(NodeCounters, CachedFractionAccounting) {
+  ps::NodeCounters nc("h", ps::Arch::kAmd10h, 1, 4, 8ULL * 1024 * 1024);
+  nc.set_mem_used_kb(4ULL * 1024 * 1024, 0.5);
+  const auto& m = nc.mem[0];
+  EXPECT_EQ(m.cached, 2ULL * 1024 * 1024);
+  EXPECT_LE(m.anon_pages + m.cached + m.buffers, m.mem_used + 1);
+}
+
+TEST(NodeCounters, NamedDeviceLookup) {
+  ps::NodeCounters nc("h", ps::Arch::kAmd10h, 1, 1, 1024);
+  nc.net_devs.push_back({.name = "eth0"});
+  nc.lustre_mounts.push_back({.name = "scratch"});
+  EXPECT_EQ(&nc.net("eth0"), &nc.net_devs[0]);
+  EXPECT_EQ(&nc.lustre("scratch"), &nc.lustre_mounts[0]);
+  EXPECT_THROW((void)nc.net("ib9"), supremm::NotFoundError);
+  EXPECT_THROW((void)nc.lustre("nope"), supremm::NotFoundError);
+}
+
+TEST(NodeCounters, ConstLookup) {
+  ps::NodeCounters nc("h", ps::Arch::kAmd10h, 1, 1, 1024);
+  nc.net_devs.push_back({.name = "eth0"});
+  const ps::NodeCounters& cref = nc;
+  EXPECT_EQ(cref.net("eth0").rx_bytes, 0u);
+}

@@ -1,0 +1,305 @@
+// Unit tests for the side-channel data sources: accounting logs, Lariat
+// records and the rationalized syslog.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "accounting/accounting.h"
+#include "common/error.h"
+#include "facility/scheduler.h"
+#include "facility/users.h"
+#include "facility/workload.h"
+#include "lariat/lariat.h"
+#include "loglib/loglib.h"
+
+namespace fa = supremm::facility;
+namespace ac = supremm::accounting;
+namespace la = supremm::lariat;
+namespace lg = supremm::loglib;
+namespace sc = supremm::common;
+
+namespace {
+
+struct SideChannelWorld {
+  fa::ClusterSpec spec;
+  std::vector<fa::AppSignature> cat;
+  std::unique_ptr<fa::UserPopulation> pop;
+  std::vector<fa::JobExecution> execs;
+
+  SideChannelWorld() {
+    spec = fa::scaled(fa::ranger(), 0.01);
+    cat = fa::standard_catalogue();
+    pop = std::make_unique<fa::UserPopulation>(fa::UserPopulation::generate(spec, cat, 77));
+    fa::WorkloadConfig cfg;
+    cfg.start = 0;
+    cfg.span = 3 * sc::kDay;
+    cfg.seed = 77;
+    auto reqs = fa::generate_workload(spec, cat, *pop, cfg);
+    execs = fa::Scheduler::run(spec, std::move(reqs), {});
+  }
+};
+
+const SideChannelWorld& world() {
+  static const SideChannelWorld w;
+  return w;
+}
+
+}  // namespace
+
+// --- accounting -----------------------------------------------------------
+
+TEST(Accounting, SerializeParseRoundTrip) {
+  ac::AccountingRecord r;
+  r.queue = "normal";
+  r.hostname = "ranger-c0003";
+  r.owner = "user0007";
+  r.jobname = "job42";
+  r.job_id = 42;
+  r.account = "TG-ABC123";
+  r.submit = 100;
+  r.start = 200;
+  r.end = 5600;
+  r.exit_status = 1;
+  r.slots = 64;
+  r.nodes = 4;
+  const auto back = ac::parse(ac::serialize(r));
+  EXPECT_EQ(back.owner, r.owner);
+  EXPECT_EQ(back.job_id, 42);
+  EXPECT_EQ(back.account, "TG-ABC123");
+  EXPECT_EQ(back.submit, 100);
+  EXPECT_EQ(back.start, 200);
+  EXPECT_EQ(back.end, 5600);
+  EXPECT_EQ(back.wallclock(), 5400);
+  EXPECT_EQ(back.exit_status, 1);
+  EXPECT_EQ(back.slots, 64u);
+  EXPECT_EQ(back.nodes, 4u);
+}
+
+TEST(Accounting, ParseRejectsMalformed) {
+  EXPECT_THROW((void)ac::parse("too:few:fields"), supremm::ParseError);
+  // Wallclock consistency check.
+  ac::AccountingRecord r;
+  r.start = 0;
+  r.end = 100;
+  std::string line = ac::serialize(r);
+  line.replace(line.rfind(":100:"), 5, ":999:");
+  EXPECT_THROW((void)ac::parse(line), supremm::ParseError);
+}
+
+TEST(Accounting, LogRoundTrip) {
+  const auto& w = world();
+  const auto recs = ac::from_executions(w.spec, *w.pop, w.execs);
+  const auto back = ac::parse_log(ac::serialize_log(recs));
+  ASSERT_EQ(back.size(), recs.size());
+  for (std::size_t i = 0; i < recs.size(); ++i) {
+    EXPECT_EQ(back[i].job_id, recs[i].job_id);
+    EXPECT_EQ(back[i].owner, recs[i].owner);
+  }
+}
+
+TEST(Accounting, FromExecutionsFields) {
+  const auto& w = world();
+  const auto recs = ac::from_executions(w.spec, *w.pop, w.execs);
+  ASSERT_EQ(recs.size(), w.execs.size());
+  for (std::size_t i = 0; i < recs.size(); ++i) {
+    const auto& e = w.execs[i];
+    const auto& r = recs[i];
+    EXPECT_EQ(r.job_id, e.req.id);
+    EXPECT_EQ(r.nodes, e.node_ids.size());
+    EXPECT_EQ(r.slots, e.node_ids.size() * w.spec.node.cores());
+    EXPECT_EQ(r.owner, w.pop->user(e.req.user).name);
+    EXPECT_EQ(r.submit, e.req.submit);
+    if (e.exit == fa::ExitKind::kFailed) {
+      EXPECT_EQ(r.exit_status, 1);
+    }
+    if (e.exit == fa::ExitKind::kOk) {
+      EXPECT_EQ(r.exit_status, 0);
+      EXPECT_EQ(r.failed, 0);
+    }
+  }
+}
+
+// --- lariat ---------------------------------------------------------------
+
+TEST(Lariat, SerializeParseRoundTrip) {
+  la::LariatRecord r;
+  r.job_id = 9;
+  r.user = "user0002";
+  r.exe = "namd2";
+  r.nodes = 8;
+  r.cores = 128;
+  r.libs = {"libmpi.so.1", "libfftw3.so.3"};
+  r.workdir = "/scratch/user0002/run";
+  r.start = 777;
+  const auto back = la::parse(la::serialize(r));
+  EXPECT_EQ(back.job_id, 9);
+  EXPECT_EQ(back.exe, "namd2");
+  EXPECT_EQ(back.libs, r.libs);
+  EXPECT_EQ(back.workdir, r.workdir);
+  EXPECT_EQ(back.start, 777);
+}
+
+TEST(Lariat, ParseRejectsMalformed) {
+  EXPECT_THROW((void)la::parse("user=x exe=y"), supremm::ParseError);  // no jobid
+  EXPECT_THROW((void)la::parse("jobid=1 bogus"), supremm::ParseError);
+  EXPECT_THROW((void)la::parse("jobid=1 unknownkey=3"), supremm::ParseError);
+}
+
+TEST(Lariat, ExeMappingRoundTrips) {
+  const auto cat = fa::standard_catalogue();
+  for (const auto& app : cat) {
+    const std::string exe = la::exe_for_app(app.name);
+    EXPECT_FALSE(exe.empty());
+    EXPECT_EQ(la::app_for_exe(cat, exe), app.name) << exe;
+  }
+  EXPECT_EQ(la::app_for_exe(cat, "unknown_binary"), "");
+}
+
+TEST(Lariat, LibsPerAppFamily) {
+  EXPECT_NE(std::find(la::libs_for_app("NAMD").begin(), la::libs_for_app("NAMD").end(),
+                      "libfftw3.so.3"),
+            la::libs_for_app("NAMD").end());
+  for (const auto& app : fa::standard_catalogue()) {
+    const auto libs = la::libs_for_app(app.name);
+    EXPECT_GE(libs.size(), 3u);  // always mpi + libc + libm
+  }
+}
+
+TEST(Lariat, FromExecutionsAndIndex) {
+  const auto& w = world();
+  const auto recs = la::from_executions(w.spec, w.cat, *w.pop, w.execs);
+  ASSERT_EQ(recs.size(), w.execs.size());
+  const la::LariatIndex idx(recs);
+  for (const auto& e : w.execs) {
+    const auto* r = idx.find(e.req.id);
+    ASSERT_NE(r, nullptr);
+    EXPECT_EQ(r->exe, la::exe_for_app(w.cat[e.req.app].name));
+    EXPECT_EQ(r->nodes, e.node_ids.size());
+  }
+  EXPECT_EQ(idx.find(999999), nullptr);
+}
+
+TEST(Lariat, LogRoundTrip) {
+  const auto& w = world();
+  const auto recs = la::from_executions(w.spec, w.cat, *w.pop, w.execs);
+  const auto back = la::parse_log(la::serialize_log(recs));
+  ASSERT_EQ(back.size(), recs.size());
+  EXPECT_EQ(back.front().exe, recs.front().exe);
+}
+
+// --- loglib -----------------------------------------------------------------
+
+TEST(Loglib, SeverityRoundTrip) {
+  for (const auto s : {lg::Severity::kInfo, lg::Severity::kWarning, lg::Severity::kError,
+                       lg::Severity::kCritical}) {
+    EXPECT_EQ(lg::severity_from_name(lg::severity_name(s)), s);
+  }
+  EXPECT_THROW((void)lg::severity_from_name("LOUD"), supremm::ParseError);
+}
+
+TEST(Loglib, RationalizedSerializeParseRoundTrip) {
+  lg::RationalizedRecord r;
+  r.time = 12345;
+  r.host = "ranger-c0001";
+  r.job_id = 42;
+  r.facility = "kern";
+  r.severity = lg::Severity::kCritical;
+  r.code = "OOM_KILL";
+  r.message = "kernel: Out of memory: Kill process 999 (a.out)";
+  const auto back = lg::parse(lg::serialize(r));
+  EXPECT_EQ(back.time, r.time);
+  EXPECT_EQ(back.host, r.host);
+  EXPECT_EQ(back.job_id, 42);
+  EXPECT_EQ(back.facility, "kern");
+  EXPECT_EQ(back.severity, lg::Severity::kCritical);
+  EXPECT_EQ(back.code, "OOM_KILL");
+  EXPECT_EQ(back.message, r.message);
+}
+
+TEST(Loglib, ParseRejectsMalformed) {
+  EXPECT_THROW((void)lg::parse("1 host short"), supremm::ParseError);
+  EXPECT_THROW((void)lg::parse("1 host xjob=1 fac=kern sev=INFO code=X msg"),
+               supremm::ParseError);
+}
+
+TEST(Loglib, RationalizePatterns) {
+  const auto& w = world();
+  const lg::JobResolver resolver(w.spec, w.execs);
+  const struct {
+    const char* text;
+    const char* code;
+    lg::Severity sev;
+    const char* fac;
+  } cases[] = {
+      {"kernel: Out of memory: Kill process 4521 (pmemd.MPI) score 912 or sacrifice child",
+       "OOM_KILL", lg::Severity::kCritical, "kern"},
+      {"kernel: BUG: soft lockup - CPU#3 stuck for 67s! [namd2:3412]", "SOFT_LOCKUP",
+       lg::Severity::kError, "kern"},
+      {"LustreError: 11-0: scratch-OST0007-osc: ost_write operation failed with -122",
+       "LUSTRE_ERR", lg::Severity::kError, "lustre"},
+      {"mce: [Hardware Error]: Machine check events logged", "MCE",
+       lg::Severity::kWarning, "mce"},
+      {"sge_execd[2214]: starting job 1234", "JOB_START", lg::Severity::kInfo, "sched"},
+      {"sge_execd[2214]: job 1234 exited with status 0", "JOB_EXIT", lg::Severity::kInfo,
+       "sched"},
+      {"systemd: something mundane happened", "UNKNOWN", lg::Severity::kInfo, "other"},
+  };
+  for (const auto& c : cases) {
+    const auto r = lg::rationalize({100, "ranger-c0000", c.text}, resolver);
+    EXPECT_EQ(r.code, c.code) << c.text;
+    EXPECT_EQ(r.severity, c.sev) << c.text;
+    EXPECT_EQ(r.facility, c.fac) << c.text;
+    EXPECT_EQ(r.message, c.text);
+  }
+}
+
+TEST(Loglib, JobResolverTagsJobs) {
+  const auto& w = world();
+  const lg::JobResolver resolver(w.spec, w.execs);
+  ASSERT_FALSE(w.execs.empty());
+  const auto& e = w.execs.front();
+  const std::string host = fa::node_hostname(w.spec, e.node_ids[0]);
+  EXPECT_EQ(resolver.job_at(host, e.start), e.req.id);
+  EXPECT_EQ(resolver.job_at(host, e.end), e.req.id);  // end instant included
+  EXPECT_EQ(resolver.job_at("no-such-host", e.start), 0);
+}
+
+TEST(Loglib, GeneratedStreamIsSortedAndTagged) {
+  const auto& w = world();
+  const auto lines = lg::generate_syslog(w.spec, w.cat, w.execs, 5);
+  ASSERT_GE(lines.size(), 2 * w.execs.size());  // start+exit per job at least
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    EXPECT_LE(lines[i - 1].time, lines[i].time);
+  }
+  const lg::JobResolver resolver(w.spec, w.execs);
+  std::size_t job_tagged = 0, starts = 0, exits = 0;
+  for (const auto& l : lines) {
+    const auto r = lg::rationalize(l, resolver);
+    if (r.job_id != 0) ++job_tagged;
+    if (r.code == "JOB_START") ++starts;
+    if (r.code == "JOB_EXIT") ++exits;
+  }
+  EXPECT_EQ(starts, w.execs.size());
+  EXPECT_EQ(exits, w.execs.size());
+  EXPECT_GE(job_tagged, 2 * w.execs.size());
+}
+
+TEST(Loglib, OomEmittedForMemoryHeavyFailures) {
+  // Construct a failing, memory-heavy execution and check for its OOM line.
+  auto spec = fa::scaled(fa::ranger(), 0.01);
+  const auto cat = fa::standard_catalogue();
+  fa::JobExecution e;
+  e.req.id = 1;
+  e.req.app = fa::app_index(cat, "QCHEM");
+  e.req.behavior.mem_gb = 31.0;  // near the 32 GB capacity
+  e.start = 0;
+  e.end = 3600;
+  e.node_ids = {0, 1};
+  e.exit = fa::ExitKind::kFailed;
+  const auto lines = lg::generate_syslog(spec, cat, {e}, 5);
+  bool saw_oom = false;
+  for (const auto& l : lines) {
+    if (l.text.find("Out of memory") != std::string::npos) saw_oom = true;
+  }
+  EXPECT_TRUE(saw_oom);
+}

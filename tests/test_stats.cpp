@@ -1,0 +1,521 @@
+// Unit tests for the stats module: descriptive statistics, special
+// functions, regression, KDE, correlation, structure functions, histograms.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+#include <vector>
+
+#include "common/error.h"
+#include "stats/correlation.h"
+#include "stats/descriptive.h"
+#include "stats/histogram.h"
+#include "stats/kde.h"
+#include "stats/regression.h"
+#include "stats/special.h"
+#include "stats/structure.h"
+
+namespace st = supremm::stats;
+
+// --- descriptive -------------------------------------------------------------
+
+TEST(Descriptive, SummaryBasics) {
+  const std::vector<double> xs = {1, 2, 3, 4, 5};
+  const auto s = st::summarize(xs);
+  EXPECT_EQ(s.n, 5u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_DOUBLE_EQ(s.variance, 2.0);            // population
+  EXPECT_DOUBLE_EQ(s.sample_variance(), 2.5);   // unbiased
+}
+
+TEST(Descriptive, CoefficientOfVariation) {
+  const std::vector<double> xs = {2, 2, 2};
+  EXPECT_DOUBLE_EQ(st::summarize(xs).cv(), 0.0);
+  const std::vector<double> ys = {0, 0, 0};
+  EXPECT_DOUBLE_EQ(st::summarize(ys).cv(), 0.0);  // zero-mean guard
+}
+
+TEST(Descriptive, AccumulatorMergeMatchesBulk) {
+  std::mt19937 gen(3);
+  std::normal_distribution<double> d(5.0, 2.0);
+  st::Accumulator all, a, b;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = d(gen);
+    all.add(x);
+    (i % 2 == 0 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_NEAR(a.summary().mean, all.summary().mean, 1e-9);
+  EXPECT_NEAR(a.summary().variance, all.summary().variance, 1e-9);
+  EXPECT_DOUBLE_EQ(a.summary().min, all.summary().min);
+  EXPECT_DOUBLE_EQ(a.summary().max, all.summary().max);
+}
+
+TEST(Descriptive, AccumulatorMergeEmpty) {
+  st::Accumulator a, b;
+  a.add(1.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 1u);
+  b.merge(a);
+  EXPECT_EQ(b.count(), 1u);
+}
+
+TEST(Descriptive, WeightedMean) {
+  st::WeightedAccumulator acc;
+  acc.add(1.0, 1.0);
+  acc.add(10.0, 3.0);
+  EXPECT_DOUBLE_EQ(acc.mean(), (1.0 + 30.0) / 4.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 10.0);
+  EXPECT_DOUBLE_EQ(acc.min(), 1.0);
+}
+
+TEST(Descriptive, WeightedIgnoresZeroWeight) {
+  st::WeightedAccumulator acc;
+  acc.add(5.0, 1.0);
+  acc.add(1e9, 0.0);
+  EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+  EXPECT_EQ(acc.count(), 1u);
+}
+
+TEST(Descriptive, WeightedVarianceMatchesFrequencyInterpretation) {
+  // Weight 2 == the value appearing twice.
+  st::WeightedAccumulator w;
+  w.add(1.0, 2.0);
+  w.add(4.0, 1.0);
+  st::Accumulator f;
+  f.add(1.0);
+  f.add(1.0);
+  f.add(4.0);
+  EXPECT_NEAR(w.variance(), f.summary().variance, 1e-12);
+}
+
+TEST(Descriptive, WeightedMergeMatchesBulk) {
+  st::WeightedAccumulator all, a, b;
+  std::mt19937 gen(4);
+  std::uniform_real_distribution<double> d(0, 10);
+  for (int i = 0; i < 500; ++i) {
+    const double x = d(gen);
+    const double w = d(gen) + 0.1;
+    all.add(x, w);
+    (i % 3 == 0 ? a : b).add(x, w);
+  }
+  a.merge(b);
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+}
+
+TEST(Descriptive, Quantiles) {
+  const std::vector<double> xs = {4, 1, 3, 2};
+  EXPECT_DOUBLE_EQ(st::quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(st::quantile(xs, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(st::quantile(xs, 0.5), 2.5);
+  EXPECT_THROW((void)st::quantile(std::vector<double>{}, 0.5), supremm::InvalidArgument);
+  EXPECT_THROW((void)st::quantile(xs, 1.5), supremm::InvalidArgument);
+}
+
+TEST(Descriptive, PearsonPerfectAndAnti) {
+  const std::vector<double> x = {1, 2, 3, 4};
+  const std::vector<double> y = {2, 4, 6, 8};
+  const std::vector<double> z = {8, 6, 4, 2};
+  EXPECT_NEAR(st::pearson(x, y), 1.0, 1e-12);
+  EXPECT_NEAR(st::pearson(x, z), -1.0, 1e-12);
+}
+
+TEST(Descriptive, PearsonDegenerate) {
+  const std::vector<double> x = {1, 2, 3};
+  const std::vector<double> c = {5, 5, 5};
+  EXPECT_DOUBLE_EQ(st::pearson(x, c), 0.0);
+  EXPECT_THROW((void)st::pearson(x, std::vector<double>{1.0, 2.0}), supremm::InvalidArgument);
+}
+
+// --- special functions -------------------------------------------------------
+
+TEST(Special, IncompleteBetaBounds) {
+  EXPECT_DOUBLE_EQ(st::incomplete_beta(2, 3, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(st::incomplete_beta(2, 3, 1.0), 1.0);
+  EXPECT_THROW((void)st::incomplete_beta(0, 1, 0.5), supremm::InvalidArgument);
+  EXPECT_THROW((void)st::incomplete_beta(1, 1, 1.5), supremm::InvalidArgument);
+}
+
+TEST(Special, IncompleteBetaKnownValues) {
+  // I_x(1,1) = x.
+  EXPECT_NEAR(st::incomplete_beta(1, 1, 0.3), 0.3, 1e-10);
+  // I_x(2,2) = 3x^2 - 2x^3.
+  const double x = 0.4;
+  EXPECT_NEAR(st::incomplete_beta(2, 2, x), 3 * x * x - 2 * x * x * x, 1e-10);
+  // Symmetry: I_x(a,b) = 1 - I_{1-x}(b,a).
+  EXPECT_NEAR(st::incomplete_beta(2.5, 1.5, 0.7),
+              1.0 - st::incomplete_beta(1.5, 2.5, 0.3), 1e-10);
+}
+
+TEST(Special, StudentTCdf) {
+  // Symmetric around 0.
+  EXPECT_NEAR(st::student_t_cdf(0.0, 5.0), 0.5, 1e-12);
+  // t with df=1 is Cauchy: CDF(1) = 0.75.
+  EXPECT_NEAR(st::student_t_cdf(1.0, 1.0), 0.75, 1e-9);
+  // Large df approaches the normal: CDF(1.96, 1e6) ~ 0.975.
+  EXPECT_NEAR(st::student_t_cdf(1.96, 1e6), 0.975, 1e-3);
+  EXPECT_DOUBLE_EQ(st::student_t_cdf(INFINITY, 3.0), 1.0);
+}
+
+TEST(Special, TwoSidedP) {
+  // |t|=2, df=10 -> p ~ 0.0734 (reference value from R: 2*pt(-2,10)).
+  EXPECT_NEAR(st::student_t_two_sided_p(2.0, 10.0), 0.07339, 1e-4);
+  EXPECT_NEAR(st::student_t_two_sided_p(-2.0, 10.0), 0.07339, 1e-4);
+  EXPECT_NEAR(st::student_t_two_sided_p(0.0, 10.0), 1.0, 1e-12);
+}
+
+// --- regression --------------------------------------------------------------
+
+TEST(Regression, ExactLine) {
+  const std::vector<double> x = {1, 2, 3, 4, 5};
+  std::vector<double> y;
+  for (const double xi : x) y.push_back(2.0 * xi + 1.0);
+  const auto fit = st::linear_fit(x, y);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(fit.r2, 1.0, 1e-12);
+  EXPECT_LT(fit.slope_p, 1e-6);
+}
+
+TEST(Regression, NoisyLineRecoversParameters) {
+  std::mt19937 gen(11);
+  std::normal_distribution<double> noise(0.0, 0.5);
+  std::vector<double> x, y;
+  for (int i = 0; i < 200; ++i) {
+    x.push_back(i * 0.1);
+    y.push_back(3.0 - 0.7 * x.back() + noise(gen));
+  }
+  const auto fit = st::linear_fit(x, y);
+  EXPECT_NEAR(fit.slope, -0.7, 0.05);
+  EXPECT_NEAR(fit.intercept, 3.0, 0.12);
+  EXPECT_GT(fit.r2, 0.8);
+  EXPECT_LT(fit.slope_p, 1e-10);
+}
+
+TEST(Regression, FlatLineHasInsignificantSlope) {
+  std::mt19937 gen(12);
+  std::normal_distribution<double> noise(0.0, 1.0);
+  std::vector<double> x, y;
+  for (int i = 0; i < 100; ++i) {
+    x.push_back(i);
+    y.push_back(5.0 + noise(gen));
+  }
+  const auto fit = st::linear_fit(x, y);
+  EXPECT_GT(fit.slope_p, 0.01);  // overwhelmingly likely
+  EXPECT_LT(fit.intercept_p, 1e-6);
+}
+
+TEST(Regression, PredictAndResiduals) {
+  const std::vector<double> x = {0, 1, 2, 3};
+  const std::vector<double> y = {1, 3, 5, 7};
+  const auto fit = st::linear_fit(x, y);
+  EXPECT_NEAR(fit.predict(10.0), 21.0, 1e-9);
+  EXPECT_NEAR(fit.residual_stddev, 0.0, 1e-9);
+}
+
+TEST(Regression, Log10Fit) {
+  // y = 2 + 3*log10(x).
+  const std::vector<double> x = {10, 100, 1000};
+  const std::vector<double> y = {5, 8, 11};
+  const auto fit = st::log10_fit(x, y);
+  EXPECT_NEAR(fit.slope, 3.0, 1e-9);
+  EXPECT_NEAR(fit.intercept, 2.0, 1e-9);
+  EXPECT_THROW((void)st::log10_fit(std::vector<double>{-1.0, 2.0, 3.0}, y), supremm::InvalidArgument);
+}
+
+TEST(Regression, RejectsDegenerate) {
+  EXPECT_THROW((void)st::linear_fit(std::vector<double>{1.0}, std::vector<double>{2.0}), supremm::InvalidArgument);
+  EXPECT_THROW((void)st::linear_fit(std::vector<double>{2.0, 2.0, 2.0}, std::vector<double>{1.0, 2.0, 3.0}),
+               supremm::InvalidArgument);
+}
+
+// --- kde ----------------------------------------------------------------
+
+TEST(Kde, IntegratesToOne) {
+  std::mt19937 gen(21);
+  std::normal_distribution<double> d(0.0, 1.0);
+  std::vector<double> xs;
+  for (int i = 0; i < 2000; ++i) xs.push_back(d(gen));
+  const auto dens = st::kde(xs, 512);
+  EXPECT_NEAR(dens.integral(), 1.0, 0.01);
+}
+
+TEST(Kde, ModeNearTrueMode) {
+  std::mt19937 gen(22);
+  std::normal_distribution<double> d(7.0, 1.5);
+  std::vector<double> xs;
+  for (int i = 0; i < 4000; ++i) xs.push_back(d(gen));
+  EXPECT_NEAR(st::kde(xs).mode(), 7.0, 0.4);
+}
+
+TEST(Kde, BimodalHasTwoBumps) {
+  std::mt19937 gen(23);
+  std::normal_distribution<double> a(0.0, 0.5);
+  std::normal_distribution<double> b(10.0, 0.5);
+  std::vector<double> xs;
+  for (int i = 0; i < 2000; ++i) xs.push_back(i % 2 == 0 ? a(gen) : b(gen));
+  const auto dens = st::kde(xs, 512);
+  // Density at the trough (x=5) far below the modes.
+  EXPECT_LT(dens.at(5.0), 0.1 * dens.at(0.0));
+  EXPECT_GT(dens.at(10.0), 0.1);
+}
+
+TEST(Kde, WeightedShiftsMass) {
+  const std::vector<double> xs = {0.0, 10.0};
+  const std::vector<double> heavy_right = {1.0, 9.0};
+  const auto dens = st::kde_weighted(xs, heavy_right, 256);
+  EXPECT_GT(dens.at(10.0), 5.0 * dens.at(0.0));
+  EXPECT_NEAR(dens.integral(), 1.0, 0.02);
+}
+
+TEST(Kde, BandwidthRules) {
+  std::mt19937 gen(24);
+  std::normal_distribution<double> d(0.0, 2.0);
+  std::vector<double> xs;
+  for (int i = 0; i < 1000; ++i) xs.push_back(d(gen));
+  const double nrd0 = st::select_bandwidth(xs, st::Bandwidth::kNrd0);
+  const double scott = st::select_bandwidth(xs, st::Bandwidth::kScott);
+  EXPECT_GT(nrd0, 0.0);
+  EXPECT_GT(scott, nrd0);  // 1.06 vs 0.9 factor on similar spread
+}
+
+TEST(Kde, DegenerateSample) {
+  const std::vector<double> xs = {3.0, 3.0, 3.0};
+  const auto dens = st::kde(xs, 64);
+  EXPECT_GT(dens.bandwidth, 0.0);
+  EXPECT_NEAR(dens.mode(), 3.0, 1e-3);
+}
+
+TEST(Kde, Rejections) {
+  EXPECT_THROW((void)st::kde(std::vector<double>{}, 64), supremm::InvalidArgument);
+  EXPECT_THROW((void)st::kde(std::vector<double>{1.0, 2.0}, 1), supremm::InvalidArgument);
+  EXPECT_THROW((void)st::kde_weighted(std::vector<double>{1.0, 2.0}, std::vector<double>{1.0}, 64), supremm::InvalidArgument);
+  EXPECT_THROW((void)st::kde_weighted(std::vector<double>{1.0, 2.0}, std::vector<double>{0.0, 0.0}, 64),
+               supremm::InvalidArgument);
+}
+
+TEST(Kde, DensityAtOutsideGridIsZero) {
+  const std::vector<double> xs = {0.0, 1.0, 2.0};
+  const auto dens = st::kde(xs, 64);
+  EXPECT_DOUBLE_EQ(dens.at(1e9), 0.0);
+  EXPECT_DOUBLE_EQ(dens.at(-1e9), 0.0);
+}
+
+// --- correlation matrix -----------------------------------------------------
+
+TEST(Correlation, MatrixSymmetryAndDiagonal) {
+  const std::vector<std::vector<double>> series = {
+      {1, 2, 3, 4}, {2, 4, 6, 8}, {4, 3, 2, 1}};
+  st::CorrelationMatrix m({"a", "b", "c"}, series);
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(m.at(0, 1), m.at(1, 0));
+  EXPECT_NEAR(m.at("a", "b"), 1.0, 1e-12);
+  EXPECT_NEAR(m.at("a", "c"), -1.0, 1e-12);
+}
+
+TEST(Correlation, CorrelatedPairsSortedByStrength) {
+  std::mt19937 gen(31);
+  std::normal_distribution<double> d(0, 1);
+  std::vector<double> a, b, c;
+  for (int i = 0; i < 500; ++i) {
+    const double x = d(gen);
+    a.push_back(x);
+    b.push_back(-x + 0.01 * d(gen));  // strong anti-correlation
+    c.push_back(d(gen));              // independent
+  }
+  st::CorrelationMatrix m({"a", "b", "c"}, {a, b, c});
+  const auto pairs = m.correlated_pairs(0.8);
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_EQ(pairs[0].a, "a");
+  EXPECT_EQ(pairs[0].b, "b");
+  EXPECT_LT(pairs[0].r, -0.9);
+}
+
+TEST(Correlation, SelectIndependentDropsCorrelated) {
+  std::mt19937 gen(32);
+  std::normal_distribution<double> d(0, 1);
+  std::vector<double> a, b, c;
+  for (int i = 0; i < 500; ++i) {
+    const double x = d(gen);
+    a.push_back(x);
+    b.push_back(x + 0.01 * d(gen));
+    c.push_back(d(gen));
+  }
+  st::CorrelationMatrix m({"a", "b", "c"}, {a, b, c});
+  // Priority favors b over a.
+  const std::vector<double> prio = {1.0, 2.0, 0.5};
+  const auto kept = st::select_independent(m, prio, 0.8);
+  ASSERT_EQ(kept.size(), 2u);
+  EXPECT_EQ(kept[0], 1u);  // b first (highest priority)
+  EXPECT_EQ(kept[1], 2u);  // c kept; a dropped as correlated with b
+}
+
+TEST(Correlation, Rejections) {
+  EXPECT_THROW(st::CorrelationMatrix({"a"}, {{1, 2}, {3, 4}}), supremm::InvalidArgument);
+  st::CorrelationMatrix m({"a", "b"}, {{1, 2, 3}, {3, 2, 1}});
+  EXPECT_THROW((void)m.at("zzz", "a"), supremm::NotFoundError);
+  EXPECT_THROW((void)st::select_independent(m, std::vector<double>{1.0}, 0.5),
+               supremm::InvalidArgument);
+}
+
+// --- structure function (persistence) ---------------------------------------
+
+TEST(Structure, WhiteNoiseRatioNearOne) {
+  std::mt19937 gen(41);
+  std::normal_distribution<double> d(0, 1);
+  std::vector<double> xs;
+  for (int i = 0; i < 20000; ++i) xs.push_back(d(gen));
+  EXPECT_NEAR(st::offset_sd_ratio(xs, 1), 1.0, 0.03);
+  EXPECT_NEAR(st::offset_sd_ratio(xs, 50), 1.0, 0.03);
+}
+
+TEST(Structure, ConstantSeriesIsNaN) {
+  const std::vector<double> xs(100, 3.0);
+  EXPECT_TRUE(std::isnan(st::offset_sd_ratio(xs, 5)));
+}
+
+TEST(Structure, Ar1RatiosMatchTheory) {
+  // AR(1): ratio(k) = sqrt(1 - rho^k).
+  const double rho = 0.95;
+  std::mt19937 gen(42);
+  std::normal_distribution<double> d(0, 1);
+  std::vector<double> xs = {0.0};
+  for (int i = 1; i < 100000; ++i) {
+    xs.push_back(rho * xs.back() + d(gen) * std::sqrt(1 - rho * rho));
+  }
+  for (const std::size_t k : {1u, 5u, 20u}) {
+    const double expected = std::sqrt(1.0 - std::pow(rho, k));
+    EXPECT_NEAR(st::offset_sd_ratio(xs, k), expected, 0.05) << "lag " << k;
+  }
+}
+
+TEST(Structure, RatiosIncreaseWithLagForPersistentSeries) {
+  const double rho = 0.9;
+  std::mt19937 gen(43);
+  std::normal_distribution<double> d(0, 1);
+  std::vector<double> xs = {0.0};
+  for (int i = 1; i < 50000; ++i) {
+    xs.push_back(rho * xs.back() + d(gen));
+  }
+  const std::vector<std::size_t> lags = {1, 4, 16, 64};
+  const auto r = st::offset_sd_ratios(xs, lags);
+  for (std::size_t i = 1; i < r.size(); ++i) EXPECT_GT(r[i], r[i - 1]);
+}
+
+TEST(Structure, ShortSeriesYieldsNaN) {
+  const std::vector<double> xs = {1, 2, 3};
+  EXPECT_TRUE(std::isnan(st::offset_sd_ratio(xs, 5)));
+  EXPECT_THROW((void)st::offset_sd_ratio(xs, 0), supremm::InvalidArgument);
+}
+
+TEST(Structure, PersistenceFitRecoversLogModel) {
+  // Fabricate ratios following 0.1 + 0.3*log10(offset).
+  const std::vector<double> offsets = {10, 30, 100, 500, 1000};
+  std::vector<double> ratios;
+  for (const double o : offsets) ratios.push_back(0.1 + 0.3 * std::log10(o));
+  const auto fit = st::fit_persistence(offsets, ratios);
+  EXPECT_NEAR(fit.fit.slope, 0.3, 1e-9);
+  EXPECT_NEAR(fit.fit.intercept, 0.1, 1e-9);
+  EXPECT_NEAR(fit.fit.r2, 1.0, 1e-9);
+  // horizon: ratio == 1 at log10(o) = 3 -> o = 1000.
+  EXPECT_NEAR(fit.horizon_minutes(), 1000.0, 1e-6);
+}
+
+TEST(Structure, PersistenceFitDropsNaN) {
+  const std::vector<double> offsets = {10, 30, 100, 500};
+  const std::vector<double> ratios = {0.4, 0.54, std::nan(""), 0.9};
+  const auto fit = st::fit_persistence(offsets, ratios);
+  EXPECT_EQ(fit.offsets.size(), 3u);
+  EXPECT_THROW((void)st::fit_persistence(std::vector<double>{10.0, 20.0}, std::vector<double>{0.1, 0.2}),
+               supremm::InvalidArgument);
+}
+
+// --- histogram ---------------------------------------------------------------
+
+TEST(Histogram, BinningAndOverflow) {
+  st::Histogram h(0.0, 10.0, 10);
+  h.add(0.5);
+  h.add(9.99);
+  h.add(-1.0);
+  h.add(10.0);
+  EXPECT_DOUBLE_EQ(h.count(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.count(9), 1.0);
+  EXPECT_DOUBLE_EQ(h.underflow(), 1.0);
+  EXPECT_DOUBLE_EQ(h.overflow(), 1.0);
+  EXPECT_DOUBLE_EQ(h.total(), 4.0);
+}
+
+TEST(Histogram, WeightedAndDensity) {
+  st::Histogram h(0.0, 2.0, 2);
+  h.add(0.5, 3.0);
+  h.add(1.5, 1.0);
+  const auto d = h.density();
+  EXPECT_DOUBLE_EQ(d[0], 0.75);  // 3/4 of mass over width 1
+  EXPECT_DOUBLE_EQ(d[1], 0.25);
+}
+
+TEST(Histogram, BinEdges) {
+  st::Histogram h(0.0, 10.0, 5);
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_lo(4), 8.0);
+}
+
+TEST(Histogram, MakeFromData) {
+  const std::vector<double> xs = {1, 2, 3, 4, 5};
+  const auto h = st::make_histogram(xs, 4);
+  EXPECT_DOUBLE_EQ(h.total(), 5.0);
+  EXPECT_DOUBLE_EQ(h.underflow() + h.overflow(), 0.0);
+}
+
+TEST(Histogram, Rejections) {
+  EXPECT_THROW(st::Histogram(0.0, 1.0, 0), supremm::InvalidArgument);
+  EXPECT_THROW(st::Histogram(1.0, 1.0, 4), supremm::InvalidArgument);
+  EXPECT_THROW((void)st::make_histogram(std::vector<double>{}, 4), supremm::InvalidArgument);
+}
+
+// --- parameterized property sweeps -------------------------------------------
+
+class KdeGridSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(KdeGridSweep, IntegralIsOneForAnyGrid) {
+  std::mt19937 gen(51);
+  std::lognormal_distribution<double> d(1.0, 0.8);
+  std::vector<double> xs;
+  for (int i = 0; i < 1500; ++i) xs.push_back(d(gen));
+  const auto dens = st::kde(xs, GetParam());
+  EXPECT_NEAR(dens.integral(), 1.0, 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(Grids, KdeGridSweep, ::testing::Values(32, 64, 128, 256, 1024));
+
+class Ar1Sweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(Ar1Sweep, RatioWithinTheoryBand) {
+  const double rho = GetParam();
+  std::mt19937 gen(61);
+  std::normal_distribution<double> d(0, 1);
+  std::vector<double> xs = {0.0};
+  for (int i = 1; i < 60000; ++i) xs.push_back(rho * xs.back() + d(gen));
+  const double expected = std::sqrt(1.0 - rho);
+  EXPECT_NEAR(st::offset_sd_ratio(xs, 1), expected, 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rhos, Ar1Sweep, ::testing::Values(0.0, 0.3, 0.6, 0.9, 0.99));
+
+class QuantileSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(QuantileSweep, MonotoneInQ) {
+  std::mt19937 gen(71);
+  std::uniform_real_distribution<double> d(0, 100);
+  std::vector<double> xs;
+  for (int i = 0; i < 500; ++i) xs.push_back(d(gen));
+  const double q = GetParam();
+  EXPECT_LE(st::quantile(xs, q * 0.5), st::quantile(xs, q));
+  EXPECT_LE(st::quantile(xs, q), st::quantile(xs, std::min(1.0, q + 0.1)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Qs, QuantileSweep, ::testing::Values(0.1, 0.25, 0.5, 0.75, 0.9));

@@ -1,0 +1,199 @@
+// Unit tests for the columnar warehouse: typed columns, row building,
+// filtering and grouped aggregation.
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "warehouse/query.h"
+#include "warehouse/table.h"
+
+namespace wh = supremm::warehouse;
+
+namespace {
+
+wh::Table jobs_table() {
+  wh::Table t("jobs", {{"user", wh::ColType::kString},
+                       {"app", wh::ColType::kString},
+                       {"node_hours", wh::ColType::kDouble},
+                       {"cpu_idle", wh::ColType::kDouble},
+                       {"nodes", wh::ColType::kInt64}});
+  const struct {
+    const char* user;
+    const char* app;
+    double nh;
+    double idle;
+    std::int64_t nodes;
+  } rows[] = {
+      {"alice", "NAMD", 100, 0.05, 16}, {"alice", "NAMD", 50, 0.10, 8},
+      {"bob", "AMBER", 200, 0.30, 4},   {"bob", "NAMD", 25, 0.08, 2},
+      {"carol", "WRF", 400, 0.15, 32},
+  };
+  for (const auto& r : rows) {
+    t.append()
+        .set("user", r.user)
+        .set("app", r.app)
+        .set("node_hours", r.nh)
+        .set("cpu_idle", r.idle)
+        .set("nodes", r.nodes);
+  }
+  return t;
+}
+
+}  // namespace
+
+// --- column / table ---------------------------------------------------------
+
+TEST(Column, TypeEnforcement) {
+  wh::Column c("x", wh::ColType::kDouble);
+  c.push_double(1.5);
+  EXPECT_THROW(c.push_int64(1), supremm::InvalidArgument);
+  EXPECT_THROW(c.push_string("a"), supremm::InvalidArgument);
+  EXPECT_DOUBLE_EQ(c.as_double(0), 1.5);
+  EXPECT_THROW((void)c.as_int64(0), supremm::InvalidArgument);
+}
+
+TEST(Column, StringDictionaryEncoding) {
+  wh::Column c("s", wh::ColType::kString);
+  c.push_string("aa");
+  c.push_string("bb");
+  c.push_string("aa");
+  EXPECT_EQ(c.code(0), c.code(2));
+  EXPECT_NE(c.code(0), c.code(1));
+  EXPECT_EQ(c.as_string(2), "aa");
+  EXPECT_EQ(c.decode(c.code(1)), "bb");
+}
+
+TEST(Column, IntAsDoubleCoercion) {
+  wh::Column c("i", wh::ColType::kInt64);
+  c.push_int64(7);
+  EXPECT_DOUBLE_EQ(c.as_double(0), 7.0);
+}
+
+TEST(Table, SchemaAndRows) {
+  const auto t = jobs_table();
+  EXPECT_EQ(t.rows(), 5u);
+  EXPECT_EQ(t.cols(), 5u);
+  EXPECT_TRUE(t.has_col("user"));
+  EXPECT_FALSE(t.has_col("nope"));
+  EXPECT_THROW((void)t.col("nope"), supremm::NotFoundError);
+  EXPECT_EQ(t.col("user").as_string(0), "alice");
+  EXPECT_EQ(t.col("nodes").as_int64(4), 32);
+}
+
+TEST(Table, RowBuilderRequiresAllColumns) {
+  wh::Table t("t", {{"a", wh::ColType::kDouble}, {"b", wh::ColType::kDouble}});
+  EXPECT_THROW({ t.append().set("a", 1.0); }, supremm::InvalidArgument);
+}
+
+TEST(Table, RejectsEmptySchema) {
+  EXPECT_THROW(wh::Table("t", {}), supremm::InvalidArgument);
+}
+
+TEST(Table, SelectPredicate) {
+  const auto t = jobs_table();
+  const auto rows =
+      t.select([&](std::size_t r) { return t.col("cpu_idle").as_double(r) > 0.1; });
+  EXPECT_EQ(rows.size(), 2u);  // bob/AMBER and carol/WRF
+}
+
+// --- query -------------------------------------------------------------------
+
+TEST(Query, GroupBySum) {
+  const auto t = jobs_table();
+  const auto g = wh::Query(t)
+                     .group_by({"user"})
+                     .aggregate({{"node_hours", wh::AggKind::kSum, "", ""}})
+                     .run();
+  EXPECT_EQ(g.rows(), 3u);
+  // First-seen order: alice, bob, carol.
+  EXPECT_EQ(g.col("user").as_string(0), "alice");
+  EXPECT_DOUBLE_EQ(g.col("node_hours_sum").as_double(0), 150.0);
+  EXPECT_DOUBLE_EQ(g.col("node_hours_sum").as_double(1), 225.0);
+  EXPECT_DOUBLE_EQ(g.col("node_hours_sum").as_double(2), 400.0);
+}
+
+TEST(Query, WeightedMean) {
+  const auto t = jobs_table();
+  const auto g =
+      wh::Query(t)
+          .group_by({"user"})
+          .aggregate({{"cpu_idle", wh::AggKind::kWeightedMean, "node_hours", "idle"}})
+          .run();
+  // alice: (0.05*100 + 0.10*50)/150.
+  EXPECT_NEAR(g.col("idle").as_double(0), 10.0 / 150.0, 1e-12);
+}
+
+TEST(Query, CountMaxMin) {
+  const auto t = jobs_table();
+  const auto g = wh::Query(t)
+                     .group_by({"app"})
+                     .aggregate({{"", wh::AggKind::kCount, "", "n"},
+                                 {"node_hours", wh::AggKind::kMax, "", "max_nh"},
+                                 {"node_hours", wh::AggKind::kMin, "", "min_nh"}})
+                     .run();
+  // Apps in first-seen order: NAMD, AMBER, WRF.
+  EXPECT_EQ(g.col("n").as_int64(0), 3);
+  EXPECT_DOUBLE_EQ(g.col("max_nh").as_double(0), 100.0);
+  EXPECT_DOUBLE_EQ(g.col("min_nh").as_double(0), 25.0);
+}
+
+TEST(Query, WhereFilter) {
+  const auto t = jobs_table();
+  const auto g = wh::Query(t)
+                     .where(wh::eq("app", "NAMD"))
+                     .group_by({"user"})
+                     .aggregate({{"", wh::AggKind::kCount, "", "n"}})
+                     .run();
+  EXPECT_EQ(g.rows(), 2u);  // alice, bob
+}
+
+TEST(Query, PredicateHelpers) {
+  const auto t = jobs_table();
+  const auto g = wh::Query(t)
+                     .where(wh::all_of({wh::ge("node_hours", 50.0),
+                                        wh::le("cpu_idle", 0.2),
+                                        wh::between("nodes", 4.0, 40.0)}))
+                     .group_by({})
+                     .aggregate({{"", wh::AggKind::kCount, "", "n"}})
+                     .run();
+  ASSERT_EQ(g.rows(), 1u);
+  EXPECT_EQ(g.col("n").as_int64(0), 3);  // alice100, alice50, carol
+}
+
+TEST(Query, GlobalAggregateWithoutKeys) {
+  const auto t = jobs_table();
+  const auto g =
+      wh::Query(t).group_by({}).aggregate({{"node_hours", wh::AggKind::kMean, "", ""}}).run();
+  ASSERT_EQ(g.rows(), 1u);
+  EXPECT_DOUBLE_EQ(g.col("node_hours_mean").as_double(0), 155.0);
+}
+
+TEST(Query, MultiKeyGrouping) {
+  const auto t = jobs_table();
+  const auto g = wh::Query(t)
+                     .group_by({"user", "app"})
+                     .aggregate({{"", wh::AggKind::kCount, "", "n"}})
+                     .run();
+  EXPECT_EQ(g.rows(), 4u);  // alice/NAMD, bob/AMBER, bob/NAMD, carol/WRF
+}
+
+TEST(Query, Int64KeyGrouping) {
+  const auto t = jobs_table();
+  const auto g = wh::Query(t)
+                     .group_by({"nodes"})
+                     .aggregate({{"", wh::AggKind::kCount, "", "n"}})
+                     .run();
+  EXPECT_EQ(g.rows(), 5u);  // all distinct node counts
+  EXPECT_EQ(g.col("nodes").as_int64(0), 16);
+}
+
+TEST(Query, RejectsNoAggregates) {
+  const auto t = jobs_table();
+  EXPECT_THROW((void)wh::Query(t).group_by({"user"}).run(), supremm::InvalidArgument);
+}
+
+TEST(Query, TimeBucket) {
+  EXPECT_EQ(wh::time_bucket(0, 600), 0);
+  EXPECT_EQ(wh::time_bucket(599, 600), 0);
+  EXPECT_EQ(wh::time_bucket(600, 600), 600);
+  EXPECT_EQ(wh::time_bucket(1234, 600), 1200);
+}
