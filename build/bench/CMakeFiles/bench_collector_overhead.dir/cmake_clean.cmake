@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_collector_overhead.dir/bench_collector_overhead.cpp.o"
+  "CMakeFiles/bench_collector_overhead.dir/bench_collector_overhead.cpp.o.d"
+  "bench_collector_overhead"
+  "bench_collector_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_collector_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

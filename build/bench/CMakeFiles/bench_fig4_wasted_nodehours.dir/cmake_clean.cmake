@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_wasted_nodehours.dir/bench_fig4_wasted_nodehours.cpp.o"
+  "CMakeFiles/bench_fig4_wasted_nodehours.dir/bench_fig4_wasted_nodehours.cpp.o.d"
+  "bench_fig4_wasted_nodehours"
+  "bench_fig4_wasted_nodehours.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_wasted_nodehours.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

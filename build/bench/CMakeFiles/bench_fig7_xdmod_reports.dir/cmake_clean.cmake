@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_xdmod_reports.dir/bench_fig7_xdmod_reports.cpp.o"
+  "CMakeFiles/bench_fig7_xdmod_reports.dir/bench_fig7_xdmod_reports.cpp.o.d"
+  "bench_fig7_xdmod_reports"
+  "bench_fig7_xdmod_reports.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_xdmod_reports.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

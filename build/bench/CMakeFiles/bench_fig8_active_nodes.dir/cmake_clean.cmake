@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_active_nodes.dir/bench_fig8_active_nodes.cpp.o"
+  "CMakeFiles/bench_fig8_active_nodes.dir/bench_fig8_active_nodes.cpp.o.d"
+  "bench_fig8_active_nodes"
+  "bench_fig8_active_nodes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_active_nodes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

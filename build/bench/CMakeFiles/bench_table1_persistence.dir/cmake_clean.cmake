@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_persistence.dir/bench_table1_persistence.cpp.o"
+  "CMakeFiles/bench_table1_persistence.dir/bench_table1_persistence.cpp.o.d"
+  "bench_table1_persistence"
+  "bench_table1_persistence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_persistence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/facility_report.dir/facility_report.cpp.o"
+  "CMakeFiles/facility_report.dir/facility_report.cpp.o.d"
+  "facility_report"
+  "facility_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/facility_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/persistence_scheduler.dir/persistence_scheduler.cpp.o"
+  "CMakeFiles/persistence_scheduler.dir/persistence_scheduler.cpp.o.d"
+  "persistence_scheduler"
+  "persistence_scheduler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/persistence_scheduler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

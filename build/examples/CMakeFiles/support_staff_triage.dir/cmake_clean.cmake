@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/support_staff_triage.dir/support_staff_triage.cpp.o"
+  "CMakeFiles/support_staff_triage.dir/support_staff_triage.cpp.o.d"
+  "support_staff_triage"
+  "support_staff_triage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/support_staff_triage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

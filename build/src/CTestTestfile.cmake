@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("stats")
+subdirs("procsim")
+subdirs("facility")
+subdirs("taccstats")
+subdirs("accounting")
+subdirs("lariat")
+subdirs("loglib")
+subdirs("warehouse")
+subdirs("etl")
+subdirs("xdmod")
+subdirs("pipeline")
+subdirs("compress")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/supremm_accounting.dir/accounting.cpp.o"
+  "CMakeFiles/supremm_accounting.dir/accounting.cpp.o.d"
+  "libsupremm_accounting.a"
+  "libsupremm_accounting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/supremm_accounting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/supremm_common.dir/ascii_table.cpp.o"
+  "CMakeFiles/supremm_common.dir/ascii_table.cpp.o.d"
+  "CMakeFiles/supremm_common.dir/csv.cpp.o"
+  "CMakeFiles/supremm_common.dir/csv.cpp.o.d"
+  "CMakeFiles/supremm_common.dir/rng.cpp.o"
+  "CMakeFiles/supremm_common.dir/rng.cpp.o.d"
+  "CMakeFiles/supremm_common.dir/strings.cpp.o"
+  "CMakeFiles/supremm_common.dir/strings.cpp.o.d"
+  "CMakeFiles/supremm_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/supremm_common.dir/thread_pool.cpp.o.d"
+  "CMakeFiles/supremm_common.dir/time.cpp.o"
+  "CMakeFiles/supremm_common.dir/time.cpp.o.d"
+  "libsupremm_common.a"
+  "libsupremm_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/supremm_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/supremm_compress.dir/lzss.cpp.o"
+  "CMakeFiles/supremm_compress.dir/lzss.cpp.o.d"
+  "libsupremm_compress.a"
+  "libsupremm_compress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/supremm_compress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

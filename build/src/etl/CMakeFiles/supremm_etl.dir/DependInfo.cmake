@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/etl/ingest.cpp" "src/etl/CMakeFiles/supremm_etl.dir/ingest.cpp.o" "gcc" "src/etl/CMakeFiles/supremm_etl.dir/ingest.cpp.o.d"
+  "/root/repo/src/etl/job_summary.cpp" "src/etl/CMakeFiles/supremm_etl.dir/job_summary.cpp.o" "gcc" "src/etl/CMakeFiles/supremm_etl.dir/job_summary.cpp.o.d"
+  "/root/repo/src/etl/pair.cpp" "src/etl/CMakeFiles/supremm_etl.dir/pair.cpp.o" "gcc" "src/etl/CMakeFiles/supremm_etl.dir/pair.cpp.o.d"
+  "/root/repo/src/etl/system_series.cpp" "src/etl/CMakeFiles/supremm_etl.dir/system_series.cpp.o" "gcc" "src/etl/CMakeFiles/supremm_etl.dir/system_series.cpp.o.d"
+  "/root/repo/src/etl/trace.cpp" "src/etl/CMakeFiles/supremm_etl.dir/trace.cpp.o" "gcc" "src/etl/CMakeFiles/supremm_etl.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/supremm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/accounting/CMakeFiles/supremm_accounting.dir/DependInfo.cmake"
+  "/root/repo/build/src/lariat/CMakeFiles/supremm_lariat.dir/DependInfo.cmake"
+  "/root/repo/build/src/taccstats/CMakeFiles/supremm_taccstats.dir/DependInfo.cmake"
+  "/root/repo/build/src/warehouse/CMakeFiles/supremm_warehouse.dir/DependInfo.cmake"
+  "/root/repo/build/src/facility/CMakeFiles/supremm_facility.dir/DependInfo.cmake"
+  "/root/repo/build/src/procsim/CMakeFiles/supremm_procsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/supremm_etl.dir/ingest.cpp.o"
+  "CMakeFiles/supremm_etl.dir/ingest.cpp.o.d"
+  "CMakeFiles/supremm_etl.dir/job_summary.cpp.o"
+  "CMakeFiles/supremm_etl.dir/job_summary.cpp.o.d"
+  "CMakeFiles/supremm_etl.dir/pair.cpp.o"
+  "CMakeFiles/supremm_etl.dir/pair.cpp.o.d"
+  "CMakeFiles/supremm_etl.dir/system_series.cpp.o"
+  "CMakeFiles/supremm_etl.dir/system_series.cpp.o.d"
+  "CMakeFiles/supremm_etl.dir/trace.cpp.o"
+  "CMakeFiles/supremm_etl.dir/trace.cpp.o.d"
+  "libsupremm_etl.a"
+  "libsupremm_etl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/supremm_etl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/facility/apps.cpp" "src/facility/CMakeFiles/supremm_facility.dir/apps.cpp.o" "gcc" "src/facility/CMakeFiles/supremm_facility.dir/apps.cpp.o.d"
+  "/root/repo/src/facility/engine.cpp" "src/facility/CMakeFiles/supremm_facility.dir/engine.cpp.o" "gcc" "src/facility/CMakeFiles/supremm_facility.dir/engine.cpp.o.d"
+  "/root/repo/src/facility/hardware.cpp" "src/facility/CMakeFiles/supremm_facility.dir/hardware.cpp.o" "gcc" "src/facility/CMakeFiles/supremm_facility.dir/hardware.cpp.o.d"
+  "/root/repo/src/facility/noise.cpp" "src/facility/CMakeFiles/supremm_facility.dir/noise.cpp.o" "gcc" "src/facility/CMakeFiles/supremm_facility.dir/noise.cpp.o.d"
+  "/root/repo/src/facility/scheduler.cpp" "src/facility/CMakeFiles/supremm_facility.dir/scheduler.cpp.o" "gcc" "src/facility/CMakeFiles/supremm_facility.dir/scheduler.cpp.o.d"
+  "/root/repo/src/facility/users.cpp" "src/facility/CMakeFiles/supremm_facility.dir/users.cpp.o" "gcc" "src/facility/CMakeFiles/supremm_facility.dir/users.cpp.o.d"
+  "/root/repo/src/facility/workload.cpp" "src/facility/CMakeFiles/supremm_facility.dir/workload.cpp.o" "gcc" "src/facility/CMakeFiles/supremm_facility.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/supremm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/procsim/CMakeFiles/supremm_procsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/supremm_facility.dir/apps.cpp.o"
+  "CMakeFiles/supremm_facility.dir/apps.cpp.o.d"
+  "CMakeFiles/supremm_facility.dir/engine.cpp.o"
+  "CMakeFiles/supremm_facility.dir/engine.cpp.o.d"
+  "CMakeFiles/supremm_facility.dir/hardware.cpp.o"
+  "CMakeFiles/supremm_facility.dir/hardware.cpp.o.d"
+  "CMakeFiles/supremm_facility.dir/noise.cpp.o"
+  "CMakeFiles/supremm_facility.dir/noise.cpp.o.d"
+  "CMakeFiles/supremm_facility.dir/scheduler.cpp.o"
+  "CMakeFiles/supremm_facility.dir/scheduler.cpp.o.d"
+  "CMakeFiles/supremm_facility.dir/users.cpp.o"
+  "CMakeFiles/supremm_facility.dir/users.cpp.o.d"
+  "CMakeFiles/supremm_facility.dir/workload.cpp.o"
+  "CMakeFiles/supremm_facility.dir/workload.cpp.o.d"
+  "libsupremm_facility.a"
+  "libsupremm_facility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/supremm_facility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

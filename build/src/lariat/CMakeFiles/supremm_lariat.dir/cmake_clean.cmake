@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/supremm_lariat.dir/lariat.cpp.o"
+  "CMakeFiles/supremm_lariat.dir/lariat.cpp.o.d"
+  "libsupremm_lariat.a"
+  "libsupremm_lariat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/supremm_lariat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/supremm_loglib.dir/loglib.cpp.o"
+  "CMakeFiles/supremm_loglib.dir/loglib.cpp.o.d"
+  "libsupremm_loglib.a"
+  "libsupremm_loglib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/supremm_loglib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

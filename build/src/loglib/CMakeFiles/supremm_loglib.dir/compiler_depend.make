@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for supremm_loglib.
+# This may be replaced when dependencies are built.

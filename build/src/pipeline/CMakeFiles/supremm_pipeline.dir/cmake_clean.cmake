@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/supremm_pipeline.dir/pipeline.cpp.o"
+  "CMakeFiles/supremm_pipeline.dir/pipeline.cpp.o.d"
+  "libsupremm_pipeline.a"
+  "libsupremm_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/supremm_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

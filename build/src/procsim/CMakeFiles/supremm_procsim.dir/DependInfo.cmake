@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/procsim/counters.cpp" "src/procsim/CMakeFiles/supremm_procsim.dir/counters.cpp.o" "gcc" "src/procsim/CMakeFiles/supremm_procsim.dir/counters.cpp.o.d"
+  "/root/repo/src/procsim/perf.cpp" "src/procsim/CMakeFiles/supremm_procsim.dir/perf.cpp.o" "gcc" "src/procsim/CMakeFiles/supremm_procsim.dir/perf.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/supremm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

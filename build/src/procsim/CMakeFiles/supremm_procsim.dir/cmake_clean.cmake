@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/supremm_procsim.dir/counters.cpp.o"
+  "CMakeFiles/supremm_procsim.dir/counters.cpp.o.d"
+  "CMakeFiles/supremm_procsim.dir/perf.cpp.o"
+  "CMakeFiles/supremm_procsim.dir/perf.cpp.o.d"
+  "libsupremm_procsim.a"
+  "libsupremm_procsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/supremm_procsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for supremm_procsim.
+# This may be replaced when dependencies are built.

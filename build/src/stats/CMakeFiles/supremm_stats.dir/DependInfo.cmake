@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/correlation.cpp" "src/stats/CMakeFiles/supremm_stats.dir/correlation.cpp.o" "gcc" "src/stats/CMakeFiles/supremm_stats.dir/correlation.cpp.o.d"
+  "/root/repo/src/stats/descriptive.cpp" "src/stats/CMakeFiles/supremm_stats.dir/descriptive.cpp.o" "gcc" "src/stats/CMakeFiles/supremm_stats.dir/descriptive.cpp.o.d"
+  "/root/repo/src/stats/histogram.cpp" "src/stats/CMakeFiles/supremm_stats.dir/histogram.cpp.o" "gcc" "src/stats/CMakeFiles/supremm_stats.dir/histogram.cpp.o.d"
+  "/root/repo/src/stats/kde.cpp" "src/stats/CMakeFiles/supremm_stats.dir/kde.cpp.o" "gcc" "src/stats/CMakeFiles/supremm_stats.dir/kde.cpp.o.d"
+  "/root/repo/src/stats/regression.cpp" "src/stats/CMakeFiles/supremm_stats.dir/regression.cpp.o" "gcc" "src/stats/CMakeFiles/supremm_stats.dir/regression.cpp.o.d"
+  "/root/repo/src/stats/special.cpp" "src/stats/CMakeFiles/supremm_stats.dir/special.cpp.o" "gcc" "src/stats/CMakeFiles/supremm_stats.dir/special.cpp.o.d"
+  "/root/repo/src/stats/structure.cpp" "src/stats/CMakeFiles/supremm_stats.dir/structure.cpp.o" "gcc" "src/stats/CMakeFiles/supremm_stats.dir/structure.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/supremm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

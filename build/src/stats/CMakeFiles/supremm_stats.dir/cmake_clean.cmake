@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/supremm_stats.dir/correlation.cpp.o"
+  "CMakeFiles/supremm_stats.dir/correlation.cpp.o.d"
+  "CMakeFiles/supremm_stats.dir/descriptive.cpp.o"
+  "CMakeFiles/supremm_stats.dir/descriptive.cpp.o.d"
+  "CMakeFiles/supremm_stats.dir/histogram.cpp.o"
+  "CMakeFiles/supremm_stats.dir/histogram.cpp.o.d"
+  "CMakeFiles/supremm_stats.dir/kde.cpp.o"
+  "CMakeFiles/supremm_stats.dir/kde.cpp.o.d"
+  "CMakeFiles/supremm_stats.dir/regression.cpp.o"
+  "CMakeFiles/supremm_stats.dir/regression.cpp.o.d"
+  "CMakeFiles/supremm_stats.dir/special.cpp.o"
+  "CMakeFiles/supremm_stats.dir/special.cpp.o.d"
+  "CMakeFiles/supremm_stats.dir/structure.cpp.o"
+  "CMakeFiles/supremm_stats.dir/structure.cpp.o.d"
+  "libsupremm_stats.a"
+  "libsupremm_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/supremm_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

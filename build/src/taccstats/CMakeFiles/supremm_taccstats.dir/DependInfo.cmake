@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/taccstats/agent.cpp" "src/taccstats/CMakeFiles/supremm_taccstats.dir/agent.cpp.o" "gcc" "src/taccstats/CMakeFiles/supremm_taccstats.dir/agent.cpp.o.d"
+  "/root/repo/src/taccstats/collectors.cpp" "src/taccstats/CMakeFiles/supremm_taccstats.dir/collectors.cpp.o" "gcc" "src/taccstats/CMakeFiles/supremm_taccstats.dir/collectors.cpp.o.d"
+  "/root/repo/src/taccstats/reader.cpp" "src/taccstats/CMakeFiles/supremm_taccstats.dir/reader.cpp.o" "gcc" "src/taccstats/CMakeFiles/supremm_taccstats.dir/reader.cpp.o.d"
+  "/root/repo/src/taccstats/schema.cpp" "src/taccstats/CMakeFiles/supremm_taccstats.dir/schema.cpp.o" "gcc" "src/taccstats/CMakeFiles/supremm_taccstats.dir/schema.cpp.o.d"
+  "/root/repo/src/taccstats/writer.cpp" "src/taccstats/CMakeFiles/supremm_taccstats.dir/writer.cpp.o" "gcc" "src/taccstats/CMakeFiles/supremm_taccstats.dir/writer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/supremm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/procsim/CMakeFiles/supremm_procsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/facility/CMakeFiles/supremm_facility.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

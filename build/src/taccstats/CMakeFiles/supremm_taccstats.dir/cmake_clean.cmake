@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/supremm_taccstats.dir/agent.cpp.o"
+  "CMakeFiles/supremm_taccstats.dir/agent.cpp.o.d"
+  "CMakeFiles/supremm_taccstats.dir/collectors.cpp.o"
+  "CMakeFiles/supremm_taccstats.dir/collectors.cpp.o.d"
+  "CMakeFiles/supremm_taccstats.dir/reader.cpp.o"
+  "CMakeFiles/supremm_taccstats.dir/reader.cpp.o.d"
+  "CMakeFiles/supremm_taccstats.dir/schema.cpp.o"
+  "CMakeFiles/supremm_taccstats.dir/schema.cpp.o.d"
+  "CMakeFiles/supremm_taccstats.dir/writer.cpp.o"
+  "CMakeFiles/supremm_taccstats.dir/writer.cpp.o.d"
+  "libsupremm_taccstats.a"
+  "libsupremm_taccstats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/supremm_taccstats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/supremm_warehouse.dir/query.cpp.o"
+  "CMakeFiles/supremm_warehouse.dir/query.cpp.o.d"
+  "CMakeFiles/supremm_warehouse.dir/table.cpp.o"
+  "CMakeFiles/supremm_warehouse.dir/table.cpp.o.d"
+  "libsupremm_warehouse.a"
+  "libsupremm_warehouse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/supremm_warehouse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/xdmod/advisor.cpp" "src/xdmod/CMakeFiles/supremm_xdmod.dir/advisor.cpp.o" "gcc" "src/xdmod/CMakeFiles/supremm_xdmod.dir/advisor.cpp.o.d"
+  "/root/repo/src/xdmod/distributions.cpp" "src/xdmod/CMakeFiles/supremm_xdmod.dir/distributions.cpp.o" "gcc" "src/xdmod/CMakeFiles/supremm_xdmod.dir/distributions.cpp.o.d"
+  "/root/repo/src/xdmod/efficiency.cpp" "src/xdmod/CMakeFiles/supremm_xdmod.dir/efficiency.cpp.o" "gcc" "src/xdmod/CMakeFiles/supremm_xdmod.dir/efficiency.cpp.o.d"
+  "/root/repo/src/xdmod/export.cpp" "src/xdmod/CMakeFiles/supremm_xdmod.dir/export.cpp.o" "gcc" "src/xdmod/CMakeFiles/supremm_xdmod.dir/export.cpp.o.d"
+  "/root/repo/src/xdmod/faults.cpp" "src/xdmod/CMakeFiles/supremm_xdmod.dir/faults.cpp.o" "gcc" "src/xdmod/CMakeFiles/supremm_xdmod.dir/faults.cpp.o.d"
+  "/root/repo/src/xdmod/persistence.cpp" "src/xdmod/CMakeFiles/supremm_xdmod.dir/persistence.cpp.o" "gcc" "src/xdmod/CMakeFiles/supremm_xdmod.dir/persistence.cpp.o.d"
+  "/root/repo/src/xdmod/profiles.cpp" "src/xdmod/CMakeFiles/supremm_xdmod.dir/profiles.cpp.o" "gcc" "src/xdmod/CMakeFiles/supremm_xdmod.dir/profiles.cpp.o.d"
+  "/root/repo/src/xdmod/realm.cpp" "src/xdmod/CMakeFiles/supremm_xdmod.dir/realm.cpp.o" "gcc" "src/xdmod/CMakeFiles/supremm_xdmod.dir/realm.cpp.o.d"
+  "/root/repo/src/xdmod/reports.cpp" "src/xdmod/CMakeFiles/supremm_xdmod.dir/reports.cpp.o" "gcc" "src/xdmod/CMakeFiles/supremm_xdmod.dir/reports.cpp.o.d"
+  "/root/repo/src/xdmod/selector.cpp" "src/xdmod/CMakeFiles/supremm_xdmod.dir/selector.cpp.o" "gcc" "src/xdmod/CMakeFiles/supremm_xdmod.dir/selector.cpp.o.d"
+  "/root/repo/src/xdmod/timeseries.cpp" "src/xdmod/CMakeFiles/supremm_xdmod.dir/timeseries.cpp.o" "gcc" "src/xdmod/CMakeFiles/supremm_xdmod.dir/timeseries.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/supremm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/supremm_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/etl/CMakeFiles/supremm_etl.dir/DependInfo.cmake"
+  "/root/repo/build/src/warehouse/CMakeFiles/supremm_warehouse.dir/DependInfo.cmake"
+  "/root/repo/build/src/loglib/CMakeFiles/supremm_loglib.dir/DependInfo.cmake"
+  "/root/repo/build/src/accounting/CMakeFiles/supremm_accounting.dir/DependInfo.cmake"
+  "/root/repo/build/src/taccstats/CMakeFiles/supremm_taccstats.dir/DependInfo.cmake"
+  "/root/repo/build/src/lariat/CMakeFiles/supremm_lariat.dir/DependInfo.cmake"
+  "/root/repo/build/src/facility/CMakeFiles/supremm_facility.dir/DependInfo.cmake"
+  "/root/repo/build/src/procsim/CMakeFiles/supremm_procsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/supremm_xdmod.dir/advisor.cpp.o"
+  "CMakeFiles/supremm_xdmod.dir/advisor.cpp.o.d"
+  "CMakeFiles/supremm_xdmod.dir/distributions.cpp.o"
+  "CMakeFiles/supremm_xdmod.dir/distributions.cpp.o.d"
+  "CMakeFiles/supremm_xdmod.dir/efficiency.cpp.o"
+  "CMakeFiles/supremm_xdmod.dir/efficiency.cpp.o.d"
+  "CMakeFiles/supremm_xdmod.dir/export.cpp.o"
+  "CMakeFiles/supremm_xdmod.dir/export.cpp.o.d"
+  "CMakeFiles/supremm_xdmod.dir/faults.cpp.o"
+  "CMakeFiles/supremm_xdmod.dir/faults.cpp.o.d"
+  "CMakeFiles/supremm_xdmod.dir/persistence.cpp.o"
+  "CMakeFiles/supremm_xdmod.dir/persistence.cpp.o.d"
+  "CMakeFiles/supremm_xdmod.dir/profiles.cpp.o"
+  "CMakeFiles/supremm_xdmod.dir/profiles.cpp.o.d"
+  "CMakeFiles/supremm_xdmod.dir/realm.cpp.o"
+  "CMakeFiles/supremm_xdmod.dir/realm.cpp.o.d"
+  "CMakeFiles/supremm_xdmod.dir/reports.cpp.o"
+  "CMakeFiles/supremm_xdmod.dir/reports.cpp.o.d"
+  "CMakeFiles/supremm_xdmod.dir/selector.cpp.o"
+  "CMakeFiles/supremm_xdmod.dir/selector.cpp.o.d"
+  "CMakeFiles/supremm_xdmod.dir/timeseries.cpp.o"
+  "CMakeFiles/supremm_xdmod.dir/timeseries.cpp.o.d"
+  "libsupremm_xdmod.a"
+  "libsupremm_xdmod.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/supremm_xdmod.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_faults_export.dir/test_faults_export.cpp.o"
+  "CMakeFiles/test_faults_export.dir/test_faults_export.cpp.o.d"
+  "test_faults_export"
+  "test_faults_export.pdb"
+  "test_faults_export[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_faults_export.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_procsim.dir/test_procsim.cpp.o"
+  "CMakeFiles/test_procsim.dir/test_procsim.cpp.o.d"
+  "test_procsim"
+  "test_procsim.pdb"
+  "test_procsim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_procsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

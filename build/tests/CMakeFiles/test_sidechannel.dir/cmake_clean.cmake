@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sidechannel.dir/test_sidechannel.cpp.o"
+  "CMakeFiles/test_sidechannel.dir/test_sidechannel.cpp.o.d"
+  "test_sidechannel"
+  "test_sidechannel.pdb"
+  "test_sidechannel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sidechannel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_taccstats.dir/test_taccstats.cpp.o"
+  "CMakeFiles/test_taccstats.dir/test_taccstats.cpp.o.d"
+  "test_taccstats"
+  "test_taccstats.pdb"
+  "test_taccstats[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_taccstats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

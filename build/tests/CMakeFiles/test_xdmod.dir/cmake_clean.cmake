@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_xdmod.dir/test_xdmod.cpp.o"
+  "CMakeFiles/test_xdmod.dir/test_xdmod.cpp.o.d"
+  "test_xdmod"
+  "test_xdmod.pdb"
+  "test_xdmod[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_xdmod.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

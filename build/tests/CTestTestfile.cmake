@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_stats[1]_include.cmake")
+include("/root/repo/build/tests/test_procsim[1]_include.cmake")
+include("/root/repo/build/tests/test_facility[1]_include.cmake")
+include("/root/repo/build/tests/test_taccstats[1]_include.cmake")
+include("/root/repo/build/tests/test_sidechannel[1]_include.cmake")
+include("/root/repo/build/tests/test_warehouse[1]_include.cmake")
+include("/root/repo/build/tests/test_etl[1]_include.cmake")
+include("/root/repo/build/tests/test_xdmod[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_faults_export[1]_include.cmake")
+include("/root/repo/build/tests/test_extensions[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
