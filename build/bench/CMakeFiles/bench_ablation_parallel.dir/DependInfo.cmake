@@ -16,6 +16,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/pipeline/CMakeFiles/supremm_pipeline.dir/DependInfo.cmake"
   "/root/repo/build/src/compress/CMakeFiles/supremm_compress.dir/DependInfo.cmake"
   "/root/repo/build/src/xdmod/CMakeFiles/supremm_xdmod.dir/DependInfo.cmake"
+  "/root/repo/build/src/faultsim/CMakeFiles/supremm_faultsim.dir/DependInfo.cmake"
   "/root/repo/build/src/etl/CMakeFiles/supremm_etl.dir/DependInfo.cmake"
   "/root/repo/build/src/taccstats/CMakeFiles/supremm_taccstats.dir/DependInfo.cmake"
   "/root/repo/build/src/loglib/CMakeFiles/supremm_loglib.dir/DependInfo.cmake"

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ingest_faults.cpp" "bench/CMakeFiles/bench_ingest_faults.dir/bench_ingest_faults.cpp.o" "gcc" "bench/CMakeFiles/bench_ingest_faults.dir/bench_ingest_faults.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pipeline/CMakeFiles/supremm_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/supremm_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/xdmod/CMakeFiles/supremm_xdmod.dir/DependInfo.cmake"
+  "/root/repo/build/src/faultsim/CMakeFiles/supremm_faultsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/etl/CMakeFiles/supremm_etl.dir/DependInfo.cmake"
+  "/root/repo/build/src/taccstats/CMakeFiles/supremm_taccstats.dir/DependInfo.cmake"
+  "/root/repo/build/src/loglib/CMakeFiles/supremm_loglib.dir/DependInfo.cmake"
+  "/root/repo/build/src/lariat/CMakeFiles/supremm_lariat.dir/DependInfo.cmake"
+  "/root/repo/build/src/accounting/CMakeFiles/supremm_accounting.dir/DependInfo.cmake"
+  "/root/repo/build/src/warehouse/CMakeFiles/supremm_warehouse.dir/DependInfo.cmake"
+  "/root/repo/build/src/facility/CMakeFiles/supremm_facility.dir/DependInfo.cmake"
+  "/root/repo/build/src/procsim/CMakeFiles/supremm_procsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/supremm_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/supremm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ingest_faults.dir/bench_ingest_faults.cpp.o"
+  "CMakeFiles/bench_ingest_faults.dir/bench_ingest_faults.cpp.o.d"
+  "bench_ingest_faults"
+  "bench_ingest_faults.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ingest_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -260,11 +260,12 @@ bench/CMakeFiles/bench_ingest_query.dir/bench_ingest_query.cpp.o: \
  /usr/include/c++/12/bits/stl_queue.h /usr/include/c++/12/thread \
  /root/repo/src/etl/ingest.h /root/repo/src/etl/job_summary.h \
  /usr/include/c++/12/span /root/repo/src/warehouse/table.h \
- /usr/include/c++/12/variant /root/repo/src/etl/system_series.h \
+ /usr/include/c++/12/variant /root/repo/src/etl/quality.h \
+ /root/repo/src/taccstats/reader.h /root/repo/src/taccstats/record.h \
+ /root/repo/src/taccstats/schema.h /root/repo/src/etl/system_series.h \
  /root/repo/src/lariat/lariat.h /root/repo/src/taccstats/writer.h \
- /root/repo/src/taccstats/record.h /root/repo/src/taccstats/schema.h \
- /root/repo/src/etl/trace.h /root/repo/src/facility/engine.h \
- /usr/include/c++/12/memory \
+ /root/repo/src/etl/trace.h /root/repo/src/faultsim/faultsim.h \
+ /root/repo/src/facility/engine.h /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/shared_ptr_atomic.h \
  /usr/include/c++/12/backward/auto_ptr.h \
@@ -277,10 +278,10 @@ bench/CMakeFiles/bench_ingest_query.dir/bench_ingest_query.cpp.o: \
  /root/repo/src/taccstats/collectors.h /root/repo/src/stats/correlation.h \
  /root/repo/src/stats/descriptive.h /root/repo/src/stats/kde.h \
  /root/repo/src/stats/regression.h /root/repo/src/stats/structure.h \
- /root/repo/src/taccstats/reader.h /root/repo/src/warehouse/query.h \
- /usr/include/c++/12/optional /root/repo/src/xdmod/advisor.h \
- /root/repo/src/xdmod/profiles.h /root/repo/src/xdmod/distributions.h \
- /root/repo/src/xdmod/efficiency.h /root/repo/src/xdmod/export.h \
- /root/repo/src/xdmod/persistence.h /root/repo/src/xdmod/timeseries.h \
- /root/repo/src/xdmod/faults.h /root/repo/src/xdmod/realm.h \
- /root/repo/src/xdmod/reports.h /root/repo/src/xdmod/selector.h
+ /root/repo/src/warehouse/query.h /usr/include/c++/12/optional \
+ /root/repo/src/xdmod/advisor.h /root/repo/src/xdmod/profiles.h \
+ /root/repo/src/xdmod/distributions.h /root/repo/src/xdmod/efficiency.h \
+ /root/repo/src/xdmod/export.h /root/repo/src/xdmod/persistence.h \
+ /root/repo/src/xdmod/timeseries.h /root/repo/src/xdmod/faults.h \
+ /root/repo/src/xdmod/realm.h /root/repo/src/xdmod/reports.h \
+ /root/repo/src/xdmod/selector.h

@@ -253,11 +253,13 @@ examples/CMakeFiles/facility_report.dir/facility_report.cpp.o: \
  /usr/include/c++/12/bits/stl_queue.h /usr/include/c++/12/thread \
  /root/repo/src/etl/ingest.h /root/repo/src/etl/job_summary.h \
  /usr/include/c++/12/span /root/repo/src/warehouse/table.h \
- /usr/include/c++/12/variant /root/repo/src/etl/system_series.h \
+ /usr/include/c++/12/variant /root/repo/src/etl/quality.h \
+ /root/repo/src/taccstats/reader.h /root/repo/src/taccstats/record.h \
+ /root/repo/src/taccstats/schema.h /root/repo/src/etl/system_series.h \
  /root/repo/src/lariat/lariat.h /root/repo/src/taccstats/writer.h \
- /root/repo/src/taccstats/record.h /root/repo/src/taccstats/schema.h \
- /root/repo/src/etl/trace.h /root/repo/src/facility/engine.h \
- /usr/include/c++/12/memory \
+ /root/repo/src/etl/trace.h /root/repo/src/faultsim/faultsim.h \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
+ /root/repo/src/facility/engine.h /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/shared_ptr_atomic.h \
  /usr/include/c++/12/backward/auto_ptr.h \
@@ -271,10 +273,9 @@ examples/CMakeFiles/facility_report.dir/facility_report.cpp.o: \
  /root/repo/src/taccstats/collectors.h /root/repo/src/stats/correlation.h \
  /root/repo/src/stats/descriptive.h /root/repo/src/stats/kde.h \
  /root/repo/src/stats/regression.h /root/repo/src/stats/structure.h \
- /root/repo/src/taccstats/reader.h /root/repo/src/warehouse/query.h \
- /usr/include/c++/12/optional /root/repo/src/xdmod/advisor.h \
- /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
- /usr/include/c++/12/bits/stl_map.h \
+ /root/repo/src/warehouse/query.h /usr/include/c++/12/optional \
+ /root/repo/src/xdmod/advisor.h /usr/include/c++/12/map \
+ /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/xdmod/profiles.h \
  /root/repo/src/xdmod/distributions.h /root/repo/src/xdmod/efficiency.h \
  /root/repo/src/xdmod/export.h /root/repo/src/xdmod/persistence.h \

@@ -14,6 +14,7 @@ subdirs("lariat")
 subdirs("loglib")
 subdirs("warehouse")
 subdirs("etl")
+subdirs("faultsim")
 subdirs("xdmod")
 subdirs("pipeline")
 subdirs("compress")

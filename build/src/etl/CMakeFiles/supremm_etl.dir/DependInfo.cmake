@@ -11,6 +11,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/etl/ingest.cpp" "src/etl/CMakeFiles/supremm_etl.dir/ingest.cpp.o" "gcc" "src/etl/CMakeFiles/supremm_etl.dir/ingest.cpp.o.d"
   "/root/repo/src/etl/job_summary.cpp" "src/etl/CMakeFiles/supremm_etl.dir/job_summary.cpp.o" "gcc" "src/etl/CMakeFiles/supremm_etl.dir/job_summary.cpp.o.d"
   "/root/repo/src/etl/pair.cpp" "src/etl/CMakeFiles/supremm_etl.dir/pair.cpp.o" "gcc" "src/etl/CMakeFiles/supremm_etl.dir/pair.cpp.o.d"
+  "/root/repo/src/etl/quality.cpp" "src/etl/CMakeFiles/supremm_etl.dir/quality.cpp.o" "gcc" "src/etl/CMakeFiles/supremm_etl.dir/quality.cpp.o.d"
   "/root/repo/src/etl/system_series.cpp" "src/etl/CMakeFiles/supremm_etl.dir/system_series.cpp.o" "gcc" "src/etl/CMakeFiles/supremm_etl.dir/system_series.cpp.o.d"
   "/root/repo/src/etl/trace.cpp" "src/etl/CMakeFiles/supremm_etl.dir/trace.cpp.o" "gcc" "src/etl/CMakeFiles/supremm_etl.dir/trace.cpp.o.d"
   )

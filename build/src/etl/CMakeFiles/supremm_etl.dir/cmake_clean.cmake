@@ -5,6 +5,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/supremm_etl.dir/job_summary.cpp.o.d"
   "CMakeFiles/supremm_etl.dir/pair.cpp.o"
   "CMakeFiles/supremm_etl.dir/pair.cpp.o.d"
+  "CMakeFiles/supremm_etl.dir/quality.cpp.o"
+  "CMakeFiles/supremm_etl.dir/quality.cpp.o.d"
   "CMakeFiles/supremm_etl.dir/system_series.cpp.o"
   "CMakeFiles/supremm_etl.dir/system_series.cpp.o.d"
   "CMakeFiles/supremm_etl.dir/trace.cpp.o"

@@ -169,9 +169,10 @@ src/etl/CMakeFiles/supremm_etl.dir/ingest.cpp.o: \
  /root/repo/src/etl/job_summary.h /usr/include/c++/12/span \
  /usr/include/c++/12/cstddef /root/repo/src/warehouse/table.h \
  /usr/include/c++/12/variant /usr/include/c++/12/bits/parse_numbers.h \
+ /root/repo/src/etl/quality.h /root/repo/src/taccstats/reader.h \
+ /root/repo/src/taccstats/record.h /root/repo/src/taccstats/schema.h \
  /root/repo/src/etl/system_series.h /root/repo/src/lariat/lariat.h \
- /root/repo/src/taccstats/writer.h /root/repo/src/taccstats/record.h \
- /root/repo/src/taccstats/schema.h /root/repo/src/etl/pair.h \
+ /root/repo/src/taccstats/writer.h /root/repo/src/etl/pair.h \
  /usr/include/c++/12/algorithm /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
@@ -181,12 +182,14 @@ src/etl/CMakeFiles/supremm_etl.dir/ingest.cpp.o: \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h /usr/include/c++/12/map \
  /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/common/error.h \
+ /usr/include/c++/12/bits/stl_multimap.h /usr/include/c++/12/set \
+ /usr/include/c++/12/bits/stl_set.h \
+ /usr/include/c++/12/bits/stl_multiset.h /root/repo/src/common/error.h \
  /usr/include/c++/12/stdexcept /usr/include/c++/12/exception \
  /usr/include/c++/12/bits/exception_ptr.h \
  /usr/include/c++/12/bits/cxxabi_init_exception.h \
  /usr/include/c++/12/typeinfo /usr/include/c++/12/bits/nested_exception.h \
- /root/repo/src/common/thread_pool.h \
+ /root/repo/src/common/strings.h /root/repo/src/common/thread_pool.h \
  /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
  /usr/include/c++/12/ratio /usr/include/c++/12/ctime /usr/include/time.h \
  /usr/include/x86_64-linux-gnu/bits/time.h \
@@ -260,4 +263,4 @@ src/etl/CMakeFiles/supremm_etl.dir/ingest.cpp.o: \
  /usr/include/c++/12/bits/atomic_futex.h /usr/include/c++/12/queue \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
  /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
- /usr/include/c++/12/thread /root/repo/src/taccstats/reader.h
+ /usr/include/c++/12/thread

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/faultsim/faultsim.cpp" "src/faultsim/CMakeFiles/supremm_faultsim.dir/faultsim.cpp.o" "gcc" "src/faultsim/CMakeFiles/supremm_faultsim.dir/faultsim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/supremm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/accounting/CMakeFiles/supremm_accounting.dir/DependInfo.cmake"
+  "/root/repo/build/src/lariat/CMakeFiles/supremm_lariat.dir/DependInfo.cmake"
+  "/root/repo/build/src/taccstats/CMakeFiles/supremm_taccstats.dir/DependInfo.cmake"
+  "/root/repo/build/src/facility/CMakeFiles/supremm_facility.dir/DependInfo.cmake"
+  "/root/repo/build/src/procsim/CMakeFiles/supremm_procsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

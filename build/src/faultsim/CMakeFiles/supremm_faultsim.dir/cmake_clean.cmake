@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/supremm_faultsim.dir/faultsim.cpp.o"
+  "CMakeFiles/supremm_faultsim.dir/faultsim.cpp.o.d"
+  "libsupremm_faultsim.a"
+  "libsupremm_faultsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/supremm_faultsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

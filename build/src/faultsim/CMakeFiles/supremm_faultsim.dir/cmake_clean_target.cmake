@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsupremm_faultsim.a"
+)

@@ -241,10 +241,10 @@ src/pipeline/CMakeFiles/supremm_pipeline.dir/pipeline.cpp.o: \
  /usr/include/c++/12/bits/erase_if.h /root/repo/src/etl/job_summary.h \
  /usr/include/c++/12/span /usr/include/c++/12/cstddef \
  /root/repo/src/warehouse/table.h /usr/include/c++/12/variant \
- /usr/include/c++/12/bits/parse_numbers.h \
- /root/repo/src/etl/system_series.h /root/repo/src/lariat/lariat.h \
- /root/repo/src/taccstats/writer.h /root/repo/src/taccstats/record.h \
- /root/repo/src/taccstats/schema.h /root/repo/src/facility/engine.h \
- /root/repo/src/facility/scheduler.h /root/repo/src/procsim/counters.h \
- /root/repo/src/facility/workload.h /root/repo/src/taccstats/agent.h \
- /root/repo/src/taccstats/collectors.h
+ /usr/include/c++/12/bits/parse_numbers.h /root/repo/src/etl/quality.h \
+ /root/repo/src/taccstats/reader.h /root/repo/src/taccstats/record.h \
+ /root/repo/src/taccstats/schema.h /root/repo/src/etl/system_series.h \
+ /root/repo/src/lariat/lariat.h /root/repo/src/taccstats/writer.h \
+ /root/repo/src/facility/engine.h /root/repo/src/facility/scheduler.h \
+ /root/repo/src/procsim/counters.h /root/repo/src/facility/workload.h \
+ /root/repo/src/taccstats/agent.h /root/repo/src/taccstats/collectors.h

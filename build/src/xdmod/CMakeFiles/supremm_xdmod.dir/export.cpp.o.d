@@ -200,7 +200,9 @@ src/xdmod/CMakeFiles/supremm_xdmod.dir/export.cpp.o: \
  /usr/include/c++/12/bits/node_handle.h \
  /usr/include/c++/12/bits/unordered_map.h \
  /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/variant \
- /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/parse_numbers.h /root/repo/src/etl/quality.h \
+ /root/repo/src/taccstats/reader.h /root/repo/src/taccstats/record.h \
+ /root/repo/src/taccstats/schema.h /root/repo/src/procsim/perf.h \
  /root/repo/src/xdmod/distributions.h /root/repo/src/etl/system_series.h \
  /root/repo/src/stats/descriptive.h /root/repo/src/stats/kde.h \
  /root/repo/src/xdmod/efficiency.h /root/repo/src/xdmod/persistence.h \

@@ -341,17 +341,18 @@ tests/CMakeFiles/test_etl.dir/test_etl.cpp.o: \
  /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
  /usr/include/c++/12/thread /root/repo/src/etl/ingest.h \
  /root/repo/src/etl/job_summary.h /usr/include/c++/12/span \
- /root/repo/src/warehouse/table.h /root/repo/src/etl/system_series.h \
+ /root/repo/src/warehouse/table.h /root/repo/src/etl/quality.h \
+ /root/repo/src/taccstats/reader.h /root/repo/src/taccstats/record.h \
+ /root/repo/src/taccstats/schema.h /root/repo/src/etl/system_series.h \
  /root/repo/src/lariat/lariat.h /root/repo/src/taccstats/writer.h \
- /root/repo/src/taccstats/record.h /root/repo/src/taccstats/schema.h \
- /root/repo/src/etl/trace.h /root/repo/src/facility/engine.h \
- /root/repo/src/facility/scheduler.h /root/repo/src/procsim/counters.h \
- /root/repo/src/facility/workload.h /root/repo/src/loglib/loglib.h \
- /root/repo/src/pipeline/pipeline.h /root/repo/src/taccstats/agent.h \
- /root/repo/src/taccstats/collectors.h /root/repo/src/stats/correlation.h \
- /root/repo/src/stats/descriptive.h /root/repo/src/stats/kde.h \
- /root/repo/src/stats/regression.h /root/repo/src/stats/structure.h \
- /root/repo/src/taccstats/reader.h /root/repo/src/warehouse/query.h \
+ /root/repo/src/etl/trace.h /root/repo/src/faultsim/faultsim.h \
+ /root/repo/src/facility/engine.h /root/repo/src/facility/scheduler.h \
+ /root/repo/src/procsim/counters.h /root/repo/src/facility/workload.h \
+ /root/repo/src/loglib/loglib.h /root/repo/src/pipeline/pipeline.h \
+ /root/repo/src/taccstats/agent.h /root/repo/src/taccstats/collectors.h \
+ /root/repo/src/stats/correlation.h /root/repo/src/stats/descriptive.h \
+ /root/repo/src/stats/kde.h /root/repo/src/stats/regression.h \
+ /root/repo/src/stats/structure.h /root/repo/src/warehouse/query.h \
  /root/repo/src/xdmod/advisor.h /root/repo/src/xdmod/profiles.h \
  /root/repo/src/xdmod/distributions.h /root/repo/src/xdmod/efficiency.h \
  /root/repo/src/xdmod/export.h /root/repo/src/xdmod/persistence.h \

@@ -17,3 +17,4 @@ include("/root/repo/build/tests/test_integration[1]_include.cmake")
 include("/root/repo/build/tests/test_faults_export[1]_include.cmake")
 include("/root/repo/build/tests/test_extensions[1]_include.cmake")
 include("/root/repo/build/tests/test_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_faultsim[1]_include.cmake")

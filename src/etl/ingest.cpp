@@ -4,9 +4,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <map>
+#include <set>
 
 #include "common/error.h"
+#include "common/strings.h"
 #include "common/thread_pool.h"
 #include "facility/apps.h"
 #include "procsim/perf.h"
@@ -32,6 +35,10 @@ struct JobAccum {
   double swap_bytes = 0;
   double load_w = 0;
   std::uint64_t samples = 0;
+  // Observed extent, for reconciling jobs whose accounting records are lost.
+  common::TimePoint first_seen = std::numeric_limits<common::TimePoint>::max();
+  common::TimePoint last_seen = std::numeric_limits<common::TimePoint>::min();
+  std::uint64_t hosts = 0;  // nodes contributing samples
 
   void merge(const JobAccum& o) noexcept {
     user_cs += o.user_cs;
@@ -54,6 +61,9 @@ struct JobAccum {
     swap_bytes += o.swap_bytes;
     load_w += o.load_w;
     samples += o.samples;
+    first_seen = std::min(first_seen, o.first_seen);
+    last_seen = std::max(last_seen, o.last_seen);
+    hosts += o.hosts;
   }
 };
 
@@ -96,10 +106,11 @@ struct ChunkResult {
   SysAccum sys;
   std::map<facility::JobId, JobAccum> jobs;  // ordered for deterministic merge
   IngestStats stats;
+  std::vector<HostQuality> quality;                // in host order within chunk
+  std::vector<taccstats::Quarantine> quarantines;  // in host/file/line order
 
   explicit ChunkResult(std::size_t buckets) : sys(buckets) {}
 };
-
 
 }  // namespace
 
@@ -113,8 +124,21 @@ std::unordered_map<std::string, std::string> project_science_map(
 }
 
 IngestPipeline::IngestPipeline(IngestConfig config) : config_(std::move(config)) {
-  if (config_.span <= 0) throw common::InvalidArgument("ingest span must be positive");
-  if (config_.bucket <= 0) throw common::InvalidArgument("ingest bucket must be positive");
+  if (config_.span <= 0) {
+    throw common::InvalidArgument("IngestConfig.span must be positive");
+  }
+  if (config_.bucket <= 0) {
+    throw common::InvalidArgument("IngestConfig.bucket must be positive");
+  }
+  if (config_.hosts_per_chunk == 0) {
+    throw common::InvalidArgument("IngestConfig.hosts_per_chunk must be positive");
+  }
+  if (config_.min_job_seconds < 0) {
+    throw common::InvalidArgument("IngestConfig.min_job_seconds must be non-negative");
+  }
+  if (config_.max_pair_gap < 0) {
+    throw common::InvalidArgument("IngestConfig.max_pair_gap must be non-negative");
+  }
 }
 
 IngestResult IngestPipeline::run(
@@ -123,6 +147,7 @@ IngestResult IngestPipeline::run(
     const std::vector<lariat::LariatRecord>& lariat_records,
     const std::vector<facility::AppSignature>& catalogue,
     const std::unordered_map<std::string, std::string>& project_science) const {
+  const bool salvage = config_.mode == IngestMode::kSalvage;
   const auto buckets =
       static_cast<std::size_t>((config_.span + config_.bucket - 1) / config_.bucket);
 
@@ -138,7 +163,7 @@ IngestResult IngestPipeline::run(
   for (const auto& [host, fs] : by_host) hosts.push_back(&fs);
 
   // Fixed-size chunks (independent of thread count) for deterministic merge.
-  const std::size_t chunk = std::max<std::size_t>(1, config_.hosts_per_chunk);
+  const std::size_t chunk = config_.hosts_per_chunk;
   const std::size_t nchunks = (hosts.size() + chunk - 1) / chunk;
   std::vector<ChunkResult> partials;
   partials.reserve(nchunks);
@@ -148,89 +173,203 @@ IngestResult IngestPipeline::run(
   const common::Duration bucket_len = config_.bucket;
   const common::Duration max_gap =
       config_.max_pair_gap > 0 ? config_.max_pair_gap : 3 * bucket_len;
+  const PairPolicy pair_policy{salvage};
+
+  // Accounting start times: the reference for per-host clock-skew estimation
+  // (job-begin marks are stamped with the scheduler's start time).
+  std::unordered_map<facility::JobId, common::TimePoint> acct_start;
+  if (salvage) {
+    acct_start.reserve(acct.size());
+    for (const auto& a : acct) acct_start.emplace(a.job_id, a.start);
+  }
 
   auto process_host = [&](const std::vector<const taccstats::RawFile*>& host_files,
                           ChunkResult& res) {
-    std::string perf_type;
-    bool have_prev = false;
-    Sample prev;
+    HostQuality hq;
+    hq.host = host_files.front()->hostname;
+    hq.files = host_files.size();
+    std::vector<taccstats::ParsedFile> parsed_files;
+    parsed_files.reserve(host_files.size());
     for (const auto* file : host_files) {
       res.stats.bytes += file->content.size();
       ++res.stats.files;
-      const taccstats::ParsedFile parsed = taccstats::parse_raw(file->content);
-      if (perf_type.empty()) {
-        for (const auto& s : parsed.schemas.all()) {
-          if (s.type == "amd64_pmc" || s.type == "intel_wtm") perf_type = s.type;
-        }
-      }
-      for (const auto& sample : parsed.samples) {
-        ++res.stats.samples;
-        if (have_prev && sample.time - prev.time > max_gap) {
-          // Collection gap (outage / collector restart): no rates attributable.
-          ++res.stats.gaps_skipped;
-        } else if (have_prev) {
-          PairData pd;
-          if (extract_pair(prev, sample, perf_type, pd)) {
-            ++res.stats.pairs;
-            // Distribute the pair across the buckets it overlaps so bucket
-            // totals are exact even for off-grid samples (job begin/end).
-            const bool in_job = prev.job_id != 0 && prev.job_id == sample.job_id;
-            for (common::TimePoint bt = prev.time; bt < sample.time;) {
-              const auto bi = static_cast<std::size_t>((bt - t0) / bucket_len);
-              const common::TimePoint bucket_end =
-                  t0 + static_cast<common::Duration>(bi + 1) * bucket_len;
-              const common::TimePoint span_end = std::min(sample.time, bucket_end);
-              const double frac = static_cast<double>(span_end - bt) / pd.dt;
-              bt = span_end;
-              if (bi >= res.sys.n) continue;
-              const double dts = frac * pd.dt;
-              res.sys.up_s[bi] += dts;
-              if (in_job) res.sys.active_s[bi] += dts;
-              if (pd.flops_valid) res.sys.flops[bi] += pd.flops * frac;
-              res.sys.mem_w[bi] += pd.mem_gb * dts;
-              res.sys.mem_t[bi] += dts;
-              res.sys.user_cs[bi] += pd.user_cs * frac;
-              res.sys.idle_cs[bi] += pd.idle_cs * frac;
-              res.sys.sys_cs[bi] += pd.sys_cs * frac;
-              res.sys.scratch_wr[bi] += pd.scratch_wr * frac;
-              res.sys.scratch_rd[bi] += pd.scratch_rd * frac;
-              res.sys.work_wr[bi] += pd.work_wr * frac;
-              res.sys.share_bytes[bi] += pd.share_bytes * frac;
-              res.sys.ib_tx[bi] += pd.ib_tx * frac;
-              res.sys.lnet_tx[bi] += pd.lnet_tx * frac;
-            }
-            // Job-level accumulation: both endpoints inside the same job.
-            if (prev.job_id != 0 && prev.job_id == sample.job_id) {
-              JobAccum& ja = res.jobs[prev.job_id];
-              ja.user_cs += pd.user_cs;
-              ja.sys_cs += pd.sys_cs;
-              ja.idle_cs += pd.idle_cs;
-              ja.total_cs += pd.total_cs;
-              if (pd.flops_valid) {
-                ja.flops += pd.flops;
-                ja.flops_node_s += pd.dt;
-              }
-              ja.node_s += pd.dt;
-              ja.mem_w += pd.mem_gb * pd.dt;
-              ja.mem_t += pd.dt;
-              ja.mem_max = std::max(ja.mem_max, pd.mem_max_gb);
-              ja.scratch_wr += pd.scratch_wr;
-              ja.scratch_rd += pd.scratch_rd;
-              ja.work_wr += pd.work_wr;
-              ja.ib_tx += pd.ib_tx;
-              ja.ib_rx += pd.ib_rx;
-              ja.lnet_tx += pd.lnet_tx;
-              ja.lnet_rx += pd.lnet_rx;
-              ja.swap_bytes += pd.swap_bytes;
-              ja.load_w += pd.load * pd.dt;
-              ++ja.samples;
-            }
-          }
-        }
-        prev = sample;
-        have_prev = true;
+      const std::string source =
+          common::strprintf("%s/day%lld", file->hostname.c_str(),
+                            static_cast<long long>(file->day));
+      if (salvage) {
+        auto sr = taccstats::parse_raw_salvage(file->content, source);
+        hq.quarantined += sr.quarantined.size();
+        res.stats.quarantined += sr.quarantined.size();
+        res.quarantines.insert(res.quarantines.end(),
+                               std::make_move_iterator(sr.quarantined.begin()),
+                               std::make_move_iterator(sr.quarantined.end()));
+        parsed_files.push_back(std::move(sr.file));
+      } else {
+        parsed_files.push_back(taccstats::parse_raw(file->content, source));
       }
     }
+
+    std::string perf_type;
+    for (const auto& pf : parsed_files) {
+      if (!perf_type.empty()) break;
+      for (const auto& s : pf.schemas.all()) {
+        if (s.type == "amd64_pmc" || s.type == "intel_wtm") perf_type = s.type;
+      }
+    }
+
+    // The host's sample timeline, files concatenated in day order.
+    std::vector<Sample*> seq;
+    for (auto& pf : parsed_files) {
+      for (auto& s : pf.samples) seq.push_back(&s);
+    }
+
+    if (salvage) {
+      // Out-of-order detection before any repair: count time descents.
+      for (std::size_t i = 1; i < seq.size(); ++i) {
+        if (seq[i]->time < seq[i - 1]->time) ++hq.reordered;
+      }
+      res.stats.reordered += hq.reordered;
+
+      // Clock skew: job-begin marks are emitted at the scheduler-assigned
+      // start time, so the median offset between begin marks and accounting
+      // start times is this host's clock error. Correct it so cross-host
+      // bucket attribution lines up again.
+      std::vector<std::int64_t> diffs;
+      for (const Sample* s : seq) {
+        if (s->mark != taccstats::SampleMark::kJobBegin) continue;
+        if (const auto it = acct_start.find(s->job_id); it != acct_start.end()) {
+          diffs.push_back(s->time - it->second);
+        }
+      }
+      if (!diffs.empty()) {
+        std::sort(diffs.begin(), diffs.end());
+        const std::int64_t skew = diffs[(diffs.size() - 1) / 2];
+        if (skew != 0) {
+          for (Sample* s : seq) s->time -= skew;
+          hq.clock_skew_s = skew;
+          ++res.stats.hosts_skewed;
+        }
+      }
+
+      // Re-sort (stable: a no-op on clean data) and drop exact duplicates.
+      std::stable_sort(seq.begin(), seq.end(),
+                       [](const Sample* a, const Sample* b) { return a->time < b->time; });
+      std::vector<Sample*> uniq;
+      uniq.reserve(seq.size());
+      for (Sample* s : seq) {
+        if (!uniq.empty() && *s == *uniq.back()) {
+          ++hq.duplicates_dropped;
+          continue;
+        }
+        uniq.push_back(s);
+      }
+      res.stats.duplicates_dropped += hq.duplicates_dropped;
+      seq = std::move(uniq);
+
+      // Jobs that begin on this host but never end while sampling continued
+      // afterwards: the end mark was lost (node crash, dropped block). A job
+      // whose last sample is also the host's last sample was simply still
+      // running when collection stopped and is not counted.
+      std::map<facility::JobId, std::pair<bool, bool>> marks;  // begin, end
+      std::map<facility::JobId, std::size_t> last_ix;
+      for (std::size_t i = 0; i < seq.size(); ++i) {
+        const Sample* s = seq[i];
+        if (s->job_id == 0) continue;
+        if (s->mark == taccstats::SampleMark::kJobBegin) marks[s->job_id].first = true;
+        if (s->mark == taccstats::SampleMark::kJobEnd) marks[s->job_id].second = true;
+        last_ix[s->job_id] = i;
+      }
+      for (const auto& [id, be] : marks) {
+        if (be.first && !be.second && last_ix[id] + 1 < seq.size()) ++hq.missing_job_end;
+      }
+      res.stats.missing_job_end += hq.missing_job_end;
+    }
+
+    const Sample* prev = nullptr;
+    std::set<facility::JobId> jobs_touched;
+    for (const Sample* sp : seq) {
+      const Sample& sample = *sp;
+      ++res.stats.samples;
+      ++hq.samples;
+      if (prev != nullptr && sample.time - prev->time > max_gap) {
+        // Collection gap (outage / collector restart): no rates attributable.
+        ++res.stats.gaps_skipped;
+      } else if (prev != nullptr) {
+        PairData pd;
+        if (extract_pair(*prev, sample, perf_type, pd, pair_policy)) {
+          ++res.stats.pairs;
+          ++hq.pairs;
+          hq.covered_s += pd.dt;
+          if (pd.reset) {
+            ++res.stats.resets_clamped;
+            ++hq.resets;
+          }
+          if (pd.rollover) {
+            ++res.stats.rollovers_corrected;
+            ++hq.rollovers;
+          }
+          // Distribute the pair across the buckets it overlaps so bucket
+          // totals are exact even for off-grid samples (job begin/end).
+          const bool in_job = prev->job_id != 0 && prev->job_id == sample.job_id;
+          for (common::TimePoint bt = prev->time; bt < sample.time;) {
+            const auto bi = static_cast<std::size_t>((bt - t0) / bucket_len);
+            const common::TimePoint bucket_end =
+                t0 + static_cast<common::Duration>(bi + 1) * bucket_len;
+            const common::TimePoint span_end = std::min(sample.time, bucket_end);
+            const double frac = static_cast<double>(span_end - bt) / pd.dt;
+            bt = span_end;
+            if (bi >= res.sys.n) continue;
+            const double dts = frac * pd.dt;
+            res.sys.up_s[bi] += dts;
+            if (in_job) res.sys.active_s[bi] += dts;
+            if (pd.flops_valid) res.sys.flops[bi] += pd.flops * frac;
+            res.sys.mem_w[bi] += pd.mem_gb * dts;
+            res.sys.mem_t[bi] += dts;
+            res.sys.user_cs[bi] += pd.user_cs * frac;
+            res.sys.idle_cs[bi] += pd.idle_cs * frac;
+            res.sys.sys_cs[bi] += pd.sys_cs * frac;
+            res.sys.scratch_wr[bi] += pd.scratch_wr * frac;
+            res.sys.scratch_rd[bi] += pd.scratch_rd * frac;
+            res.sys.work_wr[bi] += pd.work_wr * frac;
+            res.sys.share_bytes[bi] += pd.share_bytes * frac;
+            res.sys.ib_tx[bi] += pd.ib_tx * frac;
+            res.sys.lnet_tx[bi] += pd.lnet_tx * frac;
+          }
+          // Job-level accumulation: both endpoints inside the same job.
+          if (in_job) {
+            JobAccum& ja = res.jobs[prev->job_id];
+            ja.user_cs += pd.user_cs;
+            ja.sys_cs += pd.sys_cs;
+            ja.idle_cs += pd.idle_cs;
+            ja.total_cs += pd.total_cs;
+            if (pd.flops_valid) {
+              ja.flops += pd.flops;
+              ja.flops_node_s += pd.dt;
+            }
+            ja.node_s += pd.dt;
+            ja.mem_w += pd.mem_gb * pd.dt;
+            ja.mem_t += pd.dt;
+            ja.mem_max = std::max(ja.mem_max, pd.mem_max_gb);
+            ja.scratch_wr += pd.scratch_wr;
+            ja.scratch_rd += pd.scratch_rd;
+            ja.work_wr += pd.work_wr;
+            ja.ib_tx += pd.ib_tx;
+            ja.ib_rx += pd.ib_rx;
+            ja.lnet_tx += pd.lnet_tx;
+            ja.lnet_rx += pd.lnet_rx;
+            ja.swap_bytes += pd.swap_bytes;
+            ja.load_w += pd.load * pd.dt;
+            ++ja.samples;
+            ja.first_seen = std::min(ja.first_seen, prev->time);
+            ja.last_seen = std::max(ja.last_seen, sample.time);
+            jobs_touched.insert(prev->job_id);
+          }
+        }
+      }
+      prev = sp;
+    }
+    for (const facility::JobId id : jobs_touched) ++res.jobs[id].hosts;
+    res.quality.push_back(std::move(hq));
   };
 
   common::ThreadPool pool(config_.threads);
@@ -258,7 +397,22 @@ IngestResult IngestPipeline::run(
     out.stats.files += p.stats.files;
     out.stats.samples += p.stats.samples;
     out.stats.pairs += p.stats.pairs;
+    out.stats.gaps_skipped += p.stats.gaps_skipped;
+    out.stats.quarantined += p.stats.quarantined;
+    out.stats.duplicates_dropped += p.stats.duplicates_dropped;
+    out.stats.reordered += p.stats.reordered;
+    out.stats.resets_clamped += p.stats.resets_clamped;
+    out.stats.rollovers_corrected += p.stats.rollovers_corrected;
+    out.stats.missing_job_end += p.stats.missing_job_end;
+    out.stats.hosts_skewed += p.stats.hosts_skewed;
+    out.quality.hosts.insert(out.quality.hosts.end(),
+                             std::make_move_iterator(p.quality.begin()),
+                             std::make_move_iterator(p.quality.end()));
+    out.quality.quarantines.insert(out.quality.quarantines.end(),
+                                   std::make_move_iterator(p.quarantines.begin()),
+                                   std::make_move_iterator(p.quarantines.end()));
   }
+  out.quality.span = config_.span;
   out.stats.jobs_seen = jobs.size();
 
   // Join with accounting + Lariat + the project/science registry.
@@ -268,34 +422,63 @@ IngestResult IngestPipeline::run(
 
   for (const auto& [id, ja] : jobs) {
     const auto ait = acct_by_id.find(id);
-    if (ait == acct_by_id.end() || ja.node_s <= 0.0 || ja.mem_t <= 0.0) {
+    if (ja.node_s <= 0.0 || ja.mem_t <= 0.0) {
       ++out.stats.jobs_excluded;
       continue;
     }
-    const auto& ar = *ait->second;
-    if (ar.wallclock() < config_.min_job_seconds) {
-      ++out.stats.jobs_excluded;
-      continue;
-    }
+    const accounting::AccountingRecord* ar =
+        ait != acct_by_id.end() ? ait->second : nullptr;
+    const lariat::LariatRecord* lr = lidx.find(id);
+
     JobSummary j;
     j.id = id;
-    j.user = ar.owner;
-    j.project = ar.account;
     j.cluster = config_.cluster;
-    if (const auto* lr = lidx.find(id); lr != nullptr) {
+    if (ar == nullptr) {
+      ++out.stats.missing_acct;
+      if (!salvage) {
+        ++out.stats.jobs_excluded;
+        continue;
+      }
+      // Reconcile from the samples + the Lariat side channel: observed
+      // extent bounds the job, Lariat restores identity when present.
+      if (ja.last_seen - ja.first_seen < config_.min_job_seconds) {
+        ++out.stats.jobs_excluded;
+        continue;
+      }
+      j.reconciled = true;
+      ++out.stats.jobs_reconciled;
+      j.user = lr != nullptr ? lr->user : "(unknown)";
+      j.submit = ja.first_seen;
+      j.start = ja.first_seen;
+      j.end = ja.last_seen;
+      j.nodes = lr != nullptr ? lr->nodes : ja.hosts;
+      j.cores = lr != nullptr ? lr->cores : 0;
+      j.node_hours =
+          static_cast<double>(j.nodes) * common::to_hours(ja.last_seen - ja.first_seen);
+    } else {
+      if (ar->wallclock() < config_.min_job_seconds) {
+        ++out.stats.jobs_excluded;
+        continue;
+      }
+      j.user = ar->owner;
+      j.project = ar->account;
+      j.submit = ar->submit;
+      j.start = ar->start;
+      j.end = ar->end;
+      j.nodes = ar->nodes;
+      j.cores = ar->slots;
+      j.node_hours = static_cast<double>(ar->nodes) * common::to_hours(ar->wallclock());
+      j.exit_status = ar->exit_status;
+      j.failed = ar->failed;
+      if (const auto sit = project_science.find(ar->account); sit != project_science.end()) {
+        j.science = sit->second;
+      }
+    }
+    if (lr != nullptr) {
       j.app = lariat::app_for_exe(catalogue, lr->exe);
+    } else {
+      ++out.stats.missing_lariat;
     }
-    if (const auto sit = project_science.find(ar.account); sit != project_science.end()) {
-      j.science = sit->second;
-    }
-    j.submit = ar.submit;
-    j.start = ar.start;
-    j.end = ar.end;
-    j.nodes = ar.nodes;
-    j.cores = ar.slots;
-    j.node_hours = static_cast<double>(ar.nodes) * common::to_hours(ar.wallclock());
-    j.exit_status = ar.exit_status;
-    j.failed = ar.failed;
     j.samples = ja.samples;
 
     j.cpu_idle = ja.total_cs > 0 ? ja.idle_cs / ja.total_cs : 0.0;

@@ -9,6 +9,16 @@
 // Parallelism: hosts are partitioned into fixed-size chunks processed by a
 // thread pool; chunk partials are merged in chunk order, so the result is
 // bit-identical for any thread count.
+//
+// Robustness: the pipeline runs in one of two modes. Strict mode is
+// all-or-nothing - a single malformed line aborts ingest with ParseError.
+// Salvage mode degrades gracefully: damaged lines are quarantined, exact
+// duplicates dropped, out-of-order samples re-sorted, counter resets and
+// rollovers corrected, per-host clock skew estimated against accounting
+// start times and removed, and jobs whose accounting records were lost are
+// reconciled from the samples and Lariat side channel. On undamaged input
+// the two modes produce bit-identical results; everything salvage repaired
+// or discarded is counted in IngestStats and the per-host DataQualityReport.
 #pragma once
 
 #include <cstdint>
@@ -18,12 +28,19 @@
 
 #include "accounting/accounting.h"
 #include "etl/job_summary.h"
+#include "etl/quality.h"
 #include "etl/system_series.h"
 #include "facility/users.h"
 #include "lariat/lariat.h"
 #include "taccstats/writer.h"
 
 namespace supremm::etl {
+
+/// How the pipeline treats damaged raw data.
+enum class IngestMode : std::uint8_t {
+  kStrict,   // any malformed input throws ParseError (the seed behavior)
+  kSalvage,  // recover everything well-formed, quarantine and count the rest
+};
 
 struct IngestConfig {
   common::TimePoint start = 0;
@@ -40,22 +57,38 @@ struct IngestConfig {
   /// (maintenance) or the collector was not running, so no rate can be
   /// attributed to the gap. 0 = 3x the bucket width.
   common::Duration max_pair_gap = 0;
+  IngestMode mode = IngestMode::kStrict;
 };
 
 struct IngestStats {
   std::uint64_t bytes = 0;
   std::uint64_t files = 0;
-  std::uint64_t samples = 0;
+  std::uint64_t samples = 0;         // samples kept (salvage: after dedup)
   std::uint64_t pairs = 0;           // sample pairs turned into rates
   std::uint64_t gaps_skipped = 0;    // pairs discarded as collection gaps
   std::uint64_t jobs_seen = 0;       // distinct job ids in raw data
   std::uint64_t jobs_excluded = 0;   // filtered by min_job_seconds / no match
+
+  // Salvage-mode damage accounting (all zero in strict mode / clean data).
+  std::uint64_t quarantined = 0;           // malformed lines skipped
+  std::uint64_t duplicates_dropped = 0;    // byte-identical repeated samples
+  std::uint64_t reordered = 0;             // out-of-order samples re-sorted
+  std::uint64_t resets_clamped = 0;        // pairs corrected for counter resets
+  std::uint64_t rollovers_corrected = 0;   // pairs corrected for u64 rollover
+  std::uint64_t missing_job_end = 0;       // (host, job) begin without end mark
+  std::uint64_t missing_acct = 0;          // sampled jobs without accounting
+  std::uint64_t missing_lariat = 0;        // summarized jobs without Lariat
+  std::uint64_t jobs_reconciled = 0;       // summaries built without accounting
+  std::uint64_t hosts_skewed = 0;          // hosts whose clock offset was fixed
+
+  [[nodiscard]] bool operator==(const IngestStats&) const = default;
 };
 
 struct IngestResult {
   std::vector<JobSummary> jobs;  // sorted by job id
   SystemSeries series;
   IngestStats stats;
+  DataQualityReport quality;     // per-host coverage and damage accounting
 };
 
 /// project -> parent science registry (the paper's allocation database side
@@ -65,6 +98,8 @@ struct IngestResult {
 
 class IngestPipeline {
  public:
+  /// Validates the config; throws InvalidArgument naming the offending
+  /// field (span, bucket, hosts_per_chunk, min_job_seconds, max_pair_gap).
   explicit IngestPipeline(IngestConfig config);
 
   [[nodiscard]] IngestResult run(

@@ -56,6 +56,7 @@ warehouse::Table to_table(std::span<const JobSummary> jobs) {
       {"end", ColType::kInt64},      {"nodes", ColType::kInt64},
       {"cores", ColType::kInt64},    {"node_hours", ColType::kDouble},
       {"exit_status", ColType::kInt64}, {"failed", ColType::kInt64},
+      {"reconciled", ColType::kInt64},
   };
   for (const auto& m : all_metric_names()) schema.emplace_back(m, ColType::kDouble);
   warehouse::Table t("jobs", std::move(schema));
@@ -74,7 +75,8 @@ warehouse::Table to_table(std::span<const JobSummary> jobs) {
         .set("cores", static_cast<std::int64_t>(j.cores))
         .set("node_hours", j.node_hours)
         .set("exit_status", static_cast<std::int64_t>(j.exit_status))
-        .set("failed", static_cast<std::int64_t>(j.failed));
+        .set("failed", static_cast<std::int64_t>(j.failed))
+        .set("reconciled", static_cast<std::int64_t>(j.reconciled ? 1 : 0));
     for (const auto& m : all_metric_names()) {
       const double v = metric_value(j, m);
       row.set(m, std::isnan(v) ? 0.0 : v);

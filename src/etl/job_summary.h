@@ -30,6 +30,9 @@ struct JobSummary {
   int exit_status = 0;
   int failed = 0;  // batch-system kill code (maintenance drain etc.)
   std::size_t samples = 0;
+  /// True when the accounting record was missing and the summary was
+  /// rebuilt from raw samples + the Lariat side channel (salvage ingest).
+  bool reconciled = false;
 
   // The eight key metrics (§4.2) ...
   double cpu_idle = 0.0;             // fraction of core time

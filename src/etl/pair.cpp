@@ -12,20 +12,51 @@ using taccstats::TypeRecord;
 
 namespace {
 
+/// Per-pair state for backward-counter correction (salvage mode).
+struct DeltaCtx {
+  bool tolerate = false;
+  std::uint32_t resets = 0;
+  std::uint32_t rollovers = 0;
+};
+
 const TypeRecord* find_type(const Sample& s, std::string_view type) { return s.find(type); }
+
+/// Delta of one event counter. Backward counters reject the pair in strict
+/// mode; in tolerant mode a drop from the top half of the u64 range is a
+/// rollover (unsigned wrap-around recovers the true delta) and any other
+/// drop is a reset (the counter restarted from zero, so the new value is
+/// the delta).
+bool counter_delta(std::uint64_t va, std::uint64_t vb, DeltaCtx& ctx, double& out) {
+  if (vb >= va) {
+    out = static_cast<double>(vb - va);
+    return true;
+  }
+  if (!ctx.tolerate) return false;
+  if (va - vb > (1ULL << 63)) {
+    ++ctx.rollovers;
+    out = static_cast<double>(vb - va);  // u64 wrap-around = true delta
+  } else {
+    ++ctx.resets;
+    out = static_cast<double>(vb);  // counts since the restart; clamp the rest
+  }
+  return true;
+}
 
 /// Sum delta of field `f` over all device rows present in both samples
 /// (matched by position; devices are stable per node). Returns false when
-/// any counter went backwards.
-bool sum_delta(const TypeRecord* a, const TypeRecord* b, std::size_t f, double& out) {
+/// the type is missing, the row sets diverge, or (strict) a counter went
+/// backwards.
+bool sum_delta(const TypeRecord* a, const TypeRecord* b, std::size_t f, DeltaCtx& ctx,
+               double& out) {
   if (a == nullptr || b == nullptr) return false;
   if (a->rows.size() != b->rows.size()) return false;
   double total = 0.0;
   for (std::size_t i = 0; i < a->rows.size(); ++i) {
-    const std::uint64_t va = a->rows[i].values.at(f);
-    const std::uint64_t vb = b->rows[i].values.at(f);
-    if (vb < va) return false;
-    total += static_cast<double>(vb - va);
+    double d = 0.0;
+    if (!counter_delta(a->rows[i].values.at(f), b->rows[i].values.at(f), ctx, d)) {
+      return false;
+    }
+    total += d;
   }
   out = total;
   return true;
@@ -33,7 +64,7 @@ bool sum_delta(const TypeRecord* a, const TypeRecord* b, std::size_t f, double& 
 
 /// Device-specific delta of field `f` for the row named `dev`.
 bool dev_delta(const TypeRecord* a, const TypeRecord* b, std::string_view dev, std::size_t f,
-               double& out) {
+               DeltaCtx& ctx, double& out) {
   if (a == nullptr || b == nullptr) return false;
   const auto find_row = [&](const TypeRecord* r) -> const DeviceRow* {
     for (const auto& row : r->rows) {
@@ -44,29 +75,26 @@ bool dev_delta(const TypeRecord* a, const TypeRecord* b, std::string_view dev, s
   const auto* ra = find_row(a);
   const auto* rb = find_row(b);
   if (ra == nullptr || rb == nullptr) return false;
-  const std::uint64_t va = ra->values.at(f);
-  const std::uint64_t vb = rb->values.at(f);
-  if (vb < va) return false;
-  out = static_cast<double>(vb - va);
-  return true;
+  return counter_delta(ra->values.at(f), rb->values.at(f), ctx, out);
 }
 
 }  // namespace
 
 bool extract_pair(const Sample& a, const Sample& b, const std::string& perf_type,
-                  PairData& out) {
+                  PairData& out, const PairPolicy& policy) {
   if (b.time <= a.time) return false;
   out = PairData{};
   out.dt = static_cast<double>(b.time - a.time);
+  DeltaCtx ctx{policy.tolerate_resets, 0, 0};
 
   // CPU: schema order user nice system idle iowait irq softirq.
   const auto* ca = find_type(a, "cpu");
   const auto* cb = find_type(b, "cpu");
   double nice = 0, iowait = 0, irq = 0, softirq = 0;
-  if (!sum_delta(ca, cb, 0, out.user_cs) || !sum_delta(ca, cb, 1, nice) ||
-      !sum_delta(ca, cb, 2, out.sys_cs) || !sum_delta(ca, cb, 3, out.idle_cs) ||
-      !sum_delta(ca, cb, 4, iowait) || !sum_delta(ca, cb, 5, irq) ||
-      !sum_delta(ca, cb, 6, softirq)) {
+  if (!sum_delta(ca, cb, 0, ctx, out.user_cs) || !sum_delta(ca, cb, 1, ctx, nice) ||
+      !sum_delta(ca, cb, 2, ctx, out.sys_cs) || !sum_delta(ca, cb, 3, ctx, out.idle_cs) ||
+      !sum_delta(ca, cb, 4, ctx, iowait) || !sum_delta(ca, cb, 5, ctx, irq) ||
+      !sum_delta(ca, cb, 6, ctx, softirq)) {
     return false;
   }
   out.user_cs += nice;
@@ -117,31 +145,32 @@ bool extract_pair(const Sample& a, const Sample& b, const std::string& perf_type
   // Lustre llite: read_bytes=0 write_bytes=1.
   const auto* la = find_type(a, "llite");
   const auto* lb = find_type(b, "llite");
-  (void)dev_delta(la, lb, "scratch", 1, out.scratch_wr);
-  (void)dev_delta(la, lb, "scratch", 0, out.scratch_rd);
-  (void)dev_delta(la, lb, "work", 1, out.work_wr);
+  (void)dev_delta(la, lb, "scratch", 1, ctx, out.scratch_wr);
+  (void)dev_delta(la, lb, "scratch", 0, ctx, out.scratch_rd);
+  (void)dev_delta(la, lb, "work", 1, ctx, out.work_wr);
   double share_rd = 0, share_wr = 0;
-  if (dev_delta(la, lb, "share", 0, share_rd) && dev_delta(la, lb, "share", 1, share_wr)) {
+  if (dev_delta(la, lb, "share", 0, ctx, share_rd) &&
+      dev_delta(la, lb, "share", 1, ctx, share_wr)) {
     out.share_bytes = share_rd + share_wr;
   }
 
   // InfiniBand: rx_bytes=0 rx_packets=1 tx_bytes=2 tx_packets=3.
   const auto* ia = find_type(a, "ib");
   const auto* ib = find_type(b, "ib");
-  (void)sum_delta(ia, ib, 2, out.ib_tx);
-  (void)sum_delta(ia, ib, 0, out.ib_rx);
+  (void)sum_delta(ia, ib, 2, ctx, out.ib_tx);
+  (void)sum_delta(ia, ib, 0, ctx, out.ib_rx);
 
   // LNET: rx_bytes=0 tx_bytes=1.
   const auto* na = find_type(a, "lnet");
   const auto* nb = find_type(b, "lnet");
-  (void)sum_delta(na, nb, 1, out.lnet_tx);
-  (void)sum_delta(na, nb, 0, out.lnet_rx);
+  (void)sum_delta(na, nb, 1, ctx, out.lnet_tx);
+  (void)sum_delta(na, nb, 0, ctx, out.lnet_rx);
 
   // Swap activity: vm pswpin=2 pswpout=3, pages -> bytes.
   const auto* va = find_type(a, "vm");
   const auto* vb = find_type(b, "vm");
   double swpin = 0, swpout = 0;
-  if (sum_delta(va, vb, 2, swpin) && sum_delta(va, vb, 3, swpout)) {
+  if (sum_delta(va, vb, 2, ctx, swpin) && sum_delta(va, vb, 3, ctx, swpout)) {
     out.swap_bytes = (swpin + swpout) * 4096.0;
   }
 
@@ -149,6 +178,8 @@ bool extract_pair(const Sample& a, const Sample& b, const std::string& perf_type
   if (const auto* pload = find_type(b, "ps"); pload != nullptr) {
     out.load = static_cast<double>(pload->rows.at(0).values.at(2)) / 100.0;
   }
+  out.reset = ctx.resets > 0;
+  out.rollover = ctx.rollovers > 0;
   return true;
 }
 

@@ -8,6 +8,18 @@
 
 namespace supremm::etl {
 
+/// How counters that go backwards between the two samples are treated.
+struct PairPolicy {
+  /// false (strict): any backward event counter rejects the pair, as a
+  /// reboot would. true (salvage): backward counters are corrected - a drop
+  /// from near 2^64 is a rollover (the wrapped difference is the true
+  /// delta); any other drop is a counter reset (the node rebooted and the
+  /// counter restarted from zero, so the post-reset value is the delta and
+  /// the pre-reset activity is lost). Corrected pairs are flagged so the
+  /// ingest layer can count them.
+  bool tolerate_resets = false;
+};
+
 /// Rates/gauges extracted from one consecutive sample pair of one node.
 struct PairData {
   double dt = 0;
@@ -19,13 +31,16 @@ struct PairData {
   double ib_tx = 0, ib_rx = 0, lnet_tx = 0, lnet_rx = 0;
   double swap_bytes = 0;
   double load = 0;
+  bool reset = false;     // >=1 counter corrected as a reset (salvage only)
+  bool rollover = false;  // >=1 counter corrected as a rollover (salvage only)
 };
 
 /// Extract deltas/gauges from samples a -> b of the same node. `perf_type`
 /// is the arch perf schema name ("amd64_pmc"/"intel_wtm"; empty = no perf).
-/// Returns false when b does not follow a or the CPU counters went
-/// backwards (reboot).
+/// Returns false when b does not follow a or (under the default strict
+/// policy) the CPU counters went backwards (reboot).
 [[nodiscard]] bool extract_pair(const taccstats::Sample& a, const taccstats::Sample& b,
-                                const std::string& perf_type, PairData& out);
+                                const std::string& perf_type, PairData& out,
+                                const PairPolicy& policy = {});
 
 }  // namespace supremm::etl

@@ -1,0 +1,60 @@
+#include "etl/quality.h"
+
+#include <algorithm>
+
+namespace supremm::etl {
+
+double HostQuality::coverage(common::Duration span) const noexcept {
+  if (span <= 0) return 0.0;
+  return std::min(1.0, covered_s / static_cast<double>(span));
+}
+
+double DataQualityReport::facility_coverage() const noexcept {
+  if (hosts.empty() || span <= 0) return 0.0;
+  double covered = 0.0;
+  for (const auto& h : hosts) covered += std::min(h.covered_s, static_cast<double>(span));
+  return covered / (static_cast<double>(span) * static_cast<double>(hosts.size()));
+}
+
+std::uint64_t DataQualityReport::total_quarantined() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& h : hosts) total += h.quarantined;
+  return total;
+}
+
+warehouse::Table quality_table(const DataQualityReport& report) {
+  using warehouse::ColType;
+  warehouse::Table t("data_quality",
+                     {{"host", ColType::kString},
+                      {"files", ColType::kInt64},
+                      {"samples", ColType::kInt64},
+                      {"pairs", ColType::kInt64},
+                      {"quarantined", ColType::kInt64},
+                      {"duplicates", ColType::kInt64},
+                      {"reordered", ColType::kInt64},
+                      {"resets", ColType::kInt64},
+                      {"rollovers", ColType::kInt64},
+                      {"missing_job_end", ColType::kInt64},
+                      {"clock_skew_s", ColType::kInt64},
+                      {"covered_s", ColType::kDouble},
+                      {"coverage", ColType::kDouble}});
+  for (const auto& h : report.hosts) {
+    t.append()
+        .set("host", std::string_view(h.host))
+        .set("files", static_cast<std::int64_t>(h.files))
+        .set("samples", static_cast<std::int64_t>(h.samples))
+        .set("pairs", static_cast<std::int64_t>(h.pairs))
+        .set("quarantined", static_cast<std::int64_t>(h.quarantined))
+        .set("duplicates", static_cast<std::int64_t>(h.duplicates_dropped))
+        .set("reordered", static_cast<std::int64_t>(h.reordered))
+        .set("resets", static_cast<std::int64_t>(h.resets))
+        .set("rollovers", static_cast<std::int64_t>(h.rollovers))
+        .set("missing_job_end", static_cast<std::int64_t>(h.missing_job_end))
+        .set("clock_skew_s", h.clock_skew_s)
+        .set("covered_s", h.covered_s)
+        .set("coverage", h.coverage(report.span));
+  }
+  return t;
+}
+
+}  // namespace supremm::etl

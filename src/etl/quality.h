@@ -1,0 +1,59 @@
+// Per-host data-quality accounting for the ingest pipeline.
+//
+// The paper's node-hour-weighting discipline only holds if coverage loss is
+// quantified: when a collector dies, a raw file arrives truncated, or a
+// node's counters reset, the affected node-seconds must be visible to
+// operators rather than silently missing. Salvage-mode ingest fills a
+// DataQualityReport with exactly what was recovered, corrected, and lost on
+// every host; the warehouse loader and the XDMoD data-quality report render
+// it for the Systems Administrator stakeholder.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/time.h"
+#include "taccstats/reader.h"
+#include "warehouse/table.h"
+
+namespace supremm::etl {
+
+/// What one host's raw data looked like after salvage.
+struct HostQuality {
+  std::string host;
+  std::uint64_t files = 0;
+  std::uint64_t samples = 0;             // recovered samples (after dedup)
+  std::uint64_t pairs = 0;               // sample pairs turned into rates
+  std::uint64_t quarantined = 0;         // malformed lines skipped
+  std::uint64_t duplicates_dropped = 0;  // byte-identical repeated samples
+  std::uint64_t reordered = 0;           // out-of-order samples re-sorted
+  std::uint64_t resets = 0;              // pairs corrected for counter resets
+  std::uint64_t rollovers = 0;           // pairs corrected for u64 rollover
+  std::uint64_t missing_job_end = 0;     // jobs seen beginning but not ending
+  std::int64_t clock_skew_s = 0;         // clock offset corrected (seconds)
+  double covered_s = 0.0;                // node-seconds covered by usable pairs
+
+  /// Fraction of the ingest span this host's usable pairs cover.
+  [[nodiscard]] double coverage(common::Duration span) const noexcept;
+};
+
+/// Facility-wide data-quality report: one row per host plus the full
+/// quarantine diagnostics. Hosts are sorted by name (deterministic for any
+/// thread count).
+struct DataQualityReport {
+  common::Duration span = 0;
+  std::vector<HostQuality> hosts;
+  std::vector<taccstats::Quarantine> quarantines;
+
+  /// Mean coverage over hosts (node-second weighted).
+  [[nodiscard]] double facility_coverage() const noexcept;
+  /// Sum of per-host quarantined counts.
+  [[nodiscard]] std::uint64_t total_quarantined() const noexcept;
+};
+
+/// Load the report into a columnar warehouse table named "data_quality"
+/// (one row per host, coverage included) for operator queries.
+[[nodiscard]] warehouse::Table quality_table(const DataQualityReport& report);
+
+}  // namespace supremm::etl

@@ -1,0 +1,128 @@
+// Deterministic fault injection for pipeline robustness testing.
+//
+// A facility the size of Ranger loses data constantly: collectors die
+// mid-write, NFS interleaves concurrent appends, nodes reboot and their
+// counters restart, clocks drift, accounting exports are incomplete. The
+// fault injector mutates the artifacts between pipeline stages - raw
+// TACC_Stats files, accounting logs, Lariat records - the same way, so the
+// salvage-mode ingest path can be tested against damage whose exact extent
+// is known.
+//
+// Determinism contract: for a given FaultPlan seed the damage is
+// bit-identical across runs and independent of file iteration order. Every
+// random draw comes from an RngStream derived from (seed, fault kind,
+// host/day identity), never from a shared generator.
+//
+// Exactness contract: each injected fault maps to a known, countable effect
+// on salvage ingest (see InjectionReport). E.g. every garbage line produces
+// exactly one quarantined line; every truncation produces exactly one
+// quarantined partial row plus N lost samples; every counter reset produces
+// exactly one reset-corrected pair. The round-trip property tests in
+// tests/test_faultsim.cpp assert these equalities.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "accounting/accounting.h"
+#include "facility/jobs.h"
+#include "lariat/lariat.h"
+#include "taccstats/writer.h"
+
+namespace supremm::faultsim {
+
+/// The damage vocabulary (what actually goes wrong at a facility).
+enum class FaultKind : std::uint8_t {
+  kTruncateFile,      // collector died mid-write: file cut inside a data row
+  kGarbageLines,      // foreign bytes spliced into the stream
+  kInterleavedWrite,  // two rows merged by unsynchronized appends
+  kDuplicateSample,   // a sample block re-sent and stored twice
+  kReorderSamples,    // adjacent sample blocks swapped on disk
+  kCounterReset,      // node rebooted: event counters restart from zero
+  kCounterRollover,   // a u64 counter wrapped around between two samples
+  kMissingJobEnd,     // the job-end sample block was never written
+  kDropAccounting,    // accounting records lost from the export
+  kDropLariat,        // Lariat records lost from the export
+  kClockSkew,         // one host's clock offset from the facility's
+};
+
+[[nodiscard]] std::string_view fault_kind_name(FaultKind k) noexcept;
+
+/// One kind of fault at a given intensity. `rate` is the selection
+/// probability of the fault's unit (per file for file-local damage, per
+/// host for host-wide damage, per record for record drops). `magnitude` is
+/// kind-specific: truncation cut position as a fraction of the file,
+/// garbage line count, maximum clock skew in seconds; 0 = kind default.
+struct FaultSpec {
+  FaultKind kind = FaultKind::kGarbageLines;
+  double rate = 0.0;
+  double magnitude = 0.0;
+};
+
+/// A composable, seeded damage recipe.
+struct FaultPlan {
+  std::uint64_t seed = 0;
+  std::vector<FaultSpec> faults;
+
+  FaultPlan& add(FaultKind kind, double rate, double magnitude = 0.0) {
+    faults.push_back({kind, rate, magnitude});
+    return *this;
+  }
+
+  /// The zero-fault plan: applying it must leave every artifact untouched.
+  [[nodiscard]] static FaultPlan none(std::uint64_t seed) { return FaultPlan{seed, {}}; }
+
+  /// Built-in profile names ("none", "truncation", "garbage", ...).
+  [[nodiscard]] static const std::vector<std::string>& profile_names();
+
+  /// A named damage profile; throws NotFoundError for unknown names.
+  [[nodiscard]] static FaultPlan profile(std::string_view name, std::uint64_t seed);
+};
+
+/// Exactly what was injected, in units salvage ingest can be held to.
+struct InjectionReport {
+  std::uint64_t files_truncated = 0;    // one quarantined partial row each
+  std::uint64_t garbage_lines = 0;      // one quarantined line each
+  std::uint64_t interleaved_rows = 0;   // one quarantined merged row each
+  std::uint64_t duplicated_samples = 0; // one dropped duplicate each
+  std::uint64_t reorder_swaps = 0;      // one re-sorted descent each
+  std::uint64_t counter_resets = 0;     // one reset-corrected pair each
+  std::uint64_t counter_rollovers = 0;  // one rollover-corrected pair each
+  std::uint64_t job_ends_dropped = 0;   // one missing-job-end host/job each
+  std::uint64_t acct_dropped = 0;
+  std::uint64_t lariat_dropped = 0;
+  std::uint64_t hosts_skewed = 0;       // one corrected host each
+  std::uint64_t samples_lost = 0;       // sample headers destroyed outright
+  /// Lines salvage parsing must quarantine (sum of the per-kind effects).
+  std::uint64_t expected_quarantined = 0;
+  std::vector<facility::JobId> dropped_acct_jobs;
+  std::vector<facility::JobId> dropped_lariat_jobs;
+  std::vector<std::pair<std::string, std::int64_t>> skews;  // host -> seconds
+
+  [[nodiscard]] bool any() const noexcept {
+    return files_truncated + garbage_lines + interleaved_rows + duplicated_samples +
+               reorder_swaps + counter_resets + counter_rollovers + job_ends_dropped +
+               acct_dropped + lariat_dropped + hosts_skewed !=
+           0;
+  }
+};
+
+/// Applies a FaultPlan to pipeline artifacts in place.
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPlan plan) : plan_(std::move(plan)) {}
+
+  /// Damage the artifacts per the plan. Mutates in place; returns the exact
+  /// injection accounting. Deterministic for a given plan seed.
+  InjectionReport apply(std::vector<taccstats::RawFile>& files,
+                        std::vector<accounting::AccountingRecord>& acct,
+                        std::vector<lariat::LariatRecord>& lariat) const;
+
+ private:
+  FaultPlan plan_;
+};
+
+}  // namespace supremm::faultsim

@@ -41,6 +41,7 @@ PipelineResult run_pipeline(const PipelineConfig& config) {
   cfg.threads = config.threads;
   cfg.bucket = config.agent.interval;
   cfg.min_job_seconds = config.agent.interval;
+  cfg.mode = config.ingest_mode;
   const etl::IngestPipeline ingest(cfg);
   run.result = ingest.run(run.files, run.acct, run.lariat_records, run.catalogue,
                           etl::project_science_map(*run.population));

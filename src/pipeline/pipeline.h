@@ -30,6 +30,9 @@ struct PipelineConfig {
   double load_factor = 1.0;
   taccstats::AgentConfig agent;          // collection cadence etc.
   std::size_t threads = 0;               // 0 = hardware concurrency
+  /// Strict (default) aborts ingest on malformed raw data; salvage recovers
+  /// what it can and fills the DataQualityReport (DESIGN.md §8).
+  etl::IngestMode ingest_mode = etl::IngestMode::kStrict;
 };
 
 struct PipelineResult {

@@ -30,9 +30,11 @@
 #include "common/time.h"                // IWYU pragma: export
 #include "etl/ingest.h"                 // IWYU pragma: export
 #include "etl/job_summary.h"            // IWYU pragma: export
+#include "etl/quality.h"                // IWYU pragma: export
 #include "etl/system_series.h"         // IWYU pragma: export
 #include "etl/trace.h"          // IWYU pragma: export
 #include "facility/apps.h"              // IWYU pragma: export
+#include "faultsim/faultsim.h"          // IWYU pragma: export
 #include "facility/engine.h"            // IWYU pragma: export
 #include "facility/hardware.h"          // IWYU pragma: export
 #include "facility/scheduler.h"         // IWYU pragma: export

@@ -8,7 +8,7 @@
 namespace supremm::taccstats {
 
 using common::split_ws;
-using common::starts_with;
+using common::strprintf;
 
 SampleMark parse_mark(std::string_view name) {
   if (name == "periodic") return SampleMark::kPeriodic;
@@ -18,7 +18,35 @@ SampleMark parse_mark(std::string_view name) {
   throw common::ParseError("unknown sample mark '" + std::string(name) + "'");
 }
 
-ParsedFile parse_raw(std::string_view content) {
+std::string_view quarantine_reason_name(QuarantineReason r) noexcept {
+  switch (r) {
+    case QuarantineReason::kBadMetadata:
+      return "bad-metadata";
+    case QuarantineReason::kBadSchema:
+      return "bad-schema";
+    case QuarantineReason::kBadSampleHeader:
+      return "bad-sample-header";
+    case QuarantineReason::kUndeclaredType:
+      return "undeclared-type";
+    case QuarantineReason::kShortRow:
+      return "short-row";
+    case QuarantineReason::kFieldCountMismatch:
+      return "field-count-mismatch";
+    case QuarantineReason::kBadValue:
+      return "bad-value";
+    case QuarantineReason::kOrphanRow:
+      return "orphan-row";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// Shared strict/salvage parse loop. With `sink == nullptr` any damage
+/// throws ParseError (messages prefixed with `source`); otherwise each
+/// malformed line becomes one Quarantine entry and parsing continues.
+ParsedFile parse_core(std::string_view content, std::string_view source,
+                      std::vector<Quarantine>* sink, bool* missing_magic) {
   ParsedFile out;
   std::vector<Schema> schemas;
   bool saw_magic = false;
@@ -26,6 +54,16 @@ ParsedFile parse_raw(std::string_view content) {
   std::size_t pos = 0;
   std::size_t line_no = 0;
   Sample* current = nullptr;
+
+  const auto reject = [&](QuarantineReason reason, std::string detail) {
+    if (sink == nullptr) {
+      std::string msg;
+      if (!source.empty()) msg = std::string(source) + ": ";
+      msg += detail + strprintf(" (line %zu)", line_no);
+      throw common::ParseError(msg);
+    }
+    sink->push_back({std::string(source), line_no, reason, std::move(detail)});
+  };
 
   while (pos < content.size()) {
     std::size_t eol = content.find('\n', pos);
@@ -38,7 +76,10 @@ ParsedFile parse_raw(std::string_view content) {
     const char c0 = line[0];
     if (c0 == '$') {
       const auto parts = split_ws(line.substr(1));
-      if (parts.empty()) throw common::ParseError("bad metadata line");
+      if (parts.empty()) {
+        reject(QuarantineReason::kBadMetadata, "bad metadata line");
+        continue;
+      }
       if (parts[0] == "tacc_stats" && parts.size() >= 2) {
         out.version = std::string(parts[1]);
         saw_magic = true;
@@ -48,20 +89,42 @@ ParsedFile parse_raw(std::string_view content) {
       continue;
     }
     if (c0 == '!') {
-      schemas.push_back(Schema::parse(line));
+      try {
+        schemas.push_back(Schema::parse(line));
+      } catch (const common::ParseError& e) {
+        reject(QuarantineReason::kBadSchema, e.what());
+      }
       continue;
     }
-    if (std::isdigit(static_cast<unsigned char>(c0)) != 0) {
-      // Sample header: <time> <jobid> <mark>
+    const bool header_lead =
+        std::isdigit(static_cast<unsigned char>(c0)) != 0 ||
+        (c0 == '-' && line.size() > 1 &&
+         std::isdigit(static_cast<unsigned char>(line[1])) != 0);
+    if (header_lead) {
+      // Sample header: <time> <jobid> <mark>. A leading '-' still means a
+      // header: type rows are alphabetic, and a host whose clock runs behind
+      // the epoch start stamps negative times.
       const auto parts = split_ws(line);
-      if (parts.size() != 3) {
-        throw common::ParseError(common::strprintf("bad sample header at line %zu", line_no));
+      Sample header;
+      bool ok = parts.size() == 3;
+      if (ok) {
+        try {
+          header.time = common::parse_i64(parts[0]);
+          header.job_id = common::parse_i64(parts[1]);
+          header.mark = parse_mark(parts[2]);
+        } catch (const common::ParseError&) {
+          ok = false;
+        }
       }
-      out.samples.emplace_back();
+      if (!ok) {
+        reject(QuarantineReason::kBadSampleHeader, "bad sample header");
+        // Rows that follow a damaged header must not attach to the previous
+        // sample - they belong to the lost one.
+        current = nullptr;
+        continue;
+      }
+      out.samples.push_back(std::move(header));
       current = &out.samples.back();
-      current->time = common::parse_i64(parts[0]);
-      current->job_id = common::parse_i64(parts[1]);
-      current->mark = parse_mark(parts[2]);
       // Commit schemas on first sample.
       if (out.schemas.all().empty() && !schemas.empty()) {
         out.schemas = SchemaRegistry(schemas);
@@ -70,12 +133,13 @@ ParsedFile parse_raw(std::string_view content) {
     }
     // Type row: <type> <device> <values...>
     if (current == nullptr) {
-      throw common::ParseError(common::strprintf("data row before sample header, line %zu",
-                                                 line_no));
+      reject(QuarantineReason::kOrphanRow, "data row before sample header");
+      continue;
     }
     const auto parts = split_ws(line);
     if (parts.size() < 2) {
-      throw common::ParseError(common::strprintf("short data row at line %zu", line_no));
+      reject(QuarantineReason::kShortRow, "short data row");
+      continue;
     }
     const std::string_view type = parts[0];
     // Validate against schema when known.
@@ -87,12 +151,32 @@ ParsedFile parse_raw(std::string_view content) {
       }
     }
     if (schema == nullptr) {
-      throw common::ParseError("row of undeclared type '" + std::string(type) + "'");
+      reject(QuarantineReason::kUndeclaredType,
+             "row of undeclared type '" + std::string(type) + "'");
+      continue;
     }
     if (parts.size() - 2 != schema->fields.size()) {
-      throw common::ParseError(common::strprintf(
-          "row of type %s has %zu values, schema has %zu (line %zu)",
-          std::string(type).c_str(), parts.size() - 2, schema->fields.size(), line_no));
+      reject(QuarantineReason::kFieldCountMismatch,
+             strprintf("row of type %s has %zu values, schema has %zu",
+                       std::string(type).c_str(), parts.size() - 2, schema->fields.size()));
+      continue;
+    }
+    DeviceRow row;
+    row.device = std::string(parts[1]);
+    row.values.reserve(parts.size() - 2);
+    bool values_ok = true;
+    for (std::size_t i = 2; i < parts.size(); ++i) {
+      try {
+        row.values.push_back(common::parse_u64(parts[i]));
+      } catch (const common::ParseError&) {
+        values_ok = false;
+        break;
+      }
+    }
+    if (!values_ok) {
+      reject(QuarantineReason::kBadValue,
+             "row of type " + std::string(type) + " has a non-numeric value");
+      continue;
     }
     TypeRecord* rec = nullptr;
     for (auto& r : current->records) {
@@ -105,19 +189,32 @@ ParsedFile parse_raw(std::string_view content) {
       current->records.push_back({std::string(type), {}});
       rec = &current->records.back();
     }
-    DeviceRow row;
-    row.device = std::string(parts[1]);
-    row.values.reserve(parts.size() - 2);
-    for (std::size_t i = 2; i < parts.size(); ++i) {
-      row.values.push_back(common::parse_u64(parts[i]));
-    }
     rec->rows.push_back(std::move(row));
   }
 
-  if (!saw_magic) throw common::ParseError("missing $tacc_stats magic");
+  if (!saw_magic) {
+    if (sink == nullptr) {
+      std::string msg;
+      if (!source.empty()) msg = std::string(source) + ": ";
+      throw common::ParseError(msg + "missing $tacc_stats magic");
+    }
+    if (missing_magic != nullptr) *missing_magic = true;
+  }
   if (out.schemas.all().empty() && !schemas.empty()) {
     out.schemas = SchemaRegistry(schemas);
   }
+  return out;
+}
+
+}  // namespace
+
+ParsedFile parse_raw(std::string_view content, std::string_view source) {
+  return parse_core(content, source, nullptr, nullptr);
+}
+
+SalvageResult parse_raw_salvage(std::string_view content, std::string_view source) {
+  SalvageResult out;
+  out.file = parse_core(content, source, &out.quarantined, &out.missing_magic);
   return out;
 }
 

@@ -1,7 +1,16 @@
 // Parser for the raw text format produced by RawWriter (the ingest side of
 // the tool chain; the ETL pipeline consumes ParsedFile).
+//
+// Two entry points share one implementation:
+//   - parse_raw: strict. The first malformed line aborts the whole file with
+//     ParseError (the self-describing format contract).
+//   - parse_raw_salvage: degraded-data mode. Every well-formed sample is
+//     recovered; each malformed line is skipped and reported as a structured
+//     Quarantine diagnostic so the ingest layer can account for exactly what
+//     was lost (DESIGN.md "Degraded data semantics").
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -18,10 +27,48 @@ struct ParsedFile {
   std::vector<Sample> samples;
 };
 
-/// Parse a whole raw file. Throws ParseError on malformed input. Rows whose
-/// value count does not match their schema are rejected (self-describing
-/// format contract).
-[[nodiscard]] ParsedFile parse_raw(std::string_view content);
+/// Why a line was quarantined by salvage parsing.
+enum class QuarantineReason : std::uint8_t {
+  kBadMetadata,         // malformed $-line
+  kBadSchema,           // malformed !-line
+  kBadSampleHeader,     // digit-leading line that is not "<time> <jobid> <mark>"
+  kUndeclaredType,      // data row of a type with no schema (garbage/corruption)
+  kShortRow,            // data row with no device/values (truncation tail)
+  kFieldCountMismatch,  // row value count disagrees with its schema
+  kBadValue,            // non-numeric counter value
+  kOrphanRow,           // data row with no preceding (valid) sample header
+};
+
+[[nodiscard]] std::string_view quarantine_reason_name(QuarantineReason r) noexcept;
+
+/// One malformed line skipped by salvage parsing: where it came from (host or
+/// file identity), where it was, and why it was rejected.
+struct Quarantine {
+  std::string source;
+  std::size_t line = 0;
+  QuarantineReason reason = QuarantineReason::kBadValue;
+  std::string detail;
+};
+
+struct SalvageResult {
+  ParsedFile file;
+  std::vector<Quarantine> quarantined;
+  bool missing_magic = false;  // no $tacc_stats line survived
+};
+
+/// Parse a whole raw file. Throws ParseError on malformed input; `source`
+/// (hostname / file identity) is prefixed to error messages so multi-host
+/// ingest failures are attributable. Rows whose value count does not match
+/// their schema are rejected (self-describing format contract).
+[[nodiscard]] ParsedFile parse_raw(std::string_view content, std::string_view source = {});
+
+/// Salvage parse: never throws on malformed content. Recovers every
+/// well-formed sample and quarantines each malformed line (one Quarantine
+/// per damaged line). A damaged sample header orphans the rows that follow
+/// it (each quarantined individually) rather than attaching them to the
+/// previous sample.
+[[nodiscard]] SalvageResult parse_raw_salvage(std::string_view content,
+                                              std::string_view source = {});
 
 /// Parse a mark name back to the enum.
 [[nodiscard]] SampleMark parse_mark(std::string_view name);

@@ -13,12 +13,16 @@ namespace supremm::taccstats {
 struct DeviceRow {
   std::string device;  // "0".."15", "eth0", "scratch", "-" for node-wide
   std::vector<std::uint64_t> values;
+
+  [[nodiscard]] bool operator==(const DeviceRow&) const = default;
 };
 
 /// All rows of one type at one instant.
 struct TypeRecord {
   std::string type;
   std::vector<DeviceRow> rows;
+
+  [[nodiscard]] bool operator==(const TypeRecord&) const = default;
 };
 
 /// Why a sample was taken. The paper: "TACC_Stats executes at the beginning
@@ -39,6 +43,10 @@ struct Sample {
   std::int64_t job_id = 0;  // 0 = no job running
   SampleMark mark = SampleMark::kPeriodic;
   std::vector<TypeRecord> records;
+
+  /// Exact equality - used by salvage-mode ingest to drop duplicated
+  /// samples (a re-sent collector block is byte-identical).
+  [[nodiscard]] bool operator==(const Sample&) const = default;
 
   [[nodiscard]] const TypeRecord* find(std::string_view type) const noexcept {
     for (const auto& r : records) {

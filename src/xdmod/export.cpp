@@ -121,4 +121,26 @@ void csv_jobs(std::span<const etl::JobSummary> jobs, std::ostream& out) {
   }
 }
 
+void csv_data_quality(const etl::DataQualityReport& q, std::ostream& out) {
+  CsvWriter w(out);
+  w.row({"host", "files", "samples", "pairs", "quarantined", "duplicates", "reordered",
+         "resets", "rollovers", "missing_job_end", "clock_skew_s", "covered_s", "coverage"});
+  for (const auto& h : q.hosts) {
+    w.field(h.host)
+        .field(static_cast<std::int64_t>(h.files))
+        .field(static_cast<std::int64_t>(h.samples))
+        .field(static_cast<std::int64_t>(h.pairs))
+        .field(static_cast<std::int64_t>(h.quarantined))
+        .field(static_cast<std::int64_t>(h.duplicates_dropped))
+        .field(static_cast<std::int64_t>(h.reordered))
+        .field(static_cast<std::int64_t>(h.resets))
+        .field(static_cast<std::int64_t>(h.rollovers))
+        .field(static_cast<std::int64_t>(h.missing_job_end))
+        .field(h.clock_skew_s)
+        .field(h.covered_s)
+        .field(h.coverage(q.span));
+    w.end_row();
+  }
+}
+
 }  // namespace supremm::xdmod

@@ -7,6 +7,7 @@
 #include <span>
 
 #include "etl/job_summary.h"
+#include "etl/quality.h"
 #include "xdmod/distributions.h"
 #include "xdmod/efficiency.h"
 #include "xdmod/persistence.h"
@@ -36,5 +37,8 @@ void csv_distribution(const DistributionReport& d, std::ostream& out);
 
 /// The full job table, one row per job, all metrics.
 void csv_jobs(std::span<const etl::JobSummary> jobs, std::ostream& out);
+
+/// Per-host salvage data-quality rows (coverage + damage accounting).
+void csv_data_quality(const etl::DataQualityReport& q, std::ostream& out);
 
 }  // namespace supremm::xdmod

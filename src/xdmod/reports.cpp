@@ -40,7 +40,8 @@ std::vector<std::string> report_names(Stakeholder s) {
     case Stakeholder::kSupportStaff:
       return {"Inefficient heavy users", "Anomalous jobs", "Major application profiles"};
     case Stakeholder::kSystemsAdministrator:
-      return {"Usage persistence (forecasting)", "Active nodes", "Failure diagnostics"};
+      return {"Usage persistence (forecasting)", "Active nodes", "Failure diagnostics",
+              "Data quality"};
     case Stakeholder::kResourceManager:
       return {"System FLOPS", "Memory usage", "CPU hours", "Lustre filesystem traffic",
               "Workload characterization"};
@@ -182,6 +183,54 @@ AsciiTable render_failures(std::span<const FailureProfile> profiles) {
   return t;
 }
 
+AsciiTable render_data_quality(const etl::DataQualityReport& q, std::size_t top_n) {
+  AsciiTable t(strprintf("Data quality: %.1f%% facility coverage, %llu quarantined lines",
+                         100.0 * q.facility_coverage(),
+                         static_cast<unsigned long long>(q.total_quarantined())));
+  t.header({"host", "coverage", "quarantined", "dups", "reorder", "resets", "rollover",
+            "no-end", "skew_s"});
+  std::vector<const etl::HostQuality*> worst;
+  worst.reserve(q.hosts.size());
+  for (const auto& h : q.hosts) worst.push_back(&h);
+  std::stable_sort(worst.begin(), worst.end(),
+                   [&](const etl::HostQuality* a, const etl::HostQuality* b) {
+                     return a->coverage(q.span) < b->coverage(q.span);
+                   });
+  etl::HostQuality total;
+  for (const auto& h : q.hosts) {
+    total.quarantined += h.quarantined;
+    total.duplicates_dropped += h.duplicates_dropped;
+    total.reordered += h.reordered;
+    total.resets += h.resets;
+    total.rollovers += h.rollovers;
+    total.missing_job_end += h.missing_job_end;
+  }
+  for (std::size_t i = 0; i < worst.size() && i < top_n; ++i) {
+    const auto& h = *worst[i];
+    t.add_row()
+        .cell(h.host)
+        .cell(strprintf("%.1f%%", 100.0 * h.coverage(q.span)))
+        .cell(static_cast<std::int64_t>(h.quarantined))
+        .cell(static_cast<std::int64_t>(h.duplicates_dropped))
+        .cell(static_cast<std::int64_t>(h.reordered))
+        .cell(static_cast<std::int64_t>(h.resets))
+        .cell(static_cast<std::int64_t>(h.rollovers))
+        .cell(static_cast<std::int64_t>(h.missing_job_end))
+        .cell(h.clock_skew_s);
+  }
+  t.add_row()
+      .cell(strprintf("(all %zu hosts)", q.hosts.size()))
+      .cell(strprintf("%.1f%%", 100.0 * q.facility_coverage()))
+      .cell(static_cast<std::int64_t>(total.quarantined))
+      .cell(static_cast<std::int64_t>(total.duplicates_dropped))
+      .cell(static_cast<std::int64_t>(total.reordered))
+      .cell(static_cast<std::int64_t>(total.resets))
+      .cell(static_cast<std::int64_t>(total.rollovers))
+      .cell(static_cast<std::int64_t>(total.missing_job_end))
+      .cell(static_cast<std::int64_t>(0));
+  return t;
+}
+
 std::size_t write_reports(const DataContext& ctx, Stakeholder s, std::ostream& out) {
   std::size_t count = 0;
   auto emit = [&](const AsciiTable& t) {
@@ -227,6 +276,7 @@ std::size_t write_reports(const DataContext& ctx, Stakeholder s, std::ostream& o
         emit(render_series(active));
       }
       emit(render_failures(failure_profiles(ctx.jobs)));
+      if (ctx.quality != nullptr) emit(render_data_quality(*ctx.quality));
       break;
     }
     case Stakeholder::kResourceManager: {

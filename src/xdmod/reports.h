@@ -11,6 +11,7 @@
 
 #include "common/ascii_table.h"
 #include "etl/job_summary.h"
+#include "etl/quality.h"
 #include "etl/system_series.h"
 #include "xdmod/distributions.h"
 #include "xdmod/efficiency.h"
@@ -66,6 +67,11 @@ inline constexpr std::size_t kStakeholderCount = 6;
 /// Failure profiles per application.
 [[nodiscard]] common::AsciiTable render_failures(std::span<const FailureProfile> profiles);
 
+/// Per-host data quality from salvage-mode ingest: the `top_n` worst-covered
+/// hosts with their damage accounting, plus a facility totals row.
+[[nodiscard]] common::AsciiTable render_data_quality(const etl::DataQualityReport& q,
+                                                     std::size_t top_n = 20);
+
 // --- The book --------------------------------------------------------------
 
 /// Everything the report builders need.
@@ -76,6 +82,9 @@ struct DataContext {
   std::size_t cores_per_node = 16;
   double node_mem_gb = 32.0;
   double peak_tflops = 0.0;
+  /// Salvage-mode damage accounting; when set, the Systems Administrator
+  /// book includes the data-quality report.
+  const etl::DataQualityReport* quality = nullptr;
 };
 
 /// Build the full report set for one stakeholder, writing each rendered
