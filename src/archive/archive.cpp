@@ -1,0 +1,495 @@
+#include "archive/archive.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <map>
+
+#include "archive/tables.h"
+#include "common/checksum.h"
+#include "common/error.h"
+#include "common/strings.h"
+
+namespace supremm::archive {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr const char* kManifestName = "MANIFEST";
+constexpr const char* kManifestHeader = "supremm-archive v1";
+
+std::string read_file(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw common::NotFoundError("archive: cannot open " + path.string());
+  std::string data((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  if (in.bad()) throw common::ParseError("archive: read failed for " + path.string());
+  return data;
+}
+
+/// Write via a temp file + rename so a crash never leaves a half-written
+/// file under the final name.
+void write_file_atomic(const fs::path& path, std::string_view data) {
+  const fs::path tmp = path.string() + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) throw common::InvalidArgument("archive: cannot write " + tmp.string());
+    out.write(data.data(), static_cast<std::streamsize>(data.size()));
+    if (!out) throw common::InvalidArgument("archive: write failed for " + tmp.string());
+  }
+  fs::rename(tmp, path);
+}
+
+std::uint32_t parse_hex32(std::string_view s) {
+  if (s.empty() || s.size() > 8) throw common::ParseError("archive: bad hex field in manifest");
+  std::uint32_t v = 0;
+  for (const char c : s) {
+    v <<= 4;
+    if (c >= '0' && c <= '9') {
+      v |= static_cast<std::uint32_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      v |= static_cast<std::uint32_t>(c - 'a' + 10);
+    } else if (c >= 'A' && c <= 'F') {
+      v |= static_cast<std::uint32_t>(c - 'A' + 10);
+    } else {
+      throw common::ParseError("archive: bad hex field in manifest");
+    }
+  }
+  return v;
+}
+
+std::string serialize_manifest(const Manifest& m) {
+  std::string out;
+  out += kManifestHeader;
+  out += '\n';
+  out += common::strprintf("start %lld\n", static_cast<long long>(m.start));
+  out += common::strprintf("bucket %lld\n", static_cast<long long>(m.bucket));
+  out += "cluster " + m.cluster + "\n";
+  out += "context " + m.context + "\n";
+  out += common::strprintf("watermark %lld\n", static_cast<long long>(m.watermark));
+  out += common::strprintf("rewrite_from %lld\n", static_cast<long long>(m.rewrite_from));
+  for (const auto& p : m.partitions) {
+    out += common::strprintf("p %s %lld %llu %08x %llu %s\n", p.table.c_str(),
+                             static_cast<long long>(p.day),
+                             static_cast<unsigned long long>(p.rows), p.crc,
+                             static_cast<unsigned long long>(p.bytes), p.filename.c_str());
+  }
+  out += common::strprintf("crc %08x\n", common::crc32(out));
+  return out;
+}
+
+Manifest parse_manifest(std::string_view text) {
+  // The trailing "crc NNNNNNNN\n" line checksums everything before it.
+  const std::size_t crc_pos = text.rfind("crc ");
+  if (crc_pos == std::string_view::npos || (crc_pos != 0 && text[crc_pos - 1] != '\n')) {
+    throw common::ParseError("archive: manifest missing checksum line");
+  }
+  const std::uint32_t stored = parse_hex32(common::trim(text.substr(crc_pos + 4)));
+  if (common::crc32(text.substr(0, crc_pos)) != stored) {
+    throw common::ParseError("archive: manifest checksum mismatch");
+  }
+
+  Manifest m;
+  bool header_seen = false;
+  for (const auto line_sv : common::split(text.substr(0, crc_pos), '\n')) {
+    const std::string_view line = common::trim(line_sv);
+    if (line.empty()) continue;
+    if (!header_seen) {
+      if (line != kManifestHeader) throw common::ParseError("archive: bad manifest header");
+      header_seen = true;
+      continue;
+    }
+    const std::size_t sp = line.find(' ');
+    const std::string_view key = line.substr(0, sp);
+    const std::string_view rest = sp == std::string_view::npos ? "" : line.substr(sp + 1);
+    if (key == "start") {
+      m.start = common::parse_i64(rest);
+    } else if (key == "bucket") {
+      m.bucket = common::parse_i64(rest);
+    } else if (key == "cluster") {
+      m.cluster = std::string(rest);
+    } else if (key == "context") {
+      m.context = std::string(rest);
+    } else if (key == "watermark") {
+      m.watermark = common::parse_i64(rest);
+    } else if (key == "rewrite_from") {
+      m.rewrite_from = common::parse_i64(rest);
+    } else if (key == "p") {
+      const auto f = common::split_ws(rest);
+      if (f.size() != 6) throw common::ParseError("archive: bad partition line in manifest");
+      PartitionInfo p;
+      p.table = std::string(f[0]);
+      p.day = common::parse_i64(f[1]);
+      p.rows = common::parse_u64(f[2]);
+      p.crc = parse_hex32(f[3]);
+      p.bytes = common::parse_u64(f[4]);
+      p.filename = std::string(f[5]);
+      m.partitions.push_back(std::move(p));
+    } else {
+      throw common::ParseError("archive: unknown manifest key '" + std::string(key) + "'");
+    }
+  }
+  if (!header_seen) throw common::ParseError("archive: empty manifest");
+  return m;
+}
+
+std::optional<Manifest> try_load_manifest(const std::string& dir) {
+  const fs::path path = fs::path(dir) / kManifestName;
+  if (!fs::exists(path)) return std::nullopt;
+  return parse_manifest(read_file(path));
+}
+
+/// Verify a partition file against its manifest record and decode it; on
+/// any failure record a quarantine entry and return nullopt.
+std::optional<DecodedPartition> try_read_partition(
+    const std::string& dir, const PartitionInfo& p,
+    const std::vector<warehouse::PredicateBounds>* prune,
+    std::vector<etl::PartitionQuarantine>& quarantined) {
+  auto reject = [&](std::string reason) {
+    quarantined.push_back({p.table, p.day, p.filename, std::move(reason)});
+    return std::nullopt;
+  };
+  std::string bytes;
+  try {
+    bytes = read_file(fs::path(dir) / p.filename);
+  } catch (const common::Error& e) {
+    return reject(e.what());
+  }
+  if (bytes.size() != p.bytes) {
+    return reject(common::strprintf("size mismatch: %zu bytes, manifest says %llu", bytes.size(),
+                                    static_cast<unsigned long long>(p.bytes)));
+  }
+  if (common::crc32(bytes) != p.crc) return reject("file CRC mismatch");
+  try {
+    DecodedPartition dp = decode_partition(bytes, prune);
+    if (dp.table.name() != p.table) return reject("table name mismatch");
+    return dp;
+  } catch (const common::Error& e) {
+    return reject(e.what());
+  }
+}
+
+/// Natural sort-key column restoring the order ingest produced: jobs come
+/// out sorted by id, series by time, quality by host.
+std::string_view sort_key_for(std::string_view table) {
+  if (table == kJobsTable) return "job_id";
+  if (table == kSeriesTable) return "time";
+  if (table == kQualityTable) return "host";
+  return "";
+}
+
+void append_row(warehouse::Table& dst, const warehouse::Table& src, std::size_t r) {
+  auto row = dst.append();
+  for (const auto& c : src.columns()) {
+    switch (c.type()) {
+      case warehouse::ColType::kDouble:
+        row.set(c.name(), c.as_double(r));
+        break;
+      case warehouse::ColType::kInt64:
+        row.set(c.name(), c.as_int64(r));
+        break;
+      case warehouse::ColType::kString:
+        row.set(c.name(), c.as_string(r));
+        break;
+    }
+  }
+}
+
+etl::SystemSeries slice_series(const etl::SystemSeries& s, std::size_t lo, std::size_t hi) {
+  etl::SystemSeries out;
+  out.start = s.time_at(lo);
+  out.bucket = s.bucket;
+  out.buckets = hi - lo;
+  for (const auto& f : series_fields()) {
+    (out.*f.member).assign((s.*f.member).begin() + static_cast<std::ptrdiff_t>(lo),
+                           (s.*f.member).begin() + static_cast<std::ptrdiff_t>(hi));
+  }
+  return out;
+}
+
+}  // namespace
+
+// --- Reader ---
+
+Reader::Reader(std::string dir) : dir_(std::move(dir)) {
+  auto m = try_load_manifest(dir_);
+  if (!m) throw common::ParseError("archive: no manifest in " + dir_);
+  manifest_ = std::move(*m);
+}
+
+std::vector<DecodedPartition> Reader::decode_table(
+    std::string_view name, const std::vector<warehouse::PredicateBounds>* prune) {
+  std::vector<const PartitionInfo*> parts;
+  for (const auto& p : manifest_.partitions) {
+    if (p.table == name) parts.push_back(&p);
+  }
+  std::sort(parts.begin(), parts.end(),
+            [](const PartitionInfo* a, const PartitionInfo* b) { return a->day < b->day; });
+  if (parts.empty()) {
+    throw common::NotFoundError("archive: no partitions for table '" + std::string(name) + "'");
+  }
+  std::vector<DecodedPartition> out;
+  for (const PartitionInfo* p : parts) {
+    if (auto dp = try_read_partition(dir_, *p, prune, quarantined_)) {
+      chunks_total_ += dp->chunks_total;
+      chunks_pruned_ += dp->chunks_pruned;
+      ++partitions_loaded_;
+      out.push_back(std::move(*dp));
+    }
+  }
+  if (out.empty()) {
+    throw common::ParseError("archive: every partition of table '" + std::string(name) +
+                             "' is quarantined");
+  }
+  return out;
+}
+
+warehouse::Table Reader::table(std::string_view name, std::size_t chunk_rows) {
+  const auto parts = decode_table(name, nullptr);
+
+  // Restore the canonical row order across partitions: collect (partition,
+  // row) references, stable-sort them by the table's natural key, and emit.
+  const std::string_view key = sort_key_for(name);
+  std::vector<std::pair<std::size_t, std::size_t>> order;  // (partition, row)
+  for (std::size_t p = 0; p < parts.size(); ++p) {
+    for (std::size_t r = 0; r < parts[p].table.rows(); ++r) order.emplace_back(p, r);
+  }
+  if (!key.empty() && parts.front().table.has_col(key)) {
+    const bool by_string =
+        parts.front().table.col(key).type() == warehouse::ColType::kString;
+    std::stable_sort(order.begin(), order.end(), [&](const auto& a, const auto& b) {
+      const warehouse::Column& ca = parts[a.first].table.col(key);
+      const warehouse::Column& cb = parts[b.first].table.col(key);
+      if (by_string) return ca.as_string(a.second) < cb.as_string(b.second);
+      return ca.as_int64(a.second) < cb.as_int64(b.second);
+    });
+  }
+
+  std::vector<std::pair<std::string, warehouse::ColType>> schema;
+  for (const auto& c : parts.front().table.columns()) schema.emplace_back(c.name(), c.type());
+  warehouse::Table out(parts.front().table.name(), std::move(schema));
+  for (const auto& [p, r] : order) append_row(out, parts[p].table, r);
+  out.rebuild_zone_index(chunk_rows);
+  return out;
+}
+
+warehouse::Table Reader::table_pruned(std::string_view name,
+                                      const std::vector<warehouse::PredicateBounds>& bounds,
+                                      std::size_t chunk_rows) {
+  const auto parts = decode_table(name, &bounds);
+  std::vector<std::pair<std::string, warehouse::ColType>> schema;
+  for (const auto& c : parts.front().table.columns()) schema.emplace_back(c.name(), c.type());
+  warehouse::Table out(parts.front().table.name(), std::move(schema));
+  for (const auto& part : parts) {
+    for (std::size_t r = 0; r < part.table.rows(); ++r) append_row(out, part.table, r);
+  }
+  out.rebuild_zone_index(chunk_rows);
+  return out;
+}
+
+// --- Archive ---
+
+Archive::Archive(std::string dir) : dir_(std::move(dir)), manifest_(try_load_manifest(dir_)) {}
+
+const Manifest& Archive::manifest() const {
+  if (!manifest_) throw common::NotFoundError("archive: " + dir_ + " is empty");
+  return *manifest_;
+}
+
+AppendStats Archive::append(const etl::IngestConfig& cfg,
+                            const std::vector<taccstats::RawFile>& files,
+                            const std::vector<accounting::AccountingRecord>& acct,
+                            const std::vector<lariat::LariatRecord>& lariat_records,
+                            const std::vector<facility::AppSignature>& catalogue,
+                            const std::unordered_map<std::string, std::string>& project_science,
+                            std::string_view context, common::TimePoint upto) {
+  using common::kDay;
+  if (cfg.start % kDay != 0) {
+    throw common::InvalidArgument("archive: ingest start must be day-aligned");
+  }
+  if (upto % kDay != 0) throw common::InvalidArgument("archive: upto must be day-aligned");
+  if (upto <= cfg.start) throw common::InvalidArgument("archive: upto must be after start");
+  if (cfg.span != upto - cfg.start) {
+    throw common::InvalidArgument("archive: cfg.span must equal upto - cfg.start");
+  }
+  if (cfg.bucket <= 0 || kDay % cfg.bucket != 0) {
+    throw common::InvalidArgument("archive: bucket must evenly divide one day");
+  }
+  const common::Duration max_gap = cfg.max_pair_gap > 0 ? cfg.max_pair_gap : 3 * cfg.bucket;
+  if (max_gap > kDay) {
+    throw common::InvalidArgument(
+        "archive: max_pair_gap beyond one day breaks day-partitioned append");
+  }
+
+  const std::int64_t day0 = common::day_of(cfg.start);
+  const std::int64_t day_end = common::day_of(upto);  // exclusive
+  std::int64_t prev_final = day0;
+  if (manifest_) {
+    if (manifest_->start != cfg.start || manifest_->bucket != cfg.bucket ||
+        manifest_->cluster != cfg.cluster || manifest_->context != context) {
+      throw common::InvalidArgument("archive: " + dir_ +
+                                    " was written with a different configuration");
+    }
+    if (upto <= manifest_->watermark) return {};  // nothing new
+    prev_final = manifest_->rewrite_from;
+  }
+
+  // Days >= prev_final are (re)computed this append. Ingest needs raw files
+  // back to the earliest accounting start among jobs ending after the
+  // boundary (for complete job accumulation) and one day before the first
+  // recomputed day (for cross-midnight sample pairs).
+  const common::TimePoint boundary = prev_final * kDay;
+  std::int64_t cutoff = prev_final - 1;
+  for (const auto& a : acct) {
+    if (a.end > boundary) cutoff = std::min(cutoff, common::day_of(a.start));
+  }
+  cutoff = std::max(cutoff, day0);
+
+  // day_end is included: the boundary sample at exactly `upto` (and the end
+  // marks of jobs finishing there) lands in that file. Any samples it holds
+  // beyond `upto` only influence the provisional last day, which the next
+  // append rewrites, and buckets past the span, which ingest drops.
+  std::vector<taccstats::RawFile> window;
+  for (const auto& f : files) {
+    if (f.day >= cutoff && f.day <= day_end) window.push_back(f);
+  }
+
+  const etl::IngestPipeline pipeline(cfg);
+  etl::IngestResult res =
+      pipeline.run(window, acct, lariat_records, catalogue, project_science);
+
+  Manifest m;
+  if (manifest_) {
+    m = *manifest_;
+  } else {
+    m.start = cfg.start;
+    m.bucket = cfg.bucket;
+    m.cluster = cfg.cluster;
+    m.context = std::string(context);
+  }
+
+  // Retire every partition this append rewrites: all days >= prev_final
+  // plus the quality snapshot.
+  std::vector<std::string> stale;
+  std::erase_if(m.partitions, [&](const PartitionInfo& p) {
+    if (p.day >= prev_final || p.table == kQualityTable) {
+      stale.push_back(p.filename);
+      return true;
+    }
+    return false;
+  });
+
+  fs::create_directories(dir_);
+  AppendStats stats;
+  stats.days_ingested = day_end - prev_final;
+  auto persist = [&](const warehouse::Table& t, std::int64_t day, std::string filename) {
+    const std::string bytes = encode_partition(t, day);
+    PartitionInfo p;
+    p.table = t.name();
+    p.day = day;
+    p.rows = t.rows();
+    p.crc = common::crc32(bytes);
+    p.bytes = bytes.size();
+    p.filename = std::move(filename);
+    write_file_atomic(fs::path(dir_) / p.filename, bytes);
+    ++stats.partitions_written;
+    stats.rows_written += p.rows;
+    stats.bytes_written += p.bytes;
+    m.partitions.push_back(std::move(p));
+  };
+
+  // Jobs, partitioned by ending day. A job ending after `upto` is still
+  // running: park it in the provisional last day, which the next append
+  // recomputes with its remaining samples.
+  std::map<std::int64_t, std::vector<etl::JobSummary>> jobs_by_day;
+  for (auto& j : res.jobs) {
+    if (j.end <= boundary) continue;  // final in an earlier partition
+    const std::int64_t d = std::min(common::day_of(j.end - 1), day_end - 1);
+    jobs_by_day[d].push_back(std::move(j));  // keeps ingest's id order per day
+  }
+  for (const auto& [d, js] : jobs_by_day) {
+    persist(jobs_table(js), d,
+            common::strprintf("jobs-d%06lld.part", static_cast<long long>(d)));
+  }
+
+  // System series, one partition per recomputed day.
+  const auto bpd = static_cast<std::size_t>(kDay / cfg.bucket);
+  for (std::int64_t d = prev_final; d < day_end; ++d) {
+    const auto lo = static_cast<std::size_t>(d - day0) * bpd;
+    persist(series_table(slice_series(res.series, lo, lo + bpd)), d,
+            common::strprintf("series-d%06lld.part", static_cast<long long>(d)));
+  }
+
+  // Per-host quality: a snapshot of this append's ingest window.
+  persist(quality_to_table(res.quality), -1, "data_quality-snapshot.part");
+
+  m.watermark = upto;
+  m.rewrite_from = day_end - 1;
+  write_file_atomic(fs::path(dir_) / kManifestName, serialize_manifest(m));
+
+  // Only after the new manifest is durable, drop files it no longer names.
+  for (const auto& f : stale) {
+    bool still_used = false;
+    for (const auto& p : m.partitions) {
+      if (p.filename == f) still_used = true;
+    }
+    if (!still_used) fs::remove(fs::path(dir_) / f);
+  }
+  manifest_ = std::move(m);
+  return stats;
+}
+
+LoadResult Archive::load() const {
+  const Manifest& m = manifest();
+  LoadResult out;
+
+  std::vector<const PartitionInfo*> parts;
+  for (const auto& p : m.partitions) parts.push_back(&p);
+  std::sort(parts.begin(), parts.end(), [](const PartitionInfo* a, const PartitionInfo* b) {
+    return std::tie(a->table, a->day) < std::tie(b->table, b->day);
+  });
+
+  std::vector<warehouse::Table> series_parts;
+  for (const PartitionInfo* p : parts) {
+    auto dp = try_read_partition(dir_, *p, nullptr, out.quarantined);
+    if (!dp) continue;
+    ++out.partitions_loaded;
+    if (p->table == kJobsTable) {
+      auto jobs = jobs_from_table(dp->table);
+      out.result.jobs.insert(out.result.jobs.end(), std::make_move_iterator(jobs.begin()),
+                             std::make_move_iterator(jobs.end()));
+    } else if (p->table == kSeriesTable) {
+      series_parts.push_back(std::move(dp->table));
+    } else if (p->table == kQualityTable) {
+      out.result.quality = quality_from_table(dp->table);
+    } else {
+      out.quarantined.push_back({p->table, p->day, p->filename, "unknown table"});
+    }
+  }
+
+  // Jobs arrive day-major; restore ingest's id order.
+  std::sort(out.result.jobs.begin(), out.result.jobs.end(),
+            [](const etl::JobSummary& a, const etl::JobSummary& b) { return a.id < b.id; });
+
+  // Series over [start, watermark); day partitions cover disjoint bucket
+  // ranges, so they merge by addition into the zero-filled whole. Buckets
+  // of quarantined days stay zero.
+  const auto buckets = static_cast<std::size_t>((m.watermark - m.start) / m.bucket);
+  out.result.series.start = m.start;
+  out.result.series.bucket = m.bucket;
+  out.result.series.buckets = buckets;
+  for (const auto& f : series_fields()) (out.result.series.*f.member).assign(buckets, 0.0);
+  for (const auto& part : series_parts) {
+    const etl::SystemSeries piece = series_from_table(part, m.start, m.bucket, buckets);
+    for (const auto& f : series_fields()) {
+      for (std::size_t i = 0; i < buckets; ++i) {
+        (out.result.series.*f.member)[i] += (piece.*f.member)[i];
+      }
+    }
+  }
+
+  out.result.quality.corrupt_partitions = out.quarantined;
+  return out;
+}
+
+}  // namespace supremm::archive

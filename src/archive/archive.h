@@ -1,0 +1,159 @@
+// The persistent job archive: partitioned, compressed, incrementally
+// appendable columnar storage for ingest output (DESIGN.md §10).
+//
+// The paper's warehouse exists because the raw data volume (§1.2: ~60 GB
+// uncompressed per month on Ranger) cannot be re-read for every question;
+// this module is the C++ stand-in for that durable store. An archive
+// directory holds one partition file per simulated day and table (see
+// partition.h for the binary format) plus a checksummed text MANIFEST
+// recording every partition's CRC and the ingest watermark.
+//
+// Incremental contract: append(cfg, artifacts, upto) ingests only the days
+// the manifest does not already cover. Day D's data is final once day D+1
+// has been ingested (cross-midnight sample pairs and jobs ending exactly on
+// the boundary need the next day's raw file), so the newest archived day is
+// provisional - recorded as `rewrite_from` and rewritten by the next
+// append. For strict-mode (clean) data, a sequence of appends is
+// bit-identical to one from-scratch ingest of the full span; salvage-mode
+// repairs that use cross-day context (host clock-skew estimation) can
+// differ near append boundaries. The per-host data-quality table is a
+// snapshot of the latest append's ingest window, not a merged history.
+//
+// Robustness: every block and file is checksummed. Partitions that fail
+// verification at load time are quarantined into
+// DataQualityReport::corrupt_partitions and the rest of the archive still
+// loads - the storage-layer extension of PR 1's salvage contract.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "archive/partition.h"
+#include "etl/ingest.h"
+
+namespace supremm::archive {
+
+/// One partition as recorded in the manifest.
+struct PartitionInfo {
+  std::string table;
+  std::int64_t day = 0;  // absolute simulated day index; -1 = snapshot
+  std::uint64_t rows = 0;
+  std::uint32_t crc = 0;  // CRC-32 of the whole partition file
+  std::uint64_t bytes = 0;
+  std::string filename;
+};
+
+/// The archive's checksummed index (file "MANIFEST" in the directory).
+struct Manifest {
+  common::TimePoint start = 0;
+  common::Duration bucket = 0;
+  std::string cluster;
+  std::string context;  // caller's config fingerprint; appends must match
+  common::TimePoint watermark = 0;  // data before this time is archived
+  std::int64_t rewrite_from = 0;    // first provisional day (absolute index)
+  std::vector<PartitionInfo> partitions;
+};
+
+struct AppendStats {
+  std::int64_t days_ingested = 0;    // days re-ingested by this append
+  std::size_t partitions_written = 0;
+  std::uint64_t rows_written = 0;
+  std::uint64_t bytes_written = 0;   // compressed partition bytes
+};
+
+struct LoadResult {
+  etl::IngestResult result;  // jobs + series + quality; stats left zero
+  std::vector<etl::PartitionQuarantine> quarantined;
+  std::size_t partitions_loaded = 0;
+};
+
+/// Lazily materializes warehouse tables from an archive directory. Each
+/// table() call concatenates that table's healthy partitions (quarantining
+/// damaged ones), restores the canonical row order, and attaches a zone
+/// index so warehouse::Query prunes chunks during scans.
+class Reader {
+ public:
+  /// Reads and verifies the manifest; throws ParseError if it is missing or
+  /// damaged (without a trustworthy index nothing else can be trusted).
+  explicit Reader(std::string dir);
+
+  [[nodiscard]] const Manifest& manifest() const noexcept { return manifest_; }
+
+  /// Materialize one table ("jobs", "series" or "data_quality") from all of
+  /// its healthy partitions, sorted by its natural key (job id / time /
+  /// host) and zone-indexed with `chunk_rows` rows per chunk.
+  [[nodiscard]] warehouse::Table table(std::string_view name,
+                                       std::size_t chunk_rows = kDefaultChunkRows);
+
+  /// Scan-oriented read: decode only the chunks whose stored zone maps can
+  /// satisfy `bounds`; everything else is skipped without decompression.
+  /// Rows keep partition order (day-major) and carry a zone index.
+  [[nodiscard]] warehouse::Table table_pruned(std::string_view name,
+                                              const std::vector<warehouse::PredicateBounds>& bounds,
+                                              std::size_t chunk_rows = kDefaultChunkRows);
+
+  /// Partitions dropped by table()/table_pruned() calls so far.
+  [[nodiscard]] const std::vector<etl::PartitionQuarantine>& quarantined() const noexcept {
+    return quarantined_;
+  }
+  [[nodiscard]] std::size_t partitions_loaded() const noexcept { return partitions_loaded_; }
+  /// Chunk accounting from table_pruned() calls.
+  [[nodiscard]] std::size_t chunks_total() const noexcept { return chunks_total_; }
+  [[nodiscard]] std::size_t chunks_pruned() const noexcept { return chunks_pruned_; }
+
+ private:
+  std::vector<DecodedPartition> decode_table(std::string_view name,
+                                             const std::vector<warehouse::PredicateBounds>* prune);
+
+  std::string dir_;
+  Manifest manifest_;
+  std::vector<etl::PartitionQuarantine> quarantined_;
+  std::size_t partitions_loaded_ = 0;
+  std::size_t chunks_total_ = 0;
+  std::size_t chunks_pruned_ = 0;
+};
+
+/// An archive directory: open (or create on first append), append new days,
+/// load everything back as an IngestResult.
+class Archive {
+ public:
+  /// Binds to `dir`. Reads the manifest if one exists; a missing manifest
+  /// means an empty archive (the first append creates it), a damaged one
+  /// throws ParseError.
+  explicit Archive(std::string dir);
+
+  [[nodiscard]] const std::string& dir() const noexcept { return dir_; }
+  [[nodiscard]] bool exists() const noexcept { return manifest_.has_value(); }
+  /// Throws NotFoundError when the archive is empty.
+  [[nodiscard]] const Manifest& manifest() const;
+
+  /// Ingest the not-yet-archived days in [watermark, upto) from the given
+  /// artifacts and persist them. `cfg.start` must be day-aligned and equal
+  /// the archive's start; `cfg.span` must equal `upto - cfg.start`; `upto`
+  /// must be day-aligned. `context` is an opaque fingerprint of everything
+  /// that determines the data (spec, seed, load factor, ...): appends to an
+  /// archive with a different context throw InvalidArgument instead of
+  /// silently mixing datasets. Returns without work if upto <= watermark.
+  AppendStats append(const etl::IngestConfig& cfg,
+                     const std::vector<taccstats::RawFile>& files,
+                     const std::vector<accounting::AccountingRecord>& acct,
+                     const std::vector<lariat::LariatRecord>& lariat_records,
+                     const std::vector<facility::AppSignature>& catalogue,
+                     const std::unordered_map<std::string, std::string>& project_science,
+                     std::string_view context, common::TimePoint upto);
+
+  /// Materialize the full archive as an IngestResult (jobs sorted by id,
+  /// series over [start, watermark), latest quality snapshot). Damaged
+  /// partitions are quarantined into the result's DataQualityReport.
+  [[nodiscard]] LoadResult load() const;
+
+ private:
+  std::string dir_;
+  std::optional<Manifest> manifest_;
+};
+
+}  // namespace supremm::archive

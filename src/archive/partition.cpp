@@ -1,0 +1,345 @@
+#include "archive/partition.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "archive/codec.h"
+#include "common/checksum.h"
+#include "common/error.h"
+#include "compress/lzss.h"
+
+namespace supremm::archive {
+
+namespace {
+
+constexpr char kMagic[8] = {'S', 'U', 'P', 'A', 'R', 'C', 'H', '1'};
+constexpr std::uint16_t kVersion = 1;
+
+struct Zone {
+  double lo = 0.0;
+  double hi = 0.0;
+  std::uint32_t nulls = 0;
+};
+
+void put_name(std::string& out, std::string_view name) {
+  if (name.size() > 0xffff) throw common::InvalidArgument("archive: name too long");
+  put_u16(out, static_cast<std::uint16_t>(name.size()));
+  out.append(name);
+}
+
+std::string get_name(ByteReader& in) { return std::string(in.bytes(in.u16())); }
+
+/// Compress `raw` and append it as a length-prefixed, checksummed block.
+void put_block(std::string& out, std::string_view raw) {
+  compress::StreamCompressor comp;
+  comp.append(raw);
+  const std::string packed = comp.finish();
+  put_u32(out, static_cast<std::uint32_t>(packed.size()));
+  put_u32(out, common::crc32(packed));
+  out.append(packed);
+}
+
+/// Verify and decompress the block at the reader's position.
+std::string get_block(ByteReader& in) {
+  const std::uint32_t len = in.u32();
+  const std::uint32_t crc = in.u32();
+  const std::string_view packed = in.bytes(len);
+  if (common::crc32(packed) != crc) throw common::ParseError("archive: block CRC mismatch");
+  return compress::decompress(packed);
+}
+
+/// Skip the block at the reader's position without touching its payload.
+void skip_block(ByteReader& in) {
+  const std::uint32_t len = in.u32();
+  (void)in.u32();  // crc
+  in.skip(len);
+}
+
+double cell_value(const warehouse::Column& c, std::size_t row) {
+  switch (c.type()) {
+    case warehouse::ColType::kDouble:
+      return c.as_double(row);
+    case warehouse::ColType::kInt64:
+      return static_cast<double>(c.as_int64(row));
+    case warehouse::ColType::kString:
+      return static_cast<double>(c.code(row));
+  }
+  return 0.0;
+}
+
+Zone zone_of(const warehouse::Column& c, std::size_t lo_row, std::size_t hi_row) {
+  Zone z;
+  bool seen = false;
+  for (std::size_t r = lo_row; r < hi_row; ++r) {
+    const double v = cell_value(c, r);
+    if (std::isnan(v)) {
+      ++z.nulls;
+      continue;
+    }
+    if (!seen || v < z.lo) z.lo = v;
+    if (!seen || v > z.hi) z.hi = v;
+    seen = true;
+  }
+  return z;
+}
+
+}  // namespace
+
+std::string encode_partition(const warehouse::Table& table, std::int64_t day,
+                             std::size_t chunk_rows) {
+  if (chunk_rows == 0) throw common::InvalidArgument("archive: chunk_rows must be positive");
+  if (table.cols() > 0xffff) throw common::InvalidArgument("archive: too many columns");
+  const std::size_t rows = table.rows();
+  const std::size_t nchunks = (rows + chunk_rows - 1) / chunk_rows;
+
+  std::string out;
+  out.append(kMagic, sizeof(kMagic));
+  put_u16(out, kVersion);
+  put_name(out, table.name());
+  put_u64(out, static_cast<std::uint64_t>(day));
+  put_u64(out, rows);
+  put_u32(out, static_cast<std::uint32_t>(chunk_rows));
+  put_u32(out, static_cast<std::uint32_t>(nchunks));
+  put_u16(out, static_cast<std::uint16_t>(table.cols()));
+  for (const auto& c : table.columns()) {
+    put_name(out, c.name());
+    out.push_back(static_cast<char>(c.type()));
+  }
+
+  // Zone maps up front so readers can decide chunk survival before touching
+  // any data block.
+  for (const auto& c : table.columns()) {
+    for (std::size_t ch = 0; ch < nchunks; ++ch) {
+      const std::size_t lo_row = ch * chunk_rows;
+      const Zone z = zone_of(c, lo_row, std::min(rows, lo_row + chunk_rows));
+      put_f64(out, z.lo);
+      put_f64(out, z.hi);
+      put_u32(out, z.nulls);
+    }
+  }
+
+  std::string raw;
+  for (const auto& c : table.columns()) {
+    if (c.type() == warehouse::ColType::kString) {
+      raw.clear();
+      put_u32(raw, static_cast<std::uint32_t>(c.dict().size()));
+      for (const auto& entry : c.dict()) {
+        put_u32(raw, static_cast<std::uint32_t>(entry.size()));
+        raw.append(entry);
+      }
+      put_block(out, raw);
+    }
+    for (std::size_t ch = 0; ch < nchunks; ++ch) {
+      const std::size_t lo_row = ch * chunk_rows;
+      const std::size_t hi_row = std::min(rows, lo_row + chunk_rows);
+      raw.clear();
+      switch (c.type()) {
+        case warehouse::ColType::kDouble:
+          encode_f64_chunk(c.doubles().subspan(lo_row, hi_row - lo_row), raw);
+          break;
+        case warehouse::ColType::kInt64:
+          encode_i64_chunk(c.int64s().subspan(lo_row, hi_row - lo_row), raw);
+          break;
+        case warehouse::ColType::kString: {
+          std::vector<std::int32_t> codes;
+          codes.reserve(hi_row - lo_row);
+          for (std::size_t r = lo_row; r < hi_row; ++r) codes.push_back(c.code(r));
+          encode_codes_chunk(codes, raw);
+          break;
+        }
+      }
+      put_block(out, raw);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+struct Header {
+  std::string table_name;
+  std::int64_t day = 0;
+  std::uint64_t rows = 0;
+  std::uint32_t chunk_rows = 0;
+  std::uint32_t nchunks = 0;
+  std::vector<std::pair<std::string, warehouse::ColType>> schema;
+  std::vector<std::vector<Zone>> zones;  // [column][chunk]
+};
+
+Header read_header(ByteReader& in, bool with_zones) {
+  if (std::memcmp(in.bytes(sizeof(kMagic)).data(), kMagic, sizeof(kMagic)) != 0) {
+    throw common::ParseError("archive: bad partition magic");
+  }
+  if (in.u16() != kVersion) throw common::ParseError("archive: unsupported partition version");
+  Header h;
+  h.table_name = get_name(in);
+  h.day = static_cast<std::int64_t>(in.u64());
+  h.rows = in.u64();
+  h.chunk_rows = in.u32();
+  h.nchunks = in.u32();
+  if (h.chunk_rows == 0) throw common::ParseError("archive: zero chunk_rows");
+  if (h.nchunks != (h.rows + h.chunk_rows - 1) / h.chunk_rows) {
+    throw common::ParseError("archive: chunk count mismatch");
+  }
+  const std::uint16_t ncols = in.u16();
+  if (ncols == 0) throw common::ParseError("archive: partition without columns");
+  for (std::uint16_t c = 0; c < ncols; ++c) {
+    std::string name = get_name(in);
+    const std::uint8_t type = in.u8();
+    if (type > static_cast<std::uint8_t>(warehouse::ColType::kString)) {
+      throw common::ParseError("archive: bad column type");
+    }
+    h.schema.emplace_back(std::move(name), static_cast<warehouse::ColType>(type));
+  }
+  if (!with_zones) return h;
+  h.zones.resize(ncols);
+  for (std::uint16_t c = 0; c < ncols; ++c) {
+    h.zones[c].resize(h.nchunks);
+    for (std::uint32_t ch = 0; ch < h.nchunks; ++ch) {
+      Zone& z = h.zones[c][ch];
+      z.lo = in.f64();
+      z.hi = in.f64();
+      z.nulls = in.u32();
+    }
+  }
+  return h;
+}
+
+/// Decode the dictionary block of a string column.
+std::vector<std::string> read_dict(ByteReader& in) {
+  const std::string raw = get_block(in);
+  ByteReader r(raw);
+  const std::uint32_t n = r.u32();
+  std::vector<std::string> dict;
+  dict.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) dict.emplace_back(r.bytes(r.u32()));
+  if (r.remaining() != 0) throw common::ParseError("archive: dictionary trailing bytes");
+  return dict;
+}
+
+}  // namespace
+
+DecodedPartition decode_partition(std::string_view bytes,
+                                  const std::vector<warehouse::PredicateBounds>* prune) {
+  ByteReader in(bytes);
+  Header h = read_header(in, /*with_zones=*/true);
+
+  // Decide chunk survival. Numeric bounds test directly against the zones;
+  // string-equality bounds need the column's dictionary, which a first pass
+  // reaches by skipping blocks via their length prefixes.
+  std::vector<bool> survives(h.nchunks, true);
+  if (prune != nullptr && h.nchunks > 0) {
+    std::vector<std::vector<std::string>> equals_dict(h.schema.size());
+    {
+      bool any_equals = false;
+      for (const auto& b : *prune) {
+        if (b.equals) any_equals = true;
+      }
+      if (any_equals) {
+        ByteReader scan(bytes);
+        scan.skip(in.pos());
+        for (std::size_t c = 0; c < h.schema.size(); ++c) {
+          const bool is_string = h.schema[c].second == warehouse::ColType::kString;
+          bool wanted = false;
+          for (const auto& b : *prune) {
+            if (b.equals && b.column == h.schema[c].first) wanted = true;
+          }
+          if (is_string && wanted) {
+            equals_dict[c] = read_dict(scan);
+          } else if (is_string) {
+            skip_block(scan);
+          }
+          for (std::uint32_t ch = 0; ch < h.nchunks; ++ch) skip_block(scan);
+        }
+      }
+    }
+    for (const auto& b : *prune) {
+      const auto it = std::find_if(h.schema.begin(), h.schema.end(),
+                                   [&](const auto& s) { return s.first == b.column; });
+      if (it == h.schema.end()) continue;
+      const auto c = static_cast<std::size_t>(it - h.schema.begin());
+      const bool is_string = h.schema[c].second == warehouse::ColType::kString;
+      double lo = b.lo;
+      double hi = b.hi;
+      if (b.equals) {
+        if (!is_string) continue;
+        const auto& dict = equals_dict[c];
+        const auto dit = std::find(dict.begin(), dict.end(), *b.equals);
+        if (dit == dict.end()) {
+          survives.assign(h.nchunks, false);  // value absent from the partition
+          break;
+        }
+        lo = hi = static_cast<double>(dit - dict.begin());
+      } else if (is_string) {
+        continue;
+      }
+      for (std::uint32_t ch = 0; ch < h.nchunks; ++ch) {
+        const Zone& z = h.zones[c][ch];
+        if (z.hi < lo || z.lo > hi) survives[ch] = false;
+      }
+    }
+  }
+
+  DecodedPartition out{warehouse::Table(h.table_name, h.schema), h.day, h.nchunks, 0};
+  for (std::uint32_t ch = 0; ch < h.nchunks; ++ch) {
+    if (!survives[ch]) ++out.chunks_pruned;
+  }
+
+  for (std::size_t c = 0; c < h.schema.size(); ++c) {
+    warehouse::Column& col = out.table.col(h.schema[c].first);
+    std::vector<std::string> dict;
+    if (h.schema[c].second == warehouse::ColType::kString) dict = read_dict(in);
+    for (std::uint32_t ch = 0; ch < h.nchunks; ++ch) {
+      const std::size_t lo_row = static_cast<std::size_t>(ch) * h.chunk_rows;
+      const std::size_t n = std::min<std::size_t>(h.rows - lo_row, h.chunk_rows);
+      if (!survives[ch]) {
+        skip_block(in);
+        continue;
+      }
+      const std::string raw = get_block(in);
+      ByteReader r(raw);
+      switch (h.schema[c].second) {
+        case warehouse::ColType::kDouble: {
+          std::vector<double> vals;
+          vals.reserve(n);
+          decode_f64_chunk(r, n, vals);
+          for (const double v : vals) col.push_double(v);
+          break;
+        }
+        case warehouse::ColType::kInt64: {
+          std::vector<std::int64_t> vals;
+          vals.reserve(n);
+          decode_i64_chunk(r, n, vals);
+          for (const std::int64_t v : vals) col.push_int64(v);
+          break;
+        }
+        case warehouse::ColType::kString: {
+          std::vector<std::int32_t> codes;
+          codes.reserve(n);
+          decode_codes_chunk(r, n, codes);
+          for (const std::int32_t code : codes) {
+            if (static_cast<std::size_t>(code) >= dict.size()) {
+              throw common::ParseError("archive: dictionary code out of range");
+            }
+            col.push_string(dict[static_cast<std::size_t>(code)]);
+          }
+          break;
+        }
+      }
+      if (r.remaining() != 0) throw common::ParseError("archive: chunk trailing bytes");
+    }
+  }
+  if (in.remaining() != 0) throw common::ParseError("archive: partition trailing bytes");
+  out.table.finalize_rows();
+  return out;
+}
+
+std::string partition_table_name(std::string_view bytes) {
+  ByteReader in(bytes);
+  return read_header(in, /*with_zones=*/false).table_name;
+}
+
+}  // namespace supremm::archive

@@ -1,0 +1,57 @@
+// One archive partition: a self-describing compressed columnar image of a
+// warehouse::Table slice (one simulated day of one table).
+//
+// Layout (all little-endian):
+//   magic "SUPARCH1", u16 version
+//   u16 table-name length + bytes, i64 day, u64 rows
+//   u32 chunk_rows, u32 nchunks, u16 ncols
+//   per column: u16 name length + bytes, u8 ColType
+//   per column x chunk: zone map (f64 lo, f64 hi, u32 null count) - for
+//     string columns the range is over dictionary codes
+//   per column: [string columns: dictionary block] then one block per chunk
+//
+// block := u32 compressed length, u32 CRC-32 of the compressed bytes,
+// compressed bytes (an LZSS stream, itself carrying the raw length). Blocks
+// are length-prefixed so a reader can skip a chunk without decompressing it;
+// together with the up-front zone maps this gives chunk pruning on read.
+//
+// Value encodings before compression: int64 and dictionary codes are
+// zigzag-delta varints; doubles are XORed with the previous bit pattern
+// (see codec.h). Encoding is deterministic, so identical tables produce
+// identical partition bytes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "warehouse/query.h"
+#include "warehouse/table.h"
+
+namespace supremm::archive {
+
+inline constexpr std::size_t kDefaultChunkRows = 1024;
+
+/// Serialize `table` as a partition image for simulated day `day`.
+[[nodiscard]] std::string encode_partition(const warehouse::Table& table, std::int64_t day,
+                                           std::size_t chunk_rows = kDefaultChunkRows);
+
+/// Everything decoded from one partition.
+struct DecodedPartition {
+  warehouse::Table table;
+  std::int64_t day = 0;
+  std::size_t chunks_total = 0;
+  std::size_t chunks_pruned = 0;  // skipped without decompression
+};
+
+/// Decode a partition image; throws ParseError on any structural damage or
+/// CRC mismatch. With `prune` non-null, chunks whose zone maps are disjoint
+/// from the bounds are skipped entirely (not decompressed) and their rows
+/// are absent from the result.
+[[nodiscard]] DecodedPartition decode_partition(
+    std::string_view bytes, const std::vector<warehouse::PredicateBounds>* prune = nullptr);
+
+/// Table name recorded in a partition image (header-only parse).
+[[nodiscard]] std::string partition_table_name(std::string_view bytes);
+
+}  // namespace supremm::archive

@@ -1,0 +1,234 @@
+#include "archive/tables.h"
+
+#include <array>
+
+#include "common/error.h"
+
+namespace supremm::archive {
+
+using warehouse::ColType;
+using warehouse::Table;
+
+std::span<const SeriesField> series_fields() {
+  static const std::array<SeriesField, 14> kFields = {{
+      {"active_nodes", &etl::SystemSeries::active_nodes},
+      {"up_nodes", &etl::SystemSeries::up_nodes},
+      {"flops_tf", &etl::SystemSeries::flops_tf},
+      {"mem_gb_per_node", &etl::SystemSeries::mem_gb_per_node},
+      {"cpu_user_core_h", &etl::SystemSeries::cpu_user_core_h},
+      {"cpu_idle_core_h", &etl::SystemSeries::cpu_idle_core_h},
+      {"cpu_system_core_h", &etl::SystemSeries::cpu_system_core_h},
+      {"scratch_write_mb_s", &etl::SystemSeries::scratch_write_mb_s},
+      {"scratch_read_mb_s", &etl::SystemSeries::scratch_read_mb_s},
+      {"work_write_mb_s", &etl::SystemSeries::work_write_mb_s},
+      {"share_mb_s", &etl::SystemSeries::share_mb_s},
+      {"ib_tx_mb_s", &etl::SystemSeries::ib_tx_mb_s},
+      {"lnet_tx_mb_s", &etl::SystemSeries::lnet_tx_mb_s},
+      {"cpu_idle_frac", &etl::SystemSeries::cpu_idle_frac},
+  }};
+  return kFields;
+}
+
+warehouse::Table jobs_table(std::span<const etl::JobSummary> jobs) {
+  Table t(kJobsTable,
+          {{"job_id", ColType::kInt64},
+           {"user", ColType::kString},
+           {"app", ColType::kString},
+           {"science", ColType::kString},
+           {"project", ColType::kString},
+           {"cluster", ColType::kString},
+           {"submit", ColType::kInt64},
+           {"start", ColType::kInt64},
+           {"end", ColType::kInt64},
+           {"nodes", ColType::kInt64},
+           {"cores", ColType::kInt64},
+           {"node_hours", ColType::kDouble},
+           {"exit_status", ColType::kInt64},
+           {"failed", ColType::kInt64},
+           {"samples", ColType::kInt64},
+           {"reconciled", ColType::kInt64},
+           {"cpu_idle", ColType::kDouble},
+           {"cpu_flops_gf_node", ColType::kDouble},
+           {"flops_valid", ColType::kInt64},
+           {"mem_used_gb", ColType::kDouble},
+           {"mem_used_max_gb", ColType::kDouble},
+           {"io_scratch_write_mb_s", ColType::kDouble},
+           {"io_work_write_mb_s", ColType::kDouble},
+           {"net_ib_tx_mb_s", ColType::kDouble},
+           {"net_lnet_tx_mb_s", ColType::kDouble},
+           {"cpu_user", ColType::kDouble},
+           {"cpu_system", ColType::kDouble},
+           {"io_scratch_read_mb_s", ColType::kDouble},
+           {"net_ib_rx_mb_s", ColType::kDouble},
+           {"net_lnet_rx_mb_s", ColType::kDouble},
+           {"swap_mb_s", ColType::kDouble},
+           {"load_mean", ColType::kDouble}});
+  for (const auto& j : jobs) {
+    t.append()
+        .set("job_id", static_cast<std::int64_t>(j.id))
+        .set("user", j.user)
+        .set("app", j.app)
+        .set("science", j.science)
+        .set("project", j.project)
+        .set("cluster", j.cluster)
+        .set("submit", j.submit)
+        .set("start", j.start)
+        .set("end", j.end)
+        .set("nodes", static_cast<std::int64_t>(j.nodes))
+        .set("cores", static_cast<std::int64_t>(j.cores))
+        .set("node_hours", j.node_hours)
+        .set("exit_status", static_cast<std::int64_t>(j.exit_status))
+        .set("failed", static_cast<std::int64_t>(j.failed))
+        .set("samples", static_cast<std::int64_t>(j.samples))
+        .set("reconciled", static_cast<std::int64_t>(j.reconciled ? 1 : 0))
+        .set("cpu_idle", j.cpu_idle)
+        .set("cpu_flops_gf_node", j.cpu_flops_gf_node)
+        .set("flops_valid", static_cast<std::int64_t>(j.flops_valid ? 1 : 0))
+        .set("mem_used_gb", j.mem_used_gb)
+        .set("mem_used_max_gb", j.mem_used_max_gb)
+        .set("io_scratch_write_mb_s", j.io_scratch_write_mb_s)
+        .set("io_work_write_mb_s", j.io_work_write_mb_s)
+        .set("net_ib_tx_mb_s", j.net_ib_tx_mb_s)
+        .set("net_lnet_tx_mb_s", j.net_lnet_tx_mb_s)
+        .set("cpu_user", j.cpu_user)
+        .set("cpu_system", j.cpu_system)
+        .set("io_scratch_read_mb_s", j.io_scratch_read_mb_s)
+        .set("net_ib_rx_mb_s", j.net_ib_rx_mb_s)
+        .set("net_lnet_rx_mb_s", j.net_lnet_rx_mb_s)
+        .set("swap_mb_s", j.swap_mb_s)
+        .set("load_mean", j.load_mean);
+  }
+  return t;
+}
+
+std::vector<etl::JobSummary> jobs_from_table(const warehouse::Table& t) {
+  std::vector<etl::JobSummary> out;
+  out.reserve(t.rows());
+  for (std::size_t r = 0; r < t.rows(); ++r) {
+    etl::JobSummary j;
+    j.id = static_cast<facility::JobId>(t.col("job_id").as_int64(r));
+    j.user = std::string(t.col("user").as_string(r));
+    j.app = std::string(t.col("app").as_string(r));
+    j.science = std::string(t.col("science").as_string(r));
+    j.project = std::string(t.col("project").as_string(r));
+    j.cluster = std::string(t.col("cluster").as_string(r));
+    j.submit = t.col("submit").as_int64(r);
+    j.start = t.col("start").as_int64(r);
+    j.end = t.col("end").as_int64(r);
+    j.nodes = static_cast<std::size_t>(t.col("nodes").as_int64(r));
+    j.cores = static_cast<std::size_t>(t.col("cores").as_int64(r));
+    j.node_hours = t.col("node_hours").as_double(r);
+    j.exit_status = static_cast<int>(t.col("exit_status").as_int64(r));
+    j.failed = static_cast<int>(t.col("failed").as_int64(r));
+    j.samples = static_cast<std::size_t>(t.col("samples").as_int64(r));
+    j.reconciled = t.col("reconciled").as_int64(r) != 0;
+    j.cpu_idle = t.col("cpu_idle").as_double(r);
+    j.cpu_flops_gf_node = t.col("cpu_flops_gf_node").as_double(r);
+    j.flops_valid = t.col("flops_valid").as_int64(r) != 0;
+    j.mem_used_gb = t.col("mem_used_gb").as_double(r);
+    j.mem_used_max_gb = t.col("mem_used_max_gb").as_double(r);
+    j.io_scratch_write_mb_s = t.col("io_scratch_write_mb_s").as_double(r);
+    j.io_work_write_mb_s = t.col("io_work_write_mb_s").as_double(r);
+    j.net_ib_tx_mb_s = t.col("net_ib_tx_mb_s").as_double(r);
+    j.net_lnet_tx_mb_s = t.col("net_lnet_tx_mb_s").as_double(r);
+    j.cpu_user = t.col("cpu_user").as_double(r);
+    j.cpu_system = t.col("cpu_system").as_double(r);
+    j.io_scratch_read_mb_s = t.col("io_scratch_read_mb_s").as_double(r);
+    j.net_ib_rx_mb_s = t.col("net_ib_rx_mb_s").as_double(r);
+    j.net_lnet_rx_mb_s = t.col("net_lnet_rx_mb_s").as_double(r);
+    j.swap_mb_s = t.col("swap_mb_s").as_double(r);
+    j.load_mean = t.col("load_mean").as_double(r);
+    out.push_back(std::move(j));
+  }
+  return out;
+}
+
+warehouse::Table series_table(const etl::SystemSeries& s) {
+  std::vector<std::pair<std::string, ColType>> schema;
+  schema.emplace_back("time", ColType::kInt64);
+  for (const auto& f : series_fields()) schema.emplace_back(f.column, ColType::kDouble);
+  Table t(kSeriesTable, std::move(schema));
+  for (std::size_t i = 0; i < s.buckets; ++i) {
+    auto row = t.append();
+    row.set("time", s.time_at(i));
+    for (const auto& f : series_fields()) row.set(f.column, (s.*f.member)[i]);
+  }
+  return t;
+}
+
+etl::SystemSeries series_from_table(const warehouse::Table& t, common::TimePoint start,
+                                    common::Duration bucket, std::size_t buckets) {
+  etl::SystemSeries s;
+  s.start = start;
+  s.bucket = bucket;
+  s.buckets = buckets;
+  for (const auto& f : series_fields()) (s.*f.member).assign(buckets, 0.0);
+  for (std::size_t r = 0; r < t.rows(); ++r) {
+    const common::TimePoint time = t.col("time").as_int64(r);
+    if (time < start || (time - start) % bucket != 0) {
+      throw common::ParseError("archive: series row off the bucket grid");
+    }
+    const auto i = static_cast<std::size_t>((time - start) / bucket);
+    if (i >= buckets) throw common::ParseError("archive: series row beyond the watermark");
+    for (const auto& f : series_fields()) (s.*f.member)[i] = t.col(f.column).as_double(r);
+  }
+  return s;
+}
+
+warehouse::Table quality_to_table(const etl::DataQualityReport& q) {
+  Table t(kQualityTable,
+          {{"host", ColType::kString},
+           {"span_s", ColType::kInt64},
+           {"files", ColType::kInt64},
+           {"samples", ColType::kInt64},
+           {"pairs", ColType::kInt64},
+           {"quarantined", ColType::kInt64},
+           {"duplicates_dropped", ColType::kInt64},
+           {"reordered", ColType::kInt64},
+           {"resets", ColType::kInt64},
+           {"rollovers", ColType::kInt64},
+           {"missing_job_end", ColType::kInt64},
+           {"clock_skew_s", ColType::kInt64},
+           {"covered_s", ColType::kDouble}});
+  for (const auto& h : q.hosts) {
+    t.append()
+        .set("host", h.host)
+        .set("span_s", q.span)
+        .set("files", static_cast<std::int64_t>(h.files))
+        .set("samples", static_cast<std::int64_t>(h.samples))
+        .set("pairs", static_cast<std::int64_t>(h.pairs))
+        .set("quarantined", static_cast<std::int64_t>(h.quarantined))
+        .set("duplicates_dropped", static_cast<std::int64_t>(h.duplicates_dropped))
+        .set("reordered", static_cast<std::int64_t>(h.reordered))
+        .set("resets", static_cast<std::int64_t>(h.resets))
+        .set("rollovers", static_cast<std::int64_t>(h.rollovers))
+        .set("missing_job_end", static_cast<std::int64_t>(h.missing_job_end))
+        .set("clock_skew_s", h.clock_skew_s)
+        .set("covered_s", h.covered_s);
+  }
+  return t;
+}
+
+etl::DataQualityReport quality_from_table(const warehouse::Table& t) {
+  etl::DataQualityReport q;
+  for (std::size_t r = 0; r < t.rows(); ++r) {
+    etl::HostQuality h;
+    h.host = std::string(t.col("host").as_string(r));
+    q.span = t.col("span_s").as_int64(r);
+    h.files = static_cast<std::uint64_t>(t.col("files").as_int64(r));
+    h.samples = static_cast<std::uint64_t>(t.col("samples").as_int64(r));
+    h.pairs = static_cast<std::uint64_t>(t.col("pairs").as_int64(r));
+    h.quarantined = static_cast<std::uint64_t>(t.col("quarantined").as_int64(r));
+    h.duplicates_dropped = static_cast<std::uint64_t>(t.col("duplicates_dropped").as_int64(r));
+    h.reordered = static_cast<std::uint64_t>(t.col("reordered").as_int64(r));
+    h.resets = static_cast<std::uint64_t>(t.col("resets").as_int64(r));
+    h.rollovers = static_cast<std::uint64_t>(t.col("rollovers").as_int64(r));
+    h.missing_job_end = static_cast<std::uint64_t>(t.col("missing_job_end").as_int64(r));
+    h.clock_skew_s = t.col("clock_skew_s").as_int64(r);
+    h.covered_s = t.col("covered_s").as_double(r);
+    q.hosts.push_back(std::move(h));
+  }
+  return q;
+}
+
+}  // namespace supremm::archive

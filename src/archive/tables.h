@@ -1,0 +1,56 @@
+// Full-fidelity conversions between ingest results and warehouse tables.
+//
+// etl::to_table / etl::quality_table are report-oriented: they drop fields
+// reports never read (flops_valid, submit, per-host clock skew sign, ...)
+// and fold NaNs. The archive must round-trip the ingest output exactly, so
+// it defines its own lossless schemas here: every JobSummary, SystemSeries
+// and HostQuality field maps to a column and back bit-identically.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "etl/job_summary.h"
+#include "etl/quality.h"
+#include "etl/system_series.h"
+#include "warehouse/table.h"
+
+namespace supremm::archive {
+
+inline constexpr const char* kJobsTable = "jobs";
+inline constexpr const char* kSeriesTable = "series";
+inline constexpr const char* kQualityTable = "data_quality";
+
+/// One SystemSeries metric vector with its column name.
+struct SeriesField {
+  const char* column;
+  std::vector<double> etl::SystemSeries::* member;
+};
+
+/// The 14 SystemSeries metric vectors in schema order - the single source of
+/// truth for every series conversion (encode, decode, slice, merge).
+[[nodiscard]] std::span<const SeriesField> series_fields();
+
+/// Lossless jobs table (columns for every JobSummary field). Rows keep the
+/// order of `jobs`; ingest emits them sorted by job id.
+[[nodiscard]] warehouse::Table jobs_table(std::span<const etl::JobSummary> jobs);
+[[nodiscard]] std::vector<etl::JobSummary> jobs_from_table(const warehouse::Table& t);
+
+/// Lossless system-series table: one row per bucket, "time" column first.
+[[nodiscard]] warehouse::Table series_table(const etl::SystemSeries& s);
+/// Rebuild a series from rows sorted by time. `start` and `bucket` come from
+/// the archive manifest; buckets absent from the table (quarantined days)
+/// stay zero.
+[[nodiscard]] etl::SystemSeries series_from_table(const warehouse::Table& t,
+                                                  common::TimePoint start,
+                                                  common::Duration bucket,
+                                                  std::size_t buckets);
+
+/// Lossless per-host quality table ("span_s" repeated per row so the report
+/// span survives the round trip).
+[[nodiscard]] warehouse::Table quality_to_table(const etl::DataQualityReport& q);
+/// Rebuild hosts + span. Quarantine line diagnostics do not round-trip (the
+/// archive stores counts, not raw damaged text).
+[[nodiscard]] etl::DataQualityReport quality_from_table(const warehouse::Table& t);
+
+}  // namespace supremm::archive

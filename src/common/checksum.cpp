@@ -1,0 +1,33 @@
+#include "common/checksum.h"
+
+#include <array>
+
+namespace supremm::common {
+
+namespace {
+
+constexpr std::array<std::uint32_t, 256> make_crc_table() noexcept {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t n = 0; n < 256; ++n) {
+    std::uint32_t c = n;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) != 0 ? 0xedb88320u ^ (c >> 1) : c >> 1;
+    }
+    table[n] = c;
+  }
+  return table;
+}
+
+constexpr auto kCrcTable = make_crc_table();
+
+}  // namespace
+
+std::uint32_t crc32(std::string_view data, std::uint32_t seed) noexcept {
+  std::uint32_t c = seed ^ 0xffffffffu;
+  for (const char ch : data) {
+    c = kCrcTable[(c ^ static_cast<std::uint8_t>(ch)) & 0xffu] ^ (c >> 8);
+  }
+  return c ^ 0xffffffffu;
+}
+
+}  // namespace supremm::common

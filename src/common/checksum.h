@@ -1,0 +1,15 @@
+// CRC-32 (IEEE 802.3, polynomial 0xEDB88320) for archive block and manifest
+// integrity checks. Table driven, byte at a time; fast enough for the block
+// sizes the archive writes (tens of KiB) and self-contained.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace supremm::common {
+
+/// CRC-32 of `data`, optionally continuing from a previous value (pass the
+/// prior return value as `seed` to checksum a stream in pieces).
+[[nodiscard]] std::uint32_t crc32(std::string_view data, std::uint32_t seed = 0) noexcept;
+
+}  // namespace supremm::common

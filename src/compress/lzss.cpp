@@ -1,8 +1,8 @@
 #include "compress/lzss.h"
 
-#include <array>
+#include <algorithm>
 #include <cstring>
-#include <vector>
+#include <utility>
 
 #include "common/error.h"
 
@@ -14,18 +14,12 @@ constexpr std::size_t kWindow = 4096;       // distance range 1..4096
 constexpr std::size_t kMinMatch = 3;
 constexpr std::size_t kMaxMatch = kMinMatch + 15;  // 4-bit length field
 constexpr char kMagic[4] = {'L', 'Z', 'S', '1'};
+constexpr std::size_t kHeaderSize = 8;
 
 constexpr std::uint32_t hash3(const unsigned char* p) noexcept {
   return (static_cast<std::uint32_t>(p[0]) * 2654435761u ^
           static_cast<std::uint32_t>(p[1]) * 40503u ^ static_cast<std::uint32_t>(p[2])) &
          0x3fff;  // 16k buckets
-}
-
-void put_u32(std::string& out, std::uint32_t v) {
-  out.push_back(static_cast<char>(v & 0xff));
-  out.push_back(static_cast<char>((v >> 8) & 0xff));
-  out.push_back(static_cast<char>((v >> 16) & 0xff));
-  out.push_back(static_cast<char>((v >> 24) & 0xff));
 }
 
 std::uint32_t get_u32(std::string_view s, std::size_t pos) {
@@ -37,58 +31,98 @@ std::uint32_t get_u32(std::string_view s, std::size_t pos) {
 
 }  // namespace
 
-std::string compress(std::string_view input) {
-  std::string out;
-  out.reserve(input.size() / 2 + 16);
-  out.append(kMagic, sizeof(kMagic));
-  put_u32(out, static_cast<std::uint32_t>(input.size()));
-  if (input.empty()) return out;
+StreamCompressor::StreamCompressor()
+    : head_(16384, -1), chain_(kWindow, -1) {
+  out_.append(kMagic, sizeof(kMagic));
+  out_.append(4, '\0');  // size field, patched in finish()
+}
 
-  const auto* data = reinterpret_cast<const unsigned char*>(input.data());
-  const std::size_t n = input.size();
+void StreamCompressor::append(std::string_view chunk) {
+  if (finished_) throw common::InvalidArgument("lzss: append after finish");
+  if (chunk.size() > 0xffffffffu - total_) {
+    throw common::InvalidArgument("lzss: input exceeds 4 GiB format limit");
+  }
+  buf_.append(chunk);
+  total_ += chunk.size();
+  // Positions with a full kMaxMatch lookahead in the buffer encode exactly as
+  // they would with the whole input in hand; the rest wait for more data.
+  if (total_ >= kMaxMatch) encode_upto(total_ - kMaxMatch + 1);
+  compact();
+}
 
-  // Hash-chain matcher: head[h] = most recent position with hash h,
-  // chain[i % kWindow] = previous position with the same hash.
-  std::vector<std::int64_t> head(16384, -1);
-  std::vector<std::int64_t> chain(kWindow, -1);
+std::string StreamCompressor::finish() {
+  if (finished_) throw common::InvalidArgument("lzss: finish after finish");
+  finished_ = true;
+  encode_upto(total_);
+  const auto usize = static_cast<std::uint32_t>(total_);
+  out_[4] = static_cast<char>(usize & 0xff);
+  out_[5] = static_cast<char>((usize >> 8) & 0xff);
+  out_[6] = static_cast<char>((usize >> 16) & 0xff);
+  out_[7] = static_cast<char>((usize >> 24) & 0xff);
+  buf_.clear();
+  buf_.shrink_to_fit();
+  sealed_ = out_.size();
+  return std::move(out_);
+}
 
-  std::size_t flag_pos = 0;
-  int flag_bit = 8;  // force a new flag byte at the first token
+SizeReport StreamCompressor::report() const noexcept {
+  return SizeReport{total_, finished_ ? sealed_ : out_.size()};
+}
+
+void StreamCompressor::encode_upto(std::size_t stop) {
+  // Identical token selection to the historical one-shot encoder: hash-chain
+  // matcher with head_[h] = most recent absolute position with hash h and
+  // chain_[i % kWindow] = previous position with the same hash. buf_[i -
+  // base_] is absolute byte i; compact() guarantees base_ <= pos_ - kWindow.
+  const auto* data = reinterpret_cast<const unsigned char*>(buf_.data());
+  const std::size_t base = base_;
+  const std::size_t n = total_;
+  auto at = [&](std::size_t abs) { return data + (abs - base); };
+
   auto begin_token = [&](bool is_match) {
-    if (flag_bit == 8) {
-      flag_pos = out.size();
-      out.push_back('\0');
-      flag_bit = 0;
+    if (flag_bit_ == 8) {
+      flag_pos_ = out_.size();
+      out_.push_back('\0');
+      flag_bit_ = 0;
     }
-    if (is_match) out[flag_pos] = static_cast<char>(out[flag_pos] | (1 << flag_bit));
-    ++flag_bit;
+    if (is_match) out_[flag_pos_] = static_cast<char>(out_[flag_pos_] | (1 << flag_bit_));
+    ++flag_bit_;
   };
-  auto insert_pos = [&](std::size_t i) {
-    if (i + kMinMatch > n) return;
-    const std::uint32_t h = hash3(data + i);
-    chain[i % kWindow] = head[h];
-    head[h] = static_cast<std::int64_t>(i);
+  // Positions enter the dictionary lazily, right before the next search. A
+  // position needs kMinMatch bytes of lookahead to hash; deferring the check
+  // to the latest possible moment means a position that sits too close to the
+  // end of one chunk still gets inserted once the next chunk arrives, so the
+  // dictionary (and hence the token stream) is identical to a one-shot pass.
+  auto insert_before = [&](std::size_t upto) {
+    const std::size_t lim =
+        n >= kMinMatch ? std::min(upto, n - kMinMatch + 1) : std::size_t{0};
+    for (; inserted_ < lim; ++inserted_) {
+      const std::uint32_t h = hash3(at(inserted_));
+      chain_[inserted_ % kWindow] = head_[h];
+      head_[h] = static_cast<std::int64_t>(inserted_);
+    }
   };
 
-  std::size_t i = 0;
-  while (i < n) {
+  while (pos_ < stop) {
+    const std::size_t i = pos_;
+    insert_before(i);
     std::size_t best_len = 0;
     std::size_t best_dist = 0;
     if (i + kMinMatch <= n) {
-      std::int64_t cand = head[hash3(data + i)];
+      std::int64_t cand = head_[hash3(at(i))];
       int probes = 32;
       while (cand >= 0 && probes-- > 0) {
         const auto c = static_cast<std::size_t>(cand);
         if (i - c > kWindow) break;
         const std::size_t limit = std::min(kMaxMatch, n - i);
         std::size_t len = 0;
-        while (len < limit && data[c + len] == data[i + len]) ++len;
+        while (len < limit && *(at(c) + len) == *(at(i) + len)) ++len;
         if (len > best_len) {
           best_len = len;
           best_dist = i - c;
           if (len == kMaxMatch) break;
         }
-        const std::int64_t next = chain[c % kWindow];
+        const std::int64_t next = chain_[c % kWindow];
         // The chain slot may have been overwritten by a newer position.
         if (next >= cand) break;
         cand = next;
@@ -97,66 +131,108 @@ std::string compress(std::string_view input) {
 
     if (best_len >= kMinMatch) {
       begin_token(true);
-      const auto dist = static_cast<std::uint16_t>(best_dist - 1);       // 0..4095
-      const auto len = static_cast<std::uint16_t>(best_len - kMinMatch); // 0..15
+      const auto dist = static_cast<std::uint16_t>(best_dist - 1);        // 0..4095
+      const auto len = static_cast<std::uint16_t>(best_len - kMinMatch);  // 0..15
       const std::uint16_t word = static_cast<std::uint16_t>(dist << 4) | len;
-      out.push_back(static_cast<char>(word & 0xff));
-      out.push_back(static_cast<char>(word >> 8));
-      for (std::size_t k = 0; k < best_len; ++k) insert_pos(i + k);
-      i += best_len;
+      out_.push_back(static_cast<char>(word & 0xff));
+      out_.push_back(static_cast<char>(word >> 8));
+      pos_ += best_len;
     } else {
       begin_token(false);
-      out.push_back(static_cast<char>(data[i]));
-      insert_pos(i);
-      ++i;
+      out_.push_back(static_cast<char>(*at(i)));
+      ++pos_;
     }
   }
-  return out;
 }
 
-std::string decompress(std::string_view compressed) {
-  if (compressed.size() < 8 || std::memcmp(compressed.data(), kMagic, 4) != 0) {
-    throw common::ParseError("lzss: bad magic");
+void StreamCompressor::compact() {
+  // Match candidates reach back at most kWindow bytes from pos_; older input
+  // can be dropped. Only compact once a few windows have accumulated so the
+  // erase cost amortises.
+  const std::size_t keep_from = pos_ > kWindow ? pos_ - kWindow : 0;
+  if (keep_from > base_ + 4 * kWindow) {
+    buf_.erase(0, keep_from - base_);
+    base_ = keep_from;
   }
-  const std::uint32_t usize = get_u32(compressed, 4);
-  std::string out;
-  out.reserve(usize);
+}
 
-  std::size_t pos = 8;
-  std::uint8_t flags = 0;
-  int flag_bit = 8;
-  while (out.size() < usize) {
-    if (flag_bit == 8) {
-      if (pos >= compressed.size()) throw common::ParseError("lzss: truncated flags");
-      flags = static_cast<std::uint8_t>(compressed[pos++]);
-      flag_bit = 0;
+void StreamDecompressor::append(std::string_view chunk) {
+  if (done()) return;  // trailing bytes past the sealed stream are ignored
+  pending_.append(chunk);
+  if (!header_ok_) {
+    if (pending_.size() >= 4 && std::memcmp(pending_.data(), kMagic, 4) != 0) {
+      throw common::ParseError("lzss: bad magic");
     }
-    const bool is_match = (flags >> flag_bit) & 1;
-    ++flag_bit;
+    if (pending_.size() < kHeaderSize) return;
+    raw_size_ = get_u32(pending_, 4);
+    pending_.erase(0, kHeaderSize);
+    header_ok_ = true;
+  }
+
+  std::size_t pos = 0;
+  while (produced_ < raw_size_) {
+    if (flag_bit_ == 8) {
+      if (pos >= pending_.size()) break;
+      flags_ = static_cast<std::uint8_t>(pending_[pos++]);
+      flag_bit_ = 0;
+    }
+    const bool is_match = (flags_ >> flag_bit_) & 1;
     if (is_match) {
-      if (pos + 2 > compressed.size()) throw common::ParseError("lzss: truncated match");
+      if (pos + 2 > pending_.size()) break;
       const std::uint16_t word =
-          static_cast<std::uint8_t>(compressed[pos]) |
-          (static_cast<std::uint16_t>(static_cast<std::uint8_t>(compressed[pos + 1])) << 8);
+          static_cast<std::uint8_t>(pending_[pos]) |
+          (static_cast<std::uint16_t>(static_cast<std::uint8_t>(pending_[pos + 1])) << 8);
       pos += 2;
       const std::size_t dist = static_cast<std::size_t>(word >> 4) + 1;
       const std::size_t len = static_cast<std::size_t>(word & 0xf) + kMinMatch;
-      if (dist > out.size()) throw common::ParseError("lzss: distance beyond output");
+      if (dist > produced_) throw common::ParseError("lzss: distance beyond output");
       for (std::size_t k = 0; k < len; ++k) {
-        out.push_back(out[out.size() - dist]);  // may self-overlap
+        emit(window_[window_.size() - dist]);  // may self-overlap
       }
+      if (produced_ > raw_size_) throw common::ParseError("lzss: size mismatch");
     } else {
-      if (pos >= compressed.size()) throw common::ParseError("lzss: truncated literal");
-      out.push_back(compressed[pos++]);
+      if (pos >= pending_.size()) break;
+      emit(pending_[pos++]);
     }
+    ++flag_bit_;
   }
-  if (out.size() != usize) throw common::ParseError("lzss: size mismatch");
-  return out;
+  pending_.erase(0, pos);
+  if (done()) {
+    pending_.clear();
+    pending_.shrink_to_fit();
+  }
+}
+
+std::string StreamDecompressor::take() { return std::exchange(out_, std::string()); }
+
+void StreamDecompressor::emit(char c) {
+  out_.push_back(c);
+  window_.push_back(c);
+  ++produced_;
+  if (window_.size() > 2 * kWindow) window_.erase(0, window_.size() - kWindow);
+}
+
+std::string compress(std::string_view input) {
+  StreamCompressor c;
+  c.append(input);
+  return c.finish();
+}
+
+std::string decompress(std::string_view compressed) {
+  if (compressed.size() < kHeaderSize || std::memcmp(compressed.data(), kMagic, 4) != 0) {
+    throw common::ParseError("lzss: bad magic");
+  }
+  StreamDecompressor d;
+  d.append(compressed);
+  if (!d.done()) throw common::ParseError("lzss: truncated stream");
+  return d.take();
 }
 
 double compression_ratio(std::string_view input) {
   if (input.empty()) return 1.0;
-  return static_cast<double>(compress(input).size()) / static_cast<double>(input.size());
+  StreamCompressor c;
+  c.append(input);
+  return SizeReport{input.size(), c.finish().size()}.ratio();
 }
 
 }  // namespace supremm::compress

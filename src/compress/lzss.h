@@ -1,23 +1,114 @@
-// LZSS compression for raw TACC_Stats archives.
+// LZSS compression for raw TACC_Stats archives and the columnar job archive.
 //
 // Paper §4.1: "TACC_Stats generates a raw data file of 0.5 MB per node per
 // day and collectively 60 GB (uncompressed) or 20 GB (compressed) for the
 // entire cluster per month" - a ~3x ratio from gzip on the text format. This
 // module provides a self-contained LZ77/LZSS codec (hash-chained matcher,
-// byte-aligned token stream) so archived node-days can be stored compressed
-// and the volume claim can be measured without external dependencies.
+// byte-aligned token stream) so archived node-days and warehouse partitions
+// can be stored compressed and the volume claim can be measured without
+// external dependencies.
 //
 // Format: blocks of tokens preceded by a flag byte (8 tokens per flag, LSB
 // first; bit set = match). Literal = 1 raw byte. Match = 2 bytes:
 // 12-bit distance-1 | 4-bit length-kMinMatch, window 4 KiB, lengths 3..18.
 // The stream starts with "LZS1" + uncompressed size (u32 LE).
+//
+// Two interfaces share the codec: the one-shot compress()/decompress()
+// helpers, and the streaming StreamCompressor/StreamDecompressor pair that
+// accept input in arbitrary chunks while holding only the 4 KiB match window
+// (plus bounded working tails) in memory - so callers encoding large columns
+// or raw archives never need a whole-buffer copy. Both producers emit the
+// identical stream format and interoperate freely.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <vector>
 
 namespace supremm::compress {
+
+/// Exact byte accounting for one compressed stream.
+struct SizeReport {
+  std::size_t raw = 0;         // uncompressed bytes in
+  std::size_t compressed = 0;  // exact stream bytes out (header included)
+
+  /// compressed / raw; 1.0 for an empty input.
+  [[nodiscard]] double ratio() const noexcept {
+    return raw == 0 ? 1.0 : static_cast<double>(compressed) / static_cast<double>(raw);
+  }
+};
+
+/// Incremental LZSS encoder. Feed input with append() in any chunking;
+/// finish() seals the stream. Match state (window, hash chains) carries
+/// across chunks, so the output is identical regardless of how the input was
+/// split - append(a); append(b) produces the same bytes as append(a+b).
+class StreamCompressor {
+ public:
+  StreamCompressor();
+
+  /// Compress another chunk of input. Throws InvalidArgument after finish()
+  /// or when the total input would exceed the format's 4 GiB size field.
+  void append(std::string_view chunk);
+
+  /// Flush the deferred tail, patch the size header, and return the complete
+  /// compressed stream. The compressor cannot be reused afterwards.
+  [[nodiscard]] std::string finish();
+
+  /// Exact sizes so far (compressed includes the 8-byte header; until
+  /// finish(), up to 17 tail bytes are still pending encode). After finish()
+  /// this reports the exact size of the sealed stream.
+  [[nodiscard]] SizeReport report() const noexcept;
+
+ private:
+  void encode_upto(std::size_t stop);  // encode positions < stop (absolute)
+  void compact();
+
+  std::string out_;
+  std::string buf_;            // input tail; buf_[i] is absolute byte base_ + i
+  std::size_t base_ = 0;       // absolute position of buf_[0]
+  std::size_t pos_ = 0;        // next absolute position to encode
+  std::size_t inserted_ = 0;   // next absolute position to enter the dictionary
+  std::size_t total_ = 0;      // absolute input size so far
+  std::size_t sealed_ = 0;     // final stream size, recorded by finish()
+  std::vector<std::int64_t> head_;
+  std::vector<std::int64_t> chain_;
+  std::size_t flag_pos_ = 0;
+  int flag_bit_ = 8;
+  bool finished_ = false;
+};
+
+/// Incremental LZSS decoder. Feed compressed bytes with append() in any
+/// chunking; decoded output accumulates and is drained with take(), while
+/// only the 4 KiB back-reference window is retained internally.
+class StreamDecompressor {
+ public:
+  /// Decode another chunk of compressed input. Bytes past the end of the
+  /// stream are ignored. Throws ParseError on malformed input.
+  void append(std::string_view chunk);
+
+  /// True once the whole stream (per its size header) has been decoded.
+  [[nodiscard]] bool done() const noexcept { return header_ok_ && produced_ == raw_size_; }
+
+  /// Decoded bytes produced since the last take().
+  [[nodiscard]] std::string take();
+
+  /// Uncompressed size from the stream header (0 until the header arrives).
+  [[nodiscard]] std::size_t raw_size() const noexcept { return raw_size_; }
+
+ private:
+  void emit(char c);
+
+  std::string pending_;  // unconsumed compressed bytes (bounded: < 1 token)
+  std::string out_;      // decoded, not yet taken
+  std::string window_;   // last <= 4096 decoded bytes
+  std::size_t raw_size_ = 0;
+  std::size_t produced_ = 0;
+  bool header_ok_ = false;
+  std::uint8_t flags_ = 0;
+  int flag_bit_ = 8;
+};
 
 /// Compress `input`; output is always decodable by decompress(). Worst case
 /// grows the input by 1/8 + 9 bytes.
@@ -27,7 +118,8 @@ namespace supremm::compress {
 /// malformed input.
 [[nodiscard]] std::string decompress(std::string_view compressed);
 
-/// compressed_size / uncompressed_size for the given input.
+/// compressed_size / uncompressed_size for the given input (exact: runs the
+/// encoder and measures the stream it produces).
 [[nodiscard]] double compression_ratio(std::string_view input);
 
 }  // namespace supremm::compress

@@ -38,6 +38,16 @@ struct HostQuality {
   [[nodiscard]] double coverage(common::Duration span) const noexcept;
 };
 
+/// One archive partition that failed its integrity checks (CRC mismatch,
+/// truncation, missing file) and was quarantined instead of aborting the
+/// load - the storage-layer extension of the salvage contract.
+struct PartitionQuarantine {
+  std::string table;    // "jobs", "series", "data_quality"
+  std::int64_t day = 0; // simulated day index; -1 for snapshot partitions
+  std::string file;     // partition filename within the archive directory
+  std::string reason;
+};
+
 /// Facility-wide data-quality report: one row per host plus the full
 /// quarantine diagnostics. Hosts are sorted by name (deterministic for any
 /// thread count).
@@ -45,6 +55,8 @@ struct DataQualityReport {
   common::Duration span = 0;
   std::vector<HostQuality> hosts;
   std::vector<taccstats::Quarantine> quarantines;
+  /// Archive partitions dropped at load time (empty for live ingest).
+  std::vector<PartitionQuarantine> corrupt_partitions;
 
   /// Mean coverage over hosts (node-second weighted).
   [[nodiscard]] double facility_coverage() const noexcept;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cctype>
+#include <filesystem>
+#include <fstream>
 #include <limits>
 #include <map>
 #include <set>
@@ -44,6 +46,8 @@ std::string_view fault_kind_name(FaultKind k) noexcept {
       return "drop-lariat";
     case FaultKind::kClockSkew:
       return "clock-skew";
+    case FaultKind::kCorruptArchive:
+      return "corrupt-archive";
   }
   return "unknown";
 }
@@ -51,7 +55,7 @@ std::string_view fault_kind_name(FaultKind k) noexcept {
 const std::vector<std::string>& FaultPlan::profile_names() {
   static const std::vector<std::string> kNames = {
       "none",         "truncation",   "garbage",    "shuffle",
-      "counter_glitch", "lost_records", "clock_skew", "chaos"};
+      "counter_glitch", "lost_records", "clock_skew", "bitrot", "chaos"};
   return kNames;
 }
 
@@ -74,6 +78,7 @@ FaultPlan FaultPlan::profile(std::string_view name, std::uint64_t seed) {
         .add(FaultKind::kDropLariat, 0.08);
   }
   if (name == "clock_skew") return p.add(FaultKind::kClockSkew, 0.3, 120);
+  if (name == "bitrot") return p.add(FaultKind::kCorruptArchive, 0.3, 4);
   if (name == "chaos") {
     return p.add(FaultKind::kTruncateFile, 0.1, 0.7)
         .add(FaultKind::kGarbageLines, 0.1, 2)
@@ -679,6 +684,49 @@ InjectionReport FaultInjector::apply(std::vector<RawFile>& files,
       }
     }
     lariat = std::move(kept);
+  }
+  return rep;
+}
+
+InjectionReport FaultInjector::apply_archive(const std::string& dir) const {
+  namespace fs = std::filesystem;
+  InjectionReport rep;
+  const FaultSpec* s = nullptr;
+  for (const auto& f : plan_.faults) {
+    if (f.kind == FaultKind::kCorruptArchive && f.rate > 0) s = &f;
+  }
+  if (s == nullptr || !fs::exists(dir)) return rep;
+
+  std::vector<std::string> names;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".part") {
+      names.push_back(entry.path().filename().string());
+    }
+  }
+  std::sort(names.begin(), names.end());
+
+  for (const auto& name : names) {
+    RngStream rng = unit_stream(plan_.seed, "faultsim.archive", common::hash_string(name));
+    if (!rng.chance(s->rate)) continue;
+    const fs::path path = fs::path(dir) / name;
+    std::string bytes;
+    {
+      std::ifstream in(path, std::ios::binary);
+      bytes.assign((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+    }
+    if (bytes.empty()) continue;
+    const auto flips = static_cast<std::size_t>(s->magnitude > 0 ? s->magnitude : 1);
+    for (std::size_t i = 0; i < flips; ++i) {
+      const auto pos = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(bytes.size()) - 1));
+      bytes[pos] = static_cast<char>(
+          static_cast<unsigned char>(bytes[pos]) ^
+          static_cast<unsigned char>(1U << rng.uniform_int(0, 7)));
+    }
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    ++rep.partitions_corrupted;
+    rep.corrupted_files.push_back(name);
   }
   return rep;
 }

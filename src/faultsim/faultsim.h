@@ -47,6 +47,7 @@ enum class FaultKind : std::uint8_t {
   kDropAccounting,    // accounting records lost from the export
   kDropLariat,        // Lariat records lost from the export
   kClockSkew,         // one host's clock offset from the facility's
+  kCorruptArchive,    // bitrot in stored archive partition files
 };
 
 [[nodiscard]] std::string_view fault_kind_name(FaultKind k) noexcept;
@@ -95,17 +96,19 @@ struct InjectionReport {
   std::uint64_t acct_dropped = 0;
   std::uint64_t lariat_dropped = 0;
   std::uint64_t hosts_skewed = 0;       // one corrected host each
+  std::uint64_t partitions_corrupted = 0;  // one quarantined partition each
   std::uint64_t samples_lost = 0;       // sample headers destroyed outright
   /// Lines salvage parsing must quarantine (sum of the per-kind effects).
   std::uint64_t expected_quarantined = 0;
   std::vector<facility::JobId> dropped_acct_jobs;
   std::vector<facility::JobId> dropped_lariat_jobs;
   std::vector<std::pair<std::string, std::int64_t>> skews;  // host -> seconds
+  std::vector<std::string> corrupted_files;  // damaged archive partitions
 
   [[nodiscard]] bool any() const noexcept {
     return files_truncated + garbage_lines + interleaved_rows + duplicated_samples +
                reorder_swaps + counter_resets + counter_rollovers + job_ends_dropped +
-               acct_dropped + lariat_dropped + hosts_skewed !=
+               acct_dropped + lariat_dropped + hosts_skewed + partitions_corrupted !=
            0;
   }
 };
@@ -120,6 +123,14 @@ class FaultInjector {
   InjectionReport apply(std::vector<taccstats::RawFile>& files,
                         std::vector<accounting::AccountingRecord>& acct,
                         std::vector<lariat::LariatRecord>& lariat) const;
+
+  /// Flip bits in the stored archive partition files under `dir` (bitrot /
+  /// torn writes at rest). The MANIFEST is never touched - the archive
+  /// reader must detect every damaged partition by checksum and quarantine
+  /// it. Damage is keyed by partition filename, so it is deterministic and
+  /// independent of directory iteration order. Each selected partition
+  /// counts once in partitions_corrupted and is listed in corrupted_files.
+  InjectionReport apply_archive(const std::string& dir) const;
 
  private:
   FaultPlan plan_;

@@ -33,6 +33,13 @@ struct PipelineConfig {
   /// Strict (default) aborts ingest on malformed raw data; salvage recovers
   /// what it can and fills the DataQualityReport (DESIGN.md §8).
   etl::IngestMode ingest_mode = etl::IngestMode::kStrict;
+  /// When non-empty, ingest output is persisted to this archive directory
+  /// (DESIGN.md §10). A warm archive already covering [start, start+span)
+  /// for the same configuration is loaded instead of simulating, and the
+  /// result fields that only the simulation produces (engine, files, acct,
+  /// lariat_records, stats) stay empty. Otherwise the pipeline simulates,
+  /// appends only the not-yet-archived days, and returns the archived data.
+  std::string archive_dir;
 };
 
 struct PipelineResult {
@@ -47,6 +54,12 @@ struct PipelineResult {
   etl::IngestResult result;
   common::TimePoint start = 0;
   common::Duration span = 0;
+  /// Where `result` came from ("live ingest" or an archive description);
+  /// feed it to xdmod::DataContext::provenance so reports carry the source.
+  std::string provenance;
+  /// Archive accounting (zero when archive_dir is unset).
+  std::size_t archive_partitions_loaded = 0;
+  std::size_t archive_partitions_written = 0;
 };
 
 /// Run simulate -> collect -> ingest. Deterministic in the config.

@@ -22,6 +22,8 @@
 #pragma once
 
 #include "accounting/accounting.h"      // IWYU pragma: export
+#include "archive/archive.h"            // IWYU pragma: export
+#include "archive/tables.h"             // IWYU pragma: export
 #include "common/ascii_table.h"         // IWYU pragma: export
 #include "common/csv.h"                 // IWYU pragma: export
 #include "common/error.h"               // IWYU pragma: export

@@ -9,39 +9,91 @@
 namespace supremm::warehouse {
 
 RowPredicate eq(std::string column, std::string value) {
-  return [column = std::move(column), value = std::move(value)](const Table& t,
-                                                                std::size_t r) {
+  PredicateBounds b;
+  b.column = column;
+  b.equals = value;
+  auto fn = [column = std::move(column), value = std::move(value)](const Table& t,
+                                                                   std::size_t r) {
     return t.col(column).as_string(r) == value;
   };
+  return {std::move(fn), {std::move(b)}};
 }
 
 RowPredicate ge(std::string column, double value) {
-  return [column = std::move(column), value](const Table& t, std::size_t r) {
+  PredicateBounds b;
+  b.column = column;
+  b.lo = value;
+  auto fn = [column = std::move(column), value](const Table& t, std::size_t r) {
     return t.col(column).as_double(r) >= value;
   };
+  return {std::move(fn), {std::move(b)}};
 }
 
 RowPredicate le(std::string column, double value) {
-  return [column = std::move(column), value](const Table& t, std::size_t r) {
+  PredicateBounds b;
+  b.column = column;
+  b.hi = value;
+  auto fn = [column = std::move(column), value](const Table& t, std::size_t r) {
     return t.col(column).as_double(r) <= value;
   };
+  return {std::move(fn), {std::move(b)}};
 }
 
 RowPredicate between(std::string column, double lo, double hi) {
-  return [column = std::move(column), lo, hi](const Table& t, std::size_t r) {
+  PredicateBounds b;
+  b.column = column;
+  b.lo = lo;
+  b.hi = hi;
+  auto fn = [column = std::move(column), lo, hi](const Table& t, std::size_t r) {
     const double v = t.col(column).as_double(r);
     return v >= lo && v <= hi;
   };
+  return {std::move(fn), {std::move(b)}};
 }
 
 RowPredicate all_of(std::vector<RowPredicate> preds) {
-  return [preds = std::move(preds)](const Table& t, std::size_t r) {
+  // A conjunction implies every conjunct's bounds, so the combined predicate
+  // carries their concatenation.
+  std::vector<PredicateBounds> bounds;
+  for (const auto& p : preds) {
+    bounds.insert(bounds.end(), p.bounds().begin(), p.bounds().end());
+  }
+  auto fn = [preds = std::move(preds)](const Table& t, std::size_t r) {
     for (const auto& p : preds) {
       if (!p(t, r)) return false;
     }
     return true;
   };
+  return {std::move(fn), std::move(bounds)};
 }
+
+namespace {
+
+/// Can any row in chunk `ch` satisfy all bounds? Conservative: unknown
+/// columns or type mismatches answer "maybe".
+bool chunk_may_match(const Table& t, const ZoneIndex& zi, std::size_t ch,
+                     const std::vector<PredicateBounds>& bounds) {
+  for (const auto& b : bounds) {
+    if (!t.has_col(b.column)) continue;
+    std::size_t ci = 0;
+    while (t.columns()[ci].name() != b.column) ++ci;
+    const Column& c = t.columns()[ci];
+    const ZoneIndex::Range& range = zi.ranges[ci][ch];
+    if (b.equals) {
+      if (c.type() != ColType::kString) continue;
+      const auto code = c.find_code(*b.equals);
+      if (!code) return false;  // value absent from the whole table
+      const auto v = static_cast<double>(*code);
+      if (v < range.lo || v > range.hi) return false;
+    } else {
+      if (c.type() == ColType::kString) continue;
+      if (range.hi < b.lo || range.lo > b.hi) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
 
 Query& Query::where(RowPredicate pred) {
   pred_ = std::move(pred);
@@ -108,45 +160,58 @@ Table Query::run() const {
   std::vector<std::size_t> group_example_row;    // a representative row
   std::vector<std::vector<AggState>> states;
 
+  stats_ = QueryStats{};
   const std::size_t nrows = table_.rows();
-  for (std::size_t r = 0; r < nrows; ++r) {
-    if (pred_ && !(*pred_)(table_, r)) continue;
-    std::string key;
-    for (const auto& k : keys_) {
-      const Column& c = table_.col(k);
-      switch (c.type()) {
-        case ColType::kString:
-          key += std::to_string(c.code(r));
-          break;
-        case ColType::kInt64:
-          key += std::to_string(c.as_int64(r));
-          break;
-        case ColType::kDouble:
-          key += std::to_string(c.as_double(r));
-          break;
+  const ZoneIndex* zi = table_.zone_index();
+  const bool prune = pred_ && zi && !pred_->bounds().empty() && zi->chunks > 0;
+  const std::size_t chunk_rows = prune ? zi->chunk_rows : std::max<std::size_t>(nrows, 1);
+  if (prune) stats_.chunks_total = zi->chunks;
+  for (std::size_t chunk_start = 0; chunk_start < nrows; chunk_start += chunk_rows) {
+    if (prune && !chunk_may_match(table_, *zi, chunk_start / chunk_rows, pred_->bounds())) {
+      ++stats_.chunks_pruned;
+      continue;
+    }
+    const std::size_t chunk_end = std::min(nrows, chunk_start + chunk_rows);
+    for (std::size_t r = chunk_start; r < chunk_end; ++r) {
+      ++stats_.rows_scanned;
+      if (pred_ && !(*pred_)(table_, r)) continue;
+      std::string key;
+      for (const auto& k : keys_) {
+        const Column& c = table_.col(k);
+        switch (c.type()) {
+          case ColType::kString:
+            key += std::to_string(c.code(r));
+            break;
+          case ColType::kInt64:
+            key += std::to_string(c.as_int64(r));
+            break;
+          case ColType::kDouble:
+            key += std::to_string(c.as_double(r));
+            break;
+        }
+        key += '\x1f';
       }
-      key += '\x1f';
-    }
-    auto [it, inserted] = groups.emplace(key, group_keys.size());
-    if (inserted) {
-      group_keys.push_back(key);
-      group_example_row.push_back(r);
-      states.emplace_back(aggs_.size());
-    }
-    auto& st = states[it->second];
-    for (std::size_t a = 0; a < aggs_.size(); ++a) {
-      const AggSpec& spec = aggs_[a];
-      AggState& s = st[a];
-      ++s.n;
-      if (spec.kind == AggKind::kCount) continue;
-      const double v = table_.col(spec.column).as_double(r);
-      s.sum += v;
-      s.mn = std::min(s.mn, v);
-      s.mx = std::max(s.mx, v);
-      if (spec.kind == AggKind::kWeightedMean) {
-        const double w = table_.col(spec.weight).as_double(r);
-        s.wsum += w;
-        s.wvsum += w * v;
+      auto [it, inserted] = groups.emplace(key, group_keys.size());
+      if (inserted) {
+        group_keys.push_back(key);
+        group_example_row.push_back(r);
+        states.emplace_back(aggs_.size());
+      }
+      auto& st = states[it->second];
+      for (std::size_t a = 0; a < aggs_.size(); ++a) {
+        const AggSpec& spec = aggs_[a];
+        AggState& s = st[a];
+        ++s.n;
+        if (spec.kind == AggKind::kCount) continue;
+        const double v = table_.col(spec.column).as_double(r);
+        s.sum += v;
+        s.mn = std::min(s.mn, v);
+        s.mx = std::max(s.mx, v);
+        if (spec.kind == AggKind::kWeightedMean) {
+          const double w = table_.col(spec.weight).as_double(r);
+          s.wsum += w;
+          s.wvsum += w * v;
+        }
       }
     }
   }

@@ -1,10 +1,19 @@
 // Query layer: filters, group-by aggregation, time bucketing.
+//
+// Predicates built with the eq/ge/le/between/all_of helpers carry structured
+// bounds alongside the row-test closure; when the source table has a
+// ZoneIndex (tables materialized from the archive do), Query::run() tests
+// those bounds against each chunk's min/max first and skips whole chunks
+// that cannot contain a matching row. Arbitrary lambdas still work - they
+// simply carry no bounds and scan every chunk.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <optional>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 #include "warehouse/table.h"
@@ -28,14 +37,53 @@ struct AggSpec {
   std::string as;                 // output column name; default derived
 };
 
-/// Row predicate; build with the helpers below or any lambda.
-using RowPredicate = std::function<bool(const Table&, std::size_t)>;
+/// A conjunct the predicate is known to imply, usable for chunk pruning: the
+/// row can only match if `column`'s value is within [lo, hi] (numeric), or
+/// equals `equals` (string; resolved to a dictionary code at prune time).
+struct PredicateBounds {
+  std::string column;
+  double lo = -std::numeric_limits<double>::infinity();
+  double hi = std::numeric_limits<double>::infinity();
+  std::optional<std::string> equals;
+};
+
+/// Row predicate; build with the helpers below or any lambda. Helper-built
+/// predicates additionally expose bounds() so scans can prune chunks whose
+/// zone-map range is disjoint from every possible match.
+class RowPredicate {
+ public:
+  using Fn = std::function<bool(const Table&, std::size_t)>;
+
+  RowPredicate() = default;
+  RowPredicate(Fn fn, std::vector<PredicateBounds> bounds)
+      : fn_(std::move(fn)), bounds_(std::move(bounds)) {}
+  template <typename F,
+            typename = std::enable_if_t<!std::is_same_v<std::decay_t<F>, RowPredicate> &&
+                                        std::is_invocable_r_v<bool, F, const Table&, std::size_t>>>
+  RowPredicate(F fn) : fn_(std::move(fn)) {}  // NOLINT: implicit, accepts lambdas
+
+  [[nodiscard]] bool operator()(const Table& t, std::size_t r) const { return fn_(t, r); }
+  [[nodiscard]] explicit operator bool() const noexcept { return static_cast<bool>(fn_); }
+  /// Conjuncts implied by this predicate (empty for opaque lambdas).
+  [[nodiscard]] const std::vector<PredicateBounds>& bounds() const noexcept { return bounds_; }
+
+ private:
+  Fn fn_;
+  std::vector<PredicateBounds> bounds_;
+};
 
 [[nodiscard]] RowPredicate eq(std::string column, std::string value);
 [[nodiscard]] RowPredicate ge(std::string column, double value);
 [[nodiscard]] RowPredicate le(std::string column, double value);
 [[nodiscard]] RowPredicate between(std::string column, double lo, double hi);
 [[nodiscard]] RowPredicate all_of(std::vector<RowPredicate> preds);
+
+/// Scan statistics from the most recent Query::run().
+struct QueryStats {
+  std::size_t chunks_total = 0;   // 0 when no zone index / no bounds
+  std::size_t chunks_pruned = 0;  // skipped via zone maps
+  std::size_t rows_scanned = 0;
+};
 
 /// A composed query: optional filter, group keys, aggregations. Returns a
 /// new table with one row per group, key columns first.
@@ -49,11 +97,15 @@ class Query {
 
   [[nodiscard]] Table run() const;
 
+  /// Statistics from the most recent run() on this query object.
+  [[nodiscard]] const QueryStats& stats() const noexcept { return stats_; }
+
  private:
   const Table& table_;
   std::optional<RowPredicate> pred_;
   std::vector<std::string> keys_;
   std::vector<AggSpec> aggs_;
+  mutable QueryStats stats_;
 };
 
 /// Floor t to a bucket boundary (for time-series grouping).

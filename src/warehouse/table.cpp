@@ -1,5 +1,7 @@
 #include "warehouse/table.h"
 
+#include <algorithm>
+
 #include "common/error.h"
 
 namespace supremm::warehouse {
@@ -66,6 +68,18 @@ std::span<const double> Column::doubles() const {
 std::span<const std::int64_t> Column::int64s() const {
   if (type_ != ColType::kInt64) throw common::InvalidArgument("column " + name_ + " not int64");
   return i64_;
+}
+
+std::optional<std::int32_t> Column::find_code(std::string_view v) const {
+  if (type_ != ColType::kString) throw common::InvalidArgument("column " + name_ + " not string");
+  const auto it = dict_index_.find(std::string(v));
+  if (it == dict_index_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::span<const std::string> Column::dict() const {
+  if (type_ != ColType::kString) throw common::InvalidArgument("column " + name_ + " not string");
+  return dict_;
 }
 
 std::int32_t Column::code(std::size_t row) const {
@@ -142,6 +156,61 @@ Table::RowBuilder::~RowBuilder() noexcept(false) {
     }
   }
   ++table_.rows_;
+  table_.zone_.reset();  // new row invalidates chunk summaries
+}
+
+void Table::finalize_rows() {
+  const std::size_t n = columns_.front().size();
+  for (const auto& c : columns_) {
+    if (c.size() != n) {
+      throw common::InvalidArgument("table " + name_ + ": ragged column '" + c.name() + "' (" +
+                                    std::to_string(c.size()) + " vs " + std::to_string(n) + ")");
+    }
+  }
+  rows_ = n;
+  zone_.reset();
+}
+
+void Table::rebuild_zone_index(std::size_t chunk_rows) {
+  if (chunk_rows == 0) throw common::InvalidArgument("zone index needs chunk_rows >= 1");
+  ZoneIndex zi;
+  zi.chunk_rows = chunk_rows;
+  zi.chunks = (rows_ + chunk_rows - 1) / chunk_rows;
+  zi.ranges.resize(columns_.size());
+  for (std::size_t ci = 0; ci < columns_.size(); ++ci) {
+    const Column& c = columns_[ci];
+    auto& col_ranges = zi.ranges[ci];
+    col_ranges.resize(zi.chunks);
+    for (std::size_t ch = 0; ch < zi.chunks; ++ch) {
+      const std::size_t lo_row = ch * chunk_rows;
+      const std::size_t hi_row = std::min(rows_, lo_row + chunk_rows);
+      ZoneIndex::Range range;
+      bool seen = false;
+      for (std::size_t r = lo_row; r < hi_row; ++r) {
+        double v = 0.0;
+        switch (c.type()) {
+          case ColType::kDouble:
+            v = c.as_double(r);
+            break;
+          case ColType::kInt64:
+            v = static_cast<double>(c.as_int64(r));
+            break;
+          case ColType::kString:
+            v = static_cast<double>(c.code(r));
+            break;
+        }
+        if (v != v) {  // NaN: excluded from the range, counted as null
+          ++range.nulls;
+          continue;
+        }
+        if (!seen || v < range.lo) range.lo = v;
+        if (!seen || v > range.hi) range.hi = v;
+        seen = true;
+      }
+      col_ranges[ch] = range;
+    }
+  }
+  zone_ = std::move(zi);
 }
 
 }  // namespace supremm::warehouse

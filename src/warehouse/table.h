@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <span>
 #include <string>
 #include <unordered_map>
@@ -38,6 +39,12 @@ class Column {
   /// Dictionary code of row (string columns only).
   [[nodiscard]] std::int32_t code(std::size_t row) const;
   [[nodiscard]] std::string_view decode(std::int32_t code) const;
+  /// Dictionary code for `v`, or nullopt if the value never occurs in the
+  /// column (string columns only). O(1); used for zone-map pruning of
+  /// equality predicates without scanning rows.
+  [[nodiscard]] std::optional<std::int32_t> find_code(std::string_view v) const;
+  /// The dictionary in code order (string columns only).
+  [[nodiscard]] std::span<const std::string> dict() const;
 
  private:
   std::string name_;
@@ -47,6 +54,23 @@ class Column {
   std::vector<std::int32_t> codes_;
   std::vector<std::string> dict_;
   std::unordered_map<std::string, std::int32_t> dict_index_;
+};
+
+/// Per-chunk min/max/null-count summaries over a table, so queries and the
+/// archive reader can skip whole chunks whose value range cannot satisfy a
+/// predicate (classic zone maps / block-range index). String columns are
+/// summarised by their dictionary-code range, which supports pruning
+/// equality predicates once the literal is resolved to a code.
+struct ZoneIndex {
+  struct Range {
+    double lo = 0.0;
+    double hi = 0.0;
+    std::uint32_t nulls = 0;  // NaN doubles in the chunk
+  };
+
+  std::size_t chunk_rows = 0;
+  std::size_t chunks = 0;
+  std::vector<std::vector<Range>> ranges;  // [column][chunk]
 };
 
 /// A named collection of equally sized columns.
@@ -81,6 +105,17 @@ class Table {
   };
   [[nodiscard]] RowBuilder append() { return RowBuilder(*this); }
 
+  /// Adopt rows pushed directly into the columns (bulk loaders, e.g. the
+  /// archive reader, bypass RowBuilder). Throws if columns are ragged.
+  void finalize_rows();
+
+  /// (Re)build the zone index over the current rows. Call after the table is
+  /// fully loaded and ordered; any later append invalidates it (and drops it).
+  void rebuild_zone_index(std::size_t chunk_rows = 1024);
+  [[nodiscard]] const ZoneIndex* zone_index() const noexcept {
+    return zone_ ? &*zone_ : nullptr;
+  }
+
   /// Rows passing `pred(row_index)`.
   template <typename Pred>
   [[nodiscard]] std::vector<std::size_t> select(Pred pred) const {
@@ -95,6 +130,7 @@ class Table {
   std::string name_;
   std::vector<Column> columns_;
   std::size_t rows_ = 0;
+  std::optional<ZoneIndex> zone_;
 };
 
 }  // namespace supremm::warehouse

@@ -184,9 +184,13 @@ AsciiTable render_failures(std::span<const FailureProfile> profiles) {
 }
 
 AsciiTable render_data_quality(const etl::DataQualityReport& q, std::size_t top_n) {
-  AsciiTable t(strprintf("Data quality: %.1f%% facility coverage, %llu quarantined lines",
-                         100.0 * q.facility_coverage(),
-                         static_cast<unsigned long long>(q.total_quarantined())));
+  std::string title = strprintf("Data quality: %.1f%% facility coverage, %llu quarantined lines",
+                                100.0 * q.facility_coverage(),
+                                static_cast<unsigned long long>(q.total_quarantined()));
+  if (!q.corrupt_partitions.empty()) {
+    title += strprintf(", %zu corrupt archive partitions", q.corrupt_partitions.size());
+  }
+  AsciiTable t(title);
   t.header({"host", "coverage", "quarantined", "dups", "reorder", "resets", "rollover",
             "no-end", "skew_s"});
   std::vector<const etl::HostQuality*> worst;
@@ -228,6 +232,18 @@ AsciiTable render_data_quality(const etl::DataQualityReport& q, std::size_t top_
       .cell(static_cast<std::int64_t>(total.rollovers))
       .cell(static_cast<std::int64_t>(total.missing_job_end))
       .cell(static_cast<std::int64_t>(0));
+  for (const auto& p : q.corrupt_partitions) {
+    t.add_row()
+        .cell(strprintf("[archive] %s", p.file.c_str()))
+        .cell("corrupt")
+        .cell(static_cast<std::int64_t>(0))
+        .cell(static_cast<std::int64_t>(0))
+        .cell(static_cast<std::int64_t>(0))
+        .cell(static_cast<std::int64_t>(0))
+        .cell(static_cast<std::int64_t>(0))
+        .cell(static_cast<std::int64_t>(0))
+        .cell(static_cast<std::int64_t>(0));
+  }
   return t;
 }
 
@@ -238,7 +254,9 @@ std::size_t write_reports(const DataContext& ctx, Stakeholder s, std::ostream& o
     out << '\n';
     ++count;
   };
-  out << "=== " << stakeholder_name(s) << " reports: " << ctx.cluster << " ===\n\n";
+  out << "=== " << stakeholder_name(s) << " reports: " << ctx.cluster << " ===\n";
+  if (!ctx.provenance.empty()) out << "source: " << ctx.provenance << '\n';
+  out << '\n';
 
   const ProfileAnalyzer analyzer(ctx.jobs);
   switch (s) {

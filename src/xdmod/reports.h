@@ -77,6 +77,10 @@ inline constexpr std::size_t kStakeholderCount = 6;
 /// Everything the report builders need.
 struct DataContext {
   std::string cluster;
+  /// Where the data came from ("live ingest", "archive <dir> ..."); printed
+  /// as a "source:" line in every report book header when non-empty, so a
+  /// report is traceable to the store that produced it.
+  std::string provenance;
   std::span<const etl::JobSummary> jobs;
   const etl::SystemSeries* series = nullptr;
   std::size_t cores_per_node = 16;

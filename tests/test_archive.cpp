@@ -1,0 +1,376 @@
+// Archive subsystem tests: partition round-trip bit-identity, streaming
+// compression, zone-map pruning on archived tables, incremental append
+// equivalence with from-scratch ingest, and corruption quarantine.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <set>
+#include <string>
+#include <tuple>
+
+#include "compress/lzss.h"
+#include "sim_fixture.h"
+
+namespace ar = supremm::archive;
+namespace cp = supremm::compress;
+namespace etl = supremm::etl;
+namespace fa = supremm::facility;
+namespace fsim = supremm::faultsim;
+namespace sc = supremm::common;
+namespace wh = supremm::warehouse;
+namespace fs = std::filesystem;
+using supremm::testing::make_sim_run;
+using supremm::testing::SimRun;
+
+namespace {
+
+/// The shared 4-day run behind every archive test; computed once per binary.
+const SimRun& archive_run() {
+  static const SimRun run = make_sim_run(fa::ranger(), 0.008, 4, 777);
+  return run;
+}
+
+etl::IngestConfig ingest_cfg(const SimRun& run, sc::Duration span) {
+  etl::IngestConfig cfg;
+  cfg.start = run.start;
+  cfg.span = span;
+  cfg.cluster = run.spec.name;
+  return cfg;
+}
+
+constexpr const char* kContext = "test-context";
+
+ar::AppendStats append_days(ar::Archive& a, const SimRun& run, int days) {
+  const auto cfg = ingest_cfg(run, days * sc::kDay);
+  return a.append(cfg, run.files, run.acct, run.lariat_records, run.catalogue,
+                  etl::project_science_map(*run.population), kContext,
+                  run.start + days * sc::kDay);
+}
+
+/// Fresh scratch directory under the test temp root.
+std::string scratch_dir(const std::string& name) {
+  const fs::path dir = fs::path(::testing::TempDir()) / ("supremm-" + name);
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir.string();
+}
+
+/// Deterministic re-encode: two tables holding the same rows in the same
+/// order produce byte-identical partitions (dictionaries are assigned in
+/// first-seen order), so byte equality is full bit-identity including NaNs.
+std::string table_bytes(const wh::Table& t) { return ar::encode_partition(t, 0); }
+
+}  // namespace
+
+// --- Partition round trip --------------------------------------------------
+
+TEST(ArchivePartition, JobsRoundTripBitIdentical) {
+  const auto& run = archive_run();
+  ASSERT_FALSE(run.result.jobs.empty());
+  const wh::Table t = ar::jobs_table(run.result.jobs);
+  const std::string bytes = ar::encode_partition(t, 3);
+
+  const ar::DecodedPartition dp = ar::decode_partition(bytes);
+  EXPECT_EQ(dp.day, 3);
+  EXPECT_EQ(dp.table.rows(), t.rows());
+  EXPECT_EQ(dp.table.cols(), t.cols());
+  // Decode -> re-encode reproduces the exact bytes.
+  EXPECT_EQ(ar::encode_partition(dp.table, 3), bytes);
+
+  // And the decoded rows rebuild the exact summaries.
+  const auto jobs = ar::jobs_from_table(dp.table);
+  ASSERT_EQ(jobs.size(), run.result.jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    EXPECT_EQ(jobs[i].id, run.result.jobs[i].id);
+    EXPECT_EQ(jobs[i].user, run.result.jobs[i].user);
+    EXPECT_EQ(jobs[i].end, run.result.jobs[i].end);
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(jobs[i].cpu_idle),
+              std::bit_cast<std::uint64_t>(run.result.jobs[i].cpu_idle));
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(jobs[i].mem_used_max_gb),
+              std::bit_cast<std::uint64_t>(run.result.jobs[i].mem_used_max_gb));
+  }
+}
+
+TEST(ArchivePartition, SeriesAndQualityRoundTrip) {
+  const auto& run = archive_run();
+  const wh::Table st = ar::series_table(run.result.series);
+  const ar::DecodedPartition sd = ar::decode_partition(ar::encode_partition(st, 0));
+  const etl::SystemSeries series = ar::series_from_table(
+      sd.table, run.result.series.start, run.result.series.bucket, run.result.series.buckets);
+  EXPECT_EQ(table_bytes(ar::series_table(series)), table_bytes(st));
+
+  const wh::Table qt = ar::quality_to_table(run.result.quality);
+  const ar::DecodedPartition qd = ar::decode_partition(ar::encode_partition(qt, -1));
+  const etl::DataQualityReport quality = ar::quality_from_table(qd.table);
+  EXPECT_EQ(quality.hosts.size(), run.result.quality.hosts.size());
+  EXPECT_EQ(quality.span, run.result.quality.span);
+  EXPECT_EQ(table_bytes(ar::quality_to_table(quality)), table_bytes(qt));
+}
+
+TEST(ArchivePartition, CorruptBytesThrow) {
+  const auto& run = archive_run();
+  std::string bytes = ar::encode_partition(ar::jobs_table(run.result.jobs), 0);
+  bytes[bytes.size() / 2] = static_cast<char>(~bytes[bytes.size() / 2]);
+  EXPECT_THROW((void)ar::decode_partition(bytes), supremm::ParseError);
+  EXPECT_THROW((void)ar::decode_partition(bytes.substr(0, bytes.size() / 3)),
+               supremm::ParseError);
+}
+
+// --- Streaming compression -------------------------------------------------
+
+TEST(ArchiveCompress, StreamingMatchesOneShot) {
+  const auto& run = archive_run();
+  ASSERT_FALSE(run.files.empty());
+  const std::string& data = run.files.front().content;
+  const std::string one_shot = cp::compress(data);
+
+  for (const std::size_t chunk : {std::size_t{1}, std::size_t{7}, std::size_t{4096}}) {
+    cp::StreamCompressor enc;
+    for (std::size_t pos = 0; pos < data.size(); pos += chunk) {
+      enc.append(std::string_view(data).substr(pos, chunk));
+    }
+    EXPECT_EQ(enc.finish(), one_shot) << "chunk " << chunk;
+    EXPECT_EQ(enc.report().raw, data.size());
+    EXPECT_EQ(enc.report().compressed, one_shot.size());
+  }
+}
+
+TEST(ArchiveCompress, StreamingDecompressorResumesAnywhere) {
+  const auto& run = archive_run();
+  const std::string& data = run.files.front().content;
+  const std::string packed = cp::compress(data);
+  cp::StreamDecompressor dec;
+  // Byte-at-a-time delivery must still reproduce the input exactly.
+  std::string out;
+  for (const char c : packed) {
+    dec.append(std::string_view(&c, 1));
+    out += dec.take();
+  }
+  EXPECT_TRUE(dec.done());
+  EXPECT_EQ(dec.raw_size(), data.size());
+  EXPECT_EQ(out, data);
+}
+
+// --- Incremental append ----------------------------------------------------
+
+TEST(ArchiveAppend, IncrementalEqualsFromScratch) {
+  const auto& run = archive_run();
+
+  const std::string inc_dir = scratch_dir("incremental");
+  ar::Archive inc(inc_dir);
+  const auto st1 = append_days(inc, run, 2);
+  EXPECT_EQ(st1.days_ingested, 2);
+  EXPECT_GT(st1.partitions_written, 0U);
+  EXPECT_EQ(inc.manifest().rewrite_from, 1);
+  const auto st2 = append_days(inc, run, 4);
+  EXPECT_EQ(st2.days_ingested, 3);  // day 1 was provisional and is redone
+  EXPECT_EQ(inc.manifest().watermark, 4 * sc::kDay);
+
+  const std::string full_dir = scratch_dir("fromscratch");
+  ar::Archive full(full_dir);
+  (void)append_days(full, run, 4);
+
+  // Every partition must be byte-identical between the two histories.
+  ASSERT_EQ(inc.manifest().partitions.size(), full.manifest().partitions.size());
+  std::set<std::tuple<std::string, std::int64_t, std::uint32_t, std::uint64_t>> a;
+  std::set<std::tuple<std::string, std::int64_t, std::uint32_t, std::uint64_t>> b;
+  for (const auto& p : inc.manifest().partitions) a.insert({p.table, p.day, p.crc, p.bytes});
+  for (const auto& p : full.manifest().partitions) b.insert({p.table, p.day, p.crc, p.bytes});
+  EXPECT_EQ(a, b);
+
+  // And the loaded result must equal a plain in-memory ingest of all 4 days.
+  const ar::LoadResult loaded = inc.load();
+  EXPECT_TRUE(loaded.quarantined.empty());
+  EXPECT_EQ(table_bytes(ar::jobs_table(loaded.result.jobs)),
+            table_bytes(ar::jobs_table(run.result.jobs)));
+  EXPECT_EQ(table_bytes(ar::series_table(loaded.result.series)),
+            table_bytes(ar::series_table(run.result.series)));
+  EXPECT_EQ(table_bytes(ar::quality_to_table(loaded.result.quality)),
+            table_bytes(ar::quality_to_table(run.result.quality)));
+
+  // Appending the same watermark again is a no-op.
+  const auto st3 = append_days(inc, run, 4);
+  EXPECT_EQ(st3.partitions_written, 0U);
+}
+
+TEST(ArchiveAppend, RejectsConfigurationDrift) {
+  const auto& run = archive_run();
+  const std::string dir = scratch_dir("drift");
+  ar::Archive a(dir);
+  (void)append_days(a, run, 2);
+
+  auto cfg = ingest_cfg(run, 4 * sc::kDay);
+  EXPECT_THROW((void)a.append(cfg, run.files, run.acct, run.lariat_records, run.catalogue,
+                              etl::project_science_map(*run.population), "other-context",
+                              run.start + 4 * sc::kDay),
+               supremm::InvalidArgument);
+  cfg.span = 3 * sc::kDay;  // span must equal upto - start
+  EXPECT_THROW((void)a.append(cfg, run.files, run.acct, run.lariat_records, run.catalogue,
+                              etl::project_science_map(*run.population), kContext,
+                              run.start + 4 * sc::kDay),
+               supremm::InvalidArgument);
+}
+
+// --- Reader + zone-map pruning ---------------------------------------------
+
+TEST(ArchiveReader, PrunedScanMatchesFullScan) {
+  const auto& run = archive_run();
+  const std::string dir = scratch_dir("reader");
+  ar::Archive a(dir);
+  (void)append_days(a, run, 4);
+
+  ar::Reader reader(dir);
+  const wh::Table jobs = reader.table(ar::kJobsTable, 64);
+  ASSERT_NE(jobs.zone_index(), nullptr);
+  ASSERT_EQ(jobs.rows(), run.result.jobs.size());
+
+  // Query-level pruning: same result as the unindexed scan, fewer rows read.
+  const sc::TimePoint cut = run.start + 3 * sc::kDay;
+  auto query = [&](const wh::Table& t) {
+    return wh::Query(t)
+        .where(wh::ge("end", static_cast<double>(cut)))
+        .group_by({"science"})
+        .aggregate({{"node_hours", wh::AggKind::kSum, "", "nh"}});
+  };
+  wh::Table plain(jobs.name(), {{"science", wh::ColType::kString},
+                                {"end", wh::ColType::kInt64},
+                                {"node_hours", wh::ColType::kDouble}});
+  for (std::size_t r = 0; r < jobs.rows(); ++r) {
+    plain.append()
+        .set("science", jobs.col("science").as_string(r))
+        .set("end", jobs.col("end").as_int64(r))
+        .set("node_hours", jobs.col("node_hours").as_double(r));
+  }
+  auto pruned_q = query(jobs);
+  auto full_q = query(plain);
+  const wh::Table pruned_out = pruned_q.run();
+  const wh::Table full_out = full_q.run();
+  EXPECT_EQ(table_bytes(pruned_out), table_bytes(full_out));
+  EXPECT_GT(pruned_q.stats().chunks_pruned, 0U);
+  EXPECT_LT(pruned_q.stats().rows_scanned, jobs.rows());
+  EXPECT_EQ(full_q.stats().chunks_total, 0U);  // no zone index on the copy
+
+  // Read-side pruning: skipped chunks never decompress, surviving rows are a
+  // superset of the true matches and a subset of all rows.
+  const std::vector<wh::PredicateBounds> bounds = {
+      {"end", static_cast<double>(cut), std::numeric_limits<double>::infinity(), {}}};
+  const wh::Table lazy = reader.table_pruned(ar::kJobsTable, bounds, 64);
+  EXPECT_GT(reader.chunks_pruned(), 0U);
+  EXPECT_LT(lazy.rows(), jobs.rows());
+  std::set<std::int64_t> lazy_ids;
+  for (std::size_t r = 0; r < lazy.rows(); ++r) {
+    lazy_ids.insert(lazy.col("job_id").as_int64(r));
+  }
+  std::size_t matches = 0;
+  for (const auto& j : run.result.jobs) {
+    if (j.end >= cut) {
+      ++matches;
+      EXPECT_TRUE(lazy_ids.count(static_cast<std::int64_t>(j.id)) != 0) << "job " << j.id;
+    }
+  }
+  EXPECT_GE(lazy_ids.size(), matches);
+}
+
+// --- Corruption quarantine -------------------------------------------------
+
+TEST(ArchiveFaults, BitrotPartitionsAreQuarantined) {
+  const auto& run = archive_run();
+  const std::string dir = scratch_dir("bitrot");
+  ar::Archive a(dir);
+  (void)append_days(a, run, 4);
+  const std::size_t total_partitions = a.manifest().partitions.size();
+
+  // Damage is keyed by filename, so an identical copy of the archive takes
+  // identical damage (determinism contract).
+  const std::string copy_dir = scratch_dir("bitrot-copy");
+  fs::copy(dir, copy_dir, fs::copy_options::recursive | fs::copy_options::overwrite_existing);
+
+  const fsim::FaultInjector injector(fsim::FaultPlan::profile("bitrot", 4242));
+  const fsim::InjectionReport rep = injector.apply_archive(dir);
+  ASSERT_GT(rep.partitions_corrupted, 0U);
+  ASSERT_LT(static_cast<std::size_t>(rep.partitions_corrupted), total_partitions);
+  EXPECT_EQ(rep.corrupted_files.size(), rep.partitions_corrupted);
+  const fsim::InjectionReport rep2 = injector.apply_archive(copy_dir);
+  EXPECT_EQ(rep2.corrupted_files, rep.corrupted_files);
+
+  const ar::LoadResult loaded = ar::Archive(dir).load();
+  EXPECT_EQ(loaded.quarantined.size(), static_cast<std::size_t>(rep.partitions_corrupted));
+  EXPECT_EQ(loaded.partitions_loaded, total_partitions - loaded.quarantined.size());
+  std::set<std::string> expect(rep.corrupted_files.begin(), rep.corrupted_files.end());
+  std::set<std::string> got;
+  for (const auto& q : loaded.quarantined) got.insert(q.file);
+  EXPECT_EQ(got, expect);
+  // The quarantine is carried into the data-quality report for the xdmod
+  // sysadmin book.
+  EXPECT_EQ(loaded.result.quality.corrupt_partitions.size(), loaded.quarantined.size());
+
+  // Healthy days still load: every surviving jobs partition's rows appear.
+  std::set<std::int64_t> healthy_days;
+  for (const auto& p : ar::Archive(dir).manifest().partitions) {
+    if (p.table == ar::kJobsTable && expect.count(p.filename) == 0) {
+      healthy_days.insert(p.day);
+    }
+  }
+  std::size_t expected_jobs = 0;
+  for (const auto& j : run.result.jobs) {
+    const std::int64_t d = std::min<std::int64_t>(sc::day_of(j.end - 1), 3);
+    if (healthy_days.count(d) != 0) ++expected_jobs;
+  }
+  EXPECT_EQ(loaded.result.jobs.size(), expected_jobs);
+}
+
+TEST(ArchiveFaults, DamagedManifestThrows) {
+  const auto& run = archive_run();
+  const std::string dir = scratch_dir("badmanifest");
+  ar::Archive a(dir);
+  (void)append_days(a, run, 2);
+
+  const fs::path manifest = fs::path(dir) / "MANIFEST";
+  std::string text;
+  {
+    std::ifstream in(manifest, std::ios::binary);
+    text.assign((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  }
+  text[text.find("watermark") + 10] ^= 1;
+  {
+    std::ofstream out(manifest, std::ios::binary | std::ios::trunc);
+    out << text;
+  }
+  EXPECT_THROW(ar::Reader{dir}, supremm::ParseError);
+  EXPECT_THROW(ar::Archive{dir}, supremm::ParseError);
+}
+
+// --- Pipeline integration --------------------------------------------------
+
+TEST(ArchivePipeline, WarmArchiveSkipsSimulation) {
+  namespace pl = supremm::pipeline;
+  pl::PipelineConfig cfg;
+  cfg.spec = fa::scaled(fa::ranger(), 0.004);
+  cfg.span = 2 * sc::kDay;
+  cfg.seed = 31;
+  cfg.archive_dir = scratch_dir("pipeline");
+
+  const pl::PipelineResult cold = pl::run_pipeline(cfg);
+  EXPECT_NE(cold.provenance.find("days ingested"), std::string::npos);
+  EXPECT_GT(cold.archive_partitions_written, 0U);
+  ASSERT_NE(cold.engine, nullptr);
+
+  const pl::PipelineResult warm = pl::run_pipeline(cfg);
+  EXPECT_NE(warm.provenance.find("cold load"), std::string::npos);
+  EXPECT_EQ(warm.engine, nullptr);  // no simulation happened
+  EXPECT_TRUE(warm.files.empty());
+  EXPECT_GT(warm.archive_partitions_loaded, 0U);
+  EXPECT_EQ(table_bytes(ar::jobs_table(warm.result.jobs)),
+            table_bytes(ar::jobs_table(cold.result.jobs)));
+  EXPECT_EQ(table_bytes(ar::series_table(warm.result.series)),
+            table_bytes(ar::series_table(cold.result.series)));
+
+  // A different configuration must refuse to reuse the directory.
+  pl::PipelineConfig other = cfg;
+  other.seed = 32;
+  EXPECT_THROW((void)pl::run_pipeline(other), supremm::InvalidArgument);
+}
