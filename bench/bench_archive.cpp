@@ -6,9 +6,15 @@
 // re-simulate + re-ingest of the same dataset (target >= 5x), (3) the cost
 // of an incremental append that only covers new days, and (4) pruned vs
 // unpruned scans over the archived jobs table via zone maps.
+// A final section measures the multi-threaded partition codec (encode and
+// decode at 1/2/4/8 threads, asserting byte-identical output) and writes
+// the scaling curve to BENCH_archive.json.
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -164,6 +170,64 @@ int main() {
               "%.3f ms (%.1fx)\n",
               series.rows(), t_zone * 1e3, stats.rows_scanned, stats.chunks_pruned,
               stats.chunks_total, t_opaque * 1e3, t_opaque / t_zone);
+
+  // (5) Thread-scaling of the partition codec. Blocks are independent LZSS
+  // streams, so encode/decode parallelize; the bytes must stay identical.
+  constexpr int kCodecReps = 5;
+  auto median_time = [](int reps, const std::function<void()>& fn) {
+    std::vector<double> times;
+    for (int i = 0; i < reps; ++i) {
+      const auto s0 = std::chrono::steady_clock::now();
+      fn();
+      times.push_back(seconds_since(s0));
+    }
+    std::sort(times.begin(), times.end());
+    return times[times.size() / 2];
+  };
+
+  bench::BenchJson json("archive");
+  json.record("compression_ratio")
+      .num("raw_mb", mb(raw))
+      .num("lzss_mb", mb(lzss))
+      .num("ratio", static_cast<double>(raw) / static_cast<double>(lzss));
+  json.record("cold_load_vs_reingest")
+      .num("reingest_s", t_live)
+      .num("cold_load_s", t_load)
+      .num("speedup", t_live / t_load);
+
+  const std::string serial_bytes = archive::encode_partition(jobs, 0);
+  std::printf("\n[codec] jobs table: %zu rows -> %.1f MB partition\n", jobs.rows(),
+              mb(serial_bytes.size()));
+  double t_enc1 = 0.0;
+  double t_dec1 = 0.0;
+  for (const std::size_t threads : {1, 2, 4, 8}) {
+    std::string bytes;
+    const double t_enc = median_time(kCodecReps, [&] {
+      bytes = archive::encode_partition(jobs, 0, archive::kDefaultChunkRows, threads);
+    });
+    if (bytes != serial_bytes) {
+      std::fprintf(stderr, "FATAL: encode at %zu threads is not byte-identical\n", threads);
+      return 1;
+    }
+    const double t_dec = median_time(kCodecReps, [&] {
+      auto dp = archive::decode_partition(serial_bytes, nullptr, threads);
+      if (dp.table.rows() != jobs.rows()) std::abort();
+    });
+    if (threads == 1) {
+      t_enc1 = t_enc;
+      t_dec1 = t_dec;
+    }
+    json.record("partition_codec")
+        .num("threads", static_cast<double>(threads))
+        .num("encode_s", t_enc)
+        .num("decode_s", t_dec)
+        .num("encode_speedup_vs_1thread", t_enc1 / t_enc)
+        .num("decode_speedup_vs_1thread", t_dec1 / t_dec);
+    std::printf("[codec] %zu thread(s): encode %.3f s (%.2fx), decode %.3f s (%.2fx); "
+                "bytes identical\n",
+                threads, t_enc, t_enc1 / t_enc, t_dec, t_dec1 / t_dec);
+  }
+  json.write("BENCH_archive.json");
 
   fs::remove_all(dir);
   return 0;

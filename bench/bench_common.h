@@ -11,6 +11,10 @@
 #pragma once
 
 #include <cstdio>
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
 
 #include "supremm/supremm.h"
 
@@ -49,6 +53,71 @@ inline void print_experiment_header(const char* id, const char* paper_claim) {
   std::printf("Paper: %s\n", paper_claim);
   std::printf("==============================================================\n");
 }
+
+/// Machine-readable bench output (BENCH_*.json): a flat list of records,
+/// each a label plus numeric/string fields, so the perf trajectory can be
+/// tracked across PRs by external tooling. Usage:
+///
+///   BenchJson json("query");
+///   json.record("group_by_threads").num("threads", 8).num("seconds", t);
+///   json.write("BENCH_query.json");
+class BenchJson {
+ public:
+  explicit BenchJson(std::string bench) : bench_(std::move(bench)) {}
+
+  class Record {
+   public:
+    Record& num(std::string key, double value) {
+      fields_.emplace_back(std::move(key), value);
+      return *this;
+    }
+    Record& str(std::string key, std::string value) {
+      fields_.emplace_back(std::move(key), std::move(value));
+      return *this;
+    }
+
+   private:
+    friend class BenchJson;
+    explicit Record(std::string label) : label_(std::move(label)) {}
+    std::string label_;
+    std::vector<std::pair<std::string, std::variant<double, std::string>>> fields_;
+  };
+
+  Record& record(std::string label) {
+    records_.push_back(Record(std::move(label)));
+    return records_.back();
+  }
+
+  /// Write {"bench": ..., "records": [...]} to `path` (overwrites).
+  void write(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+      return;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"records\": [\n", bench_.c_str());
+    for (std::size_t i = 0; i < records_.size(); ++i) {
+      const Record& r = records_[i];
+      std::fprintf(f, "    {\"label\": \"%s\"", r.label_.c_str());
+      for (const auto& [key, value] : r.fields_) {
+        if (std::holds_alternative<double>(value)) {
+          std::fprintf(f, ", \"%s\": %.9g", key.c_str(), std::get<double>(value));
+        } else {
+          std::fprintf(f, ", \"%s\": \"%s\"", key.c_str(),
+                       std::get<std::string>(value).c_str());
+        }
+      }
+      std::fprintf(f, "}%s\n", i + 1 < records_.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("[json] wrote %s (%zu records)\n", path.c_str(), records_.size());
+  }
+
+ private:
+  std::string bench_;
+  std::vector<Record> records_;
+};
 
 inline void print_run_info(const pipeline::PipelineResult& run) {
   std::printf("[setup] %s: %zu nodes x %zu cores, %.0f GB/node, %.1f TF scaled peak, "

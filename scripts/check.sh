@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Tier-1 verification plus the parallel determinism suite.
+#
+# Runs the repo's standard build + full ctest (the tier-1 gate from
+# ROADMAP.md), then re-runs the `parallel`-labeled determinism tests twice:
+# once with a single ctest job and once with all cores, so scheduling jitter
+# gets a chance to surface any thread-count- or interleaving-dependent
+# behavior the property tests are meant to rule out.
+#
+# Usage: scripts/check.sh [build-dir]   (default: build)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+JOBS="$(nproc)"
+
+echo "== configure + build (${BUILD_DIR}, ${JOBS} jobs) =="
+cmake -B "${BUILD_DIR}" -S .
+cmake --build "${BUILD_DIR}" -j "${JOBS}"
+
+echo "== tier-1: full test suite =="
+ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}"
+
+echo "== parallel determinism suite, serial ctest (-j 1) =="
+ctest --test-dir "${BUILD_DIR}" -L parallel --output-on-failure -j 1
+
+echo "== parallel determinism suite, concurrent ctest (-j ${JOBS}) =="
+ctest --test-dir "${BUILD_DIR}" -L parallel --output-on-failure -j "${JOBS}"
+
+echo "check.sh: all suites passed"

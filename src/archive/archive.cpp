@@ -9,6 +9,7 @@
 #include "common/checksum.h"
 #include "common/error.h"
 #include "common/strings.h"
+#include "common/thread_pool.h"
 
 namespace supremm::archive {
 
@@ -211,7 +212,8 @@ etl::SystemSeries slice_series(const etl::SystemSeries& s, std::size_t lo, std::
 
 // --- Reader ---
 
-Reader::Reader(std::string dir) : dir_(std::move(dir)) {
+Reader::Reader(std::string dir, std::size_t threads)
+    : dir_(std::move(dir)), threads_(threads) {
   auto m = try_load_manifest(dir_);
   if (!m) throw common::ParseError("archive: no manifest in " + dir_);
   manifest_ = std::move(*m);
@@ -228,13 +230,25 @@ std::vector<DecodedPartition> Reader::decode_table(
   if (parts.empty()) {
     throw common::NotFoundError("archive: no partitions for table '" + std::string(name) + "'");
   }
+
+  // Partitions are independent: verify + decode each on the pool into its
+  // own slot, then merge in day order so the concatenated tables and the
+  // quarantine list come out identical for any thread count.
+  std::vector<std::optional<DecodedPartition>> decoded(parts.size());
+  std::vector<std::vector<etl::PartitionQuarantine>> quarantines(parts.size());
+  auto pool = common::make_pool(threads_, parts.size());
+  common::for_each_unit(pool.get(), parts.size(), [&](std::size_t i) {
+    decoded[i] = try_read_partition(dir_, *parts[i], prune, quarantines[i]);
+  });
+
   std::vector<DecodedPartition> out;
-  for (const PartitionInfo* p : parts) {
-    if (auto dp = try_read_partition(dir_, *p, prune, quarantined_)) {
-      chunks_total_ += dp->chunks_total;
-      chunks_pruned_ += dp->chunks_pruned;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    quarantined_.insert(quarantined_.end(), quarantines[i].begin(), quarantines[i].end());
+    if (decoded[i]) {
+      chunks_total_ += decoded[i]->chunks_total;
+      chunks_pruned_ += decoded[i]->chunks_pruned;
       ++partitions_loaded_;
-      out.push_back(std::move(*dp));
+      out.push_back(std::move(*decoded[i]));
     }
   }
   if (out.empty()) {
@@ -289,7 +303,8 @@ warehouse::Table Reader::table_pruned(std::string_view name,
 
 // --- Archive ---
 
-Archive::Archive(std::string dir) : dir_(std::move(dir)), manifest_(try_load_manifest(dir_)) {}
+Archive::Archive(std::string dir, std::size_t threads)
+    : dir_(std::move(dir)), threads_(threads), manifest_(try_load_manifest(dir_)) {}
 
 const Manifest& Archive::manifest() const {
   if (!manifest_) throw common::NotFoundError("archive: " + dir_ + " is empty");
@@ -383,7 +398,7 @@ AppendStats Archive::append(const etl::IngestConfig& cfg,
   AppendStats stats;
   stats.days_ingested = day_end - prev_final;
   auto persist = [&](const warehouse::Table& t, std::int64_t day, std::string filename) {
-    const std::string bytes = encode_partition(t, day);
+    const std::string bytes = encode_partition(t, day, kDefaultChunkRows, threads_);
     PartitionInfo p;
     p.table = t.name();
     p.day = day;
@@ -449,9 +464,20 @@ LoadResult Archive::load() const {
     return std::tie(a->table, a->day) < std::tie(b->table, b->day);
   });
 
+  // Decode every partition on the pool, then merge in (table, day) order so
+  // the result and the quarantine list are identical for any thread count.
+  std::vector<std::optional<DecodedPartition>> decoded(parts.size());
+  std::vector<std::vector<etl::PartitionQuarantine>> quarantines(parts.size());
+  auto pool = common::make_pool(threads_, parts.size());
+  common::for_each_unit(pool.get(), parts.size(), [&](std::size_t i) {
+    decoded[i] = try_read_partition(dir_, *parts[i], nullptr, quarantines[i]);
+  });
+
   std::vector<warehouse::Table> series_parts;
-  for (const PartitionInfo* p : parts) {
-    auto dp = try_read_partition(dir_, *p, nullptr, out.quarantined);
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    const PartitionInfo* p = parts[i];
+    out.quarantined.insert(out.quarantined.end(), quarantines[i].begin(), quarantines[i].end());
+    auto& dp = decoded[i];
     if (!dp) continue;
     ++out.partitions_loaded;
     if (p->table == kJobsTable) {

@@ -79,7 +79,10 @@ class Reader {
  public:
   /// Reads and verifies the manifest; throws ParseError if it is missing or
   /// damaged (without a trustworthy index nothing else can be trusted).
-  explicit Reader(std::string dir);
+  /// `threads` != 1 decodes partitions on a worker pool (0 = hardware
+  /// concurrency); tables, quarantine order and chunk accounting are
+  /// identical for any setting.
+  explicit Reader(std::string dir, std::size_t threads = 1);
 
   [[nodiscard]] const Manifest& manifest() const noexcept { return manifest_; }
 
@@ -110,6 +113,7 @@ class Reader {
                                              const std::vector<warehouse::PredicateBounds>* prune);
 
   std::string dir_;
+  std::size_t threads_ = 1;
   Manifest manifest_;
   std::vector<etl::PartitionQuarantine> quarantined_;
   std::size_t partitions_loaded_ = 0;
@@ -123,8 +127,10 @@ class Archive {
  public:
   /// Binds to `dir`. Reads the manifest if one exists; a missing manifest
   /// means an empty archive (the first append creates it), a damaged one
-  /// throws ParseError.
-  explicit Archive(std::string dir);
+  /// throws ParseError. `threads` != 1 runs the partition codec on a worker
+  /// pool during append()/load() (0 = hardware concurrency); the files
+  /// written and data loaded are identical for any setting.
+  explicit Archive(std::string dir, std::size_t threads = 1);
 
   [[nodiscard]] const std::string& dir() const noexcept { return dir_; }
   [[nodiscard]] bool exists() const noexcept { return manifest_.has_value(); }
@@ -153,6 +159,7 @@ class Archive {
 
  private:
   std::string dir_;
+  std::size_t threads_ = 1;
   std::optional<Manifest> manifest_;
 };
 

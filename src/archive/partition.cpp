@@ -9,6 +9,7 @@
 #include "archive/codec.h"
 #include "common/checksum.h"
 #include "common/error.h"
+#include "common/thread_pool.h"
 #include "compress/lzss.h"
 
 namespace supremm::archive {
@@ -32,30 +33,40 @@ void put_name(std::string& out, std::string_view name) {
 
 std::string get_name(ByteReader& in) { return std::string(in.bytes(in.u16())); }
 
-/// Compress `raw` and append it as a length-prefixed, checksummed block.
-void put_block(std::string& out, std::string_view raw) {
+/// Compress `raw` into a self-contained length-prefixed, checksummed block.
+std::string pack_block(std::string_view raw) {
   compress::StreamCompressor comp;
   comp.append(raw);
   const std::string packed = comp.finish();
+  std::string out;
   put_u32(out, static_cast<std::uint32_t>(packed.size()));
   put_u32(out, common::crc32(packed));
   out.append(packed);
+  return out;
 }
 
-/// Verify and decompress the block at the reader's position.
-std::string get_block(ByteReader& in) {
-  const std::uint32_t len = in.u32();
-  const std::uint32_t crc = in.u32();
-  const std::string_view packed = in.bytes(len);
-  if (common::crc32(packed) != crc) throw common::ParseError("archive: block CRC mismatch");
+/// Location of one block's compressed payload inside the partition image.
+struct BlockRef {
+  std::size_t pos = 0;  // offset of the payload (after len + crc)
+  std::uint32_t len = 0;
+  std::uint32_t crc = 0;
+};
+
+/// Record the block at the reader's position without touching its payload.
+BlockRef scan_block(ByteReader& in) {
+  BlockRef ref;
+  ref.len = in.u32();
+  ref.crc = in.u32();
+  ref.pos = in.pos();
+  in.skip(ref.len);
+  return ref;
+}
+
+/// Verify and decompress a scanned block.
+std::string get_block(std::string_view bytes, const BlockRef& ref) {
+  const std::string_view packed = bytes.substr(ref.pos, ref.len);
+  if (common::crc32(packed) != ref.crc) throw common::ParseError("archive: block CRC mismatch");
   return compress::decompress(packed);
-}
-
-/// Skip the block at the reader's position without touching its payload.
-void skip_block(ByteReader& in) {
-  const std::uint32_t len = in.u32();
-  (void)in.u32();  // crc
-  in.skip(len);
 }
 
 double cell_value(const warehouse::Column& c, std::size_t row) {
@@ -89,11 +100,12 @@ Zone zone_of(const warehouse::Column& c, std::size_t lo_row, std::size_t hi_row)
 }  // namespace
 
 std::string encode_partition(const warehouse::Table& table, std::int64_t day,
-                             std::size_t chunk_rows) {
+                             std::size_t chunk_rows, std::size_t threads) {
   if (chunk_rows == 0) throw common::InvalidArgument("archive: chunk_rows must be positive");
   if (table.cols() > 0xffff) throw common::InvalidArgument("archive: too many columns");
   const std::size_t rows = table.rows();
   const std::size_t nchunks = (rows + chunk_rows - 1) / chunk_rows;
+  const auto& cols = table.columns();
 
   std::string out;
   out.append(kMagic, sizeof(kMagic));
@@ -104,56 +116,72 @@ std::string encode_partition(const warehouse::Table& table, std::int64_t day,
   put_u32(out, static_cast<std::uint32_t>(chunk_rows));
   put_u32(out, static_cast<std::uint32_t>(nchunks));
   put_u16(out, static_cast<std::uint16_t>(table.cols()));
-  for (const auto& c : table.columns()) {
+  for (const auto& c : cols) {
     put_name(out, c.name());
     out.push_back(static_cast<char>(c.type()));
   }
 
+  auto pool = common::make_pool(threads, cols.size() * nchunks);
+
   // Zone maps up front so readers can decide chunk survival before touching
-  // any data block.
-  for (const auto& c : table.columns()) {
+  // any data block. Every (column, chunk) cell is independent.
+  std::vector<Zone> zones(cols.size() * nchunks);
+  common::for_each_unit(pool.get(), zones.size(), [&](std::size_t i) {
+    const std::size_t c = i / nchunks;
+    const std::size_t lo_row = (i % nchunks) * chunk_rows;
+    zones[i] = zone_of(cols[c], lo_row, std::min(rows, lo_row + chunk_rows));
+  });
+  for (const Zone& z : zones) {
+    put_f64(out, z.lo);
+    put_f64(out, z.hi);
+    put_u32(out, z.nulls);
+  }
+
+  // Data blocks, in file order: per column, an optional dictionary block
+  // (string columns) then one block per chunk. Each block is an independent
+  // LZSS stream, so they compress in parallel and concatenate in order —
+  // the bytes are identical for any thread count.
+  struct BlockJob {
+    std::size_t col = 0;
+    std::ptrdiff_t chunk = -1;  // -1 = dictionary block
+  };
+  std::vector<BlockJob> jobs;
+  jobs.reserve(cols.size() * (nchunks + 1));
+  for (std::size_t c = 0; c < cols.size(); ++c) {
+    if (cols[c].type() == warehouse::ColType::kString) jobs.push_back({c, -1});
     for (std::size_t ch = 0; ch < nchunks; ++ch) {
-      const std::size_t lo_row = ch * chunk_rows;
-      const Zone z = zone_of(c, lo_row, std::min(rows, lo_row + chunk_rows));
-      put_f64(out, z.lo);
-      put_f64(out, z.hi);
-      put_u32(out, z.nulls);
+      jobs.push_back({c, static_cast<std::ptrdiff_t>(ch)});
     }
   }
 
-  std::string raw;
-  for (const auto& c : table.columns()) {
-    if (c.type() == warehouse::ColType::kString) {
-      raw.clear();
+  std::vector<std::string> blocks(jobs.size());
+  common::for_each_unit(pool.get(), jobs.size(), [&](std::size_t j) {
+    const warehouse::Column& c = cols[jobs[j].col];
+    std::string raw;
+    if (jobs[j].chunk < 0) {
       put_u32(raw, static_cast<std::uint32_t>(c.dict().size()));
       for (const auto& entry : c.dict()) {
         put_u32(raw, static_cast<std::uint32_t>(entry.size()));
         raw.append(entry);
       }
-      put_block(out, raw);
-    }
-    for (std::size_t ch = 0; ch < nchunks; ++ch) {
-      const std::size_t lo_row = ch * chunk_rows;
-      const std::size_t hi_row = std::min(rows, lo_row + chunk_rows);
-      raw.clear();
+    } else {
+      const std::size_t lo_row = static_cast<std::size_t>(jobs[j].chunk) * chunk_rows;
+      const std::size_t n = std::min(rows, lo_row + chunk_rows) - lo_row;
       switch (c.type()) {
         case warehouse::ColType::kDouble:
-          encode_f64_chunk(c.doubles().subspan(lo_row, hi_row - lo_row), raw);
+          encode_f64_chunk(c.doubles().subspan(lo_row, n), raw);
           break;
         case warehouse::ColType::kInt64:
-          encode_i64_chunk(c.int64s().subspan(lo_row, hi_row - lo_row), raw);
+          encode_i64_chunk(c.int64s().subspan(lo_row, n), raw);
           break;
-        case warehouse::ColType::kString: {
-          std::vector<std::int32_t> codes;
-          codes.reserve(hi_row - lo_row);
-          for (std::size_t r = lo_row; r < hi_row; ++r) codes.push_back(c.code(r));
-          encode_codes_chunk(codes, raw);
+        case warehouse::ColType::kString:
+          encode_codes_chunk(c.codes().subspan(lo_row, n), raw);
           break;
-        }
       }
-      put_block(out, raw);
     }
-  }
+    blocks[j] = pack_block(raw);
+  });
+  for (const auto& b : blocks) out.append(b);
   return out;
 }
 
@@ -209,8 +237,8 @@ Header read_header(ByteReader& in, bool with_zones) {
 }
 
 /// Decode the dictionary block of a string column.
-std::vector<std::string> read_dict(ByteReader& in) {
-  const std::string raw = get_block(in);
+std::vector<std::string> read_dict(std::string_view bytes, const BlockRef& ref) {
+  const std::string raw = get_block(bytes, ref);
   ByteReader r(raw);
   const std::uint32_t n = r.u32();
   std::vector<std::string> dict;
@@ -220,42 +248,45 @@ std::vector<std::string> read_dict(ByteReader& in) {
   return dict;
 }
 
+/// The typed payload of one decoded chunk (exactly one vector is filled).
+struct DecodedChunk {
+  std::vector<double> f64;
+  std::vector<std::int64_t> i64;
+  std::vector<std::int32_t> codes;
+};
+
 }  // namespace
 
 DecodedPartition decode_partition(std::string_view bytes,
-                                  const std::vector<warehouse::PredicateBounds>* prune) {
+                                  const std::vector<warehouse::PredicateBounds>* prune,
+                                  std::size_t threads) {
   ByteReader in(bytes);
   Header h = read_header(in, /*with_zones=*/true);
+  const std::size_t ncols = h.schema.size();
 
-  // Decide chunk survival. Numeric bounds test directly against the zones;
-  // string-equality bounds need the column's dictionary, which a first pass
-  // reaches by skipping blocks via their length prefixes.
+  // Index every block via its length prefix (no payload is touched yet);
+  // the whole image must be exactly the header plus these blocks.
+  std::vector<BlockRef> dict_refs(ncols);
+  std::vector<std::vector<BlockRef>> chunk_refs(ncols);
+  for (std::size_t c = 0; c < ncols; ++c) {
+    if (h.schema[c].second == warehouse::ColType::kString) dict_refs[c] = scan_block(in);
+    chunk_refs[c].resize(h.nchunks);
+    for (std::uint32_t ch = 0; ch < h.nchunks; ++ch) chunk_refs[c][ch] = scan_block(in);
+  }
+  if (in.remaining() != 0) throw common::ParseError("archive: partition trailing bytes");
+
+  // Dictionaries decode up front: pruning needs them to resolve equality
+  // literals, and the columns need them installed before codes append.
+  std::vector<std::vector<std::string>> dicts(ncols);
+  for (std::size_t c = 0; c < ncols; ++c) {
+    if (h.schema[c].second == warehouse::ColType::kString) {
+      dicts[c] = read_dict(bytes, dict_refs[c]);
+    }
+  }
+
+  // Decide chunk survival against the stored zone maps.
   std::vector<bool> survives(h.nchunks, true);
   if (prune != nullptr && h.nchunks > 0) {
-    std::vector<std::vector<std::string>> equals_dict(h.schema.size());
-    {
-      bool any_equals = false;
-      for (const auto& b : *prune) {
-        if (b.equals) any_equals = true;
-      }
-      if (any_equals) {
-        ByteReader scan(bytes);
-        scan.skip(in.pos());
-        for (std::size_t c = 0; c < h.schema.size(); ++c) {
-          const bool is_string = h.schema[c].second == warehouse::ColType::kString;
-          bool wanted = false;
-          for (const auto& b : *prune) {
-            if (b.equals && b.column == h.schema[c].first) wanted = true;
-          }
-          if (is_string && wanted) {
-            equals_dict[c] = read_dict(scan);
-          } else if (is_string) {
-            skip_block(scan);
-          }
-          for (std::uint32_t ch = 0; ch < h.nchunks; ++ch) skip_block(scan);
-        }
-      }
-    }
     for (const auto& b : *prune) {
       const auto it = std::find_if(h.schema.begin(), h.schema.end(),
                                    [&](const auto& s) { return s.first == b.column; });
@@ -266,7 +297,7 @@ DecodedPartition decode_partition(std::string_view bytes,
       double hi = b.hi;
       if (b.equals) {
         if (!is_string) continue;
-        const auto& dict = equals_dict[c];
+        const auto& dict = dicts[c];
         const auto dit = std::find(dict.begin(), dict.end(), *b.equals);
         if (dit == dict.end()) {
           survives.assign(h.nchunks, false);  // value absent from the partition
@@ -288,51 +319,66 @@ DecodedPartition decode_partition(std::string_view bytes,
     if (!survives[ch]) ++out.chunks_pruned;
   }
 
-  for (std::size_t c = 0; c < h.schema.size(); ++c) {
-    warehouse::Column& col = out.table.col(h.schema[c].first);
-    std::vector<std::string> dict;
-    if (h.schema[c].second == warehouse::ColType::kString) dict = read_dict(in);
+  // Decompress and decode every surviving (column, chunk) block in parallel
+  // into its own slot, then assemble the table serially in chunk order — so
+  // the result is identical for any thread count.
+  std::vector<std::pair<std::size_t, std::uint32_t>> work;  // (col, chunk)
+  work.reserve(ncols * h.nchunks);
+  for (std::size_t c = 0; c < ncols; ++c) {
     for (std::uint32_t ch = 0; ch < h.nchunks; ++ch) {
-      const std::size_t lo_row = static_cast<std::size_t>(ch) * h.chunk_rows;
-      const std::size_t n = std::min<std::size_t>(h.rows - lo_row, h.chunk_rows);
-      if (!survives[ch]) {
-        skip_block(in);
-        continue;
-      }
-      const std::string raw = get_block(in);
-      ByteReader r(raw);
-      switch (h.schema[c].second) {
-        case warehouse::ColType::kDouble: {
-          std::vector<double> vals;
-          vals.reserve(n);
-          decode_f64_chunk(r, n, vals);
-          for (const double v : vals) col.push_double(v);
-          break;
-        }
-        case warehouse::ColType::kInt64: {
-          std::vector<std::int64_t> vals;
-          vals.reserve(n);
-          decode_i64_chunk(r, n, vals);
-          for (const std::int64_t v : vals) col.push_int64(v);
-          break;
-        }
-        case warehouse::ColType::kString: {
-          std::vector<std::int32_t> codes;
-          codes.reserve(n);
-          decode_codes_chunk(r, n, codes);
-          for (const std::int32_t code : codes) {
-            if (static_cast<std::size_t>(code) >= dict.size()) {
-              throw common::ParseError("archive: dictionary code out of range");
-            }
-            col.push_string(dict[static_cast<std::size_t>(code)]);
-          }
-          break;
-        }
-      }
-      if (r.remaining() != 0) throw common::ParseError("archive: chunk trailing bytes");
+      if (survives[ch]) work.emplace_back(c, ch);
     }
   }
-  if (in.remaining() != 0) throw common::ParseError("archive: partition trailing bytes");
+  std::vector<DecodedChunk> cells(work.size());
+  auto pool = common::make_pool(threads, work.size());
+  common::for_each_unit(pool.get(), work.size(), [&](std::size_t w) {
+    const auto [c, ch] = work[w];
+    const std::size_t lo_row = static_cast<std::size_t>(ch) * h.chunk_rows;
+    const std::size_t n = std::min<std::size_t>(h.rows - lo_row, h.chunk_rows);
+    const std::string raw = get_block(bytes, chunk_refs[c][ch]);
+    ByteReader r(raw);
+    DecodedChunk& cell = cells[w];
+    switch (h.schema[c].second) {
+      case warehouse::ColType::kDouble:
+        cell.f64.reserve(n);
+        decode_f64_chunk(r, n, cell.f64);
+        break;
+      case warehouse::ColType::kInt64:
+        cell.i64.reserve(n);
+        decode_i64_chunk(r, n, cell.i64);
+        break;
+      case warehouse::ColType::kString:
+        cell.codes.reserve(n);
+        decode_codes_chunk(r, n, cell.codes);
+        for (const std::int32_t code : cell.codes) {
+          if (static_cast<std::size_t>(code) >= dicts[c].size()) {
+            throw common::ParseError("archive: dictionary code out of range");
+          }
+        }
+        break;
+    }
+    if (r.remaining() != 0) throw common::ParseError("archive: chunk trailing bytes");
+  });
+
+  for (std::size_t c = 0; c < ncols; ++c) {
+    if (h.schema[c].second == warehouse::ColType::kString) {
+      out.table.col(h.schema[c].first).set_dict(std::move(dicts[c]));
+    }
+  }
+  for (std::size_t w = 0; w < work.size(); ++w) {
+    warehouse::Column& col = out.table.col(h.schema[work[w].first].first);
+    switch (h.schema[work[w].first].second) {
+      case warehouse::ColType::kDouble:
+        col.append_doubles(cells[w].f64);
+        break;
+      case warehouse::ColType::kInt64:
+        col.append_int64s(cells[w].i64);
+        break;
+      case warehouse::ColType::kString:
+        col.append_codes(cells[w].codes);
+        break;
+    }
+  }
   out.table.finalize_rows();
   return out;
 }

@@ -19,6 +19,11 @@
 // zigzag-delta varints; doubles are XORed with the previous bit pattern
 // (see codec.h). Encoding is deterministic, so identical tables produce
 // identical partition bytes.
+//
+// Blocks are independent LZSS streams, so both directions parallelize: with
+// `threads` > 1 the codec compresses / decompresses blocks on a worker pool
+// and assembles them in file order, producing bit-identical bytes (encode)
+// and tables (decode) for every thread count.
 #pragma once
 
 #include <cstdint>
@@ -32,9 +37,12 @@ namespace supremm::archive {
 
 inline constexpr std::size_t kDefaultChunkRows = 1024;
 
-/// Serialize `table` as a partition image for simulated day `day`.
+/// Serialize `table` as a partition image for simulated day `day`. With
+/// `threads` != 1 the per-block compression runs on a worker pool (0 =
+/// hardware concurrency); the output bytes are identical for any setting.
 [[nodiscard]] std::string encode_partition(const warehouse::Table& table, std::int64_t day,
-                                           std::size_t chunk_rows = kDefaultChunkRows);
+                                           std::size_t chunk_rows = kDefaultChunkRows,
+                                           std::size_t threads = 1);
 
 /// Everything decoded from one partition.
 struct DecodedPartition {
@@ -47,9 +55,12 @@ struct DecodedPartition {
 /// Decode a partition image; throws ParseError on any structural damage or
 /// CRC mismatch. With `prune` non-null, chunks whose zone maps are disjoint
 /// from the bounds are skipped entirely (not decompressed) and their rows
-/// are absent from the result.
+/// are absent from the result. With `threads` != 1 surviving blocks
+/// decompress on a worker pool (0 = hardware concurrency); the decoded
+/// table is identical for any setting.
 [[nodiscard]] DecodedPartition decode_partition(
-    std::string_view bytes, const std::vector<warehouse::PredicateBounds>* prune = nullptr);
+    std::string_view bytes, const std::vector<warehouse::PredicateBounds>* prune = nullptr,
+    std::size_t threads = 1);
 
 /// Table name recorded in a partition image (header-only parse).
 [[nodiscard]] std::string partition_table_name(std::string_view bytes);

@@ -10,6 +10,7 @@
 #include <cstddef>
 #include <functional>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <queue>
 #include <thread>
@@ -61,5 +62,28 @@ class ThreadPool {
   std::condition_variable cv_;
   bool stop_ = false;
 };
+
+/// Pool sized for `threads` (0 = hardware concurrency) when more than one
+/// work unit exists; null — meaning "run inline" — otherwise. The warehouse
+/// query engine and the archive codec use this so a thread count of 1 takes
+/// the exact same code path with zero pool overhead.
+[[nodiscard]] inline std::unique_ptr<ThreadPool> make_pool(std::size_t threads,
+                                                           std::size_t units) {
+  if (threads == 1 || units < 2) return nullptr;
+  return std::make_unique<ThreadPool>(threads);
+}
+
+/// Run fn(i) for i in [0, n): inline on the calling thread when pool is
+/// null, otherwise spread across the pool. Each index must touch only its
+/// own output slot; the iteration order is unspecified under a pool, so
+/// results are deterministic exactly when the units are independent.
+inline void for_each_unit(ThreadPool* pool, std::size_t n,
+                          const std::function<void(std::size_t)>& fn) {
+  if (pool == nullptr) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  pool->parallel_for(0, n, fn);
+}
 
 }  // namespace supremm::common

@@ -32,7 +32,7 @@ PipelineResult run_pipeline(const PipelineConfig& config) {
 
   const std::string context = archive_context(config);
   if (!config.archive_dir.empty()) {
-    const archive::Archive ar(config.archive_dir);
+    const archive::Archive ar(config.archive_dir, config.threads);
     if (ar.exists()) {
       const auto& m = ar.manifest();
       if (m.context != context || m.start != config.start) {
@@ -91,7 +91,7 @@ PipelineResult run_pipeline(const PipelineConfig& config) {
   if (!config.archive_dir.empty()) {
     // Append only the not-yet-archived days, then serve the result from the
     // archive so what callers analyze is exactly what was persisted.
-    archive::Archive ar(config.archive_dir);
+    archive::Archive ar(config.archive_dir, config.threads);
     const archive::AppendStats st =
         ar.append(cfg, run.files, run.acct, run.lariat_records, run.catalogue,
                   etl::project_science_map(*run.population), context,

@@ -29,7 +29,9 @@ struct PipelineConfig {
   bool with_maintenance = false;
   double load_factor = 1.0;
   taccstats::AgentConfig agent;          // collection cadence etc.
-  std::size_t threads = 0;               // 0 = hardware concurrency
+  /// Worker threads for collection, ingest and archive I/O (0 = hardware
+  /// concurrency). Results are bit-identical for any setting (DESIGN.md §7).
+  std::size_t threads = 0;
   /// Strict (default) aborts ingest on malformed raw data; salvage recovers
   /// what it can and fills the DataQualityReport (DESIGN.md §8).
   etl::IngestMode ingest_mode = etl::IngestMode::kStrict;

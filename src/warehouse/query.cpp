@@ -1,10 +1,14 @@
 #include "warehouse/query.h"
 
 #include <algorithm>
+#include <array>
+#include <bit>
+#include <cstring>
 #include <limits>
 #include <unordered_map>
 
 #include "common/error.h"
+#include "common/thread_pool.h"
 
 namespace supremm::warehouse {
 
@@ -16,7 +20,7 @@ RowPredicate eq(std::string column, std::string value) {
                                                                    std::size_t r) {
     return t.col(column).as_string(r) == value;
   };
-  return {std::move(fn), {std::move(b)}};
+  return {std::move(fn), {std::move(b)}, /*exact=*/true};
 }
 
 RowPredicate ge(std::string column, double value) {
@@ -26,7 +30,7 @@ RowPredicate ge(std::string column, double value) {
   auto fn = [column = std::move(column), value](const Table& t, std::size_t r) {
     return t.col(column).as_double(r) >= value;
   };
-  return {std::move(fn), {std::move(b)}};
+  return {std::move(fn), {std::move(b)}, /*exact=*/true};
 }
 
 RowPredicate le(std::string column, double value) {
@@ -36,7 +40,7 @@ RowPredicate le(std::string column, double value) {
   auto fn = [column = std::move(column), value](const Table& t, std::size_t r) {
     return t.col(column).as_double(r) <= value;
   };
-  return {std::move(fn), {std::move(b)}};
+  return {std::move(fn), {std::move(b)}, /*exact=*/true};
 }
 
 RowPredicate between(std::string column, double lo, double hi) {
@@ -48,15 +52,17 @@ RowPredicate between(std::string column, double lo, double hi) {
     const double v = t.col(column).as_double(r);
     return v >= lo && v <= hi;
   };
-  return {std::move(fn), {std::move(b)}};
+  return {std::move(fn), {std::move(b)}, /*exact=*/true};
 }
 
 RowPredicate all_of(std::vector<RowPredicate> preds) {
   // A conjunction implies every conjunct's bounds, so the combined predicate
-  // carries their concatenation.
+  // carries their concatenation; it stays exact only while every conjunct is.
   std::vector<PredicateBounds> bounds;
+  bool exact = true;
   for (const auto& p : preds) {
     bounds.insert(bounds.end(), p.bounds().begin(), p.bounds().end());
+    exact = exact && p.exact();
   }
   auto fn = [preds = std::move(preds)](const Table& t, std::size_t r) {
     for (const auto& p : preds) {
@@ -64,36 +70,8 @@ RowPredicate all_of(std::vector<RowPredicate> preds) {
     }
     return true;
   };
-  return {std::move(fn), std::move(bounds)};
+  return {std::move(fn), std::move(bounds), exact};
 }
-
-namespace {
-
-/// Can any row in chunk `ch` satisfy all bounds? Conservative: unknown
-/// columns or type mismatches answer "maybe".
-bool chunk_may_match(const Table& t, const ZoneIndex& zi, std::size_t ch,
-                     const std::vector<PredicateBounds>& bounds) {
-  for (const auto& b : bounds) {
-    if (!t.has_col(b.column)) continue;
-    std::size_t ci = 0;
-    while (t.columns()[ci].name() != b.column) ++ci;
-    const Column& c = t.columns()[ci];
-    const ZoneIndex::Range& range = zi.ranges[ci][ch];
-    if (b.equals) {
-      if (c.type() != ColType::kString) continue;
-      const auto code = c.find_code(*b.equals);
-      if (!code) return false;  // value absent from the whole table
-      const auto v = static_cast<double>(*code);
-      if (v < range.lo || v > range.hi) return false;
-    } else {
-      if (c.type() == ColType::kString) continue;
-      if (range.hi < b.lo || range.lo > b.hi) return false;
-    }
-  }
-  return true;
-}
-
-}  // namespace
 
 Query& Query::where(RowPredicate pred) {
   pred_ = std::move(pred);
@@ -110,7 +88,21 @@ Query& Query::aggregate(std::vector<AggSpec> aggs) {
   return *this;
 }
 
+Query& Query::threads(std::size_t n) {
+  threads_ = n;
+  return *this;
+}
+
 namespace {
+
+// Execution-chunk size when the table carries no zone index, and the
+// canonical partial-aggregation segment length. Both are layout constants:
+// the segment grid is laid over the ordered list of *matching* rows, so the
+// aggregation arithmetic is independent of the scan chunking, the zone-map
+// layout and the thread count.
+constexpr std::size_t kExecChunkRows = 4096;
+constexpr std::size_t kSegmentRows = 8192;
+constexpr std::size_t kMaxGroupKeys = 4;
 
 std::string default_name(const AggSpec& a) {
   switch (a.kind) {
@@ -139,10 +131,124 @@ struct AggState {
   std::int64_t n = 0;
 };
 
+void merge_state(AggState& into, const AggState& from) {
+  into.sum += from.sum;
+  into.wsum += from.wsum;
+  into.wvsum += from.wvsum;
+  into.mn = std::min(into.mn, from.mn);
+  into.mx = std::max(into.mx, from.mx);
+  into.n += from.n;
+}
+
+/// Typed, bounds-check-free view of a numeric column (int64 read as double,
+/// matching Column::as_double).
+struct NumRef {
+  const double* f64 = nullptr;
+  const std::int64_t* i64 = nullptr;
+
+  [[nodiscard]] double value(std::size_t r) const {
+    return f64 != nullptr ? f64[r] : static_cast<double>(i64[r]);
+  }
+};
+
+NumRef numeric_ref(const Column& c) {
+  if (c.type() == ColType::kString) {
+    throw common::InvalidArgument("column " + std::string(c.name()) + " is not numeric");
+  }
+  NumRef ref;
+  if (c.type() == ColType::kDouble) {
+    ref.f64 = c.doubles().data();
+  } else {
+    ref.i64 = c.int64s().data();
+  }
+  return ref;
+}
+
+/// One group key column prepared for packing.
+struct KeyRef {
+  ColType type = ColType::kDouble;
+  const double* f64 = nullptr;
+  const std::int64_t* i64 = nullptr;
+  const std::int32_t* codes = nullptr;
+};
+
+/// Fixed-width packed key tuple: dictionary code, raw int64 bits or the
+/// double's exact bit pattern per key — never a decimal rendering, so
+/// distinct doubles always land in distinct groups.
+struct PackedKey {
+  std::array<std::uint64_t, kMaxGroupKeys> w{};
+  bool operator==(const PackedKey&) const = default;
+};
+
+struct PackedKeyHash {
+  std::size_t operator()(const PackedKey& k) const noexcept {
+    std::uint64_t h = 0x9e3779b97f4a7c15ull;
+    for (const std::uint64_t word : k.w) {
+      std::uint64_t z = h ^ word;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+      h = z ^ (z >> 31);
+    }
+    return static_cast<std::size_t>(h);
+  }
+};
+
+/// A predicate conjunct compiled against column storage.
+struct Kernel {
+  NumRef num;                       // numeric range test
+  const std::int32_t* codes = nullptr;  // string equality test
+  double lo = -std::numeric_limits<double>::infinity();
+  double hi = std::numeric_limits<double>::infinity();
+  std::int32_t eq_code = 0;
+  bool impossible = false;  // equality literal absent from the dictionary
+
+  [[nodiscard]] bool pass(std::size_t r) const {
+    if (codes != nullptr) return codes[r] == eq_code;
+    const double v = num.value(r);
+    return v >= lo && v <= hi;
+  }
+};
+
+/// A conjunct usable for zone-map pruning: chunk survives unless its range
+/// is disjoint from [lo, hi] for column `ci`.
+struct PruneTest {
+  std::size_t ci = 0;
+  double lo = 0.0;
+  double hi = 0.0;
+  bool fail_all = false;  // equality literal absent from the whole table
+};
+
+struct ChunkResult {
+  std::vector<std::uint32_t> sel;  // matching row indices, ascending
+  std::size_t rows_scanned = 0;
+  bool pruned = false;
+};
+
+struct SegmentPartial {
+  std::unordered_map<PackedKey, std::uint32_t, PackedKeyHash> groups;
+  std::vector<PackedKey> keys;             // insertion order
+  std::vector<std::uint32_t> example_row;  // first matching row per group
+  std::vector<AggState> states;            // [group * naggs + agg]
+};
+
+/// Aggregation input for one AggSpec, column refs resolved once per query.
+struct AggRef {
+  AggKind kind = AggKind::kSum;
+  NumRef value;
+  NumRef weight;
+};
+
 }  // namespace
 
 Table Query::run() const {
   if (aggs_.empty()) throw common::InvalidArgument("query without aggregations");
+  if (keys_.size() > kMaxGroupKeys) {
+    throw common::InvalidArgument("query supports at most 4 group keys");
+  }
+  const std::size_t nrows = table_.rows();
+  if (nrows > std::numeric_limits<std::uint32_t>::max()) {
+    throw common::InvalidArgument("query: table exceeds 2^32 rows");
+  }
 
   // Output schema: keys (typed like the source) then one double per agg
   // (count as int64).
@@ -154,70 +260,296 @@ Table Query::run() const {
   }
   Table out(table_.name() + "_agg", std::move(schema));
 
-  // Group rows by key tuple (encoded as a string; codes are small).
-  std::unordered_map<std::string, std::size_t> groups;
-  std::vector<std::string> group_keys;           // encoded
-  std::vector<std::size_t> group_example_row;    // a representative row
-  std::vector<std::vector<AggState>> states;
-
-  stats_ = QueryStats{};
-  const std::size_t nrows = table_.rows();
-  const ZoneIndex* zi = table_.zone_index();
-  const bool prune = pred_ && zi && !pred_->bounds().empty() && zi->chunks > 0;
-  const std::size_t chunk_rows = prune ? zi->chunk_rows : std::max<std::size_t>(nrows, 1);
-  if (prune) stats_.chunks_total = zi->chunks;
-  for (std::size_t chunk_start = 0; chunk_start < nrows; chunk_start += chunk_rows) {
-    if (prune && !chunk_may_match(table_, *zi, chunk_start / chunk_rows, pred_->bounds())) {
-      ++stats_.chunks_pruned;
-      continue;
+  // --- plan: resolve every column reference once --------------------------
+  std::vector<KeyRef> key_refs;
+  key_refs.reserve(keys_.size());
+  for (const auto& k : keys_) {
+    const Column& c = table_.col(k);
+    KeyRef ref;
+    ref.type = c.type();
+    switch (c.type()) {
+      case ColType::kDouble:
+        ref.f64 = c.doubles().data();
+        break;
+      case ColType::kInt64:
+        ref.i64 = c.int64s().data();
+        break;
+      case ColType::kString:
+        ref.codes = c.codes().data();
+        break;
     }
-    const std::size_t chunk_end = std::min(nrows, chunk_start + chunk_rows);
-    for (std::size_t r = chunk_start; r < chunk_end; ++r) {
-      ++stats_.rows_scanned;
-      if (pred_ && !(*pred_)(table_, r)) continue;
-      std::string key;
-      for (const auto& k : keys_) {
-        const Column& c = table_.col(k);
-        switch (c.type()) {
-          case ColType::kString:
-            key += std::to_string(c.code(r));
-            break;
-          case ColType::kInt64:
-            key += std::to_string(c.as_int64(r));
-            break;
-          case ColType::kDouble:
-            key += std::to_string(c.as_double(r));
-            break;
+    key_refs.push_back(ref);
+  }
+
+  std::vector<AggRef> agg_refs;
+  agg_refs.reserve(aggs_.size());
+  for (const auto& a : aggs_) {
+    AggRef ref;
+    ref.kind = a.kind;
+    if (a.kind != AggKind::kCount) {
+      ref.value = numeric_ref(table_.col(a.column));
+      if (a.kind == AggKind::kWeightedMean) ref.weight = numeric_ref(table_.col(a.weight));
+    }
+    agg_refs.push_back(ref);
+  }
+
+  // Predicate plan. Exact predicates compile each conjunct into a typed
+  // kernel; opaque ones fall back to the closure per row. Bounds over
+  // existing columns additionally become zone-map prune tests.
+  const bool have_pred = pred_.has_value();
+  const bool exact = have_pred && pred_->exact();
+  std::vector<Kernel> kernels;
+  if (exact) {
+    for (const auto& b : pred_->bounds()) {
+      const Column& c = table_.col(b.column);
+      Kernel k;
+      if (b.equals) {
+        if (c.type() != ColType::kString) {
+          throw common::InvalidArgument("column " + b.column + " not string");
         }
-        key += '\x1f';
-      }
-      auto [it, inserted] = groups.emplace(key, group_keys.size());
-      if (inserted) {
-        group_keys.push_back(key);
-        group_example_row.push_back(r);
-        states.emplace_back(aggs_.size());
-      }
-      auto& st = states[it->second];
-      for (std::size_t a = 0; a < aggs_.size(); ++a) {
-        const AggSpec& spec = aggs_[a];
-        AggState& s = st[a];
-        ++s.n;
-        if (spec.kind == AggKind::kCount) continue;
-        const double v = table_.col(spec.column).as_double(r);
-        s.sum += v;
-        s.mn = std::min(s.mn, v);
-        s.mx = std::max(s.mx, v);
-        if (spec.kind == AggKind::kWeightedMean) {
-          const double w = table_.col(spec.weight).as_double(r);
-          s.wsum += w;
-          s.wvsum += w * v;
+        k.codes = c.codes().data();
+        if (const auto code = c.find_code(*b.equals)) {
+          k.eq_code = *code;
+        } else {
+          k.impossible = true;
         }
+      } else {
+        k.num = numeric_ref(c);
+        k.lo = b.lo;
+        k.hi = b.hi;
       }
+      kernels.push_back(k);
     }
   }
 
-  // Emit group rows in first-seen order (deterministic).
-  for (std::size_t g = 0; g < group_keys.size(); ++g) {
+  const ZoneIndex* zi = table_.zone_index();
+  const bool prune =
+      have_pred && zi != nullptr && !pred_->bounds().empty() && zi->chunks > 0;
+  std::vector<PruneTest> prune_tests;
+  if (prune) {
+    for (const auto& b : pred_->bounds()) {
+      if (!table_.has_col(b.column)) continue;
+      std::size_t ci = 0;
+      while (table_.columns()[ci].name() != b.column) ++ci;
+      const Column& c = table_.columns()[ci];
+      PruneTest t;
+      t.ci = ci;
+      if (b.equals) {
+        if (c.type() != ColType::kString) continue;
+        if (const auto code = c.find_code(*b.equals)) {
+          t.lo = t.hi = static_cast<double>(*code);
+        } else {
+          t.fail_all = true;  // value absent from the whole table
+        }
+      } else {
+        if (c.type() == ColType::kString) continue;
+        t.lo = b.lo;
+        t.hi = b.hi;
+      }
+      prune_tests.push_back(t);
+    }
+  }
+
+  // --- phase 1: per-chunk selection vectors -------------------------------
+  const std::size_t chunk_rows = prune ? zi->chunk_rows : kExecChunkRows;
+  const std::size_t nchunks = nrows == 0 ? 0 : (nrows + chunk_rows - 1) / chunk_rows;
+  stats_ = QueryStats{};
+  if (prune) stats_.chunks_total = zi->chunks;
+
+  auto pool = common::make_pool(threads_, nchunks);
+
+  // Without a predicate every row matches and match index == row index, so
+  // the selection vectors and the concatenated match list are pure memory
+  // traffic — skip them and let phase 2 address rows directly.
+  const bool identity = !have_pred;
+  std::vector<ChunkResult> chunks(identity ? 0 : nchunks);
+  if (!identity) {
+    common::for_each_unit(pool.get(), nchunks, [&](std::size_t ch) {
+      ChunkResult& res = chunks[ch];
+      const std::size_t begin = ch * chunk_rows;
+      const std::size_t end = std::min(nrows, begin + chunk_rows);
+      if (prune) {
+        for (const auto& t : prune_tests) {
+          const ZoneIndex::Range& range = zi->ranges[t.ci][ch];
+          if (t.fail_all || range.hi < t.lo || range.lo > t.hi) {
+            res.pruned = true;
+            return;
+          }
+        }
+      }
+      res.rows_scanned = end - begin;
+      auto& sel = res.sel;
+      if (exact) {
+        for (const auto& k : kernels) {
+          if (k.impossible) return;  // scanned, nothing matches
+        }
+        if (kernels.empty()) {
+          sel.resize(end - begin);
+          for (std::size_t r = begin; r < end; ++r) {
+            sel[r - begin] = static_cast<std::uint32_t>(r);
+          }
+        } else {
+          for (std::size_t r = begin; r < end; ++r) {
+            if (kernels[0].pass(r)) sel.push_back(static_cast<std::uint32_t>(r));
+          }
+          for (std::size_t k = 1; k < kernels.size() && !sel.empty(); ++k) {
+            const Kernel& kn = kernels[k];
+            std::size_t kept = 0;
+            for (const std::uint32_t r : sel) {
+              if (kn.pass(r)) sel[kept++] = r;
+            }
+            sel.resize(kept);
+          }
+        }
+      } else {
+        for (std::size_t r = begin; r < end; ++r) {
+          if ((*pred_)(table_, r)) sel.push_back(static_cast<std::uint32_t>(r));
+        }
+      }
+    });
+  }
+
+  std::size_t total_matches = 0;
+  std::vector<std::uint32_t> matches;
+  if (identity) {
+    stats_.rows_scanned = nrows;
+    total_matches = nrows;
+  } else {
+    for (const auto& c : chunks) {
+      if (c.pruned) ++stats_.chunks_pruned;
+      stats_.rows_scanned += c.rows_scanned;
+      total_matches += c.sel.size();
+    }
+    matches.reserve(total_matches);
+    for (const auto& c : chunks) matches.insert(matches.end(), c.sel.begin(), c.sel.end());
+  }
+  stats_.rows_matched = total_matches;
+  const std::uint32_t* match_ptr = identity ? nullptr : matches.data();
+
+  // --- phase 2: partial aggregation over canonical match-list segments ----
+  const std::size_t naggs = aggs_.size();
+  const std::size_t nsegs =
+      total_matches == 0 ? 0 : (total_matches + kSegmentRows - 1) / kSegmentRows;
+
+  // Dense fast path for the common report shape: every group key is a
+  // dictionary code (validated non-negative, < dict size) and the combined
+  // code domain is small, so group slots are addressed directly by combined
+  // code — no per-row hashing. Slots still record first-seen order per
+  // segment, so group order and the merge are unchanged.
+  constexpr std::size_t kMaxDenseGroups = std::size_t{1} << 14;
+  constexpr std::uint32_t kNoGroup = std::numeric_limits<std::uint32_t>::max();
+  bool dense = true;
+  std::size_t dense_domain = 1;
+  std::array<std::size_t, kMaxGroupKeys> dense_mult{};
+  for (std::size_t k = 0; k < key_refs.size(); ++k) {
+    if (key_refs[k].type != ColType::kString) {
+      dense = false;
+      break;
+    }
+    dense_mult[k] = dense_domain;
+    dense_domain *= table_.col(keys_[k]).dict().size();
+    if (dense_domain > kMaxDenseGroups) {
+      dense = false;
+      break;
+    }
+  }
+
+  const auto update_aggs = [&agg_refs, naggs](AggState* st, std::uint32_t r) {
+    for (std::size_t a = 0; a < naggs; ++a) {
+      const AggRef& spec = agg_refs[a];
+      AggState& s = st[a];
+      ++s.n;
+      if (spec.kind == AggKind::kCount) continue;
+      const double v = spec.value.value(r);
+      s.sum += v;
+      s.mn = std::min(s.mn, v);
+      s.mx = std::max(s.mx, v);
+      if (spec.kind == AggKind::kWeightedMean) {
+        const double w = spec.weight.value(r);
+        s.wsum += w;
+        s.wvsum += w * v;
+      }
+    }
+  };
+
+  std::vector<SegmentPartial> partials(nsegs);
+  common::for_each_unit(pool.get(), nsegs, [&](std::size_t seg) {
+    SegmentPartial& part = partials[seg];
+    const std::size_t begin = seg * kSegmentRows;
+    const std::size_t end = std::min(total_matches, begin + kSegmentRows);
+    if (dense) {
+      std::vector<std::uint32_t> slot(dense_domain, kNoGroup);
+      for (std::size_t m = begin; m < end; ++m) {
+        const std::uint32_t r =
+            match_ptr != nullptr ? match_ptr[m] : static_cast<std::uint32_t>(m);
+        std::size_t idx = 0;
+        for (std::size_t k = 0; k < key_refs.size(); ++k) {
+          idx += static_cast<std::size_t>(key_refs[k].codes[r]) * dense_mult[k];
+        }
+        std::uint32_t g = slot[idx];
+        if (g == kNoGroup) {
+          g = static_cast<std::uint32_t>(part.keys.size());
+          slot[idx] = g;
+          PackedKey key;
+          for (std::size_t k = 0; k < key_refs.size(); ++k) {
+            key.w[k] = static_cast<std::uint32_t>(key_refs[k].codes[r]);
+          }
+          part.keys.push_back(key);
+          part.example_row.push_back(r);
+          part.states.resize(part.states.size() + naggs);
+        }
+        update_aggs(part.states.data() + std::size_t{g} * naggs, r);
+      }
+      return;
+    }
+    for (std::size_t m = begin; m < end; ++m) {
+      const std::uint32_t r =
+          match_ptr != nullptr ? match_ptr[m] : static_cast<std::uint32_t>(m);
+      PackedKey key;
+      for (std::size_t k = 0; k < key_refs.size(); ++k) {
+        const KeyRef& ref = key_refs[k];
+        switch (ref.type) {
+          case ColType::kString:
+            key.w[k] = static_cast<std::uint32_t>(ref.codes[r]);
+            break;
+          case ColType::kInt64:
+            key.w[k] = static_cast<std::uint64_t>(ref.i64[r]);
+            break;
+          case ColType::kDouble:
+            key.w[k] = std::bit_cast<std::uint64_t>(ref.f64[r]);
+            break;
+        }
+      }
+      const auto [it, inserted] =
+          part.groups.emplace(key, static_cast<std::uint32_t>(part.keys.size()));
+      if (inserted) {
+        part.keys.push_back(key);
+        part.example_row.push_back(r);
+        part.states.resize(part.states.size() + naggs);
+      }
+      update_aggs(part.states.data() + static_cast<std::size_t>(it->second) * naggs, r);
+    }
+  });
+
+  // --- merge partials in segment order (deterministic group order) --------
+  std::unordered_map<PackedKey, std::size_t, PackedKeyHash> groups;
+  std::vector<std::size_t> group_example_row;
+  std::vector<AggState> states;  // [group * naggs + agg]
+  for (const auto& part : partials) {
+    for (std::size_t g = 0; g < part.keys.size(); ++g) {
+      const auto [it, inserted] = groups.emplace(part.keys[g], group_example_row.size());
+      if (inserted) {
+        group_example_row.push_back(part.example_row[g]);
+        states.resize(states.size() + naggs);
+      }
+      AggState* into = states.data() + it->second * naggs;
+      const AggState* from = part.states.data() + g * naggs;
+      for (std::size_t a = 0; a < naggs; ++a) merge_state(into[a], from[a]);
+    }
+  }
+
+  // --- emit group rows in first-seen order --------------------------------
+  for (std::size_t g = 0; g < group_example_row.size(); ++g) {
     auto row = out.append();
     const std::size_t src = group_example_row[g];
     for (const auto& k : keys_) {
@@ -234,9 +566,9 @@ Table Query::run() const {
           break;
       }
     }
-    for (std::size_t a = 0; a < aggs_.size(); ++a) {
+    for (std::size_t a = 0; a < naggs; ++a) {
       const AggSpec& spec = aggs_[a];
-      const AggState& s = states[g][a];
+      const AggState& s = states[g * naggs + a];
       const std::string name = spec.as.empty() ? default_name(spec) : spec.as;
       switch (spec.kind) {
         case AggKind::kSum:

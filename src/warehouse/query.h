@@ -49,14 +49,19 @@ struct PredicateBounds {
 
 /// Row predicate; build with the helpers below or any lambda. Helper-built
 /// predicates additionally expose bounds() so scans can prune chunks whose
-/// zone-map range is disjoint from every possible match.
+/// zone-map range is disjoint from every possible match; when the bounds
+/// fully describe the predicate (exact()), Query::run() evaluates them with
+/// typed column-wise kernels instead of calling the closure per row.
+///
+/// Predicates must be pure: Query::run() may evaluate them concurrently from
+/// worker threads when a thread count > 1 is requested.
 class RowPredicate {
  public:
   using Fn = std::function<bool(const Table&, std::size_t)>;
 
   RowPredicate() = default;
-  RowPredicate(Fn fn, std::vector<PredicateBounds> bounds)
-      : fn_(std::move(fn)), bounds_(std::move(bounds)) {}
+  RowPredicate(Fn fn, std::vector<PredicateBounds> bounds, bool exact = false)
+      : fn_(std::move(fn)), bounds_(std::move(bounds)), exact_(exact) {}
   template <typename F,
             typename = std::enable_if_t<!std::is_same_v<std::decay_t<F>, RowPredicate> &&
                                         std::is_invocable_r_v<bool, F, const Table&, std::size_t>>>
@@ -66,10 +71,14 @@ class RowPredicate {
   [[nodiscard]] explicit operator bool() const noexcept { return static_cast<bool>(fn_); }
   /// Conjuncts implied by this predicate (empty for opaque lambdas).
   [[nodiscard]] const std::vector<PredicateBounds>& bounds() const noexcept { return bounds_; }
+  /// True when bounds() is not merely implied but equivalent to the
+  /// predicate, enabling vectorized evaluation without the closure.
+  [[nodiscard]] bool exact() const noexcept { return exact_; }
 
  private:
   Fn fn_;
   std::vector<PredicateBounds> bounds_;
+  bool exact_ = false;
 };
 
 [[nodiscard]] RowPredicate eq(std::string column, std::string value);
@@ -78,15 +87,32 @@ class RowPredicate {
 [[nodiscard]] RowPredicate between(std::string column, double lo, double hi);
 [[nodiscard]] RowPredicate all_of(std::vector<RowPredicate> preds);
 
-/// Scan statistics from the most recent Query::run().
+/// Scan statistics from the most recent Query::run(). Deterministic for any
+/// thread count: chunk accounting depends only on the table's chunk layout.
 struct QueryStats {
   std::size_t chunks_total = 0;   // 0 when no zone index / no bounds
   std::size_t chunks_pruned = 0;  // skipped via zone maps
   std::size_t rows_scanned = 0;
+  std::size_t rows_matched = 0;   // rows that passed the predicate
 };
 
 /// A composed query: optional filter, group keys, aggregations. Returns a
 /// new table with one row per group, key columns first.
+///
+/// Execution is chunked, vectorized and optionally parallel: predicates
+/// evaluate into per-chunk selection vectors (typed kernels when the
+/// predicate is exact(), the closure otherwise), rows aggregate into
+/// fixed-size segments of the match list on worker threads, and segment
+/// partials merge in segment order. Because the segment layout depends only
+/// on the ordered list of matching rows — not on the thread count or the
+/// table's zone-chunk size — results, group order and QueryStats are
+/// identical for any threads() setting (DESIGN.md §7 determinism rule).
+///
+/// Group keys are packed bit-exactly (dictionary code / int64 bits /
+/// double bit pattern), so double keys that agree only in their first six
+/// significant digits land in distinct groups. Doubles group by bit
+/// pattern: -0.0 and 0.0 are distinct keys, and NaNs group together only
+/// when their payload bits match. At most 4 group keys are supported.
 class Query {
  public:
   explicit Query(const Table& table) : table_(table) {}
@@ -94,6 +120,9 @@ class Query {
   Query& where(RowPredicate pred);
   Query& group_by(std::vector<std::string> keys);
   Query& aggregate(std::vector<AggSpec> aggs);
+  /// Worker threads for run(): 1 (default) runs inline, 0 uses hardware
+  /// concurrency. Results are identical for any setting.
+  Query& threads(std::size_t n);
 
   [[nodiscard]] Table run() const;
 
@@ -105,6 +134,7 @@ class Query {
   std::optional<RowPredicate> pred_;
   std::vector<std::string> keys_;
   std::vector<AggSpec> aggs_;
+  std::size_t threads_ = 1;
   mutable QueryStats stats_;
 };
 

@@ -44,6 +44,40 @@ void Column::push_string(std::string_view v) {
   codes_.push_back(code);
 }
 
+void Column::append_doubles(std::span<const double> vals) {
+  if (type_ != ColType::kDouble) throw common::InvalidArgument("column " + name_ + " not double");
+  f64_.insert(f64_.end(), vals.begin(), vals.end());
+}
+
+void Column::append_int64s(std::span<const std::int64_t> vals) {
+  if (type_ != ColType::kInt64) throw common::InvalidArgument("column " + name_ + " not int64");
+  i64_.insert(i64_.end(), vals.begin(), vals.end());
+}
+
+void Column::append_codes(std::span<const std::int32_t> vals) {
+  if (type_ != ColType::kString) throw common::InvalidArgument("column " + name_ + " not string");
+  for (const std::int32_t c : vals) {
+    if (c < 0 || static_cast<std::size_t>(c) >= dict_.size()) {
+      throw common::InvalidArgument("column " + name_ + ": code outside dictionary");
+    }
+  }
+  codes_.insert(codes_.end(), vals.begin(), vals.end());
+}
+
+void Column::set_dict(std::vector<std::string> entries) {
+  if (type_ != ColType::kString) throw common::InvalidArgument("column " + name_ + " not string");
+  if (!codes_.empty() || !dict_.empty()) {
+    throw common::InvalidArgument("column " + name_ + ": set_dict on a non-empty column");
+  }
+  dict_ = std::move(entries);
+  dict_index_.reserve(dict_.size());
+  for (std::size_t i = 0; i < dict_.size(); ++i) {
+    if (!dict_index_.emplace(dict_[i], static_cast<std::int32_t>(i)).second) {
+      throw common::InvalidArgument("column " + name_ + ": duplicate dictionary entry");
+    }
+  }
+}
+
 double Column::as_double(std::size_t row) const {
   if (type_ == ColType::kDouble) return f64_.at(row);
   if (type_ == ColType::kInt64) return static_cast<double>(i64_.at(row));
@@ -85,6 +119,11 @@ std::span<const std::string> Column::dict() const {
 std::int32_t Column::code(std::size_t row) const {
   if (type_ != ColType::kString) throw common::InvalidArgument("column " + name_ + " not string");
   return codes_.at(row);
+}
+
+std::span<const std::int32_t> Column::codes() const {
+  if (type_ != ColType::kString) throw common::InvalidArgument("column " + name_ + " not string");
+  return codes_;
 }
 
 std::string_view Column::decode(std::int32_t code) const {

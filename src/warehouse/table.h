@@ -30,6 +30,18 @@ class Column {
   void push_int64(std::int64_t v);
   void push_string(std::string_view v);
 
+  // Bulk loaders for decoded archive chunks: append whole spans without the
+  // per-value type branch, and install a prebuilt dictionary so string chunks
+  // land as raw codes instead of re-hashing every value.
+  void append_doubles(std::span<const double> vals);
+  void append_int64s(std::span<const std::int64_t> vals);
+  /// Append dictionary codes (string columns only). Every code must index
+  /// into the installed dictionary.
+  void append_codes(std::span<const std::int32_t> vals);
+  /// Install the dictionary wholesale (string columns only; the column must
+  /// not hold rows yet). Entries must be unique.
+  void set_dict(std::vector<std::string> entries);
+
   [[nodiscard]] double as_double(std::size_t row) const;
   [[nodiscard]] std::int64_t as_int64(std::size_t row) const;
   [[nodiscard]] std::string_view as_string(std::size_t row) const;
@@ -38,6 +50,10 @@ class Column {
   [[nodiscard]] std::span<const std::int64_t> int64s() const;
   /// Dictionary code of row (string columns only).
   [[nodiscard]] std::int32_t code(std::size_t row) const;
+  /// All dictionary codes in row order (string columns only). The typed
+  /// query kernels and the archive codec iterate this span instead of
+  /// calling code(row) per row.
+  [[nodiscard]] std::span<const std::int32_t> codes() const;
   [[nodiscard]] std::string_view decode(std::int32_t code) const;
   /// Dictionary code for `v`, or nullopt if the value never occurs in the
   /// column (string columns only). O(1); used for zone-map pruning of

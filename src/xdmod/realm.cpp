@@ -128,7 +128,7 @@ Table JobsRealm::report(const ReportSpec& spec) const {
   if (!spec.filter_dimension.empty()) {
     q.where(warehouse::eq(dimension_column(spec.filter_dimension), spec.filter_value));
   }
-  Table grouped = q.group_by({key}).aggregate(std::move(aggs)).run();
+  Table grouped = q.group_by({key}).aggregate(std::move(aggs)).threads(spec.threads).run();
 
   // Optional sort + limit: rebuild in order (the warehouse emits group order).
   std::vector<std::size_t> order(grouped.rows());

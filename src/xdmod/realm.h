@@ -47,6 +47,9 @@ class JobsRealm {
     /// group order.
     std::string sort_by;
     std::size_t limit = 0;  // 0 = all rows
+    /// Worker threads for the warehouse query (1 = inline, 0 = hardware
+    /// concurrency). The report is identical for any setting.
+    std::size_t threads = 1;
   };
 
   /// Run a custom report. Throws NotFoundError for unknown dimension or
