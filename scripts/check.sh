@@ -5,7 +5,11 @@
 # ROADMAP.md), then re-runs the `parallel`-labeled determinism tests twice:
 # once with a single ctest job and once with all cores, so scheduling jitter
 # gets a chance to surface any thread-count- or interleaving-dependent
-# behavior the property tests are meant to rule out.
+# behavior the property tests are meant to rule out. Finally runs the
+# testkit smoke suites (`oracle` = differential query engine, `fuzz` =
+# archive bitstream mutations; DESIGN.md §12) and fails if they left any
+# testkit_seed_* replay files behind — a leftover seed file means a
+# divergence or contract violation was dumped for replay.
 #
 # Usage: scripts/check.sh [build-dir]   (default: build)
 set -euo pipefail
@@ -26,5 +30,17 @@ ctest --test-dir "${BUILD_DIR}" -L parallel --output-on-failure -j 1
 
 echo "== parallel determinism suite, concurrent ctest (-j ${JOBS}) =="
 ctest --test-dir "${BUILD_DIR}" -L parallel --output-on-failure -j "${JOBS}"
+
+echo "== testkit smoke: oracle differential + archive fuzz =="
+ctest --test-dir "${BUILD_DIR}" -L oracle --output-on-failure -j "${JOBS}"
+ctest --test-dir "${BUILD_DIR}" -L fuzz --output-on-failure -j "${JOBS}"
+
+LEFTOVER_SEEDS="$(find "${BUILD_DIR}" . -maxdepth 2 -name 'testkit_seed_*' -print 2>/dev/null | sort -u)"
+if [ -n "${LEFTOVER_SEEDS}" ]; then
+  echo "check.sh: leftover testkit replay seed files (replay with"
+  echo "  SUPREMM_TESTKIT_REPLAY=<file> ${BUILD_DIR}/tests/test_oracle|test_fuzz_archive):"
+  echo "${LEFTOVER_SEEDS}"
+  exit 1
+fi
 
 echo "check.sh: all suites passed"

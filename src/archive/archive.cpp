@@ -131,6 +131,15 @@ Manifest parse_manifest(std::string_view text) {
     }
   }
   if (!header_seen) throw common::ParseError("archive: empty manifest");
+  // A checksum only proves the manifest is the one that was written, not that
+  // its fields make sense; loaders size buffers from (watermark - start) /
+  // bucket, so these two invariants must hold before anyone trusts the index.
+  if (m.bucket <= 0) {
+    throw common::ParseError("archive: manifest bucket must be positive");
+  }
+  if (m.watermark < m.start) {
+    throw common::ParseError("archive: manifest watermark precedes start");
+  }
   return m;
 }
 

@@ -1,0 +1,630 @@
+#include "testkit/fuzz.h"
+
+#include <algorithm>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <utility>
+
+#include "archive/archive.h"
+#include "archive/codec.h"
+#include "common/checksum.h"
+#include "common/error.h"
+#include "common/rng.h"
+#include "common/strings.h"
+#include "common/time.h"
+#include "compress/lzss.h"
+#include "testkit/oracle.h"
+#include "testkit/replay.h"
+
+namespace supremm::testkit {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr const char* kManifestFile = "MANIFEST";
+
+std::string read_bytes(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw common::ParseError("fuzz: cannot open " + path.string());
+  std::string data((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  if (in.bad()) throw common::ParseError("fuzz: read failed for " + path.string());
+  return data;
+}
+
+void write_bytes(const fs::path& path, std::string_view data) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw common::ParseError("fuzz: cannot write " + path.string());
+  out.write(data.data(), static_cast<std::streamsize>(data.size()));
+  if (!out) throw common::ParseError("fuzz: write failed for " + path.string());
+}
+
+void reset_scratch(const std::string& pristine, const std::string& scratch) {
+  fs::remove_all(scratch);
+  fs::create_directories(scratch);
+  for (const auto& e : fs::directory_iterator(pristine)) {
+    if (e.is_regular_file()) {
+      fs::copy_file(e.path(), fs::path(scratch) / e.path().filename());
+    }
+  }
+}
+
+// --- independent partition layout scanner --------------------------------
+//
+// Built from the format documentation in partition.h, NOT by calling the
+// decoder under test: magic, version, name, day, rows, chunk grid, schema,
+// zone maps, then per column an optional dictionary block plus one block per
+// chunk, each block being u32 length + u32 CRC + LZSS payload.
+
+struct BlockSpan {
+  std::size_t header_pos = 0;   // offset of the u32 length field
+  std::size_t payload_pos = 0;  // offset of the compressed payload
+  std::uint32_t len = 0;
+  std::size_t col = 0;
+  bool is_dict = false;
+};
+
+struct PartLayout {
+  std::uint64_t rows = 0;
+  std::uint32_t chunk_rows = 0;
+  std::uint32_t nchunks = 0;
+  std::vector<warehouse::ColType> col_types;
+  std::vector<BlockSpan> blocks;
+};
+
+PartLayout scan_partition(std::string_view bytes) {
+  archive::ByteReader in(bytes);
+  if (in.bytes(8) != std::string_view("SUPARCH1", 8)) {
+    throw common::ParseError("fuzz: bad partition magic");
+  }
+  (void)in.u16();           // version
+  (void)in.bytes(in.u16()); // table name
+  (void)in.u64();           // day
+  PartLayout layout;
+  layout.rows = in.u64();
+  layout.chunk_rows = in.u32();
+  layout.nchunks = in.u32();
+  const std::uint16_t ncols = in.u16();
+  for (std::uint16_t c = 0; c < ncols; ++c) {
+    (void)in.bytes(in.u16());  // column name
+    layout.col_types.push_back(static_cast<warehouse::ColType>(in.u8()));
+  }
+  in.skip(std::size_t{ncols} * layout.nchunks * 20);  // zone maps: f64+f64+u32
+  for (std::size_t c = 0; c < ncols; ++c) {
+    const std::size_t nblocks =
+        layout.nchunks + (layout.col_types[c] == warehouse::ColType::kString ? 1 : 0);
+    for (std::size_t b = 0; b < nblocks; ++b) {
+      BlockSpan span;
+      span.header_pos = in.pos();
+      span.len = in.u32();
+      (void)in.u32();  // block CRC
+      span.payload_pos = in.pos();
+      span.col = c;
+      span.is_dict = layout.col_types[c] == warehouse::ColType::kString && b == 0;
+      in.skip(span.len);
+      layout.blocks.push_back(span);
+    }
+  }
+  if (in.remaining() != 0) throw common::ParseError("fuzz: partition trailing bytes");
+  return layout;
+}
+
+/// Length-prefixed, checksummed block around an LZSS compression of `raw`.
+std::string pack_block(std::string_view raw) {
+  compress::StreamCompressor comp;
+  comp.append(raw);
+  const std::string packed = comp.finish();
+  std::string out;
+  archive::put_u32(out, static_cast<std::uint32_t>(packed.size()));
+  archive::put_u32(out, common::crc32(packed));
+  out.append(packed);
+  return out;
+}
+
+// --- manifest text surgery ------------------------------------------------
+
+std::vector<std::string> split_lines(std::string_view text) {
+  std::vector<std::string> lines;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    const std::size_t nl = text.find('\n', pos);
+    if (nl == std::string_view::npos) {
+      lines.emplace_back(text.substr(pos));
+      break;
+    }
+    lines.emplace_back(text.substr(pos, nl - pos));
+    pos = nl + 1;
+  }
+  return lines;
+}
+
+/// Rewrite the manifest with `edit` applied to its body lines, re-forging
+/// the trailing checksum so the file parses as authentic.
+template <typename Edit>
+void edit_manifest(const std::string& dir, Edit edit) {
+  const fs::path path = fs::path(dir) / kManifestFile;
+  std::vector<std::string> lines = split_lines(read_bytes(path));
+  while (!lines.empty() &&
+         (lines.back().empty() || lines.back().rfind("crc ", 0) == 0)) {
+    lines.pop_back();
+  }
+  edit(lines);
+  std::string out;
+  for (const auto& l : lines) {
+    out += l;
+    out += '\n';
+  }
+  out += common::strprintf("crc %08x\n", common::crc32(out));
+  write_bytes(path, out);
+}
+
+std::vector<std::string> split_tokens(const std::string& line) {
+  std::vector<std::string> toks;
+  std::size_t pos = 0;
+  while (pos < line.size()) {
+    const std::size_t sp = line.find(' ', pos);
+    if (sp == std::string::npos) {
+      toks.push_back(line.substr(pos));
+      break;
+    }
+    if (sp > pos) toks.push_back(line.substr(pos, sp - pos));
+    pos = sp + 1;
+  }
+  return toks;
+}
+
+/// Point the manifest's record for `filename` at the rewritten file bytes.
+void update_manifest_partition(const std::string& dir, const std::string& filename,
+                               std::uint32_t crc, std::uint64_t bytes) {
+  edit_manifest(dir, [&](std::vector<std::string>& lines) {
+    for (auto& line : lines) {
+      std::vector<std::string> toks = split_tokens(line);
+      if (toks.size() != 7 || toks[0] != "p" || toks[6] != filename) continue;
+      toks[4] = common::strprintf("%08x", crc);
+      toks[5] = std::to_string(bytes);
+      line = toks[0];
+      for (std::size_t i = 1; i < toks.size(); ++i) line += " " + toks[i];
+      return;
+    }
+    throw common::ParseError("fuzz: partition " + filename + " not in manifest");
+  });
+}
+
+void set_manifest_field(const std::string& dir, const std::string& key,
+                        const std::string& value) {
+  edit_manifest(dir, [&](std::vector<std::string>& lines) {
+    for (auto& line : lines) {
+      if (line.rfind(key + " ", 0) == 0) {
+        line = key + " " + value;
+        return;
+      }
+    }
+    throw common::ParseError("fuzz: manifest field " + key + " not found");
+  });
+}
+
+// --- mutations ------------------------------------------------------------
+
+/// What the Reader contract demands after a given mutation.
+enum class Expect : std::uint8_t {
+  kDetect,     // touched partition quarantined; everything else identical
+  kForged,     // checksums forged: quarantine, divergence or round-trip — no crash
+  kReject,     // manifest semantically invalid: Reader must throw ParseError
+  kRoundtrip,  // benign: everything identical, nothing quarantined
+};
+
+struct Mutation {
+  MutationKind kind = MutationKind::kBitFlip;
+  Expect expect = Expect::kDetect;
+  std::string touched_file;  // empty = MANIFEST
+  std::string detail;
+};
+
+void flip_bit(std::string& bytes, std::size_t bit) {
+  bytes[bit / 8] = static_cast<char>(static_cast<unsigned char>(bytes[bit / 8]) ^
+                                     (1u << (bit % 8)));
+}
+
+const archive::PartitionInfo& pick_partition(const archive::Manifest& m,
+                                             common::RngStream& g) {
+  const auto n = static_cast<std::int64_t>(m.partitions.size());
+  return m.partitions[static_cast<std::size_t>(g.uniform_int(0, n - 1))];
+}
+
+Mutation truncate_tail(const std::string& scratch, const archive::PartitionInfo& p,
+                       common::RngStream& g, MutationKind kind) {
+  const fs::path path = fs::path(scratch) / p.filename;
+  const std::string bytes = read_bytes(path);
+  const auto cut = static_cast<std::size_t>(
+      g.uniform_int(0, static_cast<std::int64_t>(bytes.size()) - 1));
+  write_bytes(path, std::string_view(bytes).substr(0, cut));
+  Mutation m;
+  m.kind = kind;
+  m.expect = Expect::kDetect;
+  m.touched_file = p.filename;
+  m.detail = common::strprintf("truncate %s to %zu of %zu bytes", p.filename.c_str(), cut,
+                               bytes.size());
+  return m;
+}
+
+Mutation apply_mutation(const std::string& scratch, const archive::Manifest& manifest,
+                        common::RngStream& g) {
+  const auto kind = static_cast<MutationKind>(
+      g.weighted_index({0.2, 0.15, 0.2, 0.2, 0.1, 0.15}));
+  switch (kind) {
+    case MutationKind::kTruncateTail:
+      return truncate_tail(scratch, pick_partition(manifest, g), g, kind);
+
+    case MutationKind::kTruncateBlock: {
+      // Shorten one block's payload but leave its recorded length: the block
+      // chain shifts and the image no longer adds up. The manifest is forged
+      // to match the new file so detection must happen inside the decoder,
+      // not at the size/CRC gate.
+      const archive::PartitionInfo& p = pick_partition(manifest, g);
+      const fs::path path = fs::path(scratch) / p.filename;
+      std::string bytes = read_bytes(path);
+      const PartLayout layout = scan_partition(bytes);
+      std::vector<const BlockSpan*> nonempty;
+      for (const auto& b : layout.blocks) {
+        if (b.len > 0) nonempty.push_back(&b);
+      }
+      if (nonempty.empty()) return truncate_tail(scratch, p, g, kind);
+      const BlockSpan& b = *nonempty[static_cast<std::size_t>(
+          g.uniform_int(0, static_cast<std::int64_t>(nonempty.size()) - 1))];
+      const auto drop = static_cast<std::size_t>(
+          g.uniform_int(1, std::min<std::int64_t>(b.len, 16)));
+      bytes.erase(b.payload_pos, drop);
+      write_bytes(path, bytes);
+      update_manifest_partition(scratch, p.filename, common::crc32(bytes), bytes.size());
+      Mutation m;
+      m.kind = kind;
+      m.expect = Expect::kDetect;
+      m.touched_file = p.filename;
+      m.detail = common::strprintf("drop %zu bytes inside block@%zu of %s (manifest forged)",
+                                   drop, b.payload_pos, p.filename.c_str());
+      return m;
+    }
+
+    case MutationKind::kBitFlip: {
+      const archive::PartitionInfo& p = pick_partition(manifest, g);
+      const fs::path path = fs::path(scratch) / p.filename;
+      std::string bytes = read_bytes(path);
+      const auto bit = static_cast<std::size_t>(
+          g.uniform_int(0, static_cast<std::int64_t>(bytes.size()) * 8 - 1));
+      flip_bit(bytes, bit);
+      write_bytes(path, bytes);
+      Mutation m;
+      m.kind = kind;
+      m.expect = Expect::kDetect;
+      m.touched_file = p.filename;
+      m.detail = common::strprintf("flip bit %zu of %s", bit, p.filename.c_str());
+      return m;
+    }
+
+    case MutationKind::kBitFlipCrcFixed: {
+      // Flip one bit inside a block payload, then re-forge the block CRC,
+      // the file CRC and the manifest: every checksum gate passes and the
+      // damage reaches the LZSS/varint/zone layers behind them.
+      const archive::PartitionInfo& p = pick_partition(manifest, g);
+      const fs::path path = fs::path(scratch) / p.filename;
+      std::string bytes = read_bytes(path);
+      const PartLayout layout = scan_partition(bytes);
+      std::vector<const BlockSpan*> nonempty;
+      for (const auto& b : layout.blocks) {
+        if (b.len > 0) nonempty.push_back(&b);
+      }
+      if (nonempty.empty()) return truncate_tail(scratch, p, g, kind);
+      const BlockSpan& b = *nonempty[static_cast<std::size_t>(
+          g.uniform_int(0, static_cast<std::int64_t>(nonempty.size()) - 1))];
+      const auto bit = static_cast<std::size_t>(
+          g.uniform_int(0, static_cast<std::int64_t>(b.len) * 8 - 1));
+      flip_bit(bytes, b.payload_pos * 8 + bit);
+      const std::uint32_t block_crc =
+          common::crc32(std::string_view(bytes).substr(b.payload_pos, b.len));
+      std::string patched = bytes.substr(0, b.header_pos + 4);
+      archive::put_u32(patched, block_crc);
+      patched.append(bytes, b.header_pos + 8, std::string::npos);
+      write_bytes(path, patched);
+      update_manifest_partition(scratch, p.filename, common::crc32(patched),
+                                patched.size());
+      Mutation m;
+      m.kind = kind;
+      m.expect = Expect::kForged;
+      m.touched_file = p.filename;
+      m.detail = common::strprintf(
+          "flip payload bit %zu of block@%zu in %s (all CRCs forged)", bit, b.payload_pos,
+          p.filename.c_str());
+      return m;
+    }
+
+    case MutationKind::kWatermarkSkew: {
+      const std::int64_t variant = g.uniform_int(0, 2);
+      Mutation m;
+      m.kind = kind;
+      if (variant == 0) {
+        // Watermark before start: (watermark - start) / bucket goes negative
+        // and a trusting loader would size its series buffers with it.
+        set_manifest_field(scratch, "watermark",
+                           std::to_string(manifest.start - common::kDay));
+        m.expect = Expect::kReject;
+        m.detail = "manifest watermark rewritten to one day before start (CRC forged)";
+      } else if (variant == 1) {
+        set_manifest_field(scratch, "bucket", "0");
+        m.expect = Expect::kReject;
+        m.detail = "manifest bucket rewritten to zero (CRC forged)";
+      } else {
+        // Watermark a few days past the data: bounded, semantically valid —
+        // tables must still round-trip exactly.
+        const std::int64_t skew = g.uniform_int(1, 3) * common::kDay;
+        set_manifest_field(scratch, "watermark",
+                           std::to_string(manifest.watermark + skew));
+        m.expect = Expect::kRoundtrip;
+        m.detail = common::strprintf("manifest watermark skewed %+lld s (CRC forged)",
+                                     static_cast<long long>(skew));
+      }
+      return m;
+    }
+
+    case MutationKind::kDictCodeRange: {
+      // Splice in a codes chunk referencing a dictionary entry that does not
+      // exist. Varints, LZSS and every CRC are valid — only the semantic
+      // dict-bounds check in the decoder can catch it.
+      std::vector<const archive::PartitionInfo*> candidates;
+      std::vector<std::pair<PartLayout, std::string>> layouts;
+      for (const auto& p : manifest.partitions) {
+        std::string bytes = read_bytes(fs::path(scratch) / p.filename);
+        PartLayout layout = scan_partition(bytes);
+        const bool has_string_chunk =
+            layout.nchunks > 0 &&
+            std::find(layout.col_types.begin(), layout.col_types.end(),
+                      warehouse::ColType::kString) != layout.col_types.end();
+        if (has_string_chunk) {
+          candidates.push_back(&p);
+          layouts.emplace_back(std::move(layout), std::move(bytes));
+        }
+      }
+      if (candidates.empty()) {
+        return truncate_tail(scratch, pick_partition(manifest, g), g, kind);
+      }
+      const auto pick = static_cast<std::size_t>(
+          g.uniform_int(0, static_cast<std::int64_t>(candidates.size()) - 1));
+      const archive::PartitionInfo& p = *candidates[pick];
+      const PartLayout& layout = layouts[pick].first;
+      const std::string& bytes = layouts[pick].second;
+
+      // First chunk block of the first string column.
+      const BlockSpan* target = nullptr;
+      std::size_t dict_size = 0;
+      for (std::size_t i = 0; i < layout.blocks.size(); ++i) {
+        const BlockSpan& b = layout.blocks[i];
+        if (layout.col_types[b.col] != warehouse::ColType::kString) continue;
+        if (b.is_dict) {
+          const std::string raw = compress::decompress(
+              std::string_view(bytes).substr(b.payload_pos, b.len));
+          archive::ByteReader r(raw);
+          dict_size = r.u32();
+          continue;
+        }
+        target = &b;
+        break;
+      }
+      if (target == nullptr) {
+        return truncate_tail(scratch, pick_partition(manifest, g), g, kind);
+      }
+      const std::size_t n =
+          std::min<std::size_t>(layout.rows, layout.chunk_rows);
+      std::vector<std::int32_t> codes(n, 0);
+      const auto bad = static_cast<std::int32_t>(
+          dict_size + static_cast<std::size_t>(g.uniform_int(0, 7)));
+      codes[static_cast<std::size_t>(
+          g.uniform_int(0, static_cast<std::int64_t>(n) - 1))] = bad;
+      std::string raw;
+      archive::encode_codes_chunk(codes, raw);
+      std::string patched = bytes.substr(0, target->header_pos);
+      patched += pack_block(raw);
+      patched.append(bytes, target->payload_pos + target->len, std::string::npos);
+      write_bytes(fs::path(scratch) / p.filename, patched);
+      update_manifest_partition(scratch, p.filename, common::crc32(patched),
+                                patched.size());
+      Mutation m;
+      m.kind = kind;
+      m.expect = Expect::kDetect;
+      m.touched_file = p.filename;
+      m.detail = common::strprintf("splice codes chunk with code %d >= dict size %zu into %s",
+                                   bad, dict_size, p.filename.c_str());
+      return m;
+    }
+  }
+  throw common::InvalidArgument("fuzz: unreachable mutation kind");
+}
+
+// --- verification ---------------------------------------------------------
+
+struct Baseline {
+  std::vector<std::string> names;                // unique table names, sorted
+  std::map<std::string, warehouse::Table> tables;
+};
+
+Baseline load_baseline(const std::string& pristine) {
+  archive::Reader rd(pristine, 1);
+  Baseline base;
+  std::set<std::string> names;
+  for (const auto& p : rd.manifest().partitions) names.insert(p.table);
+  base.names.assign(names.begin(), names.end());
+  for (const auto& n : base.names) base.tables.emplace(n, rd.table(n));
+  if (!rd.quarantined().empty()) {
+    throw common::InvalidArgument("fuzz: pristine archive already quarantines partitions");
+  }
+  return base;
+}
+
+struct Outcome {
+  bool manifest_rejected = false;
+  std::vector<etl::PartitionQuarantine> quarantined;
+  std::vector<std::string> diverged;  // silent differences on clean tables
+};
+
+Outcome verify(const std::string& scratch, const Baseline& base) {
+  Outcome o;
+  std::optional<archive::Reader> rd;
+  try {
+    rd.emplace(scratch, 2);
+  } catch (const common::Error&) {
+    o.manifest_rejected = true;
+    return o;
+  }
+  std::map<std::string, warehouse::Table> loaded;
+  for (const auto& name : base.names) {
+    try {
+      loaded.emplace(name, rd->table(name));
+    } catch (const common::Error&) {
+      // Every partition of this table quarantined; entries are recorded.
+    }
+  }
+  o.quarantined = rd->quarantined();
+  std::set<std::string> qtables;
+  for (const auto& q : o.quarantined) qtables.insert(q.table);
+  for (const auto& name : base.names) {
+    if (qtables.count(name) != 0) continue;  // rows legitimately missing, reported
+    const auto it = loaded.find(name);
+    if (it == loaded.end()) {
+      o.diverged.push_back("table " + name + " failed to load with no quarantine record");
+      continue;
+    }
+    if (auto d = table_diff(base.tables.at(name), it->second)) {
+      o.diverged.push_back("table " + name + ": " + *d);
+    }
+  }
+  return o;
+}
+
+std::optional<std::string> contract_violation(const Mutation& m, const Outcome& o) {
+  const std::string tag = std::string(mutation_kind_name(m.kind)) + " (" + m.detail + "): ";
+  const auto unrelated = [&]() -> std::optional<std::string> {
+    for (const auto& q : o.quarantined) {
+      if (q.file != m.touched_file) {
+        return tag + "unrelated partition quarantined: " + q.file + " (" + q.reason + ")";
+      }
+    }
+    return std::nullopt;
+  };
+  switch (m.expect) {
+    case Expect::kDetect:
+      if (o.manifest_rejected) {
+        return tag + "manifest rejected though only a partition was mutated";
+      }
+      if (!o.diverged.empty()) return tag + "SILENT DIVERGENCE: " + o.diverged.front();
+      if (o.quarantined.empty()) return tag + "damage not detected (no quarantine)";
+      return unrelated();
+    case Expect::kForged:
+      if (o.manifest_rejected) {
+        return tag + "manifest rejected though only a partition was mutated";
+      }
+      // Forged checksums: divergence is an accepted outcome, crash is not
+      // (a crash never reaches this function).
+      return unrelated();
+    case Expect::kReject:
+      if (!o.manifest_rejected) return tag + "semantically invalid manifest accepted";
+      return std::nullopt;
+    case Expect::kRoundtrip:
+      if (o.manifest_rejected) return tag + "benign manifest mutation rejected";
+      if (!o.quarantined.empty()) {
+        return tag + "benign mutation quarantined " + o.quarantined.front().file;
+      }
+      if (!o.diverged.empty()) return tag + "benign mutation diverged: " + o.diverged.front();
+      return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+struct IterationResult {
+  Mutation mutation;
+  Outcome outcome;
+  std::optional<std::string> violation;
+};
+
+IterationResult run_iteration(const FuzzConfig& cfg, const archive::Manifest& manifest,
+                              const Baseline& base, std::uint64_t seed, std::size_t iter) {
+  reset_scratch(cfg.pristine_dir, cfg.scratch_dir);
+  common::RngStream g(seed, "testkit.fuzz", iter);
+  IterationResult res;
+  res.mutation = apply_mutation(cfg.scratch_dir, manifest, g);
+  try {
+    res.outcome = verify(cfg.scratch_dir, base);
+  } catch (const std::exception& e) {
+    res.violation = std::string(mutation_kind_name(res.mutation.kind)) + " (" +
+                    res.mutation.detail + "): unexpected exception escaped the Reader: " +
+                    e.what();
+    return res;
+  }
+  res.violation = contract_violation(res.mutation, res.outcome);
+  return res;
+}
+
+}  // namespace
+
+const char* mutation_kind_name(MutationKind k) {
+  switch (k) {
+    case MutationKind::kTruncateTail: return "truncate_tail";
+    case MutationKind::kTruncateBlock: return "truncate_block";
+    case MutationKind::kBitFlip: return "bit_flip";
+    case MutationKind::kBitFlipCrcFixed: return "bit_flip_crc_fixed";
+    case MutationKind::kWatermarkSkew: return "watermark_skew";
+    case MutationKind::kDictCodeRange: return "dict_code_range";
+  }
+  return "?";
+}
+
+FuzzReport run_archive_fuzz(const FuzzConfig& cfg) {
+  const archive::Manifest manifest = archive::Reader(cfg.pristine_dir, 1).manifest();
+  if (manifest.partitions.empty()) {
+    throw common::InvalidArgument("fuzz: pristine archive has no partitions");
+  }
+  const Baseline base = load_baseline(cfg.pristine_dir);
+
+  FuzzReport rep;
+  for (std::size_t i = 0; i < cfg.iterations; ++i) {
+    const IterationResult res = run_iteration(cfg, manifest, base, cfg.seed, i);
+    ++rep.iterations;
+    if (res.outcome.manifest_rejected) {
+      ++rep.manifest_rejects;
+    } else if (!res.outcome.quarantined.empty()) {
+      ++rep.quarantines;
+    } else if (!res.outcome.diverged.empty()) {
+      ++rep.forged_divergences;
+    } else {
+      ++rep.roundtrips;
+    }
+    if (!res.violation) continue;
+
+    const std::string path =
+        cfg.seed_dir + "/testkit_seed_fuzz_" + std::to_string(i) + ".txt";
+    write_seed_file(path, "fuzz",
+                    {{"seed", std::to_string(cfg.seed)}, {"iter", std::to_string(i)}},
+                    {"mutation: " + std::string(mutation_kind_name(res.mutation.kind)),
+                     "detail: " + res.mutation.detail, "violation: " + *res.violation,
+                     "replay: SUPREMM_TESTKIT_REPLAY=" + path +
+                         " build/tests/test_fuzz_archive"});
+    rep.failures.push_back(*res.violation);
+    rep.seed_files.push_back(path);
+  }
+  return rep;
+}
+
+std::optional<std::string> replay_fuzz_file(const FuzzConfig& cfg, const std::string& path) {
+  const SeedFile sf = read_seed_file(path);
+  if (sf.field("mode") != "fuzz") {
+    throw common::ParseError("seed file: expected mode fuzz, got " + sf.field("mode"));
+  }
+  const archive::Manifest manifest = archive::Reader(cfg.pristine_dir, 1).manifest();
+  const Baseline base = load_baseline(cfg.pristine_dir);
+  const IterationResult res =
+      run_iteration(cfg, manifest, base, sf.field_u64("seed"),
+                    static_cast<std::size_t>(sf.field_u64("iter")));
+  return res.violation;
+}
+
+}  // namespace supremm::testkit

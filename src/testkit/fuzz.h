@@ -1,0 +1,74 @@
+// Structured archive bitstream fuzzing (DESIGN.md §12).
+//
+// faultsim's apply_archive() flips random bits — blunt damage the CRC layer
+// catches trivially. This module mutates the archive *with knowledge of the
+// format*: it re-parses the partition layout with its own scanner (built
+// from the format documentation in partition.h, independent of the decode
+// path under test) and applies surgical mutations, several of which forge
+// every checksum on the way out so the damage reaches the layers behind the
+// CRCs. The Reader contract under test:
+//
+//   for every mutation, reading the archive either round-trips the pristine
+//   tables bit-identically, or quarantines the damaged partitions (reported
+//   via Reader::quarantined()) / rejects the manifest with ParseError —
+//   it never crashes and never silently returns wrong rows.
+//
+// "Silently" is the key word: a mutation that forges CRCs (kBitFlipCrcFixed)
+// may legitimately decode to different values — a checksum cannot detect a
+// forgery — so for that kind a divergent table is an accepted (counted)
+// outcome. For every checksum-protected mutation (truncations, plain bit
+// flips) and for semantic damage behind valid checksums (out-of-range
+// dictionary codes, skewed manifest watermarks) the contract is hard:
+// quarantine/reject or exact round-trip, nothing else.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace supremm::testkit {
+
+enum class MutationKind : std::uint8_t {
+  kTruncateTail,      // cut the partition file at an arbitrary byte
+  kTruncateBlock,     // cut precisely inside a block payload (via the scanner)
+  kBitFlip,           // flip one bit anywhere; file CRC left stale
+  kBitFlipCrcFixed,   // flip one payload bit, re-forge block/file/manifest CRCs
+  kWatermarkSkew,     // rewrite manifest watermark/bucket, re-forge manifest CRC
+  kDictCodeRange,     // splice a chunk whose dict codes exceed the dictionary
+};
+
+[[nodiscard]] const char* mutation_kind_name(MutationKind k);
+
+struct FuzzConfig {
+  std::string pristine_dir;  // intact archive (never modified)
+  std::string scratch_dir;   // rewritten from pristine each iteration
+  std::uint64_t seed = 20130313;
+  std::size_t iterations = 200;
+  std::string seed_dir = ".";  // where replay seed files are dumped
+};
+
+struct FuzzReport {
+  std::size_t iterations = 0;
+  std::size_t roundtrips = 0;         // read back bit-identical
+  std::size_t quarantines = 0;        // damage detected and quarantined
+  std::size_t manifest_rejects = 0;   // Reader refused the manifest
+  std::size_t forged_divergences = 0; // CRC-forged mutation decoded differently (allowed)
+  std::vector<std::string> failures;  // contract violations (must be empty)
+  std::vector<std::string> seed_files;  // replay files dumped for violations
+};
+
+/// Run `cfg.iterations` structured mutations against a copy of
+/// `cfg.pristine_dir`, checking the Reader contract after each. Every
+/// mutation derives from RngStream(seed, "testkit.fuzz", iteration), so any
+/// single iteration replays exactly from (seed, iteration).
+[[nodiscard]] FuzzReport run_archive_fuzz(const FuzzConfig& cfg);
+
+/// Re-run one dumped `mode fuzz` seed file against cfg.pristine_dir /
+/// cfg.scratch_dir (the file's seed and iteration override cfg's). Returns
+/// the contract-violation message when it still reproduces, nullopt when the
+/// case now passes. Throws common::ParseError on a malformed file.
+[[nodiscard]] std::optional<std::string> replay_fuzz_file(const FuzzConfig& cfg,
+                                                          const std::string& path);
+
+}  // namespace supremm::testkit

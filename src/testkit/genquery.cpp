@@ -1,0 +1,380 @@
+#include "testkit/genquery.h"
+
+#include <algorithm>
+#include <limits>
+#include <optional>
+#include <utility>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "common/strings.h"
+#include "testkit/replay.h"
+
+namespace supremm::testkit {
+
+using warehouse::AggKind;
+using warehouse::AggSpec;
+using warehouse::ColType;
+using warehouse::Table;
+
+namespace {
+
+constexpr const char* kAllCols[] = {"user", "app", "day", "big", "value", "weight"};
+constexpr std::size_t kNumAllCols = 6;
+constexpr std::size_t kNumStringCols = 2;  // prefix of kAllCols
+constexpr const char* kNumericCols[] = {"day", "big", "value", "weight"};
+constexpr std::size_t kNumNumericCols = 4;
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// int64 values double conversion mangles: beyond 2^53 adjacent integers
+// collapse to the same double, so predicates and zone ranges (both computed
+// in double) must treat them consistently on each side of the diff.
+constexpr std::int64_t kBigEdges[] = {
+    0,
+    1,
+    -1,
+    std::numeric_limits<std::int64_t>::min(),
+    std::numeric_limits<std::int64_t>::max(),
+    std::int64_t{1} << 53,
+    -(std::int64_t{1} << 53),
+    (std::int64_t{1} << 53) + 1,
+};
+
+constexpr double kValueEdges[] = {
+    kNaN, 0.0, -0.0, kInf, -kInf, 5e-324, 0.5 + 1e-9, 0.5 + 2e-9, 1e300, -1e300,
+};
+
+// Predicate thresholds: the same hazards, plus values straddling the int64
+// range so `big` comparisons exercise double rounding at the boundary.
+constexpr double kThresholdEdges[] = {
+    0.0,    -0.0,   kNaN,
+    kInf,   -kInf,  0.5,
+    0.5 + 1e-9,     9007199254740993.0,
+    1e300,  -1e300, 9.223372036854775807e18,
+    -9.223372036854775808e18,  5e-324,
+};
+
+double numeric_threshold(common::RngStream& g, std::size_t numeric_col) {
+  if (g.chance(0.45)) {
+    // In-range draws so predicates actually split the data.
+    switch (numeric_col) {
+      case 0:  // day
+        return static_cast<double>(g.uniform_int(-1, 7));
+      case 1:  // big
+        return g.chance(0.5) ? static_cast<double>(g.uniform_int(-1000000, 1000000))
+                             : g.uniform(-1e19, 1e19);
+      case 2:  // value
+        return g.uniform(-12.0, 12.0);
+      default:  // weight
+        return g.uniform(-1.0, 6.0);
+    }
+  }
+  const auto n = static_cast<std::int64_t>(std::size(kThresholdEdges));
+  return kThresholdEdges[g.uniform_int(0, n - 1)];
+}
+
+/// Kept-index view of a generated spec: the unit of minimization and replay.
+struct Reduction {
+  CorpusSpec corpus;
+  std::vector<std::size_t> terms;  // kept indices into base.where
+  std::vector<std::size_t> aggs;   // kept indices into base.aggs
+  std::vector<std::size_t> keys;   // kept indices into base.group_by
+};
+
+std::vector<std::size_t> all_indices(std::size_t n) {
+  std::vector<std::size_t> out(n);
+  for (std::size_t i = 0; i < n; ++i) out[i] = i;
+  return out;
+}
+
+QuerySpec apply_reduction(const QuerySpec& base, const Reduction& red) {
+  QuerySpec out;
+  out.opaque = base.opaque;
+  out.has_where = base.has_where && !red.terms.empty();
+  for (const std::size_t i : red.terms) {
+    if (i >= base.where.size()) throw common::ParseError("seed file: term index out of range");
+    out.where.push_back(base.where[i]);
+  }
+  for (const std::size_t i : red.keys) {
+    if (i >= base.group_by.size()) {
+      throw common::ParseError("seed file: group-key index out of range");
+    }
+    out.group_by.push_back(base.group_by[i]);
+  }
+  for (const std::size_t i : red.aggs) {
+    if (i >= base.aggs.size()) throw common::ParseError("seed file: agg index out of range");
+    out.aggs.push_back(base.aggs[i]);
+  }
+  out.threads = 1;
+  return out;
+}
+
+/// First divergence of the reduced case across all checked thread counts.
+std::optional<std::string> check_reduction(const QuerySpec& base, const Reduction& red) {
+  const Table corpus = make_corpus(red.corpus);
+  const QuerySpec spec = apply_reduction(base, red);
+  for (const std::size_t threads : kDiffThreadCounts) {
+    if (auto d = differential_check(corpus, spec, threads)) return d;
+  }
+  return std::nullopt;
+}
+
+/// Greedy shrink: drop predicate terms, aggregates (keeping one) and group
+/// keys one at a time, then halve the corpus, as long as the case still
+/// fails. Returns the smallest failing reduction and its message.
+std::pair<Reduction, std::string> minimize(const QuerySpec& base, Reduction red,
+                                           std::string msg) {
+  const auto try_drop = [&](std::vector<std::size_t> Reduction::* list,
+                            std::size_t floor) {
+    bool changed = false;
+    for (std::size_t i = 0; (red.*list).size() > floor && i < (red.*list).size();) {
+      Reduction cand = red;
+      (cand.*list).erase((cand.*list).begin() + static_cast<std::ptrdiff_t>(i));
+      if (auto m = check_reduction(base, cand)) {
+        red = std::move(cand);
+        msg = std::move(*m);
+        changed = true;
+      } else {
+        ++i;
+      }
+    }
+    return changed;
+  };
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    changed |= try_drop(&Reduction::terms, 0);
+    changed |= try_drop(&Reduction::keys, 0);
+    changed |= try_drop(&Reduction::aggs, 1);
+    while (red.corpus.rows > 0) {
+      Reduction cand = red;
+      cand.corpus.rows /= 2;
+      if (auto m = check_reduction(base, cand)) {
+        red = std::move(cand);
+        msg = std::move(*m);
+        changed = true;
+      } else {
+        break;
+      }
+    }
+  }
+  return {std::move(red), std::move(msg)};
+}
+
+}  // namespace
+
+Table make_corpus(const CorpusSpec& spec) {
+  Table t("corpus", {{"user", ColType::kString},
+                     {"app", ColType::kString},
+                     {"day", ColType::kInt64},
+                     {"big", ColType::kInt64},
+                     {"value", ColType::kDouble},
+                     {"weight", ColType::kDouble}});
+  for (std::size_t r = 0; r < spec.rows; ++r) {
+    common::RngStream g(spec.seed, "testkit.corpus", r);
+    auto row = t.append();
+    row.set("user", common::strprintf(
+                        "u%lld", static_cast<long long>(g.uniform_int(0, kCorpusUsers - 1))));
+    row.set("app", common::strprintf(
+                       "app%lld", static_cast<long long>(g.uniform_int(0, kCorpusApps - 1))));
+    row.set("day", g.uniform_int(0, 6));
+    if (g.chance(0.25)) {
+      const auto n = static_cast<std::int64_t>(std::size(kBigEdges));
+      row.set("big", kBigEdges[g.uniform_int(0, n - 1)]);
+    } else {
+      row.set("big", g.uniform_int(-1000000, 1000000));
+    }
+    if (g.chance(0.18)) {
+      const auto n = static_cast<std::int64_t>(std::size(kValueEdges));
+      row.set("value", kValueEdges[g.uniform_int(0, n - 1)]);
+    } else {
+      row.set("value", g.uniform(-10.0, 10.0));
+    }
+    const double wroll = g.uniform();
+    if (wroll < 0.10) {
+      row.set("weight", 0.0);
+    } else if (wroll < 0.14) {
+      row.set("weight", kNaN);
+    } else {
+      row.set("weight", g.uniform(0.0, 5.0));
+    }
+  }
+  if (spec.chunk_rows > 0) t.rebuild_zone_index(spec.chunk_rows);
+  return t;
+}
+
+std::vector<CorpusSpec> default_corpora(std::uint64_t seed) {
+  std::vector<CorpusSpec> out = {
+      {.rows = 0, .chunk_rows = 256, .seed = seed},
+      {.rows = 1, .chunk_rows = 64, .seed = seed},
+      {.rows = 7, .chunk_rows = 0, .seed = seed},
+      {.rows = 63, .chunk_rows = 64, .seed = seed},
+      {.rows = 256, .chunk_rows = 256, .seed = seed},
+      {.rows = 1000, .chunk_rows = 1024, .seed = seed},
+      {.rows = 1000, .chunk_rows = 0, .seed = seed},
+      // > kSegmentRows so unfiltered queries span multiple aggregation
+      // segments and exercise the partial merge.
+      {.rows = 9000, .chunk_rows = 256, .seed = seed},
+  };
+  return out;
+}
+
+QuerySpec make_query_spec(std::uint64_t seed, std::uint64_t index) {
+  common::RngStream g(seed, "testkit.query", index);
+  QuerySpec spec;
+
+  spec.has_where = g.chance(0.85);
+  if (spec.has_where) {
+    spec.opaque = g.chance(0.25);
+    const std::int64_t nterms = g.uniform_int(1, 3);
+    for (std::int64_t i = 0; i < nterms; ++i) {
+      PredTerm term;
+      const auto col = static_cast<std::size_t>(
+          g.uniform_int(0, static_cast<std::int64_t>(kNumAllCols) - 1));
+      term.column = kAllCols[col];
+      if (col < kNumStringCols) {
+        // Equality on a string column. Literal domain deliberately one past
+        // the corpus domain so absent-literal pruning (fail_all /
+        // impossible-kernel) gets generated, and short corpora naturally
+        // miss some in-domain literals too.
+        term.op = PredOp::kEq;
+        if (col == 0) {
+          term.value = common::strprintf(
+              "u%lld", static_cast<long long>(g.uniform_int(0, kCorpusUsers)));
+        } else {
+          term.value = common::strprintf(
+              "app%lld", static_cast<long long>(g.uniform_int(0, kCorpusApps)));
+        }
+      } else {
+        const std::size_t ncol = col - kNumStringCols;
+        switch (g.uniform_int(0, 2)) {
+          case 0:
+            term.op = PredOp::kGe;
+            term.lo = numeric_threshold(g, ncol);
+            break;
+          case 1:
+            term.op = PredOp::kLe;
+            term.hi = numeric_threshold(g, ncol);
+            break;
+          default:
+            // lo/hi independent, so inverted (empty) ranges occur.
+            term.op = PredOp::kBetween;
+            term.lo = numeric_threshold(g, ncol);
+            term.hi = numeric_threshold(g, ncol);
+            break;
+        }
+      }
+      spec.where.push_back(std::move(term));
+    }
+  }
+
+  // 0-4 distinct group keys over all column types (4 = engine maximum).
+  const auto nkeys = g.weighted_index({2.0, 4.0, 3.0, 2.0, 1.0});
+  std::vector<std::size_t> candidates = all_indices(kNumAllCols);
+  for (std::size_t i = 0; i < nkeys; ++i) {
+    const auto pick = static_cast<std::size_t>(
+        g.uniform_int(0, static_cast<std::int64_t>(candidates.size()) - 1));
+    spec.group_by.emplace_back(kAllCols[candidates[pick]]);
+    candidates.erase(candidates.begin() + static_cast<std::ptrdiff_t>(pick));
+  }
+
+  const std::int64_t naggs = g.uniform_int(1, 3);
+  for (std::int64_t i = 0; i < naggs; ++i) {
+    AggSpec agg;
+    agg.kind = static_cast<AggKind>(g.uniform_int(0, 5));
+    const auto pick_numeric = [&g] {
+      return kNumericCols[g.uniform_int(0, static_cast<std::int64_t>(kNumNumericCols) - 1)];
+    };
+    if (agg.kind != AggKind::kCount) agg.column = pick_numeric();
+    if (agg.kind == AggKind::kWeightedMean) agg.weight = pick_numeric();
+    spec.aggs.push_back(std::move(agg));
+  }
+  // Output names must be unique (Table::RowBuilder::set resolves by first
+  // name match): let derived names collide, then disambiguate with `as`.
+  std::vector<std::string> used;
+  for (std::size_t i = 0; i < spec.aggs.size(); ++i) {
+    AggSpec& agg = spec.aggs[i];
+    std::string name;
+    switch (agg.kind) {
+      case AggKind::kSum: name = agg.column + "_sum"; break;
+      case AggKind::kMean: name = agg.column + "_mean"; break;
+      case AggKind::kWeightedMean: name = agg.column + "_wmean"; break;
+      case AggKind::kMax: name = agg.column + "_max"; break;
+      case AggKind::kMin: name = agg.column + "_min"; break;
+      case AggKind::kCount: name = "count"; break;
+    }
+    if (std::find(used.begin(), used.end(), name) != used.end()) {
+      agg.as = name + "_" + std::to_string(i);
+      name = agg.as;
+    }
+    used.push_back(name);
+  }
+
+  spec.threads = 1;
+  return spec;
+}
+
+DiffReport run_differential(const DiffConfig& cfg) {
+  DiffReport rep;
+  const std::vector<CorpusSpec> corpora = default_corpora(cfg.seed);
+  std::vector<std::optional<Table>> cache(corpora.size());
+
+  for (std::size_t q = 0; q < cfg.queries; ++q) {
+    const std::size_t ci = q % corpora.size();
+    if (!cache[ci]) cache[ci] = make_corpus(corpora[ci]);
+    const QuerySpec spec = make_query_spec(cfg.seed, q);
+    ++rep.queries_run;
+
+    std::optional<std::string> first;
+    for (const std::size_t threads : kDiffThreadCounts) {
+      ++rep.checks;
+      if (auto d = differential_check(*cache[ci], spec, threads)) {
+        first = std::move(d);
+        break;
+      }
+    }
+    if (!first) continue;
+
+    Reduction red{corpora[ci], all_indices(spec.where.size()),
+                  all_indices(spec.aggs.size()), all_indices(spec.group_by.size())};
+    auto [minred, msg] = minimize(spec, std::move(red), std::move(*first));
+
+    const std::string path =
+        cfg.seed_dir + "/testkit_seed_query_" + std::to_string(q) + ".txt";
+    write_seed_file(
+        path, "query",
+        {{"seed", std::to_string(cfg.seed)},
+         {"query", std::to_string(q)},
+         {"corpus_rows", std::to_string(minred.corpus.rows)},
+         {"corpus_chunk_rows", std::to_string(minred.corpus.chunk_rows)},
+         {"keep_terms", encode_index_list(minred.terms)},
+         {"keep_aggs", encode_index_list(minred.aggs)},
+         {"keep_keys", encode_index_list(minred.keys)}},
+        {"spec: " + describe(apply_reduction(spec, minred)), "divergence: " + msg,
+         "replay: SUPREMM_TESTKIT_REPLAY=" + path + " build/tests/test_oracle"});
+    rep.divergences.push_back(std::move(msg));
+    rep.seed_files.push_back(path);
+  }
+  return rep;
+}
+
+std::optional<std::string> replay_query_file(const std::string& path) {
+  const SeedFile sf = read_seed_file(path);
+  if (sf.field("mode") != "query") {
+    throw common::ParseError("seed file: expected mode query, got " + sf.field("mode"));
+  }
+  const std::uint64_t seed = sf.field_u64("seed");
+  CorpusSpec corpus;
+  corpus.seed = seed;
+  corpus.rows = static_cast<std::size_t>(sf.field_u64("corpus_rows"));
+  corpus.chunk_rows = static_cast<std::size_t>(sf.field_u64("corpus_chunk_rows"));
+  const QuerySpec base = make_query_spec(seed, sf.field_u64("query"));
+  const Reduction red{corpus, decode_index_list(sf.field("keep_terms")),
+                      decode_index_list(sf.field("keep_aggs")),
+                      decode_index_list(sf.field("keep_keys"))};
+  return check_reduction(base, red);
+}
+
+}  // namespace supremm::testkit

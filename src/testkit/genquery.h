@@ -1,0 +1,78 @@
+// Grammar-based query generation and the differential runner (DESIGN.md §12).
+//
+// The generator emits random-but-valid QuerySpecs over a fixed six-column
+// corpus schema, steering hard toward the engine's soft spots: NaN / ±0.0 /
+// ±inf / denormal doubles, int64 values beyond 2^53 (where double rounding
+// collides), equality literals absent from the dictionary, inverted BETWEEN
+// ranges, opaque-closure predicates (no pruning), multi-key group-bys over
+// every column type, and every aggregate kind. Corpora vary in row count
+// (including 0, 1, and >8192 to force multi-segment aggregation) and
+// zone-map chunk size (including none at all).
+//
+// Everything derives from (seed, purpose, index) RNG streams — the corpus
+// is prefix-stable per row and the query spec depends only on (seed, index),
+// never on corpus content — so a failing case shrinks (drop terms / aggs /
+// keys, halve the corpus) and still re-derives exactly from the few numbers
+// stored in its replay seed file.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "testkit/oracle.h"
+#include "warehouse/table.h"
+
+namespace supremm::testkit {
+
+/// Fixed corpus schema: "user", "app" (string), "day", "big" (int64),
+/// "value", "weight" (double). Dictionary domains used by both the corpus
+/// builder and the equality-literal generator.
+inline constexpr std::size_t kCorpusUsers = 6;
+inline constexpr std::size_t kCorpusApps = 4;
+
+struct CorpusSpec {
+  std::size_t rows = 256;
+  std::size_t chunk_rows = 256;  // zone-map chunk size; 0 = no zone index
+  std::uint64_t seed = 20130313;
+};
+
+/// Build the corpus table; row r draws from RngStream(seed, "testkit.corpus",
+/// r), so a shorter corpus is an exact prefix of a longer one.
+[[nodiscard]] warehouse::Table make_corpus(const CorpusSpec& spec);
+
+/// The fixed corpus-shape ladder the runner cycles through (row counts 0 /
+/// 1 / 7 / 63 / 256 / 1000 / 9000 crossed with chunk sizes incl. none).
+[[nodiscard]] std::vector<CorpusSpec> default_corpora(std::uint64_t seed);
+
+/// Query `index` of the grammar under `seed`. Depends only on (seed, index):
+/// regenerating with the same pair always yields the same spec.
+[[nodiscard]] QuerySpec make_query_spec(std::uint64_t seed, std::uint64_t index);
+
+/// Thread counts every generated query is checked at.
+inline constexpr std::size_t kDiffThreadCounts[] = {1, 2, 8};
+
+struct DiffConfig {
+  std::uint64_t seed = 20130313;
+  std::size_t queries = 500;   // generated queries per run
+  std::string seed_dir = "."; // where replay seed files are dumped
+};
+
+struct DiffReport {
+  std::size_t queries_run = 0;
+  std::size_t checks = 0;  // (query, thread-count) comparisons executed
+  std::vector<std::string> divergences;  // first message per failing query
+  std::vector<std::string> seed_files;   // dumped replay files (one per divergence)
+};
+
+/// Generate cfg.queries specs, run each against the oracle at every thread
+/// count, minimize and dump any divergence as a replay seed file.
+[[nodiscard]] DiffReport run_differential(const DiffConfig& cfg);
+
+/// Re-run one dumped `mode query` seed file. Returns the divergence message
+/// when the case still reproduces, nullopt when it now passes. Throws
+/// common::ParseError on a malformed file or wrong mode.
+[[nodiscard]] std::optional<std::string> replay_query_file(const std::string& path);
+
+}  // namespace supremm::testkit

@@ -1,0 +1,537 @@
+#include "testkit/oracle.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace supremm::testkit {
+
+using warehouse::AggKind;
+using warehouse::AggSpec;
+using warehouse::ColType;
+using warehouse::Column;
+using warehouse::QueryStats;
+using warehouse::Table;
+
+namespace {
+
+// The two layout constants of the public execution contract (DESIGN.md §11):
+// the scan-chunk grid used for stats when the table carries no zone index,
+// and the canonical segment grid laid over the ordered match list. These are
+// contract values, not implementation details borrowed from the engine — a
+// change to either over there is a breaking change the oracle must flag.
+constexpr std::size_t kExecChunkRows = 4096;
+constexpr std::size_t kSegmentRows = 8192;
+
+std::string default_name(const AggSpec& a) {
+  switch (a.kind) {
+    case AggKind::kSum:
+      return a.column + "_sum";
+    case AggKind::kMean:
+      return a.column + "_mean";
+    case AggKind::kWeightedMean:
+      return a.column + "_wmean";
+    case AggKind::kMax:
+      return a.column + "_max";
+    case AggKind::kMin:
+      return a.column + "_min";
+    case AggKind::kCount:
+      return "count";
+  }
+  return a.column;
+}
+
+std::string agg_output_name(const AggSpec& a) {
+  return a.as.empty() ? default_name(a) : a.as;
+}
+
+// Same accumulator the contract defines: plain += / min / max per value
+// within a segment, and the identical operations again when folding segment
+// partials. std::min/std::max return the first argument when the second is
+// NaN, so NaN values poison sums but never the min/max fields.
+struct AggState {
+  double sum = 0.0;
+  double wsum = 0.0;
+  double wvsum = 0.0;
+  double mn = std::numeric_limits<double>::infinity();
+  double mx = -std::numeric_limits<double>::infinity();
+  std::int64_t n = 0;
+};
+
+void merge_state(AggState& into, const AggState& from) {
+  into.sum += from.sum;
+  into.wsum += from.wsum;
+  into.wvsum += from.wvsum;
+  into.mn = std::min(into.mn, from.mn);
+  into.mx = std::max(into.mx, from.mx);
+  into.n += from.n;
+}
+
+bool term_matches(const Table& t, const PredTerm& term, std::size_t r) {
+  switch (term.op) {
+    case PredOp::kEq:
+      return t.col(term.column).as_string(r) == term.value;
+    case PredOp::kGe:
+      return t.col(term.column).as_double(r) >= term.lo;
+    case PredOp::kLe:
+      return t.col(term.column).as_double(r) <= term.hi;
+    case PredOp::kBetween: {
+      const double v = t.col(term.column).as_double(r);
+      return v >= term.lo && v <= term.hi;
+    }
+  }
+  return false;
+}
+
+bool row_matches(const Table& t, const QuerySpec& spec, std::size_t r) {
+  if (!spec.has_where) return true;
+  for (const auto& term : spec.where) {
+    if (!term_matches(t, term, r)) return false;
+  }
+  return true;
+}
+
+/// Exact bit pattern of one group-key cell, matching the contract: strings
+/// group by dictionary code, int64 by raw bits, doubles by bit pattern.
+std::uint64_t key_word(const Column& c, std::size_t r) {
+  switch (c.type()) {
+    case ColType::kString:
+      return static_cast<std::uint32_t>(c.code(r));
+    case ColType::kInt64:
+      return static_cast<std::uint64_t>(c.as_int64(r));
+    case ColType::kDouble:
+      return std::bit_cast<std::uint64_t>(c.as_double(r));
+  }
+  return 0;
+}
+
+/// A prune conjunct derived from the spec; mirrors the documented zone-map
+/// rule without ever reading the table's ZoneIndex *ranges* — the oracle
+/// recomputes chunk min/max from the rows so a stale or miscomputed zone map
+/// in the engine shows up as a stats or result divergence.
+struct PruneTest {
+  std::string column;
+  double lo = -std::numeric_limits<double>::infinity();
+  double hi = std::numeric_limits<double>::infinity();
+  bool fail_all = false;  // equality literal absent from the whole column
+};
+
+/// Chunk min/max over [lo_row, hi_row): NaN excluded; a chunk with no
+/// finite-comparable value keeps the default [0, 0] range — the same
+/// definition the zone index documents.
+void chunk_range(const Column& c, std::size_t lo_row, std::size_t hi_row, double& lo,
+                 double& hi) {
+  lo = 0.0;
+  hi = 0.0;
+  bool seen = false;
+  for (std::size_t r = lo_row; r < hi_row; ++r) {
+    double v = 0.0;
+    switch (c.type()) {
+      case ColType::kDouble:
+        v = c.as_double(r);
+        break;
+      case ColType::kInt64:
+        v = static_cast<double>(c.as_int64(r));
+        break;
+      case ColType::kString:
+        v = static_cast<double>(c.code(r));
+        break;
+    }
+    if (v != v) continue;  // NaN
+    if (!seen || v < lo) lo = v;
+    if (!seen || v > hi) hi = v;
+    seen = true;
+  }
+}
+
+std::string fmt_double(double v) {
+  std::ostringstream os;
+  os.precision(17);
+  os << v << " (0x" << std::hex << std::bit_cast<std::uint64_t>(v) << ")";
+  return os.str();
+}
+
+}  // namespace
+
+QueryRun run_engine(const Table& table, const QuerySpec& spec) {
+  warehouse::Query q(table);
+  if (spec.has_where) {
+    if (spec.opaque) {
+      // Opaque closure: same row logic, but the engine sees no bounds — it
+      // must fall back to per-row closure evaluation with no pruning.
+      auto terms = spec.where;
+      q.where(warehouse::RowPredicate([terms](const Table& t, std::size_t r) {
+        for (const auto& term : terms) {
+          if (!term_matches(t, term, r)) return false;
+        }
+        return true;
+      }));
+    } else {
+      std::vector<warehouse::RowPredicate> preds;
+      preds.reserve(spec.where.size());
+      for (const auto& term : spec.where) {
+        switch (term.op) {
+          case PredOp::kEq:
+            preds.push_back(warehouse::eq(term.column, term.value));
+            break;
+          case PredOp::kGe:
+            preds.push_back(warehouse::ge(term.column, term.lo));
+            break;
+          case PredOp::kLe:
+            preds.push_back(warehouse::le(term.column, term.hi));
+            break;
+          case PredOp::kBetween:
+            preds.push_back(warehouse::between(term.column, term.lo, term.hi));
+            break;
+        }
+      }
+      if (preds.size() == 1) {
+        q.where(std::move(preds.front()));
+      } else {
+        q.where(warehouse::all_of(std::move(preds)));
+      }
+    }
+  }
+  q.group_by(spec.group_by).aggregate(spec.aggs).threads(spec.threads);
+  QueryRun run{q.run(), q.stats()};
+  return run;
+}
+
+QueryRun run_oracle(const Table& table, const QuerySpec& spec) {
+  const std::size_t nrows = table.rows();
+
+  // --- matches: one honest pass over every row ---------------------------
+  // Deliberately ignores pruning: if the engine wrongly skips a chunk that
+  // holds a matching row, its result diverges from this list.
+  std::vector<std::size_t> matches;
+  for (std::size_t r = 0; r < nrows; ++r) {
+    if (row_matches(table, spec, r)) matches.push_back(r);
+  }
+
+  // --- stats: predicted from the documented accounting rules -------------
+  QueryStats stats;
+  const bool have_pred = spec.has_where;
+  const bool have_bounds = have_pred && !spec.opaque && !spec.where.empty();
+  const warehouse::ZoneIndex* zi = table.zone_index();
+  const bool prune = have_bounds && zi != nullptr && zi->chunks > 0;
+  if (!have_pred) {
+    stats.rows_scanned = nrows;
+  } else {
+    std::vector<PruneTest> tests;
+    if (prune) {
+      for (const auto& term : spec.where) {
+        PruneTest t;
+        t.column = term.column;
+        switch (term.op) {
+          case PredOp::kEq: {
+            if (const auto code = table.col(term.column).find_code(term.value)) {
+              t.lo = t.hi = static_cast<double>(*code);
+            } else {
+              t.fail_all = true;
+            }
+            break;
+          }
+          case PredOp::kGe:
+            t.lo = term.lo;
+            break;
+          case PredOp::kLe:
+            t.hi = term.hi;
+            break;
+          case PredOp::kBetween:
+            t.lo = term.lo;
+            t.hi = term.hi;
+            break;
+        }
+        tests.push_back(std::move(t));
+      }
+      stats.chunks_total = zi->chunks;
+    }
+    const std::size_t chunk_rows = prune ? zi->chunk_rows : kExecChunkRows;
+    const std::size_t nchunks = nrows == 0 ? 0 : (nrows + chunk_rows - 1) / chunk_rows;
+    for (std::size_t ch = 0; ch < nchunks; ++ch) {
+      const std::size_t begin = ch * chunk_rows;
+      const std::size_t end = std::min(nrows, begin + chunk_rows);
+      bool pruned = false;
+      for (const auto& t : tests) {
+        double lo = 0.0;
+        double hi = 0.0;
+        chunk_range(table.col(t.column), begin, end, lo, hi);
+        if (t.fail_all || hi < t.lo || lo > t.hi) {
+          pruned = true;
+          break;
+        }
+      }
+      if (pruned) {
+        ++stats.chunks_pruned;
+      } else {
+        stats.rows_scanned += end - begin;
+      }
+    }
+  }
+  stats.rows_matched = matches.size();
+
+  // --- aggregation over the canonical segment grid -----------------------
+  const std::size_t naggs = spec.aggs.size();
+  const std::size_t total = matches.size();
+  const std::size_t nsegs = total == 0 ? 0 : (total + kSegmentRows - 1) / kSegmentRows;
+
+  using Key = std::vector<std::uint64_t>;
+  struct Partial {
+    std::map<Key, std::size_t> lookup;
+    std::vector<Key> keys;                 // insertion order
+    std::vector<std::size_t> example_row;  // first matching row per group
+    std::vector<AggState> states;          // [group * naggs + agg]
+  };
+
+  std::vector<Partial> partials(nsegs);
+  for (std::size_t seg = 0; seg < nsegs; ++seg) {
+    Partial& part = partials[seg];
+    const std::size_t begin = seg * kSegmentRows;
+    const std::size_t end = std::min(total, begin + kSegmentRows);
+    for (std::size_t m = begin; m < end; ++m) {
+      const std::size_t r = matches[m];
+      Key key;
+      key.reserve(spec.group_by.size());
+      for (const auto& k : spec.group_by) key.push_back(key_word(table.col(k), r));
+      auto [it, inserted] = part.lookup.emplace(std::move(key), part.keys.size());
+      if (inserted) {
+        part.keys.push_back(it->first);
+        part.example_row.push_back(r);
+        part.states.resize(part.states.size() + naggs);
+      }
+      AggState* st = part.states.data() + it->second * naggs;
+      for (std::size_t a = 0; a < naggs; ++a) {
+        const AggSpec& agg = spec.aggs[a];
+        AggState& s = st[a];
+        ++s.n;
+        if (agg.kind == AggKind::kCount) continue;
+        const double v = table.col(agg.column).as_double(r);
+        s.sum += v;
+        s.mn = std::min(s.mn, v);
+        s.mx = std::max(s.mx, v);
+        if (agg.kind == AggKind::kWeightedMean) {
+          const double w = table.col(agg.weight).as_double(r);
+          s.wsum += w;
+          s.wvsum += w * v;
+        }
+      }
+    }
+  }
+
+  // --- fold segment partials in segment order ----------------------------
+  std::map<Key, std::size_t> lookup;
+  std::vector<std::size_t> example_row;
+  std::vector<AggState> states;
+  for (const auto& part : partials) {
+    for (std::size_t g = 0; g < part.keys.size(); ++g) {
+      auto [it, inserted] = lookup.emplace(part.keys[g], example_row.size());
+      if (inserted) {
+        example_row.push_back(part.example_row[g]);
+        states.resize(states.size() + naggs);
+      }
+      AggState* into = states.data() + it->second * naggs;
+      const AggState* from = part.states.data() + g * naggs;
+      for (std::size_t a = 0; a < naggs; ++a) merge_state(into[a], from[a]);
+    }
+  }
+
+  // --- emit groups in first-seen order -----------------------------------
+  std::vector<std::pair<std::string, ColType>> schema;
+  for (const auto& k : spec.group_by) schema.emplace_back(k, table.col(k).type());
+  for (const auto& a : spec.aggs) {
+    schema.emplace_back(agg_output_name(a),
+                        a.kind == AggKind::kCount ? ColType::kInt64 : ColType::kDouble);
+  }
+  Table out(table.name() + "_agg", std::move(schema));
+  for (std::size_t g = 0; g < example_row.size(); ++g) {
+    auto row = out.append();
+    const std::size_t src = example_row[g];
+    for (const auto& k : spec.group_by) {
+      const Column& c = table.col(k);
+      switch (c.type()) {
+        case ColType::kString:
+          row.set(k, c.as_string(src));
+          break;
+        case ColType::kInt64:
+          row.set(k, c.as_int64(src));
+          break;
+        case ColType::kDouble:
+          row.set(k, c.as_double(src));
+          break;
+      }
+    }
+    for (std::size_t a = 0; a < naggs; ++a) {
+      const AggSpec& agg = spec.aggs[a];
+      const AggState& s = states[g * naggs + a];
+      const std::string name = agg_output_name(agg);
+      switch (agg.kind) {
+        case AggKind::kSum:
+          row.set(name, s.sum);
+          break;
+        case AggKind::kMean:
+          row.set(name, s.n > 0 ? s.sum / static_cast<double>(s.n) : 0.0);
+          break;
+        case AggKind::kWeightedMean:
+          row.set(name, s.wsum > 0.0 ? s.wvsum / s.wsum : 0.0);
+          break;
+        case AggKind::kMax:
+          row.set(name, s.n > 0 ? s.mx : 0.0);
+          break;
+        case AggKind::kMin:
+          row.set(name, s.n > 0 ? s.mn : 0.0);
+          break;
+        case AggKind::kCount:
+          row.set(name, s.n);
+          break;
+      }
+    }
+  }
+  return QueryRun{std::move(out), stats};
+}
+
+std::optional<std::string> table_diff(const Table& a, const Table& b) {
+  if (a.name() != b.name()) {
+    return "table name: \"" + a.name() + "\" vs \"" + b.name() + "\"";
+  }
+  if (a.cols() != b.cols()) {
+    return "column count: " + std::to_string(a.cols()) + " vs " + std::to_string(b.cols());
+  }
+  for (std::size_t c = 0; c < a.cols(); ++c) {
+    const Column& ca = a.columns()[c];
+    const Column& cb = b.columns()[c];
+    if (ca.name() != cb.name()) {
+      return "column " + std::to_string(c) + " name: \"" + ca.name() + "\" vs \"" +
+             cb.name() + "\"";
+    }
+    if (ca.type() != cb.type()) {
+      return "column \"" + ca.name() + "\" type mismatch";
+    }
+  }
+  if (a.rows() != b.rows()) {
+    return "row count: " + std::to_string(a.rows()) + " vs " + std::to_string(b.rows());
+  }
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    for (std::size_t c = 0; c < a.cols(); ++c) {
+      const Column& ca = a.columns()[c];
+      const Column& cb = b.columns()[c];
+      const std::string at = "row " + std::to_string(r) + " col \"" + ca.name() + "\": ";
+      switch (ca.type()) {
+        case ColType::kString:
+          if (ca.as_string(r) != cb.as_string(r)) {
+            return at + "\"" + std::string(ca.as_string(r)) + "\" vs \"" +
+                   std::string(cb.as_string(r)) + "\"";
+          }
+          break;
+        case ColType::kInt64:
+          if (ca.as_int64(r) != cb.as_int64(r)) {
+            return at + std::to_string(ca.as_int64(r)) + " vs " +
+                   std::to_string(cb.as_int64(r));
+          }
+          break;
+        case ColType::kDouble:
+          if (std::bit_cast<std::uint64_t>(ca.as_double(r)) !=
+              std::bit_cast<std::uint64_t>(cb.as_double(r))) {
+            return at + fmt_double(ca.as_double(r)) + " vs " + fmt_double(cb.as_double(r));
+          }
+          break;
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> stats_diff(const QueryStats& a, const QueryStats& b) {
+  const auto field = [](const char* name, std::size_t x, std::size_t y)
+      -> std::optional<std::string> {
+    if (x == y) return std::nullopt;
+    return std::string(name) + ": " + std::to_string(x) + " vs " + std::to_string(y);
+  };
+  if (auto d = field("chunks_total", a.chunks_total, b.chunks_total)) return d;
+  if (auto d = field("chunks_pruned", a.chunks_pruned, b.chunks_pruned)) return d;
+  if (auto d = field("rows_scanned", a.rows_scanned, b.rows_scanned)) return d;
+  if (auto d = field("rows_matched", a.rows_matched, b.rows_matched)) return d;
+  return std::nullopt;
+}
+
+std::optional<std::string> differential_check(const Table& table, const QuerySpec& spec,
+                                              std::size_t threads) {
+  const QueryRun oracle = run_oracle(table, spec);
+  QuerySpec engine_spec = spec;
+  engine_spec.threads = threads;
+  const QueryRun engine = run_engine(table, engine_spec);
+  const std::string ctx = "threads=" + std::to_string(threads) + ": ";
+  if (auto d = table_diff(oracle.table, engine.table)) {
+    return ctx + "result " + *d + " (oracle vs engine)";
+  }
+  if (auto d = stats_diff(oracle.stats, engine.stats)) {
+    return ctx + "stats " + *d + " (oracle vs engine)";
+  }
+  return std::nullopt;
+}
+
+std::string describe(const QuerySpec& spec) {
+  std::ostringstream os;
+  os.precision(17);
+  if (spec.has_where) {
+    os << (spec.opaque ? "where-opaque[" : "where[");
+    for (std::size_t i = 0; i < spec.where.size(); ++i) {
+      const PredTerm& t = spec.where[i];
+      if (i != 0) os << " && ";
+      switch (t.op) {
+        case PredOp::kEq:
+          os << t.column << " == \"" << t.value << "\"";
+          break;
+        case PredOp::kGe:
+          os << t.column << " >= " << t.lo;
+          break;
+        case PredOp::kLe:
+          os << t.column << " <= " << t.hi;
+          break;
+        case PredOp::kBetween:
+          os << t.column << " in [" << t.lo << ", " << t.hi << "]";
+          break;
+      }
+    }
+    os << "] ";
+  }
+  os << "group[";
+  for (std::size_t i = 0; i < spec.group_by.size(); ++i) {
+    if (i != 0) os << ",";
+    os << spec.group_by[i];
+  }
+  os << "] agg[";
+  for (std::size_t i = 0; i < spec.aggs.size(); ++i) {
+    const AggSpec& a = spec.aggs[i];
+    if (i != 0) os << ",";
+    switch (a.kind) {
+      case AggKind::kSum:
+        os << "sum(" << a.column << ")";
+        break;
+      case AggKind::kMean:
+        os << "mean(" << a.column << ")";
+        break;
+      case AggKind::kWeightedMean:
+        os << "wmean(" << a.column << "," << a.weight << ")";
+        break;
+      case AggKind::kMax:
+        os << "max(" << a.column << ")";
+        break;
+      case AggKind::kMin:
+        os << "min(" << a.column << ")";
+        break;
+      case AggKind::kCount:
+        os << "count()";
+        break;
+    }
+    if (!a.as.empty()) os << " as " << a.as;
+  }
+  os << "] threads=" << spec.threads;
+  return os.str();
+}
+
+}  // namespace supremm::testkit

@@ -1,0 +1,112 @@
+#include "testkit/replay.h"
+
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace supremm::testkit {
+
+const std::string& SeedFile::field(const std::string& key) const {
+  for (const auto& [k, v] : fields) {
+    if (k == key) return v;
+  }
+  throw common::ParseError("seed file: missing field \"" + key + "\"");
+}
+
+std::uint64_t SeedFile::field_u64(const std::string& key) const {
+  const std::string& v = field(key);
+  std::size_t pos = 0;
+  std::uint64_t out = 0;
+  try {
+    out = std::stoull(v, &pos);
+  } catch (const std::exception&) {
+    throw common::ParseError("seed file: field \"" + key + "\" is not a number: " + v);
+  }
+  if (pos != v.size()) {
+    throw common::ParseError("seed file: field \"" + key + "\" is not a number: " + v);
+  }
+  return out;
+}
+
+bool SeedFile::has(const std::string& key) const {
+  for (const auto& [k, v] : fields) {
+    if (k == key) return true;
+  }
+  return false;
+}
+
+void write_seed_file(const std::string& path, const std::string& mode,
+                     const std::vector<std::pair<std::string, std::string>>& fields,
+                     const std::vector<std::string>& comments) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) throw common::ParseError("seed file: cannot write " + path);
+  out << kSeedFileHeader << "\n";
+  out << "mode " << mode << "\n";
+  for (const auto& [k, v] : fields) out << k << " " << v << "\n";
+  for (const auto& c : comments) out << "# " << c << "\n";
+  if (!out) throw common::ParseError("seed file: write failed for " + path);
+}
+
+SeedFile read_seed_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw common::ParseError("seed file: cannot open " + path);
+  std::string line;
+  if (!std::getline(in, line) || line != kSeedFileHeader) {
+    throw common::ParseError("seed file: bad header in " + path);
+  }
+  SeedFile sf;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      std::size_t start = 1;
+      if (start < line.size() && line[start] == ' ') ++start;
+      sf.comments.push_back(line.substr(start));
+      continue;
+    }
+    const std::size_t sp = line.find(' ');
+    if (sp == std::string::npos || sp == 0) {
+      throw common::ParseError("seed file: malformed line in " + path + ": " + line);
+    }
+    sf.fields.emplace_back(line.substr(0, sp), line.substr(sp + 1));
+  }
+  if (!sf.has("mode")) throw common::ParseError("seed file: missing mode in " + path);
+  return sf;
+}
+
+std::string encode_index_list(const std::vector<std::size_t>& ixs) {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < ixs.size(); ++i) {
+    if (i != 0) os << ",";
+    os << ixs[i];
+  }
+  return os.str();
+}
+
+std::vector<std::size_t> decode_index_list(const std::string& s) {
+  std::vector<std::size_t> out;
+  if (s.empty()) return out;
+  std::size_t pos = 0;
+  while (pos <= s.size()) {
+    const std::size_t comma = s.find(',', pos);
+    const std::string tok =
+        comma == std::string::npos ? s.substr(pos) : s.substr(pos, comma - pos);
+    std::size_t used = 0;
+    std::uint64_t v = 0;
+    try {
+      v = std::stoull(tok, &used);
+    } catch (const std::exception&) {
+      throw common::ParseError("seed file: bad index list entry: " + tok);
+    }
+    if (used != tok.size()) {
+      throw common::ParseError("seed file: bad index list entry: " + tok);
+    }
+    out.push_back(static_cast<std::size_t>(v));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out;
+}
+
+}  // namespace supremm::testkit

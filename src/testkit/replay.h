@@ -1,0 +1,54 @@
+// Replay seed files: the persistence format for failing testkit cases.
+//
+// When the differential runner or the archive fuzzer finds a divergence, the
+// (minimized) case is dumped as a small text file that re-derives the exact
+// corpus, query and mutation from deterministic RNG streams — no binary
+// blobs, no captured tables. The file doubles as the bug report: trailing
+// `#` comment lines carry the human-readable spec and the first divergence.
+//
+// Format (line oriented, order fixed by the writer):
+//   supremm-testkit-replay v1
+//   mode query|fuzz
+//   <key> <value>            (one per field, keys unique)
+//   # free-form comment lines
+//
+// Replay: SUPREMM_TESTKIT_REPLAY=<file> build/tests/test_oracle
+//         SUPREMM_TESTKIT_REPLAY=<file> build/tests/test_fuzz_archive
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace supremm::testkit {
+
+inline constexpr const char* kSeedFileHeader = "supremm-testkit-replay v1";
+
+/// A parsed seed file: ordered fields plus comment lines.
+struct SeedFile {
+  std::vector<std::pair<std::string, std::string>> fields;
+  std::vector<std::string> comments;
+
+  /// Value of `key`; throws common::ParseError when absent.
+  [[nodiscard]] const std::string& field(const std::string& key) const;
+  /// Value of `key` parsed as u64; throws common::ParseError on absence or
+  /// non-numeric content.
+  [[nodiscard]] std::uint64_t field_u64(const std::string& key) const;
+  [[nodiscard]] bool has(const std::string& key) const;
+};
+
+/// Write a seed file; `mode` becomes the `mode` field, first.
+void write_seed_file(const std::string& path, const std::string& mode,
+                     const std::vector<std::pair<std::string, std::string>>& fields,
+                     const std::vector<std::string>& comments);
+
+/// Read and validate a seed file; throws common::ParseError on a missing
+/// file, bad header or malformed line.
+[[nodiscard]] SeedFile read_seed_file(const std::string& path);
+
+/// Encode / decode a list of indices as a comma-separated field value
+/// (empty list -> empty string).
+[[nodiscard]] std::string encode_index_list(const std::vector<std::size_t>& ixs);
+[[nodiscard]] std::vector<std::size_t> decode_index_list(const std::string& s);
+
+}  // namespace supremm::testkit

@@ -1,11 +1,21 @@
 // Shared test fixture: a small simulated facility run through the full
 // pipeline (simulate -> collect -> side channels -> ingest), computed once
-// per binary and reused by the ETL / XDMoD / integration tests.
+// per binary and reused by the ETL / XDMoD / integration / parallel /
+// testkit suites — plus the shared bitwise table comparison and the archive
+// builder the differential and fuzz harnesses feed on.
 #pragma once
 
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <filesystem>
 #include <memory>
+#include <string>
+#include <string_view>
 #include <vector>
 
+#include "archive/archive.h"
 #include "supremm/supremm.h"
 
 namespace supremm::testing {
@@ -74,6 +84,54 @@ inline SimRun make_sim_run(const facility::ClusterSpec& preset, double node_scal
 inline const SimRun& small_ranger_run() {
   static const SimRun run = make_sim_run(facility::ranger(), 0.01, 8, 12345);
   return run;
+}
+
+/// Process-wide cached tiny Ranger run (2 days, a handful of nodes): the
+/// cheap corpus the parallel and testkit (oracle / fuzz) suites share.
+inline const SimRun& tiny_ranger_run() {
+  static const SimRun run = make_sim_run(facility::ranger(), 0.008, 2, 777);
+  return run;
+}
+
+/// Build a fresh archive at `dir` (wiped first) holding the whole run.
+inline void build_archive(const std::string& dir, const SimRun& run,
+                          std::size_t threads = 1, std::string_view context = "ctx") {
+  std::filesystem::remove_all(dir);
+  etl::IngestConfig cfg;
+  cfg.start = run.start;
+  cfg.span = run.span;
+  cfg.cluster = run.spec.name;
+  archive::Archive ar(dir, threads);
+  ar.append(cfg, run.files, run.acct, run.lariat_records, run.catalogue,
+            etl::project_science_map(*run.population), context, run.start + run.span);
+}
+
+/// Bitwise table equality: schema, row count, and every cell (doubles
+/// compared by bit pattern so -0.0 != 0.0 and NaNs compare by payload).
+inline void expect_tables_identical(const warehouse::Table& a, const warehouse::Table& b) {
+  ASSERT_EQ(a.rows(), b.rows());
+  ASSERT_EQ(a.cols(), b.cols());
+  for (std::size_t c = 0; c < a.cols(); ++c) {
+    const warehouse::Column& ca = a.columns()[c];
+    const warehouse::Column& cb = b.columns()[c];
+    ASSERT_EQ(ca.name(), cb.name());
+    ASSERT_EQ(ca.type(), cb.type());
+    for (std::size_t r = 0; r < a.rows(); ++r) {
+      switch (ca.type()) {
+        case warehouse::ColType::kString:
+          ASSERT_EQ(ca.as_string(r), cb.as_string(r)) << ca.name() << " row " << r;
+          break;
+        case warehouse::ColType::kInt64:
+          ASSERT_EQ(ca.as_int64(r), cb.as_int64(r)) << ca.name() << " row " << r;
+          break;
+        case warehouse::ColType::kDouble:
+          ASSERT_EQ(std::bit_cast<std::uint64_t>(ca.as_double(r)),
+                    std::bit_cast<std::uint64_t>(cb.as_double(r)))
+              << ca.name() << " row " << r;
+          break;
+      }
+    }
+  }
 }
 
 }  // namespace supremm::testing

@@ -11,6 +11,8 @@
 #include <cmath>
 #include <cstddef>
 #include <cstdint>
+#include <filesystem>
+#include <fstream>
 #include <map>
 #include <set>
 #include <sstream>
@@ -18,6 +20,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/strings.h"
 #include "sim_fixture.h"
 
 namespace etl = supremm::etl;
@@ -602,4 +605,182 @@ TEST(DataQuality, SysadminReportIncludesDataQuality) {
   const auto rendered = xd::render_data_quality(clean.quality, 5);
   EXPECT_GT(rendered.row_count(), 0u);
   EXPECT_NE(rendered.to_string().find("coverage"), std::string::npos);
+}
+
+// --- salvage edge cases (DESIGN.md §12 satellite coverage) ------------------
+
+namespace {
+
+// 7-field cpu schema so extract_pair's user/nice/system/idle/iowait/irq/
+// softirq reads line up; counters monotone so pairs extract cleanly.
+constexpr const char* kEdgeSchema = "!cpu user;E nice;E system;E idle;E iowait;E irq;E softirq;E\n";
+
+std::string cpu_row(std::uint64_t base) {
+  std::ostringstream os;
+  os << "cpu 0";
+  for (int f = 0; f < 7; ++f) os << " " << base + static_cast<std::uint64_t>(f) * 10;
+  os << "\n";
+  return os.str();
+}
+
+supremm::accounting::AccountingRecord edge_acct(supremm::facility::JobId id,
+                                                const std::string& host,
+                                                sc::TimePoint start, sc::TimePoint end) {
+  supremm::accounting::AccountingRecord a;
+  a.hostname = host;
+  a.owner = sc::strprintf("user%llu", static_cast<unsigned long long>(id));
+  a.jobname = sc::strprintf("job%llu", static_cast<unsigned long long>(id));
+  a.job_id = id;
+  a.account = "TG-edge";
+  a.submit = start - 60;
+  a.start = start;
+  a.end = end;
+  a.slots = 1;
+  a.nodes = 1;
+  return a;
+}
+
+etl::IngestResult edge_ingest(const std::vector<ts::RawFile>& files,
+                              const std::vector<supremm::accounting::AccountingRecord>& acct,
+                              sc::Duration span) {
+  etl::IngestConfig cfg;
+  cfg.start = 0;
+  cfg.span = span;
+  cfg.cluster = "edge";
+  cfg.threads = 1;
+  cfg.mode = etl::IngestMode::kSalvage;
+  return etl::IngestPipeline(cfg).run(files, acct, {}, {}, {});
+}
+
+}  // namespace
+
+// A job whose every sample on every host is quarantined must vanish from the
+// job table (nothing to attribute) while the per-host quality rows account
+// for each damaged line — loss is visible, never silently invented.
+TEST(SalvageEdges, AllHostsQuarantinedJobIsAccountedNotInvented) {
+  const std::string h1 = std::string("$tacc_stats 2.0\n$hostname h1\n") + kEdgeSchema +
+                         "1000 42 bogus\n" +  // job 42's begin: bad mark
+                         cpu_row(100) +       // orphaned by the damaged header
+                         "2000 43 begin\n" + cpu_row(200) +
+                         "2600 43 periodic\n" + cpu_row(900) +
+                         "3200 43 end\n" + cpu_row(1700);
+  const std::string h2 = std::string("$tacc_stats 2.0\n$hostname h2\n") + kEdgeSchema +
+                         "1000 42 bogus\n" + cpu_row(100) +  // job 42 again
+                         "1600 42 bogus\n" + cpu_row(800);
+  const std::vector<ts::RawFile> files = {{"h1", 0, h1}, {"h2", 0, h2}};
+  const auto r = edge_ingest(
+      files, {edge_acct(42, "h2", 1000, 1600), edge_acct(43, "h1", 2000, 3200)}, sc::kDay);
+
+  // Only job 43 survives; job 42 has zero usable samples anywhere.
+  ASSERT_EQ(r.jobs.size(), 1u);
+  EXPECT_EQ(r.jobs[0].id, 43u);
+  EXPECT_EQ(r.stats.jobs_seen, 1u);
+
+  ASSERT_EQ(r.quality.hosts.size(), 2u);  // sorted by host name
+  const etl::HostQuality& q1 = r.quality.hosts[0];
+  const etl::HostQuality& q2 = r.quality.hosts[1];
+  ASSERT_EQ(q1.host, "h1");
+  ASSERT_EQ(q2.host, "h2");
+  EXPECT_EQ(q1.quarantined, 2u);  // bad header + orphaned row
+  EXPECT_GT(q1.pairs, 0u);
+  EXPECT_EQ(q2.quarantined, 4u);  // both headers + both rows
+  EXPECT_EQ(q2.samples, 0u);
+  EXPECT_EQ(q2.pairs, 0u);
+  EXPECT_EQ(q2.coverage(r.quality.span), 0.0);
+  EXPECT_EQ(r.quality.total_quarantined(), 6u);
+  EXPECT_EQ(r.stats.quarantined, 6u);
+  EXPECT_EQ(etl::quality_table(r.quality).rows(), 2u);
+}
+
+// Clock-skew repair when the skew pushes samples across the midnight file
+// boundary: the skewed collector writes a sample into the next day's raw
+// file, and after the median-offset correction the ingest must be
+// bit-identical to the unskewed control — including bucket attribution on
+// both sides of the boundary.
+TEST(SalvageEdges, ClockSkewRepairAtDayBoundary) {
+  constexpr sc::TimePoint kStart = 86100;  // 5 min before midnight
+  constexpr std::int64_t kSkew = 30;
+  const std::string head = std::string("$tacc_stats 2.0\n$hostname n1\n") + kEdgeSchema;
+  const auto stamp = [&](sc::TimePoint t, const char* mark, std::uint64_t base) {
+    return std::to_string(t) + " 7 " + mark + "\n" + cpu_row(base);
+  };
+
+  // Control: day0 holds the two pre-midnight samples, day1 the rest.
+  const std::vector<ts::RawFile> control = {
+      {"n1", 0, head + stamp(86100, "begin", 100) + stamp(86390, "periodic", 700)},
+      {"n1", 1, head + stamp(86700, "periodic", 1500) + stamp(87300, "end", 2400)},
+  };
+  // Skewed: every stamp reads +30s, so the 86390 sample lands at 86420 — past
+  // midnight on the collector's clock — and is written into the day-1 file.
+  const std::vector<ts::RawFile> skewed = {
+      {"n1", 0, head + stamp(86100 + kSkew, "begin", 100)},
+      {"n1", 1, head + stamp(86390 + kSkew, "periodic", 700) +
+                    stamp(86700 + kSkew, "periodic", 1500) +
+                    stamp(87300 + kSkew, "end", 2400)},
+  };
+  const std::vector<supremm::accounting::AccountingRecord> acct = {
+      edge_acct(7, "n1", kStart, 87300)};
+
+  const auto ref = edge_ingest(control, acct, 2 * sc::kDay);
+  const auto fixed = edge_ingest(skewed, acct, 2 * sc::kDay);
+
+  EXPECT_EQ(ref.stats.hosts_skewed, 0u);
+  ASSERT_EQ(fixed.stats.hosts_skewed, 1u);
+  ASSERT_EQ(fixed.quality.hosts.size(), 1u);
+  EXPECT_EQ(fixed.quality.hosts[0].clock_skew_s, kSkew);
+  ASSERT_EQ(ref.jobs.size(), 1u);
+  expect_same_jobs(fixed.jobs, ref.jobs);
+  expect_same_series(fixed.series, ref.series);
+}
+
+// Archive partitions that fail verification must surface as
+// DataQualityReport::corrupt_partitions all the way into the rendered
+// operator report — the storage-layer extension of the salvage contract.
+TEST(SalvageEdges, CorruptPartitionsPropagateIntoQualityReport) {
+  namespace stdfs = std::filesystem;
+  const stdfs::path dir =
+      stdfs::temp_directory_path() / "supremm_faultsim_corrupt_archive";
+  supremm::testing::build_archive(dir.string(), supremm::testing::tiny_ranger_run());
+
+  // Damage one series partition (the other day's partition keeps the table
+  // loadable, exercising the partial-quarantine path).
+  std::string victim;
+  const supremm::archive::Reader reader(dir.string(), 1);
+  for (const auto& p : reader.manifest().partitions) {
+    if (p.table == "series") {
+      victim = p.filename;
+      break;
+    }
+  }
+  ASSERT_FALSE(victim.empty());
+  {
+    std::fstream f(dir / victim, std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(f.is_open());
+    f.seekg(0, std::ios::end);
+    const auto size = static_cast<std::streamoff>(f.tellg());
+    f.seekp(size / 2);
+    char c = 0;
+    f.seekg(size / 2);
+    f.get(c);
+    f.seekp(size / 2);
+    f.put(static_cast<char>(c ^ 0x40));
+  }
+
+  const supremm::archive::LoadResult load = supremm::archive::Archive(dir.string(), 1).load();
+  ASSERT_EQ(load.quarantined.size(), 1u);
+  EXPECT_EQ(load.quarantined[0].file, victim);
+  EXPECT_EQ(load.quarantined[0].table, "series");
+  EXPECT_FALSE(load.quarantined[0].reason.empty());
+
+  // Propagated verbatim into the report...
+  const etl::DataQualityReport& q = load.result.quality;
+  ASSERT_EQ(q.corrupt_partitions.size(), 1u);
+  EXPECT_EQ(q.corrupt_partitions[0].file, victim);
+  EXPECT_EQ(q.corrupt_partitions[0].table, "series");
+
+  // ...and rendered for the Systems Administrator stakeholder.
+  const std::string rendered = xd::render_data_quality(q, 3).to_string();
+  EXPECT_NE(rendered.find("1 corrupt archive partitions"), std::string::npos) << rendered;
+  EXPECT_NE(rendered.find("[archive] " + victim), std::string::npos) << rendered;
+  stdfs::remove_all(dir);
 }

@@ -32,12 +32,10 @@ namespace fs = std::filesystem;
 
 constexpr std::size_t kThreadCounts[] = {1, 2, 8};
 
+using supremm::testing::expect_tables_identical;
+
 /// Small shared ingest run for the end-to-end archive tests.
-const supremm::testing::SimRun& sim_run() {
-  static const supremm::testing::SimRun run =
-      supremm::testing::make_sim_run(facility::ranger(), 0.008, 2, 777);
-  return run;
-}
+const supremm::testing::SimRun& sim_run() { return supremm::testing::tiny_ranger_run(); }
 
 /// Deterministic mixed-type table: string/int64/double keys and values,
 /// including doubles that collide in their first six significant digits.
@@ -61,34 +59,6 @@ warehouse::Table make_table(std::size_t rows, bool zone_index) {
   }
   if (zone_index) t.rebuild_zone_index(/*chunk_rows=*/256);
   return t;
-}
-
-/// Bitwise table equality: schema, row count, and every cell (doubles
-/// compared by bit pattern so -0.0 != 0.0 and NaNs compare by payload).
-void expect_tables_identical(const warehouse::Table& a, const warehouse::Table& b) {
-  ASSERT_EQ(a.rows(), b.rows());
-  ASSERT_EQ(a.cols(), b.cols());
-  for (std::size_t c = 0; c < a.cols(); ++c) {
-    const warehouse::Column& ca = a.columns()[c];
-    const warehouse::Column& cb = b.columns()[c];
-    ASSERT_EQ(ca.name(), cb.name());
-    ASSERT_EQ(ca.type(), cb.type());
-    for (std::size_t r = 0; r < a.rows(); ++r) {
-      switch (ca.type()) {
-        case warehouse::ColType::kString:
-          ASSERT_EQ(ca.as_string(r), cb.as_string(r)) << ca.name() << " row " << r;
-          break;
-        case warehouse::ColType::kInt64:
-          ASSERT_EQ(ca.as_int64(r), cb.as_int64(r)) << ca.name() << " row " << r;
-          break;
-        case warehouse::ColType::kDouble:
-          ASSERT_EQ(std::bit_cast<std::uint64_t>(ca.as_double(r)),
-                    std::bit_cast<std::uint64_t>(cb.as_double(r)))
-              << ca.name() << " row " << r;
-          break;
-      }
-    }
-  }
 }
 
 std::vector<warehouse::AggSpec> all_agg_kinds() {
@@ -324,17 +294,8 @@ TEST(ParallelArchive, AppendFilesByteIdenticalAcrossThreadCounts) {
 /// Reader materialization with a worker pool must match the serial reader,
 /// quarantine accounting included.
 TEST(ParallelArchive, ReaderTablesIdenticalAcrossThreadCounts) {
-  const auto& run = sim_run();
-  etl::IngestConfig cfg;
-  cfg.start = run.start;
-  cfg.span = run.span;
-  cfg.cluster = run.spec.name;
-
   const fs::path dir = fs::temp_directory_path() / "supremm_test_parallel_reader";
-  fs::remove_all(dir);
-  archive::Archive ar(dir.string(), /*threads=*/2);
-  ar.append(cfg, run.files, run.acct, run.lariat_records, run.catalogue,
-            etl::project_science_map(*run.population), "ctx", run.start + run.span);
+  supremm::testing::build_archive(dir.string(), sim_run(), /*threads=*/2);
 
   std::optional<warehouse::Table> jobs_ref;
   for (const std::size_t threads : kThreadCounts) {

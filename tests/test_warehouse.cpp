@@ -2,6 +2,11 @@
 // filtering and grouped aggregation.
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+
 #include "common/error.h"
 #include "warehouse/query.h"
 #include "warehouse/table.h"
@@ -196,4 +201,104 @@ TEST(Query, TimeBucket) {
   EXPECT_EQ(wh::time_bucket(599, 600), 0);
   EXPECT_EQ(wh::time_bucket(600, 600), 600);
   EXPECT_EQ(wh::time_bucket(1234, 600), 1200);
+}
+
+// --- aggregate edge cases (DESIGN.md §12 satellite coverage) ----------------
+
+namespace {
+
+/// n rows of (k, v) with an optional zone index.
+wh::Table edge_table(std::size_t rows, std::size_t chunk_rows,
+                     double (*value)(std::size_t)) {
+  wh::Table t("edge", {{"k", wh::ColType::kInt64}, {"v", wh::ColType::kDouble}});
+  for (std::size_t r = 0; r < rows; ++r) {
+    t.append().set("k", static_cast<std::int64_t>(r % 3)).set("v", value(r));
+  }
+  if (chunk_rows > 0) t.rebuild_zone_index(chunk_rows);
+  return t;
+}
+
+}  // namespace
+
+// A predicate matching nothing must yield a schema-complete empty result for
+// grouped queries (no groups, not a zero-filled row) at every thread count.
+TEST(QueryEdges, EmptyGroupByResultSet) {
+  const auto t = edge_table(1000, 64, [](std::size_t r) { return static_cast<double>(r); });
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+    wh::Query q(t);
+    const auto out = q.where(wh::ge("v", 1e9))
+                         .group_by({"k"})
+                         .aggregate({{"v", wh::AggKind::kSum, "", ""},
+                                     {"", wh::AggKind::kCount, "", "n"}})
+                         .threads(threads)
+                         .run();
+    EXPECT_EQ(out.rows(), 0u) << threads << " threads";
+    EXPECT_EQ(out.cols(), 3u);
+    EXPECT_EQ(q.stats().rows_matched, 0u);
+  }
+}
+
+// When the zone maps exclude every chunk, nothing is scanned — and the
+// result must still be well-formed and empty.
+TEST(QueryEdges, AllChunksPruned) {
+  const auto t = edge_table(1024, 64, [](std::size_t r) { return static_cast<double>(r % 50); });
+  wh::Query q(t);
+  const auto out = q.where(wh::ge("v", 1000.0))
+                       .group_by({"k"})
+                       .aggregate({{"", wh::AggKind::kCount, "", "n"}})
+                       .run();
+  EXPECT_EQ(out.rows(), 0u);
+  EXPECT_EQ(q.stats().chunks_total, 16u);
+  EXPECT_EQ(q.stats().chunks_pruned, 16u);
+  EXPECT_EQ(q.stats().rows_scanned, 0u);
+  EXPECT_EQ(q.stats().rows_matched, 0u);
+}
+
+// Single-row table: the degenerate chunk/segment grid still produces exact
+// aggregates, with and without a zone index.
+TEST(QueryEdges, SingleRowTable) {
+  for (const std::size_t chunk_rows : {std::size_t{0}, std::size_t{4096}}) {
+    const auto t = edge_table(1, chunk_rows, [](std::size_t) { return -2.5; });
+    wh::Query q(t);
+    const auto out = q.group_by({"k"})
+                         .aggregate({{"v", wh::AggKind::kSum, "", ""},
+                                     {"v", wh::AggKind::kMean, "", ""},
+                                     {"v", wh::AggKind::kMax, "", ""},
+                                     {"v", wh::AggKind::kMin, "", ""},
+                                     {"", wh::AggKind::kCount, "", "n"}})
+                         .run();
+    ASSERT_EQ(out.rows(), 1u);
+    EXPECT_EQ(out.col("k").as_int64(0), 0);
+    EXPECT_EQ(out.col("v_sum").as_double(0), -2.5);
+    EXPECT_EQ(out.col("v_mean").as_double(0), -2.5);
+    EXPECT_EQ(out.col("v_max").as_double(0), -2.5);
+    EXPECT_EQ(out.col("v_min").as_double(0), -2.5);
+    EXPECT_EQ(out.col("n").as_int64(0), 1);
+  }
+}
+
+// min/max over a group whose values are all NaN: NaN never wins a
+// std::min/std::max against the seed, so the accumulators stay at their
+// +inf/-inf initials and that is what the engine emits (n > 0, so the
+// zero-guard does not apply). This pins the documented behavior — a silent
+// change here would break oracle bit-compatibility.
+TEST(QueryEdges, MinMaxOverAllNaNGroupEmitsInfinities) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  wh::Table t("edge", {{"k", wh::ColType::kInt64}, {"v", wh::ColType::kDouble}});
+  for (int r = 0; r < 4; ++r) t.append().set("k", std::int64_t{1}).set("v", nan);
+  for (int r = 0; r < 3; ++r) t.append().set("k", std::int64_t{2}).set("v", 7.0);
+  const auto out = wh::Query(t)
+                       .group_by({"k"})
+                       .aggregate({{"v", wh::AggKind::kMin, "", ""},
+                                   {"v", wh::AggKind::kMax, "", ""},
+                                   {"v", wh::AggKind::kSum, "", ""}})
+                       .run();
+  ASSERT_EQ(out.rows(), 2u);
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_EQ(out.col("v_min").as_double(0), inf);
+  EXPECT_EQ(out.col("v_max").as_double(0), -inf);
+  EXPECT_TRUE(std::isnan(out.col("v_sum").as_double(0)));  // NaN poisons sums
+  EXPECT_EQ(out.col("v_min").as_double(1), 7.0);
+  EXPECT_EQ(out.col("v_max").as_double(1), 7.0);
+  EXPECT_EQ(out.col("v_sum").as_double(1), 21.0);
 }
