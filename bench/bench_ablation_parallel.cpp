@@ -9,13 +9,7 @@
 
 #include "bench_common.h"
 
-namespace {
-
-double seconds_since(std::chrono::steady_clock::time_point t0) {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
-}
-
-}  // namespace
+using supremm::bench::seconds_since;
 
 int main() {
   using namespace supremm;

@@ -24,10 +24,7 @@
 namespace {
 
 using namespace supremm;
-
-double seconds_since(std::chrono::steady_clock::time_point t0) {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
-}
+using bench::seconds_since;
 
 double mb(std::uint64_t bytes) { return static_cast<double>(bytes) / (1024.0 * 1024.0); }
 

@@ -10,6 +10,7 @@
 // alongside the scaled peak for comparison.
 #pragma once
 
+#include <chrono>
 #include <cstdio>
 #include <string>
 #include <utility>
@@ -21,6 +22,11 @@
 namespace supremm::bench {
 
 inline constexpr std::uint64_t kSeed = 2013;  // the paper's year
+
+/// Elapsed wall-clock seconds since `t0`.
+inline double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
 
 inline pipeline::PipelineResult make_run(const facility::ClusterSpec& preset, double scale,
                                          int days, bool maintenance) {

@@ -13,9 +13,7 @@
 
 namespace {
 
-double seconds_since(std::chrono::steady_clock::time_point t0) {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
-}
+using supremm::bench::seconds_since;
 
 double total_mb(const std::vector<supremm::taccstats::RawFile>& files) {
   std::size_t bytes = 0;

@@ -202,9 +202,7 @@ void BM_PersistenceAnalysis(benchmark::State& state) {
 }
 BENCHMARK(BM_PersistenceAnalysis);
 
-double seconds_since(std::chrono::steady_clock::time_point t0) {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
-}
+using supremm::bench::seconds_since;
 
 /// Median-of-reps wall time for `fn`.
 template <typename Fn>

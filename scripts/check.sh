@@ -5,8 +5,9 @@
 # ROADMAP.md), then re-runs the `parallel`-labeled determinism tests twice:
 # once with a single ctest job and once with all cores, so scheduling jitter
 # gets a chance to surface any thread-count- or interleaving-dependent
-# behavior the property tests are meant to rule out. Finally runs the
-# testkit smoke suites (`oracle` = differential query engine, `fuzz` =
+# behavior the property tests are meant to rule out. Then runs the
+# `service`-labeled serving-tier suite (concurrent clients, cache identity,
+# cancellation) and finally the testkit smoke suites (`oracle` = differential query engine, `fuzz` =
 # archive bitstream mutations; DESIGN.md §12) and fails if they left any
 # testkit_seed_* replay files behind — a leftover seed file means a
 # divergence or contract violation was dumped for replay.
@@ -30,6 +31,9 @@ ctest --test-dir "${BUILD_DIR}" -L parallel --output-on-failure -j 1
 
 echo "== parallel determinism suite, concurrent ctest (-j ${JOBS}) =="
 ctest --test-dir "${BUILD_DIR}" -L parallel --output-on-failure -j "${JOBS}"
+
+echo "== service suite: concurrent query service =="
+ctest --test-dir "${BUILD_DIR}" -L service --output-on-failure -j "${JOBS}"
 
 echo "== testkit smoke: oracle differential + archive fuzz =="
 ctest --test-dir "${BUILD_DIR}" -L oracle --output-on-failure -j "${JOBS}"

@@ -460,6 +460,7 @@ AppendStats Archive::append(const etl::IngestConfig& cfg,
     if (!still_used) fs::remove(fs::path(dir_) / f);
   }
   manifest_ = std::move(m);
+  for (const auto& hook : append_hooks_) hook(*manifest_);
   return stats;
 }
 

@@ -26,6 +26,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -137,6 +138,22 @@ class Archive {
   /// Throws NotFoundError when the archive is empty.
   [[nodiscard]] const Manifest& manifest() const;
 
+  /// The ingest watermark: data before this time is archived and immutable
+  /// (except the provisional last day). 0 for an empty archive. Monotone
+  /// under append — the serving layer keys result caches on it, so any
+  /// cached answer is tied to exactly one archive state.
+  [[nodiscard]] common::TimePoint watermark() const noexcept {
+    return manifest_ ? manifest_->watermark : 0;
+  }
+
+  /// Register a hook invoked after every successful append() on this handle,
+  /// with the freshly written manifest. Used by the query service to
+  /// invalidate watermark-keyed caches the moment new data lands. Hooks must
+  /// not call back into this Archive and must outlive it.
+  void on_append(std::function<void(const Manifest&)> hook) {
+    append_hooks_.push_back(std::move(hook));
+  }
+
   /// Ingest the not-yet-archived days in [watermark, upto) from the given
   /// artifacts and persist them. `cfg.start` must be day-aligned and equal
   /// the archive's start; `cfg.span` must equal `upto - cfg.start`; `upto`
@@ -161,6 +178,7 @@ class Archive {
   std::string dir_;
   std::size_t threads_ = 1;
   std::optional<Manifest> manifest_;
+  std::vector<std::function<void(const Manifest&)>> append_hooks_;
 };
 
 }  // namespace supremm::archive

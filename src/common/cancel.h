@@ -1,0 +1,50 @@
+// Cooperative cancellation for long-running scans (DESIGN.md §13).
+//
+// A CancelToken is shared between a request owner (who may cancel, or set a
+// deadline) and a worker executing on its behalf. Workers poll
+// stop_requested() at coarse-grained safe points — the warehouse query
+// engine checks once per scan chunk and once per aggregation segment, never
+// per row — and abandon the work by throwing common::Cancelled. Both sides
+// only touch atomics, so a token may be cancelled from any thread while the
+// worker is mid-scan.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace supremm::common {
+
+class CancelToken {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// Request cancellation; safe from any thread, idempotent.
+  void cancel() noexcept { cancelled_.store(true, std::memory_order_relaxed); }
+
+  [[nodiscard]] bool cancelled() const noexcept {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+  /// Arm a deadline; stop_requested() turns true once the clock passes it.
+  void set_deadline(Clock::time_point tp) noexcept {
+    deadline_ns_.store(tp.time_since_epoch().count(), std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] bool deadline_expired() const noexcept {
+    const std::int64_t d = deadline_ns_.load(std::memory_order_relaxed);
+    return d != 0 && Clock::now().time_since_epoch().count() > d;
+  }
+
+  /// True once the owner cancelled or the armed deadline passed. Workers
+  /// poll this at chunk/segment granularity.
+  [[nodiscard]] bool stop_requested() const noexcept {
+    return cancelled() || deadline_expired();
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+  std::atomic<std::int64_t> deadline_ns_{0};  // Clock ns since epoch; 0 = none
+};
+
+}  // namespace supremm::common

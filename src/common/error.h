@@ -33,9 +33,19 @@ class InvalidArgument : public Error {
   explicit InvalidArgument(const std::string& what) : Error("invalid argument: " + what) {}
 };
 
+/// Raised when a computation is abandoned because its CancelToken tripped
+/// (explicit cancellation or an expired deadline). Partial results are
+/// discarded by the thrower; catching this means "no answer", never "a
+/// truncated answer".
+class Cancelled : public Error {
+ public:
+  explicit Cancelled(const std::string& what) : Error("cancelled: " + what) {}
+};
+
 }  // namespace supremm::common
 
 namespace supremm {
+using common::Cancelled;
 using common::Error;
 using common::InvalidArgument;
 using common::NotFoundError;

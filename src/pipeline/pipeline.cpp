@@ -21,7 +21,25 @@ std::string archive_context(const PipelineConfig& c) {
 
 }  // namespace
 
+void PipelineConfig::validate() const {
+  if (span <= 0) {
+    throw common::InvalidArgument(common::strprintf(
+        "PipelineConfig.span must be positive (got %lld)", static_cast<long long>(span)));
+  }
+  if (load_factor <= 0.0) {
+    throw common::InvalidArgument(common::strprintf(
+        "PipelineConfig.load_factor must be positive (got %g)", load_factor));
+  }
+  if (agent.interval <= 0) {
+    throw common::InvalidArgument(common::strprintf(
+        "PipelineConfig.agent.interval must be positive (got %lld)",
+        static_cast<long long>(agent.interval)));
+  }
+  service.validate();
+}
+
 PipelineResult run_pipeline(const PipelineConfig& config) {
+  config.validate();
   PipelineResult run;
   run.start = config.start;
   run.span = config.span;
@@ -111,6 +129,19 @@ PipelineResult run_pipeline(const PipelineConfig& config) {
     run.provenance = "live ingest";
   }
   return run;
+}
+
+Serving serve(const PipelineConfig& config) {
+  Serving s;
+  s.run = run_pipeline(config);
+  s.service = std::make_unique<service::Service>(config.service);
+  if (!config.archive_dir.empty()) {
+    s.archive = std::make_unique<archive::Archive>(config.archive_dir, config.threads);
+    s.service->bind_archive(*s.archive);
+  } else {
+    s.service->publish_jobs(s.run.result.jobs, config.start + config.span);
+  }
+  return s;
 }
 
 }  // namespace supremm::pipeline

@@ -17,6 +17,7 @@
 #include "facility/users.h"
 #include "facility/workload.h"
 #include "lariat/lariat.h"
+#include "service/service.h"
 #include "taccstats/agent.h"
 
 namespace supremm::pipeline {
@@ -42,6 +43,13 @@ struct PipelineConfig {
   /// lariat_records, stats) stay empty. Otherwise the pipeline simulates,
   /// appends only the not-yet-archived days, and returns the archived data.
   std::string archive_dir;
+  /// Serving-tier settings, used by serve() (DESIGN.md §13).
+  service::ServiceConfig service;
+
+  /// Throws InvalidArgument naming the offending field: span, load_factor
+  /// and agent.interval must be positive, and the embedded ServiceConfig
+  /// must pass its own validation (workers/queue_limit/deadline > 0).
+  void validate() const;
 };
 
 struct PipelineResult {
@@ -66,5 +74,21 @@ struct PipelineResult {
 
 /// Run simulate -> collect -> ingest. Deterministic in the config.
 [[nodiscard]] PipelineResult run_pipeline(const PipelineConfig& config);
+
+/// A pipeline run plus a live query service over its data. The archive
+/// handle (when archive_dir was set) is kept alive here because the service
+/// subscribes to its on_append hook; member order guarantees the service is
+/// torn down before the archive.
+struct Serving {
+  PipelineResult run;
+  std::unique_ptr<archive::Archive> archive;  // null when archive_dir empty
+  std::unique_ptr<service::Service> service;
+};
+
+/// run_pipeline() + stand up a query service over the result. With an
+/// archive_dir the service binds to the archive (appends through the
+/// returned handle republish and invalidate the result cache); without one
+/// it serves the in-memory job summaries.
+[[nodiscard]] Serving serve(const PipelineConfig& config);
 
 }  // namespace supremm::pipeline

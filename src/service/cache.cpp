@@ -1,0 +1,47 @@
+#include "service/cache.h"
+
+#include <utility>
+
+namespace supremm::service {
+
+std::optional<CachedResult> ResultCache::lookup(const std::string& key) {
+  std::lock_guard lock(mu_);
+  const auto it = map_.find(key);
+  if (it == map_.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  ++hits_;
+  order_.splice(order_.begin(), order_, it->second.order_it);
+  return it->second.value;
+}
+
+void ResultCache::insert(const std::string& key, CachedResult value) {
+  if (capacity_ == 0) return;
+  std::lock_guard lock(mu_);
+  const auto it = map_.find(key);
+  if (it != map_.end()) {
+    it->second.value = std::move(value);
+    order_.splice(order_.begin(), order_, it->second.order_it);
+    return;
+  }
+  order_.push_front(key);
+  map_.emplace(key, Entry{std::move(value), order_.begin()});
+  while (map_.size() > capacity_) {
+    map_.erase(order_.back());
+    order_.pop_back();
+    ++evictions_;
+  }
+}
+
+ResultCache::Counters ResultCache::counters() const {
+  std::lock_guard lock(mu_);
+  Counters c;
+  c.hits = hits_;
+  c.misses = misses_;
+  c.evictions = evictions_;
+  c.entries = map_.size();
+  return c;
+}
+
+}  // namespace supremm::service

@@ -1,0 +1,69 @@
+// Watermark-keyed LRU result cache (DESIGN.md §13).
+//
+// Keys are "<canonical request text>#<epoch>": the canonical text collapses
+// syntactic variation (the parser/printer round trip), and the epoch — a
+// counter the service bumps every time new data is published or an archive
+// append lands — pins the entry to exactly one data state. Invalidation is
+// therefore structural: an append changes the epoch, every new lookup misses,
+// and the stale entries age out of the LRU tail. A hit can never be served
+// across an append, so a cached answer is always bit-identical to a fresh
+// run against the same snapshot.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "warehouse/query.h"
+#include "warehouse/table.h"
+
+namespace supremm::service {
+
+/// A cached response payload: the result table (shared with every response
+/// that hit this entry) and the scan statistics of the run that produced it.
+struct CachedResult {
+  std::shared_ptr<const warehouse::Table> table;
+  warehouse::QueryStats stats;
+};
+
+/// Thread-safe LRU map; all methods may be called concurrently.
+class ResultCache {
+ public:
+  /// `capacity` = max entries; 0 disables the cache (every lookup misses,
+  /// inserts are dropped).
+  explicit ResultCache(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Hit moves the entry to the front and returns a copy of the payload.
+  [[nodiscard]] std::optional<CachedResult> lookup(const std::string& key);
+
+  /// Insert (or refresh) an entry, evicting from the LRU tail over capacity.
+  void insert(const std::string& key, CachedResult value);
+
+  struct Counters {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::size_t entries = 0;
+  };
+  [[nodiscard]] Counters counters() const;
+
+ private:
+  struct Entry {
+    CachedResult value;
+    std::list<std::string>::iterator order_it;
+  };
+
+  mutable std::mutex mu_;
+  std::size_t capacity_;
+  std::list<std::string> order_;  // front = most recently used
+  std::unordered_map<std::string, Entry> map_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace supremm::service

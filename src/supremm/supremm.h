@@ -46,6 +46,8 @@
 #include "loglib/loglib.h"              // IWYU pragma: export
 #include "pipeline/pipeline.h"          // IWYU pragma: export
 #include "procsim/counters.h"           // IWYU pragma: export
+#include "service/request.h"            // IWYU pragma: export
+#include "service/service.h"            // IWYU pragma: export
 #include "procsim/perf.h"               // IWYU pragma: export
 #include "stats/correlation.h"          // IWYU pragma: export
 #include "stats/descriptive.h"          // IWYU pragma: export

@@ -1,0 +1,49 @@
+#include "testkit/genrequest.h"
+
+#include <utility>
+
+#include "common/error.h"
+#include "testkit/genquery.h"
+
+namespace supremm::testkit {
+
+std::string to_request_text(const QuerySpec& spec, const std::string& table) {
+  if (spec.opaque) {
+    throw common::InvalidArgument(
+        "to_request_text: opaque specs have no request-language form");
+  }
+  service::Request req;
+  req.kind = service::Request::Kind::kQuery;
+  req.query.table = table;
+  if (spec.has_where) {
+    for (const PredTerm& t : spec.where) {
+      service::Term term;
+      term.column = t.column;
+      term.value = t.value;
+      term.lo = t.lo;
+      term.hi = t.hi;
+      switch (t.op) {
+        case PredOp::kEq: term.op = service::TermOp::kEq; break;
+        case PredOp::kGe: term.op = service::TermOp::kGe; break;
+        case PredOp::kLe: term.op = service::TermOp::kLe; break;
+        case PredOp::kBetween: term.op = service::TermOp::kBetween; break;
+      }
+      req.query.where.push_back(std::move(term));
+    }
+  }
+  req.query.group_by = spec.group_by;
+  req.query.aggs = spec.aggs;
+  req.query.threads = spec.threads;
+  return service::print_request(req);
+}
+
+std::string make_request_text(std::uint64_t seed, std::uint64_t index,
+                              const std::string& table, QuerySpec* out_spec) {
+  QuerySpec spec = make_query_spec(seed, index);
+  spec.opaque = false;
+  std::string text = to_request_text(spec, table);
+  if (out_spec != nullptr) *out_spec = std::move(spec);
+  return text;
+}
+
+}  // namespace supremm::testkit

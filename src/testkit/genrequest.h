@@ -1,0 +1,31 @@
+// Bridge from the grammar-fuzz QuerySpec generator to the service request
+// language (DESIGN.md §12/§13): the same (seed, index) streams that drive the
+// differential oracle also produce request text, so the service's
+// parse/print/compile path is fuzzed with exactly the query population the
+// engine is already verified against.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "service/request.h"
+#include "testkit/oracle.h"
+
+namespace supremm::testkit {
+
+/// Render a closure-free QuerySpec as request-language text targeting the
+/// service table `table`. The output is canonical (built through
+/// service::print_request). Throws InvalidArgument for opaque specs — the
+/// request language carries no closures by design.
+[[nodiscard]] std::string to_request_text(const QuerySpec& spec,
+                                          const std::string& table);
+
+/// Request `index` of the grammar under `seed`: make_query_spec with the
+/// opaque flag forced off (and the matching engine-side spec via
+/// `out_spec`, when non-null), rendered against `table`.
+[[nodiscard]] std::string make_request_text(std::uint64_t seed,
+                                            std::uint64_t index,
+                                            const std::string& table,
+                                            QuerySpec* out_spec = nullptr);
+
+}  // namespace supremm::testkit

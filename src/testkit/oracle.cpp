@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <cmath>
 #include <cstdint>
 #include <limits>
 #include <map>
@@ -27,6 +28,14 @@ namespace {
 // change to either over there is a breaking change the oracle must flag.
 constexpr std::size_t kExecChunkRows = 4096;
 constexpr std::size_t kSegmentRows = 8192;
+
+// Part of the contract: a NaN-valued sum/mean is emitted as the canonical
+// positive quiet NaN, because which of several accumulated NaN payloads
+// survives `acc += v` is an instruction-operand-order artifact the compiler
+// may legally flip between builds of the same source.
+double canon_nan(double v) {
+  return std::isnan(v) ? std::numeric_limits<double>::quiet_NaN() : v;
+}
 
 std::string default_name(const AggSpec& a) {
   switch (a.kind) {
@@ -371,13 +380,13 @@ QueryRun run_oracle(const Table& table, const QuerySpec& spec) {
       const std::string name = agg_output_name(agg);
       switch (agg.kind) {
         case AggKind::kSum:
-          row.set(name, s.sum);
+          row.set(name, canon_nan(s.sum));
           break;
         case AggKind::kMean:
-          row.set(name, s.n > 0 ? s.sum / static_cast<double>(s.n) : 0.0);
+          row.set(name, s.n > 0 ? canon_nan(s.sum / static_cast<double>(s.n)) : 0.0);
           break;
         case AggKind::kWeightedMean:
-          row.set(name, s.wsum > 0.0 ? s.wvsum / s.wsum : 0.0);
+          row.set(name, s.wsum > 0.0 ? canon_nan(s.wvsum / s.wsum) : 0.0);
           break;
         case AggKind::kMax:
           row.set(name, s.n > 0 ? s.mx : 0.0);

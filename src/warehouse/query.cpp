@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <array>
 #include <bit>
+#include <cmath>
 #include <cstring>
 #include <limits>
 #include <unordered_map>
@@ -93,6 +94,11 @@ Query& Query::threads(std::size_t n) {
   return *this;
 }
 
+Query& Query::cancel_token(const common::CancelToken* token) {
+  cancel_ = token;
+  return *this;
+}
+
 namespace {
 
 // Execution-chunk size when the table carries no zone index, and the
@@ -103,6 +109,15 @@ namespace {
 constexpr std::size_t kExecChunkRows = 4096;
 constexpr std::size_t kSegmentRows = 8192;
 constexpr std::size_t kMaxGroupKeys = 4;
+
+// A NaN-valued sum/mean is emitted as the canonical positive quiet NaN:
+// when several NaN payloads (or an inf + -inf indefinite) meet in `acc += v`,
+// which payload survives is an instruction-operand-order artifact the
+// compiler may legally flip between builds, so the canonical payload is the
+// only bit pattern that is actually deterministic. The oracle does the same.
+double canon_nan(double v) {
+  return std::isnan(v) ? std::numeric_limits<double>::quiet_NaN() : v;
+}
 
 std::string default_name(const AggSpec& a) {
   switch (a.kind) {
@@ -322,6 +337,17 @@ Table Query::run() const {
     }
   }
 
+  // Cancellation safe point: polled once per scan chunk and once per
+  // aggregation segment (coarse enough to stay off the per-row hot path).
+  // Throwing tears the run down through the pool's rethrow; stats_ is reset
+  // below and only assigned on success, so no partial accounting escapes.
+  const common::CancelToken* cancel = cancel_;
+  const auto check_cancel = [cancel] {
+    if (cancel != nullptr && cancel->stop_requested()) {
+      throw common::Cancelled("query abandoned at safe point");
+    }
+  };
+
   const ZoneIndex* zi = table_.zone_index();
   const bool prune =
       have_pred && zi != nullptr && !pred_->bounds().empty() && zi->chunks > 0;
@@ -353,8 +379,9 @@ Table Query::run() const {
   // --- phase 1: per-chunk selection vectors -------------------------------
   const std::size_t chunk_rows = prune ? zi->chunk_rows : kExecChunkRows;
   const std::size_t nchunks = nrows == 0 ? 0 : (nrows + chunk_rows - 1) / chunk_rows;
-  stats_ = QueryStats{};
-  if (prune) stats_.chunks_total = zi->chunks;
+  stats_ = QueryStats{};  // visible stats stay zeroed until the run completes
+  QueryStats st;
+  if (prune) st.chunks_total = zi->chunks;
 
   auto pool = common::make_pool(threads_, nchunks);
 
@@ -365,6 +392,7 @@ Table Query::run() const {
   std::vector<ChunkResult> chunks(identity ? 0 : nchunks);
   if (!identity) {
     common::for_each_unit(pool.get(), nchunks, [&](std::size_t ch) {
+      check_cancel();
       ChunkResult& res = chunks[ch];
       const std::size_t begin = ch * chunk_rows;
       const std::size_t end = std::min(nrows, begin + chunk_rows);
@@ -412,18 +440,18 @@ Table Query::run() const {
   std::size_t total_matches = 0;
   std::vector<std::uint32_t> matches;
   if (identity) {
-    stats_.rows_scanned = nrows;
+    st.rows_scanned = nrows;
     total_matches = nrows;
   } else {
     for (const auto& c : chunks) {
-      if (c.pruned) ++stats_.chunks_pruned;
-      stats_.rows_scanned += c.rows_scanned;
+      if (c.pruned) ++st.chunks_pruned;
+      st.rows_scanned += c.rows_scanned;
       total_matches += c.sel.size();
     }
     matches.reserve(total_matches);
     for (const auto& c : chunks) matches.insert(matches.end(), c.sel.begin(), c.sel.end());
   }
-  stats_.rows_matched = total_matches;
+  st.rows_matched = total_matches;
   const std::uint32_t* match_ptr = identity ? nullptr : matches.data();
 
   // --- phase 2: partial aggregation over canonical match-list segments ----
@@ -474,6 +502,7 @@ Table Query::run() const {
 
   std::vector<SegmentPartial> partials(nsegs);
   common::for_each_unit(pool.get(), nsegs, [&](std::size_t seg) {
+    check_cancel();
     SegmentPartial& part = partials[seg];
     const std::size_t begin = seg * kSegmentRows;
     const std::size_t end = std::min(total_matches, begin + kSegmentRows);
@@ -532,6 +561,7 @@ Table Query::run() const {
   });
 
   // --- merge partials in segment order (deterministic group order) --------
+  check_cancel();
   std::unordered_map<PackedKey, std::size_t, PackedKeyHash> groups;
   std::vector<std::size_t> group_example_row;
   std::vector<AggState> states;  // [group * naggs + agg]
@@ -572,13 +602,13 @@ Table Query::run() const {
       const std::string name = spec.as.empty() ? default_name(spec) : spec.as;
       switch (spec.kind) {
         case AggKind::kSum:
-          row.set(name, s.sum);
+          row.set(name, canon_nan(s.sum));
           break;
         case AggKind::kMean:
-          row.set(name, s.n > 0 ? s.sum / static_cast<double>(s.n) : 0.0);
+          row.set(name, s.n > 0 ? canon_nan(s.sum / static_cast<double>(s.n)) : 0.0);
           break;
         case AggKind::kWeightedMean:
-          row.set(name, s.wsum > 0.0 ? s.wvsum / s.wsum : 0.0);
+          row.set(name, s.wsum > 0.0 ? canon_nan(s.wvsum / s.wsum) : 0.0);
           break;
         case AggKind::kMax:
           row.set(name, s.n > 0 ? s.mx : 0.0);
@@ -592,6 +622,7 @@ Table Query::run() const {
       }
     }
   }
+  stats_ = st;
   return out;
 }
 

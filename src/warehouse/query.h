@@ -16,6 +16,7 @@
 #include <type_traits>
 #include <vector>
 
+#include "common/cancel.h"
 #include "warehouse/table.h"
 
 namespace supremm::warehouse {
@@ -123,10 +124,19 @@ class Query {
   /// Worker threads for run(): 1 (default) runs inline, 0 uses hardware
   /// concurrency. Results are identical for any setting.
   Query& threads(std::size_t n);
+  /// Cooperative cancellation: run() polls `token` once per scan chunk and
+  /// once per aggregation segment and throws common::Cancelled when it trips
+  /// (explicit cancel or expired deadline). The token must outlive run();
+  /// nullptr (default) disables the checks.
+  Query& cancel_token(const common::CancelToken* token);
 
+  /// Throws common::Cancelled if the cancel token tripped; on that path
+  /// stats() is left zeroed (no partial accounting escapes).
   [[nodiscard]] Table run() const;
 
-  /// Statistics from the most recent run() on this query object.
+  /// Statistics from the most recent run() on this query object. Reset at
+  /// the start of every run() and populated only on successful completion,
+  /// so a cancelled run reads as all-zero, never as a partial scan.
   [[nodiscard]] const QueryStats& stats() const noexcept { return stats_; }
 
  private:
@@ -135,6 +145,7 @@ class Query {
   std::vector<std::string> keys_;
   std::vector<AggSpec> aggs_;
   std::size_t threads_ = 1;
+  const common::CancelToken* cancel_ = nullptr;
   mutable QueryStats stats_;
 };
 
