@@ -7,8 +7,9 @@
 // of an incremental append that only covers new days, and (4) pruned vs
 // unpruned scans over the archived jobs table via zone maps.
 // A final section measures the multi-threaded partition codec (encode and
-// decode at 1/2/4/8 threads, asserting byte-identical output) and writes
-// the scaling curve to BENCH_archive.json.
+// decode at 1/2/4/8 threads, asserting byte-identical output), plus the
+// transactional commit's I/O overhead (op counts and the fsync durability
+// tax; DESIGN.md §14), and writes everything to BENCH_archive.json.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -224,6 +225,41 @@ int main() {
                 "bytes identical\n",
                 threads, t_enc, t_enc1 / t_enc, t_dec, t_dec1 / t_dec);
   }
+  // (6) Commit overhead: the transactional protocol (staging + COMMIT
+  // journal + fsyncs + atomic publish) taxes every append. Build the same
+  // archive twice through a counting policy — once durable, once with
+  // fsyncs elided — to price the protocol's op count and durability tax.
+  auto timed_build = [&](const fs::path& d, common::CountingIoPolicy* io) {
+    fs::remove_all(d);
+    etl::IngestConfig icfg;
+    icfg.start = live.start;
+    icfg.span = live.span;
+    icfg.cluster = live.spec.name;
+    archive::Archive a(d.string(), /*threads=*/1, io);
+    const auto s0 = std::chrono::steady_clock::now();
+    a.append(icfg, live.files, live.acct, live.lariat_records, live.catalogue,
+             etl::project_science_map(*live.population), "bench commit overhead",
+             live.start + live.span);
+    return seconds_since(s0);
+  };
+  common::CountingIoPolicy durable;
+  const double t_durable = timed_build(dir / "commit_durable", &durable);
+  common::CountingIoPolicy relaxed(/*skip_fsync=*/true);
+  const double t_relaxed = timed_build(dir / "commit_nofsync", &relaxed);
+  const std::uint64_t fsyncs = durable.count(common::IoOp::kFsync) +
+                               durable.count(common::IoOp::kFsyncDir);
+  std::printf("\n[commit] %llu I/O ops (%llu fsyncs) to commit %.1f MB; append "
+              "%.2f s durable vs %.2f s fsyncs elided (durability tax %.0f%%)\n",
+              static_cast<unsigned long long>(durable.total()),
+              static_cast<unsigned long long>(fsyncs), mb(durable.bytes_written()),
+              t_durable, t_relaxed, 100.0 * (t_durable - t_relaxed) / t_durable);
+  json.record("commit_overhead")
+      .num("io_ops", static_cast<double>(durable.total()))
+      .num("fsyncs", static_cast<double>(fsyncs))
+      .num("bytes_written_mb", mb(durable.bytes_written()))
+      .num("append_durable_s", t_durable)
+      .num("append_nofsync_s", t_relaxed)
+      .num("durability_tax", (t_durable - t_relaxed) / t_durable);
   json.write("BENCH_archive.json");
 
   fs::remove_all(dir);

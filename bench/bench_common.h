@@ -13,6 +13,7 @@
 #include <chrono>
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <utility>
 #include <variant>
 #include <vector>
@@ -60,16 +61,35 @@ inline void print_experiment_header(const char* id, const char* paper_claim) {
   std::printf("==============================================================\n");
 }
 
+/// Compile-target ISA, so numbers from different build hosts are comparable.
+inline const char* host_isa() {
+#if defined(__x86_64__) || defined(_M_X64)
+  return "x86_64";
+#elif defined(__aarch64__) || defined(_M_ARM64)
+  return "aarch64";
+#elif defined(__riscv)
+  return "riscv";
+#else
+  return "unknown";
+#endif
+}
+
 /// Machine-readable bench output (BENCH_*.json): a flat list of records,
 /// each a label plus numeric/string fields, so the perf trajectory can be
-/// tracked across PRs by external tooling. Usage:
+/// tracked across PRs by external tooling. Every file carries a `hardware`
+/// record (core count, ISA) so trajectories are only compared like-for-like.
+/// Usage:
 ///
 ///   BenchJson json("query");
 ///   json.record("group_by_threads").num("threads", 8).num("seconds", t);
 ///   json.write("BENCH_query.json");
 class BenchJson {
  public:
-  explicit BenchJson(std::string bench) : bench_(std::move(bench)) {}
+  explicit BenchJson(std::string bench) : bench_(std::move(bench)) {
+    record("hardware")
+        .num("cores", static_cast<double>(std::thread::hardware_concurrency()))
+        .str("isa", host_isa());
+  }
 
   class Record {
    public:

@@ -7,10 +7,12 @@
 # gets a chance to surface any thread-count- or interleaving-dependent
 # behavior the property tests are meant to rule out. Then runs the
 # `service`-labeled serving-tier suite (concurrent clients, cache identity,
-# cancellation) and finally the testkit smoke suites (`oracle` = differential query engine, `fuzz` =
-# archive bitstream mutations; DESIGN.md §12) and fails if they left any
-# testkit_seed_* replay files behind — a leftover seed file means a
-# divergence or contract violation was dumped for replay.
+# cancellation), the `crash`-labeled kill-point sweeps (DESIGN.md §14) —
+# failing if any archive commit left `.staging/` dirs or `COMMIT` journals
+# behind — and finally the testkit smoke suites (`oracle` = differential
+# query engine, `fuzz` = archive bitstream mutations; DESIGN.md §12),
+# failing if they left any testkit_seed_* replay files behind — a leftover
+# seed file means a divergence or contract violation was dumped for replay.
 #
 # Usage: scripts/check.sh [build-dir]   (default: build)
 set -euo pipefail
@@ -34,6 +36,17 @@ ctest --test-dir "${BUILD_DIR}" -L parallel --output-on-failure -j "${JOBS}"
 
 echo "== service suite: concurrent query service =="
 ctest --test-dir "${BUILD_DIR}" -L service --output-on-failure -j "${JOBS}"
+
+echo "== crash suite: kill-point sweeps + recovery properties =="
+ctest --test-dir "${BUILD_DIR}" -L crash --output-on-failure -j "${JOBS}"
+
+LEFTOVER_COMMITS="$(find "${BUILD_DIR}" . -maxdepth 3 \( -name 'COMMIT' -o -name '.staging' \) -print 2>/dev/null | sort -u)"
+if [ -n "${LEFTOVER_COMMITS}" ]; then
+  echo "check.sh: leftover archive commit staging/journal files (an interrupted"
+  echo "  commit was not recovered or a clean commit failed to GC):"
+  echo "${LEFTOVER_COMMITS}"
+  exit 1
+fi
 
 echo "== testkit smoke: oracle differential + archive fuzz =="
 ctest --test-dir "${BUILD_DIR}" -L oracle --output-on-failure -j "${JOBS}"

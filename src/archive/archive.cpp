@@ -18,6 +18,8 @@ namespace fs = std::filesystem;
 namespace {
 
 constexpr const char* kManifestName = "MANIFEST";
+constexpr const char* kCommitName = "COMMIT";      // journaled post-commit manifest
+constexpr const char* kStagingName = ".staging";   // per-commit staging area
 constexpr const char* kManifestHeader = "supremm-archive v1";
 
 std::string read_file(const fs::path& path) {
@@ -28,17 +30,21 @@ std::string read_file(const fs::path& path) {
   return data;
 }
 
-/// Write via a temp file + rename so a crash never leaves a half-written
-/// file under the final name.
-void write_file_atomic(const fs::path& path, std::string_view data) {
-  const fs::path tmp = path.string() + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) throw common::InvalidArgument("archive: cannot write " + tmp.string());
-    out.write(data.data(), static_cast<std::streamsize>(data.size()));
-    if (!out) throw common::InvalidArgument("archive: write failed for " + tmp.string());
+/// Write via a durable temp file + rename + directory fsync so a crash never
+/// leaves a half-written file under the final name and the publish itself is
+/// durable. A failed rename (cross-filesystem target, injected fault) is
+/// wrapped in a sourced ArchiveError naming the offending path instead of
+/// letting the raw filesystem exception escape.
+void write_file_atomic(const fs::path& path, std::string_view data,
+                       common::IoPolicy* io) {
+  const std::string tmp = path.string() + ".tmp";
+  common::io::write_file(tmp, data, io, /*durable=*/true);
+  try {
+    common::io::rename(tmp, path.string(), io);
+  } catch (const common::Error& e) {
+    throw common::ArchiveError("atomic publish of " + path.string() + " failed: " + e.what());
   }
-  fs::rename(tmp, path);
+  common::io::fsync_dir(path.parent_path().string(), io);
 }
 
 std::uint32_t parse_hex32(std::string_view s) {
@@ -69,6 +75,7 @@ std::string serialize_manifest(const Manifest& m) {
   out += "context " + m.context + "\n";
   out += common::strprintf("watermark %lld\n", static_cast<long long>(m.watermark));
   out += common::strprintf("rewrite_from %lld\n", static_cast<long long>(m.rewrite_from));
+  out += common::strprintf("epoch %llu\n", static_cast<unsigned long long>(m.epoch));
   for (const auto& p : m.partitions) {
     out += common::strprintf("p %s %lld %llu %08x %llu %s\n", p.table.c_str(),
                              static_cast<long long>(p.day),
@@ -115,6 +122,8 @@ Manifest parse_manifest(std::string_view text) {
       m.watermark = common::parse_i64(rest);
     } else if (key == "rewrite_from") {
       m.rewrite_from = common::parse_i64(rest);
+    } else if (key == "epoch") {
+      m.epoch = common::parse_u64(rest);
     } else if (key == "p") {
       const auto f = common::split_ws(rest);
       if (f.size() != 6) throw common::ParseError("archive: bad partition line in manifest");
@@ -150,33 +159,61 @@ std::optional<Manifest> try_load_manifest(const std::string& dir) {
 }
 
 /// Verify a partition file against its manifest record and decode it; on
-/// any failure record a quarantine entry and return nullopt.
+/// any failure record a quarantine entry — classed as missing (the manifest
+/// names a file that is gone) or corrupt (present but failing size/CRC/
+/// decode verification) — and return nullopt.
 std::optional<DecodedPartition> try_read_partition(
     const std::string& dir, const PartitionInfo& p,
     const std::vector<warehouse::PredicateBounds>* prune,
     std::vector<etl::PartitionQuarantine>& quarantined) {
-  auto reject = [&](std::string reason) {
-    quarantined.push_back({p.table, p.day, p.filename, std::move(reason)});
+  auto reject = [&](std::string reason, etl::PartitionFault fault) {
+    quarantined.push_back({p.table, p.day, p.filename, std::move(reason), fault});
     return std::nullopt;
   };
   std::string bytes;
   try {
     bytes = read_file(fs::path(dir) / p.filename);
+  } catch (const common::NotFoundError& e) {
+    return reject(e.what(), etl::PartitionFault::kMissing);
   } catch (const common::Error& e) {
-    return reject(e.what());
+    return reject(e.what(), etl::PartitionFault::kCorrupt);
   }
   if (bytes.size() != p.bytes) {
     return reject(common::strprintf("size mismatch: %zu bytes, manifest says %llu", bytes.size(),
-                                    static_cast<unsigned long long>(p.bytes)));
+                                    static_cast<unsigned long long>(p.bytes)),
+                  etl::PartitionFault::kCorrupt);
   }
-  if (common::crc32(bytes) != p.crc) return reject("file CRC mismatch");
+  if (common::crc32(bytes) != p.crc) {
+    return reject("file CRC mismatch", etl::PartitionFault::kCorrupt);
+  }
   try {
     DecodedPartition dp = decode_partition(bytes, prune);
-    if (dp.table.name() != p.table) return reject("table name mismatch");
+    if (dp.table.name() != p.table) {
+      return reject("table name mismatch", etl::PartitionFault::kCorrupt);
+    }
     return dp;
   } catch (const common::Error& e) {
-    return reject(e.what());
+    return reject(e.what(), etl::PartitionFault::kCorrupt);
   }
+}
+
+/// Quiet integrity probe used by recovery: does `path` hold exactly the
+/// bytes the manifest record promises?
+bool file_matches(const fs::path& path, const PartitionInfo& p) {
+  std::string bytes;
+  try {
+    bytes = read_file(path);
+  } catch (const common::Error&) {
+    return false;
+  }
+  return bytes.size() == p.bytes && common::crc32(bytes) == p.crc;
+}
+
+/// Best guess at the table an orphaned partition file belonged to, for the
+/// recovery quarantine record ("jobs-d000003-e000002.part" -> "jobs").
+std::string table_of_orphan(const std::string& filename) {
+  const std::size_t dash = filename.find('-');
+  return dash == std::string::npos ? filename : filename.substr(0, dash);
 }
 
 /// Natural sort-key column restoring the order ingest produced: jobs come
@@ -312,12 +349,189 @@ warehouse::Table Reader::table_pruned(std::string_view name,
 
 // --- Archive ---
 
-Archive::Archive(std::string dir, std::size_t threads)
-    : dir_(std::move(dir)), threads_(threads), manifest_(try_load_manifest(dir_)) {}
+Archive::Archive(std::string dir, std::size_t threads, common::IoPolicy* io)
+    : dir_(std::move(dir)), threads_(threads), io_(io) {
+  recover();
+  manifest_ = try_load_manifest(dir_);
+}
 
 const Manifest& Archive::manifest() const {
   if (!manifest_) throw common::NotFoundError("archive: " + dir_ + " is empty");
   return *manifest_;
+}
+
+void Archive::recover() {
+  namespace cio = common::io;
+  if (!fs::exists(dir_)) return;
+  const fs::path manifest_path = fs::path(dir_) / kManifestName;
+  const fs::path commit_path = fs::path(dir_) / kCommitName;
+  const fs::path staging = fs::path(dir_) / kStagingName;
+
+  // A journaled commit is trustworthy only if its manifest text parses and
+  // self-checksums; a torn COMMIT write fails the CRC and reads as absent.
+  std::optional<Manifest> journal;
+  if (fs::exists(commit_path)) {
+    try {
+      journal = parse_manifest(read_file(commit_path));
+    } catch (const common::Error&) {
+      journal.reset();
+    }
+  }
+  std::optional<Manifest> published;
+  bool manifest_damaged = false;
+  if (fs::exists(manifest_path)) {
+    try {
+      published = parse_manifest(read_file(manifest_path));
+    } catch (const common::Error&) {
+      manifest_damaged = true;  // externally damaged: the open will throw
+    }
+  }
+
+  // Roll forward: the journal is newer than the published manifest and every
+  // partition it names verifies (already moved into place, or still staged).
+  // The commit reached its durability point, so finishing it is mandatory —
+  // and idempotent, because each step checks before acting.
+  if (journal && (!published || journal->epoch > published->epoch)) {
+    bool complete = true;
+    for (const auto& p : journal->partitions) {
+      if (!file_matches(fs::path(dir_) / p.filename, p) &&
+          !file_matches(staging / p.filename, p)) {
+        complete = false;
+        break;
+      }
+    }
+    if (complete) {
+      for (const auto& p : journal->partitions) {
+        if (file_matches(fs::path(dir_) / p.filename, p)) continue;
+        cio::rename((staging / p.filename).string(),
+                    (fs::path(dir_) / p.filename).string(), io_);
+      }
+      cio::fsync_dir(dir_, io_);
+      cio::rename(commit_path.string(), manifest_path.string(), io_);
+      cio::fsync_dir(dir_, io_);
+      recovery_.commits_rolled_forward += 1;
+      published = std::move(journal);
+      journal.reset();
+      manifest_damaged = false;
+    }
+  }
+
+  if (manifest_damaged) return;  // cannot tell orphans apart; ctor throws ParseError
+
+  // Roll back: any COMMIT / staging remnant left at this point belongs to a
+  // commit that died before its durability point (or an unverifiable one).
+  // Discard it; the published manifest remains the archive's state.
+  bool discarded_commit = false;
+  if (fs::exists(commit_path)) {
+    cio::remove(commit_path.string(), io_);
+    discarded_commit = true;
+  }
+  if (fs::exists(staging)) {
+    // An empty staging dir is GC debris from a commit that already published
+    // (or rolled forward above) — removing it is housekeeping, not a
+    // discarded commit. Only staged payload files mark a real rollback.
+    for (const auto& entry : fs::directory_iterator(staging)) {
+      cio::remove(entry.path().string(), io_);
+      discarded_commit = true;
+    }
+    cio::remove(staging.string(), io_);
+  }
+  if (discarded_commit) recovery_.commits_rolled_back += 1;
+
+  // Orphan GC: partition files no manifest references (stale partitions a
+  // crashed post-publish cleanup left behind, or data from a discarded
+  // commit) and abandoned temp files. Quarantine-record each orphaned
+  // partition so the loss is visible to operators, then drop it.
+  std::vector<std::string> referenced_less_orphans;
+  std::vector<fs::path> orphans;
+  for (const auto& entry : fs::directory_iterator(dir_)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string name = entry.path().filename().string();
+    if (entry.path().extension() == ".tmp") {
+      orphans.push_back(entry.path());
+      continue;
+    }
+    if (entry.path().extension() != ".part") continue;
+    bool referenced = false;
+    if (published) {
+      for (const auto& p : published->partitions) {
+        if (p.filename == name) referenced = true;
+      }
+    }
+    if (!referenced) orphans.push_back(entry.path());
+  }
+  std::sort(orphans.begin(), orphans.end());  // deterministic accounting order
+  for (const auto& path : orphans) {
+    const std::string name = path.filename().string();
+    if (path.extension() == ".part") {
+      recovery_quarantines_.push_back({table_of_orphan(name), -1, name,
+                                       "orphaned by an interrupted commit; removed by recovery",
+                                       etl::PartitionFault::kOrphaned});
+    }
+    cio::remove(path.string(), io_);
+    recovery_.orphans_removed += 1;
+  }
+  if (discarded_commit || !orphans.empty()) cio::fsync_dir(dir_, io_);
+}
+
+void Archive::commit(Manifest& m, const std::vector<StagedPartition>& staged,
+                     const std::vector<std::string>& stale) {
+  namespace cio = common::io;
+  const fs::path staging = fs::path(dir_) / kStagingName;
+  // Phase 1 — up to and including the atomic publish. Any failure here is
+  // rolled back on the spot: scrub the staging remnants without consulting
+  // the policy (cleanup after an injected fault must not re-enter it), keep
+  // the pre-commit manifest, and surface a sourced ArchiveError. A
+  // SimulatedCrash is not a common::Error and flies through untouched.
+  try {
+    cio::mkdirs(dir_, io_);
+    cio::mkdirs(staging.string(), io_);
+    for (const auto& s : staged) {
+      cio::write_file((staging / s.info.filename).string(), s.bytes, io_, /*durable=*/true);
+    }
+    cio::fsync_dir(staging.string(), io_);
+    // Journal the complete post-commit manifest. Once COMMIT and the
+    // directory entries are durable the commit must survive any crash: this
+    // is the durability point recovery rolls forward from.
+    write_file_atomic(fs::path(dir_) / kCommitName, serialize_manifest(m), io_);
+    for (const auto& s : staged) {
+      cio::rename((staging / s.info.filename).string(),
+                  (fs::path(dir_) / s.info.filename).string(), io_);
+    }
+    cio::fsync_dir(dir_, io_);
+    // The atomic publish: readers see the old manifest until this rename.
+    cio::rename((fs::path(dir_) / kCommitName).string(), (fs::path(dir_) / kManifestName).string(),
+                io_);
+    cio::fsync_dir(dir_, io_);
+  } catch (const common::ArchiveError&) {
+    std::error_code ec;
+    fs::remove(fs::path(dir_) / kCommitName, ec);
+    fs::remove_all(staging, ec);
+    throw;
+  } catch (const common::Error& e) {
+    std::error_code ec;
+    fs::remove(fs::path(dir_) / kCommitName, ec);
+    fs::remove_all(staging, ec);
+    throw common::ArchiveError("commit to " + dir_ + " failed, pre-commit state kept: " +
+                               e.what());
+  }
+  // Phase 2 — cleanup after the publish. The commit has already succeeded;
+  // a failure here leaves only orphans, which the next open's recovery
+  // garbage-collects, so injected faults are swallowed (a SimulatedCrash
+  // still propagates: the process is "dead").
+  try {
+    for (const auto& f : stale) {
+      bool still_used = false;
+      for (const auto& p : m.partitions) {
+        if (p.filename == f) still_used = true;
+      }
+      if (!still_used) cio::remove((fs::path(dir_) / f).string(), io_);
+    }
+    cio::remove(staging.string(), io_);  // empty by now
+    cio::fsync_dir(dir_, io_);
+  } catch (const common::Error&) {
+    // orphaned stale files / staging dir; recovered at next open
+  }
 }
 
 AppendStats Archive::append(const etl::IngestConfig& cfg,
@@ -403,23 +617,29 @@ AppendStats Archive::append(const etl::IngestConfig& cfg,
     return false;
   });
 
-  fs::create_directories(dir_);
+  // Encode everything first (pure compute, parallel inside the codec); all
+  // disk I/O then happens inside the transactional commit. Filenames carry
+  // the commit epoch so a commit never overwrites a live file and the old
+  // manifest stays fully servable until the atomic publish.
+  const std::uint64_t epoch = m.epoch + 1;
+  const auto ell = static_cast<unsigned long long>(epoch);
   AppendStats stats;
   stats.days_ingested = day_end - prev_final;
+  std::vector<StagedPartition> staged;
   auto persist = [&](const warehouse::Table& t, std::int64_t day, std::string filename) {
-    const std::string bytes = encode_partition(t, day, kDefaultChunkRows, threads_);
-    PartitionInfo p;
-    p.table = t.name();
-    p.day = day;
-    p.rows = t.rows();
-    p.crc = common::crc32(bytes);
-    p.bytes = bytes.size();
-    p.filename = std::move(filename);
-    write_file_atomic(fs::path(dir_) / p.filename, bytes);
+    StagedPartition s;
+    s.bytes = encode_partition(t, day, kDefaultChunkRows, threads_);
+    s.info.table = t.name();
+    s.info.day = day;
+    s.info.rows = t.rows();
+    s.info.crc = common::crc32(s.bytes);
+    s.info.bytes = s.bytes.size();
+    s.info.filename = std::move(filename);
     ++stats.partitions_written;
-    stats.rows_written += p.rows;
-    stats.bytes_written += p.bytes;
-    m.partitions.push_back(std::move(p));
+    stats.rows_written += s.info.rows;
+    stats.bytes_written += s.info.bytes;
+    m.partitions.push_back(s.info);
+    staged.push_back(std::move(s));
   };
 
   // Jobs, partitioned by ending day. A job ending after `upto` is still
@@ -433,7 +653,7 @@ AppendStats Archive::append(const etl::IngestConfig& cfg,
   }
   for (const auto& [d, js] : jobs_by_day) {
     persist(jobs_table(js), d,
-            common::strprintf("jobs-d%06lld.part", static_cast<long long>(d)));
+            common::strprintf("jobs-d%06lld-e%06llu.part", static_cast<long long>(d), ell));
   }
 
   // System series, one partition per recomputed day.
@@ -441,24 +661,18 @@ AppendStats Archive::append(const etl::IngestConfig& cfg,
   for (std::int64_t d = prev_final; d < day_end; ++d) {
     const auto lo = static_cast<std::size_t>(d - day0) * bpd;
     persist(series_table(slice_series(res.series, lo, lo + bpd)), d,
-            common::strprintf("series-d%06lld.part", static_cast<long long>(d)));
+            common::strprintf("series-d%06lld-e%06llu.part", static_cast<long long>(d), ell));
   }
 
   // Per-host quality: a snapshot of this append's ingest window.
-  persist(quality_to_table(res.quality), -1, "data_quality-snapshot.part");
+  persist(quality_to_table(res.quality), -1,
+          common::strprintf("data_quality-snapshot-e%06llu.part", ell));
 
   m.watermark = upto;
   m.rewrite_from = day_end - 1;
-  write_file_atomic(fs::path(dir_) / kManifestName, serialize_manifest(m));
+  m.epoch = epoch;
+  commit(m, staged, stale);
 
-  // Only after the new manifest is durable, drop files it no longer names.
-  for (const auto& f : stale) {
-    bool still_used = false;
-    for (const auto& p : m.partitions) {
-      if (p.filename == f) still_used = true;
-    }
-    if (!still_used) fs::remove(fs::path(dir_) / f);
-  }
   manifest_ = std::move(m);
   for (const auto& hook : append_hooks_) hook(*manifest_);
   return stats;
@@ -524,7 +738,13 @@ LoadResult Archive::load() const {
     }
   }
 
-  out.result.quality.corrupt_partitions = out.quarantined;
+  // The quality report carries both load-time quarantines and what recovery
+  // did when this handle was opened (orphaned files first: they were
+  // discarded before anything was read).
+  out.result.quality.corrupt_partitions = recovery_quarantines_;
+  out.result.quality.corrupt_partitions.insert(out.result.quality.corrupt_partitions.end(),
+                                               out.quarantined.begin(), out.quarantined.end());
+  out.result.quality.recovery = recovery_;
   return out;
 }
 

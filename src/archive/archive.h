@@ -23,6 +23,20 @@
 // verification at load time are quarantined into
 // DataQualityReport::corrupt_partitions and the rest of the archive still
 // loads - the storage-layer extension of PR 1's salvage contract.
+//
+// Crash consistency (DESIGN.md §14): every commit — the first build and each
+// incremental append — stages its partition files in `<dir>/.staging/`,
+// fsyncs them, journals the complete post-commit manifest as `<dir>/COMMIT`
+// (fsynced file + directory: the durability point), moves the staged files
+// into place under epoch-qualified names that never collide with live ones,
+// and publishes with a single atomic COMMIT -> MANIFEST rename. All disk
+// mutations go through common::io so a test IoPolicy can kill the process
+// at any operation; opening an Archive then runs recovery that rolls a
+// complete journaled commit forward, rolls an incomplete one back, and
+// garbage-collects orphaned files, so the re-opened archive is always
+// exactly the pre- or post-commit state — never in between. Readers never
+// need recovery: the old manifest and every file it names stay untouched
+// until the atomic publish.
 #pragma once
 
 #include <cstdint>
@@ -34,7 +48,9 @@
 #include <vector>
 
 #include "archive/partition.h"
+#include "common/io.h"
 #include "etl/ingest.h"
+#include "etl/quality.h"
 
 namespace supremm::archive {
 
@@ -56,6 +72,11 @@ struct Manifest {
   std::string context;  // caller's config fingerprint; appends must match
   common::TimePoint watermark = 0;  // data before this time is archived
   std::int64_t rewrite_from = 0;    // first provisional day (absolute index)
+  /// Commit sequence number: 0 for an empty archive, +1 per published
+  /// commit. Qualifies partition filenames (so a commit never overwrites a
+  /// live file) and orders a journaled COMMIT against the manifest during
+  /// recovery. Absent from pre-epoch manifests, which parse as epoch 0.
+  std::uint64_t epoch = 0;
   std::vector<PartitionInfo> partitions;
 };
 
@@ -126,12 +147,18 @@ class Reader {
 /// load everything back as an IngestResult.
 class Archive {
  public:
-  /// Binds to `dir`. Reads the manifest if one exists; a missing manifest
-  /// means an empty archive (the first append creates it), a damaged one
-  /// throws ParseError. `threads` != 1 runs the partition codec on a worker
-  /// pool during append()/load() (0 = hardware concurrency); the files
-  /// written and data loaded are identical for any setting.
-  explicit Archive(std::string dir, std::size_t threads = 1);
+  /// Binds to `dir` and runs crash recovery: a complete journaled commit is
+  /// rolled forward, an incomplete one rolled back, and orphaned files are
+  /// garbage-collected (see recovery()). Then reads the manifest if one
+  /// exists; a missing manifest means an empty archive (the first append
+  /// creates it), a damaged one throws ParseError. `threads` != 1 runs the
+  /// partition codec on a worker pool during append()/load() (0 = hardware
+  /// concurrency); the files written and data loaded are identical for any
+  /// setting. `io` (borrowed, may be null) observes and may fail every disk
+  /// mutation this handle performs — the fault-injection seam for the crash
+  /// harness; production passes nullptr.
+  explicit Archive(std::string dir, std::size_t threads = 1,
+                   common::IoPolicy* io = nullptr);
 
   [[nodiscard]] const std::string& dir() const noexcept { return dir_; }
   [[nodiscard]] bool exists() const noexcept { return manifest_.has_value(); }
@@ -171,13 +198,40 @@ class Archive {
 
   /// Materialize the full archive as an IngestResult (jobs sorted by id,
   /// series over [start, watermark), latest quality snapshot). Damaged
-  /// partitions are quarantined into the result's DataQualityReport.
+  /// partitions are quarantined into the result's DataQualityReport, which
+  /// also carries this handle's recovery accounting.
   [[nodiscard]] LoadResult load() const;
 
+  /// What recovery did when this handle was opened (all-zero for a clean
+  /// open). Exact accounting: one rolled-forward or rolled-back commit at
+  /// most, plus every orphaned file removed.
+  [[nodiscard]] const etl::RecoveryStats& recovery() const noexcept { return recovery_; }
+  /// Orphaned partition files recovery discarded (fault = kOrphaned); also
+  /// folded into load()'s DataQualityReport.
+  [[nodiscard]] const std::vector<etl::PartitionQuarantine>& recovery_quarantines()
+      const noexcept {
+    return recovery_quarantines_;
+  }
+
  private:
+  /// Crash recovery, run once at open. See DESIGN.md §14.
+  void recover();
+  /// Durably publish `m` plus its freshly encoded partitions; `stale` names
+  /// files retired by this commit. On failure rolls the staging area back,
+  /// leaves the pre-commit state intact and throws ArchiveError.
+  struct StagedPartition {
+    PartitionInfo info;
+    std::string bytes;
+  };
+  void commit(Manifest& m, const std::vector<StagedPartition>& staged,
+              const std::vector<std::string>& stale);
+
   std::string dir_;
   std::size_t threads_ = 1;
+  common::IoPolicy* io_ = nullptr;
   std::optional<Manifest> manifest_;
+  etl::RecoveryStats recovery_;
+  std::vector<etl::PartitionQuarantine> recovery_quarantines_;
   std::vector<std::function<void(const Manifest&)>> append_hooks_;
 };
 

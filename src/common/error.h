@@ -33,6 +33,22 @@ class InvalidArgument : public Error {
   explicit InvalidArgument(const std::string& what) : Error("invalid argument: " + what) {}
 };
 
+/// Raised when a low-level file operation fails (open/write/fsync/rename/
+/// remove), real or injected; the message names the operation and path.
+class IoError : public Error {
+ public:
+  explicit IoError(const std::string& what) : Error("io error: " + what) {}
+};
+
+/// Raised when an archive commit cannot complete (full filesystem, failed
+/// rename, unwritable staging area); the message names the archive directory
+/// and the failing operation. The archive handle keeps serving the
+/// pre-commit state, and the next open rolls the aborted commit back.
+class ArchiveError : public Error {
+ public:
+  explicit ArchiveError(const std::string& what) : Error("archive error: " + what) {}
+};
+
 /// Raised when a computation is abandoned because its CancelToken tripped
 /// (explicit cancellation or an expired deadline). Partial results are
 /// discarded by the thrower; catching this means "no answer", never "a
@@ -45,9 +61,11 @@ class Cancelled : public Error {
 }  // namespace supremm::common
 
 namespace supremm {
+using common::ArchiveError;
 using common::Cancelled;
 using common::Error;
 using common::InvalidArgument;
+using common::IoError;
 using common::NotFoundError;
 using common::ParseError;
 }  // namespace supremm

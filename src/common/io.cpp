@@ -1,0 +1,185 @@
+#include "common/io.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <system_error>
+
+#include "common/error.h"
+
+namespace supremm::common {
+
+namespace fs = std::filesystem;
+
+std::string_view io_op_name(IoOp op) noexcept {
+  switch (op) {
+    case IoOp::kOpen: return "open";
+    case IoOp::kWrite: return "write";
+    case IoOp::kFsync: return "fsync";
+    case IoOp::kClose: return "close";
+    case IoOp::kRename: return "rename";
+    case IoOp::kRemove: return "remove";
+    case IoOp::kMkdir: return "mkdir";
+    case IoOp::kFsyncDir: return "fsync-dir";
+  }
+  return "unknown";
+}
+
+SimulatedCrash::SimulatedCrash(IoOp op, std::string path, std::uint64_t op_index)
+    : op_(op), op_index_(op_index) {
+  what_ = "simulated crash at io op #" + std::to_string(op_index_) + " (" +
+          std::string(io_op_name(op_)) + " " + path + ")";
+}
+
+IoDecision CountingIoPolicy::on_op(IoOp op, const std::string& path, std::size_t bytes) {
+  (void)path;
+  counts_[static_cast<std::size_t>(op)].fetch_add(1);
+  if (op == IoOp::kWrite) bytes_written_.fetch_add(bytes);
+  if (skip_fsync_ && (op == IoOp::kFsync || op == IoOp::kFsyncDir)) {
+    IoDecision d;
+    d.action = IoDecision::Action::kSkip;
+    return d;
+  }
+  return IoDecision::proceed();
+}
+
+std::uint64_t CountingIoPolicy::total() const noexcept {
+  std::uint64_t t = 0;
+  for (const auto& c : counts_) t += c.load();
+  return t;
+}
+
+namespace io {
+
+namespace {
+
+/// Bounded write-op size: large buffers become several ops, so a kill-point
+/// sweep lands inside multi-chunk partition writes, not only between files.
+constexpr std::size_t kWriteChunk = 64 * 1024;
+
+/// Consult the policy; returns the decision (throws IoError for kFail).
+IoDecision consult(IoPolicy* policy, IoOp op, const std::string& path, std::size_t bytes) {
+  if (policy == nullptr) return IoDecision::proceed();
+  IoDecision d = policy->on_op(op, path, bytes);
+  if (d.action == IoDecision::Action::kFail) {
+    throw IoError(std::string(io_op_name(op)) + " " + path + ": " +
+                  (d.error.empty() ? "injected failure" : d.error));
+  }
+  return d;
+}
+
+[[noreturn]] void throw_errno(IoOp op, const std::string& path) {
+  throw IoError(std::string(io_op_name(op)) + " " + path + ": " + std::strerror(errno));
+}
+
+void write_all(int fd, const char* data, std::size_t size, const std::string& path) {
+  std::size_t done = 0;
+  while (done < size) {
+    const ssize_t n = ::write(fd, data + done, size - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno(IoOp::kWrite, path);
+    }
+    done += static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace
+
+FileSink::FileSink(std::string path, IoPolicy* policy)
+    : path_(std::move(path)), policy_(policy) {
+  (void)consult(policy_, IoOp::kOpen, path_, 0);
+  fd_ = ::open(path_.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd_ < 0) throw_errno(IoOp::kOpen, path_);
+}
+
+FileSink::~FileSink() {
+  if (fd_ >= 0) ::close(fd_);  // abort path: no policy consult, best effort
+}
+
+void FileSink::write(std::string_view data) {
+  std::size_t pos = 0;
+  while (pos < data.size()) {
+    const std::size_t chunk = std::min(kWriteChunk, data.size() - pos);
+    const IoDecision d = consult(policy_, IoOp::kWrite, path_, chunk);
+    if (d.action == IoDecision::Action::kSkip) {
+      pos += chunk;
+      continue;
+    }
+    if (d.action == IoDecision::Action::kTornWrite) {
+      // A torn write only exists because the process died mid-write: persist
+      // the prefix, then crash.
+      const std::size_t torn = std::min(d.torn_bytes, chunk);
+      write_all(fd_, data.data() + pos, torn, path_);
+      ::close(fd_);
+      fd_ = -1;
+      throw SimulatedCrash(IoOp::kWrite, path_, 0);
+    }
+    write_all(fd_, data.data() + pos, chunk, path_);
+    pos += chunk;
+  }
+}
+
+void FileSink::fsync() {
+  const IoDecision d = consult(policy_, IoOp::kFsync, path_, 0);
+  if (d.action == IoDecision::Action::kSkip) return;
+  if (::fsync(fd_) != 0) throw_errno(IoOp::kFsync, path_);
+}
+
+void FileSink::close() {
+  (void)consult(policy_, IoOp::kClose, path_, 0);
+  if (fd_ >= 0) {
+    const int rc = ::close(fd_);
+    fd_ = -1;
+    if (rc != 0) throw_errno(IoOp::kClose, path_);
+  }
+}
+
+void write_file(const std::string& path, std::string_view data, IoPolicy* policy,
+                bool durable) {
+  FileSink sink(path, policy);
+  sink.write(data);
+  if (durable) sink.fsync();
+  sink.close();
+}
+
+void rename(const std::string& from, const std::string& to, IoPolicy* policy) {
+  (void)consult(policy, IoOp::kRename, from + " -> " + to, 0);
+  std::error_code ec;
+  fs::rename(from, to, ec);
+  if (ec) {
+    throw IoError("rename " + from + " -> " + to + ": " + ec.message());
+  }
+}
+
+void remove(const std::string& path, IoPolicy* policy) {
+  (void)consult(policy, IoOp::kRemove, path, 0);
+  std::error_code ec;
+  fs::remove(path, ec);  // missing target reports success (idempotent replay)
+  if (ec) throw IoError("remove " + path + ": " + ec.message());
+}
+
+void mkdirs(const std::string& path, IoPolicy* policy) {
+  (void)consult(policy, IoOp::kMkdir, path, 0);
+  std::error_code ec;
+  fs::create_directories(path, ec);
+  if (ec) throw IoError("mkdir " + path + ": " + ec.message());
+}
+
+void fsync_dir(const std::string& dir, IoPolicy* policy) {
+  const IoDecision d = consult(policy, IoOp::kFsyncDir, dir, 0);
+  if (d.action == IoDecision::Action::kSkip) return;
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) throw_errno(IoOp::kFsyncDir, dir);
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) throw_errno(IoOp::kFsyncDir, dir);
+}
+
+}  // namespace io
+
+}  // namespace supremm::common

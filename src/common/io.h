@@ -1,0 +1,156 @@
+// Fault-injectable durable file I/O (DESIGN.md §14).
+//
+// Every mutation the archive's commit protocol performs on disk — opening a
+// sink, writing bytes, fsyncing a file or directory, renaming, removing —
+// goes through this layer so a test policy can observe the exact operation
+// sequence and fail it at any point: crash dead at the Nth op, tear a write
+// in half, or return ENOSPC. Production passes a null policy and pays one
+// branch per operation.
+//
+// Crash model: a simulated crash stops the op sequence — everything already
+// performed is on disk, nothing later happens, and a torn write leaves a
+// prefix of the buffer. Writes are fsynced before any operation that
+// publishes them (the commit protocol orders write < fsync < rename <
+// fsync-dir), so the reachable crash states are exactly the prefixes of the
+// op sequence plus a torn final write. That is what the crash-loop harness
+// (tests/test_crash.cpp) enumerates.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <exception>
+#include <string>
+#include <string_view>
+
+namespace supremm::common {
+
+/// The operation vocabulary a policy can observe and fail.
+enum class IoOp : std::uint8_t {
+  kOpen,      // create/truncate a sink file
+  kWrite,     // append one buffer (size = byte count)
+  kFsync,     // flush a sink's data to stable storage
+  kClose,     // close a sink
+  kRename,    // atomically move a file to its final name
+  kRemove,    // unlink a file (or rmdir an empty directory)
+  kMkdir,     // create a directory chain
+  kFsyncDir,  // fsync a directory (makes renames/unlinks in it durable)
+};
+inline constexpr std::size_t kIoOpCount = 8;
+
+[[nodiscard]] std::string_view io_op_name(IoOp op) noexcept;
+
+/// Thrown by an IoPolicy (or by a sink completing a torn write) to simulate
+/// the process dying at an injected kill point. Deliberately NOT derived
+/// from common::Error: production code handles Error subtypes, and a
+/// simulated crash must never be "handled" — only the crash harness catches
+/// it, then re-opens the archive to exercise recovery.
+class SimulatedCrash : public std::exception {
+ public:
+  SimulatedCrash(IoOp op, std::string path, std::uint64_t op_index);
+  [[nodiscard]] const char* what() const noexcept override { return what_.c_str(); }
+  [[nodiscard]] IoOp op() const noexcept { return op_; }
+  [[nodiscard]] std::uint64_t op_index() const noexcept { return op_index_; }
+
+ private:
+  IoOp op_;
+  std::uint64_t op_index_;
+  std::string what_;
+};
+
+/// What a policy decides for one operation.
+struct IoDecision {
+  enum class Action : std::uint8_t {
+    kProceed,    // perform the op normally
+    kSkip,       // report success without performing the op (e.g. elide
+                 // fsyncs to measure the durability tax)
+    kFail,       // the op fails with IoError and no side effect (ENOSPC, ...)
+    kTornWrite,  // write only `torn_bytes` of the buffer, then crash
+  };
+  Action action = Action::kProceed;
+  std::size_t torn_bytes = 0;  // kTornWrite: bytes that reach the disk
+  std::string error;           // kFail: failure detail ("ENOSPC", ...)
+
+  [[nodiscard]] static IoDecision proceed() { return {}; }
+};
+
+/// Injection point consulted before every I/O operation. Implementations
+/// may throw SimulatedCrash (process death before the op) or return a
+/// decision that fails or tears it. The default policy (nullptr) proceeds.
+class IoPolicy {
+ public:
+  virtual ~IoPolicy() = default;
+  virtual IoDecision on_op(IoOp op, const std::string& path, std::size_t bytes) = 0;
+};
+
+/// Counts operations per kind (and bytes written) without failing anything;
+/// with `skip_fsync` it elides kFsync/kFsyncDir so a bench can measure the
+/// durability tax of a commit. Thread-safe.
+class CountingIoPolicy : public IoPolicy {
+ public:
+  explicit CountingIoPolicy(bool skip_fsync = false) : skip_fsync_(skip_fsync) {}
+
+  IoDecision on_op(IoOp op, const std::string& path, std::size_t bytes) override;
+
+  [[nodiscard]] std::uint64_t count(IoOp op) const noexcept {
+    return counts_[static_cast<std::size_t>(op)].load();
+  }
+  /// Total operations observed (the kill-point space of one commit).
+  [[nodiscard]] std::uint64_t total() const noexcept;
+  [[nodiscard]] std::uint64_t bytes_written() const noexcept { return bytes_written_.load(); }
+
+ private:
+  bool skip_fsync_;
+  std::array<std::atomic<std::uint64_t>, kIoOpCount> counts_{};
+  std::atomic<std::uint64_t> bytes_written_{0};
+};
+
+namespace io {
+
+/// A write-only file sink whose every operation consults `policy` (null =
+/// proceed). Data is written with POSIX fds so fsync() is a real fsync.
+/// Destruction without close() releases the fd without consulting the
+/// policy (the abort path must not re-enter injection).
+class FileSink {
+ public:
+  /// Opens (creates/truncates) `path`. Throws IoError on failure.
+  FileSink(std::string path, IoPolicy* policy);
+  ~FileSink();
+
+  FileSink(const FileSink&) = delete;
+  FileSink& operator=(const FileSink&) = delete;
+
+  /// Append `data`, chunked into bounded write ops so large buffers expose
+  /// several kill points. Throws IoError / SimulatedCrash per policy.
+  void write(std::string_view data);
+  /// fsync the file's data+metadata to stable storage.
+  void fsync();
+  /// Close the fd (consults the policy; further writes are invalid).
+  void close();
+
+ private:
+  std::string path_;
+  IoPolicy* policy_;
+  int fd_ = -1;
+};
+
+/// Write `data` to `path` (open + chunked writes + optional fsync + close).
+void write_file(const std::string& path, std::string_view data, IoPolicy* policy,
+                bool durable);
+
+/// Atomic rename; throws IoError naming both paths on failure.
+void rename(const std::string& from, const std::string& to, IoPolicy* policy);
+
+/// Unlink a file or remove an empty directory; missing targets are not an
+/// error (removal is idempotent so recovery can replay it).
+void remove(const std::string& path, IoPolicy* policy);
+
+/// Create `path` and any missing parents.
+void mkdirs(const std::string& path, IoPolicy* policy);
+
+/// fsync a directory, making the renames/unlinks inside it durable.
+void fsync_dir(const std::string& dir, IoPolicy* policy);
+
+}  // namespace io
+
+}  // namespace supremm::common

@@ -4,6 +4,15 @@
 
 namespace supremm::etl {
 
+const char* partition_fault_name(PartitionFault f) noexcept {
+  switch (f) {
+    case PartitionFault::kMissing: return "missing";
+    case PartitionFault::kCorrupt: return "corrupt";
+    case PartitionFault::kOrphaned: return "orphaned";
+  }
+  return "corrupt";
+}
+
 double HostQuality::coverage(common::Duration span) const noexcept {
   if (span <= 0) return 0.0;
   return std::min(1.0, covered_s / static_cast<double>(span));

@@ -38,14 +38,40 @@ struct HostQuality {
   [[nodiscard]] double coverage(common::Duration span) const noexcept;
 };
 
-/// One archive partition that failed its integrity checks (CRC mismatch,
-/// truncation, missing file) and was quarantined instead of aborting the
-/// load - the storage-layer extension of the salvage contract.
+/// How an archive partition failed: the three classes mean different things
+/// to an operator reading recovery statistics. A missing file points at
+/// filesystem loss or an interrupted publish; a corrupt file at bitrot or a
+/// torn write; an orphan at a commit that died before its manifest landed.
+enum class PartitionFault : std::uint8_t {
+  kMissing,   // the manifest names it but the file is gone
+  kCorrupt,   // present but fails size/CRC/decode verification
+  kOrphaned,  // present on disk but referenced by no manifest
+};
+
+[[nodiscard]] const char* partition_fault_name(PartitionFault f) noexcept;
+
+/// One archive partition that failed its integrity checks and was
+/// quarantined instead of aborting the load - the storage-layer extension
+/// of the salvage contract.
 struct PartitionQuarantine {
   std::string table;    // "jobs", "series", "data_quality"
   std::int64_t day = 0; // simulated day index; -1 for snapshot partitions
   std::string file;     // partition filename within the archive directory
   std::string reason;
+  PartitionFault fault = PartitionFault::kCorrupt;
+};
+
+/// Crash-recovery accounting from an archive open (DESIGN.md §14): what the
+/// roll-forward/roll-back pass did with the staging area and any stranded
+/// files before the archive was trusted.
+struct RecoveryStats {
+  std::uint64_t commits_rolled_forward = 0;  // staged commits published
+  std::uint64_t commits_rolled_back = 0;     // incomplete commits discarded
+  std::uint64_t orphans_removed = 0;         // stranded files garbage-collected
+
+  [[nodiscard]] bool any() const noexcept {
+    return commits_rolled_forward + commits_rolled_back + orphans_removed != 0;
+  }
 };
 
 /// Facility-wide data-quality report: one row per host plus the full
@@ -57,6 +83,9 @@ struct DataQualityReport {
   std::vector<taccstats::Quarantine> quarantines;
   /// Archive partitions dropped at load time (empty for live ingest).
   std::vector<PartitionQuarantine> corrupt_partitions;
+  /// Crash-recovery accounting from the archive open that produced this
+  /// report (all-zero for live ingest and clean opens).
+  RecoveryStats recovery;
 
   /// Mean coverage over hosts (node-second weighted).
   [[nodiscard]] double facility_coverage() const noexcept;

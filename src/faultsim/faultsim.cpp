@@ -731,4 +731,36 @@ InjectionReport FaultInjector::apply_archive(const std::string& dir) const {
   return rep;
 }
 
+common::IoDecision KillPointPolicy::on_op(common::IoOp op, const std::string& path,
+                                          std::size_t bytes) {
+  const std::uint64_t n = ops_.fetch_add(1) + 1;
+  if (n != kill_at_ || triggered_.exchange(true)) return common::IoDecision::proceed();
+  if (mode_ == Mode::kTornWrite && op == common::IoOp::kWrite && bytes > 0) {
+    // Persist a seeded prefix (possibly empty, never the whole buffer: that
+    // would be a completed write) before dying.
+    RngStream rng(seed_, "faultsim.torn", kill_at_);
+    common::IoDecision d;
+    d.action = common::IoDecision::Action::kTornWrite;
+    d.torn_bytes =
+        static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(bytes) - 1));
+    return d;
+  }
+  throw common::SimulatedCrash(op, path, n);
+}
+
+common::IoDecision EnospcPolicy::on_op(common::IoOp op, const std::string& path,
+                                       std::size_t bytes) {
+  (void)path;
+  (void)bytes;
+  const std::uint64_t n = ops_.fetch_add(1) + 1;
+  const bool consumes_space = op == common::IoOp::kOpen || op == common::IoOp::kWrite ||
+                              op == common::IoOp::kMkdir;
+  if (n < full_from_ || !consumes_space) return common::IoDecision::proceed();
+  failures_.fetch_add(1);
+  common::IoDecision d;
+  d.action = common::IoDecision::Action::kFail;
+  d.error = "ENOSPC (injected): no space left on device";
+  return d;
+}
+
 }  // namespace supremm::faultsim

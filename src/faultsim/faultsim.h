@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "accounting/accounting.h"
+#include "common/io.h"
 #include "facility/jobs.h"
 #include "lariat/lariat.h"
 #include "taccstats/writer.h"
@@ -134,6 +135,60 @@ class FaultInjector {
 
  private:
   FaultPlan plan_;
+};
+
+/// Deterministic seeded kill point for the archive's commit protocol
+/// (DESIGN.md §14): the process "dies" (common::SimulatedCrash) immediately
+/// before performing the `kill_at`-th I/O operation (1-based) — or, in torn
+/// mode, if that operation is a write, a seeded prefix of the buffer
+/// reaches the disk first. Count a commit's operations with
+/// common::CountingIoPolicy, then sweep kill_at over [1, total] to
+/// enumerate every reachable crash state. Fires at most once; thread-safe.
+class KillPointPolicy : public common::IoPolicy {
+ public:
+  enum class Mode : std::uint8_t {
+    kCrashBefore,  // die before the op: nothing of it reaches the disk
+    kTornWrite,    // tear the op if it is a write: a seeded prefix survives
+  };
+
+  KillPointPolicy(std::uint64_t kill_at, Mode mode = Mode::kCrashBefore,
+                  std::uint64_t seed = 0)
+      : kill_at_(kill_at), mode_(mode), seed_(seed) {}
+
+  common::IoDecision on_op(common::IoOp op, const std::string& path,
+                           std::size_t bytes) override;
+
+  /// Operations observed so far (whether or not the kill point fired).
+  [[nodiscard]] std::uint64_t ops_seen() const noexcept { return ops_.load(); }
+  /// Did the crash fire? False means the sweep ran past the op sequence.
+  [[nodiscard]] bool triggered() const noexcept { return triggered_.load(); }
+
+ private:
+  std::uint64_t kill_at_;
+  Mode mode_;
+  std::uint64_t seed_;
+  std::atomic<std::uint64_t> ops_{0};
+  std::atomic<bool> triggered_{false};
+};
+
+/// Injected disk-full: from the `full_from`-th operation onward (1-based),
+/// every space-consuming operation (open/write/mkdir) fails with ENOSPC.
+/// Unlike a kill point the process survives — the archive must abort the
+/// commit, keep the pre-commit state servable and surface an ArchiveError.
+class EnospcPolicy : public common::IoPolicy {
+ public:
+  explicit EnospcPolicy(std::uint64_t full_from) : full_from_(full_from) {}
+
+  common::IoDecision on_op(common::IoOp op, const std::string& path,
+                           std::size_t bytes) override;
+
+  [[nodiscard]] std::uint64_t ops_seen() const noexcept { return ops_.load(); }
+  [[nodiscard]] std::uint64_t failures() const noexcept { return failures_.load(); }
+
+ private:
+  std::uint64_t full_from_;
+  std::atomic<std::uint64_t> ops_{0};
+  std::atomic<std::uint64_t> failures_{0};
 };
 
 }  // namespace supremm::faultsim

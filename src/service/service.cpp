@@ -45,6 +45,15 @@ void ServiceConfig::validate() const {
         "ServiceConfig.default_deadline_ms must be positive (got %lld)",
         static_cast<long long>(default_deadline_ms)));
   }
+  if (stale_retry_limit < 0) {
+    throw common::InvalidArgument(common::strprintf(
+        "ServiceConfig.stale_retry_limit must be non-negative (got %d)", stale_retry_limit));
+  }
+  if (stale_retry_backoff_ms <= 0) {
+    throw common::InvalidArgument(common::strprintf(
+        "ServiceConfig.stale_retry_backoff_ms must be positive (got %lld)",
+        static_cast<long long>(stale_retry_backoff_ms)));
+  }
 }
 
 const char* to_string(Status s) {
@@ -54,6 +63,7 @@ const char* to_string(Status s) {
     case Status::kTimedOut: return "timed_out";
     case Status::kCancelled: return "cancelled";
     case Status::kError: return "error";
+    case Status::kStale: return "stale";
   }
   return "unknown";
 }
@@ -117,6 +127,10 @@ std::string to_json(const ServiceMetrics& m) {
       static_cast<unsigned long long>(m.cancelled),
       static_cast<unsigned long long>(m.errors));
   out += common::strprintf(
+      "\"degraded\":%s,\"stale_served\":%llu,\"republish_failures\":%llu,",
+      m.degraded ? "true" : "false", static_cast<unsigned long long>(m.stale_served),
+      static_cast<unsigned long long>(m.republish_failures));
+  out += common::strprintf(
       "\"cache\":{\"hits\":%llu,\"misses\":%llu,\"evictions\":%llu,"
       "\"entries\":%zu},",
       static_cast<unsigned long long>(m.cache_hits),
@@ -146,6 +160,7 @@ struct Job {
   Request request;
   std::string canonical;
   std::string cache_key;
+  bool stale = false;  // submitted while degraded: respond kStale, not kOk
   std::shared_ptr<const Service::Snapshot> snap;
   common::CancelToken token;
   Clock::time_point submitted;
@@ -239,6 +254,16 @@ void Service::bind_archive(archive::Archive& ar) {
   }
   const auto republish = [this, &ar] {
     const archive::LoadResult loaded = ar.load();
+    // Once a good snapshot is being served, a load that had to quarantine
+    // partitions is a degraded source — keep serving the retained snapshot
+    // in stale mode rather than publishing a partial view over it. (With
+    // nothing published yet, partial data beats no data: first bind
+    // publishes whatever loads, quarantines and all.)
+    if (!loaded.quarantined.empty() && snapshot() != nullptr) {
+      throw common::ArchiveError(common::strprintf(
+          "republish from '%s' quarantined %zu partitions; retaining previous snapshot",
+          ar.dir().c_str(), loaded.quarantined.size()));
+    }
     auto snap = std::make_shared<Snapshot>();
     snap->watermark = ar.watermark();
     warehouse::Table jt = archive::jobs_table(loaded.result.jobs);
@@ -257,9 +282,63 @@ void Service::bind_archive(archive::Archive& ar) {
         std::span<const etl::JobSummary>(loaded.result.jobs));
     publish_snapshot(std::move(snap));
   };
-  republish();
-  ar.on_append([republish](const archive::Manifest&) { republish(); });
+  {
+    std::lock_guard lock(degraded_mu_);
+    republish_ = republish;
+  }
+  republish();  // initial bind: failures propagate to the caller
+  // Appends republish through the degradation guard: a failure retains the
+  // pre-append snapshot and flips the service into stale mode instead of
+  // throwing into the archive writer.
+  ar.on_append([this](const archive::Manifest&) { try_republish(); });
 }
+
+bool Service::try_republish() {
+  std::function<void()> rep;
+  {
+    std::lock_guard lock(degraded_mu_);
+    rep = republish_;
+  }
+  if (!rep) return !degraded();
+  try {
+    rep();
+  } catch (const common::Error& e) {
+    {
+      std::lock_guard lock(metrics_mu_);
+      ++counters_.republish_failures;
+    }
+    std::lock_guard lock(degraded_mu_);
+    degraded_ = true;
+    degraded_reason_ = e.what();
+    const int shift = std::min(retries_used_, 10);
+    next_retry_ = Clock::now() + std::chrono::milliseconds(cfg_.stale_retry_backoff_ms *
+                                                           (std::int64_t{1} << shift));
+    return false;
+  }
+  std::lock_guard lock(degraded_mu_);
+  degraded_ = false;
+  degraded_reason_.clear();
+  retries_used_ = 0;
+  return true;
+}
+
+void Service::maybe_retry_republish() {
+  {
+    std::lock_guard lock(degraded_mu_);
+    if (!degraded_ || !republish_) return;
+    if (retries_used_ >= cfg_.stale_retry_limit) return;  // budget spent
+    if (Clock::now() < next_retry_) return;               // inside backoff
+    ++retries_used_;
+  }
+  (void)try_republish();
+}
+
+bool Service::degraded() const {
+  std::lock_guard lock(degraded_mu_);
+  return degraded_;
+}
+
+bool Service::refresh() { return try_republish(); }
 
 Ticket Service::submit(const std::string& client, std::string_view text,
                        std::int64_t deadline_ms) {
@@ -292,6 +371,11 @@ Ticket Service::submit(const std::string& client, std::string_view text,
     return Ticket(job);
   }
   job->canonical = print_request(job->request);
+  // Degraded mode: spend one bounded, backoff-spaced retry on getting
+  // healthy again, then serve whatever snapshot we hold — explicitly
+  // flagged stale if the retry did not recover.
+  if (degraded()) maybe_retry_republish();
+  job->stale = degraded();
   job->snap = snapshot();
 
   Response base;
@@ -311,7 +395,7 @@ Ticket Service::submit(const std::string& client, std::string_view text,
   job->cache_key = job->canonical + "#" + std::to_string(job->snap->epoch);
 
   if (auto hit = cache_.lookup(job->cache_key)) {
-    base.status = Status::kOk;
+    base.status = job->stale ? Status::kStale : Status::kOk;
     base.cache_hit = true;
     base.table = std::move(hit->table);
     base.stats = hit->stats;
@@ -399,7 +483,9 @@ void Service::execute(Job& job) {
         r.table = std::make_shared<const warehouse::Table>(
             job.snap->realm->report(job.request.report));
       }
-      r.status = Status::kOk;
+      // A degraded-mode run still caches: the result is correct for its
+      // (stale) epoch, and later stale hits serve from it.
+      r.status = job.stale ? Status::kStale : Status::kOk;
       cache_.insert(job.cache_key, CachedResult{r.table, r.stats});
     } catch (const common::Cancelled& e) {
       // No partial results escape: the executor threw before assigning its
@@ -441,6 +527,7 @@ void Service::finish(Job& job, Response r) {
       case Status::kTimedOut: ++counters_.timed_out; break;
       case Status::kCancelled: ++counters_.cancelled; break;
       case Status::kError: ++counters_.errors; break;
+      case Status::kStale: ++counters_.stale_served; break;
     }
     counters_.total_ms.add(r.total_ms);
   }
@@ -466,6 +553,10 @@ ServiceMetrics Service::metrics() const {
   {
     std::lock_guard lock(snap_mu_);
     m.epoch = epoch_;
+  }
+  {
+    std::lock_guard lock(degraded_mu_);
+    m.degraded = degraded_;
   }
   return m;
 }

@@ -30,12 +30,25 @@
 // publish during execution does not disturb in-flight requests (snapshots
 // are immutable and shared_ptr-held); their responses are simply cached
 // under the old epoch, where no future lookup will find them.
+//
+// Graceful degradation (DESIGN.md §14): when an archive-triggered republish
+// fails — the load throws, or partitions come back quarantined after an
+// append — the service keeps the last good snapshot and enters degraded
+// mode instead of erroring: every response (cache hit or fresh run against
+// the retained snapshot) is served with Status::kStale, explicitly flagging
+// that the data predates the failed republish, and metrics expose the
+// degraded flag plus a stale_served counter. Republish is retried with
+// bounded exponential backoff on the submit path (at most
+// stale_retry_limit attempts) and on explicit refresh(); the first success
+// publishes the fresh snapshot and clears stale mode.
 #pragma once
 
 #include <array>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -67,9 +80,17 @@ struct ServiceConfig {
   int cache_entries = 128;
   /// Default per-request deadline, applied when a submit does not override.
   std::int64_t default_deadline_ms = 30'000;
+  /// Bounded republish retries while degraded: at most this many automatic
+  /// re-attempts (submit-path, backoff-spaced) before only an explicit
+  /// refresh() can recover. 0 disables automatic retry.
+  int stale_retry_limit = 3;
+  /// Base backoff between automatic republish retries; doubles per failed
+  /// attempt (50, 100, 200, ... ms).
+  std::int64_t stale_retry_backoff_ms = 50;
 
-  /// Throws InvalidArgument naming the offending field: workers, queue_limit
-  /// and default_deadline_ms must be positive; cache_entries non-negative.
+  /// Throws InvalidArgument naming the offending field: workers, queue_limit,
+  /// default_deadline_ms and stale_retry_backoff_ms must be positive;
+  /// cache_entries and stale_retry_limit non-negative.
   void validate() const;
 };
 
@@ -79,6 +100,8 @@ enum class Status : std::uint8_t {
   kTimedOut,   // deadline expired (in queue or mid-execution)
   kCancelled,  // Ticket::cancel() observed (in queue or mid-execution)
   kError,      // parse error, unknown table/column, service stopped, ...
+  kStale,      // result table attached, but served from the retained
+               // pre-failure snapshot while the service is degraded
 };
 [[nodiscard]] const char* to_string(Status s);
 
@@ -91,8 +114,8 @@ struct Response {
   bool cache_hit = false;
   std::uint64_t epoch = 0;             // snapshot the request bound to
   common::TimePoint watermark = 0;     // that snapshot's ingest watermark
-  std::shared_ptr<const warehouse::Table> table;  // kOk only
-  warehouse::QueryStats stats;  // kOk query path (zero for reports/hits)
+  std::shared_ptr<const warehouse::Table> table;  // kOk / kStale only
+  warehouse::QueryStats stats;  // kOk/kStale query path (zero for reports/hits)
   double queue_ms = 0.0;  // submit -> dequeue (0 for immediate responses)
   double exec_ms = 0.0;   // dequeue -> finished
   double total_ms = 0.0;  // submit -> finished
@@ -178,6 +201,9 @@ struct ServiceMetrics {
   std::uint64_t timed_out = 0;
   std::uint64_t cancelled = 0;
   std::uint64_t errors = 0;
+  std::uint64_t stale_served = 0;        // responses flagged Status::kStale
+  std::uint64_t republish_failures = 0;  // failed archive republish attempts
+  bool degraded = false;                 // serving the retained stale snapshot
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_misses = 0;
   std::uint64_t cache_evictions = 0;
@@ -223,6 +249,15 @@ class Service {
   /// Epoch of the current snapshot (0 = nothing published yet).
   [[nodiscard]] std::uint64_t epoch() const;
 
+  /// Is the service serving the retained stale snapshot because the last
+  /// archive republish failed?
+  [[nodiscard]] bool degraded() const;
+
+  /// Explicitly re-attempt the archive republish (no-op unless bound to an
+  /// archive). Returns true if the service is healthy afterwards; a success
+  /// clears degraded mode and resets the automatic-retry budget.
+  bool refresh();
+
   [[nodiscard]] Session session(std::string client) {
     return Session(this, std::move(client));
   }
@@ -245,6 +280,12 @@ class Service {
   void finish(Job& job, Response r);
   void publish_snapshot(std::shared_ptr<Snapshot> snap);
   [[nodiscard]] std::shared_ptr<const Snapshot> snapshot() const;
+  /// One republish attempt; on failure records it and (re)enters degraded
+  /// mode. Returns true when the service is healthy afterwards.
+  bool try_republish();
+  /// Submit-path retry gate: attempt a republish only while degraded, within
+  /// the bounded retry budget, and past the current backoff window.
+  void maybe_retry_republish();
 
   ServiceConfig cfg_;
   ResultCache cache_;
@@ -252,6 +293,13 @@ class Service {
   mutable std::mutex snap_mu_;
   std::shared_ptr<const Snapshot> snap_;
   std::uint64_t epoch_ = 0;  // guarded by snap_mu_
+
+  mutable std::mutex degraded_mu_;  // guards the republish/degraded state
+  std::function<void()> republish_;  // set by bind_archive; throws on failure
+  bool degraded_ = false;
+  std::string degraded_reason_;
+  int retries_used_ = 0;
+  std::chrono::steady_clock::time_point next_retry_{};
 
   mutable std::mutex queue_mu_;
   std::condition_variable queue_cv_;

@@ -188,7 +188,24 @@ AsciiTable render_data_quality(const etl::DataQualityReport& q, std::size_t top_
                                 100.0 * q.facility_coverage(),
                                 static_cast<unsigned long long>(q.total_quarantined()));
   if (!q.corrupt_partitions.empty()) {
-    title += strprintf(", %zu corrupt archive partitions", q.corrupt_partitions.size());
+    // Count per fault class: a missing file, a corrupt one and an orphan
+    // point an operator at different failure modes (see PartitionFault).
+    std::size_t by_fault[3] = {0, 0, 0};
+    for (const auto& p : q.corrupt_partitions) {
+      ++by_fault[static_cast<std::size_t>(p.fault)];
+    }
+    const auto missing = by_fault[static_cast<std::size_t>(etl::PartitionFault::kMissing)];
+    const auto corrupt = by_fault[static_cast<std::size_t>(etl::PartitionFault::kCorrupt)];
+    const auto orphaned = by_fault[static_cast<std::size_t>(etl::PartitionFault::kOrphaned)];
+    if (corrupt != 0) title += strprintf(", %zu corrupt archive partitions", corrupt);
+    if (missing != 0) title += strprintf(", %zu missing archive partitions", missing);
+    if (orphaned != 0) title += strprintf(", %zu orphaned archive partitions", orphaned);
+  }
+  if (q.recovery.any()) {
+    title += strprintf(", recovery: %llu rolled forward / %llu rolled back / %llu orphans",
+                       static_cast<unsigned long long>(q.recovery.commits_rolled_forward),
+                       static_cast<unsigned long long>(q.recovery.commits_rolled_back),
+                       static_cast<unsigned long long>(q.recovery.orphans_removed));
   }
   AsciiTable t(title);
   t.header({"host", "coverage", "quarantined", "dups", "reorder", "resets", "rollover",
@@ -235,7 +252,7 @@ AsciiTable render_data_quality(const etl::DataQualityReport& q, std::size_t top_
   for (const auto& p : q.corrupt_partitions) {
     t.add_row()
         .cell(strprintf("[archive] %s", p.file.c_str()))
-        .cell("corrupt")
+        .cell(etl::partition_fault_name(p.fault))
         .cell(static_cast<std::int64_t>(0))
         .cell(static_cast<std::int64_t>(0))
         .cell(static_cast<std::int64_t>(0))

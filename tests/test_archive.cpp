@@ -309,8 +309,11 @@ TEST(ArchiveFaults, BitrotPartitionsAreQuarantined) {
   EXPECT_EQ(loaded.result.quality.corrupt_partitions.size(), loaded.quarantined.size());
 
   // Healthy days still load: every surviving jobs partition's rows appear.
+  // (The Archive must outlive the loop: iterating a temporary's member
+  // dangles under C++20 range-for lifetime rules.)
   std::set<std::int64_t> healthy_days;
-  for (const auto& p : ar::Archive(dir).manifest().partitions) {
+  ar::Archive reopened(dir);
+  for (const auto& p : reopened.manifest().partitions) {
     if (p.table == ar::kJobsTable && expect.count(p.filename) == 0) {
       healthy_days.insert(p.day);
     }

@@ -1,0 +1,582 @@
+// Crash-loop harness for the archive's transactional commit protocol
+// (DESIGN.md §14; ctest label `crash`).
+//
+// The core property: for EVERY reachable crash state of a commit — the
+// process dying immediately before the k-th I/O operation, or tearing the
+// k-th write — re-opening the archive runs recovery and lands bit-identically
+// on either the pre-commit or the post-commit directory state, never
+// anything in between. The sweep enumerates k = 1..N where N is the exact
+// operation count of the never-crashed commit (measured with
+// CountingIoPolicy), so no crash point is sampled away. Dir-snapshot
+// equality is byte equality of every file, which subsumes table identity;
+// the decoded-table oracle is additionally spot-checked.
+//
+// Also covered: ENOSPC mid-commit (the handle keeps serving the pre-commit
+// state and surfaces ArchiveError), recovery idempotence
+// (recover∘recover ≡ recover), post-recovery appends being byte-identical
+// to never-crashed appends for threads ∈ {1, 2, 8}, rename-failure
+// sourcing, and the service's degraded stale-serving mode.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "faultsim/faultsim.h"
+#include "service/service.h"
+#include "sim_fixture.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+using namespace supremm;
+namespace st = supremm::testing;
+
+// Micro corpus: the sweep re-runs ingest for every kill point, so the run
+// must be small; two days so the incremental scenario exercises the
+// provisional-day rewrite path.
+const st::SimRun& crash_run() {
+  static const st::SimRun run =
+      st::make_sim_run(facility::ranger(), 0.004, 2, 4242);
+  return run;
+}
+
+etl::IngestConfig crash_config(int days, std::size_t threads) {
+  const auto& run = crash_run();
+  etl::IngestConfig cfg;
+  cfg.start = run.start;
+  cfg.span = days * common::kDay;
+  cfg.cluster = run.spec.name;
+  cfg.threads = threads;
+  return cfg;
+}
+
+/// Append days [watermark, upto_days) of the crash corpus through `io`.
+archive::AppendStats append_days(const std::string& dir, int upto_days,
+                                 std::size_t threads, common::IoPolicy* io) {
+  const auto& run = crash_run();
+  archive::Archive ar(dir, threads, io);
+  return ar.append(crash_config(upto_days, threads), run.files, run.acct,
+                   run.lariat_records, run.catalogue,
+                   etl::project_science_map(*run.population), "crash-ctx",
+                   run.start + upto_days * common::kDay);
+}
+
+/// Relative path -> file bytes; directories appear as "<path>/" -> "". This
+/// is the bit-identity oracle: two equal snapshots are the same disk state.
+using DirSnapshot = std::map<std::string, std::string>;
+
+DirSnapshot snapshot_dir(const std::string& dir) {
+  DirSnapshot snap;
+  if (!fs::exists(dir)) return snap;
+  for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+    const std::string rel = fs::relative(entry.path(), dir).string();
+    if (entry.is_directory()) {
+      snap[rel + "/"] = "";
+      continue;
+    }
+    std::ifstream in(entry.path(), std::ios::binary);
+    snap[rel] = std::string((std::istreambuf_iterator<char>(in)),
+                            std::istreambuf_iterator<char>());
+  }
+  return snap;
+}
+
+void restore_dir(const std::string& dir, const DirSnapshot& snap) {
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  for (const auto& [rel, bytes] : snap) {
+    const fs::path path = fs::path(dir) / rel;
+    if (!rel.empty() && rel.back() == '/') {
+      fs::create_directories(path);
+      continue;
+    }
+    fs::create_directories(path.parent_path());
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+}
+
+std::string diff_keys(const DirSnapshot& a, const DirSnapshot& b) {
+  std::string out;
+  for (const auto& [k, v] : a) {
+    const auto it = b.find(k);
+    if (it == b.end()) {
+      out += " -" + k;
+    } else if (it->second != v) {
+      out += " ~" + k;
+    }
+  }
+  for (const auto& [k, v] : b) {
+    if (!a.count(k)) out += " +" + k;
+  }
+  return out.empty() ? " (identical)" : out;
+}
+
+/// One scenario of the sweep: `pre_days` already committed (0 = initial
+/// build from an empty directory), then a crash anywhere inside the commit
+/// that takes the archive to `post_days`.
+struct Scenario {
+  int pre_days = 0;
+  int post_days = 2;
+  std::size_t threads = 1;
+};
+
+/// Enumerate every kill point of the scenario's commit and assert the
+/// pre-or-post invariant plus recovery idempotence at each one. Returns the
+/// number of crash states tested (== the commit's I/O op count).
+std::uint64_t sweep_kill_points(const std::string& dir, const Scenario& sc,
+                                faultsim::KillPointPolicy::Mode mode) {
+  // Pre-commit reference state.
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  if (sc.pre_days > 0) append_days(dir, sc.pre_days, sc.threads, nullptr);
+  const DirSnapshot pre = snapshot_dir(dir);
+
+  // Never-crashed commit: measure the op sequence and the post state.
+  common::CountingIoPolicy counter;
+  append_days(dir, sc.post_days, sc.threads, &counter);
+  const std::uint64_t total = counter.total();
+  EXPECT_GE(total, 20u) << "commit too small to be a meaningful sweep";
+  const DirSnapshot post = snapshot_dir(dir);
+  for (const auto& [rel, bytes] : post) {
+    EXPECT_EQ(rel.rfind(".staging", 0), std::string::npos)
+        << "clean commit left staging remnant " << rel;
+    EXPECT_NE(rel, "COMMIT") << "clean commit left its journal behind";
+  }
+
+  // Oracle reference: the post-state tables, decoded.
+  archive::Reader post_reader(dir, 1);
+  const warehouse::Table post_jobs = post_reader.table("jobs");
+
+  bool seen_post = false;
+  for (std::uint64_t k = 1; k <= total; ++k) {
+    restore_dir(dir, pre);
+    faultsim::KillPointPolicy kp(k, mode, /*seed=*/k * 7919);
+    bool crashed = false;
+    try {
+      append_days(dir, sc.post_days, sc.threads, &kp);
+    } catch (const common::SimulatedCrash&) {
+      crashed = true;
+    }
+    EXPECT_TRUE(crashed) << "kill point " << k << "/" << total << " did not fire";
+    const DirSnapshot crashed_state = snapshot_dir(dir);
+
+    // Re-open: the constructor runs recovery.
+    archive::Archive recovered(dir, 1);
+    const DirSnapshot now = snapshot_dir(dir);
+    const bool is_pre = now == pre;
+    const bool is_post = now == post;
+    EXPECT_TRUE(is_pre || is_post)
+        << "kill point " << k << "/" << total << " left an intermediate state:"
+        << " vs pre:" << diff_keys(pre, now) << " | vs post:" << diff_keys(post, now);
+    if (!(is_pre || is_post)) return total;  // state dump above is enough
+
+    // Crash-before mode performs a strict prefix of the op sequence, so the
+    // outcome must be monotone: once a kill point rolls forward, every later
+    // one must too (the durability point is a single op index).
+    if (mode == faultsim::KillPointPolicy::Mode::kCrashBefore) {
+      if (seen_post) {
+        EXPECT_TRUE(is_post) << "non-monotone recovery at kill point " << k;
+      }
+    }
+    if (is_post) {
+      if (!seen_post) {
+        // First roll-forward: spot-check the decoded-table oracle on top of
+        // byte identity, and the recovery accounting.
+        archive::Reader r(dir, 1);
+        st::expect_tables_identical(r.table("jobs"), post_jobs);
+      }
+      seen_post = true;
+      // GC debris — an empty .staging/ dir left when the crash hit after the
+      // publish — is scrubbed by recovery without touching the counters, so
+      // strip it before deciding whether recovery had substantive work.
+      DirSnapshot substantive = crashed_state;
+      for (auto it = substantive.begin(); it != substantive.end();) {
+        if (it->first.rfind(".staging", 0) == 0) {
+          it = substantive.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      if (substantive == post) {
+        // Publish and GC payload were already fully on disk — recovery must
+        // not claim to have rolled anything forward or back.
+        EXPECT_EQ(recovered.recovery().commits_rolled_forward, 0u)
+            << "phantom roll-forward on an already-complete commit at k=" << k;
+        EXPECT_EQ(recovered.recovery().commits_rolled_back, 0u)
+            << "phantom rollback on an already-complete commit at k=" << k;
+      } else {
+        EXPECT_GE(recovered.recovery().commits_rolled_forward +
+                      recovered.recovery().orphans_removed,
+                  1u)
+            << "post state reached but recovery reports no work at k=" << k;
+      }
+    } else if (sc.pre_days > 0) {
+      // Rolled back: the retained manifest must still serve.
+      EXPECT_EQ(recovered.manifest().watermark,
+                sc.pre_days * common::kDay);
+    }
+
+    // Idempotence: a second open must find nothing to do and change nothing.
+    archive::Archive again(dir, 1);
+    EXPECT_FALSE(again.recovery().any())
+        << "second recovery did work at kill point " << k;
+    EXPECT_EQ(snapshot_dir(dir), now) << "second recovery changed the directory at k=" << k;
+  }
+  EXPECT_TRUE(seen_post) << "no kill point ever reached the post state";
+  return total;
+}
+
+std::string test_dir(const std::string& name) {
+  return (fs::path(::testing::TempDir()) / ("supremm_crash_" + name)).string();
+}
+
+TEST(CrashSweep, InitialBuildCrashBefore) {
+  sweep_kill_points(test_dir("init_before"), {0, 2, 1},
+                    faultsim::KillPointPolicy::Mode::kCrashBefore);
+}
+
+TEST(CrashSweep, InitialBuildTornWrite) {
+  sweep_kill_points(test_dir("init_torn"), {0, 2, 1},
+                    faultsim::KillPointPolicy::Mode::kTornWrite);
+}
+
+TEST(CrashSweep, IncrementalAppendCrashBefore) {
+  sweep_kill_points(test_dir("incr_before"), {1, 2, 1},
+                    faultsim::KillPointPolicy::Mode::kCrashBefore);
+}
+
+TEST(CrashSweep, IncrementalAppendTornWrite) {
+  sweep_kill_points(test_dir("incr_torn"), {1, 2, 1},
+                    faultsim::KillPointPolicy::Mode::kTornWrite);
+}
+
+// The codec runs on a worker pool while the commit I/O stays sequential: the
+// op sequence, and therefore every crash state, must be unchanged vs the
+// single-threaded sweeps above.
+TEST(CrashSweep, InitialBuildThreadedCrashBefore) {
+  sweep_kill_points(test_dir("init_threaded_before"), {0, 2, 8},
+                    faultsim::KillPointPolicy::Mode::kCrashBefore);
+}
+
+TEST(CrashSweep, InitialBuildThreadedTornWrite) {
+  sweep_kill_points(test_dir("init_threaded_torn"), {0, 2, 8},
+                    faultsim::KillPointPolicy::Mode::kTornWrite);
+}
+
+TEST(CrashSweep, IncrementalAppendThreadedCrashBefore) {
+  sweep_kill_points(test_dir("incr_threaded_before"), {1, 2, 8},
+                    faultsim::KillPointPolicy::Mode::kCrashBefore);
+}
+
+TEST(CrashSweep, IncrementalAppendThreadedTornWrite) {
+  sweep_kill_points(test_dir("incr_threaded_torn"), {1, 2, 8},
+                    faultsim::KillPointPolicy::Mode::kTornWrite);
+}
+
+// The acceptance floor: the sweeps above enumerate every op of eight commits
+// (initial and incremental, each × {1, 8} threads × {crash-before, torn}).
+// Recount the op space here (cheap: two counting commits) and hold the suite
+// to the "hundreds of seeded crash points" contract.
+TEST(CrashSweep, KillPointBudget) {
+  const std::string dir = test_dir("budget");
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  common::CountingIoPolicy initial;
+  append_days(dir, 2, 1, &initial);
+
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  append_days(dir, 1, 1, nullptr);
+  common::CountingIoPolicy incremental;
+  append_days(dir, 2, 1, &incremental);
+
+  // {init, incr} × {1, 8 threads} × {crash-before, torn-write}.
+  const std::uint64_t points = 4 * initial.total() + 4 * incremental.total();
+  EXPECT_GE(points, 300u) << "kill-point sweep space shrank below the acceptance floor: "
+                          << initial.total() << " initial + " << incremental.total()
+                          << " incremental ops";
+  fs::remove_all(dir);
+}
+
+TEST(CrashEnospc, EverySpaceOpKeepsPreCommitState) {
+  const std::string dir = test_dir("enospc");
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  append_days(dir, 1, 1, nullptr);
+  const DirSnapshot pre = snapshot_dir(dir);
+
+  common::CountingIoPolicy counter;
+  append_days(dir, 2, 1, &counter);
+  const std::uint64_t total = counter.total();
+  const DirSnapshot post = snapshot_dir(dir);
+
+  for (std::uint64_t f = 1; f <= total; ++f) {
+    restore_dir(dir, pre);
+    faultsim::EnospcPolicy disk_full(f);
+    bool failed = false;
+    std::string message;
+    common::TimePoint served_watermark = 0;
+    try {
+      const auto& run = crash_run();
+      archive::Archive ar(dir, 1, &disk_full);
+      ar.append(crash_config(2, 1), run.files, run.acct, run.lariat_records,
+                run.catalogue, etl::project_science_map(*run.population), "crash-ctx",
+                run.start + 2 * common::kDay);
+      served_watermark = ar.watermark();
+    } catch (const common::ArchiveError& e) {
+      failed = true;
+      message = e.what();
+    }
+    // Unlike a crash the process survives; the failure must be a sourced
+    // ArchiveError and the handle must keep serving the pre-commit state.
+    archive::Archive reopened(dir, 1);
+    const DirSnapshot now = snapshot_dir(dir);
+    if (failed) {
+      EXPECT_NE(message.find(dir), std::string::npos)
+          << "ArchiveError does not name the archive: " << message;
+      EXPECT_EQ(now, pre) << "ENOSPC at op " << f << " did not roll back:"
+                          << diff_keys(pre, now);
+      EXPECT_EQ(reopened.manifest().watermark, common::kDay);
+    } else {
+      // The disk filled after the publish: the commit stands, and any
+      // cleanup the failure skipped was garbage-collected on re-open.
+      EXPECT_EQ(served_watermark, 2 * common::kDay);
+      EXPECT_EQ(now, post) << "late ENOSPC at op " << f << " diverged:"
+                           << diff_keys(post, now);
+    }
+  }
+
+  // After an aborted commit the same data appends cleanly once space returns.
+  restore_dir(dir, pre);
+  {
+    faultsim::EnospcPolicy disk_full(3);
+    EXPECT_THROW(append_days(dir, 2, 1, &disk_full), common::ArchiveError);
+  }
+  append_days(dir, 2, 1, nullptr);
+  EXPECT_EQ(snapshot_dir(dir), post);
+  fs::remove_all(dir);
+}
+
+TEST(CrashRecovery, PostRecoveryAppendMatchesNeverCrashed) {
+  // Property: crash anywhere, recover, then append the same data — for any
+  // codec thread count the final directory is byte-identical to the
+  // never-crashed archive (which itself is thread-count-invariant).
+  const std::string dir = test_dir("reappend");
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  append_days(dir, 1, 1, nullptr);
+  const DirSnapshot pre = snapshot_dir(dir);
+
+  common::CountingIoPolicy counter;
+  append_days(dir, 2, 1, &counter);
+  const std::uint64_t total = counter.total();
+  const DirSnapshot post = snapshot_dir(dir);
+
+  const std::uint64_t kill_points[] = {1, total / 3, total / 2, total - 1, total};
+  const std::size_t thread_counts[] = {1, 2, 8};
+  for (const std::uint64_t k : kill_points) {
+    for (const std::size_t threads : thread_counts) {
+      restore_dir(dir, pre);
+      faultsim::KillPointPolicy kp(k);
+      EXPECT_THROW(append_days(dir, 2, threads, &kp), common::SimulatedCrash);
+      // Recovery happens inside the re-opened handle; the append then either
+      // redoes the commit (rolled back) or no-ops (rolled forward).
+      append_days(dir, 2, threads, nullptr);
+      EXPECT_EQ(snapshot_dir(dir), post)
+          << "k=" << k << " threads=" << threads << diff_keys(post, snapshot_dir(dir));
+    }
+  }
+  fs::remove_all(dir);
+}
+
+// A rename that fails outright (EXDEV-style, injected) must surface as a
+// sourced ArchiveError naming the path, not as a raw filesystem exception.
+TEST(CrashRecovery, FailedRenameIsSourcedArchiveError) {
+  class FailFirstRename : public common::IoPolicy {
+   public:
+    common::IoDecision on_op(common::IoOp op, const std::string&, std::size_t) override {
+      if (op == common::IoOp::kRename && !fired_) {
+        fired_ = true;
+        common::IoDecision d;
+        d.action = common::IoDecision::Action::kFail;
+        d.error = "EXDEV (injected): cross-device link";
+        return d;
+      }
+      return common::IoDecision::proceed();
+    }
+
+   private:
+    bool fired_ = false;
+  };
+
+  const std::string dir = test_dir("rename_fail");
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  FailFirstRename policy;
+  try {
+    append_days(dir, 2, 1, &policy);
+    FAIL() << "append with failing rename did not throw";
+  } catch (const common::ArchiveError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("COMMIT"), std::string::npos) << what;
+    EXPECT_NE(what.find("EXDEV"), std::string::npos) << what;
+  }
+  // The aborted build left no archive; a clean retry works.
+  append_days(dir, 2, 1, nullptr);
+  EXPECT_EQ(archive::Archive(dir, 1).manifest().watermark, 2 * common::kDay);
+  fs::remove_all(dir);
+}
+
+TEST(CrashRecovery, OrphanAccountingReachesQualityReport) {
+  const std::string dir = test_dir("orphans");
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  append_days(dir, 2, 1, nullptr);
+
+  // Strand a fake partition and a temp file, as an interrupted commit would.
+  {
+    std::ofstream(fs::path(dir) / "jobs-d000099-e000042.part") << "stranded";
+    std::ofstream(fs::path(dir) / "MANIFEST.tmp") << "stranded";
+  }
+  archive::Archive ar(dir, 1);
+  EXPECT_EQ(ar.recovery().orphans_removed, 2u);
+  EXPECT_EQ(ar.recovery().commits_rolled_forward, 0u);
+  EXPECT_EQ(ar.recovery().commits_rolled_back, 0u);
+  ASSERT_EQ(ar.recovery_quarantines().size(), 1u);  // only .part files are data
+  const auto& q = ar.recovery_quarantines()[0];
+  EXPECT_EQ(q.file, "jobs-d000099-e000042.part");
+  EXPECT_EQ(q.table, "jobs");
+  EXPECT_EQ(q.fault, etl::PartitionFault::kOrphaned);
+
+  const archive::LoadResult loaded = ar.load();
+  EXPECT_EQ(loaded.result.quality.recovery.orphans_removed, 2u);
+  ASSERT_FALSE(loaded.result.quality.corrupt_partitions.empty());
+  EXPECT_EQ(loaded.result.quality.corrupt_partitions[0].fault,
+            etl::PartitionFault::kOrphaned);
+  EXPECT_FALSE(fs::exists(fs::path(dir) / "jobs-d000099-e000042.part"));
+  EXPECT_FALSE(fs::exists(fs::path(dir) / "MANIFEST.tmp"));
+  fs::remove_all(dir);
+}
+
+TEST(CrashService, DegradedModeServesFlaggedStaleHits) {
+  namespace sv = service;
+  const std::string dir = test_dir("service");
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  append_days(dir, 2, 1, nullptr);
+  archive::Archive ar(dir, 1);
+
+  sv::ServiceConfig cfg;
+  cfg.workers = 2;
+  cfg.stale_retry_limit = 1;
+  cfg.stale_retry_backoff_ms = 1;
+  sv::Service svc(cfg);
+  svc.bind_archive(ar);
+  auto session = svc.session("operator");
+
+  const std::string query = "query jobs agg count()";
+  const auto healthy = session.run(query);
+  ASSERT_EQ(healthy->status, sv::Status::kOk) << healthy->error;
+  EXPECT_FALSE(svc.degraded());
+
+  // Quarantine a partition on disk: flip one byte in a live series file.
+  std::string victim;
+  for (const auto& p : ar.manifest().partitions) {
+    if (p.table == "series") victim = p.filename;
+  }
+  ASSERT_FALSE(victim.empty());
+  std::string bytes;
+  {
+    std::ifstream in(fs::path(dir) / victim, std::ios::binary);
+    bytes.assign((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  }
+  {
+    std::string damaged = bytes;
+    damaged[damaged.size() / 2] ^= 0x40;
+    std::ofstream out(fs::path(dir) / victim, std::ios::binary | std::ios::trunc);
+    out.write(damaged.data(), static_cast<std::streamsize>(damaged.size()));
+  }
+
+  // A republish now quarantines the partition: the service must keep the
+  // last good snapshot and flip into degraded mode, not error.
+  EXPECT_FALSE(svc.refresh());
+  EXPECT_TRUE(svc.degraded());
+
+  // Cache hit while degraded: flagged stale, same epoch, identical table.
+  const auto stale_hit = session.run(query);
+  ASSERT_EQ(stale_hit->status, sv::Status::kStale) << stale_hit->error;
+  EXPECT_TRUE(stale_hit->cache_hit);
+  EXPECT_EQ(stale_hit->epoch, healthy->epoch);
+  st::expect_tables_identical(*stale_hit->table, *healthy->table);
+
+  // Fresh run while degraded: executes against the retained snapshot and is
+  // flagged stale too — the service answers instead of erroring.
+  const auto stale_fresh = session.run("query jobs agg sum(node_hours)");
+  ASSERT_EQ(stale_fresh->status, sv::Status::kStale) << stale_fresh->error;
+  ASSERT_NE(stale_fresh->table, nullptr);
+
+  const auto m = svc.metrics();
+  EXPECT_TRUE(m.degraded);
+  EXPECT_GE(m.stale_served, 2u);
+  EXPECT_GE(m.republish_failures, 1u);
+  EXPECT_NE(svc.metrics_json().find("\"degraded\":true"), std::string::npos);
+
+  // Repair the partition; an explicit refresh recovers and serving goes
+  // back to kOk at a fresh epoch.
+  {
+    std::ofstream out(fs::path(dir) / victim, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  EXPECT_TRUE(svc.refresh());
+  EXPECT_FALSE(svc.degraded());
+  const auto recovered = session.run(query);
+  ASSERT_EQ(recovered->status, sv::Status::kOk) << recovered->error;
+  EXPECT_GT(recovered->epoch, healthy->epoch);
+  st::expect_tables_identical(*recovered->table, *healthy->table);
+  fs::remove_all(dir);
+}
+
+TEST(CrashService, RetryBudgetIsBounded) {
+  namespace sv = service;
+  const std::string dir = test_dir("retry_budget");
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  append_days(dir, 2, 1, nullptr);
+  archive::Archive ar(dir, 1);
+
+  sv::ServiceConfig cfg;
+  cfg.stale_retry_limit = 2;
+  cfg.stale_retry_backoff_ms = 1;
+  sv::Service svc(cfg);
+  svc.bind_archive(ar);
+  auto session = svc.session("operator");
+  ASSERT_EQ(session.run("query jobs agg count()")->status, sv::Status::kOk);
+
+  // Delete a partition outright (kMissing at load time) and degrade.
+  std::string victim;
+  for (const auto& p : ar.manifest().partitions) {
+    if (p.table == "jobs") victim = p.filename;
+  }
+  ASSERT_FALSE(victim.empty());
+  fs::remove(fs::path(dir) / victim);
+  EXPECT_FALSE(svc.refresh());
+  const std::uint64_t after_refresh = svc.metrics().republish_failures;
+
+  // Submits while degraded retry at most stale_retry_limit times in total;
+  // once the budget is spent they serve stale without touching the archive.
+  for (int i = 0; i < 8; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(3));
+    EXPECT_EQ(session.run("query jobs agg count()")->status, sv::Status::kStale);
+  }
+  const std::uint64_t total_failures = svc.metrics().republish_failures;
+  EXPECT_LE(total_failures, after_refresh + 2) << "retry budget not bounded";
+  EXPECT_TRUE(svc.degraded());
+  fs::remove_all(dir);
+}
+
+}  // namespace
