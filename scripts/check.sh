@@ -5,9 +5,12 @@
 # ROADMAP.md), then re-runs the `parallel`-labeled determinism tests twice:
 # once with a single ctest job and once with all cores, so scheduling jitter
 # gets a chance to surface any thread-count- or interleaving-dependent
-# behavior the property tests are meant to rule out. Then runs the
-# `service`-labeled serving-tier suite (concurrent clients, cache identity,
-# cancellation), the `crash`-labeled kill-point sweeps (DESIGN.md §14) —
+# behavior the property tests are meant to rule out. The `simd`-labeled
+# cross-ISA determinism suite then pins each dispatch tier (DESIGN.md §15),
+# and the kernel microbench must report bit_identical=1 for every kernel ×
+# tier in BENCH_kernels.json. Then runs the `service`-labeled serving-tier
+# suite (concurrent clients, cache identity, cancellation), the
+# `crash`-labeled kill-point sweeps (DESIGN.md §14) —
 # failing if any archive commit left `.staging/` dirs or `COMMIT` journals
 # behind — and finally the testkit smoke suites (`oracle` = differential
 # query engine, `fuzz` = archive bitstream mutations; DESIGN.md §12),
@@ -33,6 +36,18 @@ ctest --test-dir "${BUILD_DIR}" -L parallel --output-on-failure -j 1
 
 echo "== parallel determinism suite, concurrent ctest (-j ${JOBS}) =="
 ctest --test-dir "${BUILD_DIR}" -L parallel --output-on-failure -j "${JOBS}"
+
+echo "== simd suite: cross-ISA-tier determinism =="
+ctest --test-dir "${BUILD_DIR}" -L simd --output-on-failure -j "${JOBS}"
+
+echo "== kernel microbench: per-tier bit identity =="
+(cd "${BUILD_DIR}" && ./bench/bench_kernels > /dev/null)
+if grep -q '"bit_identical": 0' "${BUILD_DIR}/BENCH_kernels.json"; then
+  echo "check.sh: BENCH_kernels.json reports a kernel whose output diverges"
+  echo "  from the scalar tier (bit_identical: 0):"
+  grep '"bit_identical": 0' "${BUILD_DIR}/BENCH_kernels.json"
+  exit 1
+fi
 
 echo "== service suite: concurrent query service =="
 ctest --test-dir "${BUILD_DIR}" -L service --output-on-failure -j "${JOBS}"

@@ -9,7 +9,7 @@
 #include "common/checksum.h"
 #include "common/error.h"
 #include "common/strings.h"
-#include "common/thread_pool.h"
+#include "common/pool.h"
 
 namespace supremm::archive {
 
@@ -282,8 +282,7 @@ std::vector<DecodedPartition> Reader::decode_table(
   // quarantine list come out identical for any thread count.
   std::vector<std::optional<DecodedPartition>> decoded(parts.size());
   std::vector<std::vector<etl::PartitionQuarantine>> quarantines(parts.size());
-  auto pool = common::make_pool(threads_, parts.size());
-  common::for_each_unit(pool.get(), parts.size(), [&](std::size_t i) {
+  common::pool_run(parts.size(), threads_, 1, [&](std::size_t i) {
     decoded[i] = try_read_partition(dir_, *parts[i], prune, quarantines[i]);
   });
 
@@ -692,8 +691,7 @@ LoadResult Archive::load() const {
   // the result and the quarantine list are identical for any thread count.
   std::vector<std::optional<DecodedPartition>> decoded(parts.size());
   std::vector<std::vector<etl::PartitionQuarantine>> quarantines(parts.size());
-  auto pool = common::make_pool(threads_, parts.size());
-  common::for_each_unit(pool.get(), parts.size(), [&](std::size_t i) {
+  common::pool_run(parts.size(), threads_, 1, [&](std::size_t i) {
     decoded[i] = try_read_partition(dir_, *parts[i], nullptr, quarantines[i]);
   });
 

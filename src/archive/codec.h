@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/error.h"
+#include "common/simd.h"
 
 namespace supremm::archive {
 
@@ -137,20 +138,31 @@ inline void decode_i64_chunk(ByteReader& in, std::size_t n, std::vector<std::int
 }
 
 inline void encode_f64_chunk(std::span<const double> vals, std::string& out) {
-  std::uint64_t prev = 0;
-  for (const double v : vals) {
-    const auto bits = std::bit_cast<std::uint64_t>(v);
-    put_u64(out, bits ^ prev);
-    prev = bits;
+  const std::size_t n = vals.size();
+  if (n == 0) return;
+  // Vectorized XOR-delta (common/simd.h): out[i] = bits[i] ^ bits[i-1] has no
+  // serial dependence, unlike the decode recurrence. Integer XOR makes every
+  // ISA tier produce the same bytes.
+  std::vector<std::uint64_t> deltas(n);
+  common::simd::xor_delta_encode_f64(vals.data(), n, 0, deltas.data());
+  if constexpr (std::endian::native == std::endian::little) {
+    out.append(reinterpret_cast<const char*>(deltas.data()), n * 8);
+  } else {
+    for (const std::uint64_t d : deltas) put_u64(out, d);
   }
 }
 
 inline void decode_f64_chunk(ByteReader& in, std::size_t n, std::vector<double>& out) {
-  std::uint64_t prev = 0;
-  for (std::size_t i = 0; i < n; ++i) {
-    prev ^= in.u64();
-    out.push_back(std::bit_cast<double>(prev));
-  }
+  // One bulk bounds check for the whole chunk (the guard also keeps n * 8
+  // from overflowing on fuzzed row counts), then word-width prefix-XOR —
+  // replaces ByteReader::u64's eight per-byte checks per value.
+  if (n > in.remaining() / 8) throw common::ParseError("archive: truncated record");
+  if (n == 0) return;
+  const std::string_view raw = in.bytes(n * 8);
+  const std::size_t base = out.size();
+  out.resize(base + n);
+  common::simd::xor_delta_decode_f64(reinterpret_cast<const unsigned char*>(raw.data()), n,
+                                     0, out.data() + base);
 }
 
 inline void encode_codes_chunk(std::span<const std::int32_t> vals, std::string& out) {

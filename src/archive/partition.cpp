@@ -9,7 +9,7 @@
 #include "archive/codec.h"
 #include "common/checksum.h"
 #include "common/error.h"
-#include "common/thread_pool.h"
+#include "common/pool.h"
 #include "compress/lzss.h"
 
 namespace supremm::archive {
@@ -121,12 +121,12 @@ std::string encode_partition(const warehouse::Table& table, std::int64_t day,
     out.push_back(static_cast<char>(c.type()));
   }
 
-  auto pool = common::make_pool(threads, cols.size() * nchunks);
-
   // Zone maps up front so readers can decide chunk survival before touching
-  // any data block. Every (column, chunk) cell is independent.
+  // any data block. Every (column, chunk) cell is independent. Work runs on
+  // the shared pool (common/pool.h) with automatic batching, so small cells
+  // amortize claim traffic instead of paying per-call thread spawns.
   std::vector<Zone> zones(cols.size() * nchunks);
-  common::for_each_unit(pool.get(), zones.size(), [&](std::size_t i) {
+  common::pool_run(zones.size(), threads, 0, [&](std::size_t i) {
     const std::size_t c = i / nchunks;
     const std::size_t lo_row = (i % nchunks) * chunk_rows;
     zones[i] = zone_of(cols[c], lo_row, std::min(rows, lo_row + chunk_rows));
@@ -155,7 +155,7 @@ std::string encode_partition(const warehouse::Table& table, std::int64_t day,
   }
 
   std::vector<std::string> blocks(jobs.size());
-  common::for_each_unit(pool.get(), jobs.size(), [&](std::size_t j) {
+  common::pool_run(jobs.size(), threads, 0, [&](std::size_t j) {
     const warehouse::Column& c = cols[jobs[j].col];
     std::string raw;
     if (jobs[j].chunk < 0) {
@@ -330,8 +330,7 @@ DecodedPartition decode_partition(std::string_view bytes,
     }
   }
   std::vector<DecodedChunk> cells(work.size());
-  auto pool = common::make_pool(threads, work.size());
-  common::for_each_unit(pool.get(), work.size(), [&](std::size_t w) {
+  common::pool_run(work.size(), threads, 0, [&](std::size_t w) {
     const auto [c, ch] = work[w];
     const std::size_t lo_row = static_cast<std::size_t>(ch) * h.chunk_rows;
     const std::size_t n = std::min<std::size_t>(h.rows - lo_row, h.chunk_rows);

@@ -1,0 +1,180 @@
+#include "common/pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace supremm::common {
+
+namespace {
+
+/// A contiguous range of batch indices owned by one participant. `next` is
+/// claimed with fetch_add by the owner and by stealers alike, so a batch is
+/// executed exactly once no matter who gets it.
+struct Shard {
+  std::atomic<std::size_t> next{0};
+  std::size_t end = 0;
+};
+
+struct Job {
+  const std::function<void(std::size_t)>* fn = nullptr;
+  std::size_t units = 0;
+  std::size_t grain = 1;
+  std::vector<Shard> shards;
+  std::atomic<std::size_t> joined{0};  // participate() calls; picks a home shard
+  std::atomic<bool> failed{false};
+  std::exception_ptr error;  // guarded by the pool mutex
+  // Guarded by the pool mutex: helpers currently inside participate(), and
+  // the participant cap (caller + helpers).
+  std::size_t active_helpers = 0;
+  std::size_t participants = 1;  // the caller
+  std::size_t max_participants = 1;
+};
+
+}  // namespace
+
+struct WorkerPool::Impl {
+  std::mutex mu;
+  std::condition_variable work_cv;  // workers: a job was posted / shutting down
+  std::condition_variable done_cv;  // callers: a helper left a job
+  std::vector<Job*> jobs;           // jobs that may still have claimable batches
+  std::vector<std::thread> threads;
+  bool stop = false;
+
+  void unlist(Job* job) {  // caller holds mu
+    const auto it = std::find(jobs.begin(), jobs.end(), job);
+    if (it != jobs.end()) jobs.erase(it);
+  }
+
+  // Drain one job: claim batches from the home shard, then steal. Returns
+  // with no claimable work left in any shard (or the job failed).
+  void participate(Job& job) {
+    const std::size_t nshards = job.shards.size();
+    const std::size_t home = job.joined.fetch_add(1, std::memory_order_relaxed) % nshards;
+    for (std::size_t k = 0; k < nshards; ++k) {
+      Shard& shard = job.shards[(home + k) % nshards];
+      while (!job.failed.load(std::memory_order_relaxed)) {
+        const std::size_t batch = shard.next.fetch_add(1, std::memory_order_relaxed);
+        if (batch >= shard.end) break;
+        const std::size_t begin = batch * job.grain;
+        const std::size_t end = std::min(job.units, begin + job.grain);
+        try {
+          for (std::size_t i = begin; i < end; ++i) (*job.fn)(i);
+        } catch (...) {
+          std::lock_guard lock(mu);
+          if (!job.error) job.error = std::current_exception();
+          job.failed.store(true, std::memory_order_relaxed);
+        }
+      }
+    }
+  }
+
+  void worker_loop() {
+    std::unique_lock lock(mu);
+    std::size_t rr = 0;  // round-robin over concurrent jobs
+    while (true) {
+      work_cv.wait(lock, [this] { return stop || !jobs.empty(); });
+      if (stop) return;
+      Job* job = jobs[rr++ % jobs.size()];
+      if (job->participants >= job->max_participants) {
+        // Full house; drop the job from the list so this worker does not
+        // spin on it. The participants already in keep draining it.
+        unlist(job);
+        continue;
+      }
+      ++job->participants;
+      ++job->active_helpers;
+      lock.unlock();
+      participate(*job);
+      lock.lock();
+      // No claimable batches remain (claims only ever move forward), so
+      // stop offering the job to other workers.
+      unlist(job);
+      --job->active_helpers;
+      done_cv.notify_all();
+    }
+  }
+};
+
+WorkerPool::WorkerPool(std::size_t workers) : impl_(new Impl) {
+  impl_->threads.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    impl_->threads.emplace_back([impl = impl_] { impl->worker_loop(); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard lock(impl_->mu);
+    impl_->stop = true;
+  }
+  impl_->work_cv.notify_all();
+  for (auto& t : impl_->threads) t.join();
+  delete impl_;
+}
+
+std::size_t WorkerPool::workers() const noexcept { return impl_->threads.size(); }
+
+void WorkerPool::run(std::size_t n, std::size_t threads, std::size_t grain,
+                     const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (threads == 0) threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  const std::size_t max_parts =
+      std::min(threads, impl_->threads.size() + 1);  // caller + workers
+  if (max_parts <= 1 || n < 2) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  if (grain == 0) {
+    // A few batches per participant: enough slack for stealing to balance
+    // load, coarse enough that tiny units do not live on the claim counter.
+    grain = std::max<std::size_t>(1, n / (max_parts * 8));
+  }
+  const std::size_t nbatches = (n + grain - 1) / grain;
+
+  Job job;
+  job.fn = &fn;
+  job.units = n;
+  job.grain = grain;
+  job.max_participants = max_parts;
+  const std::size_t nshards = std::min(max_parts, nbatches);
+  job.shards = std::vector<Shard>(nshards);
+  const std::size_t per = nbatches / nshards;
+  const std::size_t extra = nbatches % nshards;
+  std::size_t next = 0;
+  for (std::size_t s = 0; s < nshards; ++s) {
+    const std::size_t take = per + (s < extra ? 1 : 0);
+    job.shards[s].next.store(next, std::memory_order_relaxed);
+    job.shards[s].end = next + take;
+    next += take;
+  }
+
+  {
+    std::lock_guard lock(impl_->mu);
+    impl_->jobs.push_back(&job);
+  }
+  impl_->work_cv.notify_all();
+
+  impl_->participate(job);
+
+  std::unique_lock lock(impl_->mu);
+  impl_->unlist(&job);  // no claimable work left; late workers must not see it
+  impl_->done_cv.wait(lock, [&job] { return job.active_helpers == 0; });
+  if (job.error) {
+    const std::exception_ptr err = job.error;
+    lock.unlock();
+    std::rethrow_exception(err);
+  }
+}
+
+WorkerPool& WorkerPool::shared() {
+  static WorkerPool pool(
+      std::thread::hardware_concurrency() > 1 ? std::thread::hardware_concurrency() - 1 : 0);
+  return pool;
+}
+
+}  // namespace supremm::common

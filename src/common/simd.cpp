@@ -1,0 +1,212 @@
+#include "common/simd.h"
+
+#include <atomic>
+#include <bit>
+#include <cstdlib>
+#include <cstring>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#define SUPREMM_SIMD_X86 1
+#endif
+
+namespace supremm::common::simd {
+
+namespace {
+
+Tier detect_hardware() noexcept {
+#ifdef SUPREMM_SIMD_X86
+  __builtin_cpu_init();
+  if (__builtin_cpu_supports("avx2")) return Tier::kAvx2;
+  if (__builtin_cpu_supports("sse2")) return Tier::kSse2;
+#endif
+  return Tier::kScalar;
+}
+
+// -1 = not yet resolved. set_tier() writes directly; active_tier() resolves
+// lazily from SUPREMM_SIMD so tests can set the variable before first use.
+std::atomic<int> g_active{-1};
+
+}  // namespace
+
+Tier hardware_tier() noexcept {
+  static const Tier t = detect_hardware();
+  return t;
+}
+
+bool parse_tier(std::string_view name, Tier* out) noexcept {
+  if (name == "scalar") {
+    *out = Tier::kScalar;
+  } else if (name == "sse2") {
+    *out = Tier::kSse2;
+  } else if (name == "avx2") {
+    *out = Tier::kAvx2;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+std::string_view tier_name(Tier t) noexcept {
+  switch (t) {
+    case Tier::kScalar:
+      return "scalar";
+    case Tier::kSse2:
+      return "sse2";
+    case Tier::kAvx2:
+      return "avx2";
+  }
+  return "scalar";
+}
+
+Tier active_tier() noexcept {
+  const int cached = g_active.load(std::memory_order_relaxed);
+  if (cached >= 0) return static_cast<Tier>(cached);
+  Tier t = hardware_tier();
+  if (const char* env = std::getenv("SUPREMM_SIMD")) {
+    Tier wanted = t;
+    if (parse_tier(env, &wanted) && wanted < t) t = wanted;
+  }
+  // First resolver wins; a concurrent set_tier() overrides via plain store.
+  int expected = -1;
+  g_active.compare_exchange_strong(expected, static_cast<int>(t), std::memory_order_relaxed);
+  return static_cast<Tier>(g_active.load(std::memory_order_relaxed));
+}
+
+void set_tier(Tier t) noexcept {
+  if (t > hardware_tier()) t = hardware_tier();
+  g_active.store(static_cast<int>(t), std::memory_order_relaxed);
+}
+
+// --- XOR-delta f64 ---------------------------------------------------------
+
+namespace {
+
+void xor_encode_scalar(const double* vals, std::size_t n, std::uint64_t prev,
+                       std::uint64_t* out) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t bits = std::bit_cast<std::uint64_t>(vals[i]);
+    out[i] = bits ^ prev;
+    prev = bits;
+  }
+}
+
+#ifdef SUPREMM_SIMD_X86
+
+void xor_encode_sse2(const double* vals, std::size_t n, std::uint64_t prev,
+                     std::uint64_t* out) {
+  std::size_t i = 0;
+  if (n != 0) {
+    out[0] = std::bit_cast<std::uint64_t>(vals[0]) ^ prev;
+    i = 1;
+  }
+  for (; i + 2 <= n; i += 2) {
+    const __m128i cur = _mm_loadu_si128(reinterpret_cast<const __m128i*>(vals + i));
+    const __m128i prv = _mm_loadu_si128(reinterpret_cast<const __m128i*>(vals + i - 1));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + i), _mm_xor_si128(cur, prv));
+  }
+  for (; i < n; ++i) {
+    out[i] = std::bit_cast<std::uint64_t>(vals[i]) ^ std::bit_cast<std::uint64_t>(vals[i - 1]);
+  }
+}
+
+__attribute__((target("avx2"))) void xor_encode_avx2(const double* vals, std::size_t n,
+                                                     std::uint64_t prev, std::uint64_t* out) {
+  std::size_t i = 0;
+  if (n != 0) {
+    out[0] = std::bit_cast<std::uint64_t>(vals[0]) ^ prev;
+    i = 1;
+  }
+  for (; i + 4 <= n; i += 4) {
+    const __m256i cur = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(vals + i));
+    const __m256i prv = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(vals + i - 1));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i), _mm256_xor_si256(cur, prv));
+  }
+  for (; i < n; ++i) {
+    out[i] = std::bit_cast<std::uint64_t>(vals[i]) ^ std::bit_cast<std::uint64_t>(vals[i - 1]);
+  }
+}
+
+#endif  // SUPREMM_SIMD_X86
+
+}  // namespace
+
+void xor_delta_encode_f64(const double* vals, std::size_t n, std::uint64_t prev,
+                          std::uint64_t* out) {
+#ifdef SUPREMM_SIMD_X86
+  switch (active_tier()) {
+    case Tier::kAvx2:
+      xor_encode_avx2(vals, n, prev, out);
+      return;
+    case Tier::kSse2:
+      xor_encode_sse2(vals, n, prev, out);
+      return;
+    case Tier::kScalar:
+      break;
+  }
+#endif
+  xor_encode_scalar(vals, n, prev, out);
+}
+
+void xor_delta_decode_f64(const unsigned char* src, std::size_t n, std::uint64_t prev,
+                          double* out) {
+  // Prefix-XOR is a serial recurrence; the win over ByteReader::u64 is the
+  // single bulk bounds check the caller already did plus word-width loads.
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint64_t word;
+    if constexpr (std::endian::native == std::endian::little) {
+      std::memcpy(&word, src + i * 8, 8);
+    } else {
+      word = 0;
+      for (int b = 7; b >= 0; --b) word = (word << 8) | src[i * 8 + b];
+    }
+    prev ^= word;
+    out[i] = std::bit_cast<double>(prev);
+  }
+}
+
+// --- match length ----------------------------------------------------------
+
+namespace {
+
+std::size_t match_scalar(const unsigned char* a, const unsigned char* b,
+                         std::size_t limit) noexcept {
+  std::size_t len = 0;
+  while (len < limit && a[len] == b[len]) ++len;
+  return len;
+}
+
+#ifdef SUPREMM_SIMD_X86
+
+// One 16-byte compare covers the whole LZSS match range (kMaxMatch = 18):
+// the first mismatch position comes from cmpeq + movemask + ctz, and only a
+// full-width match longer than 16 falls back to byte extension.
+std::size_t match_sse2(const unsigned char* a, const unsigned char* b,
+                       std::size_t limit) noexcept {
+  const __m128i va = _mm_loadu_si128(reinterpret_cast<const __m128i*>(a));
+  const __m128i vb = _mm_loadu_si128(reinterpret_cast<const __m128i*>(b));
+  const unsigned mask =
+      static_cast<unsigned>(_mm_movemask_epi8(_mm_cmpeq_epi8(va, vb))) ^ 0xffffu;
+  if (mask != 0) {
+    const std::size_t len = static_cast<std::size_t>(std::countr_zero(mask));
+    return len < limit ? len : limit;
+  }
+  if (limit <= 16) return limit;
+  std::size_t len = 16;
+  while (len < limit && a[len] == b[len]) ++len;
+  return len;
+}
+
+#endif  // SUPREMM_SIMD_X86
+
+}  // namespace
+
+std::size_t match_length(const unsigned char* a, const unsigned char* b,
+                         std::size_t limit) noexcept {
+#ifdef SUPREMM_SIMD_X86
+  if (active_tier() != Tier::kScalar) return match_sse2(a, b, limit);
+#endif
+  return match_scalar(a, b, limit);
+}
+
+}  // namespace supremm::common::simd

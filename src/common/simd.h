@@ -1,0 +1,63 @@
+// Runtime ISA dispatch for the explicit SIMD kernel layer (DESIGN.md §15).
+//
+// The query engine and the archive codec ship scalar, SSE2 and AVX2 variants
+// of their hot inner loops. One tier is selected per process — detected from
+// cpuid on first use, overridable with SUPREMM_SIMD=scalar|sse2|avx2 for
+// testing and with set_tier() from in-process tests. Every kernel pair is
+// bit-identical by construction (integer kernels trivially; floating-point
+// kernels via the canonical lane scheme in warehouse/kernels.h), so the tier
+// never changes results, group order, QueryStats or archive bytes — only
+// throughput.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace supremm::common::simd {
+
+/// ISA tiers, ordered: a tier implies every lower one. On non-x86 builds the
+/// hardware tier is kScalar and the vector kernels are compiled out.
+enum class Tier : std::uint8_t { kScalar = 0, kSse2 = 1, kAvx2 = 2 };
+
+/// Best tier the running CPU supports (cpuid; cached after the first call).
+[[nodiscard]] Tier hardware_tier() noexcept;
+
+/// Tier kernels dispatch on: hardware_tier() clamped by the SUPREMM_SIMD
+/// environment variable (read once, on first use; unrecognized values are
+/// ignored) and by any set_tier() call. Never exceeds hardware_tier().
+[[nodiscard]] Tier active_tier() noexcept;
+
+/// Test hook: force `t` (clamped to hardware_tier()) for subsequent kernel
+/// dispatch in this process. Not thread-safe against concurrent queries —
+/// call it only from test setup, between runs.
+void set_tier(Tier t) noexcept;
+
+/// "scalar", "sse2" or "avx2".
+[[nodiscard]] std::string_view tier_name(Tier t) noexcept;
+
+/// Parse a tier name (the SUPREMM_SIMD syntax). Returns false — and leaves
+/// `*out` alone — for anything unrecognized.
+[[nodiscard]] bool parse_tier(std::string_view name, Tier* out) noexcept;
+
+// --- archive codec kernels (integer → bit-identical across tiers) ---------
+
+/// out[i] = bits(vals[i]) ^ bits(vals[i-1]), with `prev` standing in for
+/// vals[-1]. The XOR-delta transform behind encode_f64_chunk.
+void xor_delta_encode_f64(const double* vals, std::size_t n, std::uint64_t prev,
+                          std::uint64_t* out);
+
+/// Inverse transform: prefix-XOR little-endian words from `src` (unaligned,
+/// n * 8 bytes) into doubles. Sequential dependence keeps it scalar, but the
+/// single-bulk-load form replaces ByteReader's per-byte assembly.
+void xor_delta_decode_f64(const unsigned char* src, std::size_t n, std::uint64_t prev,
+                          double* out);
+
+/// Length of the common prefix of a[0..limit) and b[0..limit). The caller
+/// must guarantee at least 16 readable bytes at both pointers whenever
+/// limit > 0 (the LZSS window always has them away from the stream tail);
+/// the scalar tier never reads past the first mismatch or `limit`.
+[[nodiscard]] std::size_t match_length(const unsigned char* a, const unsigned char* b,
+                                       std::size_t limit) noexcept;
+
+}  // namespace supremm::common::simd

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/error.h"
+#include "common/simd.h"
 
 namespace supremm::compress {
 
@@ -111,18 +112,33 @@ void StreamCompressor::encode_upto(std::size_t stop) {
     if (i + kMinMatch <= n) {
       std::int64_t cand = head_[hash3(at(i))];
       int probes = 32;
+      // Away from the stream tail every candidate comparison has a full
+      // 16-byte lookahead, so one cmpeq+movemask finds the first mismatch
+      // (kMaxMatch is 18 — at most two extension bytes follow). The tail
+      // keeps the byte loop; both produce the exact prefix length, so the
+      // token stream is bit-identical across ISA tiers.
+      const bool wide = i + 16 <= n;
+      const std::size_t limit = std::min(kMaxMatch, n - i);
       while (cand >= 0 && probes-- > 0) {
         const auto c = static_cast<std::size_t>(cand);
         if (i - c > kWindow) break;
-        const std::size_t limit = std::min(kMaxMatch, n - i);
+        const std::int64_t next = chain_[c % kWindow];
+        // Candidates arrive newest-first; pulling the older one's bytes in
+        // early hides the dependent-load latency of the chain walk.
+        if (next >= 0 && static_cast<std::size_t>(next) >= base) {
+          __builtin_prefetch(data + (static_cast<std::size_t>(next) - base));
+        }
         std::size_t len = 0;
-        while (len < limit && *(at(c) + len) == *(at(i) + len)) ++len;
+        if (wide) {
+          len = common::simd::match_length(at(c), at(i), limit);
+        } else {
+          while (len < limit && *(at(c) + len) == *(at(i) + len)) ++len;
+        }
         if (len > best_len) {
           best_len = len;
           best_dist = i - c;
           if (len == kMaxMatch) break;
         }
-        const std::int64_t next = chain_[c % kWindow];
         // The chain slot may have been overwritten by a newer position.
         if (next >= cand) break;
         cand = next;

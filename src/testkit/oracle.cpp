@@ -63,6 +63,12 @@ std::string agg_output_name(const AggSpec& a) {
 // within a segment, and the identical operations again when folding segment
 // partials. std::min/std::max return the first argument when the second is
 // NaN, so NaN values poison sums but never the min/max fields.
+//
+// Ungrouped queries (empty group_by) are the exception: the contract routes
+// element j of a segment to accumulator lane j % 8 and folds the lanes with
+// the fixed pairwise trees below (DESIGN.md §15) — the order a width-4
+// vector unit with two accumulators produces. The oracle implements that
+// scheme here, independently of the engine's kernels.
 struct AggState {
   double sum = 0.0;
   double wsum = 0.0;
@@ -79,6 +85,25 @@ void merge_state(AggState& into, const AggState& from) {
   into.mn = std::min(into.mn, from.mn);
   into.mx = std::max(into.mx, from.mx);
   into.n += from.n;
+}
+
+constexpr std::size_t kLanes = 8;
+
+// The canonical lane folds: lane k joins lane k+4, then k+2, then the final
+// pair. Min/max ties (and only ties — lanes never hold NaN) resolve to the
+// second operand, the minpd/maxpd convention the contract fixes.
+double fold8_sum(const double* l) {
+  return ((l[0] + l[4]) + (l[2] + l[6])) + ((l[1] + l[5]) + (l[3] + l[7]));
+}
+
+double fold8_min(const double* l) {
+  const auto m = [](double a, double b) { return a < b ? a : b; };
+  return m(m(m(l[0], l[4]), m(l[2], l[6])), m(m(l[1], l[5]), m(l[3], l[7])));
+}
+
+double fold8_max(const double* l) {
+  const auto m = [](double a, double b) { return a > b ? a : b; };
+  return m(m(m(l[0], l[4]), m(l[2], l[6])), m(m(l[1], l[5]), m(l[3], l[7])));
 }
 
 bool term_matches(const Table& t, const PredTerm& term, std::size_t r) {
@@ -302,6 +327,76 @@ QueryRun run_oracle(const Table& table, const QuerySpec& spec) {
     Partial& part = partials[seg];
     const std::size_t begin = seg * kSegmentRows;
     const std::size_t end = std::min(total, begin + kSegmentRows);
+    if (spec.group_by.empty()) {
+      // Ungrouped: the 8-lane contract. One group per segment; each agg
+      // accumulates per lane and folds once, touching only the fields its
+      // kind emits (the rest stay at their merge-neutral defaults).
+      const std::size_t len = end - begin;
+      part.lookup.emplace(Key{}, 0);
+      part.keys.emplace_back();
+      part.example_row.push_back(matches[begin]);
+      part.states.resize(naggs);
+      for (std::size_t a = 0; a < naggs; ++a) {
+        const AggSpec& agg = spec.aggs[a];
+        AggState& s = part.states[a];
+        s.n = static_cast<std::int64_t>(len);
+        if (agg.kind == AggKind::kCount) continue;
+        double lane_sum[kLanes] = {0, 0, 0, 0, 0, 0, 0, 0};
+        double lane_w[kLanes] = {0, 0, 0, 0, 0, 0, 0, 0};
+        double lane_wv[kLanes] = {0, 0, 0, 0, 0, 0, 0, 0};
+        double lane_mn[kLanes];
+        double lane_mx[kLanes];
+        std::fill(std::begin(lane_mn), std::end(lane_mn),
+                  std::numeric_limits<double>::infinity());
+        std::fill(std::begin(lane_mx), std::end(lane_mx),
+                  -std::numeric_limits<double>::infinity());
+        for (std::size_t j = 0; j < len; ++j) {
+          const std::size_t r = matches[begin + j];
+          const double v = table.col(agg.column).as_double(r);
+          const std::size_t lane = j % kLanes;
+          switch (agg.kind) {
+            case AggKind::kSum:
+            case AggKind::kMean:
+              lane_sum[lane] += v;
+              break;
+            case AggKind::kMin:
+              lane_mn[lane] = v < lane_mn[lane] ? v : lane_mn[lane];
+              break;
+            case AggKind::kMax:
+              lane_mx[lane] = v > lane_mx[lane] ? v : lane_mx[lane];
+              break;
+            case AggKind::kWeightedMean: {
+              const double w = table.col(agg.weight).as_double(r);
+              const double t = w * v;
+              lane_w[lane] += w;
+              lane_wv[lane] += t;
+              break;
+            }
+            case AggKind::kCount:
+              break;
+          }
+        }
+        switch (agg.kind) {
+          case AggKind::kSum:
+          case AggKind::kMean:
+            s.sum = fold8_sum(lane_sum);
+            break;
+          case AggKind::kMin:
+            s.mn = fold8_min(lane_mn);
+            break;
+          case AggKind::kMax:
+            s.mx = fold8_max(lane_mx);
+            break;
+          case AggKind::kWeightedMean:
+            s.wsum = fold8_sum(lane_w);
+            s.wvsum = fold8_sum(lane_wv);
+            break;
+          case AggKind::kCount:
+            break;
+        }
+      }
+      continue;
+    }
     for (std::size_t m = begin; m < end; ++m) {
       const std::size_t r = matches[m];
       Key key;

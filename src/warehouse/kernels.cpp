@@ -1,0 +1,499 @@
+#include "warehouse/kernels.h"
+
+#include <bit>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#define SUPREMM_SIMD_X86 1
+#endif
+
+namespace supremm::warehouse::kernels {
+
+namespace {
+
+// --- scalar tier -----------------------------------------------------------
+
+std::size_t filter_f64_range_scalar(const double* v, std::uint32_t begin, std::uint32_t end,
+                                    double lo, double hi, std::uint32_t* out) {
+  std::size_t cnt = 0;
+  for (std::uint32_t r = begin; r < end; ++r) {
+    const double x = v[r];
+    if (x >= lo && x <= hi) out[cnt++] = r;
+  }
+  return cnt;
+}
+
+std::size_t filter_codes_eq_scalar(const std::int32_t* codes, std::uint32_t begin,
+                                   std::uint32_t end, std::int32_t code, std::uint32_t* out) {
+  std::size_t cnt = 0;
+  for (std::uint32_t r = begin; r < end; ++r) {
+    if (codes[r] == code) out[cnt++] = r;
+  }
+  return cnt;
+}
+
+std::size_t refine_f64_range_scalar(const double* v, const std::uint32_t* sel, std::size_t n,
+                                    double lo, double hi, std::uint32_t* out) {
+  std::size_t cnt = 0;
+  for (std::size_t j = 0; j < n; ++j) {
+    const std::uint32_t r = sel[j];
+    const double x = v[r];
+    if (x >= lo && x <= hi) out[cnt++] = r;
+  }
+  return cnt;
+}
+
+std::size_t refine_codes_eq_scalar(const std::int32_t* codes, const std::uint32_t* sel,
+                                   std::size_t n, std::int32_t code, std::uint32_t* out) {
+  std::size_t cnt = 0;
+  for (std::size_t j = 0; j < n; ++j) {
+    const std::uint32_t r = sel[j];
+    if (codes[r] == code) out[cnt++] = r;
+  }
+  return cnt;
+}
+
+// 8 scalar accumulators — the reference arithmetic every vector tier must
+// reproduce bit-for-bit (same lane, same operation, same order).
+void sum_lanes_scalar(const double* v, const std::uint32_t* rows, std::uint32_t base,
+                      std::size_t n, double* lanes) {
+  for (std::size_t j = 0; j < n; ++j) {
+    const std::uint32_t r = rows != nullptr ? rows[j] : base + static_cast<std::uint32_t>(j);
+    lanes[j % kLanes] += v[r];
+  }
+}
+
+void min_lanes_scalar(const double* v, const std::uint32_t* rows, std::uint32_t base,
+                      std::size_t n, double* lanes) {
+  for (std::size_t j = 0; j < n; ++j) {
+    const std::uint32_t r = rows != nullptr ? rows[j] : base + static_cast<std::uint32_t>(j);
+    const double x = v[r];
+    double& lane = lanes[j % kLanes];
+    lane = x < lane ? x : lane;
+  }
+}
+
+void max_lanes_scalar(const double* v, const std::uint32_t* rows, std::uint32_t base,
+                      std::size_t n, double* lanes) {
+  for (std::size_t j = 0; j < n; ++j) {
+    const std::uint32_t r = rows != nullptr ? rows[j] : base + static_cast<std::uint32_t>(j);
+    const double x = v[r];
+    double& lane = lanes[j % kLanes];
+    lane = x > lane ? x : lane;
+  }
+}
+
+void dot_lanes_scalar(const double* v, const double* w, const std::uint32_t* rows,
+                      std::uint32_t base, std::size_t n, double* wlanes, double* wvlanes) {
+  for (std::size_t j = 0; j < n; ++j) {
+    const std::uint32_t r = rows != nullptr ? rows[j] : base + static_cast<std::uint32_t>(j);
+    const double wx = w[r];
+    const double t = wx * v[r];
+    wlanes[j % kLanes] += wx;
+    wvlanes[j % kLanes] += t;
+  }
+}
+
+constexpr KernelTable kScalarTable = {
+    filter_f64_range_scalar, filter_codes_eq_scalar, refine_f64_range_scalar,
+    refine_codes_eq_scalar,  sum_lanes_scalar,       min_lanes_scalar,
+    max_lanes_scalar,        dot_lanes_scalar,
+};
+
+#ifdef SUPREMM_SIMD_X86
+
+// --- SSE2 tier -------------------------------------------------------------
+
+std::size_t filter_f64_range_sse2(const double* v, std::uint32_t begin, std::uint32_t end,
+                                  double lo, double hi, std::uint32_t* out) {
+  const __m128d vlo = _mm_set1_pd(lo), vhi = _mm_set1_pd(hi);
+  std::size_t cnt = 0;
+  std::uint32_t r = begin;
+  for (; r + 2 <= end; r += 2) {
+    const __m128d x = _mm_loadu_pd(v + r);
+    const int mask =
+        _mm_movemask_pd(_mm_and_pd(_mm_cmpge_pd(x, vlo), _mm_cmple_pd(x, vhi)));
+    if (mask & 1) out[cnt++] = r;
+    if (mask & 2) out[cnt++] = r + 1;
+  }
+  for (; r < end; ++r) {
+    const double x = v[r];
+    if (x >= lo && x <= hi) out[cnt++] = r;
+  }
+  return cnt;
+}
+
+std::size_t filter_codes_eq_sse2(const std::int32_t* codes, std::uint32_t begin,
+                                 std::uint32_t end, std::int32_t code, std::uint32_t* out) {
+  const __m128i vcode = _mm_set1_epi32(code);
+  std::size_t cnt = 0;
+  std::uint32_t r = begin;
+  for (; r + 4 <= end; r += 4) {
+    const __m128i x = _mm_loadu_si128(reinterpret_cast<const __m128i*>(codes + r));
+    unsigned mask =
+        static_cast<unsigned>(_mm_movemask_ps(_mm_castsi128_ps(_mm_cmpeq_epi32(x, vcode))));
+    while (mask != 0) {
+      const unsigned k = static_cast<unsigned>(std::countr_zero(mask));
+      out[cnt++] = r + k;
+      mask &= mask - 1;
+    }
+  }
+  for (; r < end; ++r) {
+    if (codes[r] == code) out[cnt++] = r;
+  }
+  return cnt;
+}
+
+void sum_lanes_sse2(const double* v, const std::uint32_t* rows, std::uint32_t base,
+                    std::size_t n, double* lanes) {
+  if (rows != nullptr) {  // no SSE2 gather; the scalar loop is the same bits
+    sum_lanes_scalar(v, rows, base, n, lanes);
+    return;
+  }
+  __m128d acc[4];
+  for (int k = 0; k < 4; ++k) acc[k] = _mm_loadu_pd(lanes + 2 * k);
+  std::size_t j = 0;
+  for (; j + kLanes <= n; j += kLanes) {
+    const double* p = v + base + j;
+    for (int k = 0; k < 4; ++k) acc[k] = _mm_add_pd(acc[k], _mm_loadu_pd(p + 2 * k));
+  }
+  for (int k = 0; k < 4; ++k) _mm_storeu_pd(lanes + 2 * k, acc[k]);
+  for (; j < n; ++j) lanes[j % kLanes] += v[base + j];
+}
+
+void min_lanes_sse2(const double* v, const std::uint32_t* rows, std::uint32_t base,
+                    std::size_t n, double* lanes) {
+  if (rows != nullptr) {
+    min_lanes_scalar(v, rows, base, n, lanes);
+    return;
+  }
+  __m128d acc[4];
+  for (int k = 0; k < 4; ++k) acc[k] = _mm_loadu_pd(lanes + 2 * k);
+  std::size_t j = 0;
+  for (; j + kLanes <= n; j += kLanes) {
+    const double* p = v + base + j;
+    for (int k = 0; k < 4; ++k) acc[k] = _mm_min_pd(_mm_loadu_pd(p + 2 * k), acc[k]);
+  }
+  for (int k = 0; k < 4; ++k) _mm_storeu_pd(lanes + 2 * k, acc[k]);
+  for (; j < n; ++j) {
+    const double x = v[base + j];
+    double& lane = lanes[j % kLanes];
+    lane = x < lane ? x : lane;
+  }
+}
+
+void max_lanes_sse2(const double* v, const std::uint32_t* rows, std::uint32_t base,
+                    std::size_t n, double* lanes) {
+  if (rows != nullptr) {
+    max_lanes_scalar(v, rows, base, n, lanes);
+    return;
+  }
+  __m128d acc[4];
+  for (int k = 0; k < 4; ++k) acc[k] = _mm_loadu_pd(lanes + 2 * k);
+  std::size_t j = 0;
+  for (; j + kLanes <= n; j += kLanes) {
+    const double* p = v + base + j;
+    for (int k = 0; k < 4; ++k) acc[k] = _mm_max_pd(_mm_loadu_pd(p + 2 * k), acc[k]);
+  }
+  for (int k = 0; k < 4; ++k) _mm_storeu_pd(lanes + 2 * k, acc[k]);
+  for (; j < n; ++j) {
+    const double x = v[base + j];
+    double& lane = lanes[j % kLanes];
+    lane = x > lane ? x : lane;
+  }
+}
+
+constexpr KernelTable kSse2Table = {
+    filter_f64_range_sse2, filter_codes_eq_sse2, refine_f64_range_scalar,
+    refine_codes_eq_scalar, sum_lanes_sse2,      min_lanes_sse2,
+    max_lanes_sse2,         dot_lanes_scalar,
+};
+
+// --- AVX2 tier -------------------------------------------------------------
+//
+// Compiled with a function-level target attribute so the rest of the build
+// keeps its baseline flags; these bodies only execute after cpuid says AVX2.
+// The gather intrinsics expand through an undefined destination register,
+// which GCC's -Wmaybe-uninitialized flags spuriously (GCC PR 105593).
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+
+__attribute__((target("avx2"))) std::size_t filter_f64_range_avx2(
+    const double* v, std::uint32_t begin, std::uint32_t end, double lo, double hi,
+    std::uint32_t* out) {
+  const __m256d vlo = _mm256_set1_pd(lo), vhi = _mm256_set1_pd(hi);
+  std::size_t cnt = 0;
+  std::uint32_t r = begin;
+  for (; r + 4 <= end; r += 4) {
+    const __m256d x = _mm256_loadu_pd(v + r);
+    const __m256d ok = _mm256_and_pd(_mm256_cmp_pd(x, vlo, _CMP_GE_OQ),
+                                     _mm256_cmp_pd(x, vhi, _CMP_LE_OQ));
+    unsigned mask = static_cast<unsigned>(_mm256_movemask_pd(ok));
+    while (mask != 0) {
+      out[cnt++] = r + static_cast<unsigned>(std::countr_zero(mask));
+      mask &= mask - 1;
+    }
+  }
+  for (; r < end; ++r) {
+    const double x = v[r];
+    if (x >= lo && x <= hi) out[cnt++] = r;
+  }
+  return cnt;
+}
+
+__attribute__((target("avx2"))) std::size_t filter_codes_eq_avx2(
+    const std::int32_t* codes, std::uint32_t begin, std::uint32_t end, std::int32_t code,
+    std::uint32_t* out) {
+  const __m256i vcode = _mm256_set1_epi32(code);
+  std::size_t cnt = 0;
+  std::uint32_t r = begin;
+  for (; r + 8 <= end; r += 8) {
+    const __m256i x = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(codes + r));
+    unsigned mask = static_cast<unsigned>(
+        _mm256_movemask_ps(_mm256_castsi256_ps(_mm256_cmpeq_epi32(x, vcode))));
+    while (mask != 0) {
+      out[cnt++] = r + static_cast<unsigned>(std::countr_zero(mask));
+      mask &= mask - 1;
+    }
+  }
+  for (; r < end; ++r) {
+    if (codes[r] == code) out[cnt++] = r;
+  }
+  return cnt;
+}
+
+__attribute__((target("avx2"))) std::size_t refine_f64_range_avx2(
+    const double* v, const std::uint32_t* sel, std::size_t n, double lo, double hi,
+    std::uint32_t* out) {
+  const __m256d vlo = _mm256_set1_pd(lo), vhi = _mm256_set1_pd(hi);
+  std::size_t cnt = 0;
+  std::size_t j = 0;
+  for (; j + 4 <= n; j += 4) {
+    const __m128i idx = _mm_loadu_si128(reinterpret_cast<const __m128i*>(sel + j));
+    const __m256d x = _mm256_i32gather_pd(v, idx, 8);
+    const __m256d ok = _mm256_and_pd(_mm256_cmp_pd(x, vlo, _CMP_GE_OQ),
+                                     _mm256_cmp_pd(x, vhi, _CMP_LE_OQ));
+    unsigned mask = static_cast<unsigned>(_mm256_movemask_pd(ok));
+    while (mask != 0) {
+      out[cnt++] = sel[j + static_cast<unsigned>(std::countr_zero(mask))];
+      mask &= mask - 1;
+    }
+  }
+  for (; j < n; ++j) {
+    const std::uint32_t r = sel[j];
+    const double x = v[r];
+    if (x >= lo && x <= hi) out[cnt++] = r;
+  }
+  return cnt;
+}
+
+__attribute__((target("avx2"))) std::size_t refine_codes_eq_avx2(
+    const std::int32_t* codes, const std::uint32_t* sel, std::size_t n, std::int32_t code,
+    std::uint32_t* out) {
+  const __m256i vcode = _mm256_set1_epi32(code);
+  std::size_t cnt = 0;
+  std::size_t j = 0;
+  for (; j + 8 <= n; j += 8) {
+    const __m256i idx = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(sel + j));
+    const __m256i x = _mm256_i32gather_epi32(codes, idx, 4);
+    unsigned mask = static_cast<unsigned>(
+        _mm256_movemask_ps(_mm256_castsi256_ps(_mm256_cmpeq_epi32(x, vcode))));
+    while (mask != 0) {
+      out[cnt++] = sel[j + static_cast<unsigned>(std::countr_zero(mask))];
+      mask &= mask - 1;
+    }
+  }
+  for (; j < n; ++j) {
+    const std::uint32_t r = sel[j];
+    if (codes[r] == code) out[cnt++] = r;
+  }
+  return cnt;
+}
+
+__attribute__((target("avx2"))) void sum_lanes_avx2(const double* v, const std::uint32_t* rows,
+                                                    std::uint32_t base, std::size_t n,
+                                                    double* lanes) {
+  __m256d acc0 = _mm256_loadu_pd(lanes), acc1 = _mm256_loadu_pd(lanes + 4);
+  std::size_t j = 0;
+  if (rows != nullptr) {
+    for (; j + kLanes <= n; j += kLanes) {
+      const __m128i i0 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(rows + j));
+      const __m128i i1 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(rows + j + 4));
+      acc0 = _mm256_add_pd(acc0, _mm256_i32gather_pd(v, i0, 8));
+      acc1 = _mm256_add_pd(acc1, _mm256_i32gather_pd(v, i1, 8));
+    }
+  } else {
+    for (; j + kLanes <= n; j += kLanes) {
+      const double* p = v + base + j;
+      acc0 = _mm256_add_pd(acc0, _mm256_loadu_pd(p));
+      acc1 = _mm256_add_pd(acc1, _mm256_loadu_pd(p + 4));
+    }
+  }
+  _mm256_storeu_pd(lanes, acc0);
+  _mm256_storeu_pd(lanes + 4, acc1);
+  for (; j < n; ++j) {
+    const std::uint32_t r = rows != nullptr ? rows[j] : base + static_cast<std::uint32_t>(j);
+    lanes[j % kLanes] += v[r];
+  }
+}
+
+__attribute__((target("avx2"))) void min_lanes_avx2(const double* v, const std::uint32_t* rows,
+                                                    std::uint32_t base, std::size_t n,
+                                                    double* lanes) {
+  __m256d acc0 = _mm256_loadu_pd(lanes), acc1 = _mm256_loadu_pd(lanes + 4);
+  std::size_t j = 0;
+  if (rows != nullptr) {
+    for (; j + kLanes <= n; j += kLanes) {
+      const __m128i i0 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(rows + j));
+      const __m128i i1 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(rows + j + 4));
+      acc0 = _mm256_min_pd(_mm256_i32gather_pd(v, i0, 8), acc0);
+      acc1 = _mm256_min_pd(_mm256_i32gather_pd(v, i1, 8), acc1);
+    }
+  } else {
+    for (; j + kLanes <= n; j += kLanes) {
+      const double* p = v + base + j;
+      acc0 = _mm256_min_pd(_mm256_loadu_pd(p), acc0);
+      acc1 = _mm256_min_pd(_mm256_loadu_pd(p + 4), acc1);
+    }
+  }
+  _mm256_storeu_pd(lanes, acc0);
+  _mm256_storeu_pd(lanes + 4, acc1);
+  for (; j < n; ++j) {
+    const std::uint32_t r = rows != nullptr ? rows[j] : base + static_cast<std::uint32_t>(j);
+    const double x = v[r];
+    double& lane = lanes[j % kLanes];
+    lane = x < lane ? x : lane;
+  }
+}
+
+__attribute__((target("avx2"))) void max_lanes_avx2(const double* v, const std::uint32_t* rows,
+                                                    std::uint32_t base, std::size_t n,
+                                                    double* lanes) {
+  __m256d acc0 = _mm256_loadu_pd(lanes), acc1 = _mm256_loadu_pd(lanes + 4);
+  std::size_t j = 0;
+  if (rows != nullptr) {
+    for (; j + kLanes <= n; j += kLanes) {
+      const __m128i i0 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(rows + j));
+      const __m128i i1 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(rows + j + 4));
+      acc0 = _mm256_max_pd(_mm256_i32gather_pd(v, i0, 8), acc0);
+      acc1 = _mm256_max_pd(_mm256_i32gather_pd(v, i1, 8), acc1);
+    }
+  } else {
+    for (; j + kLanes <= n; j += kLanes) {
+      const double* p = v + base + j;
+      acc0 = _mm256_max_pd(_mm256_loadu_pd(p), acc0);
+      acc1 = _mm256_max_pd(_mm256_loadu_pd(p + 4), acc1);
+    }
+  }
+  _mm256_storeu_pd(lanes, acc0);
+  _mm256_storeu_pd(lanes + 4, acc1);
+  for (; j < n; ++j) {
+    const std::uint32_t r = rows != nullptr ? rows[j] : base + static_cast<std::uint32_t>(j);
+    const double x = v[r];
+    double& lane = lanes[j % kLanes];
+    lane = x > lane ? x : lane;
+  }
+}
+
+__attribute__((target("avx2"))) void dot_lanes_avx2(const double* v, const double* w,
+                                                    const std::uint32_t* rows,
+                                                    std::uint32_t base, std::size_t n,
+                                                    double* wlanes, double* wvlanes) {
+  __m256d wacc0 = _mm256_loadu_pd(wlanes), wacc1 = _mm256_loadu_pd(wlanes + 4);
+  __m256d wvacc0 = _mm256_loadu_pd(wvlanes), wvacc1 = _mm256_loadu_pd(wvlanes + 4);
+  std::size_t j = 0;
+  for (; j + kLanes <= n; j += kLanes) {
+    __m256d v0, v1, w0, w1;
+    if (rows != nullptr) {
+      const __m128i i0 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(rows + j));
+      const __m128i i1 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(rows + j + 4));
+      v0 = _mm256_i32gather_pd(v, i0, 8);
+      v1 = _mm256_i32gather_pd(v, i1, 8);
+      w0 = _mm256_i32gather_pd(w, i0, 8);
+      w1 = _mm256_i32gather_pd(w, i1, 8);
+    } else {
+      const double* pv = v + base + j;
+      const double* pw = w + base + j;
+      v0 = _mm256_loadu_pd(pv);
+      v1 = _mm256_loadu_pd(pv + 4);
+      w0 = _mm256_loadu_pd(pw);
+      w1 = _mm256_loadu_pd(pw + 4);
+    }
+    wacc0 = _mm256_add_pd(wacc0, w0);
+    wacc1 = _mm256_add_pd(wacc1, w1);
+    // mul then add, never FMA: matches the scalar tier's two roundings.
+    wvacc0 = _mm256_add_pd(wvacc0, _mm256_mul_pd(w0, v0));
+    wvacc1 = _mm256_add_pd(wvacc1, _mm256_mul_pd(w1, v1));
+  }
+  _mm256_storeu_pd(wlanes, wacc0);
+  _mm256_storeu_pd(wlanes + 4, wacc1);
+  _mm256_storeu_pd(wvlanes, wvacc0);
+  _mm256_storeu_pd(wvlanes + 4, wvacc1);
+  for (; j < n; ++j) {
+    const std::uint32_t r = rows != nullptr ? rows[j] : base + static_cast<std::uint32_t>(j);
+    const double wx = w[r];
+    const double t = wx * v[r];
+    wlanes[j % kLanes] += wx;
+    wvlanes[j % kLanes] += t;
+  }
+}
+
+#pragma GCC diagnostic pop
+
+constexpr KernelTable kAvx2Table = {
+    filter_f64_range_avx2, filter_codes_eq_avx2, refine_f64_range_avx2,
+    refine_codes_eq_avx2,  sum_lanes_avx2,       min_lanes_avx2,
+    max_lanes_avx2,        dot_lanes_avx2,
+};
+
+#endif  // SUPREMM_SIMD_X86
+
+}  // namespace
+
+const KernelTable& table_for(common::simd::Tier t) noexcept {
+#ifdef SUPREMM_SIMD_X86
+  switch (t) {
+    case common::simd::Tier::kAvx2:
+      return kAvx2Table;
+    case common::simd::Tier::kSse2:
+      return kSse2Table;
+    case common::simd::Tier::kScalar:
+      break;
+  }
+#else
+  (void)t;
+#endif
+  return kScalarTable;
+}
+
+const KernelTable& active() noexcept { return table_for(common::simd::active_tier()); }
+
+void sum_lanes_i64(const std::int64_t* v, const std::uint32_t* rows, std::uint32_t base,
+                   std::size_t n, double* lanes) {
+  for (std::size_t j = 0; j < n; ++j) {
+    const std::uint32_t r = rows != nullptr ? rows[j] : base + static_cast<std::uint32_t>(j);
+    lanes[j % kLanes] += static_cast<double>(v[r]);
+  }
+}
+
+void min_lanes_i64(const std::int64_t* v, const std::uint32_t* rows, std::uint32_t base,
+                   std::size_t n, double* lanes) {
+  for (std::size_t j = 0; j < n; ++j) {
+    const std::uint32_t r = rows != nullptr ? rows[j] : base + static_cast<std::uint32_t>(j);
+    const double x = static_cast<double>(v[r]);
+    double& lane = lanes[j % kLanes];
+    lane = x < lane ? x : lane;
+  }
+}
+
+void max_lanes_i64(const std::int64_t* v, const std::uint32_t* rows, std::uint32_t base,
+                   std::size_t n, double* lanes) {
+  for (std::size_t j = 0; j < n; ++j) {
+    const std::uint32_t r = rows != nullptr ? rows[j] : base + static_cast<std::uint32_t>(j);
+    const double x = static_cast<double>(v[r]);
+    double& lane = lanes[j % kLanes];
+    lane = x > lane ? x : lane;
+  }
+}
+
+}  // namespace supremm::warehouse::kernels

@@ -1,0 +1,118 @@
+// Explicit SIMD kernels for the query engine, dispatched per ISA tier
+// (common/simd.h; DESIGN.md §15). Every tier of a kernel is bit-identical:
+//
+//  - Filter / refine kernels compute exact per-row predicates and emit row
+//    indices in ascending order, so vector width cannot show through.
+//  - Ungrouped aggregation kernels follow the canonical 8-lane scheme: the
+//    j-th element of a segment's match slice updates lane j % 8, and the
+//    caller folds the lanes with the fixed trees below. The scalar tier
+//    keeps 8 scalar accumulators, SSE2 four 2-lane vectors, AVX2 two 4-lane
+//    vectors — same additions in the same order, so the same bits. The
+//    testkit oracle implements the identical scheme independently.
+//
+// Kernels that gather through row indices treat them as signed 32-bit
+// (vgatherdpd); Query::run() pins the scalar table for tables past 2^31
+// rows, which the tier contract makes legal at any time.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/simd.h"
+
+namespace supremm::warehouse::kernels {
+
+inline constexpr std::size_t kLanes = 8;
+
+/// Append indices r in [begin, end) with lo <= v[r] <= hi (NaN never passes)
+/// to `out`, ascending; returns the count. `out` must hold end - begin slots.
+using FilterF64RangeFn = std::size_t (*)(const double* v, std::uint32_t begin,
+                                         std::uint32_t end, double lo, double hi,
+                                         std::uint32_t* out);
+
+/// Same for dictionary codes equal to `code`.
+using FilterCodesEqFn = std::size_t (*)(const std::int32_t* codes, std::uint32_t begin,
+                                        std::uint32_t end, std::int32_t code,
+                                        std::uint32_t* out);
+
+/// Keep sel[j] where lo <= v[sel[j]] <= hi; writes survivors to `out`
+/// (aliasing sel is allowed), returns the count.
+using RefineF64RangeFn = std::size_t (*)(const double* v, const std::uint32_t* sel,
+                                         std::size_t n, double lo, double hi,
+                                         std::uint32_t* out);
+
+/// Keep sel[j] where codes[sel[j]] == code.
+using RefineCodesEqFn = std::size_t (*)(const std::int32_t* codes, const std::uint32_t* sel,
+                                        std::size_t n, std::int32_t code, std::uint32_t* out);
+
+/// lanes[j % 8] += v[row j] for j in [0, n). Row j is rows[j], or base + j
+/// when rows is null (the no-predicate identity layout).
+using SumLanesFn = void (*)(const double* v, const std::uint32_t* rows, std::uint32_t base,
+                            std::size_t n, double* lanes);
+
+/// lanes[j % 8] = (x < lane) ? x : lane  (min; NaN x leaves the lane alone).
+using MinLanesFn = SumLanesFn;
+/// lanes[j % 8] = (x > lane) ? x : lane  (max).
+using MaxLanesFn = SumLanesFn;
+
+/// Weighted-mean partials: wlanes[j % 8] += w[row], wvlanes[j % 8] += t where
+/// t = w[row] * v[row] rounded once (no FMA in any tier).
+using DotLanesFn = void (*)(const double* v, const double* w, const std::uint32_t* rows,
+                            std::uint32_t base, std::size_t n, double* wlanes,
+                            double* wvlanes);
+
+struct KernelTable {
+  FilterF64RangeFn filter_f64_range;
+  FilterCodesEqFn filter_codes_eq;
+  RefineF64RangeFn refine_f64_range;
+  RefineCodesEqFn refine_codes_eq;
+  SumLanesFn sum_lanes;
+  MinLanesFn min_lanes;
+  MaxLanesFn max_lanes;
+  DotLanesFn dot_lanes;
+};
+
+/// Kernels for one tier (always valid; lower tiers fill unvectorized slots
+/// with the scalar kernel).
+[[nodiscard]] const KernelTable& table_for(common::simd::Tier t) noexcept;
+
+/// table_for(common::simd::active_tier()).
+[[nodiscard]] const KernelTable& active() noexcept;
+
+// --- canonical lane folds (identical in every tier and in the oracle) ------
+//
+// The trees mirror how two 4-lane vector accumulators reduce: combine lane k
+// with lane k+4, then k with k+2, then the final pair. Min/max fold with
+// (a < b) ? a : b — the minpd/maxpd tie convention — though by construction
+// the lanes can never hold NaN.
+
+[[nodiscard]] inline double fold_sum(const double* l) noexcept {
+  const double s04 = l[0] + l[4], s15 = l[1] + l[5], s26 = l[2] + l[6], s37 = l[3] + l[7];
+  const double a = s04 + s26, b = s15 + s37;
+  return a + b;
+}
+
+[[nodiscard]] inline double fold_min(const double* l) noexcept {
+  const auto m = [](double a, double b) { return a < b ? a : b; };
+  return m(m(m(l[0], l[4]), m(l[2], l[6])), m(m(l[1], l[5]), m(l[3], l[7])));
+}
+
+[[nodiscard]] inline double fold_max(const double* l) noexcept {
+  const auto m = [](double a, double b) { return a > b ? a : b; };
+  return m(m(m(l[0], l[4]), m(l[2], l[6])), m(m(l[1], l[5]), m(l[3], l[7])));
+}
+
+// --- shared scalar helpers for int64-valued columns ------------------------
+//
+// int64 aggregation converts through static_cast<double> per row; AVX2 has
+// no packed i64→f64, so every tier shares these (still lane-8, still
+// bit-identical — just not vectorized).
+
+void sum_lanes_i64(const std::int64_t* v, const std::uint32_t* rows, std::uint32_t base,
+                   std::size_t n, double* lanes);
+void min_lanes_i64(const std::int64_t* v, const std::uint32_t* rows, std::uint32_t base,
+                   std::size_t n, double* lanes);
+void max_lanes_i64(const std::int64_t* v, const std::uint32_t* rows, std::uint32_t base,
+                   std::size_t n, double* lanes);
+
+}  // namespace supremm::warehouse::kernels

@@ -9,7 +9,9 @@
 #include <unordered_map>
 
 #include "common/error.h"
-#include "common/thread_pool.h"
+#include "common/pool.h"
+#include "common/simd.h"
+#include "warehouse/kernels.h"
 
 namespace supremm::warehouse {
 
@@ -240,8 +242,7 @@ struct ChunkResult {
 };
 
 struct SegmentPartial {
-  std::unordered_map<PackedKey, std::uint32_t, PackedKeyHash> groups;
-  std::vector<PackedKey> keys;             // insertion order
+  std::vector<PackedKey> keys;             // first-seen order
   std::vector<std::uint32_t> example_row;  // first matching row per group
   std::vector<AggState> states;            // [group * naggs + agg]
 };
@@ -252,6 +253,235 @@ struct AggRef {
   NumRef value;
   NumRef weight;
 };
+
+// int64 predicate kernels have no vector tier (no packed i64→f64), so every
+// tier shares these scalar loops — same arithmetic as NumRef::value.
+
+std::size_t filter_i64_range(const std::int64_t* v, std::uint32_t begin, std::uint32_t end,
+                             double lo, double hi, std::uint32_t* out) {
+  std::size_t cnt = 0;
+  for (std::uint32_t r = begin; r < end; ++r) {
+    const double x = static_cast<double>(v[r]);
+    if (x >= lo && x <= hi) out[cnt++] = r;
+  }
+  return cnt;
+}
+
+std::size_t refine_i64_range(const std::int64_t* v, const std::uint32_t* sel, std::size_t n,
+                             double lo, double hi, std::uint32_t* out) {
+  std::size_t cnt = 0;
+  for (std::size_t j = 0; j < n; ++j) {
+    const std::uint32_t r = sel[j];
+    const double x = static_cast<double>(v[r]);
+    if (x >= lo && x <= hi) out[cnt++] = r;
+  }
+  return cnt;
+}
+
+void update_aggs(const std::vector<AggRef>& agg_refs, AggState* st, std::uint32_t r) {
+  for (std::size_t a = 0; a < agg_refs.size(); ++a) {
+    const AggRef& spec = agg_refs[a];
+    AggState& s = st[a];
+    ++s.n;
+    if (spec.kind == AggKind::kCount) continue;
+    const double v = spec.value.value(r);
+    s.sum += v;
+    s.mn = std::min(s.mn, v);
+    s.mx = std::max(s.mx, v);
+    if (spec.kind == AggKind::kWeightedMean) {
+      const double w = spec.weight.value(r);
+      s.wsum += w;
+      s.wvsum += w * v;
+    }
+  }
+}
+
+/// Weighted-mean lanes when either column is int64: shared scalar fallback,
+/// same per-element arithmetic as kernels::dot_lanes (mul, then add).
+void dot_lanes_numref(const NumRef& value, const NumRef& weight, const std::uint32_t* rows,
+                      std::uint32_t base, std::size_t n, double* wlanes, double* wvlanes) {
+  for (std::size_t j = 0; j < n; ++j) {
+    const std::uint32_t r = rows != nullptr ? rows[j] : base + static_cast<std::uint32_t>(j);
+    const double w = weight.value(r);
+    const double t = w * value.value(r);
+    wlanes[j % kernels::kLanes] += w;
+    wvlanes[j % kernels::kLanes] += t;
+  }
+}
+
+/// Ungrouped (no group keys) segment aggregation: the canonical 8-lane
+/// scheme from DESIGN.md §15. Element j of the segment's match slice updates
+/// lane j % 8 and the lanes fold with the fixed trees in kernels.h, so every
+/// ISA tier — and the oracle's independent implementation — produces the
+/// same bits. Only the stats a kind emits are computed.
+void aggregate_ungrouped(SegmentPartial& part, const std::vector<AggRef>& agg_refs,
+                         const kernels::KernelTable& kt, const std::uint32_t* rows,
+                         std::uint32_t base, std::size_t len) {
+  const std::size_t naggs = agg_refs.size();
+  part.keys.emplace_back();
+  part.example_row.push_back(rows != nullptr ? rows[0] : base);
+  part.states.resize(naggs);
+  for (std::size_t a = 0; a < naggs; ++a) {
+    const AggRef& spec = agg_refs[a];
+    AggState& s = part.states[a];
+    s.n = static_cast<std::int64_t>(len);
+    double lanes[kernels::kLanes];
+    switch (spec.kind) {
+      case AggKind::kCount:
+        break;
+      case AggKind::kSum:
+      case AggKind::kMean:
+        std::fill(std::begin(lanes), std::end(lanes), 0.0);
+        if (spec.value.f64 != nullptr) {
+          kt.sum_lanes(spec.value.f64, rows, base, len, lanes);
+        } else {
+          kernels::sum_lanes_i64(spec.value.i64, rows, base, len, lanes);
+        }
+        s.sum = kernels::fold_sum(lanes);
+        break;
+      case AggKind::kMin:
+        std::fill(std::begin(lanes), std::end(lanes), std::numeric_limits<double>::infinity());
+        if (spec.value.f64 != nullptr) {
+          kt.min_lanes(spec.value.f64, rows, base, len, lanes);
+        } else {
+          kernels::min_lanes_i64(spec.value.i64, rows, base, len, lanes);
+        }
+        s.mn = kernels::fold_min(lanes);
+        break;
+      case AggKind::kMax:
+        std::fill(std::begin(lanes), std::end(lanes), -std::numeric_limits<double>::infinity());
+        if (spec.value.f64 != nullptr) {
+          kt.max_lanes(spec.value.f64, rows, base, len, lanes);
+        } else {
+          kernels::max_lanes_i64(spec.value.i64, rows, base, len, lanes);
+        }
+        s.mx = kernels::fold_max(lanes);
+        break;
+      case AggKind::kWeightedMean: {
+        double wlanes[kernels::kLanes] = {0, 0, 0, 0, 0, 0, 0, 0};
+        double wvlanes[kernels::kLanes] = {0, 0, 0, 0, 0, 0, 0, 0};
+        if (spec.value.f64 != nullptr && spec.weight.f64 != nullptr) {
+          kt.dot_lanes(spec.value.f64, spec.weight.f64, rows, base, len, wlanes, wvlanes);
+        } else {
+          dot_lanes_numref(spec.value, spec.weight, rows, base, len, wlanes, wvlanes);
+        }
+        s.wsum = kernels::fold_sum(wlanes);
+        s.wvsum = kernels::fold_sum(wvlanes);
+        break;
+      }
+    }
+  }
+}
+
+/// Radix-partitioned hash group-by for one segment (the high-cardinality
+/// path). Rows scatter stably into 2^6 buckets on the low hash bits — every
+/// row of a group lands in the same bucket — then each bucket groups through
+/// a small open-addressing table, so probe chains stay short and cache-local
+/// with no per-row node allocation. Because the scatter is stable, rows of a
+/// group accumulate in ascending match order (the exact sequential order the
+/// contract fixes), and sorting the finished groups by first-match position
+/// restores canonical first-seen order, independent of bucket layout.
+void radix_group_segment(SegmentPartial& part, const std::vector<KeyRef>& key_refs,
+                         const std::vector<AggRef>& agg_refs, const std::uint32_t* rows,
+                         std::uint32_t base, std::size_t len) {
+  constexpr std::size_t kRadixBits = 6;
+  constexpr std::size_t kRadixBuckets = std::size_t{1} << kRadixBits;
+  constexpr std::uint32_t kEmpty = std::numeric_limits<std::uint32_t>::max();
+  const std::size_t naggs = agg_refs.size();
+
+  const auto row_of = [rows, base](std::size_t j) {
+    return rows != nullptr ? rows[j] : base + static_cast<std::uint32_t>(j);
+  };
+
+  // Pass 1: pack keys, hash, count buckets.
+  std::vector<PackedKey> keys(len);
+  std::vector<std::uint64_t> hashes(len);
+  std::array<std::uint32_t, kRadixBuckets + 1> offsets{};
+  for (std::size_t j = 0; j < len; ++j) {
+    const std::uint32_t r = row_of(j);
+    PackedKey key;
+    for (std::size_t k = 0; k < key_refs.size(); ++k) {
+      const KeyRef& ref = key_refs[k];
+      switch (ref.type) {
+        case ColType::kString:
+          key.w[k] = static_cast<std::uint32_t>(ref.codes[r]);
+          break;
+        case ColType::kInt64:
+          key.w[k] = static_cast<std::uint64_t>(ref.i64[r]);
+          break;
+        case ColType::kDouble:
+          key.w[k] = std::bit_cast<std::uint64_t>(ref.f64[r]);
+          break;
+      }
+    }
+    keys[j] = key;
+    const std::uint64_t h = PackedKeyHash{}(key);
+    hashes[j] = h;
+    ++offsets[(h & (kRadixBuckets - 1)) + 1];
+  }
+  std::uint32_t max_bucket = 0;
+  for (std::size_t b = 0; b < kRadixBuckets; ++b) {
+    max_bucket = std::max(max_bucket, offsets[b + 1]);
+    offsets[b + 1] += offsets[b];
+  }
+
+  // Pass 2: stable scatter of segment positions into bucket order.
+  std::vector<std::uint32_t> order(len);
+  std::array<std::uint32_t, kRadixBuckets> cursor;
+  std::copy(offsets.begin(), offsets.begin() + kRadixBuckets, cursor.begin());
+  for (std::size_t j = 0; j < len; ++j) {
+    order[cursor[hashes[j] & (kRadixBuckets - 1)]++] = static_cast<std::uint32_t>(j);
+  }
+
+  // Pass 3: per-bucket open addressing; groups carry their first position.
+  std::size_t table_size = 8;
+  while (table_size < static_cast<std::size_t>(max_bucket) * 2) table_size <<= 1;
+  std::vector<std::uint32_t> slots(table_size);
+  std::vector<PackedKey> gkeys;
+  std::vector<std::uint32_t> gfirst;  // first segment position of the group
+  std::vector<AggState> gstates;
+  for (std::size_t b = 0; b < kRadixBuckets; ++b) {
+    const std::uint32_t bb = offsets[b], be = offsets[b + 1];
+    if (bb == be) continue;
+    std::fill(slots.begin(), slots.end(), kEmpty);
+    const std::size_t mask = table_size - 1;
+    for (std::uint32_t o = bb; o < be; ++o) {
+      const std::uint32_t j = order[o];
+      const PackedKey& key = keys[j];
+      std::size_t idx = (hashes[j] >> kRadixBits) & mask;
+      std::uint32_t g;
+      while (true) {
+        g = slots[idx];
+        if (g == kEmpty) {
+          g = static_cast<std::uint32_t>(gkeys.size());
+          slots[idx] = g;
+          gkeys.push_back(key);
+          gfirst.push_back(j);
+          gstates.resize(gstates.size() + naggs);
+          break;
+        }
+        if (gkeys[g] == key) break;
+        idx = (idx + 1) & mask;
+      }
+      update_aggs(agg_refs, gstates.data() + std::size_t{g} * naggs, row_of(j));
+    }
+  }
+
+  // Canonical order: sort groups by first-seen position within the segment.
+  std::vector<std::uint32_t> gorder(gkeys.size());
+  for (std::size_t g = 0; g < gorder.size(); ++g) gorder[g] = static_cast<std::uint32_t>(g);
+  std::sort(gorder.begin(), gorder.end(),
+            [&gfirst](std::uint32_t a, std::uint32_t b) { return gfirst[a] < gfirst[b]; });
+  part.keys.reserve(gorder.size());
+  part.example_row.reserve(gorder.size());
+  part.states.reserve(gorder.size() * naggs);
+  for (const std::uint32_t g : gorder) {
+    part.keys.push_back(gkeys[g]);
+    part.example_row.push_back(row_of(gfirst[g]));
+    part.states.insert(part.states.end(), gstates.begin() + std::size_t{g} * naggs,
+                       gstates.begin() + (std::size_t{g} + 1) * naggs);
+  }
+}
 
 }  // namespace
 
@@ -383,7 +613,32 @@ Table Query::run() const {
   QueryStats st;
   if (prune) st.chunks_total = zi->chunks;
 
-  auto pool = common::make_pool(threads_, nchunks);
+  // ISA tier pinned once per run. The AVX2 kernels gather through row
+  // indices as signed 32-bit lanes, so a table past 2^31 rows takes the
+  // scalar table — legal at any time because every tier is bit-identical.
+  const kernels::KernelTable& kt = nrows > (std::size_t{1} << 31)
+                                       ? kernels::table_for(common::simd::Tier::kScalar)
+                                       : kernels::active();
+
+  // Per-run scan state, hoisted out of the pool workers: an equality literal
+  // absent from its dictionary kills every chunk at once, and zone-map prune
+  // decisions depend only on the chunk grid, so both are derived here once
+  // instead of being re-tested inside every worker invocation.
+  bool impossible = false;
+  for (const auto& k : kernels) impossible = impossible || k.impossible;
+  std::vector<std::uint8_t> chunk_pruned;
+  if (prune) {
+    chunk_pruned.assign(nchunks, 0);
+    for (std::size_t ch = 0; ch < nchunks; ++ch) {
+      for (const auto& t : prune_tests) {
+        const ZoneIndex::Range& range = zi->ranges[t.ci][ch];
+        if (t.fail_all || range.hi < t.lo || range.lo > t.hi) {
+          chunk_pruned[ch] = 1;
+          break;
+        }
+      }
+    }
+  }
 
   // Without a predicate every row matches and match index == row index, so
   // the selection vectors and the concatenated match list are pure memory
@@ -391,44 +646,46 @@ Table Query::run() const {
   const bool identity = !have_pred;
   std::vector<ChunkResult> chunks(identity ? 0 : nchunks);
   if (!identity) {
-    common::for_each_unit(pool.get(), nchunks, [&](std::size_t ch) {
+    common::pool_run(nchunks, threads_, 0, [&](std::size_t ch) {
       check_cancel();
       ChunkResult& res = chunks[ch];
+      if (!chunk_pruned.empty() && chunk_pruned[ch] != 0) {
+        res.pruned = true;
+        return;
+      }
       const std::size_t begin = ch * chunk_rows;
       const std::size_t end = std::min(nrows, begin + chunk_rows);
-      if (prune) {
-        for (const auto& t : prune_tests) {
-          const ZoneIndex::Range& range = zi->ranges[t.ci][ch];
-          if (t.fail_all || range.hi < t.lo || range.lo > t.hi) {
-            res.pruned = true;
-            return;
-          }
-        }
-      }
       res.rows_scanned = end - begin;
+      if (exact && impossible) return;  // scanned, nothing matches
       auto& sel = res.sel;
       if (exact) {
-        for (const auto& k : kernels) {
-          if (k.impossible) return;  // scanned, nothing matches
-        }
+        sel.resize(end - begin);
+        const auto b32 = static_cast<std::uint32_t>(begin);
+        const auto e32 = static_cast<std::uint32_t>(end);
+        std::size_t cnt = 0;
         if (kernels.empty()) {
-          sel.resize(end - begin);
-          for (std::size_t r = begin; r < end; ++r) {
-            sel[r - begin] = static_cast<std::uint32_t>(r);
-          }
+          for (std::uint32_t r = b32; r < e32; ++r) sel[cnt++] = r;
         } else {
-          for (std::size_t r = begin; r < end; ++r) {
-            if (kernels[0].pass(r)) sel.push_back(static_cast<std::uint32_t>(r));
+          const Kernel& k0 = kernels[0];
+          if (k0.codes != nullptr) {
+            cnt = kt.filter_codes_eq(k0.codes, b32, e32, k0.eq_code, sel.data());
+          } else if (k0.num.f64 != nullptr) {
+            cnt = kt.filter_f64_range(k0.num.f64, b32, e32, k0.lo, k0.hi, sel.data());
+          } else {
+            cnt = filter_i64_range(k0.num.i64, b32, e32, k0.lo, k0.hi, sel.data());
           }
-          for (std::size_t k = 1; k < kernels.size() && !sel.empty(); ++k) {
+          for (std::size_t k = 1; k < kernels.size() && cnt != 0; ++k) {
             const Kernel& kn = kernels[k];
-            std::size_t kept = 0;
-            for (const std::uint32_t r : sel) {
-              if (kn.pass(r)) sel[kept++] = r;
+            if (kn.codes != nullptr) {
+              cnt = kt.refine_codes_eq(kn.codes, sel.data(), cnt, kn.eq_code, sel.data());
+            } else if (kn.num.f64 != nullptr) {
+              cnt = kt.refine_f64_range(kn.num.f64, sel.data(), cnt, kn.lo, kn.hi, sel.data());
+            } else {
+              cnt = refine_i64_range(kn.num.i64, sel.data(), cnt, kn.lo, kn.hi, sel.data());
             }
-            sel.resize(kept);
           }
         }
+        sel.resize(cnt);
       } else {
         for (std::size_t r = begin; r < end; ++r) {
           if ((*pred_)(table_, r)) sel.push_back(static_cast<std::uint32_t>(r));
@@ -466,7 +723,7 @@ Table Query::run() const {
   // segment, so group order and the merge are unchanged.
   constexpr std::size_t kMaxDenseGroups = std::size_t{1} << 14;
   constexpr std::uint32_t kNoGroup = std::numeric_limits<std::uint32_t>::max();
-  bool dense = true;
+  bool dense = !key_refs.empty();  // no keys → the vectorized ungrouped path
   std::size_t dense_domain = 1;
   std::array<std::size_t, kMaxGroupKeys> dense_mult{};
   for (std::size_t k = 0; k < key_refs.size(); ++k) {
@@ -482,35 +739,23 @@ Table Query::run() const {
     }
   }
 
-  const auto update_aggs = [&agg_refs, naggs](AggState* st, std::uint32_t r) {
-    for (std::size_t a = 0; a < naggs; ++a) {
-      const AggRef& spec = agg_refs[a];
-      AggState& s = st[a];
-      ++s.n;
-      if (spec.kind == AggKind::kCount) continue;
-      const double v = spec.value.value(r);
-      s.sum += v;
-      s.mn = std::min(s.mn, v);
-      s.mx = std::max(s.mx, v);
-      if (spec.kind == AggKind::kWeightedMean) {
-        const double w = spec.weight.value(r);
-        s.wsum += w;
-        s.wvsum += w * v;
-      }
-    }
-  };
-
   std::vector<SegmentPartial> partials(nsegs);
-  common::for_each_unit(pool.get(), nsegs, [&](std::size_t seg) {
+  common::pool_run(nsegs, threads_, 0, [&](std::size_t seg) {
     check_cancel();
     SegmentPartial& part = partials[seg];
     const std::size_t begin = seg * kSegmentRows;
     const std::size_t end = std::min(total_matches, begin + kSegmentRows);
+    const std::size_t len = end - begin;
+    const std::uint32_t* rows = match_ptr != nullptr ? match_ptr + begin : nullptr;
+    const auto base = static_cast<std::uint32_t>(begin);
+    if (key_refs.empty()) {
+      aggregate_ungrouped(part, agg_refs, kt, rows, base, len);
+      return;
+    }
     if (dense) {
       std::vector<std::uint32_t> slot(dense_domain, kNoGroup);
-      for (std::size_t m = begin; m < end; ++m) {
-        const std::uint32_t r =
-            match_ptr != nullptr ? match_ptr[m] : static_cast<std::uint32_t>(m);
+      for (std::size_t j = 0; j < len; ++j) {
+        const std::uint32_t r = rows != nullptr ? rows[j] : base + static_cast<std::uint32_t>(j);
         std::size_t idx = 0;
         for (std::size_t k = 0; k < key_refs.size(); ++k) {
           idx += static_cast<std::size_t>(key_refs[k].codes[r]) * dense_mult[k];
@@ -527,37 +772,11 @@ Table Query::run() const {
           part.example_row.push_back(r);
           part.states.resize(part.states.size() + naggs);
         }
-        update_aggs(part.states.data() + std::size_t{g} * naggs, r);
+        update_aggs(agg_refs, part.states.data() + std::size_t{g} * naggs, r);
       }
       return;
     }
-    for (std::size_t m = begin; m < end; ++m) {
-      const std::uint32_t r =
-          match_ptr != nullptr ? match_ptr[m] : static_cast<std::uint32_t>(m);
-      PackedKey key;
-      for (std::size_t k = 0; k < key_refs.size(); ++k) {
-        const KeyRef& ref = key_refs[k];
-        switch (ref.type) {
-          case ColType::kString:
-            key.w[k] = static_cast<std::uint32_t>(ref.codes[r]);
-            break;
-          case ColType::kInt64:
-            key.w[k] = static_cast<std::uint64_t>(ref.i64[r]);
-            break;
-          case ColType::kDouble:
-            key.w[k] = std::bit_cast<std::uint64_t>(ref.f64[r]);
-            break;
-        }
-      }
-      const auto [it, inserted] =
-          part.groups.emplace(key, static_cast<std::uint32_t>(part.keys.size()));
-      if (inserted) {
-        part.keys.push_back(key);
-        part.example_row.push_back(r);
-        part.states.resize(part.states.size() + naggs);
-      }
-      update_aggs(part.states.data() + static_cast<std::size_t>(it->second) * naggs, r);
-    }
+    radix_group_segment(part, key_refs, agg_refs, rows, base, len);
   });
 
   // --- merge partials in segment order (deterministic group order) --------

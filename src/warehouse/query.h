@@ -103,11 +103,15 @@ struct QueryStats {
 /// Execution is chunked, vectorized and optionally parallel: predicates
 /// evaluate into per-chunk selection vectors (typed kernels when the
 /// predicate is exact(), the closure otherwise), rows aggregate into
-/// fixed-size segments of the match list on worker threads, and segment
-/// partials merge in segment order. Because the segment layout depends only
-/// on the ordered list of matching rows — not on the thread count or the
-/// table's zone-chunk size — results, group order and QueryStats are
-/// identical for any threads() setting (DESIGN.md §7 determinism rule).
+/// fixed-size segments of the match list on the shared worker pool, and
+/// segment partials merge in segment order. The kernels are SIMD per the
+/// runtime ISA tier (common/simd.h): filters compute exact per-row facts,
+/// and ungrouped aggregates follow the canonical 8-lane scheme, so every
+/// tier produces the same bits. Because the segment layout depends only
+/// on the ordered list of matching rows — not on the thread count, the
+/// ISA tier, or the table's zone-chunk size — results, group order and
+/// QueryStats are identical for any threads() setting and any
+/// SUPREMM_SIMD tier (DESIGN.md §7 determinism rule, §15 kernel layer).
 ///
 /// Group keys are packed bit-exactly (dictionary code / int64 bits /
 /// double bit pattern), so double keys that agree only in their first six

@@ -25,6 +25,7 @@
 
 #include "common/error.h"
 #include "common/rng.h"
+#include "common/simd.h"
 #include "testkit/genquery.h"
 #include "testkit/oracle.h"
 #include "testkit/replay.h"
@@ -60,6 +61,27 @@ TEST(OracleDifferential, EngineMatchesOracleOnGeneratedQueries) {
   for (std::size_t i = 0; i < rep.divergences.size(); ++i) {
     ADD_FAILURE() << "divergence (replay: SUPREMM_TESTKIT_REPLAY=" << rep.seed_files[i]
                   << " build/tests/test_oracle): " << rep.divergences[i];
+  }
+}
+
+// The engine must agree with the oracle under every dispatch tier, not just
+// the one the host picks: the oracle's row-at-a-time lane-8 arithmetic is
+// tier-free, so forcing the scalar kernels re-proves the engine's vector
+// tiers and its scalar tier compute the very same bits (DESIGN.md §15).
+TEST(OracleDifferential, EngineMatchesOracleUnderForcedScalarTier) {
+  namespace simd = common::simd;
+  simd::set_tier(simd::Tier::kScalar);
+  testkit::DiffConfig cfg;
+  cfg.seed = 20130314;  // fresh seed: different queries from the native leg
+  cfg.queries = 150;
+  cfg.seed_dir = seed_dir();
+  const testkit::DiffReport rep = testkit::run_differential(cfg);
+  simd::set_tier(simd::hardware_tier());
+  EXPECT_EQ(rep.queries_run, cfg.queries);
+  for (std::size_t i = 0; i < rep.divergences.size(); ++i) {
+    ADD_FAILURE() << "scalar-tier divergence (replay: SUPREMM_TESTKIT_REPLAY="
+                  << rep.seed_files[i] << " build/tests/test_oracle): "
+                  << rep.divergences[i];
   }
 }
 

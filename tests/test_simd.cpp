@@ -1,0 +1,418 @@
+// Cross-ISA-tier determinism suite (ctest label: simd).
+//
+// The contract under test (DESIGN.md §15): runtime SIMD dispatch
+// (common/simd.h) must never change observable results. Query results,
+// QueryStats, archive partition bytes, the XOR-delta double codec, and the
+// LZSS token stream are bit-identical for every tier the host supports
+// (scalar / SSE2 / AVX2) crossed with every thread count, because every
+// vector kernel either computes exact per-row predicates or follows the
+// canonical 8-lane accumulation scheme that the scalar tier implements with
+// eight scalar accumulators.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <optional>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "archive/partition.h"
+#include "common/simd.h"
+#include "compress/lzss.h"
+#include "sim_fixture.h"
+#include "warehouse/kernels.h"
+#include "warehouse/query.h"
+#include "warehouse/table.h"
+
+namespace {
+
+using namespace supremm;
+namespace simd = common::simd;
+namespace kernels = warehouse::kernels;
+
+using supremm::testing::expect_tables_identical;
+
+constexpr std::size_t kThreadCounts[] = {1, 2, 8};
+
+/// Every tier the host can actually run (set_tier clamps to hardware, so
+/// requesting more would silently retest the top tier).
+std::vector<simd::Tier> host_tiers() {
+  std::vector<simd::Tier> out = {simd::Tier::kScalar};
+  if (simd::hardware_tier() >= simd::Tier::kSse2) out.push_back(simd::Tier::kSse2);
+  if (simd::hardware_tier() >= simd::Tier::kAvx2) out.push_back(simd::Tier::kAvx2);
+  return out;
+}
+
+/// Restores the hardware tier when a test exits, pass or fail.
+struct TierGuard {
+  TierGuard() = default;
+  ~TierGuard() { simd::set_tier(simd::hardware_tier()); }
+};
+
+/// Mixed-type table with the shapes the kernels care about: a monotone
+/// prunable column, a dictionary column, an int64 column (shared scalar
+/// lane path), and a double column salted with NaN (filters must drop it,
+/// min/max must ignore it, sums canonicalize it).
+warehouse::Table make_table(std::size_t rows) {
+  warehouse::Table t("t", {{"time", warehouse::ColType::kDouble},
+                           {"user", warehouse::ColType::kString},
+                           {"day", warehouse::ColType::kInt64},
+                           {"value", warehouse::ColType::kDouble},
+                           {"weight", warehouse::ColType::kDouble}});
+  std::mt19937_64 rng(2013);
+  std::uniform_real_distribution<double> frac(0.0, 1.0);
+  for (std::size_t r = 0; r < rows; ++r) {
+    const double v = (r % 97 == 0) ? std::numeric_limits<double>::quiet_NaN()
+                                   : frac(rng) * 100.0;
+    t.append()
+        .set("time", static_cast<double>(r) * 0.25)
+        .set("user", std::string("u") + std::to_string(r % 13))
+        .set("day", static_cast<std::int64_t>(r % 7))
+        .set("value", v)
+        .set("weight", 0.5 + frac(rng));
+  }
+  t.rebuild_zone_index(/*chunk_rows=*/512);
+  return t;
+}
+
+std::vector<warehouse::AggSpec> all_agg_kinds() {
+  return {{"value", warehouse::AggKind::kSum, "", ""},
+          {"value", warehouse::AggKind::kMean, "", ""},
+          {"value", warehouse::AggKind::kWeightedMean, "weight", "wm"},
+          {"value", warehouse::AggKind::kMax, "", ""},
+          {"value", warehouse::AggKind::kMin, "", ""},
+          {"day", warehouse::AggKind::kSum, "", "dsum"},
+          {"", warehouse::AggKind::kCount, "", "n"}};
+}
+
+TEST(SimdDispatch, ParseTierAcceptsTheDocumentedSpellings) {
+  simd::Tier t{};
+  EXPECT_TRUE(simd::parse_tier("scalar", &t));
+  EXPECT_EQ(t, simd::Tier::kScalar);
+  EXPECT_TRUE(simd::parse_tier("sse2", &t));
+  EXPECT_EQ(t, simd::Tier::kSse2);
+  EXPECT_TRUE(simd::parse_tier("avx2", &t));
+  EXPECT_EQ(t, simd::Tier::kAvx2);
+  EXPECT_FALSE(simd::parse_tier("avx512", &t));
+  EXPECT_FALSE(simd::parse_tier("", &t));
+  EXPECT_FALSE(simd::parse_tier("SCALAR", &t));
+}
+
+TEST(SimdDispatch, SetTierClampsToHardware) {
+  TierGuard guard;
+  simd::set_tier(simd::Tier::kAvx2);
+  EXPECT_LE(simd::active_tier(), simd::hardware_tier());
+  simd::set_tier(simd::Tier::kScalar);
+  EXPECT_EQ(simd::active_tier(), simd::Tier::kScalar);
+}
+
+TEST(SimdDispatch, EveryTierHasAFullKernelTable) {
+  for (const simd::Tier t : {simd::Tier::kScalar, simd::Tier::kSse2, simd::Tier::kAvx2}) {
+    const kernels::KernelTable& kt = kernels::table_for(t);
+    EXPECT_NE(kt.filter_f64_range, nullptr);
+    EXPECT_NE(kt.filter_codes_eq, nullptr);
+    EXPECT_NE(kt.refine_f64_range, nullptr);
+    EXPECT_NE(kt.refine_codes_eq, nullptr);
+    EXPECT_NE(kt.sum_lanes, nullptr);
+    EXPECT_NE(kt.min_lanes, nullptr);
+    EXPECT_NE(kt.max_lanes, nullptr);
+    EXPECT_NE(kt.dot_lanes, nullptr);
+  }
+}
+
+/// Query results and QueryStats across every tier × thread count, for the
+/// three aggregation paths: ungrouped (lane-8 kernels), dense dictionary
+/// group-by, and the radix hash group-by over packed multi-column keys.
+TEST(SimdQuery, ResultsAndStatsIdenticalAcrossTiersAndThreads) {
+  TierGuard guard;
+  const auto table = make_table(20000);
+
+  struct Shape {
+    const char* name;
+    std::vector<std::string> group_by;
+  };
+  const Shape shapes[] = {
+      {"ungrouped", {}},
+      {"dense", {"user"}},
+      {"radix", {"user", "day", "time"}},
+  };
+  for (const Shape& shape : shapes) {
+    std::optional<warehouse::Table> reference;
+    std::optional<warehouse::QueryStats> ref_stats;
+    for (const simd::Tier tier : host_tiers()) {
+      simd::set_tier(tier);
+      for (const std::size_t threads : kThreadCounts) {
+        warehouse::Query q(table);
+        auto result = q.where(warehouse::all_of({warehouse::between("value", 10.0, 90.0),
+                                                 warehouse::eq("user", "u3")}))
+                          .group_by(shape.group_by)
+                          .aggregate(all_agg_kinds())
+                          .threads(threads)
+                          .run();
+        if (!reference) {
+          reference = std::move(result);
+          ref_stats = q.stats();
+          continue;
+        }
+        SCOPED_TRACE(std::string(shape.name) + " tier " +
+                     std::string(simd::tier_name(tier)) + " threads " +
+                     std::to_string(threads));
+        expect_tables_identical(*reference, result);
+        EXPECT_EQ(ref_stats->chunks_total, q.stats().chunks_total);
+        EXPECT_EQ(ref_stats->chunks_pruned, q.stats().chunks_pruned);
+        EXPECT_EQ(ref_stats->rows_scanned, q.stats().rows_scanned);
+        EXPECT_EQ(ref_stats->rows_matched, q.stats().rows_matched);
+      }
+    }
+  }
+}
+
+/// The no-predicate full-table shape drives the identity (rows == nullptr)
+/// variants of the lane kernels.
+TEST(SimdQuery, FullTableAggregatesIdenticalAcrossTiers) {
+  TierGuard guard;
+  const auto table = make_table(8000);
+  std::optional<warehouse::Table> reference;
+  for (const simd::Tier tier : host_tiers()) {
+    simd::set_tier(tier);
+    auto result =
+        warehouse::Query(table).aggregate(all_agg_kinds()).threads(8).run();
+    if (!reference) {
+      reference = std::move(result);
+      continue;
+    }
+    SCOPED_TRACE(std::string(simd::tier_name(tier)));
+    expect_tables_identical(*reference, result);
+  }
+}
+
+TEST(SimdArchive, PartitionBytesIdenticalAcrossTiersAndThreads) {
+  TierGuard guard;
+  const auto table = make_table(6000);
+  std::optional<std::string> reference;
+  for (const simd::Tier tier : host_tiers()) {
+    simd::set_tier(tier);
+    for (const std::size_t threads : kThreadCounts) {
+      const std::string bytes =
+          archive::encode_partition(table, 3, archive::kDefaultChunkRows, threads);
+      if (!reference) {
+        reference = bytes;
+        continue;
+      }
+      ASSERT_EQ(*reference, bytes)
+          << "tier " << simd::tier_name(tier) << ", " << threads << " threads";
+    }
+  }
+  // Round trip under every tier too: decode dispatches through the same
+  // kernels as encode.
+  for (const simd::Tier tier : host_tiers()) {
+    simd::set_tier(tier);
+    auto dp = archive::decode_partition(*reference, nullptr, 8);
+    SCOPED_TRACE(std::string(simd::tier_name(tier)));
+    expect_tables_identical(table, dp.table);
+  }
+}
+
+TEST(SimdCodec, XorDeltaEncodeBytesIdenticalAcrossTiers) {
+  TierGuard guard;
+  std::mt19937_64 rng(7);
+  for (const std::size_t n : {std::size_t{0}, std::size_t{1}, std::size_t{7},
+                              std::size_t{64}, std::size_t{1013}}) {
+    std::vector<double> vals(n);
+    for (auto& v : vals) {
+      switch (rng() % 4) {
+        case 0: v = std::numeric_limits<double>::quiet_NaN(); break;
+        case 1: v = -0.0; break;
+        default: v = std::bit_cast<double>(rng()); break;
+      }
+    }
+    std::optional<std::vector<std::uint64_t>> reference;
+    for (const simd::Tier tier : host_tiers()) {
+      simd::set_tier(tier);
+      std::vector<std::uint64_t> deltas(n);
+      simd::xor_delta_encode_f64(vals.data(), n, 0, deltas.data());
+      if (!reference) {
+        reference = deltas;
+        continue;
+      }
+      ASSERT_EQ(*reference, deltas) << "n=" << n << " tier " << simd::tier_name(tier);
+    }
+    // Decode inverts encode exactly, arbitrary bit patterns included.
+    if (n > 0) {
+      std::vector<double> back(n);
+      simd::xor_delta_decode_f64(reinterpret_cast<const unsigned char*>(reference->data()),
+                                 n, 0, back.data());
+      ASSERT_EQ(std::memcmp(back.data(), vals.data(), n * 8), 0) << "n=" << n;
+    }
+  }
+}
+
+TEST(SimdLzss, TokenStreamIdenticalAcrossTiers) {
+  TierGuard guard;
+  std::mt19937_64 rng(17);
+  // Short buffers cover the scalar tail (the wide scan needs 16 bytes of
+  // lookahead); the long one keeps the hash chains and match scanner busy.
+  std::vector<std::string> inputs;
+  for (std::size_t n = 0; n <= 40; ++n) {
+    std::string s(n, '\0');
+    for (auto& c : s) c = static_cast<char>('a' + (rng() % 4));
+    inputs.push_back(std::move(s));
+  }
+  std::string big;
+  std::string block(96, '\0');
+  for (auto& c : block) c = static_cast<char>(rng() & 0xff);
+  while (big.size() < (1u << 16)) {
+    big += block;
+    big[big.size() - 1 - (rng() % block.size())] ^= 1;
+  }
+  inputs.push_back(std::move(big));
+
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    std::optional<std::string> reference;
+    for (const simd::Tier tier : host_tiers()) {
+      simd::set_tier(tier);
+      const std::string c = compress::compress(inputs[i]);
+      if (!reference) {
+        reference = c;
+        ASSERT_EQ(compress::decompress(c), inputs[i]) << "input " << i;
+        continue;
+      }
+      ASSERT_EQ(*reference, c) << "input " << i << " tier " << simd::tier_name(tier);
+    }
+  }
+}
+
+/// Kernel-level cross-checks on adversarial values: NaN and infinities in
+/// filters (NaN never passes), ragged tail lengths around the vector width,
+/// and boundary values sitting exactly on lo/hi.
+TEST(SimdKernels, FilterAndRefineMatchScalarOnAdversarialData) {
+  std::mt19937_64 rng(23);
+  for (const std::size_t n : {std::size_t{1}, std::size_t{3}, std::size_t{8},
+                              std::size_t{17}, std::size_t{1000}}) {
+    std::vector<double> vals(n);
+    std::vector<std::int32_t> codes(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      switch (rng() % 8) {
+        case 0: vals[i] = std::numeric_limits<double>::quiet_NaN(); break;
+        case 1: vals[i] = std::numeric_limits<double>::infinity(); break;
+        case 2: vals[i] = -std::numeric_limits<double>::infinity(); break;
+        case 3: vals[i] = 25.0; break;  // exactly lo
+        case 4: vals[i] = 75.0; break;  // exactly hi
+        default: vals[i] = static_cast<double>(rng() % 100); break;
+      }
+      codes[i] = static_cast<std::int32_t>(rng() % 5);
+    }
+    std::vector<std::uint32_t> ref_idx(n), got_idx(n);
+    const kernels::KernelTable& ref = kernels::table_for(simd::Tier::kScalar);
+    const std::size_t nref = ref.filter_f64_range(vals.data(), 0, n, 25.0, 75.0,
+                                                  ref_idx.data());
+    const std::size_t cref =
+        ref.filter_codes_eq(codes.data(), 0, n, 3, got_idx.data());
+    std::vector<std::uint32_t> code_ref(got_idx.begin(), got_idx.begin() + cref);
+    for (const simd::Tier tier : host_tiers()) {
+      const kernels::KernelTable& kt = kernels::table_for(tier);
+      SCOPED_TRACE("n=" + std::to_string(n) + " tier " +
+                   std::string(simd::tier_name(tier)));
+      const std::size_t ngot =
+          kt.filter_f64_range(vals.data(), 0, n, 25.0, 75.0, got_idx.data());
+      ASSERT_EQ(nref, ngot);
+      EXPECT_EQ(std::memcmp(ref_idx.data(), got_idx.data(), ngot * 4), 0);
+      for (std::size_t j = 0; j < ngot; ++j) {
+        EXPECT_FALSE(std::isnan(vals[got_idx[j]]));  // NaN never passes
+      }
+      // Refine over the filter survivors, in place as Query::run does.
+      std::vector<std::uint32_t> sel(ref_idx.begin(), ref_idx.begin() + nref);
+      const std::size_t nr =
+          kt.refine_f64_range(vals.data(), sel.data(), sel.size(), 30.0, 70.0, sel.data());
+      std::vector<std::uint32_t> sref(ref_idx.begin(), ref_idx.begin() + nref);
+      const std::size_t nr_ref = ref.refine_f64_range(vals.data(), sref.data(),
+                                                      sref.size(), 30.0, 70.0, sref.data());
+      ASSERT_EQ(nr_ref, nr);
+      EXPECT_EQ(std::memcmp(sref.data(), sel.data(), nr * 4), 0);
+
+      const std::size_t cgot = kt.filter_codes_eq(codes.data(), 0, n, 3, got_idx.data());
+      ASSERT_EQ(cref, cgot);
+      EXPECT_EQ(std::memcmp(code_ref.data(), got_idx.data(), cgot * 4), 0);
+    }
+  }
+}
+
+/// Lane aggregation kernels produce bit-identical lane arrays in every tier
+/// (which the fixed fold trees then reduce identically).
+TEST(SimdKernels, LaneAggregatesBitIdenticalAcrossTiers) {
+  std::mt19937_64 rng(29);
+  for (const std::size_t n : {std::size_t{1}, std::size_t{5}, std::size_t{8},
+                              std::size_t{29}, std::size_t{4096}}) {
+    std::vector<double> vals(n), weights(n);
+    std::vector<std::uint32_t> rows(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      vals[i] = (static_cast<double>(rng() % 100000) - 50000.0) / 7.0;
+      weights[i] = static_cast<double>(rng() % 1000) / 13.0;
+      rows[i] = static_cast<std::uint32_t>((i * 2) % n);
+    }
+    const kernels::KernelTable& ref = kernels::table_for(simd::Tier::kScalar);
+    for (const simd::Tier tier : host_tiers()) {
+      const kernels::KernelTable& kt = kernels::table_for(tier);
+      SCOPED_TRACE("n=" + std::to_string(n) + " tier " +
+                   std::string(simd::tier_name(tier)));
+      for (const std::uint32_t* r : {static_cast<const std::uint32_t*>(nullptr),
+                                     static_cast<const std::uint32_t*>(rows.data())}) {
+        double a[kernels::kLanes], b[kernels::kLanes];
+        double aw[kernels::kLanes], bw[kernels::kLanes];
+
+        std::fill(a, a + kernels::kLanes, 0.0);
+        std::fill(b, b + kernels::kLanes, 0.0);
+        ref.sum_lanes(vals.data(), r, 0, n, a);
+        kt.sum_lanes(vals.data(), r, 0, n, b);
+        EXPECT_EQ(std::memcmp(a, b, sizeof(a)), 0) << "sum";
+
+        std::fill(a, a + kernels::kLanes, std::numeric_limits<double>::infinity());
+        std::fill(b, b + kernels::kLanes, std::numeric_limits<double>::infinity());
+        ref.min_lanes(vals.data(), r, 0, n, a);
+        kt.min_lanes(vals.data(), r, 0, n, b);
+        EXPECT_EQ(std::memcmp(a, b, sizeof(a)), 0) << "min";
+
+        std::fill(a, a + kernels::kLanes, -std::numeric_limits<double>::infinity());
+        std::fill(b, b + kernels::kLanes, -std::numeric_limits<double>::infinity());
+        ref.max_lanes(vals.data(), r, 0, n, a);
+        kt.max_lanes(vals.data(), r, 0, n, b);
+        EXPECT_EQ(std::memcmp(a, b, sizeof(a)), 0) << "max";
+
+        std::fill(a, a + kernels::kLanes, 0.0);
+        std::fill(b, b + kernels::kLanes, 0.0);
+        std::fill(aw, aw + kernels::kLanes, 0.0);
+        std::fill(bw, bw + kernels::kLanes, 0.0);
+        ref.dot_lanes(vals.data(), weights.data(), r, 0, n, aw, a);
+        kt.dot_lanes(vals.data(), weights.data(), r, 0, n, bw, b);
+        EXPECT_EQ(std::memcmp(a, b, sizeof(a)), 0) << "dot wv";
+        EXPECT_EQ(std::memcmp(aw, bw, sizeof(aw)), 0) << "dot w";
+      }
+    }
+  }
+}
+
+TEST(SimdKernels, MatchLengthAgreesWithByteLoop) {
+  TierGuard guard;
+  std::mt19937_64 rng(31);
+  std::vector<unsigned char> a(64), b(64);
+  for (int trial = 0; trial < 200; ++trial) {
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      a[i] = static_cast<unsigned char>(rng() % 3);
+      b[i] = static_cast<unsigned char>(rng() % 3);
+    }
+    const std::size_t limit = 1 + rng() % 18;
+    std::size_t expect = 0;
+    while (expect < limit && a[expect] == b[expect]) ++expect;
+    for (const simd::Tier tier : host_tiers()) {
+      simd::set_tier(tier);
+      EXPECT_EQ(simd::match_length(a.data(), b.data(), limit), expect)
+          << "trial " << trial << " tier " << simd::tier_name(tier);
+    }
+  }
+}
+
+}  // namespace
