@@ -52,6 +52,16 @@ fi
 echo "== service suite: concurrent query service =="
 ctest --test-dir "${BUILD_DIR}" -L service --output-on-failure -j "${JOBS}"
 
+echo "== rollup suite: subsumption-checked report serving (DESIGN.md §16) =="
+ctest --test-dir "${BUILD_DIR}" -L rollup --output-on-failure -j "${JOBS}"
+
+echo "== rollup forced-off leg: raw-scan fallback keeps the serving suites green =="
+SUPREMM_ROLLUP=off ctest --test-dir "${BUILD_DIR}" -L service --output-on-failure -j "${JOBS}"
+SUPREMM_ROLLUP=off ctest --test-dir "${BUILD_DIR}" -L rollup --output-on-failure -j "${JOBS}"
+
+echo "== rollup bench: dashboard-mix bit-identity + p50 speedup gate =="
+(cd "${BUILD_DIR}" && ./bench/bench_rollup > /dev/null)
+
 echo "== crash suite: kill-point sweeps + recovery properties =="
 ctest --test-dir "${BUILD_DIR}" -L crash --output-on-failure -j "${JOBS}"
 

@@ -10,6 +10,7 @@
 #include "common/error.h"
 #include "common/strings.h"
 #include "common/pool.h"
+#include "warehouse/aggstate.h"
 
 namespace supremm::archive {
 
@@ -606,10 +607,24 @@ AppendStats Archive::append(const etl::IngestConfig& cfg,
   }
 
   // Retire every partition this append rewrites: all days >= prev_final
-  // plus the quality snapshot.
+  // plus the quality snapshot. Rollup partitions retire from the start of
+  // the coarse bucket containing prev_final — a week/month/quarter cell
+  // whose span includes a recomputed day must be rebuilt whole.
+  const std::int64_t w0 =
+      warehouse::floor_div(prev_final, warehouse::kDaysPerWeek) * warehouse::kDaysPerWeek;
+  const std::int64_t m0 =
+      warehouse::floor_div(prev_final, warehouse::kDaysPerMonth) * warehouse::kDaysPerMonth;
+  const std::int64_t q0 =
+      warehouse::floor_div(prev_final, warehouse::kDaysPerQuarter) * warehouse::kDaysPerQuarter;
+  const auto retire_from = [&](std::string_view table) {
+    if (table == warehouse::rollup::levels()[1].table) return w0;
+    if (table == warehouse::rollup::levels()[2].table) return m0;
+    if (table == warehouse::rollup::levels()[3].table) return q0;
+    return prev_final;
+  };
   std::vector<std::string> stale;
   std::erase_if(m.partitions, [&](const PartitionInfo& p) {
-    if (p.day >= prev_final || p.table == kQualityTable) {
+    if (p.day >= retire_from(p.table) || p.table == kQualityTable) {
       stale.push_back(p.filename);
       return true;
     }
@@ -667,6 +682,61 @@ AppendStats Archive::append(const etl::IngestConfig& cfg,
   persist(quality_to_table(res.quality), -1,
           common::strprintf("data_quality-snapshot-e%06llu.part", ell));
 
+  // --- rollup maintenance (DESIGN.md §16) --------------------------------
+  // Incremental: only the day cells of rewritten days and the coarse
+  // buckets containing them are rebuilt — never the whole history. The
+  // retained days of those coarse buckets are re-read from their immutable
+  // jobs partitions (at most one quarter's worth), folded together with
+  // this append's jobs, and the touched cells are staged into the same
+  // crash-consistent commit as everything else.
+  {
+    std::vector<etl::JobSummary> combined;
+    for (const auto& [d, js] : jobs_by_day) {
+      combined.insert(combined.end(), js.begin(), js.end());
+    }
+    for (const auto& p : m.partitions) {
+      if (p.table != kJobsTable || p.day < q0 || p.day >= prev_final) continue;
+      std::vector<etl::PartitionQuarantine> quar;
+      auto dp = try_read_partition(dir_, p, nullptr, quar);
+      if (!dp) {
+        throw common::ArchiveError("rollup maintenance cannot re-read " + p.filename + ": " +
+                                   (quar.empty() ? "unknown fault" : quar.front().reason));
+      }
+      auto js = jobs_from_table(dp->table);
+      combined.insert(combined.end(), std::make_move_iterator(js.begin()),
+                      std::make_move_iterator(js.end()));
+      ++stats.rollup_days_read_back;
+    }
+    std::sort(combined.begin(), combined.end(),
+              [](const etl::JobSummary& a, const etl::JobSummary& b) { return a.id < b.id; });
+
+    const warehouse::Table all_jobs = jobs_table(combined);
+    const warehouse::rollup::RollupSet rset = warehouse::rollup::build_from_table(all_jobs);
+    const std::int64_t stage_from[] = {prev_final, w0, m0, q0};
+    for (std::size_t li = 0; li < warehouse::rollup::levels().size(); ++li) {
+      const warehouse::Table& lt = rset.level(li);
+      const auto buckets = lt.col("bucket").int64s();
+      std::size_t r = 0;
+      while (r < lt.rows()) {
+        const std::int64_t b = buckets[r];
+        std::size_t e = r;
+        while (e < lt.rows() && buckets[e] == b) ++e;
+        if (b >= stage_from[li]) {
+          std::vector<std::pair<std::string, warehouse::ColType>> schema;
+          for (const auto& c : lt.columns()) schema.emplace_back(c.name(), c.type());
+          warehouse::Table part(lt.name(), std::move(schema));
+          for (std::size_t i = r; i < e; ++i) append_row(part, lt, i);
+          stats.rollup_cells_written += part.rows();
+          ++stats.rollup_partitions_written;
+          persist(part, b,
+                  common::strprintf("%s-d%06lld-e%06llu.part", lt.name().c_str(),
+                                    static_cast<long long>(b), ell));
+        }
+        r = e;
+      }
+    }
+  }
+
   m.watermark = upto;
   m.rewrite_from = day_end - 1;
   m.epoch = epoch;
@@ -710,6 +780,9 @@ LoadResult Archive::load() const {
       series_parts.push_back(std::move(dp->table));
     } else if (p->table == kQualityTable) {
       out.result.quality = quality_from_table(dp->table);
+    } else if (warehouse::rollup::is_rollup_table(p->table)) {
+      // Maintained aggregates: verified and counted here, materialized by
+      // load_rollups(). Not part of the IngestResult round trip.
     } else {
       out.quarantined.push_back({p->table, p->day, p->filename, "unknown table"});
     }
@@ -744,6 +817,33 @@ LoadResult Archive::load() const {
                                                out.quarantined.begin(), out.quarantined.end());
   out.result.quality.recovery = recovery_;
   return out;
+}
+
+std::optional<warehouse::rollup::RollupSet> Archive::load_rollups() const {
+  if (!manifest_) return std::nullopt;
+  warehouse::rollup::RollupSet set;
+  bool any = false;
+  for (std::size_t li = 0; li < warehouse::rollup::levels().size(); ++li) {
+    std::vector<const PartitionInfo*> parts;
+    for (const auto& p : manifest_->partitions) {
+      if (p.table == warehouse::rollup::levels()[li].table) parts.push_back(&p);
+    }
+    // One partition per bucket; day order restores the canonical
+    // (bucket ASC, min_jobid ASC) cell order, each partition being sorted
+    // within its bucket already.
+    std::sort(parts.begin(), parts.end(),
+              [](const PartitionInfo* a, const PartitionInfo* b) { return a->day < b->day; });
+    warehouse::Table& dst = set.level(li);
+    for (const PartitionInfo* p : parts) {
+      std::vector<etl::PartitionQuarantine> quar;
+      auto dp = try_read_partition(dir_, *p, nullptr, quar);
+      if (!dp) return std::nullopt;  // partial rollups must not serve
+      for (std::size_t r = 0; r < dp->table.rows(); ++r) append_row(dst, dp->table, r);
+      any = true;
+    }
+  }
+  if (!any) return std::nullopt;  // pre-rollup archive: caller rebuilds
+  return set;
 }
 
 }  // namespace supremm::archive

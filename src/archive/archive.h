@@ -51,6 +51,7 @@
 #include "common/io.h"
 #include "etl/ingest.h"
 #include "etl/quality.h"
+#include "warehouse/rollup.h"
 
 namespace supremm::archive {
 
@@ -85,6 +86,12 @@ struct AppendStats {
   std::size_t partitions_written = 0;
   std::uint64_t rows_written = 0;
   std::uint64_t bytes_written = 0;   // compressed partition bytes
+  // Rollup maintenance accounting (all included in the totals above):
+  // partitions/cells staged for the four rollup tables this commit, and the
+  // retained jobs partitions re-read to rebuild the touched coarse buckets.
+  std::size_t rollup_partitions_written = 0;
+  std::uint64_t rollup_cells_written = 0;
+  std::size_t rollup_days_read_back = 0;
 };
 
 struct LoadResult {
@@ -199,8 +206,16 @@ class Archive {
   /// Materialize the full archive as an IngestResult (jobs sorted by id,
   /// series over [start, watermark), latest quality snapshot). Damaged
   /// partitions are quarantined into the result's DataQualityReport, which
-  /// also carries this handle's recovery accounting.
+  /// also carries this handle's recovery accounting. Rollup partitions are
+  /// verified and counted but not merged here — see load_rollups().
   [[nodiscard]] LoadResult load() const;
+
+  /// Materialize the maintained rollup tables (DESIGN.md §16) from their
+  /// partitions, in canonical (bucket ASC, min job id ASC) cell order.
+  /// Returns nullopt when the archive predates rollups or any rollup
+  /// partition fails verification — the caller rebuilds from the jobs table
+  /// instead of serving from a partial rollup state.
+  [[nodiscard]] std::optional<warehouse::rollup::RollupSet> load_rollups() const;
 
   /// What recovery did when this handle was opened (all-zero for a clean
   /// open). Exact accounting: one rolled-forward or rolled-back commit at

@@ -11,6 +11,7 @@
 #include "archive/tables.h"
 #include "common/error.h"
 #include "common/strings.h"
+#include "warehouse/rollup.h"
 
 namespace supremm::service {
 
@@ -20,6 +21,32 @@ using Clock = std::chrono::steady_clock;
 
 double ms_between(Clock::time_point from, Clock::time_point to) {
   return std::chrono::duration<double, std::milli>(to - from).count();
+}
+
+// The compiled request terms, re-expressed for the rollup subsumption
+// checker. Lossless: Term and rollup::PredInput have the same shape.
+warehouse::rollup::QueryInput rollup_input(const QuerySpec& spec) {
+  warehouse::rollup::QueryInput in;
+  in.where.reserve(spec.where.size());
+  for (const Term& t : spec.where) {
+    warehouse::rollup::PredInput p;
+    switch (t.op) {
+      case TermOp::kEq: p.op = warehouse::rollup::PredInput::Op::kEq; break;
+      case TermOp::kGe: p.op = warehouse::rollup::PredInput::Op::kGe; break;
+      case TermOp::kLe: p.op = warehouse::rollup::PredInput::Op::kLe; break;
+      case TermOp::kBetween:
+        p.op = warehouse::rollup::PredInput::Op::kBetween;
+        break;
+    }
+    p.column = t.column;
+    p.value = t.value;
+    p.lo = t.lo;
+    p.hi = t.hi;
+    in.where.push_back(std::move(p));
+  }
+  in.group_by = spec.group_by;
+  in.aggs = spec.aggs;
+  return in;
 }
 
 }  // namespace
@@ -136,6 +163,13 @@ std::string to_json(const ServiceMetrics& m) {
       static_cast<unsigned long long>(m.cache_hits),
       static_cast<unsigned long long>(m.cache_misses),
       static_cast<unsigned long long>(m.cache_evictions), m.cache_entries);
+  out += common::strprintf(
+      "\"rollup\":{\"enabled\":%s,\"hits\":%llu,\"misses\":%llu,"
+      "\"rebuilds\":%llu,\"cells\":%zu},",
+      m.rollups_enabled ? "true" : "false",
+      static_cast<unsigned long long>(m.rollup_hits),
+      static_cast<unsigned long long>(m.rollup_misses),
+      static_cast<unsigned long long>(m.rollup_rebuilds), m.rollup_cells);
   out += common::strprintf("\"queue\":{\"depth\":%zu,\"peak\":%zu},",
                            m.queue_depth, m.queue_peak);
   out += "\"latency_ms\":{\"queue_wait\":" + histogram_json(m.queue_wait_ms) +
@@ -153,6 +187,9 @@ struct Service::Snapshot {
   common::TimePoint watermark = 0;
   std::map<std::string, std::shared_ptr<const warehouse::Table>> tables;
   std::shared_ptr<const xdmod::JobsRealm> realm;  // null until jobs published
+  // Materialized day/week/month/quarter rollups over the published jobs
+  // table (null when cfg.rollups is off or only publish_tables was used).
+  std::shared_ptr<const warehouse::rollup::RollupSet> rollups;
 };
 
 struct Job {
@@ -239,6 +276,11 @@ void Service::publish_jobs(std::vector<etl::JobSummary> jobs,
   auto snap = std::make_shared<Snapshot>();
   snap->watermark = watermark;
   warehouse::Table jt = archive::jobs_table(jobs);
+  if (cfg_.rollups) {
+    warehouse::rollup::augment_jobs_table(jt);
+    snap->rollups = std::make_shared<const warehouse::rollup::RollupSet>(
+        warehouse::rollup::build_from_table(jt));
+  }
   jt.rebuild_zone_index(archive::kDefaultChunkRows);
   snap->tables.emplace(archive::kJobsTable,
                        std::make_shared<const warehouse::Table>(std::move(jt)));
@@ -267,6 +309,21 @@ void Service::bind_archive(archive::Archive& ar) {
     auto snap = std::make_shared<Snapshot>();
     snap->watermark = ar.watermark();
     warehouse::Table jt = archive::jobs_table(loaded.result.jobs);
+    if (cfg_.rollups) {
+      warehouse::rollup::augment_jobs_table(jt);
+      // Prefer the archive's incrementally maintained cells; an archive that
+      // predates rollups (or whose rollup partitions failed verification)
+      // falls back to a from-scratch build over the loaded jobs.
+      if (auto maintained = ar.load_rollups()) {
+        snap->rollups = std::make_shared<const warehouse::rollup::RollupSet>(
+            std::move(*maintained));
+      } else {
+        snap->rollups = std::make_shared<const warehouse::rollup::RollupSet>(
+            warehouse::rollup::build_from_table(jt));
+        std::lock_guard mlock(metrics_mu_);
+        ++counters_.rollup_rebuilds;
+      }
+    }
     jt.rebuild_zone_index(archive::kDefaultChunkRows);
     snap->tables.emplace(archive::kJobsTable,
                          std::make_shared<const warehouse::Table>(std::move(jt)));
@@ -468,11 +525,28 @@ void Service::execute(Job& job) {
         if (it == job.snap->tables.end()) {
           throw common::NotFoundError("service table '" + spec.table + "'");
         }
-        warehouse::Query q = compile(spec, *it->second);
-        q.cancel_token(&job.token);
-        warehouse::Table out = q.run();
-        r.stats = q.stats();
-        r.table = std::make_shared<const warehouse::Table>(std::move(out));
+        // Subsumable jobs queries are answered from the materialized rollup
+        // cells (bit-identical to the raw scan by the DESIGN.md §16
+        // contract); everything else falls through to the scan unchanged.
+        bool served = false;
+        if (spec.table == archive::kJobsTable && job.snap->rollups &&
+            warehouse::rollup::enabled()) {
+          if (const auto plan = warehouse::rollup::subsume(rollup_input(spec))) {
+            warehouse::Table out =
+                warehouse::rollup::serve(*job.snap->rollups, *plan, &r.stats);
+            r.table = std::make_shared<const warehouse::Table>(std::move(out));
+            served = true;
+          }
+          std::lock_guard mlock(metrics_mu_);
+          served ? ++counters_.rollup_hits : ++counters_.rollup_misses;
+        }
+        if (!served) {
+          warehouse::Query q = compile(spec, *it->second);
+          q.cancel_token(&job.token);
+          warehouse::Table out = q.run();
+          r.stats = q.stats();
+          r.table = std::make_shared<const warehouse::Table>(std::move(out));
+        }
       } else {
         if (!job.snap->realm) {
           throw common::NotFoundError(
@@ -553,6 +627,10 @@ ServiceMetrics Service::metrics() const {
   {
     std::lock_guard lock(snap_mu_);
     m.epoch = epoch_;
+    if (snap_ && snap_->rollups) {
+      m.rollups_enabled = warehouse::rollup::enabled();
+      m.rollup_cells = snap_->rollups->cells();
+    }
   }
   {
     std::lock_guard lock(degraded_mu_);

@@ -87,6 +87,11 @@ struct ServiceConfig {
   /// Base backoff between automatic republish retries; doubles per failed
   /// attempt (50, 100, 200, ... ms).
   std::int64_t stale_retry_backoff_ms = 50;
+  /// Maintain rollup tables on publish and serve subsumable jobs queries
+  /// from them (DESIGN.md §16). Disabling skips both the build and the
+  /// serving path — every query runs the raw scan. SUPREMM_ROLLUP=off
+  /// additionally disables serving at runtime without rebuilding snapshots.
+  bool rollups = true;
 
   /// Throws InvalidArgument naming the offending field: workers, queue_limit,
   /// default_deadline_ms and stale_retry_backoff_ms must be positive;
@@ -208,6 +213,12 @@ struct ServiceMetrics {
   std::uint64_t cache_misses = 0;
   std::uint64_t cache_evictions = 0;
   std::size_t cache_entries = 0;
+  bool rollups_enabled = false;        // snapshot has rollups and serving is on
+  std::uint64_t rollup_hits = 0;       // queries answered from rollup cells
+  std::uint64_t rollup_misses = 0;     // jobs queries that fell back to a scan
+  std::uint64_t rollup_rebuilds = 0;   // snapshots whose rollups were rebuilt
+                                       // from the jobs table (archive had none)
+  std::size_t rollup_cells = 0;        // cells across the snapshot's levels
   std::size_t queue_depth = 0;
   std::size_t queue_peak = 0;
   LatencyHistogram queue_wait_ms;

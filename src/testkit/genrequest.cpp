@@ -1,8 +1,14 @@
 #include "testkit/genrequest.h"
 
+#include <algorithm>
+#include <cmath>
+#include <limits>
 #include <utility>
 
 #include "common/error.h"
+#include "common/rng.h"
+#include "common/strings.h"
+#include "common/time.h"
 #include "testkit/genquery.h"
 
 namespace supremm::testkit {
@@ -42,6 +48,262 @@ std::string make_request_text(std::uint64_t seed, std::uint64_t index,
   QuerySpec spec = make_query_spec(seed, index);
   spec.opaque = false;
   std::string text = to_request_text(spec, table);
+  if (out_spec != nullptr) *out_spec = std::move(spec);
+  return text;
+}
+
+// ---------------------------------------------------------------------------
+// Rollup-realm fuzzing
+
+namespace {
+
+constexpr std::int64_t kDaySec = common::kDay;
+
+// Metrics the agg generator draws from: a mix of double metrics, the int64
+// metrics (nodes, cores) and the wmean weight column itself.
+constexpr const char* kRollupMetricPool[] = {
+    "node_hours", "nodes",         "cores",          "cpu_idle",
+    "mem_used_gb", "net_ib_tx_mb_s", "load_mean",    "cpu_flops_gf_node",
+    "io_scratch_write_mb_s", "swap_mb_s",
+};
+// Numeric jobs columns outside the materialized metric set — aggs and range
+// predicates over these must fall back to the raw scan.
+constexpr const char* kRollupNonMetricPool[] = {"end", "submit", "samples"};
+
+constexpr const char* kBucketCols[] = {"day", "week", "month", "quarter"};
+
+double rollup_time_bound(common::RngStream& g, std::int64_t span_days) {
+  // Occasional hazard bounds: NaN / infinities / beyond-int64 magnitudes all
+  // force the subsume-side conversion guards (and the raw path's own
+  // comparison semantics on the fallback leg).
+  if (g.chance(0.06)) {
+    constexpr double kHazards[] = {
+        std::numeric_limits<double>::quiet_NaN(),
+        std::numeric_limits<double>::infinity(),
+        -std::numeric_limits<double>::infinity(),
+        9.3e18, -9.3e18, -1.0,
+    };
+    return kHazards[g.uniform_int(0, std::size(kHazards) - 1)];
+  }
+  return static_cast<double>(g.uniform_int(0, span_days) * kDaySec);
+}
+
+}  // namespace
+
+std::vector<etl::JobSummary> make_rollup_jobs(const RollupJobsSpec& spec) {
+  constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+  std::vector<etl::JobSummary> jobs;
+  jobs.reserve(spec.rows);
+  for (std::size_t r = 0; r < spec.rows; ++r) {
+    common::RngStream g(spec.seed, "testkit.rollup.jobs", r);
+    etl::JobSummary j;
+    j.id = static_cast<facility::JobId>(r + 1);
+    j.user = common::strprintf(
+        "u%lld", static_cast<long long>(g.uniform_int(0, kRollupUsers - 1)));
+    j.app = common::strprintf(
+        "app%lld", static_cast<long long>(g.uniform_int(0, kRollupApps - 1)));
+    j.cluster = common::strprintf(
+        "c%lld", static_cast<long long>(g.uniform_int(0, kRollupClusters - 1)));
+    j.science = common::strprintf("s%lld", static_cast<long long>(g.uniform_int(0, 2)));
+    j.project = common::strprintf("p%lld", static_cast<long long>(g.uniform_int(0, 4)));
+    // End times: mostly uniform over the span, heavily salted with the exact
+    // bucket-edge instants (midnight itself belongs to the *previous* day;
+    // one second past midnight opens the next) so cell assignment at grain
+    // edges is exercised from both sides.
+    const std::int64_t d = g.uniform_int(0, kRollupSpanDays - 1);
+    switch (g.uniform_int(0, 5)) {
+      case 0: j.end = (d + 1) * kDaySec; break;      // last instant of day d
+      case 1: j.end = d * kDaySec + 1; break;        // first instant of day d
+      case 2: j.end = (d + 1) * kDaySec - 1; break;  // one short of midnight
+      default: j.end = d * kDaySec + g.uniform_int(1, kDaySec); break;
+    }
+    const std::int64_t runtime = g.uniform_int(60, 2 * kDaySec);
+    j.start = j.end - runtime;
+    j.submit = j.start - g.uniform_int(0, 3600);
+    j.nodes = static_cast<std::size_t>(g.uniform_int(1, 64));
+    j.cores = j.nodes * 16;
+    j.node_hours = g.chance(0.05)
+                       ? 0.0
+                       : static_cast<double>(j.nodes) *
+                             (static_cast<double>(runtime) / 3600.0);
+    j.exit_status = g.chance(0.1) ? 1 : 0;
+    j.failed = g.chance(0.05) ? 1 : 0;
+    j.samples = static_cast<std::size_t>(runtime / 600 + 1);
+    j.reconciled = g.chance(0.1);
+    j.flops_valid = g.chance(0.9);
+    const auto metric = [&g, kNaN] {
+      const double roll = g.uniform();
+      if (roll < 0.05) return kNaN;
+      if (roll < 0.08) return 0.0;
+      if (roll < 0.10) return -0.0;
+      return g.uniform(0.0, 100.0);
+    };
+    j.cpu_idle = metric();
+    j.cpu_flops_gf_node = metric();
+    j.mem_used_gb = metric();
+    j.mem_used_max_gb = metric();
+    j.io_scratch_write_mb_s = metric();
+    j.io_work_write_mb_s = metric();
+    j.net_ib_tx_mb_s = metric();
+    j.net_lnet_tx_mb_s = metric();
+    j.cpu_user = metric();
+    j.cpu_system = metric();
+    j.io_scratch_read_mb_s = metric();
+    j.net_ib_rx_mb_s = metric();
+    j.net_lnet_rx_mb_s = metric();
+    j.swap_mb_s = metric();
+    j.load_mean = metric();
+    jobs.push_back(std::move(j));
+  }
+  return jobs;
+}
+
+QuerySpec make_rollup_query_spec(std::uint64_t seed, std::uint64_t index) {
+  common::RngStream g(seed, "testkit.rollup", index);
+  QuerySpec spec;
+
+  // Group keys: the rollup dimensions and bucket columns, occasionally an
+  // ineligible key (science) that forces the raw path.
+  std::vector<std::string> candidates = {"user", "app",   "cluster", "day",
+                                         "week", "month", "quarter"};
+  if (g.chance(0.08)) candidates.push_back("science");
+  const std::size_t nkeys = g.weighted_index({2.0, 4.0, 3.0, 2.0, 1.0});
+  for (std::size_t i = 0; i < nkeys; ++i) {
+    const auto pick = static_cast<std::size_t>(
+        g.uniform_int(0, static_cast<std::int64_t>(candidates.size()) - 1));
+    spec.group_by.push_back(candidates[pick]);
+    candidates.erase(candidates.begin() + static_cast<std::ptrdiff_t>(pick));
+  }
+
+  const auto push_range = [&spec, &g](std::string column, double lo, double hi) {
+    PredTerm term;
+    term.column = std::move(column);
+    switch (g.uniform_int(0, 2)) {
+      case 0:
+        term.op = PredOp::kGe;
+        term.lo = lo;
+        break;
+      case 1:
+        term.op = PredOp::kLe;
+        term.hi = hi;
+        break;
+      default:
+        term.op = PredOp::kBetween;
+        term.lo = lo;
+        term.hi = hi;
+        break;
+    }
+    spec.where.push_back(std::move(term));
+  };
+
+  // Time predicate: either on a derived bucket column (subsumable for any
+  // bound — the column only holds bucket-start multiples) or on raw `end`,
+  // where only whole-day-aligned bounds can be served from cells. Misaligned
+  // draws probe exactly the boundary subsume must refuse.
+  if (g.chance(0.8)) {
+    if (g.chance(0.5)) {
+      const auto b = static_cast<std::size_t>(g.uniform_int(0, 3));
+      const double lo = rollup_time_bound(g, kRollupSpanDays);
+      const double hi = rollup_time_bound(g, kRollupSpanDays);
+      push_range(kBucketCols[b], lo, hi);
+    } else {
+      const std::int64_t dlo = g.uniform_int(0, kRollupSpanDays);
+      const std::int64_t dhi = g.uniform_int(0, kRollupSpanDays);
+      // Aligned lower bounds land in (midnight, midnight+1]; anything else
+      // straddles a day. Same for upper bounds around exact midnight.
+      double lo = 0.0, hi = 0.0;
+      switch (g.uniform_int(0, 2)) {
+        case 0: lo = static_cast<double>(dlo * kDaySec + 1); break;
+        case 1: lo = static_cast<double>(dlo * kDaySec) + 0.5; break;
+        default: lo = static_cast<double>(dlo * kDaySec + g.uniform_int(2, kDaySec - 1)); break;
+      }
+      switch (g.uniform_int(0, 2)) {
+        case 0: hi = static_cast<double>(dhi * kDaySec); break;
+        case 1: hi = static_cast<double>(dhi * kDaySec) + 0.5; break;
+        default: hi = static_cast<double>(dhi * kDaySec + g.uniform_int(1, kDaySec - 1)); break;
+      }
+      push_range("end", lo, hi);
+    }
+  }
+
+  // Dimension equality, literal domain one past the population's.
+  if (g.chance(0.55)) {
+    PredTerm term;
+    term.op = PredOp::kEq;
+    switch (g.uniform_int(0, 2)) {
+      case 0:
+        term.column = "user";
+        term.value = common::strprintf(
+            "u%lld", static_cast<long long>(g.uniform_int(0, kRollupUsers)));
+        break;
+      case 1:
+        term.column = "app";
+        term.value = common::strprintf(
+            "app%lld", static_cast<long long>(g.uniform_int(0, kRollupApps)));
+        break;
+      default:
+        term.column = "cluster";
+        term.value = common::strprintf(
+            "c%lld", static_cast<long long>(g.uniform_int(0, kRollupClusters)));
+        break;
+    }
+    spec.where.push_back(std::move(term));
+  }
+
+  // Metric-range predicate: never materialized, always a raw fallback.
+  if (g.chance(0.12)) {
+    push_range(kRollupMetricPool[g.uniform_int(0, std::size(kRollupMetricPool) - 1)],
+               g.uniform(0.0, 50.0), g.uniform(0.0, 100.0));
+  }
+  spec.has_where = !spec.where.empty();
+
+  // Aggregates: eligible shapes (count; sum/mean/min/max over metrics;
+  // wmean weighted by node_hours) plus ineligible ones — non-metric source
+  // columns and wmean with any other weight.
+  const std::int64_t naggs = g.uniform_int(1, 3);
+  for (std::int64_t i = 0; i < naggs; ++i) {
+    warehouse::AggSpec agg;
+    agg.kind = static_cast<warehouse::AggKind>(g.uniform_int(0, 5));
+    const auto pick_source = [&g]() -> std::string {
+      if (g.chance(0.08)) {
+        return kRollupNonMetricPool[g.uniform_int(
+            0, std::size(kRollupNonMetricPool) - 1)];
+      }
+      return kRollupMetricPool[g.uniform_int(0, std::size(kRollupMetricPool) - 1)];
+    };
+    if (agg.kind != warehouse::AggKind::kCount) agg.column = pick_source();
+    if (agg.kind == warehouse::AggKind::kWeightedMean) {
+      agg.weight = g.chance(0.7) ? "node_hours" : pick_source();
+    }
+    spec.aggs.push_back(std::move(agg));
+  }
+  std::vector<std::string> used;
+  for (std::size_t i = 0; i < spec.aggs.size(); ++i) {
+    warehouse::AggSpec& agg = spec.aggs[i];
+    std::string name;
+    switch (agg.kind) {
+      case warehouse::AggKind::kSum: name = agg.column + "_sum"; break;
+      case warehouse::AggKind::kMean: name = agg.column + "_mean"; break;
+      case warehouse::AggKind::kWeightedMean: name = agg.column + "_wmean"; break;
+      case warehouse::AggKind::kMax: name = agg.column + "_max"; break;
+      case warehouse::AggKind::kMin: name = agg.column + "_min"; break;
+      case warehouse::AggKind::kCount: name = "count"; break;
+    }
+    if (std::find(used.begin(), used.end(), name) != used.end()) {
+      agg.as = name + "_" + std::to_string(i);
+      name = agg.as;
+    }
+    used.push_back(name);
+  }
+
+  spec.threads = 1;
+  return spec;
+}
+
+std::string make_rollup_request_text(std::uint64_t seed, std::uint64_t index,
+                                     QuerySpec* out_spec) {
+  QuerySpec spec = make_rollup_query_spec(seed, index);
+  std::string text = to_request_text(spec, "jobs");
   if (out_spec != nullptr) *out_spec = std::move(spec);
   return text;
 }

@@ -7,7 +7,9 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
+#include "etl/job_summary.h"
 #include "service/request.h"
 #include "testkit/oracle.h"
 
@@ -27,5 +29,47 @@ namespace supremm::testkit {
                                             std::uint64_t index,
                                             const std::string& table,
                                             QuerySpec* out_spec = nullptr);
+
+// ---------------------------------------------------------------------------
+// Rollup-realm fuzzing (DESIGN.md §16): a jobs-shaped population plus a query
+// stream steered toward the subsumption checker's decision boundary.
+
+/// Literal domains of the synthetic rollup population; the query generator
+/// draws dim literals one past each domain so absent-literal serving (empty
+/// dictionaries, zero selected cells) is exercised too.
+inline constexpr std::size_t kRollupUsers = 6;
+inline constexpr std::size_t kRollupApps = 4;
+inline constexpr std::size_t kRollupClusters = 3;
+/// Days the population's end times span; bucket/end predicates draw their
+/// bounds from the same window so ranges actually split the data.
+inline constexpr std::int64_t kRollupSpanDays = 100;
+
+struct RollupJobsSpec {
+  std::size_t rows = 2000;
+  std::uint64_t seed = 20130313;
+};
+
+/// Synthetic job summaries for rollup testing: ids sequential (the canonical
+/// jobs order), end times spread over kRollupSpanDays with day-boundary
+/// emphasis (end exactly on, one second past, and one second before
+/// midnights), and metric values salted with NaN / ±0.0 / zero node_hours.
+/// Row r draws from RngStream(seed, "testkit.rollup.jobs", r), so a shorter
+/// population is an exact prefix of a longer one.
+[[nodiscard]] std::vector<etl::JobSummary> make_rollup_jobs(const RollupJobsSpec& spec);
+
+/// Query `index` of the rollup grammar under `seed`: group keys over the
+/// rollup dimensions and bucket columns (sometimes an ineligible key), time
+/// predicates on bucket columns and on raw `end` — day-aligned and
+/// deliberately misaligned (the off-by-one-day trap subsume must reject) —
+/// dim equalities, and agg lists mixing eligible shapes with ones only the
+/// raw scan can serve. Depends only on (seed, index).
+[[nodiscard]] QuerySpec make_rollup_query_spec(std::uint64_t seed,
+                                               std::uint64_t index);
+
+/// make_rollup_query_spec rendered as canonical request text against the
+/// "jobs" service table (and the matching engine-side spec via `out_spec`).
+[[nodiscard]] std::string make_rollup_request_text(std::uint64_t seed,
+                                                   std::uint64_t index,
+                                                   QuerySpec* out_spec = nullptr);
 
 }  // namespace supremm::testkit

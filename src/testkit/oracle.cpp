@@ -183,6 +183,39 @@ void chunk_range(const Column& c, std::size_t lo_row, std::size_t hi_row, double
   }
 }
 
+// --- time-partitioned contract mirror (DESIGN.md §16) ----------------------
+// When a table declares a time partition, the contract replaces the segment
+// grid: values accumulate sequentially in match order into micro-cells keyed
+// by (group keys, partition subkeys, end-day); per (group, subkey tuple) the
+// day cells fold day → week → month → quarter → total in ascending-day
+// order; sub-tuple totals then merge into their group in first-seen order.
+// The oracle mirrors that naively and independently of the engine (and of
+// warehouse/aggstate.h): its own calendar math, its own hierarchical fold.
+constexpr std::int64_t kDaySeconds = 86400;
+
+std::int64_t fdiv(std::int64_t a, std::int64_t b) {
+  return a >= 0 ? a / b : -((-a + b - 1) / b);
+}
+
+// Day index of an interval END: day D covers end in (D*86400, (D+1)*86400].
+std::int64_t oracle_end_day(std::int64_t end) { return fdiv(end - 1, kDaySeconds); }
+
+using StateVec = std::vector<AggState>;
+
+// Left-fold children (ascending bucket order, `ratio` children per parent)
+// into parent buckets, keeping ascending parent order.
+std::vector<std::pair<std::int64_t, StateVec>> fold_up(
+    const std::vector<std::pair<std::int64_t, StateVec>>& children, std::int64_t ratio,
+    std::size_t naggs) {
+  std::vector<std::pair<std::int64_t, StateVec>> parents;
+  for (const auto& [idx, st] : children) {
+    const std::int64_t p = fdiv(idx, ratio);
+    if (parents.empty() || parents.back().first != p) parents.emplace_back(p, StateVec(naggs));
+    for (std::size_t a = 0; a < naggs; ++a) merge_state(parents.back().second[a], st[a]);
+  }
+  return parents;
+}
+
 std::string fmt_double(double v) {
   std::ostringstream os;
   os.precision(17);
@@ -309,12 +342,113 @@ QueryRun run_oracle(const Table& table, const QuerySpec& spec) {
   }
   stats.rows_matched = matches.size();
 
-  // --- aggregation over the canonical segment grid -----------------------
+  // --- aggregation ------------------------------------------------------
   const std::size_t naggs = spec.aggs.size();
   const std::size_t total = matches.size();
+  std::vector<std::size_t> example_row;  // first-seen group order
+  std::vector<AggState> states;          // [group * naggs + agg]
+  using Key = std::vector<std::uint64_t>;
+
+  if (!table.time_partition().empty()) {
+    // Time-partitioned contract mirror: cells, then per-(group, sub-tuple)
+    // hierarchical time fold, then cross-dimension merges, outermost last.
+    const Column& tp = table.col(table.time_partition());
+    std::vector<std::string> extras;  // subkeys that are not group keys
+    for (const auto& s : table.time_partition_subkeys()) {
+      if (std::find(spec.group_by.begin(), spec.group_by.end(), s) == spec.group_by.end()) {
+        extras.push_back(s);
+      }
+    }
+    struct Cell {
+      std::size_t example_row;
+      std::int64_t day;
+      StateVec states;
+    };
+    std::map<Key, std::size_t> cell_lookup;
+    std::vector<Cell> cells;  // first-seen order
+    for (const std::size_t r : matches) {
+      Key key;
+      key.reserve(spec.group_by.size() + extras.size() + 1);
+      for (const auto& k : spec.group_by) key.push_back(key_word(table.col(k), r));
+      for (const auto& k : extras) key.push_back(key_word(table.col(k), r));
+      const std::int64_t day = oracle_end_day(tp.as_int64(r));
+      key.push_back(static_cast<std::uint64_t>(day));
+      auto [it, inserted] = cell_lookup.emplace(std::move(key), cells.size());
+      if (inserted) cells.push_back(Cell{r, day, StateVec(naggs)});
+      AggState* st = cells[it->second].states.data();
+      for (std::size_t a = 0; a < naggs; ++a) {
+        const AggSpec& agg = spec.aggs[a];
+        AggState& s = st[a];
+        ++s.n;
+        if (agg.kind == AggKind::kCount) continue;
+        const double v = table.col(agg.column).as_double(r);
+        s.sum += v;
+        s.mn = std::min(s.mn, v);
+        s.mx = std::max(s.mx, v);
+        if (agg.kind == AggKind::kWeightedMean) {
+          const double w = table.col(agg.weight).as_double(r);
+          s.wsum += w;
+          s.wvsum += w * v;
+        }
+      }
+    }
+
+    // Bucket cells into groups and, per group, into sub-tuples (both in
+    // first-seen cell order).
+    std::map<Key, std::size_t> group_lookup;
+    std::vector<std::vector<std::size_t>> group_subs;
+    std::map<Key, std::size_t> sub_lookup;
+    std::vector<std::vector<std::size_t>> sub_cells;
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      const std::size_t r = cells[c].example_row;
+      Key gkey;
+      for (const auto& k : spec.group_by) gkey.push_back(key_word(table.col(k), r));
+      Key skey = gkey;
+      for (const auto& k : extras) skey.push_back(key_word(table.col(k), r));
+      auto [git, ginserted] = group_lookup.emplace(std::move(gkey), example_row.size());
+      if (ginserted) {
+        example_row.push_back(r);
+        group_subs.emplace_back();
+      }
+      auto [sit, sinserted] = sub_lookup.emplace(std::move(skey), sub_cells.size());
+      if (sinserted) {
+        sub_cells.emplace_back();
+        group_subs[git->second].push_back(sit->second);
+      }
+      sub_cells[sit->second].push_back(c);
+    }
+
+    // Per sub-tuple: day cells ascending → weeks → months → quarters → total.
+    std::vector<StateVec> sub_totals(sub_cells.size());
+    for (std::size_t s = 0; s < sub_cells.size(); ++s) {
+      std::vector<std::size_t>& cs = sub_cells[s];
+      std::sort(cs.begin(), cs.end(), [&cells](std::size_t a, std::size_t b) {
+        return cells[a].day < cells[b].day;
+      });
+      std::vector<std::pair<std::int64_t, StateVec>> days;
+      days.reserve(cs.size());
+      for (const std::size_t c : cs) days.emplace_back(cells[c].day, cells[c].states);
+      const auto weeks = fold_up(days, 7, naggs);
+      const auto months = fold_up(weeks, 4, naggs);
+      const auto quarters = fold_up(months, 3, naggs);
+      StateVec& tot = sub_totals[s];
+      tot.assign(naggs, AggState{});
+      for (const auto& [qi, st] : quarters) {
+        for (std::size_t a = 0; a < naggs; ++a) merge_state(tot[a], st[a]);
+      }
+    }
+    states.resize(example_row.size() * naggs);
+    for (std::size_t g = 0; g < group_subs.size(); ++g) {
+      for (const std::size_t s : group_subs[g]) {
+        for (std::size_t a = 0; a < naggs; ++a) {
+          merge_state(states[g * naggs + a], sub_totals[s][a]);
+        }
+      }
+    }
+  } else {
+  // --- aggregation over the canonical segment grid -----------------------
   const std::size_t nsegs = total == 0 ? 0 : (total + kSegmentRows - 1) / kSegmentRows;
 
-  using Key = std::vector<std::uint64_t>;
   struct Partial {
     std::map<Key, std::size_t> lookup;
     std::vector<Key> keys;                 // insertion order
@@ -429,8 +563,6 @@ QueryRun run_oracle(const Table& table, const QuerySpec& spec) {
 
   // --- fold segment partials in segment order ----------------------------
   std::map<Key, std::size_t> lookup;
-  std::vector<std::size_t> example_row;
-  std::vector<AggState> states;
   for (const auto& part : partials) {
     for (std::size_t g = 0; g < part.keys.size(); ++g) {
       auto [it, inserted] = lookup.emplace(part.keys[g], example_row.size());
@@ -443,6 +575,7 @@ QueryRun run_oracle(const Table& table, const QuerySpec& spec) {
       for (std::size_t a = 0; a < naggs; ++a) merge_state(into[a], from[a]);
     }
   }
+  }  // end canonical segment contract
 
   // --- emit groups in first-seen order -----------------------------------
   std::vector<std::pair<std::string, ColType>> schema;

@@ -11,6 +11,7 @@
 #include "common/error.h"
 #include "common/pool.h"
 #include "common/simd.h"
+#include "warehouse/aggstate.h"
 #include "warehouse/kernels.h"
 
 namespace supremm::warehouse {
@@ -112,50 +113,9 @@ constexpr std::size_t kExecChunkRows = 4096;
 constexpr std::size_t kSegmentRows = 8192;
 constexpr std::size_t kMaxGroupKeys = 4;
 
-// A NaN-valued sum/mean is emitted as the canonical positive quiet NaN:
-// when several NaN payloads (or an inf + -inf indefinite) meet in `acc += v`,
-// which payload survives is an instruction-operand-order artifact the
-// compiler may legally flip between builds, so the canonical payload is the
-// only bit pattern that is actually deterministic. The oracle does the same.
-double canon_nan(double v) {
-  return std::isnan(v) ? std::numeric_limits<double>::quiet_NaN() : v;
-}
-
-std::string default_name(const AggSpec& a) {
-  switch (a.kind) {
-    case AggKind::kSum:
-      return a.column + "_sum";
-    case AggKind::kMean:
-      return a.column + "_mean";
-    case AggKind::kWeightedMean:
-      return a.column + "_wmean";
-    case AggKind::kMax:
-      return a.column + "_max";
-    case AggKind::kMin:
-      return a.column + "_min";
-    case AggKind::kCount:
-      return "count";
-  }
-  return a.column;
-}
-
-struct AggState {
-  double sum = 0.0;
-  double wsum = 0.0;
-  double wvsum = 0.0;
-  double mn = std::numeric_limits<double>::infinity();
-  double mx = -std::numeric_limits<double>::infinity();
-  std::int64_t n = 0;
-};
-
-void merge_state(AggState& into, const AggState& from) {
-  into.sum += from.sum;
-  into.wsum += from.wsum;
-  into.wvsum += from.wvsum;
-  into.mn = std::min(into.mn, from.mn);
-  into.mx = std::max(into.mx, from.mx);
-  into.n += from.n;
-}
+// canon_nan, default_agg_name, AggState and merge_state moved to
+// warehouse/aggstate.h: the rollup layer must replicate this arithmetic
+// byte-for-byte to keep materialized answers bit-identical to raw scans.
 
 /// Typed, bounds-check-free view of a numeric column (int64 read as double,
 /// matching Column::as_double).
@@ -483,6 +443,173 @@ void radix_group_segment(SegmentPartial& part, const std::vector<KeyRef>& key_re
   }
 }
 
+/// Micro-cell key for the time-partitioned contract: group-key words, then
+/// partition-subkey words not already group keys, then the day index.
+struct WideKey {
+  std::array<std::uint64_t, 8> w{};
+  bool operator==(const WideKey&) const = default;
+};
+
+struct WideKeyHash {
+  std::size_t operator()(const WideKey& k) const noexcept {
+    std::uint64_t h = 0x9e3779b97f4a7c15ull;
+    for (const std::uint64_t word : k.w) {
+      std::uint64_t z = h ^ word;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+      h = z ^ (z >> 31);
+    }
+    return static_cast<std::size_t>(h);
+  }
+};
+
+std::uint64_t key_ref_word(const KeyRef& ref, std::uint32_t r) {
+  switch (ref.type) {
+    case ColType::kString:
+      return static_cast<std::uint32_t>(ref.codes[r]);
+    case ColType::kInt64:
+      return static_cast<std::uint64_t>(ref.i64[r]);
+    case ColType::kDouble:
+      return std::bit_cast<std::uint64_t>(ref.f64[r]);
+  }
+  return 0;
+}
+
+/// Phase 2 under the time-partitioned contract (DESIGN.md §16), used when
+/// the table declares a time partition. Values accumulate into micro-cells
+/// keyed by (group keys, partition subkeys, end-day) purely sequentially in
+/// match order — a cell is never split across segments or threads — then,
+/// per (group, subtuple), the day cells fold through the calendar tree
+/// (TimeTreeFold), and finally the subtuple results merge in first-seen
+/// order. The cross-dimension merge is outermost so that the same numbers
+/// are reproducible from materialized rollup cells at ANY bucket level:
+/// a week cell is exactly the tree-fold of its day cells.
+///
+/// Fills `group_example_row`/`states` exactly like the segment-merge path,
+/// in first-seen group order, so emission is shared.
+template <typename CancelFn>
+void aggregate_time_partitioned(const Table& table, const std::vector<std::string>& keys,
+                                const std::vector<KeyRef>& key_refs,
+                                const std::vector<AggRef>& agg_refs,
+                                const std::uint32_t* match_ptr, std::size_t total_matches,
+                                const CancelFn& check_cancel,
+                                std::vector<std::size_t>& group_example_row,
+                                std::vector<AggState>& states) {
+  const std::size_t naggs = agg_refs.size();
+  const Column& tp = table.col(table.time_partition());
+  const std::int64_t* end_vals = tp.int64s().data();
+
+  std::vector<KeyRef> extra_refs;  // partition subkeys not already group keys
+  for (const auto& name : table.time_partition_subkeys()) {
+    if (std::find(keys.begin(), keys.end(), name) != keys.end()) continue;
+    const Column& c = table.col(name);
+    KeyRef ref;
+    ref.type = c.type();
+    switch (c.type()) {
+      case ColType::kDouble:
+        ref.f64 = c.doubles().data();
+        break;
+      case ColType::kInt64:
+        ref.i64 = c.int64s().data();
+        break;
+      case ColType::kString:
+        ref.codes = c.codes().data();
+        break;
+    }
+    extra_refs.push_back(ref);
+  }
+  const std::size_t nkeys = key_refs.size();
+  const std::size_t nextra = extra_refs.size();
+  if (nkeys + nextra + 1 > 8) {
+    throw common::InvalidArgument("time-partitioned query: key + subkey tuple too wide");
+  }
+
+  // Pass 1: sequential micro-cell accumulation in match order.
+  struct Cell {
+    std::uint32_t example_row = 0;  // first matching row of the cell
+    std::int64_t day = 0;
+  };
+  std::unordered_map<WideKey, std::uint32_t, WideKeyHash> cell_index;
+  std::vector<Cell> cells;              // first-seen order
+  std::vector<AggState> cell_states;    // [cell * naggs + agg]
+  for (std::size_t j = 0; j < total_matches; ++j) {
+    if ((j & (kSegmentRows - 1)) == 0) check_cancel();
+    const std::uint32_t r =
+        match_ptr != nullptr ? match_ptr[j] : static_cast<std::uint32_t>(j);
+    WideKey key;
+    std::size_t k = 0;
+    for (const auto& ref : key_refs) key.w[k++] = key_ref_word(ref, r);
+    for (const auto& ref : extra_refs) key.w[k++] = key_ref_word(ref, r);
+    const std::int64_t day = end_day_index(end_vals[r]);
+    key.w[k] = static_cast<std::uint64_t>(day);
+    const auto [it, inserted] = cell_index.emplace(key, static_cast<std::uint32_t>(cells.size()));
+    if (inserted) {
+      cells.push_back({r, day});
+      cell_states.resize(cell_states.size() + naggs);
+    }
+    update_aggs(agg_refs, cell_states.data() + std::size_t{it->second} * naggs, r);
+  }
+  check_cancel();
+
+  // Pass 2: bucket cells into groups and, within each group, into partition
+  // sub-tuples; both orders inherit first-seen from the cells (= ascending
+  // first match position).
+  struct Sub {
+    std::vector<std::uint32_t> cells;
+  };
+  std::unordered_map<WideKey, std::uint32_t, WideKeyHash> sub_index;  // words minus day
+  std::vector<Sub> subs;
+  std::unordered_map<PackedKey, std::uint32_t, PackedKeyHash> group_index;
+  std::vector<std::vector<std::uint32_t>> group_subs;
+  for (std::uint32_t c = 0; c < cells.size(); ++c) {
+    const std::uint32_t r = cells[c].example_row;
+    PackedKey gkey;
+    WideKey skey;
+    std::size_t k = 0;
+    for (const auto& ref : key_refs) {
+      const std::uint64_t w = key_ref_word(ref, r);
+      gkey.w[k] = w;
+      skey.w[k] = w;
+      ++k;
+    }
+    for (const auto& ref : extra_refs) skey.w[k++] = key_ref_word(ref, r);
+    const auto [git, ginserted] =
+        group_index.emplace(gkey, static_cast<std::uint32_t>(group_example_row.size()));
+    if (ginserted) {
+      group_example_row.push_back(r);
+      group_subs.emplace_back();
+    }
+    const auto [sit, sinserted] =
+        sub_index.emplace(skey, static_cast<std::uint32_t>(subs.size()));
+    if (sinserted) {
+      subs.emplace_back();
+      group_subs[git->second].push_back(sit->second);
+    }
+    subs[sit->second].cells.push_back(c);
+  }
+
+  // Pass 3: per sub-tuple, tree-fold its day cells in ascending day order;
+  // then merge sub-tuple results into their group in first-seen order.
+  std::vector<AggState> sub_states(subs.size() * naggs);
+  for (std::size_t s = 0; s < subs.size(); ++s) {
+    std::vector<std::uint32_t>& cs = subs[s].cells;
+    std::sort(cs.begin(), cs.end(), [&cells](std::uint32_t a, std::uint32_t b) {
+      return cells[a].day < cells[b].day;  // days are unique within a sub
+    });
+    TimeTreeFold fold(sub_states.data() + s * naggs, naggs);
+    for (const std::uint32_t c : cs) {
+      fold.add(cells[c].day, cell_states.data() + std::size_t{c} * naggs);
+    }
+    fold.finish();
+  }
+  states.resize(group_example_row.size() * naggs);
+  for (std::size_t g = 0; g < group_subs.size(); ++g) {
+    for (const std::uint32_t s : group_subs[g]) {
+      merge_states(states.data() + g * naggs, sub_states.data() + std::size_t{s} * naggs, naggs);
+    }
+  }
+}
+
 }  // namespace
 
 Table Query::run() const {
@@ -500,7 +627,7 @@ Table Query::run() const {
   std::vector<std::pair<std::string, ColType>> schema;
   for (const auto& k : keys_) schema.emplace_back(k, table_.col(k).type());
   for (const auto& a : aggs_) {
-    schema.emplace_back(a.as.empty() ? default_name(a) : a.as,
+    schema.emplace_back(a.as.empty() ? default_agg_name(a) : a.as,
                         a.kind == AggKind::kCount ? ColType::kInt64 : ColType::kDouble);
   }
   Table out(table_.name() + "_agg", std::move(schema));
@@ -711,8 +838,18 @@ Table Query::run() const {
   st.rows_matched = total_matches;
   const std::uint32_t* match_ptr = identity ? nullptr : matches.data();
 
-  // --- phase 2: partial aggregation over canonical match-list segments ----
+  // --- phase 2 ------------------------------------------------------------
   const std::size_t naggs = aggs_.size();
+  std::vector<std::size_t> group_example_row;  // first-seen group order
+  std::vector<AggState> states;                // [group * naggs + agg]
+
+  if (!table_.time_partition().empty()) {
+    // Time-partitioned contract: sequential micro-cell accumulation + the
+    // calendar tree fold (rollup-reproducible; see aggregate_time_partitioned).
+    aggregate_time_partitioned(table_, keys_, key_refs, agg_refs, match_ptr, total_matches,
+                               check_cancel, group_example_row, states);
+  } else {
+  // Canonical segment contract: partial aggregation over match-list segments.
   const std::size_t nsegs =
       total_matches == 0 ? 0 : (total_matches + kSegmentRows - 1) / kSegmentRows;
 
@@ -782,8 +919,6 @@ Table Query::run() const {
   // --- merge partials in segment order (deterministic group order) --------
   check_cancel();
   std::unordered_map<PackedKey, std::size_t, PackedKeyHash> groups;
-  std::vector<std::size_t> group_example_row;
-  std::vector<AggState> states;  // [group * naggs + agg]
   for (const auto& part : partials) {
     for (std::size_t g = 0; g < part.keys.size(); ++g) {
       const auto [it, inserted] = groups.emplace(part.keys[g], group_example_row.size());
@@ -796,6 +931,7 @@ Table Query::run() const {
       for (std::size_t a = 0; a < naggs; ++a) merge_state(into[a], from[a]);
     }
   }
+  }  // end canonical segment contract
 
   // --- emit group rows in first-seen order --------------------------------
   for (std::size_t g = 0; g < group_example_row.size(); ++g) {
@@ -818,7 +954,7 @@ Table Query::run() const {
     for (std::size_t a = 0; a < naggs; ++a) {
       const AggSpec& spec = aggs_[a];
       const AggState& s = states[g * naggs + a];
-      const std::string name = spec.as.empty() ? default_name(spec) : spec.as;
+      const std::string name = spec.as.empty() ? default_agg_name(spec) : spec.as;
       switch (spec.kind) {
         case AggKind::kSum:
           row.set(name, canon_nan(s.sum));

@@ -1,0 +1,646 @@
+#include "warehouse/rollup.h"
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <map>
+#include <numeric>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+
+#include "common/error.h"
+#include "warehouse/aggstate.h"
+
+namespace supremm::warehouse::rollup {
+
+namespace {
+
+constexpr Level kLevels[] = {
+    {"rollup_day", 1},
+    {"rollup_week", kDaysPerWeek},
+    {"rollup_month", kDaysPerMonth},
+    {"rollup_quarter", kDaysPerQuarter},
+};
+
+constexpr const char* kMetrics[] = {
+    "node_hours",          "nodes",
+    "cores",               "cpu_idle",
+    "cpu_flops_gf_node",   "mem_used_gb",
+    "mem_used_max_gb",     "io_scratch_write_mb_s",
+    "io_work_write_mb_s",  "net_ib_tx_mb_s",
+    "net_lnet_tx_mb_s",    "cpu_user",
+    "cpu_system",          "io_scratch_read_mb_s",
+    "net_ib_rx_mb_s",      "net_lnet_rx_mb_s",
+    "swap_mb_s",           "load_mean",
+};
+constexpr std::size_t kNumMetrics = std::size(kMetrics);
+constexpr std::size_t kNodeHours = 0;  // kMetrics[0]; wv weights come from it
+
+constexpr const char* kDims[] = {"user", "app", "cluster"};
+
+// Rejected bound magnitude before double → int64 conversion (2^62; int64
+// holds it and adding a grain's worth of seconds cannot overflow).
+constexpr double kMaxBound = 4611686018427387904.0;
+
+std::vector<std::pair<std::string, ColType>> level_schema(std::size_t li) {
+  std::vector<std::pair<std::string, ColType>> schema;
+  schema.emplace_back("bucket", ColType::kInt64);
+  for (const char* d : kDims) schema.emplace_back(d, ColType::kString);
+  schema.emplace_back("rows", ColType::kInt64);
+  schema.emplace_back("min_jobid", ColType::kInt64);
+  for (const char* m : kMetrics) {
+    schema.emplace_back(std::string(m) + "_sum", ColType::kDouble);
+    schema.emplace_back(std::string(m) + "_min", ColType::kDouble);
+    schema.emplace_back(std::string(m) + "_max", ColType::kDouble);
+    schema.emplace_back(std::string(m) + "_wv", ColType::kDouble);
+  }
+  (void)li;
+  return schema;
+}
+
+/// Numeric column view: int64 metrics (nodes, cores) read as double, same
+/// as the raw path's NumRef.
+struct NumView {
+  const double* f64 = nullptr;
+  const std::int64_t* i64 = nullptr;
+  [[nodiscard]] double value(std::size_t r) const {
+    return f64 != nullptr ? f64[r] : static_cast<double>(i64[r]);
+  }
+};
+
+NumView num_view(const Table& t, const char* name) {
+  const Column& c = t.col(name);
+  NumView v;
+  if (c.type() == ColType::kDouble) {
+    v.f64 = c.doubles().data();
+  } else if (c.type() == ColType::kInt64) {
+    v.i64 = c.int64s().data();
+  } else {
+    throw common::InvalidArgument("rollup metric '" + std::string(name) + "' is not numeric");
+  }
+  return v;
+}
+
+/// One materialized cell while building: identity + the per-metric partial
+/// AggStates the fold operates on (state fields: sum = Σv, wsum = Σw,
+/// wvsum = Σw·v, mn/mx, n = rows; w = node_hours).
+struct Cell {
+  std::int64_t bucket = 0;  // first day index of the bucket
+  std::int32_t user = 0, app = 0, cluster = 0;
+  std::int64_t min_jobid = 0;
+  std::vector<AggState> m;  // [kNumMetrics]
+};
+
+struct CellKeyHash {
+  std::size_t operator()(const std::array<std::int64_t, 4>& k) const noexcept {
+    std::uint64_t h = 0x9e3779b97f4a7c15ull;
+    for (const std::int64_t word : k) {
+      std::uint64_t z = h ^ static_cast<std::uint64_t>(word);
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+      h = z ^ (z >> 31);
+    }
+    return static_cast<std::size_t>(h);
+  }
+};
+
+/// Day cells of a jobs-shaped table, in canonical (day ASC, min_jobid ASC)
+/// order. Accumulation is purely sequential in row order — the exact
+/// per-cell partials the time-partitioned query contract produces.
+std::vector<Cell> build_day_cells(const Table& jobs) {
+  const std::int64_t* job_id = jobs.col("job_id").int64s().data();
+  const std::int64_t* end = jobs.col("end").int64s().data();
+  const std::int32_t* user = jobs.col("user").codes().data();
+  const std::int32_t* app = jobs.col("app").codes().data();
+  const std::int32_t* cluster = jobs.col("cluster").codes().data();
+  std::array<NumView, kNumMetrics> views;
+  for (std::size_t i = 0; i < kNumMetrics; ++i) views[i] = num_view(jobs, kMetrics[i]);
+
+  std::unordered_map<std::array<std::int64_t, 4>, std::size_t, CellKeyHash> index;
+  std::vector<Cell> cells;
+  const std::size_t nrows = jobs.rows();
+  for (std::size_t r = 0; r < nrows; ++r) {
+    const std::int64_t day = end_day_index(end[r]);
+    const std::array<std::int64_t, 4> key{day, user[r], app[r], cluster[r]};
+    const auto [it, inserted] = index.emplace(key, cells.size());
+    if (inserted) {
+      Cell c;
+      c.bucket = day;
+      c.user = user[r];
+      c.app = app[r];
+      c.cluster = cluster[r];
+      c.min_jobid = job_id[r];
+      c.m.assign(kNumMetrics, AggState{});
+      cells.push_back(std::move(c));
+    }
+    Cell& c = cells[it->second];
+    c.min_jobid = std::min(c.min_jobid, job_id[r]);
+    const double w = views[kNodeHours].value(r);
+    for (std::size_t i = 0; i < kNumMetrics; ++i) {
+      AggState& s = c.m[i];
+      const double v = views[i].value(r);
+      ++s.n;
+      s.sum += v;
+      s.mn = std::min(s.mn, v);
+      s.mx = std::max(s.mx, v);
+      s.wsum += w;
+      s.wvsum += w * v;
+    }
+  }
+  std::sort(cells.begin(), cells.end(), [](const Cell& a, const Cell& b) {
+    return a.bucket != b.bucket ? a.bucket < b.bucket : a.min_jobid < b.min_jobid;
+  });
+  return cells;
+}
+
+/// Cells at `grain` days from day cells (already canonical order): per
+/// (bucket, user, app, cluster), the day cells fold through the calendar
+/// tree — NOT a flat left fold, so a month is its weeks' fold exactly as
+/// the query contract computes it and bit-identity holds at every level.
+std::vector<Cell> fold_level(const std::vector<Cell>& days, std::int64_t grain) {
+  std::unordered_map<std::array<std::int64_t, 4>, std::size_t, CellKeyHash> index;
+  std::vector<std::vector<std::size_t>> members;  // day-cell indices, day ASC
+  std::vector<Cell> out;
+  for (std::size_t i = 0; i < days.size(); ++i) {
+    const Cell& d = days[i];
+    const std::int64_t bucket = floor_div(d.bucket, grain) * grain;
+    const std::array<std::int64_t, 4> key{bucket, d.user, d.app, d.cluster};
+    const auto [it, inserted] = index.emplace(key, out.size());
+    if (inserted) {
+      Cell c;
+      c.bucket = bucket;
+      c.user = d.user;
+      c.app = d.app;
+      c.cluster = d.cluster;
+      c.min_jobid = d.min_jobid;
+      c.m.assign(kNumMetrics, AggState{});
+      out.push_back(std::move(c));
+      members.emplace_back();
+    }
+    out[it->second].min_jobid = std::min(out[it->second].min_jobid, d.min_jobid);
+    members[it->second].push_back(i);
+  }
+  for (std::size_t g = 0; g < out.size(); ++g) {
+    TimeTreeFold fold(out[g].m.data(), kNumMetrics);
+    for (const std::size_t i : members[g]) fold.add(days[i].bucket, days[i].m.data());
+    fold.finish();
+  }
+  std::sort(out.begin(), out.end(), [](const Cell& a, const Cell& b) {
+    return a.bucket != b.bucket ? a.bucket < b.bucket : a.min_jobid < b.min_jobid;
+  });
+  return out;
+}
+
+Table cells_to_table(const std::vector<Cell>& cells, std::size_t li, const Table& jobs) {
+  Table t(kLevels[li].table, level_schema(li));
+  for (const char* d : kDims) {
+    std::vector<std::string> dict(jobs.col(d).dict().begin(), jobs.col(d).dict().end());
+    t.col(d).set_dict(std::move(dict));
+  }
+  for (const Cell& c : cells) {
+    auto row = t.append();
+    row.set("bucket", c.bucket)
+        .set("user", jobs.col("user").decode(c.user))
+        .set("app", jobs.col("app").decode(c.app))
+        .set("cluster", jobs.col("cluster").decode(c.cluster))
+        .set("rows", c.m[0].n)
+        .set("min_jobid", c.min_jobid);
+    for (std::size_t i = 0; i < kNumMetrics; ++i) {
+      const std::string m = kMetrics[i];
+      row.set(m + "_sum", c.m[i].sum)
+          .set(m + "_min", c.m[i].mn)
+          .set(m + "_max", c.m[i].mx)
+          .set(m + "_wv", c.m[i].wvsum);
+    }
+  }
+  return t;
+}
+
+std::int64_t pos_mod(std::int64_t a, std::int64_t b) { return a - floor_div(a, b) * b; }
+
+/// ceil(a / b) for b > 0.
+std::int64_t ceil_div(std::int64_t a, std::int64_t b) { return floor_div(a + b - 1, b); }
+
+struct BucketKey {
+  const char* column;
+  std::int64_t grain;
+};
+constexpr BucketKey kBucketKeys[] = {
+    {"day", 1}, {"week", kDaysPerWeek}, {"month", kDaysPerMonth}, {"quarter", kDaysPerQuarter}};
+
+const BucketKey* bucket_key(std::string_view name) {
+  for (const auto& b : kBucketKeys) {
+    if (name == b.column) return &b;
+  }
+  return nullptr;
+}
+
+bool is_dim(std::string_view name) {
+  for (const char* d : kDims) {
+    if (name == d) return true;
+  }
+  return false;
+}
+
+bool is_metric(std::string_view name) {
+  for (const char* m : kMetrics) {
+    if (name == m) return true;
+  }
+  return false;
+}
+
+/// Finite integer ceiling/floor of a predicate bound, or nullopt when the
+/// bound cannot be converted soundly (NaN, or magnitude beyond 2^62).
+std::optional<std::int64_t> int_ceil(double v) {
+  if (std::isnan(v) || !(v >= -kMaxBound && v <= kMaxBound)) return std::nullopt;
+  return static_cast<std::int64_t>(std::ceil(v));
+}
+std::optional<std::int64_t> int_floor(double v) {
+  if (std::isnan(v) || !(v >= -kMaxBound && v <= kMaxBound)) return std::nullopt;
+  return static_cast<std::int64_t>(std::floor(v));
+}
+
+std::atomic<int>& enabled_state() {
+  static std::atomic<int> s{-1};
+  return s;
+}
+
+}  // namespace
+
+std::span<const Level> levels() { return kLevels; }
+
+std::span<const char* const> metrics() { return {kMetrics, kNumMetrics}; }
+
+bool is_rollup_table(std::string_view table) { return table.starts_with("rollup_"); }
+
+bool enabled() {
+  int v = enabled_state().load(std::memory_order_relaxed);
+  if (v < 0) {
+    const char* e = std::getenv("SUPREMM_ROLLUP");
+    const std::string_view sv = e != nullptr ? std::string_view(e) : std::string_view();
+    v = (sv == "off" || sv == "0") ? 0 : 1;
+    enabled_state().store(v, std::memory_order_relaxed);
+  }
+  return v == 1;
+}
+
+void set_enabled(bool on) { enabled_state().store(on ? 1 : 0, std::memory_order_relaxed); }
+
+void augment_jobs_table(Table& jobs) {
+  const auto ends = jobs.col("end").int64s();
+  const std::size_t n = ends.size();
+  std::array<std::vector<std::int64_t>, 4> cols;
+  for (auto& c : cols) c.reserve(n);
+  for (const std::int64_t end : ends) {
+    const std::int64_t d = end_day_index(end);
+    cols[0].push_back(d * common::kDay);
+    cols[1].push_back(floor_div(d, kDaysPerWeek) * kDaysPerWeek * common::kDay);
+    cols[2].push_back(floor_div(d, kDaysPerMonth) * kDaysPerMonth * common::kDay);
+    cols[3].push_back(floor_div(d, kDaysPerQuarter) * kDaysPerQuarter * common::kDay);
+  }
+  for (std::size_t i = 0; i < 4; ++i) {
+    jobs.add_int64_column(kBucketKeys[i].column, std::move(cols[i]));
+  }
+  jobs.set_time_partition("end", {"user", "app", "cluster"});
+}
+
+RollupSet::RollupSet() {
+  tables_.reserve(std::size(kLevels));
+  for (std::size_t li = 0; li < std::size(kLevels); ++li) {
+    tables_.emplace_back(kLevels[li].table, level_schema(li));
+  }
+}
+
+std::size_t RollupSet::cells() const noexcept {
+  std::size_t n = 0;
+  for (const auto& t : tables_) n += t.rows();
+  return n;
+}
+
+RollupSet build_from_table(const Table& jobs) {
+  RollupSet set;
+  const std::vector<Cell> days = build_day_cells(jobs);
+  for (std::size_t li = 0; li < std::size(kLevels); ++li) {
+    const std::vector<Cell> cells =
+        kLevels[li].grain == 1 ? days : fold_level(days, kLevels[li].grain);
+    set.level(li) = cells_to_table(cells, li, jobs);
+  }
+  return set;
+}
+
+std::optional<Plan> subsume(const QueryInput& q) {
+  Plan plan;
+
+  if (q.group_by.size() > 4) return std::nullopt;  // raw path owns the error
+  for (std::size_t i = 0; i < q.group_by.size(); ++i) {
+    const std::string& k = q.group_by[i];
+    if (!is_dim(k) && bucket_key(k) == nullptr) return std::nullopt;
+    for (std::size_t j = 0; j < i; ++j) {
+      if (q.group_by[j] == k) return std::nullopt;  // duplicate key: raw error
+    }
+  }
+  plan.group_by = q.group_by;
+
+  for (const AggSpec& a : q.aggs) {
+    switch (a.kind) {
+      case AggKind::kCount:
+        break;
+      case AggKind::kSum:
+      case AggKind::kMean:
+      case AggKind::kMin:
+      case AggKind::kMax:
+        if (!is_metric(a.column)) return std::nullopt;
+        break;
+      case AggKind::kWeightedMean:
+        if (a.weight != kMetrics[kNodeHours] || !is_metric(a.column)) return std::nullopt;
+        break;
+    }
+  }
+  plan.aggs = q.aggs;
+
+  const auto narrow_lo = [&plan](std::int64_t d) {
+    plan.d_lo = plan.has_lo ? std::max(plan.d_lo, d) : d;
+    plan.has_lo = true;
+  };
+  const auto narrow_hi = [&plan](std::int64_t d) {
+    plan.d_hi = plan.has_hi ? std::min(plan.d_hi, d) : d;
+    plan.has_hi = true;
+  };
+
+  for (const PredInput& p : q.where) {
+    const bool wants_lo = p.op == PredInput::Op::kGe || p.op == PredInput::Op::kBetween;
+    const bool wants_hi = p.op == PredInput::Op::kLe || p.op == PredInput::Op::kBetween;
+    if (p.op == PredInput::Op::kEq) {
+      if (!is_dim(p.column)) return std::nullopt;
+      plan.dim_eq.emplace_back(p.column, p.value);
+      continue;
+    }
+    // An infinite bound is "unbounded" only on its own side: lo = −inf and
+    // hi = +inf widen the range, but lo = +inf / hi = −inf are degenerate
+    // (they match nothing) and belong to the raw path.
+    if ((wants_lo && std::isinf(p.lo) && p.lo > 0) ||
+        (wants_hi && std::isinf(p.hi) && p.hi < 0)) {
+      return std::nullopt;
+    }
+    if (const BucketKey* b = bucket_key(p.column)) {
+      // Bucket-start columns hold only multiples of grain*kDay, so ANY
+      // bound selects whole buckets: round it to the nearest bucket edge.
+      const std::int64_t span = b->grain * common::kDay;
+      if (wants_lo && !std::isinf(p.lo)) {
+        const auto c = int_ceil(p.lo);
+        if (!c) return std::nullopt;
+        narrow_lo(ceil_div(*c, span) * b->grain);
+      }
+      if (wants_hi && !std::isinf(p.hi)) {
+        const auto f = int_floor(p.hi);
+        if (!f) return std::nullopt;
+        narrow_hi((floor_div(*f, span) + 1) * b->grain - 1);
+      }
+      continue;
+    }
+    if (p.column == "end") {
+      // Raw end bounds are servable only when they cut exactly at a day
+      // edge: day D holds end ∈ (D·86400, (D+1)·86400], so a lower bound
+      // must land on D·86400+1 and an upper bound on D·86400 — anything
+      // else splits a bucket and MUST fall back to the raw scan (the
+      // off-by-one-day trap at grain edges).
+      if (wants_lo && !std::isinf(p.lo)) {
+        const auto c = int_ceil(p.lo);
+        if (!c || pos_mod(*c, common::kDay) != 1) return std::nullopt;
+        narrow_lo(floor_div(*c - 1, common::kDay));
+      }
+      if (wants_hi && !std::isinf(p.hi)) {
+        const auto f = int_floor(p.hi);
+        if (!f || pos_mod(*f, common::kDay) != 0) return std::nullopt;
+        narrow_hi(floor_div(*f, common::kDay) - 1);
+      }
+      continue;
+    }
+    return std::nullopt;  // any other column or op: raw path
+  }
+
+  // Coarsest level that (a) divides every bucket group key's grain and
+  // (b) the day range is aligned to.
+  for (std::size_t li = std::size(kLevels); li-- > 0;) {
+    const std::int64_t L = kLevels[li].grain;
+    bool ok = true;
+    for (const std::string& k : plan.group_by) {
+      if (const BucketKey* b = bucket_key(k); b != nullptr && b->grain % L != 0) ok = false;
+    }
+    if (plan.has_lo && pos_mod(plan.d_lo, L) != 0) ok = false;
+    if (plan.has_hi && pos_mod(plan.d_hi + 1, L) != 0) ok = false;
+    if (ok) {
+      plan.level = li;
+      return plan;
+    }
+  }
+  return std::nullopt;  // unreachable: level 0 (grain 1) always qualifies
+}
+
+Table serve(const RollupSet& rollups, const Plan& plan, QueryStats* stats) {
+  const Table& t = rollups.level(plan.level);
+  const std::int64_t grain = kLevels[plan.level].grain;
+  const std::size_t naggs = plan.aggs.size();
+
+  // Resolve dim equality literals to this table's dictionary codes; a
+  // literal absent from the dictionary selects nothing.
+  bool empty = false;
+  std::vector<std::pair<const std::int32_t*, std::int32_t>> dim_tests;
+  for (const auto& [col, val] : plan.dim_eq) {
+    const auto code = t.col(col).find_code(val);
+    if (!code) {
+      empty = true;
+      break;
+    }
+    dim_tests.emplace_back(t.col(col).codes().data(), *code);
+  }
+
+  const std::int64_t* bucket = t.col("bucket").int64s().data();
+  const std::int64_t* rows_col = t.col("rows").int64s().data();
+  const std::int64_t* min_jid = t.col("min_jobid").int64s().data();
+
+  // Per agg: the metric column quartet it reconstructs its state from.
+  struct MetricCols {
+    const double* sum = nullptr;
+    const double* mn = nullptr;
+    const double* mx = nullptr;
+    const double* wv = nullptr;
+  };
+  std::vector<MetricCols> agg_cols(naggs);
+  const double* node_hours_sum = t.col("node_hours_sum").doubles().data();
+  for (std::size_t a = 0; a < naggs; ++a) {
+    const AggSpec& spec = plan.aggs[a];
+    if (spec.kind == AggKind::kCount) continue;
+    agg_cols[a].sum = t.col(spec.column + "_sum").doubles().data();
+    agg_cols[a].mn = t.col(spec.column + "_min").doubles().data();
+    agg_cols[a].mx = t.col(spec.column + "_max").doubles().data();
+    agg_cols[a].wv = t.col(spec.column + "_wv").doubles().data();
+  }
+
+  // Group-key views: dims read codes, bucket keys derive their value from
+  // the cell's bucket start.
+  struct KeyView {
+    const std::int32_t* codes = nullptr;  // dim
+    std::int64_t grain = 0;               // bucket key (days)
+  };
+  std::vector<KeyView> key_views;
+  for (const std::string& k : plan.group_by) {
+    KeyView v;
+    if (const BucketKey* b = bucket_key(k)) {
+      v.grain = b->grain;
+    } else {
+      v.codes = t.col(k).codes().data();
+    }
+    key_views.push_back(v);
+  }
+  const auto key_value = [&](const KeyView& v, std::size_t r) -> std::int64_t {
+    if (v.codes != nullptr) return v.codes[r];
+    return floor_div(bucket[r], v.grain) * v.grain * common::kDay;
+  };
+
+  // Fold units are (group tuple, dim sub-tuple): the partition subkeys not
+  // already group keys extend the key, exactly as in the raw contract.
+  std::vector<const std::int32_t*> extra_codes;
+  for (const char* d : kDims) {
+    if (std::find(plan.group_by.begin(), plan.group_by.end(), d) == plan.group_by.end()) {
+      extra_codes.push_back(t.col(d).codes().data());
+    }
+  }
+
+  // Select cells and bucket them into (group, sub) units. Table order is
+  // (bucket ASC, min_jobid ASC), so each unit's cell list comes out in
+  // ascending bucket order, ready for the tree fold.
+  using Key = std::vector<std::int64_t>;
+  struct Unit {
+    std::size_t group = 0;
+    std::int64_t min_jobid = std::numeric_limits<std::int64_t>::max();
+    std::vector<std::size_t> cells;
+  };
+  struct Group {
+    std::size_t example = 0;  // any selected cell of the group
+    std::int64_t min_jobid = std::numeric_limits<std::int64_t>::max();
+    std::vector<std::size_t> units;
+  };
+  std::map<Key, std::size_t> group_lookup;
+  std::map<Key, std::size_t> unit_lookup;
+  std::vector<Group> groups;
+  std::vector<Unit> units;
+  std::size_t selected = 0;
+  const std::size_t nrows = empty ? 0 : t.rows();
+  for (std::size_t r = 0; r < nrows; ++r) {
+    const std::int64_t b = bucket[r];
+    if (plan.has_lo && b < plan.d_lo) continue;
+    if (plan.has_hi && b + grain - 1 > plan.d_hi) continue;
+    bool pass = true;
+    for (const auto& [codes, code] : dim_tests) {
+      if (codes[r] != code) {
+        pass = false;
+        break;
+      }
+    }
+    if (!pass) continue;
+    ++selected;
+    Key gkey;
+    gkey.reserve(key_views.size());
+    for (const KeyView& v : key_views) gkey.push_back(key_value(v, r));
+    Key ukey = gkey;
+    for (const std::int32_t* codes : extra_codes) ukey.push_back(codes[r]);
+    const auto [git, ginserted] = group_lookup.emplace(std::move(gkey), groups.size());
+    if (ginserted) groups.push_back(Group{r, min_jid[r], {}});
+    Group& g = groups[git->second];
+    g.min_jobid = std::min(g.min_jobid, min_jid[r]);
+    const auto [uit, uinserted] = unit_lookup.emplace(std::move(ukey), units.size());
+    if (uinserted) {
+      units.push_back(Unit{git->second, min_jid[r], {}});
+      g.units.push_back(uit->second);
+    }
+    Unit& u = units[uit->second];
+    u.min_jobid = std::min(u.min_jobid, min_jid[r]);
+    u.cells.push_back(r);
+  }
+
+  // Per unit: reconstruct each cell's per-agg states and tree-fold them.
+  std::vector<AggState> unit_states(units.size() * naggs);
+  std::vector<AggState> cell_states(naggs);
+  for (std::size_t u = 0; u < units.size(); ++u) {
+    TimeTreeFold fold(unit_states.data() + u * naggs, naggs);
+    for (const std::size_t r : units[u].cells) {
+      for (std::size_t a = 0; a < naggs; ++a) {
+        AggState& s = cell_states[a];
+        s = AggState{};
+        s.n = rows_col[r];
+        if (plan.aggs[a].kind == AggKind::kCount) continue;
+        s.sum = agg_cols[a].sum[r];
+        s.mn = agg_cols[a].mn[r];
+        s.mx = agg_cols[a].mx[r];
+        if (plan.aggs[a].kind == AggKind::kWeightedMean) {
+          s.wsum = node_hours_sum[r];
+          s.wvsum = agg_cols[a].wv[r];
+        }
+      }
+      fold.add(bucket[r], cell_states.data());
+    }
+    fold.finish();
+  }
+
+  // Contract emission order: groups by first match = ascending min job id;
+  // within a group, sub-tuples merge in the same order.
+  std::vector<std::size_t> group_order(groups.size());
+  std::iota(group_order.begin(), group_order.end(), std::size_t{0});
+  std::sort(group_order.begin(), group_order.end(), [&groups](std::size_t a, std::size_t b) {
+    return groups[a].min_jobid < groups[b].min_jobid;
+  });
+
+  std::vector<std::pair<std::string, ColType>> schema;
+  for (const std::string& k : plan.group_by) {
+    schema.emplace_back(k, bucket_key(k) != nullptr ? ColType::kInt64 : ColType::kString);
+  }
+  for (const AggSpec& a : plan.aggs) {
+    schema.emplace_back(a.as.empty() ? default_agg_name(a) : a.as,
+                        a.kind == AggKind::kCount ? ColType::kInt64 : ColType::kDouble);
+  }
+  Table out("jobs_agg", std::move(schema));
+  std::vector<AggState> gstates(naggs);
+  for (const std::size_t gi : group_order) {
+    Group& g = groups[gi];
+    std::sort(g.units.begin(), g.units.end(), [&units](std::size_t a, std::size_t b) {
+      return units[a].min_jobid < units[b].min_jobid;
+    });
+    std::fill(gstates.begin(), gstates.end(), AggState{});
+    for (const std::size_t u : g.units) {
+      merge_states(gstates.data(), unit_states.data() + u * naggs, naggs);
+    }
+    auto row = out.append();
+    for (std::size_t k = 0; k < plan.group_by.size(); ++k) {
+      const KeyView& v = key_views[k];
+      if (v.codes != nullptr) {
+        row.set(plan.group_by[k],
+                t.col(plan.group_by[k]).decode(v.codes[g.example]));
+      } else {
+        row.set(plan.group_by[k], key_value(v, g.example));
+      }
+    }
+    for (std::size_t a = 0; a < naggs; ++a) {
+      const AggSpec& spec = plan.aggs[a];
+      const std::string name = spec.as.empty() ? default_agg_name(spec) : spec.as;
+      if (spec.kind == AggKind::kCount) {
+        row.set(name, gstates[a].n);
+      } else {
+        row.set(name, emit_agg(spec.kind, gstates[a]));
+      }
+    }
+  }
+
+  if (stats != nullptr) {
+    *stats = QueryStats{};
+    stats->rows_scanned = t.rows();
+    stats->rows_matched = selected;
+  }
+  return out;
+}
+
+}  // namespace supremm::warehouse::rollup

@@ -210,6 +210,33 @@ void Table::finalize_rows() {
   zone_.reset();
 }
 
+void Table::add_int64_column(std::string name, std::vector<std::int64_t> values) {
+  if (values.size() != rows_) {
+    throw common::InvalidArgument("table " + name_ + ": add_int64_column '" + name + "' has " +
+                                  std::to_string(values.size()) + " values for " +
+                                  std::to_string(rows_) + " rows");
+  }
+  if (has_col(name)) {
+    throw common::InvalidArgument("table " + name_ + ": column '" + name + "' already exists");
+  }
+  Column c(std::move(name), ColType::kInt64);
+  c.append_int64s(values);
+  columns_.push_back(std::move(c));
+  zone_.reset();  // column set changed: chunk summaries are per-column
+}
+
+void Table::set_time_partition(std::string column, std::vector<std::string> subkeys) {
+  if (!column.empty()) {
+    const Column& c = col(column);
+    if (c.type() != ColType::kInt64) {
+      throw common::InvalidArgument("time partition column '" + column + "' must be int64");
+    }
+    for (const auto& s : subkeys) (void)col(s);  // must exist
+  }
+  tp_column_ = std::move(column);
+  tp_subkeys_ = std::move(subkeys);
+}
+
 void Table::rebuild_zone_index(std::size_t chunk_rows) {
   if (chunk_rows == 0) throw common::InvalidArgument("zone index needs chunk_rows >= 1");
   ZoneIndex zi;

@@ -132,6 +132,24 @@ class Table {
     return zone_ ? &*zone_ : nullptr;
   }
 
+  /// Append a fully-populated int64 column (one value per existing row).
+  /// Drops the zone index; rebuild it afterwards if pruning is wanted.
+  void add_int64_column(std::string name, std::vector<std::int64_t> values);
+
+  /// Declare this table time-partitioned on `column` (an int64 timestamp)
+  /// with the given partition subkey columns. Query::run() and the testkit
+  /// oracle switch to the time-partitioned aggregation contract
+  /// (DESIGN.md §16): per-(key tuple, subkey tuple, day) micro-cells
+  /// accumulate sequentially in match order and fold day → week → month →
+  /// quarter, with cross-dimension merges outermost — so answers are
+  /// reproducible from materialized rollups at any bucket level.
+  void set_time_partition(std::string column, std::vector<std::string> subkeys);
+  /// Time-partition column name; empty when the table is not partitioned.
+  [[nodiscard]] const std::string& time_partition() const noexcept { return tp_column_; }
+  [[nodiscard]] const std::vector<std::string>& time_partition_subkeys() const noexcept {
+    return tp_subkeys_;
+  }
+
   /// Rows passing `pred(row_index)`.
   template <typename Pred>
   [[nodiscard]] std::vector<std::size_t> select(Pred pred) const {
@@ -147,6 +165,8 @@ class Table {
   std::vector<Column> columns_;
   std::size_t rows_ = 0;
   std::optional<ZoneIndex> zone_;
+  std::string tp_column_;
+  std::vector<std::string> tp_subkeys_;
 };
 
 }  // namespace supremm::warehouse

@@ -25,9 +25,11 @@
 #include <string>
 #include <vector>
 
+#include "archive/tables.h"
 #include "faultsim/faultsim.h"
 #include "service/service.h"
 #include "sim_fixture.h"
+#include "warehouse/rollup.h"
 
 namespace {
 
@@ -148,9 +150,13 @@ std::uint64_t sweep_kill_points(const std::string& dir, const Scenario& sc,
     EXPECT_NE(rel, "COMMIT") << "clean commit left its journal behind";
   }
 
-  // Oracle reference: the post-state tables, decoded.
+  // Oracle reference: the post-state tables, decoded — including the rollup
+  // cells maintained by the same commit.
   archive::Reader post_reader(dir, 1);
   const warehouse::Table post_jobs = post_reader.table("jobs");
+  const auto post_rollups = archive::Archive(dir, 1).load_rollups();
+  EXPECT_TRUE(post_rollups.has_value())
+      << "clean commit did not leave a loadable rollup state";
 
   bool seen_post = false;
   for (std::uint64_t k = 1; k <= total; ++k) {
@@ -189,6 +195,17 @@ std::uint64_t sweep_kill_points(const std::string& dir, const Scenario& sc,
         // byte identity, and the recovery accounting.
         archive::Reader r(dir, 1);
         st::expect_tables_identical(r.table("jobs"), post_jobs);
+        if (post_rollups) {
+          const auto rolled = recovered.load_rollups();
+          EXPECT_TRUE(rolled.has_value())
+              << "rolled-forward commit lost its rollup partitions at k=" << k;
+          if (rolled) {
+            for (std::size_t li = 0; li < warehouse::rollup::levels().size(); ++li) {
+              st::expect_tables_identical(rolled->level(li),
+                                          post_rollups->level(li));
+            }
+          }
+        }
       }
       seen_post = true;
       // GC debris — an empty .staging/ dir left when the crash hit after the
@@ -301,6 +318,37 @@ TEST(CrashSweep, KillPointBudget) {
                           << initial.total() << " initial + " << incremental.total()
                           << " incremental ops";
   fs::remove_all(dir);
+}
+
+// Rollup maintenance rides the same transactional commit (the sweeps above
+// therefore cover a crash at every one of its I/O ops). A clean incremental
+// append must leave the rollup partitions in the manifest, and the decoded
+// cells must equal a from-scratch build over the loaded jobs.
+TEST(CrashRollup, MaintainedPartitionsCommitAndDecode) {
+  const std::string dir = test_dir("rollup");
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  append_days(dir, 1, 1, nullptr);
+  const archive::AppendStats stats = append_days(dir, 2, 1, nullptr);
+  EXPECT_GT(stats.rollup_partitions_written, 0u);
+  EXPECT_GT(stats.rollup_cells_written, 0u);
+
+  archive::Archive ar(dir, 1);
+  std::size_t rollup_parts = 0;
+  for (const auto& p : ar.manifest().partitions) {
+    if (warehouse::rollup::is_rollup_table(p.table)) ++rollup_parts;
+  }
+  EXPECT_GE(rollup_parts, 4u) << "expected at least one partition per level";
+
+  const auto maintained = ar.load_rollups();
+  ASSERT_TRUE(maintained.has_value());
+  warehouse::Table jobs = archive::jobs_table(ar.load().result.jobs);
+  warehouse::rollup::augment_jobs_table(jobs);
+  const warehouse::rollup::RollupSet rebuilt =
+      warehouse::rollup::build_from_table(jobs);
+  for (std::size_t li = 0; li < warehouse::rollup::levels().size(); ++li) {
+    st::expect_tables_identical(maintained->level(li), rebuilt.level(li));
+  }
 }
 
 TEST(CrashEnospc, EverySpaceOpKeepsPreCommitState) {
