@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <filesystem>
 #include <fstream>
+#include <limits>
 #include <map>
 
 #include "archive/tables.h"
@@ -622,6 +623,20 @@ AppendStats Archive::append(const etl::IngestConfig& cfg,
     if (table == warehouse::rollup::levels()[3].table) return q0;
     return prev_final;
   };
+  const auto is_rollup_table = [](std::string_view table) {
+    for (const auto& l : warehouse::rollup::levels()) {
+      if (table == l.table) return true;
+    }
+    return false;
+  };
+  // Does the manifest carry maintained cells at all? An archive that
+  // predates rollups — or whose previous append degraded and dropped them —
+  // has none; this append then rebuilds coverage over the full retained
+  // history instead of just the current quarter, restoring the
+  // all-or-nothing invariant load_rollups() depends on.
+  const bool had_rollups =
+      std::any_of(m.partitions.begin(), m.partitions.end(),
+                  [&](const PartitionInfo& p) { return is_rollup_table(p.table); });
   std::vector<std::string> stale;
   std::erase_if(m.partitions, [&](const PartitionInfo& p) {
     if (p.day >= retire_from(p.table) || p.table == kQualityTable) {
@@ -686,53 +701,78 @@ AppendStats Archive::append(const etl::IngestConfig& cfg,
   // Incremental: only the day cells of rewritten days and the coarse
   // buckets containing them are rebuilt — never the whole history. The
   // retained days of those coarse buckets are re-read from their immutable
-  // jobs partitions (at most one quarter's worth), folded together with
-  // this append's jobs, and the touched cells are staged into the same
-  // crash-consistent commit as everything else.
+  // jobs partitions (at most one quarter's worth, except when recovering
+  // from a degraded or pre-rollup manifest), folded together with this
+  // append's jobs, and the touched cells are staged into the same
+  // crash-consistent commit as everything else. A retained partition that
+  // fails to re-read degrades the append to committing no rollup partitions
+  // at all rather than failing it.
   {
     std::vector<etl::JobSummary> combined;
     for (const auto& [d, js] : jobs_by_day) {
       combined.insert(combined.end(), js.begin(), js.end());
     }
+    const std::int64_t read_from = had_rollups ? q0 : day0;
+    bool readback_ok = true;
     for (const auto& p : m.partitions) {
-      if (p.table != kJobsTable || p.day < q0 || p.day >= prev_final) continue;
+      if (p.table != kJobsTable || p.day < read_from || p.day >= prev_final) continue;
       std::vector<etl::PartitionQuarantine> quar;
       auto dp = try_read_partition(dir_, p, nullptr, quar);
       if (!dp) {
-        throw common::ArchiveError("rollup maintenance cannot re-read " + p.filename + ": " +
-                                   (quar.empty() ? "unknown fault" : quar.front().reason));
+        readback_ok = false;
+        break;
       }
       auto js = jobs_from_table(dp->table);
       combined.insert(combined.end(), std::make_move_iterator(js.begin()),
                       std::make_move_iterator(js.end()));
       ++stats.rollup_days_read_back;
     }
-    std::sort(combined.begin(), combined.end(),
-              [](const etl::JobSummary& a, const etl::JobSummary& b) { return a.id < b.id; });
+    if (!readback_ok) {
+      // Latent bitrot in a retained partition was tolerated before rollups
+      // existed (it surfaces as a load-time quarantine), so it must not turn
+      // an append into a hard failure now. Degrade instead: commit without
+      // any rollup partitions so load_rollups() reports none and consumers
+      // rebuild from the jobs they actually load; the first later append
+      // that can read the history restores coverage from scratch (the
+      // had_rollups full-rebuild path above).
+      stats.rollup_maintenance_skipped = true;
+      std::erase_if(m.partitions, [&](const PartitionInfo& p) {
+        if (!is_rollup_table(p.table)) return false;
+        stale.push_back(p.filename);
+        return true;
+      });
+    } else {
+      std::sort(combined.begin(), combined.end(),
+                [](const etl::JobSummary& a, const etl::JobSummary& b) { return a.id < b.id; });
 
-    const warehouse::Table all_jobs = jobs_table(combined);
-    const warehouse::rollup::RollupSet rset = warehouse::rollup::build_from_table(all_jobs);
-    const std::int64_t stage_from[] = {prev_final, w0, m0, q0};
-    for (std::size_t li = 0; li < warehouse::rollup::levels().size(); ++li) {
-      const warehouse::Table& lt = rset.level(li);
-      const auto buckets = lt.col("bucket").int64s();
-      std::size_t r = 0;
-      while (r < lt.rows()) {
-        const std::int64_t b = buckets[r];
-        std::size_t e = r;
-        while (e < lt.rows() && buckets[e] == b) ++e;
-        if (b >= stage_from[li]) {
-          std::vector<std::pair<std::string, warehouse::ColType>> schema;
-          for (const auto& c : lt.columns()) schema.emplace_back(c.name(), c.type());
-          warehouse::Table part(lt.name(), std::move(schema));
-          for (std::size_t i = r; i < e; ++i) append_row(part, lt, i);
-          stats.rollup_cells_written += part.rows();
-          ++stats.rollup_partitions_written;
-          persist(part, b,
-                  common::strprintf("%s-d%06lld-e%06llu.part", lt.name().c_str(),
-                                    static_cast<long long>(b), ell));
+      const warehouse::Table all_jobs = jobs_table(combined);
+      const warehouse::rollup::RollupSet rset = warehouse::rollup::build_from_table(all_jobs);
+      std::int64_t stage_from[] = {prev_final, w0, m0, q0};
+      if (!had_rollups) {
+        // Full rebuild: every bucket of every level is (re)staged.
+        for (auto& s : stage_from) s = std::numeric_limits<std::int64_t>::min();
+      }
+      for (std::size_t li = 0; li < warehouse::rollup::levels().size(); ++li) {
+        const warehouse::Table& lt = rset.level(li);
+        const auto buckets = lt.col("bucket").int64s();
+        std::size_t r = 0;
+        while (r < lt.rows()) {
+          const std::int64_t b = buckets[r];
+          std::size_t e = r;
+          while (e < lt.rows() && buckets[e] == b) ++e;
+          if (b >= stage_from[li]) {
+            std::vector<std::pair<std::string, warehouse::ColType>> schema;
+            for (const auto& c : lt.columns()) schema.emplace_back(c.name(), c.type());
+            warehouse::Table part(lt.name(), std::move(schema));
+            for (std::size_t i = r; i < e; ++i) append_row(part, lt, i);
+            stats.rollup_cells_written += part.rows();
+            ++stats.rollup_partitions_written;
+            persist(part, b,
+                    common::strprintf("%s-d%06lld-e%06llu.part", lt.name().c_str(),
+                                      static_cast<long long>(b), ell));
+          }
+          r = e;
         }
-        r = e;
       }
     }
   }

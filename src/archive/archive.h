@@ -92,6 +92,11 @@ struct AppendStats {
   std::size_t rollup_partitions_written = 0;
   std::uint64_t rollup_cells_written = 0;
   std::size_t rollup_days_read_back = 0;
+  // A retained jobs partition failed to re-read during maintenance: the
+  // append committed without any rollup partitions (load_rollups() then
+  // reports none and consumers rebuild from the table they load); a later
+  // append that can read the history restores coverage from scratch.
+  bool rollup_maintenance_skipped = false;
 };
 
 struct LoadResult {

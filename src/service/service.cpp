@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cmath>
 #include <future>
+#include <optional>
 #include <span>
 #include <utility>
 
@@ -275,9 +276,19 @@ void Service::publish_jobs(std::vector<etl::JobSummary> jobs,
                            common::TimePoint watermark) {
   auto snap = std::make_shared<Snapshot>();
   snap->watermark = watermark;
+  // Canonical row order is ascending job id — the order Archive::load
+  // restores. Rollup serving emits groups and merges sub-tuples by min job
+  // id, so an unsorted publish would diverge from the raw scan in row order
+  // (and fold order, hence float bits) for the same data.
+  std::sort(jobs.begin(), jobs.end(),
+            [](const etl::JobSummary& a, const etl::JobSummary& b) { return a.id < b.id; });
   warehouse::Table jt = archive::jobs_table(jobs);
+  // Bucket columns and the time partition are part of the query surface and
+  // fix the aggregation contract; they do not depend on whether rollups are
+  // built, so cfg_.rollups gates only the build (a null snap->rollups then
+  // disables serving) and results stay identical either way.
+  warehouse::rollup::augment_jobs_table(jt);
   if (cfg_.rollups) {
-    warehouse::rollup::augment_jobs_table(jt);
     snap->rollups = std::make_shared<const warehouse::rollup::RollupSet>(
         warehouse::rollup::build_from_table(jt));
   }
@@ -309,12 +320,18 @@ void Service::bind_archive(archive::Archive& ar) {
     auto snap = std::make_shared<Snapshot>();
     snap->watermark = ar.watermark();
     warehouse::Table jt = archive::jobs_table(loaded.result.jobs);
+    warehouse::rollup::augment_jobs_table(jt);
     if (cfg_.rollups) {
-      warehouse::rollup::augment_jobs_table(jt);
       // Prefer the archive's incrementally maintained cells; an archive that
       // predates rollups (or whose rollup partitions failed verification)
-      // falls back to a from-scratch build over the loaded jobs.
-      if (auto maintained = ar.load_rollups()) {
+      // falls back to a from-scratch build over the loaded jobs. A load that
+      // quarantined partitions publishes a *partial* jobs table, while the
+      // maintained cells were folded from the full pre-corruption data —
+      // serving them would disagree with the raw scan over the very table
+      // being published, so rebuild from what actually loaded instead.
+      std::optional<warehouse::rollup::RollupSet> maintained;
+      if (loaded.quarantined.empty()) maintained = ar.load_rollups();
+      if (maintained) {
         snap->rollups = std::make_shared<const warehouse::rollup::RollupSet>(
             std::move(*maintained));
       } else {

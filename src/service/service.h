@@ -88,9 +88,12 @@ struct ServiceConfig {
   /// attempt (50, 100, 200, ... ms).
   std::int64_t stale_retry_backoff_ms = 50;
   /// Maintain rollup tables on publish and serve subsumable jobs queries
-  /// from them (DESIGN.md §16). Disabling skips both the build and the
-  /// serving path — every query runs the raw scan. SUPREMM_ROLLUP=off
-  /// additionally disables serving at runtime without rebuilding snapshots.
+  /// from them (DESIGN.md §16). Disabling skips the build and the serving
+  /// path — every query runs the raw scan. The jobs table is augmented and
+  /// time-partitioned either way, so the query surface (bucket columns) and
+  /// the aggregation contract — hence every result — are identical.
+  /// SUPREMM_ROLLUP=off additionally disables serving at runtime without
+  /// rebuilding snapshots.
   bool rollups = true;
 
   /// Throws InvalidArgument naming the offending field: workers, queue_limit,
@@ -246,7 +249,9 @@ class Service {
                       common::TimePoint watermark = 0);
 
   /// Publish job summaries: builds the lossless "jobs" table (zone-indexed)
-  /// and the XDMoD jobs realm for `report` requests. Bumps the epoch.
+  /// and the XDMoD jobs realm for `report` requests. Bumps the epoch. Jobs
+  /// are canonicalized to ascending-id order first (the order Archive::load
+  /// restores), so callers may pass them in any order.
   void publish_jobs(std::vector<etl::JobSummary> jobs,
                     common::TimePoint watermark = 0);
 

@@ -637,7 +637,7 @@ Table serve(const RollupSet& rollups, const Plan& plan, QueryStats* stats) {
 
   if (stats != nullptr) {
     *stats = QueryStats{};
-    stats->rows_scanned = t.rows();
+    stats->rows_scanned = nrows;  // 0 on the dim-literal dictionary miss
     stats->rows_matched = selected;
   }
   return out;

@@ -111,7 +111,8 @@ struct Plan {
 /// Answer a subsumed query from the materialized cells. Output is the same
 /// "jobs_agg" table the raw path produces, bit-identical. Stats are the
 /// documented rollup accounting: rows_scanned = rows of the level table
-/// examined, rows_matched = cells selected, chunks 0/0.
+/// examined (0 when a dim equality literal misses the level dictionary and
+/// selection short-circuits), rows_matched = cells selected, chunks 0/0.
 [[nodiscard]] Table serve(const RollupSet& rollups, const Plan& plan, QueryStats* stats);
 
 }  // namespace supremm::warehouse::rollup

@@ -7,6 +7,8 @@
 
 #include <cstdint>
 #include <filesystem>
+#include <fstream>
+#include <iterator>
 #include <limits>
 #include <optional>
 #include <string>
@@ -153,6 +155,28 @@ struct TierGuard {
   TierGuard() = default;
   ~TierGuard() { simd::set_tier(simd::hardware_tier()); }
 };
+
+/// The manifest filename of the jobs partition for `day`, or empty.
+std::string jobs_partition_filename(const ar::Archive& a, std::int64_t day) {
+  for (const auto& p : a.manifest().partitions) {
+    if (p.table == ar::kJobsTable && p.day == day) return p.filename;
+  }
+  return {};
+}
+
+/// Flips one mid-file byte so the partition's CRC check quarantines it.
+void flip_byte(const fs::path& file) {
+  std::fstream f(file, std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(f.is_open()) << file;
+  f.seekg(0, std::ios::end);
+  const std::streamoff size = f.tellg();
+  ASSERT_GT(size, 0);
+  f.seekg(size / 2);
+  char c = 0;
+  f.get(c);
+  f.seekp(size / 2);
+  f.put(static_cast<char>(c ^ 0x5a));
+}
 
 /// Forces rollup serving on for the test body (overriding a SUPREMM_ROLLUP=off
 /// environment, so the forced-off ctest leg still exercises these paths) and
@@ -335,9 +359,18 @@ TEST(RollupFuzz, FiveHundredQueriesAgainstOracleAndServe) {
       const wh::Table served = ru::serve(fuzz_rollups(), *plan, &stats);
       const tk::QueryRun raw = tk::run_engine(fuzz_ref(), spec);
       expect_tables_identical(served, raw.table);
-      // Rollup stats use the documented cell accounting.
+      // Rollup stats use the documented cell accounting: level rows
+      // examined, except a dim literal missing from the level dictionary
+      // short-circuits selection and reports zero.
+      bool dict_miss = false;
+      for (const auto& [col, val] : plan->dim_eq) {
+        if (!fuzz_rollups().level(plan->level).col(col).find_code(val)) {
+          dict_miss = true;
+          break;
+        }
+      }
       EXPECT_EQ(stats.rows_scanned,
-                fuzz_rollups().level(plan->level).rows());
+                dict_miss ? 0u : fuzz_rollups().level(plan->level).rows());
       EXPECT_EQ(stats.chunks_total, 0u);
       EXPECT_EQ(stats.chunks_pruned, 0u);
     } else {
@@ -561,6 +594,188 @@ TEST(RollupArchive, MissingRollupPartitionsFallBackToRebuild) {
   const sv::ResponsePtr r = s.run("query jobs group user agg count()");
   ASSERT_EQ(r->status, sv::Status::kOk) << r->error;
   EXPECT_GE(svc.metrics().rollup_hits, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Consistency at the edges: quarantined binds, unsorted publishes, config-off
+// parity, degraded maintenance, and the dictionary-miss stats short-circuit.
+
+TEST(RollupServe, DictionaryMissShortCircuitsWithZeroScanned) {
+  ru::QueryInput in = simple_input({}, {"user"});
+  ru::PredInput p;
+  p.op = ru::PredInput::Op::kEq;
+  p.column = "user";
+  p.value = "no-such-user";
+  in.where.push_back(p);
+  const auto plan = ru::subsume(in);
+  ASSERT_TRUE(plan.has_value());
+  wh::QueryStats stats;
+  const wh::Table served = ru::serve(fuzz_rollups(), *plan, &stats);
+  EXPECT_EQ(served.rows(), 0u);
+  EXPECT_EQ(stats.rows_scanned, 0u);  // zero cells were examined on the miss
+  EXPECT_EQ(stats.rows_matched, 0u);
+
+  // The raw scan agrees on the (empty) answer.
+  tk::QuerySpec spec;
+  spec.has_where = true;
+  tk::PredTerm t;
+  t.column = "user";
+  t.op = tk::PredOp::kEq;
+  t.value = "no-such-user";
+  spec.where.push_back(t);
+  spec.group_by = {"user"};
+  wh::AggSpec count;
+  count.kind = wh::AggKind::kCount;
+  spec.aggs = {count};
+  const tk::QueryRun raw = tk::run_engine(fuzz_ref(), spec);
+  expect_tables_identical(served, raw.table);
+}
+
+TEST(RollupService, UnsortedPublishServesBitIdentical) {
+  EnabledGuard guard;
+  // publish_jobs canonicalizes to ascending-id order (the order
+  // Archive::load restores): a reversed publish must serve rollup and raw
+  // answers bit-identical to each other and to the reference population.
+  std::vector<etl::JobSummary> reversed(fuzz_jobs().rbegin(), fuzz_jobs().rend());
+  sv::ServiceConfig cfg;
+  cfg.workers = 1;
+  cfg.cache_entries = 0;
+  sv::Service svc(cfg);
+  svc.publish_jobs(std::move(reversed));
+  auto s = svc.session("rev");
+  constexpr std::uint64_t kSeed = 20130313;
+  for (std::size_t q = 0; q < 60; ++q) {
+    tk::QuerySpec spec;
+    const std::string text = tk::make_rollup_request_text(kSeed, q, &spec);
+    ru::set_enabled(true);
+    const sv::ResponsePtr on = s.run(text);
+    ru::set_enabled(false);
+    const sv::ResponsePtr off = s.run(text);
+    ru::set_enabled(true);
+    ASSERT_EQ(on->status, sv::Status::kOk) << text << ": " << on->error;
+    ASSERT_EQ(off->status, sv::Status::kOk) << text << ": " << off->error;
+    expect_tables_identical(*on->table, *off->table);
+    const tk::QueryRun raw = tk::run_engine(fuzz_ref(), spec);
+    expect_tables_identical(*on->table, raw.table);
+  }
+}
+
+TEST(RollupService, DisabledConfigKeepsQuerySurfaceAndResults) {
+  EnabledGuard guard;
+  // rollups=false skips the build and the serving path but must not change
+  // the query surface: bucket columns stay queryable and grouped
+  // aggregation runs the same time-partitioned contract, so every answer
+  // matches an enabled service bit for bit.
+  sv::ServiceConfig on_cfg, off_cfg;
+  on_cfg.workers = off_cfg.workers = 1;
+  on_cfg.cache_entries = off_cfg.cache_entries = 0;
+  off_cfg.rollups = false;
+  sv::Service on(on_cfg), off(off_cfg);
+  on.publish_jobs(fuzz_jobs());
+  off.publish_jobs(fuzz_jobs());
+  auto son = on.session("on"), soff = off.session("off");
+  constexpr std::uint64_t kSeed = 97531;
+  for (std::size_t q = 0; q < 60; ++q) {
+    const std::string text = tk::make_rollup_request_text(kSeed, q);
+    const sv::ResponsePtr ron = son.run(text);
+    const sv::ResponsePtr roff = soff.run(text);
+    ASSERT_EQ(ron->status, sv::Status::kOk) << text << ": " << ron->error;
+    ASSERT_EQ(roff->status, sv::Status::kOk) << text << ": " << roff->error;
+    expect_tables_identical(*ron->table, *roff->table);
+  }
+  // The bucket columns exist on the rollups=false surface too.
+  const sv::ResponsePtr grouped = soff.run("query jobs group week agg count()");
+  ASSERT_EQ(grouped->status, sv::Status::kOk) << grouped->error;
+  EXPECT_EQ(off.metrics().rollup_hits, 0u);
+  EXPECT_EQ(off.metrics().rollup_cells, 0u);
+}
+
+TEST(RollupService, FirstBindWithQuarantineRebuildsFromLoadedTable) {
+  EnabledGuard guard;
+  const SimRun& run = small_ranger_run();
+  const std::string dir = scratch_dir("rollup-quarantine-bind");
+  {
+    ar::Archive a(dir);
+    append_days(a, run, 4);
+    const std::string file = jobs_partition_filename(a, 1);
+    ASSERT_FALSE(file.empty());
+    flip_byte(fs::path(dir) / file);
+  }
+
+  // The rollup partitions are intact, but the jobs table the first bind
+  // publishes is partial (day 1 quarantined): the maintained cells — built
+  // from the full pre-corruption data — must be rejected in favour of a
+  // rebuild over what actually loaded, or served and scanned answers
+  // diverge on the same snapshot.
+  ar::Archive a(dir);
+  ASSERT_TRUE(a.load_rollups().has_value());  // cells themselves are healthy
+  ASSERT_FALSE(a.load().quarantined.empty());
+
+  sv::ServiceConfig cfg;
+  cfg.workers = 1;
+  cfg.cache_entries = 0;
+  sv::Service svc(cfg);
+  svc.bind_archive(a);  // first bind publishes the partial view
+  EXPECT_EQ(svc.metrics().rollup_rebuilds, 1u);
+
+  auto s = svc.session("partial");
+  const std::string text = "query jobs group user,day agg count(),sum(node_hours)";
+  ru::set_enabled(true);
+  const sv::ResponsePtr served = s.run(text);
+  ru::set_enabled(false);
+  const sv::ResponsePtr scanned = s.run(text);
+  ru::set_enabled(true);
+  ASSERT_EQ(served->status, sv::Status::kOk) << served->error;
+  ASSERT_EQ(scanned->status, sv::Status::kOk) << scanned->error;
+  EXPECT_GE(svc.metrics().rollup_hits, 1u);
+  expect_tables_identical(*served->table, *scanned->table);
+}
+
+TEST(RollupArchive, RetainedPartitionBitrotDegradesThenRecovers) {
+  const SimRun& run = small_ranger_run();
+  const std::string dir = scratch_dir("rollup-degrade");
+  ar::Archive a(dir);
+  append_days(a, run, 2);
+  const std::string file = jobs_partition_filename(a, 0);
+  ASSERT_FALSE(file.empty());
+  const fs::path path = fs::path(dir) / file;
+  std::string pristine;
+  {
+    std::ifstream in(path, std::ios::binary);
+    ASSERT_TRUE(in.is_open());
+    pristine.assign(std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>());
+  }
+  flip_byte(path);
+
+  // Latent bitrot in a retained partition degrades maintenance instead of
+  // failing the append: the data partitions still commit, but no rollup
+  // partitions do, so a partial cell set can never serve.
+  const ar::AppendStats degraded = append_days(a, run, 5);
+  EXPECT_TRUE(degraded.rollup_maintenance_skipped);
+  EXPECT_EQ(degraded.rollup_partitions_written, 0u);
+  EXPECT_EQ(degraded.rollup_cells_written, 0u);
+  EXPECT_GT(degraded.partitions_written, 0u);
+  EXPECT_FALSE(a.load_rollups().has_value());
+
+  // Restore the file byte-for-byte (the manifest still references it): the
+  // next append can read the full history again and rebuilds coverage from
+  // scratch, identical to a from-scratch build over the loaded jobs.
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    ASSERT_TRUE(out.is_open());
+    out.write(pristine.data(), static_cast<std::streamsize>(pristine.size()));
+  }
+  const ar::AppendStats recovered = append_days(a, run, 8);
+  EXPECT_FALSE(recovered.rollup_maintenance_skipped);
+  EXPECT_GT(recovered.rollup_partitions_written, 0u);
+  const auto maintained = a.load_rollups();
+  ASSERT_TRUE(maintained.has_value());
+  wh::Table jobs = ar::jobs_table(a.load().result.jobs);
+  ru::augment_jobs_table(jobs);
+  const ru::RollupSet rebuilt = ru::build_from_table(jobs);
+  for (std::size_t li = 0; li < ru::levels().size(); ++li) {
+    expect_tables_identical(maintained->level(li), rebuilt.level(li));
+  }
 }
 
 }  // namespace
