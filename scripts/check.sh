@@ -62,6 +62,30 @@ SUPREMM_ROLLUP=off ctest --test-dir "${BUILD_DIR}" -L rollup --output-on-failure
 echo "== rollup bench: dashboard-mix bit-identity + p50 speedup gate =="
 (cd "${BUILD_DIR}" && ./bench/bench_rollup > /dev/null)
 
+echo "== federation suite: sharded scatter-gather determinism (DESIGN.md §17) =="
+ctest --test-dir "${BUILD_DIR}" -L federation --output-on-failure -j "${JOBS}"
+
+echo "== federation shard-count legs: each count proved in isolation =="
+for nshards in 1 2 5; do
+  SUPREMM_FED_SHARDS="${nshards}" ctest --test-dir "${BUILD_DIR}" \
+    -L federation -R FederationFuzz --output-on-failure -j "${JOBS}"
+done
+
+echo "== federation forced-off rollup leg: raw shard partials only =="
+SUPREMM_ROLLUP=off ctest --test-dir "${BUILD_DIR}" -L federation --output-on-failure -j "${JOBS}"
+
+echo "== federation bench: merged scatter-gather bit-identity gate =="
+(cd "${BUILD_DIR}" && ./bench/bench_federation > /dev/null)
+
+echo "== bench-gate JSONs are checked in at the repo root =="
+for bench_json in BENCH_kernels.json BENCH_rollup.json BENCH_federation.json; do
+  if [ ! -f "${bench_json}" ]; then
+    echo "check.sh: ${bench_json} missing from the repo root — copy the gated"
+    echo "  bench output in (cp ${BUILD_DIR}/${bench_json} .) and commit it"
+    exit 1
+  fi
+done
+
 echo "== crash suite: kill-point sweeps + recovery properties =="
 ctest --test-dir "${BUILD_DIR}" -L crash --output-on-failure -j "${JOBS}"
 

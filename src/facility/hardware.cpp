@@ -77,4 +77,20 @@ std::string node_hostname(const ClusterSpec& spec, std::size_t i) {
   return common::strprintf("%s-c%04zu", spec.name.c_str(), i);
 }
 
+std::vector<ClusterSpec> heterogeneous_fleet(std::size_t n, double node_scale) {
+  if (n == 0) {
+    throw common::InvalidArgument("heterogeneous_fleet: n must be positive");
+  }
+  std::vector<ClusterSpec> fleet;
+  fleet.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    ClusterSpec spec = scaled(i % 2 == 0 ? ranger() : lonestar4(), node_scale);
+    if (i >= 2) {
+      spec.name = common::strprintf("%s-%zu", spec.name.c_str(), i / 2 + 1);
+    }
+    fleet.push_back(std::move(spec));
+  }
+  return fleet;
+}
+
 }  // namespace supremm::facility

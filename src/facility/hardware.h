@@ -85,4 +85,12 @@ struct ClusterSpec {
 /// "<cluster>-c0042".
 [[nodiscard]] std::string node_hostname(const ClusterSpec& spec, std::size_t i);
 
+/// A fleet of `n` heterogeneous clusters for multi-cluster (federation)
+/// scenarios: presets alternate Ranger / Lonestar4 hardware, every cluster
+/// scaled by `node_scale` and uniquely renamed ("ranger", "lonestar4",
+/// "ranger-2", ...). The paper's two-system facility is
+/// heterogeneous_fleet(2, 1.0).
+[[nodiscard]] std::vector<ClusterSpec> heterogeneous_fleet(std::size_t n,
+                                                           double node_scale);
+
 }  // namespace supremm::facility

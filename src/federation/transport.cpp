@@ -1,0 +1,164 @@
+#include "federation/transport.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include "common/error.h"
+
+namespace supremm::federation {
+
+std::string LoopbackTransport::exchange(std::string_view request, std::uint32_t deadline_ms) {
+  exchanges_.fetch_add(1);
+  if (before_) before_(deadline_ms);
+  std::string response = executor_->serve(request);
+  if (corrupt_) corrupt_(response);
+  return response;
+}
+
+namespace {
+
+void set_timeout(int fd, int opt, std::uint32_t ms) {
+  timeval tv{};
+  tv.tv_sec = ms / 1000;
+  tv.tv_usec = static_cast<suseconds_t>(ms % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, opt, &tv, sizeof(tv));
+}
+
+void write_all(int fd, std::string_view bytes) {
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n = ::send(fd, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw common::IoError("shard transport: send failed: " + std::string(strerror(errno)));
+    }
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+/// Read to EOF. A receive timeout (EAGAIN/EWOULDBLOCK) reports as Cancelled
+/// so the planner accounts the shard as timed out rather than errored.
+std::string read_to_eof(int fd) {
+  std::string out;
+  char buf[64 * 1024];
+  while (true) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n == 0) return out;
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        throw common::Cancelled("shard transport: response deadline expired");
+      }
+      throw common::IoError("shard transport: recv failed: " + std::string(strerror(errno)));
+    }
+    out.append(buf, static_cast<std::size_t>(n));
+  }
+}
+
+struct FdCloser {
+  int fd;
+  ~FdCloser() {
+    if (fd >= 0) ::close(fd);
+  }
+};
+
+}  // namespace
+
+std::string SocketTransport::exchange(std::string_view request, std::uint32_t deadline_ms) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    throw common::IoError("shard transport: socket failed: " + std::string(strerror(errno)));
+  }
+  FdCloser closer{fd};
+  if (deadline_ms > 0) {
+    set_timeout(fd, SO_SNDTIMEO, deadline_ms);
+    set_timeout(fd, SO_RCVTIMEO, deadline_ms);
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port_);
+  if (::inet_pton(AF_INET, host_.c_str(), &addr.sin_addr) != 1) {
+    throw common::IoError("shard transport: bad host '" + host_ + "'");
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    throw common::IoError("shard transport: connect to " + host_ + ":" +
+                          std::to_string(port_) + " failed: " + std::string(strerror(errno)));
+  }
+  write_all(fd, request);
+  ::shutdown(fd, SHUT_WR);  // EOF marks the end of the request conversation
+  return read_to_eof(fd);
+}
+
+ShardServer::ShardServer(const ShardExecutor& executor, std::uint16_t port)
+    : executor_(&executor) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    throw common::IoError("shard server: socket failed: " + std::string(strerror(errno)));
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(listen_fd_, 16) != 0) {
+    const std::string err = strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw common::IoError("shard server: bind/listen failed: " + err);
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+  thread_ = std::thread([this] { loop(); });
+}
+
+ShardServer::~ShardServer() { stop(); }
+
+void ShardServer::stop() {
+  if (!stopping_.exchange(true)) {
+    // Shut the listener down; the blocking accept() fails and the loop exits.
+    if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+  }
+  if (thread_.joinable()) thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void ShardServer::loop() {
+  while (!stopping_.load()) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // listener closed (stop) or broken beyond repair
+    }
+    FdCloser closer{fd};
+    // Bound the read so a wedged client cannot pin the accept loop forever.
+    set_timeout(fd, SO_RCVTIMEO, 30'000);
+    std::string request;
+    try {
+      request = read_to_eof(fd);
+    } catch (const std::exception&) {
+      continue;  // client vanished or stalled: drop the connection
+    }
+    const std::uint32_t stall = stall_ms_.load();
+    if (stall > 0) std::this_thread::sleep_for(std::chrono::milliseconds(stall));
+    try {
+      write_all(fd, executor_->serve(request));
+    } catch (const std::exception&) {
+      // The client gave up mid-response; drop the connection and carry on.
+    }
+  }
+}
+
+}  // namespace supremm::federation

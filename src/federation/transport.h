@@ -1,0 +1,109 @@
+// Shard transports: how a serialized conversation reaches an executor.
+//
+// The planner is transport-agnostic — it hands request bytes to exchange()
+// and parses whatever bytes come back. LoopbackTransport calls the executor
+// in-process (tests, benches, and the common embedded deployment);
+// SocketTransport speaks the same bytes over TCP to a ShardServer, which
+// turns any ShardExecutor into a networkable daemon in the slurmdbd mold.
+//
+// Failure contract: a deadline that expires inside exchange() throws
+// common::Cancelled (the planner accounts the shard as timed out); every
+// other transport failure throws common::IoError. Malformed response bytes
+// are NOT the transport's problem — the planner's frame parser rejects them
+// with ParseError.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <thread>
+
+#include "federation/executor.h"
+
+namespace supremm::federation {
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+  /// Send one request conversation, return the response conversation.
+  /// deadline_ms == 0 means no deadline.
+  [[nodiscard]] virtual std::string exchange(std::string_view request,
+                                             std::uint32_t deadline_ms) = 0;
+};
+
+/// In-process transport: the executor answers on the caller's thread. The
+/// request/response bytes still round-trip through the full wire codec, so
+/// loopback tests exercise exactly what the socket path ships.
+class LoopbackTransport final : public Transport {
+ public:
+  explicit LoopbackTransport(const ShardExecutor& executor) : executor_(&executor) {}
+
+  [[nodiscard]] std::string exchange(std::string_view request,
+                                     std::uint32_t deadline_ms) override;
+
+  /// Test hooks. before() runs ahead of the executor and may throw (a dead
+  /// or unreachable shard); corrupt() may rewrite the response bytes (CRC
+  /// forging, truncation). Both default to no-ops.
+  void set_before(std::function<void(std::uint32_t deadline_ms)> fn) { before_ = std::move(fn); }
+  void set_corrupt(std::function<void(std::string&)> fn) { corrupt_ = std::move(fn); }
+
+  /// Conversations served, for catalog-pruning assertions.
+  [[nodiscard]] std::size_t exchanges() const noexcept { return exchanges_.load(); }
+
+ private:
+  const ShardExecutor* executor_;
+  std::function<void(std::uint32_t)> before_;
+  std::function<void(std::string&)> corrupt_;
+  std::atomic<std::size_t> exchanges_{0};
+};
+
+/// One-conversation-per-connection TCP client: connect, write the request,
+/// shutdown the write side, read the response to EOF. The remaining
+/// deadline budget becomes the socket receive timeout.
+class SocketTransport final : public Transport {
+ public:
+  SocketTransport(std::string host, std::uint16_t port)
+      : host_(std::move(host)), port_(port) {}
+
+  [[nodiscard]] std::string exchange(std::string_view request,
+                                     std::uint32_t deadline_ms) override;
+
+ private:
+  std::string host_;
+  std::uint16_t port_;
+};
+
+/// Accept-loop daemon wrapping a ShardExecutor: binds 127.0.0.1:<port>
+/// (port 0 picks a free one — tests read port() back), serves each
+/// connection read-to-EOF → ShardExecutor::serve → write → close on a
+/// detached-joinable background thread. stop() (and the destructor) closes
+/// the listener and joins.
+class ShardServer {
+ public:
+  explicit ShardServer(const ShardExecutor& executor, std::uint16_t port = 0);
+  ~ShardServer();
+
+  ShardServer(const ShardServer&) = delete;
+  ShardServer& operator=(const ShardServer&) = delete;
+
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+  void stop();
+
+  /// Test knob: sleep this long before writing each response (drives the
+  /// client's receive timeout in the shard-kill test).
+  void set_stall_ms(std::uint32_t ms) { stall_ms_.store(ms); }
+
+ private:
+  void loop();
+
+  const ShardExecutor* executor_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<std::uint32_t> stall_ms_{0};
+  std::atomic<bool> stopping_{false};
+  std::thread thread_;
+};
+
+}  // namespace supremm::federation

@@ -92,6 +92,17 @@ const char* to_string(Status s) {
     case Status::kCancelled: return "cancelled";
     case Status::kError: return "error";
     case Status::kStale: return "stale";
+    case Status::kPartial: return "partial";
+  }
+  return "unknown";
+}
+
+const char* to_string(RemoteShardReport::Outcome o) {
+  switch (o) {
+    case RemoteShardReport::Outcome::kOk: return "ok";
+    case RemoteShardReport::Outcome::kPruned: return "pruned";
+    case RemoteShardReport::Outcome::kTimedOut: return "timed_out";
+    case RemoteShardReport::Outcome::kError: return "error";
   }
   return "unknown";
 }
@@ -171,6 +182,26 @@ std::string to_json(const ServiceMetrics& m) {
       static_cast<unsigned long long>(m.rollup_hits),
       static_cast<unsigned long long>(m.rollup_misses),
       static_cast<unsigned long long>(m.rollup_rebuilds), m.rollup_cells);
+  out += common::strprintf(
+      "\"federation\":{\"bound\":%s,\"queries\":%llu,\"partial\":%llu,"
+      "\"shards\":{",
+      m.federation_bound ? "true" : "false",
+      static_cast<unsigned long long>(m.federated),
+      static_cast<unsigned long long>(m.federated_partial));
+  bool first_shard = true;
+  for (const auto& [name, s] : m.shards) {
+    if (!first_shard) out += ",";
+    first_shard = false;
+    out += common::strprintf(
+        "\"%s\":{\"ok\":%llu,\"pruned\":%llu,\"rollup_served\":%llu,"
+        "\"timeouts\":%llu,\"errors\":%llu,\"total_ms\":%.3f}",
+        name.c_str(), static_cast<unsigned long long>(s.ok),
+        static_cast<unsigned long long>(s.pruned),
+        static_cast<unsigned long long>(s.rollup_served),
+        static_cast<unsigned long long>(s.timeouts),
+        static_cast<unsigned long long>(s.errors), s.total_ms);
+  }
+  out += "}},";
   out += common::strprintf("\"queue\":{\"depth\":%zu,\"peak\":%zu},",
                            m.queue_depth, m.queue_peak);
   out += "\"latency_ms\":{\"queue_wait\":" + histogram_json(m.queue_wait_ms) +
@@ -367,6 +398,18 @@ void Service::bind_archive(archive::Archive& ar) {
   ar.on_append([this](const archive::Manifest&) { try_republish(); });
 }
 
+void Service::bind_remote(std::shared_ptr<const RemoteExecutor> remote) {
+  bool need_snapshot = false;
+  {
+    std::lock_guard lock(snap_mu_);
+    remote_ = std::move(remote);
+    need_snapshot = remote_ != nullptr && snap_ == nullptr;
+  }
+  // A purely-federated deployment has nothing local to publish; give it an
+  // empty snapshot so submits are admitted instead of "no data published".
+  if (need_snapshot) publish_snapshot(std::make_shared<Snapshot>());
+}
+
 bool Service::try_republish() {
   std::function<void()> rep;
   {
@@ -536,33 +579,86 @@ void Service::execute(Job& job) {
     r.error = "deadline expired before execution";
   } else {
     try {
+      bool remote_served = false;
       if (job.request.kind == Request::Kind::kQuery) {
         const QuerySpec& spec = job.request.query;
-        const auto it = job.snap->tables.find(spec.table);
-        if (it == job.snap->tables.end()) {
-          throw common::NotFoundError("service table '" + spec.table + "'");
+        std::shared_ptr<const RemoteExecutor> remote;
+        {
+          std::lock_guard lock(snap_mu_);
+          remote = remote_;
         }
-        // Subsumable jobs queries are answered from the materialized rollup
-        // cells (bit-identical to the raw scan by the DESIGN.md §16
-        // contract); everything else falls through to the scan unchanged.
-        bool served = false;
-        if (spec.table == archive::kJobsTable && job.snap->rollups &&
-            warehouse::rollup::enabled()) {
-          if (const auto plan = warehouse::rollup::subsume(rollup_input(spec))) {
-            warehouse::Table out =
-                warehouse::rollup::serve(*job.snap->rollups, *plan, &r.stats);
-            r.table = std::make_shared<const warehouse::Table>(std::move(out));
-            served = true;
+        if (remote != nullptr && spec.table == remote->table_name()) {
+          // Federated table: scatter-gather through the bound executor
+          // instead of the local snapshot. A complete merge behaves exactly
+          // like a local run (cached below); a degraded one responds
+          // kPartial, names the missing shards and is never cached.
+          RemoteResult fed = remote->run(spec);
+          {
+            std::lock_guard mlock(metrics_mu_);
+            ++counters_.federated;
+            for (const RemoteShardReport& s : fed.shards) {
+              ServiceMetrics::ShardCounters& c = counters_.shards[s.shard];
+              switch (s.outcome) {
+                case RemoteShardReport::Outcome::kOk: ++c.ok; break;
+                case RemoteShardReport::Outcome::kPruned: ++c.pruned; break;
+                case RemoteShardReport::Outcome::kTimedOut: ++c.timeouts; break;
+                case RemoteShardReport::Outcome::kError: ++c.errors; break;
+              }
+              if (s.rollup_served) ++c.rollup_served;
+              c.total_ms += s.ms;
+            }
           }
-          std::lock_guard mlock(metrics_mu_);
-          served ? ++counters_.rollup_hits : ++counters_.rollup_misses;
+          r.stats = fed.stats;
+          r.table = std::move(fed.table);
+          if (!fed.complete) {
+            std::string failed;
+            for (const RemoteShardReport& s : fed.shards) {
+              if (s.outcome != RemoteShardReport::Outcome::kTimedOut &&
+                  s.outcome != RemoteShardReport::Outcome::kError) {
+                continue;
+              }
+              if (!failed.empty()) failed += "; ";
+              failed += s.shard;
+              failed += " (";
+              failed += to_string(s.outcome);
+              if (!s.error.empty()) {
+                failed += ": ";
+                failed += s.error;
+              }
+              failed += ")";
+            }
+            r.status = Status::kPartial;
+            r.error = "federated answer is missing shards: " + failed;
+          }
+          remote_served = true;
         }
-        if (!served) {
-          warehouse::Query q = compile(spec, *it->second);
-          q.cancel_token(&job.token);
-          warehouse::Table out = q.run();
-          r.stats = q.stats();
-          r.table = std::make_shared<const warehouse::Table>(std::move(out));
+        if (!remote_served) {
+          const auto it = job.snap->tables.find(spec.table);
+          if (it == job.snap->tables.end()) {
+            throw common::NotFoundError("service table '" + spec.table + "'");
+          }
+          // Subsumable jobs queries are answered from the materialized rollup
+          // cells (bit-identical to the raw scan by the DESIGN.md §16
+          // contract); everything else falls through to the scan unchanged.
+          bool served = false;
+          if (spec.table == archive::kJobsTable && job.snap->rollups &&
+              warehouse::rollup::enabled()) {
+            if (const auto plan = warehouse::rollup::subsume(rollup_input(spec))) {
+              warehouse::Table out =
+                  warehouse::rollup::serve(*job.snap->rollups, *plan, &r.stats);
+              r.table = std::make_shared<const warehouse::Table>(std::move(out));
+              served = true;
+            }
+            std::lock_guard mlock(metrics_mu_);
+            served ? ++counters_.rollup_hits : ++counters_.rollup_misses;
+          }
+          if (!served) {
+            warehouse::Query q = compile(spec, *it->second);
+            q.cancel_token(&job.token);
+            warehouse::Table out = q.run();
+            r.stats = q.stats();
+            r.table = std::make_shared<const warehouse::Table>(std::move(out));
+          }
         }
       } else {
         if (!job.snap->realm) {
@@ -575,9 +671,13 @@ void Service::execute(Job& job) {
             job.snap->realm->report(job.request.report));
       }
       // A degraded-mode run still caches: the result is correct for its
-      // (stale) epoch, and later stale hits serve from it.
-      r.status = job.stale ? Status::kStale : Status::kOk;
-      cache_.insert(job.cache_key, CachedResult{r.table, r.stats});
+      // (stale) epoch, and later stale hits serve from it. An incomplete
+      // federated answer (kPartial) never caches — a retry may find the
+      // missing shards healthy again under the same epoch.
+      if (r.status != Status::kPartial) {
+        r.status = job.stale ? Status::kStale : Status::kOk;
+        cache_.insert(job.cache_key, CachedResult{r.table, r.stats});
+      }
     } catch (const common::Cancelled& e) {
       // No partial results escape: the executor threw before assigning its
       // output or stats, and we clear anything set on this response.
@@ -619,6 +719,7 @@ void Service::finish(Job& job, Response r) {
       case Status::kCancelled: ++counters_.cancelled; break;
       case Status::kError: ++counters_.errors; break;
       case Status::kStale: ++counters_.stale_served; break;
+      case Status::kPartial: ++counters_.federated_partial; break;
     }
     counters_.total_ms.add(r.total_ms);
   }
@@ -644,6 +745,7 @@ ServiceMetrics Service::metrics() const {
   {
     std::lock_guard lock(snap_mu_);
     m.epoch = epoch_;
+    m.federation_bound = remote_ != nullptr;
     if (snap_ && snap_->rollups) {
       m.rollups_enabled = warehouse::rollup::enabled();
       m.rollup_cells = snap_->rollups->cells();

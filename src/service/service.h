@@ -110,6 +110,8 @@ enum class Status : std::uint8_t {
   kError,      // parse error, unknown table/column, service stopped, ...
   kStale,      // result table attached, but served from the retained
                // pre-failure snapshot while the service is degraded
+  kPartial,    // federated result table attached, but one or more shards
+               // timed out or errored; the error field names them
 };
 [[nodiscard]] const char* to_string(Status s);
 
@@ -178,6 +180,52 @@ class Session {
   std::string client_;
 };
 
+// ---------------------------------------------------------------------------
+// Federation seam (DESIGN.md §17)
+//
+// The service stays ignorant of shard catalogs, wire formats and transports:
+// a bound RemoteExecutor claims one table name and answers compiled
+// QuerySpecs for it with an already-merged result table plus per-shard
+// accounting. federation::Federation is the production implementation; the
+// inversion keeps the dependency arrow federation -> service.
+
+/// What happened at one shard of a federated scatter-gather.
+struct RemoteShardReport {
+  enum class Outcome : std::uint8_t {
+    kOk,        // partial received and merged
+    kPruned,    // catalog bounds excluded the shard; never contacted
+    kTimedOut,  // per-shard deadline expired (transport or executor)
+    kError,     // transport/protocol/executor failure; see `error`
+  };
+  std::string shard;
+  Outcome outcome = Outcome::kOk;
+  bool rollup_served = false;   // shard answered from its RollupSet
+  std::string error;            // sourced diagnostic for kTimedOut/kError
+  warehouse::QueryStats stats;  // shard-side scan accounting (kOk only)
+  double ms = 0.0;              // exchange wall time (0 when pruned)
+};
+[[nodiscard]] const char* to_string(RemoteShardReport::Outcome o);
+
+/// A merged federated answer. `complete` is false when any contacted shard
+/// failed; the table then covers only the shards that answered.
+struct RemoteResult {
+  std::shared_ptr<const warehouse::Table> table;
+  bool complete = true;
+  warehouse::QueryStats stats;            // summed over merged shard partials
+  std::vector<RemoteShardReport> shards;  // catalog order, pruned included
+};
+
+class RemoteExecutor {
+ public:
+  virtual ~RemoteExecutor() = default;
+  /// The one table name this executor serves (queries against other tables
+  /// keep using the local snapshot).
+  [[nodiscard]] virtual const std::string& table_name() const = 0;
+  /// Scatter the spec, gather and merge. Throws when no shard answered
+  /// (the service responds kError); degrades to complete=false when some did.
+  [[nodiscard]] virtual RemoteResult run(const QuerySpec& spec) const = 0;
+};
+
 /// Power-of-two-bucketed latency histogram (microsecond buckets). quantile()
 /// returns the upper bound of the bucket holding that rank — an upper bound
 /// on the true quantile, within 2x of it.
@@ -222,6 +270,19 @@ struct ServiceMetrics {
   std::uint64_t rollup_rebuilds = 0;   // snapshots whose rollups were rebuilt
                                        // from the jobs table (archive had none)
   std::size_t rollup_cells = 0;        // cells across the snapshot's levels
+  bool federation_bound = false;       // a RemoteExecutor is installed
+  std::uint64_t federated = 0;         // queries routed to the remote executor
+  std::uint64_t federated_partial = 0; // degraded federated answers (kPartial)
+  /// Aggregated per-shard outcome counters, keyed by shard name.
+  struct ShardCounters {
+    std::uint64_t ok = 0;
+    std::uint64_t pruned = 0;
+    std::uint64_t rollup_served = 0;
+    std::uint64_t timeouts = 0;
+    std::uint64_t errors = 0;
+    double total_ms = 0.0;
+  };
+  std::map<std::string, ShardCounters> shards;
   std::size_t queue_depth = 0;
   std::size_t queue_peak = 0;
   LatencyHistogram queue_wait_ms;
@@ -261,6 +322,14 @@ class Service {
   /// append invalidates all cached results by bumping the epoch. The archive
   /// must outlive this service.
   void bind_archive(archive::Archive& ar);
+
+  /// Route queries against `remote->table_name()` through a federated
+  /// executor instead of the local snapshot. Complete answers behave exactly
+  /// like local kOk responses (cached under the current epoch, kStale while
+  /// degraded); incomplete ones respond Status::kPartial and are never
+  /// cached. Publishes an empty snapshot if nothing was published yet, so a
+  /// purely-federated service admits queries. Passing nullptr unbinds.
+  void bind_remote(std::shared_ptr<const RemoteExecutor> remote);
 
   /// Epoch of the current snapshot (0 = nothing published yet).
   [[nodiscard]] std::uint64_t epoch() const;
@@ -309,6 +378,7 @@ class Service {
   mutable std::mutex snap_mu_;
   std::shared_ptr<const Snapshot> snap_;
   std::uint64_t epoch_ = 0;  // guarded by snap_mu_
+  std::shared_ptr<const RemoteExecutor> remote_;  // guarded by snap_mu_
 
   mutable std::mutex degraded_mu_;  // guards the republish/degraded state
   std::function<void()> republish_;  // set by bind_archive; throws on failure

@@ -42,6 +42,11 @@
 #include "facility/scheduler.h"         // IWYU pragma: export
 #include "facility/users.h"             // IWYU pragma: export
 #include "facility/workload.h"          // IWYU pragma: export
+#include "federation/catalog.h"         // IWYU pragma: export
+#include "federation/executor.h"        // IWYU pragma: export
+#include "federation/federation.h"      // IWYU pragma: export
+#include "federation/transport.h"       // IWYU pragma: export
+#include "federation/wire.h"            // IWYU pragma: export
 #include "lariat/lariat.h"              // IWYU pragma: export
 #include "loglib/loglib.h"              // IWYU pragma: export
 #include "pipeline/pipeline.h"          // IWYU pragma: export
@@ -57,7 +62,9 @@
 #include "taccstats/agent.h"            // IWYU pragma: export
 #include "taccstats/reader.h"           // IWYU pragma: export
 #include "taccstats/writer.h"           // IWYU pragma: export
+#include "warehouse/partial.h"          // IWYU pragma: export
 #include "warehouse/query.h"            // IWYU pragma: export
+#include "warehouse/rollup.h"           // IWYU pragma: export
 #include "warehouse/table.h"            // IWYU pragma: export
 #include "xdmod/advisor.h"              // IWYU pragma: export
 #include "xdmod/distributions.h"        // IWYU pragma: export

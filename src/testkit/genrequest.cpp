@@ -10,6 +10,7 @@
 #include "common/strings.h"
 #include "common/time.h"
 #include "testkit/genquery.h"
+#include "warehouse/aggstate.h"
 
 namespace supremm::testkit {
 
@@ -306,6 +307,26 @@ std::string make_rollup_request_text(std::uint64_t seed, std::uint64_t index,
   std::string text = to_request_text(spec, "jobs");
   if (out_spec != nullptr) *out_spec = std::move(spec);
   return text;
+}
+
+std::vector<std::vector<etl::JobSummary>> split_jobs_for_shards(
+    const std::vector<etl::JobSummary>& jobs, std::size_t nshards,
+    std::uint64_t seed) {
+  if (nshards == 0) {
+    throw common::InvalidArgument("split_jobs_for_shards: nshards must be positive");
+  }
+  std::vector<std::vector<etl::JobSummary>> shards(nshards);
+  for (const etl::JobSummary& j : jobs) {
+    // One draw per (cluster, day) cell: every job of the cell lands on the
+    // same shard, but neighboring days of the same cluster scatter freely.
+    const std::int64_t day = warehouse::end_day_index(j.end);
+    common::RngStream g(seed, "testkit.fed.place." + j.cluster,
+                        static_cast<std::uint64_t>(day));
+    const auto s = static_cast<std::size_t>(
+        g.uniform_int(0, static_cast<std::int64_t>(nshards) - 1));
+    shards[s].push_back(j);
+  }
+  return shards;
 }
 
 }  // namespace supremm::testkit

@@ -72,4 +72,15 @@ struct RollupJobsSpec {
                                                    std::uint64_t index,
                                                    QuerySpec* out_spec = nullptr);
 
+/// Adversarial-but-legal shard placement for federation tests: partition
+/// `jobs` into `nshards` slices such that every (cluster, end-day) cell
+/// lands on exactly one shard — the §17 placement contract — but which
+/// shard each cell lands on is seed-random, so day ranges interleave and
+/// nothing about catalog contiguity can be accidentally relied on. Slices
+/// may come out empty (a legal shard). Depends only on (jobs, nshards,
+/// seed); relative job order within a slice is preserved.
+[[nodiscard]] std::vector<std::vector<etl::JobSummary>> split_jobs_for_shards(
+    const std::vector<etl::JobSummary>& jobs, std::size_t nshards,
+    std::uint64_t seed);
+
 }  // namespace supremm::testkit

@@ -13,6 +13,7 @@
 #include "common/simd.h"
 #include "warehouse/aggstate.h"
 #include "warehouse/kernels.h"
+#include "warehouse/partial.h"
 
 namespace supremm::warehouse {
 
@@ -475,48 +476,281 @@ std::uint64_t key_ref_word(const KeyRef& ref, std::uint32_t r) {
   return 0;
 }
 
-/// Phase 2 under the time-partitioned contract (DESIGN.md §16), used when
-/// the table declares a time partition. Values accumulate into micro-cells
-/// keyed by (group keys, partition subkeys, end-day) purely sequentially in
-/// match order — a cell is never split across segments or threads — then,
-/// per (group, subtuple), the day cells fold through the calendar tree
-/// (TimeTreeFold), and finally the subtuple results merge in first-seen
-/// order. The cross-dimension merge is outermost so that the same numbers
-/// are reproducible from materialized rollup cells at ANY bucket level:
-/// a week cell is exactly the tree-fold of its day cells.
-///
-/// Fills `group_example_row`/`states` exactly like the segment-merge path,
-/// in first-seen group order, so emission is shared.
-template <typename CancelFn>
-void aggregate_time_partitioned(const Table& table, const std::vector<std::string>& keys,
-                                const std::vector<KeyRef>& key_refs,
-                                const std::vector<AggRef>& agg_refs,
-                                const std::uint32_t* match_ptr, std::size_t total_matches,
-                                const CancelFn& check_cancel,
-                                std::vector<std::size_t>& group_example_row,
-                                std::vector<AggState>& states) {
-  const std::size_t naggs = agg_refs.size();
+/// Planning + phase 1 of Query::run, shared with run_partial(): compile the
+/// predicate into typed kernels, zone-prune, and produce the ordered match
+/// list plus scan accounting.
+struct ScanResult {
+  QueryStats st;
+  std::vector<std::uint32_t> matches;  // empty on the identity fast path
+  bool identity = false;
+  std::size_t total_matches = 0;
+};
+
+ScanResult scan_phase(const Table& table, const std::optional<RowPredicate>& pred,
+                      std::size_t threads, const common::CancelToken* cancel) {
+  const std::size_t nrows = table.rows();
+  if (nrows > std::numeric_limits<std::uint32_t>::max()) {
+    throw common::InvalidArgument("query: table exceeds 2^32 rows");
+  }
+  const auto check_cancel = [cancel] {
+    if (cancel != nullptr && cancel->stop_requested()) {
+      throw common::Cancelled("query abandoned at safe point");
+    }
+  };
+
+  // Predicate plan. Exact predicates compile each conjunct into a typed
+  // kernel; opaque ones fall back to the closure per row. Bounds over
+  // existing columns additionally become zone-map prune tests.
+  const bool have_pred = pred.has_value();
+  const bool exact = have_pred && pred->exact();
+  std::vector<Kernel> kernels;
+  if (exact) {
+    for (const auto& b : pred->bounds()) {
+      const Column& c = table.col(b.column);
+      Kernel k;
+      if (b.equals) {
+        if (c.type() != ColType::kString) {
+          throw common::InvalidArgument("column " + b.column + " not string");
+        }
+        k.codes = c.codes().data();
+        if (const auto code = c.find_code(*b.equals)) {
+          k.eq_code = *code;
+        } else {
+          k.impossible = true;
+        }
+      } else {
+        k.num = numeric_ref(c);
+        k.lo = b.lo;
+        k.hi = b.hi;
+      }
+      kernels.push_back(k);
+    }
+  }
+
+  const ZoneIndex* zi = table.zone_index();
+  const bool prune =
+      have_pred && zi != nullptr && !pred->bounds().empty() && zi->chunks > 0;
+  std::vector<PruneTest> prune_tests;
+  if (prune) {
+    for (const auto& b : pred->bounds()) {
+      if (!table.has_col(b.column)) continue;
+      std::size_t ci = 0;
+      while (table.columns()[ci].name() != b.column) ++ci;
+      const Column& c = table.columns()[ci];
+      PruneTest t;
+      t.ci = ci;
+      if (b.equals) {
+        if (c.type() != ColType::kString) continue;
+        if (const auto code = c.find_code(*b.equals)) {
+          t.lo = t.hi = static_cast<double>(*code);
+        } else {
+          t.fail_all = true;  // value absent from the whole table
+        }
+      } else {
+        if (c.type() == ColType::kString) continue;
+        t.lo = b.lo;
+        t.hi = b.hi;
+      }
+      prune_tests.push_back(t);
+    }
+  }
+
+  const std::size_t chunk_rows = prune ? zi->chunk_rows : kExecChunkRows;
+  const std::size_t nchunks = nrows == 0 ? 0 : (nrows + chunk_rows - 1) / chunk_rows;
+  ScanResult res;
+  QueryStats& st = res.st;
+  if (prune) st.chunks_total = zi->chunks;
+
+  // ISA tier pinned once per run. The AVX2 kernels gather through row
+  // indices as signed 32-bit lanes, so a table past 2^31 rows takes the
+  // scalar table — legal at any time because every tier is bit-identical.
+  const kernels::KernelTable& kt = nrows > (std::size_t{1} << 31)
+                                       ? kernels::table_for(common::simd::Tier::kScalar)
+                                       : kernels::active();
+
+  // Per-run scan state, hoisted out of the pool workers: an equality literal
+  // absent from its dictionary kills every chunk at once, and zone-map prune
+  // decisions depend only on the chunk grid, so both are derived here once
+  // instead of being re-tested inside every worker invocation.
+  bool impossible = false;
+  for (const auto& k : kernels) impossible = impossible || k.impossible;
+  std::vector<std::uint8_t> chunk_pruned;
+  if (prune) {
+    chunk_pruned.assign(nchunks, 0);
+    for (std::size_t ch = 0; ch < nchunks; ++ch) {
+      for (const auto& t : prune_tests) {
+        const ZoneIndex::Range& range = zi->ranges[t.ci][ch];
+        if (t.fail_all || range.hi < t.lo || range.lo > t.hi) {
+          chunk_pruned[ch] = 1;
+          break;
+        }
+      }
+    }
+  }
+
+  // Without a predicate every row matches and match index == row index, so
+  // the selection vectors and the concatenated match list are pure memory
+  // traffic — skip them and let phase 2 address rows directly.
+  res.identity = !have_pred;
+  std::vector<ChunkResult> chunks(res.identity ? 0 : nchunks);
+  if (!res.identity) {
+    common::pool_run(nchunks, threads, 0, [&](std::size_t ch) {
+      check_cancel();
+      ChunkResult& cres = chunks[ch];
+      if (!chunk_pruned.empty() && chunk_pruned[ch] != 0) {
+        cres.pruned = true;
+        return;
+      }
+      const std::size_t begin = ch * chunk_rows;
+      const std::size_t end = std::min(nrows, begin + chunk_rows);
+      cres.rows_scanned = end - begin;
+      if (exact && impossible) return;  // scanned, nothing matches
+      auto& sel = cres.sel;
+      if (exact) {
+        sel.resize(end - begin);
+        const auto b32 = static_cast<std::uint32_t>(begin);
+        const auto e32 = static_cast<std::uint32_t>(end);
+        std::size_t cnt = 0;
+        if (kernels.empty()) {
+          for (std::uint32_t r = b32; r < e32; ++r) sel[cnt++] = r;
+        } else {
+          const Kernel& k0 = kernels[0];
+          if (k0.codes != nullptr) {
+            cnt = kt.filter_codes_eq(k0.codes, b32, e32, k0.eq_code, sel.data());
+          } else if (k0.num.f64 != nullptr) {
+            cnt = kt.filter_f64_range(k0.num.f64, b32, e32, k0.lo, k0.hi, sel.data());
+          } else {
+            cnt = filter_i64_range(k0.num.i64, b32, e32, k0.lo, k0.hi, sel.data());
+          }
+          for (std::size_t k = 1; k < kernels.size() && cnt != 0; ++k) {
+            const Kernel& kn = kernels[k];
+            if (kn.codes != nullptr) {
+              cnt = kt.refine_codes_eq(kn.codes, sel.data(), cnt, kn.eq_code, sel.data());
+            } else if (kn.num.f64 != nullptr) {
+              cnt = kt.refine_f64_range(kn.num.f64, sel.data(), cnt, kn.lo, kn.hi, sel.data());
+            } else {
+              cnt = refine_i64_range(kn.num.i64, sel.data(), cnt, kn.lo, kn.hi, sel.data());
+            }
+          }
+        }
+        sel.resize(cnt);
+      } else {
+        for (std::size_t r = begin; r < end; ++r) {
+          if ((*pred)(table, r)) sel.push_back(static_cast<std::uint32_t>(r));
+        }
+      }
+    });
+  }
+
+  if (res.identity) {
+    st.rows_scanned = nrows;
+    res.total_matches = nrows;
+  } else {
+    for (const auto& c : chunks) {
+      if (c.pruned) ++st.chunks_pruned;
+      st.rows_scanned += c.rows_scanned;
+      res.total_matches += c.sel.size();
+    }
+    res.matches.reserve(res.total_matches);
+    for (const auto& c : chunks) {
+      res.matches.insert(res.matches.end(), c.sel.begin(), c.sel.end());
+    }
+  }
+  st.rows_matched = res.total_matches;
+  return res;
+}
+
+KeyRef make_key_ref(const Column& c) {
+  KeyRef ref;
+  ref.type = c.type();
+  switch (c.type()) {
+    case ColType::kDouble:
+      ref.f64 = c.doubles().data();
+      break;
+    case ColType::kInt64:
+      ref.i64 = c.int64s().data();
+      break;
+    case ColType::kString:
+      ref.codes = c.codes().data();
+      break;
+  }
+  return ref;
+}
+
+partial::KeyValue make_key_value(const Column& c, std::size_t r) {
+  partial::KeyValue v;
+  v.type = c.type();
+  switch (c.type()) {
+    case ColType::kString:
+      v.str = std::string(c.as_string(r));
+      break;
+    case ColType::kInt64:
+      v.i64 = c.as_int64(r);
+      break;
+    case ColType::kDouble:
+      v.bits = std::bit_cast<std::uint64_t>(c.as_double(r));
+      break;
+  }
+  return v;
+}
+
+}  // namespace
+
+namespace partial {
+
+// Phase 2 of the time-partitioned contract (DESIGN.md §16), extracted from
+// the executor so a federation shard can ship the intermediate state.
+// Values accumulate into micro-cells keyed by (group keys, partition
+// subkeys, end-day) purely sequentially in match order — a cell is never
+// split across segments or threads — then cells bucket into groups and,
+// within each group, into partition sub-tuples; both orders inherit
+// first-seen from the cells (= ascending first match position). Each
+// sub-tuple's day cells come out sorted ascending, ready for the calendar
+// tree fold (fold_groups locally, merge_partials at a coordinator). The
+// cross-dimension merge stays outermost so the same numbers are
+// reproducible from materialized rollup cells at ANY bucket level: a week
+// cell is exactly the tree-fold of its day cells.
+Collected collect(const Table& table, const std::vector<std::string>& group_by,
+                  const std::vector<AggSpec>& aggs, const std::uint32_t* match_rows,
+                  std::size_t total_matches, const std::string& rank_column,
+                  const common::CancelToken* cancel) {
+  if (table.time_partition().empty()) {
+    throw common::InvalidArgument("partial collect: table has no time partition");
+  }
+  if (group_by.size() > kMaxGroupKeys) {
+    throw common::InvalidArgument("query supports at most 4 group keys");
+  }
+  const auto check_cancel = [cancel] {
+    if (cancel != nullptr && cancel->stop_requested()) {
+      throw common::Cancelled("query abandoned at safe point");
+    }
+  };
+
+  const std::size_t naggs = aggs.size();
+  std::vector<KeyRef> key_refs;
+  key_refs.reserve(group_by.size());
+  for (const auto& k : group_by) key_refs.push_back(make_key_ref(table.col(k)));
+  std::vector<AggRef> agg_refs;
+  agg_refs.reserve(naggs);
+  for (const auto& a : aggs) {
+    AggRef ref;
+    ref.kind = a.kind;
+    if (a.kind != AggKind::kCount) {
+      ref.value = numeric_ref(table.col(a.column));
+      if (a.kind == AggKind::kWeightedMean) ref.weight = numeric_ref(table.col(a.weight));
+    }
+    agg_refs.push_back(ref);
+  }
+
   const Column& tp = table.col(table.time_partition());
   const std::int64_t* end_vals = tp.int64s().data();
 
-  std::vector<KeyRef> extra_refs;  // partition subkeys not already group keys
+  std::vector<std::string> extra_names;  // partition subkeys not already group keys
+  std::vector<KeyRef> extra_refs;
   for (const auto& name : table.time_partition_subkeys()) {
-    if (std::find(keys.begin(), keys.end(), name) != keys.end()) continue;
-    const Column& c = table.col(name);
-    KeyRef ref;
-    ref.type = c.type();
-    switch (c.type()) {
-      case ColType::kDouble:
-        ref.f64 = c.doubles().data();
-        break;
-      case ColType::kInt64:
-        ref.i64 = c.int64s().data();
-        break;
-      case ColType::kString:
-        ref.codes = c.codes().data();
-        break;
-    }
-    extra_refs.push_back(ref);
+    if (std::find(group_by.begin(), group_by.end(), name) != group_by.end()) continue;
+    extra_names.push_back(name);
+    extra_refs.push_back(make_key_ref(table.col(name)));
   }
   const std::size_t nkeys = key_refs.size();
   const std::size_t nextra = extra_refs.size();
@@ -524,10 +758,21 @@ void aggregate_time_partitioned(const Table& table, const std::vector<std::strin
     throw common::InvalidArgument("time-partitioned query: key + subkey tuple too wide");
   }
 
+  const std::int64_t* rank_vals = nullptr;
+  if (!rank_column.empty()) {
+    const Column& rc = table.col(rank_column);
+    if (rc.type() != ColType::kInt64) {
+      throw common::InvalidArgument("partial collect: rank column " + rank_column +
+                                    " must be int64");
+    }
+    rank_vals = rc.int64s().data();
+  }
+
   // Pass 1: sequential micro-cell accumulation in match order.
   struct Cell {
     std::uint32_t example_row = 0;  // first matching row of the cell
     std::int64_t day = 0;
+    std::int64_t rank = 0;  // min rank-column value over the cell's rows
   };
   std::unordered_map<WideKey, std::uint32_t, WideKeyHash> cell_index;
   std::vector<Cell> cells;              // first-seen order
@@ -535,7 +780,7 @@ void aggregate_time_partitioned(const Table& table, const std::vector<std::strin
   for (std::size_t j = 0; j < total_matches; ++j) {
     if ((j & (kSegmentRows - 1)) == 0) check_cancel();
     const std::uint32_t r =
-        match_ptr != nullptr ? match_ptr[j] : static_cast<std::uint32_t>(j);
+        match_rows != nullptr ? match_rows[j] : static_cast<std::uint32_t>(j);
     WideKey key;
     std::size_t k = 0;
     for (const auto& ref : key_refs) key.w[k++] = key_ref_word(ref, r);
@@ -544,23 +789,27 @@ void aggregate_time_partitioned(const Table& table, const std::vector<std::strin
     key.w[k] = static_cast<std::uint64_t>(day);
     const auto [it, inserted] = cell_index.emplace(key, static_cast<std::uint32_t>(cells.size()));
     if (inserted) {
-      cells.push_back({r, day});
+      cells.push_back({r, day, rank_vals != nullptr ? rank_vals[r] : 0});
       cell_states.resize(cell_states.size() + naggs);
+    } else if (rank_vals != nullptr) {
+      Cell& cell = cells[it->second];
+      cell.rank = std::min(cell.rank, rank_vals[r]);
     }
     update_aggs(agg_refs, cell_states.data() + std::size_t{it->second} * naggs, r);
   }
   check_cancel();
 
-  // Pass 2: bucket cells into groups and, within each group, into partition
-  // sub-tuples; both orders inherit first-seen from the cells (= ascending
-  // first match position).
+  // Pass 2: bucket cells into groups and sub-tuples, first-seen order.
   struct Sub {
     std::vector<std::uint32_t> cells;
   };
   std::unordered_map<WideKey, std::uint32_t, WideKeyHash> sub_index;  // words minus day
   std::vector<Sub> subs;
   std::unordered_map<PackedKey, std::uint32_t, PackedKeyHash> group_index;
-  std::vector<std::vector<std::uint32_t>> group_subs;
+
+  Collected out;
+  out.naggs = naggs;
+  for (const auto& k : group_by) out.key_schema.emplace_back(k, table.col(k).type());
   for (std::uint32_t c = 0; c < cells.size(); ++c) {
     const std::uint32_t r = cells[c].example_row;
     PackedKey gkey;
@@ -574,43 +823,67 @@ void aggregate_time_partitioned(const Table& table, const std::vector<std::strin
     }
     for (const auto& ref : extra_refs) skey.w[k++] = key_ref_word(ref, r);
     const auto [git, ginserted] =
-        group_index.emplace(gkey, static_cast<std::uint32_t>(group_example_row.size()));
+        group_index.emplace(gkey, static_cast<std::uint32_t>(out.group_example_row.size()));
     if (ginserted) {
-      group_example_row.push_back(r);
-      group_subs.emplace_back();
+      out.group_example_row.push_back(r);
+      out.groups.emplace_back();
     }
     const auto [sit, sinserted] =
         sub_index.emplace(skey, static_cast<std::uint32_t>(subs.size()));
     if (sinserted) {
       subs.emplace_back();
-      group_subs[git->second].push_back(sit->second);
+      out.groups[git->second].push_back(sit->second);
     }
     subs[sit->second].cells.push_back(c);
   }
 
-  // Pass 3: per sub-tuple, tree-fold its day cells in ascending day order;
-  // then merge sub-tuple results into their group in first-seen order.
-  std::vector<AggState> sub_states(subs.size() * naggs);
+  // Pass 3: materialize one TuplePartial per sub-tuple, day cells ascending.
+  out.tuples.resize(subs.size());
   for (std::size_t s = 0; s < subs.size(); ++s) {
     std::vector<std::uint32_t>& cs = subs[s].cells;
     std::sort(cs.begin(), cs.end(), [&cells](std::uint32_t a, std::uint32_t b) {
       return cells[a].day < cells[b].day;  // days are unique within a sub
     });
-    TimeTreeFold fold(sub_states.data() + s * naggs, naggs);
+    TuplePartial& t = out.tuples[s];
+    const std::uint32_t r0 = cells[cs.front()].example_row;
+    t.group.reserve(nkeys);
+    for (const auto& k : group_by) t.group.push_back(make_key_value(table.col(k), r0));
+    t.extra.reserve(nextra);
+    for (const auto& name : extra_names) t.extra.push_back(make_key_value(table.col(name), r0));
+    t.rank = rank_vals != nullptr ? cells[cs.front()].rank : static_cast<std::int64_t>(s);
+    t.days.reserve(cs.size());
+    t.states.reserve(cs.size() * naggs);
     for (const std::uint32_t c : cs) {
-      fold.add(cells[c].day, cell_states.data() + std::size_t{c} * naggs);
+      if (rank_vals != nullptr) t.rank = std::min(t.rank, cells[c].rank);
+      t.days.push_back(cells[c].day);
+      t.states.insert(t.states.end(), cell_states.begin() + std::size_t{c} * naggs,
+                      cell_states.begin() + (std::size_t{c} + 1) * naggs);
+    }
+  }
+  return out;
+}
+
+std::vector<AggState> fold_groups(const Collected& c) {
+  const std::size_t naggs = c.naggs;
+  std::vector<AggState> sub_states(c.tuples.size() * naggs);
+  for (std::size_t s = 0; s < c.tuples.size(); ++s) {
+    const TuplePartial& t = c.tuples[s];
+    TimeTreeFold fold(sub_states.data() + s * naggs, naggs);
+    for (std::size_t i = 0; i < t.days.size(); ++i) {
+      fold.add(t.days[i], t.states.data() + i * naggs);
     }
     fold.finish();
   }
-  states.resize(group_example_row.size() * naggs);
-  for (std::size_t g = 0; g < group_subs.size(); ++g) {
-    for (const std::uint32_t s : group_subs[g]) {
+  std::vector<AggState> states(c.groups.size() * naggs);
+  for (std::size_t g = 0; g < c.groups.size(); ++g) {
+    for (const std::uint32_t s : c.groups[g]) {
       merge_states(states.data() + g * naggs, sub_states.data() + std::size_t{s} * naggs, naggs);
     }
   }
+  return states;
 }
 
-}  // namespace
+}  // namespace partial
 
 Table Query::run() const {
   if (aggs_.empty()) throw common::InvalidArgument("query without aggregations");
@@ -665,35 +938,6 @@ Table Query::run() const {
     agg_refs.push_back(ref);
   }
 
-  // Predicate plan. Exact predicates compile each conjunct into a typed
-  // kernel; opaque ones fall back to the closure per row. Bounds over
-  // existing columns additionally become zone-map prune tests.
-  const bool have_pred = pred_.has_value();
-  const bool exact = have_pred && pred_->exact();
-  std::vector<Kernel> kernels;
-  if (exact) {
-    for (const auto& b : pred_->bounds()) {
-      const Column& c = table_.col(b.column);
-      Kernel k;
-      if (b.equals) {
-        if (c.type() != ColType::kString) {
-          throw common::InvalidArgument("column " + b.column + " not string");
-        }
-        k.codes = c.codes().data();
-        if (const auto code = c.find_code(*b.equals)) {
-          k.eq_code = *code;
-        } else {
-          k.impossible = true;
-        }
-      } else {
-        k.num = numeric_ref(c);
-        k.lo = b.lo;
-        k.hi = b.hi;
-      }
-      kernels.push_back(k);
-    }
-  }
-
   // Cancellation safe point: polled once per scan chunk and once per
   // aggregation segment (coarse enough to stay off the per-row hot path).
   // Throwing tears the run down through the pool's rethrow; stats_ is reset
@@ -705,40 +949,12 @@ Table Query::run() const {
     }
   };
 
-  const ZoneIndex* zi = table_.zone_index();
-  const bool prune =
-      have_pred && zi != nullptr && !pred_->bounds().empty() && zi->chunks > 0;
-  std::vector<PruneTest> prune_tests;
-  if (prune) {
-    for (const auto& b : pred_->bounds()) {
-      if (!table_.has_col(b.column)) continue;
-      std::size_t ci = 0;
-      while (table_.columns()[ci].name() != b.column) ++ci;
-      const Column& c = table_.columns()[ci];
-      PruneTest t;
-      t.ci = ci;
-      if (b.equals) {
-        if (c.type() != ColType::kString) continue;
-        if (const auto code = c.find_code(*b.equals)) {
-          t.lo = t.hi = static_cast<double>(*code);
-        } else {
-          t.fail_all = true;  // value absent from the whole table
-        }
-      } else {
-        if (c.type() == ColType::kString) continue;
-        t.lo = b.lo;
-        t.hi = b.hi;
-      }
-      prune_tests.push_back(t);
-    }
-  }
-
-  // --- phase 1: per-chunk selection vectors -------------------------------
-  const std::size_t chunk_rows = prune ? zi->chunk_rows : kExecChunkRows;
-  const std::size_t nchunks = nrows == 0 ? 0 : (nrows + chunk_rows - 1) / chunk_rows;
+  // --- phase 1: per-chunk selection vectors (shared with run_partial) -----
   stats_ = QueryStats{};  // visible stats stay zeroed until the run completes
-  QueryStats st;
-  if (prune) st.chunks_total = zi->chunks;
+  ScanResult scan = scan_phase(table_, pred_, threads_, cancel_);
+  QueryStats st = scan.st;
+  const std::size_t total_matches = scan.total_matches;
+  const std::uint32_t* match_ptr = scan.identity ? nullptr : scan.matches.data();
 
   // ISA tier pinned once per run. The AVX2 kernels gather through row
   // indices as signed 32-bit lanes, so a table past 2^31 rows takes the
@@ -747,97 +963,6 @@ Table Query::run() const {
                                        ? kernels::table_for(common::simd::Tier::kScalar)
                                        : kernels::active();
 
-  // Per-run scan state, hoisted out of the pool workers: an equality literal
-  // absent from its dictionary kills every chunk at once, and zone-map prune
-  // decisions depend only on the chunk grid, so both are derived here once
-  // instead of being re-tested inside every worker invocation.
-  bool impossible = false;
-  for (const auto& k : kernels) impossible = impossible || k.impossible;
-  std::vector<std::uint8_t> chunk_pruned;
-  if (prune) {
-    chunk_pruned.assign(nchunks, 0);
-    for (std::size_t ch = 0; ch < nchunks; ++ch) {
-      for (const auto& t : prune_tests) {
-        const ZoneIndex::Range& range = zi->ranges[t.ci][ch];
-        if (t.fail_all || range.hi < t.lo || range.lo > t.hi) {
-          chunk_pruned[ch] = 1;
-          break;
-        }
-      }
-    }
-  }
-
-  // Without a predicate every row matches and match index == row index, so
-  // the selection vectors and the concatenated match list are pure memory
-  // traffic — skip them and let phase 2 address rows directly.
-  const bool identity = !have_pred;
-  std::vector<ChunkResult> chunks(identity ? 0 : nchunks);
-  if (!identity) {
-    common::pool_run(nchunks, threads_, 0, [&](std::size_t ch) {
-      check_cancel();
-      ChunkResult& res = chunks[ch];
-      if (!chunk_pruned.empty() && chunk_pruned[ch] != 0) {
-        res.pruned = true;
-        return;
-      }
-      const std::size_t begin = ch * chunk_rows;
-      const std::size_t end = std::min(nrows, begin + chunk_rows);
-      res.rows_scanned = end - begin;
-      if (exact && impossible) return;  // scanned, nothing matches
-      auto& sel = res.sel;
-      if (exact) {
-        sel.resize(end - begin);
-        const auto b32 = static_cast<std::uint32_t>(begin);
-        const auto e32 = static_cast<std::uint32_t>(end);
-        std::size_t cnt = 0;
-        if (kernels.empty()) {
-          for (std::uint32_t r = b32; r < e32; ++r) sel[cnt++] = r;
-        } else {
-          const Kernel& k0 = kernels[0];
-          if (k0.codes != nullptr) {
-            cnt = kt.filter_codes_eq(k0.codes, b32, e32, k0.eq_code, sel.data());
-          } else if (k0.num.f64 != nullptr) {
-            cnt = kt.filter_f64_range(k0.num.f64, b32, e32, k0.lo, k0.hi, sel.data());
-          } else {
-            cnt = filter_i64_range(k0.num.i64, b32, e32, k0.lo, k0.hi, sel.data());
-          }
-          for (std::size_t k = 1; k < kernels.size() && cnt != 0; ++k) {
-            const Kernel& kn = kernels[k];
-            if (kn.codes != nullptr) {
-              cnt = kt.refine_codes_eq(kn.codes, sel.data(), cnt, kn.eq_code, sel.data());
-            } else if (kn.num.f64 != nullptr) {
-              cnt = kt.refine_f64_range(kn.num.f64, sel.data(), cnt, kn.lo, kn.hi, sel.data());
-            } else {
-              cnt = refine_i64_range(kn.num.i64, sel.data(), cnt, kn.lo, kn.hi, sel.data());
-            }
-          }
-        }
-        sel.resize(cnt);
-      } else {
-        for (std::size_t r = begin; r < end; ++r) {
-          if ((*pred_)(table_, r)) sel.push_back(static_cast<std::uint32_t>(r));
-        }
-      }
-    });
-  }
-
-  std::size_t total_matches = 0;
-  std::vector<std::uint32_t> matches;
-  if (identity) {
-    st.rows_scanned = nrows;
-    total_matches = nrows;
-  } else {
-    for (const auto& c : chunks) {
-      if (c.pruned) ++st.chunks_pruned;
-      st.rows_scanned += c.rows_scanned;
-      total_matches += c.sel.size();
-    }
-    matches.reserve(total_matches);
-    for (const auto& c : chunks) matches.insert(matches.end(), c.sel.begin(), c.sel.end());
-  }
-  st.rows_matched = total_matches;
-  const std::uint32_t* match_ptr = identity ? nullptr : matches.data();
-
   // --- phase 2 ------------------------------------------------------------
   const std::size_t naggs = aggs_.size();
   std::vector<std::size_t> group_example_row;  // first-seen group order
@@ -845,9 +970,12 @@ Table Query::run() const {
 
   if (!table_.time_partition().empty()) {
     // Time-partitioned contract: sequential micro-cell accumulation + the
-    // calendar tree fold (rollup-reproducible; see aggregate_time_partitioned).
-    aggregate_time_partitioned(table_, keys_, key_refs, agg_refs, match_ptr, total_matches,
-                               check_cancel, group_example_row, states);
+    // calendar tree fold (rollup-reproducible; see partial::collect).
+    const partial::Collected collected =
+        partial::collect(table_, keys_, aggs_, match_ptr, total_matches,
+                         /*rank_column=*/std::string(), cancel_);
+    group_example_row = collected.group_example_row;
+    states = partial::fold_groups(collected);
   } else {
   // Canonical segment contract: partial aggregation over match-list segments.
   const std::size_t nsegs =
@@ -979,6 +1107,25 @@ Table Query::run() const {
   }
   stats_ = st;
   return out;
+}
+
+partial::Partial Query::run_partial(const std::string& rank_column) const {
+  if (aggs_.empty()) throw common::InvalidArgument("query without aggregations");
+  if (keys_.size() > kMaxGroupKeys) {
+    throw common::InvalidArgument("query supports at most 4 group keys");
+  }
+  stats_ = QueryStats{};
+  ScanResult scan = scan_phase(table_, pred_, threads_, cancel_);
+  partial::Collected col = partial::collect(
+      table_, keys_, aggs_, scan.identity ? nullptr : scan.matches.data(),
+      scan.total_matches, rank_column, cancel_);
+  partial::Partial p;
+  p.stats = scan.st;
+  p.key_schema = std::move(col.key_schema);
+  p.naggs = col.naggs;
+  p.tuples = std::move(col.tuples);
+  stats_ = p.stats;
+  return p;
 }
 
 }  // namespace supremm::warehouse

@@ -21,6 +21,10 @@
 
 namespace supremm::warehouse {
 
+namespace partial {
+struct Partial;  // warehouse/partial.h
+}  // namespace partial
+
 /// Aggregation kinds. Weighted kinds read the weight column per row.
 enum class AggKind : std::uint8_t {
   kSum,
@@ -137,6 +141,16 @@ class Query {
   /// Throws common::Cancelled if the cancel token tripped; on that path
   /// stats() is left zeroed (no partial accounting escapes).
   [[nodiscard]] Table run() const;
+
+  /// Run phase 1 (same kernels, pruning and accounting as run()) but stop at
+  /// the day-level partial-aggregate state of the time-partitioned contract
+  /// instead of folding to a result table — the shard half of a federated
+  /// query (warehouse/partial.h; merge with partial::merge_partials). Each
+  /// tuple's rank is the minimum of `rank_column` (int64; the jobs realm
+  /// uses job_id) over its matching rows, which lets a coordinator restore
+  /// canonical first-seen order across shards. Requires a time-partitioned
+  /// table; throws like run() otherwise.
+  [[nodiscard]] partial::Partial run_partial(const std::string& rank_column) const;
 
   /// Statistics from the most recent run() on this query object. Reset at
   /// the start of every run() and populated only on successful completion,
